@@ -1,0 +1,49 @@
+//! Ablation: index-backed anchors vs full scans.
+//!
+//! The planner anchors patterns on bound variables, then unique-key
+//! index lookups, then the smallest label scan (DESIGN.md §5). This
+//! ablation quantifies each tier by expressing the *same* question
+//! three ways.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+    let asn = iyp
+        .query("MATCH (a:AS) RETURN a.asn ORDER BY a.asn DESC LIMIT 1")
+        .unwrap()
+        .single_int()
+        .unwrap();
+
+    let mut g = c.benchmark_group("ablation_indexes");
+    g.sample_size(20);
+
+    // Tier 1: unique-key index lookup (label + inline key property).
+    let q_index = format!("MATCH (a:AS {{asn: {asn}}})-[:ORIGINATE]-(p:Prefix) RETURN count(p)");
+    g.bench_function("key_index_anchor", |b| {
+        b.iter(|| black_box(iyp.query(&q_index).unwrap().single_int()))
+    });
+
+    // Tier 2: label scan with a WHERE filter (no index use).
+    let q_label = format!(
+        "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)"
+    );
+    g.bench_function("label_scan_anchor", |b| {
+        b.iter(|| black_box(iyp.query(&q_label).unwrap().single_int()))
+    });
+
+    // Tier 3: full node scan (no label at all).
+    let q_scan = format!(
+        "MATCH (a)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)"
+    );
+    g.bench_function("full_scan_anchor", |b| {
+        b.iter(|| black_box(iyp.query(&q_scan).unwrap().single_int()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

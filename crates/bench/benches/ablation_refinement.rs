@@ -1,0 +1,87 @@
+//! Ablation: materialised refinement links vs client-side joins.
+//!
+//! §2.3's refinement pass materialises `IP -PART_OF→ Prefix` links so
+//! queries can hop from addresses to routing data. The alternative —
+//! what users of the raw datasets do — is a client-side longest-prefix
+//! match. This ablation measures both, plus the one-off cost of the
+//! refinement passes themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::{build_iyp, build_iyp_unrefined, world};
+use iyp_core::netdata::{Prefix, PrefixTrie};
+use iyp_core::pipeline;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let refined = build_iyp();
+    let unrefined = build_iyp_unrefined();
+
+    let mut g = c.benchmark_group("ablation_refinement");
+    g.sample_size(10);
+
+    // With refinement: one graph query.
+    g.bench_function("with_part_of_links", |b| {
+        b.iter(|| {
+            black_box(
+                refined
+                    .query(
+                        "MATCH (:HostName)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(p:Prefix)
+                         RETURN count(DISTINCT p.prefix)",
+                    )
+                    .unwrap()
+                    .single_int(),
+            )
+        })
+    });
+
+    // Without refinement: fetch IPs and prefixes, LPM client-side.
+    g.bench_function("client_side_lpm", |b| {
+        b.iter(|| {
+            let prefixes = unrefined
+                .query("MATCH (p:Prefix) RETURN p.prefix")
+                .unwrap();
+            let mut trie: PrefixTrie<()> = PrefixTrie::new();
+            for row in &prefixes.rows {
+                if let Some(p) = row[0].as_scalar().and_then(|v| v.as_str()) {
+                    if let Ok(prefix) = p.parse::<Prefix>() {
+                        trie.insert(&prefix, ());
+                    }
+                }
+            }
+            let ips = unrefined
+                .query("MATCH (:HostName)-[:RESOLVES_TO]-(i:IP) RETURN DISTINCT i.ip")
+                .unwrap();
+            let mut matched = std::collections::HashSet::new();
+            for row in &ips.rows {
+                if let Some(ip) = row[0].as_scalar().and_then(|v| v.as_str()) {
+                    if let Ok(addr) = ip.parse::<std::net::IpAddr>() {
+                        if let Some((p, _)) = trie.longest_match_ip(&addr) {
+                            matched.insert(p);
+                        }
+                    }
+                }
+            }
+            black_box(matched.len())
+        })
+    });
+
+    // One-off refinement cost.
+    let w = world();
+    g.bench_function("refinement_pass_cost", |b| {
+        b.iter(|| {
+            let mut iyp = iyp_core::Iyp::build_from_world(
+                &w,
+                &iyp_core::BuildOptions::default().without_refinement(),
+            )
+            .unwrap();
+            let graph = iyp.graph_mut();
+            let n = pipeline::postprocess::link_ips_to_prefixes(graph, 0).unwrap();
+            black_box(n)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Knowledge-graph construction (§2.3): the full 46-dataset build,
+//! plus the per-stage split (crawl vs refinement).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::world;
+use iyp_core::{BuildOptions, Iyp};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = world();
+
+    let mut g = c.benchmark_group("build_pipeline");
+    g.sample_size(10);
+    g.bench_function("full_build", |b| {
+        b.iter(|| {
+            let iyp = Iyp::build_from_world(&w, &BuildOptions::default()).unwrap();
+            black_box(iyp.graph().rel_count())
+        })
+    });
+    g.bench_function("crawl_only", |b| {
+        b.iter(|| {
+            let iyp =
+                Iyp::build_from_world(&w, &BuildOptions::default().without_refinement()).unwrap();
+            black_box(iyp.graph().rel_count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

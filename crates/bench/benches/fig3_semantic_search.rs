@@ -1,0 +1,57 @@
+//! Figure 3 / Listings 1–3: semantic-search patterns.
+//!
+//! Benchmarks the three kinds of search the paper demonstrates: a pure
+//! structural pattern, a constrained structural pattern (MOAS), and a
+//! branching pattern anchored at a specific node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+    let mut g = c.benchmark_group("fig3_semantic_search");
+    g.sample_size(20);
+
+    g.bench_function("listing1_originating_ases", |b| {
+        b.iter(|| {
+            let rs = iyp
+                .query("MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn")
+                .unwrap();
+            black_box(rs.rows.len())
+        })
+    });
+
+    g.bench_function("listing2_moas_prefixes", |b| {
+        b.iter(|| {
+            let rs = iyp
+                .query(
+                    "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+                     WHERE x.asn <> y.asn
+                     RETURN DISTINCT p.prefix",
+                )
+                .unwrap();
+            black_box(rs.rows.len())
+        })
+    });
+
+    g.bench_function("listing3_anchored_branching", |b| {
+        b.iter(|| {
+            let rs = iyp
+                .query(
+                    "MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)\
+                           -[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
+                     MATCH (pfx)-[:PART_OF]-(:IP)\
+                           -[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(h:HostName)
+                     RETURN DISTINCT h.name",
+                )
+                .unwrap();
+            black_box(rs.rows.len())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

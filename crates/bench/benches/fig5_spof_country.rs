@@ -1,0 +1,32 @@
+//! Figure 5: country-based SPoF in the DNS chain of the Tranco and
+//! Cisco Umbrella top lists.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::crawlers::{RANKING_TRANCO, RANKING_UMBRELLA};
+use iyp_core::studies::spof_study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let r = spof_study(iyp.graph(), RANKING_TRANCO);
+    let top = r.top_countries(5);
+    println!("[fig5] top countries (direct/third-party/hierarchical) over {} domains:", r.domains);
+    for (cc, [d, t, h]) in &top {
+        println!("[fig5]   {cc}: {d}/{t}/{h}");
+    }
+
+    let mut g = c.benchmark_group("fig5_spof_country");
+    g.sample_size(10);
+    g.bench_function("tranco", |b| {
+        b.iter(|| black_box(spof_study(iyp.graph(), RANKING_TRANCO).top_countries(10)))
+    });
+    g.bench_function("umbrella", |b| {
+        b.iter(|| black_box(spof_study(iyp.graph(), RANKING_UMBRELLA).top_countries(10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

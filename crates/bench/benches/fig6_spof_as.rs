@@ -1,0 +1,31 @@
+//! Figure 6: AS-based SPoF in the DNS chain (DNS-provider
+//! consolidation view).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::crawlers::{RANKING_TRANCO, RANKING_UMBRELLA};
+use iyp_core::studies::spof_study;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let r = spof_study(iyp.graph(), RANKING_TRANCO);
+    println!("[fig6] top ASes (direct/third-party/hierarchical) over {} domains:", r.domains);
+    for (name, [d, t, h]) in r.top_ases(5) {
+        println!("[fig6]   {name}: {d}/{t}/{h}");
+    }
+
+    let mut g = c.benchmark_group("fig6_spof_as");
+    g.sample_size(10);
+    g.bench_function("tranco", |b| {
+        b.iter(|| black_box(spof_study(iyp.graph(), RANKING_TRANCO).top_ases(10)))
+    });
+    g.bench_function("umbrella", |b| {
+        b.iter(|| black_box(spof_study(iyp.graph(), RANKING_UMBRELLA).top_ases(10)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Engine microbenches: store operations and query-engine stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::graph::{Graph, Props};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let mut g = c.benchmark_group("graph_engine");
+
+    g.bench_function("merge_node_10k", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            for i in 0..10_000u32 {
+                // Half the merges hit existing nodes.
+                graph.merge_node("AS", "asn", i % 5_000, Props::new());
+            }
+            black_box(graph.node_count())
+        })
+    });
+
+    g.bench_function("create_rel_10k", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let a = graph.merge_node("AS", "asn", 1u32, Props::new());
+            let p = graph.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+            for _ in 0..10_000 {
+                graph.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
+            }
+            black_box(graph.rel_count())
+        })
+    });
+
+    g.bench_function("cypher_parse", |b| {
+        b.iter(|| {
+            black_box(
+                iyp_core::cypher::parser::parse(
+                    "MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(p:Prefix)\
+                           -[:CATEGORIZED]-(t:Tag)
+                     WHERE t.label STARTS WITH 'RPKI' AND org.name <> 'x'
+                     RETURN p.prefix, count(DISTINCT t) AS c ORDER BY c DESC LIMIT 5",
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    g.bench_function("indexed_point_lookup", |b| {
+        // A single-node pattern resolved through the unique-key index.
+        let asn = iyp
+            .query("MATCH (a:AS) RETURN a.asn LIMIT 1")
+            .unwrap()
+            .single_int()
+            .unwrap();
+        let q = format!("MATCH (a:AS {{asn: {asn}}}) RETURN a.asn");
+        b.iter(|| black_box(iyp.query(&q).unwrap().rows.len()))
+    });
+
+    g.bench_function("two_hop_traversal", |b| {
+        b.iter(|| {
+            black_box(
+                iyp.query(
+                    "MATCH (a:AS)-[:ORIGINATE]-(:Prefix)-[:CATEGORIZED]-(t:Tag)
+                     RETURN count(*)",
+                )
+                .unwrap()
+                .single_int(),
+            )
+        })
+    });
+
+    g.bench_function("aggregation_group_by", |b| {
+        b.iter(|| {
+            black_box(
+                iyp.query(
+                    "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix)
+                     RETURN a.asn, count(p) AS c ORDER BY c DESC LIMIT 10",
+                )
+                .unwrap()
+                .rows
+                .len(),
+            )
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

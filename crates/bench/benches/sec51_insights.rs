@@ -1,0 +1,33 @@
+//! §5.1: combined RiPKI × DNS-robustness insights — nameserver RPKI
+//! coverage (§5.1.1) and hosting consolidation (§5.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::studies::{hosting_consolidation, nameserver_rpki};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let ns = nameserver_rpki(iyp.graph());
+    let hc = hosting_consolidation(iyp.graph());
+    println!(
+        "[sec5.1] ns prefixes covered {:.1}% (paper 48) | ns domains covered {:.1}% (paper 84)",
+        ns.prefix_covered_pct, ns.domain_covered_pct
+    );
+    println!(
+        "[sec5.1] hosting: prefix {:.1}% (52.2) domain {:.1}% (78.8) cdn-domain {:.1}% (96)",
+        hc.prefix_covered_pct, hc.domain_covered_pct, hc.cdn_domain_covered_pct
+    );
+
+    let mut g = c.benchmark_group("sec51_insights");
+    g.sample_size(10);
+    g.bench_function("nameserver_rpki", |b| b.iter(|| black_box(nameserver_rpki(iyp.graph()))));
+    g.bench_function("hosting_consolidation", |b| {
+        b.iter(|| black_box(hosting_consolidation(iyp.graph())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §3.1: the snapshot workflow — save and reload the knowledge graph
+//! in both formats, reporting sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::graph::snapshot;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let bin = snapshot::to_binary(iyp.graph());
+    let json = snapshot::to_json(iyp.graph()).unwrap();
+    println!(
+        "[snapshot] {} nodes {} rels — binary {} KiB, json {} KiB",
+        iyp.graph().node_count(),
+        iyp.graph().rel_count(),
+        bin.len() / 1024,
+        json.len() / 1024
+    );
+
+    let mut g = c.benchmark_group("snapshot");
+    g.sample_size(10);
+    g.bench_function("save_binary", |b| b.iter(|| black_box(snapshot::to_binary(iyp.graph()))));
+    g.bench_function("load_binary", |b| {
+        b.iter(|| black_box(snapshot::from_binary(&bin).unwrap().node_count()))
+    });
+    g.bench_function("save_json", |b| {
+        b.iter(|| black_box(snapshot::to_json(iyp.graph()).unwrap().len()))
+    });
+    g.bench_function("load_json", |b| {
+        b.iter(|| black_box(snapshot::from_json(&json).unwrap().node_count()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 2: the RiPKI reproduction, plus the §4.1.4 per-tag sweep.
+//!
+//! Prints the regenerated table once, then benchmarks the full
+//! time-to-insight (queries + aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::studies::{ripki_study, rpki_by_tag};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    // Regenerate the table once for the log.
+    let r = ripki_study(iyp.graph());
+    println!(
+        "[table2] invalid {:.2}% covered {:.1}% top {:.1}% bottom {:.1}% cdn {:.1}% \
+         (paper 2024: 0.12 / 52.2 / 55.2 / 61.5 / 68.4)",
+        r.invalid_pct, r.covered_pct, r.top_pct, r.bottom_pct, r.cdn_pct
+    );
+
+    let mut g = c.benchmark_group("table2_ripki");
+    g.sample_size(10);
+    g.bench_function("ripki_study", |b| b.iter(|| black_box(ripki_study(iyp.graph()))));
+    g.bench_function("rpki_by_tag_sweep", |b| b.iter(|| black_box(rpki_by_tag(iyp.graph()))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3: DNS best practices for `.com/.net/.org` domains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::studies::best_practices;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let r = best_practices(iyp.graph());
+    println!(
+        "[table3] coverage {:.1}% discarded {:.1}% meet {:.1}% exceed {:.1}% \
+         not-meet {:.1}% glue {:.1}% (paper 2024: 49 / 10 / 18 / 67 / 4 / 76)",
+        r.coverage_pct, r.discarded_pct, r.meet_pct, r.exceed_pct, r.not_meet_pct,
+        r.in_zone_glue_pct
+    );
+
+    let mut g = c.benchmark_group("table3_dns_bcp");
+    g.sample_size(10);
+    g.bench_function("best_practices", |b| b.iter(|| black_box(best_practices(iyp.graph()))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

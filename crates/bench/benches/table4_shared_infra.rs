@@ -1,0 +1,28 @@
+//! Table 4: DNS shared infrastructure for `.com/.net/.org`, grouped by
+//! exact NS set and by /24 — replicating the original study's setup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::studies::shared_infrastructure;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let r = shared_infrastructure(iyp.graph());
+    println!(
+        "[table4] by NS med {} max {} | by /24 med {} max {} \
+         (paper 2024: med 9 max 6k | med 3.9k max 114k)",
+        r.cno_by_ns.median, r.cno_by_ns.max, r.cno_by_slash24.median, r.cno_by_slash24.max
+    );
+
+    let mut g = c.benchmark_group("table4_shared_infra");
+    g.sample_size(10);
+    g.bench_function("shared_infrastructure", |b| {
+        b.iter(|| black_box(shared_infrastructure(iyp.graph())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

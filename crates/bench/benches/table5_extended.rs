@@ -1,0 +1,40 @@
+//! Table 5: shared infrastructure without the original limitations —
+//! BGP-prefix grouping (Listing 6) and the full Tranco list.
+//!
+//! The heavy part is the Listing 6 join (nameserver → IP → BGP prefix
+//! via the refinement links); it is benchmarked separately from the
+//! full table computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::studies::dns_robustness::{shared_infrastructure, Q_NS_BGP_PREFIXES};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let r = shared_infrastructure(iyp.graph());
+    println!(
+        "[table5] cno-by-prefix med {} max {} | all-by-prefix med {} max {} | all-by-ns med {} max {} \
+         (paper 2024: 4.1k/114k | 6k/187k | 15/25k)",
+        r.cno_by_prefix.median,
+        r.cno_by_prefix.max,
+        r.all_by_prefix.median,
+        r.all_by_prefix.max,
+        r.all_by_ns.median,
+        r.all_by_ns.max
+    );
+
+    let mut g = c.benchmark_group("table5_extended");
+    g.sample_size(10);
+    g.bench_function("listing6_ns_bgp_prefix_join", |b| {
+        b.iter(|| black_box(iyp.query(Q_NS_BGP_PREFIXES).unwrap().rows.len()))
+    });
+    g.bench_function("full_table5", |b| {
+        b.iter(|| black_box(shared_infrastructure(iyp.graph())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every bench target regenerates one table or figure of the paper (see
+//! `DESIGN.md` for the experiment index). The fixtures build the
+//! knowledge graph once per process at a scale controlled by
+//! `IYP_BENCH_SCALE` (`tiny` | `small` (default) | `default`).
+
+use iyp_core::{BuildOptions, Iyp, SimConfig, World};
+
+/// The benchmark seed, fixed for reproducibility.
+pub const SEED: u64 = 42;
+
+/// The scale selected via `IYP_BENCH_SCALE`.
+pub fn scale() -> SimConfig {
+    match std::env::var("IYP_BENCH_SCALE").as_deref() {
+        Ok("tiny") => SimConfig::tiny(),
+        Ok("default") | Ok("full") => SimConfig::default(),
+        _ => SimConfig::small(),
+    }
+}
+
+/// Generates the world at bench scale.
+pub fn world() -> World {
+    World::generate(&scale(), SEED)
+}
+
+/// Builds the full knowledge graph at bench scale.
+pub fn build_iyp() -> Iyp {
+    Iyp::build(&scale(), SEED).expect("bench build")
+}
+
+/// Builds without the refinement passes (ablation baseline).
+pub fn build_iyp_unrefined() -> Iyp {
+    let w = world();
+    Iyp::build_from_world(&w, &BuildOptions::default().without_refinement())
+        .expect("bench build (unrefined)")
+}

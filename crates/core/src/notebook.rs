@@ -1,0 +1,120 @@
+//! Shareable query notebooks (§6.2 of the paper).
+//!
+//! The paper distributes its reproductions as Jupyter notebooks whose
+//! cells are IYP queries; re-running a notebook against a newer
+//! snapshot refreshes the study. This module implements the same idea
+//! as plain text: a `.cypher` notebook is a sequence of cells —
+//! `//` commentary followed by one query — separated by `====` lines.
+//! [`run_notebook`] executes every cell and renders a Markdown report.
+
+use crate::Iyp;
+
+/// One notebook cell: commentary plus a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// The leading `//` commentary, stripped of markers.
+    pub comment: String,
+    /// The Cypher query text.
+    pub query: String,
+}
+
+/// A parsed notebook.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Notebook {
+    /// Title (from a leading `// #` line, if present).
+    pub title: String,
+    /// The cells, in order.
+    pub cells: Vec<Cell>,
+}
+
+/// Parses notebook text into cells.
+pub fn parse_notebook(text: &str) -> Notebook {
+    let mut title = String::new();
+    let mut cells = Vec::new();
+    for (i, block) in text.split("\n====").enumerate() {
+        let mut comment_lines: Vec<&str> = Vec::new();
+        let mut query_lines: Vec<&str> = Vec::new();
+        for line in block.lines() {
+            let trimmed = line.trim();
+            if let Some(c) = trimmed.strip_prefix("//") {
+                let c = c.trim();
+                if i == 0 && title.is_empty() {
+                    if let Some(t) = c.strip_prefix('#') {
+                        title = t.trim().to_string();
+                        continue;
+                    }
+                }
+                if query_lines.is_empty() {
+                    comment_lines.push(c);
+                } // trailing comments after the query are ignored
+            } else if !trimmed.is_empty() {
+                query_lines.push(line);
+            }
+        }
+        if !query_lines.is_empty() {
+            cells.push(Cell {
+                comment: comment_lines.join(" ").trim().to_string(),
+                query: query_lines.join("\n"),
+            });
+        }
+    }
+    Notebook { title, cells }
+}
+
+/// Executes a notebook against an IYP instance, returning a Markdown
+/// report (cell commentary, the query, and its result table).
+pub fn run_notebook(iyp: &Iyp, notebook: &Notebook) -> Result<String, crate::CypherError> {
+    let mut out = String::new();
+    if !notebook.title.is_empty() {
+        out.push_str(&format!("# {}\n\n", notebook.title));
+    }
+    for (i, cell) in notebook.cells.iter().enumerate() {
+        out.push_str(&format!("## Cell {}\n\n", i + 1));
+        if !cell.comment.is_empty() {
+            out.push_str(&format!("{}\n\n", cell.comment));
+        }
+        out.push_str("```cypher\n");
+        out.push_str(&cell.query);
+        out.push_str("\n```\n\n");
+        let rs = iyp.query(&cell.query)?;
+        out.push_str("```text\n");
+        out.push_str(&rs.render(iyp.graph()));
+        out.push_str("```\n\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_cells_and_title() {
+        let nb = parse_notebook(
+            "// # My study\n// First question.\nMATCH (n) RETURN count(n)\n====\n\
+             // Second question,\n// continued.\nMATCH (m:AS)\nRETURN m.asn\n",
+        );
+        assert_eq!(nb.title, "My study");
+        assert_eq!(nb.cells.len(), 2);
+        assert_eq!(nb.cells[0].comment, "First question.");
+        assert_eq!(nb.cells[1].comment, "Second question, continued.");
+        assert!(nb.cells[1].query.contains("RETURN m.asn"));
+    }
+
+    #[test]
+    fn empty_blocks_are_skipped() {
+        let nb = parse_notebook("// only comments here\n====\nMATCH (n) RETURN n\n====\n\n");
+        assert_eq!(nb.cells.len(), 1);
+    }
+
+    #[test]
+    fn runs_against_an_instance() {
+        let iyp = crate::Iyp::build(&crate::SimConfig::tiny(), 7).unwrap();
+        let nb = parse_notebook("// # T\n// Count ASes.\nMATCH (a:AS) RETURN count(a) AS n\n");
+        let report = run_notebook(&iyp, &nb).unwrap();
+        assert!(report.contains("# T"));
+        assert!(report.contains("Count ASes."));
+        assert!(report.contains("```cypher"));
+        assert!(report.contains("n\n"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Alice-LG route-server looking-glass crawler (all seven IXPs).
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// One looking-glass snapshot: `{ixp, neighbours: [{asn, description,
+/// state}]}` → `AS -MEMBER_OF→ IXP` for every neighbour in state `up`.
+pub fn import(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse("alice-lg", e.to_string()))?;
+    let ixp_name = v["ixp"]
+        .as_str()
+        .ok_or_else(|| CrawlError::parse("alice-lg", "missing ixp"))?;
+    let ix = imp.ixp_node(ixp_name);
+    for n in v["neighbours"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse("alice-lg", "missing neighbours"))?
+    {
+        let asn = n["asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse("alice-lg", "neighbour asn"))? as u32;
+        if n["state"].as_str() != Some("up") {
+            continue;
+        }
+        let a = imp.as_node(asn);
+        let mut extra = props([]);
+        if let Some(d) = n["description"].as_str() {
+            extra.insert("description".into(), Value::Str(d.into()));
+        }
+        imp.link(a, Relationship::MemberOf, ix, extra)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn members_join_named_ixps() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::AliceLgAmsIx);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Alice-LG", "alice_lg.ams_ix", 0));
+        import(&mut imp, &text).unwrap();
+        let links = imp.link_count();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("IXP"), 1);
+        assert_eq!(links, w.ixps[0].members.len());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("Alice-LG", "x", 0));
+        assert!(import(&mut imp, "{}").is_err());
+        assert!(import(&mut imp, "{\"ixp\":\"X\",\"neighbours\":[{}]}").is_err());
+    }
+}

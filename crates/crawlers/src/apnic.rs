@@ -1,0 +1,52 @@
+//! APNIC AS population estimate crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// JSON array of `{asn, cc, users, percent}` → `AS -POPULATION→
+/// Country` with the estimated share.
+pub fn import_population(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse("apnic", e.to_string()))?;
+    let entries =
+        v.as_array().ok_or_else(|| CrawlError::parse("apnic", "expected array"))?;
+    for e in entries {
+        let asn =
+            e["asn"].as_u64().ok_or_else(|| CrawlError::parse("apnic", "missing asn"))? as u32;
+        let cc = e["cc"].as_str().ok_or_else(|| CrawlError::parse("apnic", "missing cc"))?;
+        let a = imp.as_node(asn);
+        let c = imp.country_node(cc)?;
+        imp.link(
+            a,
+            Relationship::Population,
+            c,
+            props([
+                ("percent", Value::Float(e["percent"].as_f64().unwrap_or(0.0))),
+                ("users", e["users"].as_i64().into()),
+            ]),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn population_links() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::ApnicPopulation);
+        let mut imp = Importer::new(&mut g, Reference::new("APNIC", "apnic.aspop", 0));
+        import_population(&mut imp, &text).unwrap();
+        let links = imp.link_count();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(links, w.as_population.len());
+    }
+}

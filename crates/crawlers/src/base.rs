@@ -1,0 +1,284 @@
+//! The importer framework shared by all crawlers.
+
+use crate::error::CrawlError;
+use iyp_graph::{Graph, NodeId, Props, RelId, Value};
+use iyp_netdata::{canon, country};
+use iyp_ontology::{Entity, Reference, Relationship};
+
+/// Canonical name of the Tranco ranking node.
+pub const RANKING_TRANCO: &str = "Tranco top 1M";
+/// Canonical name of the Cisco Umbrella ranking node.
+pub const RANKING_UMBRELLA: &str = "Cisco Umbrella Top 1M";
+/// Canonical name of the Cloudflare top-100 ranking node.
+pub const RANKING_CLOUDFLARE_TOP100: &str = "Cloudflare top 100 domains";
+
+/// A graph-writing session for one dataset import.
+///
+/// Wraps the graph with the dataset's [`Reference`] so that every link
+/// created through it carries the provenance properties, and provides
+/// canonicalising node constructors for the ontology entities.
+pub struct Importer<'g> {
+    graph: &'g mut Graph,
+    reference: Reference,
+    links: usize,
+}
+
+impl<'g> Importer<'g> {
+    /// Starts an import session.
+    pub fn new(graph: &'g mut Graph, reference: Reference) -> Self {
+        Importer { graph, reference, links: 0 }
+    }
+
+    /// Number of links created so far.
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// Direct read access to the underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    // ------------------------------------------------------------------
+    // Canonicalising node constructors
+    // ------------------------------------------------------------------
+
+    /// AS node by ASN.
+    pub fn as_node(&mut self, asn: u32) -> NodeId {
+        self.graph
+            .merge_node(Entity::As.label(), "asn", asn as i64, Props::new())
+    }
+
+    /// AS node from a textual ASN (accepts `AS2497`, `2497`, asdot).
+    pub fn as_node_str(&mut self, s: &str) -> Result<NodeId, CrawlError> {
+        let asn: iyp_netdata::Asn = s
+            .parse()
+            .map_err(|e| CrawlError::parse("asn", format!("{e}")))?;
+        Ok(self.as_node(asn.value()))
+    }
+
+    /// Prefix node from any textual form; canonicalises.
+    pub fn prefix_node(&mut self, s: &str) -> Result<NodeId, CrawlError> {
+        let canonical =
+            canon::prefix(s).map_err(|e| CrawlError::parse("prefix", format!("{e}")))?;
+        Ok(self
+            .graph
+            .merge_node(Entity::Prefix.label(), "prefix", canonical, Props::new()))
+    }
+
+    /// IP node from any textual form; canonicalises.
+    pub fn ip_node(&mut self, s: &str) -> Result<NodeId, CrawlError> {
+        let canonical = canon::ip(s).map_err(|e| CrawlError::parse("ip", format!("{e}")))?;
+        Ok(self.graph.merge_node(Entity::Ip.label(), "ip", canonical, Props::new()))
+    }
+
+    /// Country node; ensures alpha-2/alpha-3/name properties (§2.3).
+    pub fn country_node(&mut self, code: &str) -> Result<NodeId, CrawlError> {
+        let alpha2 = canon::country_code(code)
+            .map_err(|e| CrawlError::parse("country", format!("{e}")))?;
+        let info = country::by_alpha2(&alpha2).expect("canonical code resolves");
+        let mut props = Props::new();
+        props.insert("alpha3".into(), Value::Str(info.alpha3.into()));
+        props.insert("name".into(), Value::Str(info.name.into()));
+        Ok(self
+            .graph
+            .merge_node(Entity::Country.label(), "country_code", alpha2, props))
+    }
+
+    /// HostName node (lower-cased, trailing dot stripped).
+    pub fn hostname_node(&mut self, name: &str) -> NodeId {
+        let canonical = canon::hostname(name);
+        self.graph
+            .merge_node(Entity::HostName.label(), "name", canonical, Props::new())
+    }
+
+    /// DomainName node (lower-cased, trailing dot stripped).
+    pub fn domain_node(&mut self, name: &str) -> NodeId {
+        let canonical = canon::hostname(name);
+        self.graph
+            .merge_node(Entity::DomainName.label(), "name", canonical, Props::new())
+    }
+
+    /// Authoritative nameserver: a HostName node that also carries the
+    /// AuthoritativeNameServer label (matching IYP's modelling).
+    pub fn nameserver_node(&mut self, name: &str) -> NodeId {
+        let id = self.hostname_node(name);
+        self.graph
+            .add_label(id, Entity::AuthoritativeNameServer.label())
+            .expect("node exists");
+        id
+    }
+
+    /// Tag node by label.
+    pub fn tag_node(&mut self, label: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Tag.label(), "label", label, Props::new())
+    }
+
+    /// Name node.
+    pub fn name_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Name.label(), "name", name, Props::new())
+    }
+
+    /// Organization node.
+    pub fn org_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Organization.label(), "name", name, Props::new())
+    }
+
+    /// IXP node by name.
+    pub fn ixp_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Ixp.label(), "name", name, Props::new())
+    }
+
+    /// Facility node by name.
+    pub fn facility_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Facility.label(), "name", name, Props::new())
+    }
+
+    /// Ranking node by name.
+    pub fn ranking_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Ranking.label(), "name", name, Props::new())
+    }
+
+    /// URL node.
+    pub fn url_node(&mut self, url: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Url.label(), "url", url.trim(), Props::new())
+    }
+
+    /// OpaqueID node (RIR delegated files).
+    pub fn opaque_id_node(&mut self, id: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::OpaqueId.label(), "id", id, Props::new())
+    }
+
+    /// BGP collector node.
+    pub fn collector_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::BgpCollector.label(), "name", name, Props::new())
+    }
+
+    /// Estimate node.
+    pub fn estimate_node(&mut self, name: &str) -> NodeId {
+        self.graph
+            .merge_node(Entity::Estimate.label(), "name", name, Props::new())
+    }
+
+    /// Atlas probe node.
+    pub fn probe_node(&mut self, id: i64) -> NodeId {
+        self.graph
+            .merge_node(Entity::AtlasProbe.label(), "id", id, Props::new())
+    }
+
+    /// Atlas measurement node.
+    pub fn measurement_node(&mut self, id: i64) -> NodeId {
+        self.graph
+            .merge_node(Entity::AtlasMeasurement.label(), "id", id, Props::new())
+    }
+
+    /// PeeringDB-style external-id node (entity picks the label).
+    pub fn external_id_node(&mut self, entity: Entity, id: i64) -> NodeId {
+        self.graph.merge_node(entity.label(), "id", id, Props::new())
+    }
+
+    // ------------------------------------------------------------------
+    // Links
+    // ------------------------------------------------------------------
+
+    /// Creates a provenance-stamped relationship.
+    pub fn link(
+        &mut self,
+        src: NodeId,
+        rel: Relationship,
+        dst: NodeId,
+        extra: Props,
+    ) -> Result<RelId, CrawlError> {
+        let props = self.reference.to_props(extra);
+        let id = self.graph.create_rel(src, rel.type_name(), dst, props)?;
+        self.links += 1;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::props;
+    use iyp_ontology::reference::KEY_NAME;
+
+    fn importer(graph: &mut Graph) -> Importer<'_> {
+        Importer::new(graph, Reference::new("TestOrg", "test.ds", 1_714_521_600))
+    }
+
+    #[test]
+    fn canonicalisation_merges_spellings() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        let a = imp.prefix_node("2001:DB8::/32").unwrap();
+        let b = imp.prefix_node("2001:0db8::/32").unwrap();
+        assert_eq!(a, b);
+        let c = imp.ip_node("2001:DB8::0001").unwrap();
+        let d = imp.ip_node("2001:db8::1").unwrap();
+        assert_eq!(c, d);
+        let e = imp.hostname_node("WWW.Example.COM.");
+        let f = imp.hostname_node("www.example.com");
+        assert_eq!(e, f);
+        let x = imp.as_node_str("AS2497").unwrap();
+        let y = imp.as_node(2497);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn country_nodes_carry_all_codes() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        let jp = imp.country_node("jp").unwrap();
+        let node = g.node(jp).unwrap();
+        assert_eq!(node.prop("country_code").unwrap().as_str(), Some("JP"));
+        assert_eq!(node.prop("alpha3").unwrap().as_str(), Some("JPN"));
+        assert_eq!(node.prop("name").unwrap().as_str(), Some("Japan"));
+    }
+
+    #[test]
+    fn links_carry_reference_props() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        let a = imp.as_node(2497);
+        let p = imp.prefix_node("10.0.0.0/8").unwrap();
+        let r = imp
+            .link(a, Relationship::Originate, p, props([("count", Value::Int(3))]))
+            .unwrap();
+        assert_eq!(imp.link_count(), 1);
+        let rel = g.rel(r).unwrap();
+        assert_eq!(rel.prop(KEY_NAME).unwrap().as_str(), Some("test.ds"));
+        assert_eq!(rel.prop("count").unwrap().as_int(), Some(3));
+    }
+
+    #[test]
+    fn nameserver_nodes_are_dual_labelled() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        let ns = imp.nameserver_node("NS1.Example.net.");
+        let node = g.node(ns).unwrap();
+        assert_eq!(node.labels.len(), 2);
+        assert_eq!(node.prop("name").unwrap().as_str(), Some("ns1.example.net"));
+        // Merging as plain hostname later hits the same node.
+        let mut imp = importer(&mut g);
+        assert_eq!(imp.hostname_node("ns1.example.net"), ns);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        assert!(imp.prefix_node("not-a-prefix").is_err());
+        assert!(imp.ip_node("999.1.1.1").is_err());
+        assert!(imp.country_node("XQ").is_err());
+        assert!(imp.as_node_str("ASXYZ").is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! BGPKIT crawlers: `pfx2as`, `as2rel`, `peer-stats`.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+const DS: &str = "bgpkit";
+
+fn json(text: &str) -> Result<serde_json::Value, CrawlError> {
+    serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))
+}
+
+/// `pfx2as`: JSON array of `{prefix, asn, count}` → `AS -ORIGINATE→
+/// Prefix` links with the observation count.
+pub fn import_pfx2as(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let entries = v
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "pfx2as: expected array"))?;
+    for e in entries {
+        let prefix = e["prefix"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing prefix"))?;
+        let asn = e["asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing asn"))? as u32;
+        let count = e["count"].as_i64().unwrap_or(0);
+        let a = imp.as_node(asn);
+        let p = imp.prefix_node(prefix)?;
+        imp.link(a, Relationship::Originate, p, props([("count", Value::Int(count))]))?;
+    }
+    Ok(())
+}
+
+/// `as2rel`: JSON array of `{asn1, asn2, rel}` → `PEERS_WITH` links with
+/// the relationship kind as a property (`rel` 0 = peer, 1 = asn1 is the
+/// provider of asn2).
+pub fn import_as2rel(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let entries = v
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "as2rel: expected array"))?;
+    for e in entries {
+        let a1 = e["asn1"].as_u64().ok_or_else(|| CrawlError::parse(DS, "as2rel: asn1"))? as u32;
+        let a2 = e["asn2"].as_u64().ok_or_else(|| CrawlError::parse(DS, "as2rel: asn2"))? as u32;
+        let rel = e["rel"].as_i64().unwrap_or(0);
+        let n1 = imp.as_node(a1);
+        let n2 = imp.as_node(a2);
+        imp.link(n1, Relationship::PeersWith, n2, props([("rel", Value::Int(rel))]))?;
+    }
+    Ok(())
+}
+
+/// `peer-stats`: collectors and their full-feed peers → `BGPCollector`
+/// nodes and `AS -PEERS_WITH→ BGPCollector` links.
+pub fn import_peer_stats(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let collectors = v["collectors"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "peer-stats: missing collectors"))?;
+    for c in collectors {
+        let name = c["collector"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "peer-stats: collector name"))?;
+        let col = imp.collector_node(name);
+        for p in c["peers"].as_array().unwrap_or(&Vec::new()) {
+            let asn =
+                p["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "peer-stats: asn"))? as u32;
+            let a = imp.as_node(asn);
+            let mut extra = props([]);
+            if let Some(ip) = p["ip"].as_str() {
+                extra.insert("ip".into(), Value::Str(ip.to_string()));
+            }
+            if let Some(n) = p["num_v4_pfxs"].as_i64() {
+                extra.insert("num_v4_pfxs".into(), Value::Int(n));
+            }
+            imp.link(a, Relationship::PeersWith, col, extra)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{SimConfig, World};
+
+    fn import_all() -> Graph {
+        let w = World::generate(&SimConfig::tiny(), 3);
+        let mut g = Graph::new();
+        for (id, f) in [
+            (iyp_simnet::DatasetId::BgpkitPfx2as, import_pfx2as as fn(&mut Importer, &str) -> _),
+            (iyp_simnet::DatasetId::BgpkitAs2rel, import_as2rel),
+            (iyp_simnet::DatasetId::BgpkitPeerStats, import_peer_stats),
+        ] {
+            let text = w.render_dataset(id);
+            let mut imp = Importer::new(
+                &mut g,
+                Reference::new(id.organization(), id.name(), w.fetch_time),
+            );
+            f(&mut imp, &text).unwrap();
+            assert!(imp.link_count() > 0, "{id:?} created no links");
+        }
+        g
+    }
+
+    #[test]
+    fn imports_are_ontology_valid() {
+        let g = import_all();
+        assert!(validate_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn pfx2as_counts_match_world() {
+        let w = World::generate(&SimConfig::tiny(), 3);
+        let mut g = Graph::new();
+        let text = w.render_dataset(iyp_simnet::DatasetId::BgpkitPfx2as);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("BGPKIT", "bgpkit.pfx2as", w.fetch_time));
+        import_pfx2as(&mut imp, &text).unwrap();
+        assert_eq!(imp.link_count(), w.prefixes.len());
+        assert_eq!(g.label_count("Prefix"), w.prefixes.len());
+    }
+
+    #[test]
+    fn collectors_exist() {
+        let g = import_all();
+        assert!(g.label_count("BGPCollector") >= 4);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("BGPKIT", "x", 0));
+        assert!(import_pfx2as(&mut imp, "not json").is_err());
+        assert!(import_pfx2as(&mut imp, "{}").is_err());
+        assert!(import_as2rel(&mut imp, "[{\"asn1\": \"oops\"}]").is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! BGP.Tools crawlers: AS names, AS tags, anycast prefixes.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+const DS: &str = "bgptools";
+
+/// AS names CSV (`asn,name` with `AS` prefixes).
+pub fn import_as_names(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (asn, name) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse(DS, format!("as_names line {ln}")))?;
+        let a = imp.as_node_str(asn)?;
+        let n = imp.name_node(name.trim_matches('"'));
+        imp.link(a, Relationship::Name, n, props([]))?;
+    }
+    Ok(())
+}
+
+/// AS tags CSV (`asn,tag`) → `AS -CATEGORIZED→ Tag` (the tags the
+/// paper's §4.1.4 per-category RPKI breakdown is built on).
+pub fn import_tags(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (asn, tag) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse(DS, format!("tags line {ln}")))?;
+        let a = imp.as_node_str(asn)?;
+        let t = imp.tag_node(tag.trim_matches('"'));
+        imp.link(a, Relationship::Categorized, t, props([]))?;
+    }
+    Ok(())
+}
+
+/// Anycast prefixes (one per line) → `Prefix -CATEGORIZED→
+/// Tag{label:'Anycast'}`.
+pub fn import_anycast(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let tag = imp.tag_node("Anycast");
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let p = imp.prefix_node(line)?;
+        imp.link(p, Relationship::Categorized, tag, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn tags_and_anycast_import() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        for (id, f) in [
+            (DatasetId::BgptoolsAsNames, import_as_names as fn(&mut Importer, &str) -> _),
+            (DatasetId::BgptoolsTags, import_tags),
+            (DatasetId::BgptoolsAnycast, import_anycast),
+        ] {
+            let text = w.render_dataset(id);
+            let mut imp =
+                Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
+            f(&mut imp, &text).unwrap();
+        }
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.lookup("Tag", "label", "Content Delivery Network").is_some());
+        assert!(g.lookup("Tag", "label", "Anycast").is_some());
+        let anycast_truth = w.prefixes.iter().filter(|p| p.anycast).count();
+        let t = g.lookup("Tag", "label", "Anycast").unwrap();
+        assert_eq!(
+            g.rels_of(t, iyp_graph::Direction::Both, None).count(),
+            anycast_truth
+        );
+    }
+
+    #[test]
+    fn bad_lines_error() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("BGP.Tools", "x", 0));
+        assert!(import_as_names(&mut imp, "asn,name\nnocomma\n").is_err());
+        assert!(import_anycast(&mut imp, "not-a-prefix\n").is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! CAIDA crawlers: ASRank and the IXP dataset.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::{Entity, Relationship};
+
+const DS: &str = "caida";
+
+/// ASRank JSON lines → `AS -RANK→ Ranking{'CAIDA ASRank'}` with rank
+/// and customer-cone size, plus name/country trimmings.
+pub fn import_asrank(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let ranking = imp.ranking_node("CAIDA ASRank");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
+        let asn =
+            v["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "asrank: asn"))? as u32;
+        let rank = v["rank"].as_i64().ok_or_else(|| CrawlError::parse(DS, "asrank: rank"))?;
+        let a = imp.as_node(asn);
+        imp.link(
+            a,
+            Relationship::Rank,
+            ranking,
+            props([
+                ("rank", Value::Int(rank)),
+                ("cone_size", v["cone_size"].as_i64().into()),
+            ]),
+        )?;
+        if let Some(org) = v["organization"].as_str() {
+            let o = imp.org_node(org);
+            imp.link(a, Relationship::ManagedBy, o, props([]))?;
+        }
+        if let Some(cc) = v["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(a, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// CAIDA IXPs JSON lines → `IXP` nodes with `CaidaIXID` external ids
+/// and peering-LAN prefixes.
+pub fn import_ixps(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
+        let name = v["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "ixs: name"))?;
+        let id = v["ix_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ixs: ix_id"))?;
+        let ix = imp.ixp_node(name);
+        let ext = imp.external_id_node(Entity::CaidaIxId, id);
+        imp.link(ix, Relationship::ExternalId, ext, props([]))?;
+        if let Some(cc) = v["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(ix, Relationship::Country, c, props([]))?;
+            }
+        }
+        for p in v["prefixes"]["ipv4"].as_array().unwrap_or(&Vec::new()) {
+            if let Some(pfx) = p.as_str() {
+                let pn = imp.prefix_node(pfx)?;
+                imp.link(pn, Relationship::ManagedBy, ix, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn asrank_links_rank_org_country() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::CaidaAsRank);
+        let mut imp = Importer::new(&mut g, Reference::new("CAIDA", "caida.asrank", 0));
+        import_asrank(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("AS"), w.ases.len());
+        assert!(g.label_count("Organization") > 0);
+        // Rank 1 belongs to the AS with the largest cone.
+        let ranking = g.lookup("Ranking", "name", "CAIDA ASRank").unwrap();
+        let best = g
+            .rels_of(ranking, iyp_graph::Direction::Both, None)
+            .find(|r| r.prop("rank").and_then(|v| v.as_int()) == Some(1))
+            .unwrap();
+        assert!(best.prop("cone_size").unwrap().as_int().unwrap() > 1);
+    }
+
+    #[test]
+    fn ixps_merge_by_name_with_peeringdb() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        // PeeringDB first, CAIDA second: same IXP names must merge.
+        let text = w.render_dataset(DatasetId::PeeringdbIx);
+        let mut imp = Importer::new(&mut g, Reference::new("PeeringDB", "peeringdb.ix", 0));
+        crate::peeringdb::import_ix(&mut imp, &text).unwrap();
+        let text = w.render_dataset(DatasetId::CaidaIxps);
+        let mut imp = Importer::new(&mut g, Reference::new("CAIDA", "caida.ixs", 0));
+        import_ixps(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("IXP"), w.ixps.len());
+        assert_eq!(g.label_count("CaidaIXID"), w.ixps.len());
+        assert_eq!(g.label_count("PeeringdbIXID"), w.ixps.len());
+    }
+}

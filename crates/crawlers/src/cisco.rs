@@ -1,0 +1,46 @@
+//! Cisco Umbrella popularity list crawler.
+
+use crate::base::{Importer, RANKING_UMBRELLA};
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// CSV `rank,domain` → `DomainName -RANK→ Ranking{'Cisco Umbrella Top
+/// 1M'}`.
+pub fn import_umbrella(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let ranking = imp.ranking_node(RANKING_UMBRELLA);
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (rank, domain) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse("cisco", format!("line {ln}: {line:?}")))?;
+        let rank: i64 = rank
+            .parse()
+            .map_err(|_| CrawlError::parse("cisco", format!("line {ln}: bad rank")))?;
+        let d = imp.domain_node(domain);
+        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn umbrella_subset_imports() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::CiscoUmbrella);
+        let mut imp = Importer::new(&mut g, Reference::new("Cisco", "cisco.umbrella_top1m", 0));
+        import_umbrella(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        let truth = w.domains.iter().filter(|d| d.umbrella_rank.is_some()).count();
+        assert_eq!(g.label_count("DomainName"), truth);
+    }
+}

@@ -1,0 +1,45 @@
+//! Citizen Lab URL testing list crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+/// CSV `url,category_code,category_description,...` → `URL
+/// -CATEGORIZED→ Tag` (one tag per category description).
+pub fn import_urls(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 3 {
+            return Err(CrawlError::parse("citizenlab", format!("line {ln}: {line:?}")));
+        }
+        let u = imp.url_node(fields[0]);
+        let t = imp.tag_node(fields[2]);
+        imp.link(u, Relationship::Categorized, t, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn urls_are_tagged() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::CitizenLabUrls);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Citizen Lab", "citizenlab.urldb", 0));
+        import_urls(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.label_count("URL") > 0);
+        assert!(g.lookup("Tag", "label", "News Media").is_some());
+    }
+}

@@ -1,0 +1,147 @@
+//! Cloudflare radar crawlers: DNS query origins and rankings.
+
+use crate::base::{Importer, RANKING_CLOUDFLARE_TOP100};
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+const DS: &str = "cloudflare";
+
+fn json(text: &str) -> Result<serde_json::Value, CrawlError> {
+    serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))
+}
+
+/// `dns/top/ases`: `DomainName -QUERIED_FROM→ AS` with the query share.
+pub fn import_dns_top_ases(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let results = v["result"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "dns_top_ases: missing result"))?;
+    for r in results {
+        let domain = r["domain"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "dns_top_ases: domain"))?;
+        let d = imp.domain_node(domain);
+        for e in r["top_ases"].as_array().unwrap_or(&Vec::new()) {
+            let asn = e["clientASN"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "dns_top_ases: clientASN"))?
+                as u32;
+            let a = imp.as_node(asn);
+            let value: f64 = e["value"].as_str().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            imp.link(d, Relationship::QueriedFrom, a, props([("value", Value::Float(value))]))?;
+        }
+    }
+    Ok(())
+}
+
+/// `dns/top/locations`: `DomainName -QUERIED_FROM→ Country`.
+pub fn import_dns_top_locations(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let results = v["result"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "dns_top_locations: missing result"))?;
+    for r in results {
+        let domain = r["domain"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "dns_top_locations: domain"))?;
+        let d = imp.domain_node(domain);
+        for e in r["top_locations"].as_array().unwrap_or(&Vec::new()) {
+            let cc = e["clientCountryAlpha2"]
+                .as_str()
+                .ok_or_else(|| CrawlError::parse(DS, "dns_top_locations: country"))?;
+            let c = imp.country_node(cc)?;
+            let value: f64 = e["value"].as_str().and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            imp.link(d, Relationship::QueriedFrom, c, props([("value", Value::Float(value))]))?;
+        }
+    }
+    Ok(())
+}
+
+/// `ranking/top`: the top-100 ranking.
+pub fn import_ranking_top(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let top = v["result"]["top_0"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "ranking_top: missing top_0"))?;
+    let ranking = imp.ranking_node(RANKING_CLOUDFLARE_TOP100);
+    for e in top {
+        let domain =
+            e["domain"].as_str().ok_or_else(|| CrawlError::parse(DS, "ranking_top: domain"))?;
+        let rank = e["rank"].as_i64().unwrap_or(0);
+        let d = imp.domain_node(domain);
+        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+    }
+    Ok(())
+}
+
+/// `radar/datasets` ranking buckets: one Ranking node per bucket.
+pub fn import_ranking_buckets(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v = json(text)?;
+    let datasets = v["result"]["datasets"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "ranking_bucket: missing datasets"))?;
+    for b in datasets {
+        let bucket =
+            b["bucket"].as_str().ok_or_else(|| CrawlError::parse(DS, "ranking_bucket: name"))?;
+        let ranking = imp.ranking_node(&format!("Cloudflare {bucket}"));
+        for d in b["domains"].as_array().unwrap_or(&Vec::new()) {
+            let Some(domain) = d.as_str() else { continue };
+            let dn = imp.domain_node(domain);
+            imp.link(dn, Relationship::Rank, ranking, props([]))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    fn run(id: DatasetId, f: fn(&mut Importer, &str) -> Result<(), CrawlError>) -> Graph {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(id);
+        let mut imp =
+            Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
+        f(&mut imp, &text).unwrap();
+        assert!(imp.link_count() > 0);
+        g
+    }
+
+    #[test]
+    fn all_four_import_and_validate() {
+        for (id, f) in [
+            (
+                DatasetId::CloudflareDnsTopAses,
+                import_dns_top_ases as fn(&mut Importer, &str) -> _,
+            ),
+            (DatasetId::CloudflareDnsTopLocations, import_dns_top_locations),
+            (DatasetId::CloudflareRankingTop, import_ranking_top),
+            (DatasetId::CloudflareRankingBuckets, import_ranking_buckets),
+        ] {
+            let g = run(id, f);
+            assert!(validate_graph(&g).is_empty(), "{id:?}");
+        }
+    }
+
+    #[test]
+    fn buckets_create_rankings() {
+        let g = run(DatasetId::CloudflareRankingBuckets, import_ranking_buckets);
+        assert!(g.lookup("Ranking", "name", "Cloudflare top_100").is_some());
+        assert!(g.lookup("Ranking", "name", "Cloudflare top_1000").is_some());
+    }
+
+    #[test]
+    fn queried_from_carries_value() {
+        let g = run(DatasetId::CloudflareDnsTopAses, import_dns_top_ases);
+        let r = g
+            .all_rels()
+            .find(|r| g.symbols().rel_type_name(r.rel_type) == "QUERIED_FROM")
+            .unwrap();
+        assert!(r.prop("value").unwrap().as_float().unwrap() > 0.0);
+    }
+}

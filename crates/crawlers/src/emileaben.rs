@@ -1,0 +1,50 @@
+//! Emile Aben's asnames crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+/// `AS<asn> <name>` lines → `AS -NAME→ Name`.
+pub fn import_as_names(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (asn, name) = line
+            .split_once(' ')
+            .ok_or_else(|| CrawlError::parse("emileaben", format!("line {ln}: {line:?}")))?;
+        let a = imp.as_node_str(asn)?;
+        let n = imp.name_node(name.trim());
+        imp.link(a, Relationship::Name, n, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn names_merge_with_other_sources() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::EmileAbenAsNames);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Emile Aben", "emileaben.as_names", 0));
+        import_as_names(&mut imp, &text).unwrap();
+        // Same names from BGP.Tools merge onto the same Name nodes but
+        // produce distinct links.
+        let names_before = g.label_count("Name");
+        let text = w.render_dataset(DatasetId::BgptoolsAsNames);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("BGP.Tools", "bgptools.as_names", 0));
+        crate::bgptools::import_as_names(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("Name"), names_before);
+        assert_eq!(g.rel_count(), 2 * w.ases.len());
+    }
+}

@@ -1,0 +1,36 @@
+//! Crawler errors.
+
+use std::fmt;
+
+/// Errors raised while parsing or importing a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrawlError {
+    /// The dataset text could not be parsed.
+    Parse { dataset: &'static str, msg: String },
+    /// A graph operation failed.
+    Graph(String),
+}
+
+impl CrawlError {
+    /// Builds a parse error.
+    pub fn parse(dataset: &'static str, msg: impl Into<String>) -> Self {
+        CrawlError::Parse { dataset, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrawlError::Parse { dataset, msg } => write!(f, "{dataset}: parse error: {msg}"),
+            CrawlError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {}
+
+impl From<iyp_graph::GraphError> for CrawlError {
+    fn from(e: iyp_graph::GraphError) -> Self {
+        CrawlError::Graph(e.to_string())
+    }
+}

@@ -1,0 +1,155 @@
+//! IHR crawlers: AS hegemony, country dependency, ROV.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+const DS: &str = "ihr";
+
+/// Hegemony CSV `timebin,originasn,asn,hege,af` → `AS -DEPENDS_ON→ AS`
+/// with the hegemony score. Self-dependencies (origin == asn) are
+/// skipped, as in the real importer.
+pub fn import_hegemony(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 5 {
+            return Err(CrawlError::parse(DS, format!("hegemony line {ln}: {line:?}")));
+        }
+        let origin: u32 = f[1]
+            .parse()
+            .map_err(|_| CrawlError::parse(DS, format!("hegemony line {ln}: bad origin")))?;
+        let dep: u32 = f[2]
+            .parse()
+            .map_err(|_| CrawlError::parse(DS, format!("hegemony line {ln}: bad asn")))?;
+        let hege: f64 = f[3]
+            .parse()
+            .map_err(|_| CrawlError::parse(DS, format!("hegemony line {ln}: bad hege")))?;
+        if origin == dep {
+            continue;
+        }
+        let a = imp.as_node(origin);
+        let b = imp.as_node(dep);
+        imp.link(a, Relationship::DependsOn, b, props([("hege", Value::Float(hege))]))?;
+    }
+    Ok(())
+}
+
+/// Country dependency CSV `country,asn,hege` → `Country -DEPENDS_ON→ AS`.
+pub fn import_country_dependency(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 3 {
+            return Err(CrawlError::parse(DS, format!("country dep line {ln}: {line:?}")));
+        }
+        let c = imp.country_node(f[0])?;
+        let a = imp.as_node_str(f[1])?;
+        let hege: f64 = f[2]
+            .parse()
+            .map_err(|_| CrawlError::parse(DS, format!("country dep line {ln}: bad hege")))?;
+        imp.link(c, Relationship::DependsOn, a, props([("hege", Value::Float(hege))]))?;
+    }
+    Ok(())
+}
+
+/// Maps the IHR ROV status to the IYP tag vocabulary used in the
+/// paper's queries (Listing 4 matches `STARTS WITH 'RPKI Invalid'`).
+pub fn rov_tag(status: &str) -> Option<&'static str> {
+    match status {
+        "Valid" => Some("RPKI Valid"),
+        "Invalid" => Some("RPKI Invalid"),
+        "Invalid,more-specific" => Some("RPKI Invalid, more specific"),
+        "NotFound" => None,
+        _ => None,
+    }
+}
+
+/// ROV CSV `prefix,originasn,rpki_status` → `AS -ORIGINATE→ Prefix`
+/// plus `Prefix -CATEGORIZED→ Tag` for the RPKI status.
+pub fn import_rov(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() < 3 {
+            return Err(CrawlError::parse(DS, format!("rov line {ln}: {line:?}")));
+        }
+        let (prefix, origin, status) = (f[0], f[1], f[2..].join(","));
+        let p = imp.prefix_node(prefix)?;
+        let a = imp.as_node_str(origin)?;
+        imp.link(a, Relationship::Originate, p, props([]))?;
+        if let Some(tag) = rov_tag(&status) {
+            let t = imp.tag_node(tag);
+            imp.link(p, Relationship::Categorized, t, props([]))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    fn run(id: DatasetId, f: fn(&mut Importer, &str) -> Result<(), CrawlError>) -> Graph {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(id);
+        let mut imp =
+            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        f(&mut imp, &text).unwrap();
+        assert!(imp.link_count() > 0);
+        g
+    }
+
+    #[test]
+    fn rov_produces_rpki_tags() {
+        let g = run(DatasetId::IhrRov, import_rov);
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.lookup("Tag", "label", "RPKI Valid").is_some());
+        // Invalids are rare but Originate links must cover all prefixes.
+        let w = World::generate(&SimConfig::tiny(), 5);
+        assert_eq!(g.label_count("Prefix"), w.prefixes.len());
+    }
+
+    #[test]
+    fn hegemony_skips_self() {
+        let g = run(DatasetId::IhrHegemony, import_hegemony);
+        assert!(validate_graph(&g).is_empty());
+        for r in g.all_rels() {
+            assert_ne!(r.src, r.dst, "self-dependency imported");
+        }
+    }
+
+    #[test]
+    fn country_dependency_links_countries() {
+        let g = run(DatasetId::IhrCountryDependency, import_country_dependency);
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.label_count("Country") > 0);
+    }
+
+    #[test]
+    fn tag_mapping() {
+        assert_eq!(rov_tag("Valid"), Some("RPKI Valid"));
+        assert_eq!(rov_tag("Invalid,more-specific"), Some("RPKI Invalid, more specific"));
+        assert_eq!(rov_tag("NotFound"), None);
+        assert_eq!(rov_tag("???"), None);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("IHR", "x", 0));
+        assert!(import_hegemony(&mut imp, "h\na,b\n").is_err());
+        assert!(import_rov(&mut imp, "h\nonlyonefield\n").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Internet Intelligence Lab AS-to-organization crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, NodeId};
+use iyp_ontology::Relationship;
+use std::collections::HashMap;
+
+/// JSON lines of `{asn, org_name, country}` → `AS -MANAGED_BY→
+/// Organization`, `Organization -COUNTRY→ Country`, and `SIBLING_OF`
+/// between ASes sharing an organization.
+pub fn import_as_org(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let mut by_org: HashMap<String, Vec<NodeId>> = HashMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .map_err(|e| CrawlError::parse("inetintel", e.to_string()))?;
+        let asn = v["asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse("inetintel", "missing asn"))? as u32;
+        let org_name = v["org_name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse("inetintel", "missing org_name"))?;
+        let a = imp.as_node(asn);
+        let o = imp.org_node(org_name);
+        imp.link(a, Relationship::ManagedBy, o, props([]))?;
+        if let Some(cc) = v["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(o, Relationship::Country, c, props([]))?;
+            }
+        }
+        by_org.entry(org_name.to_string()).or_default().push(a);
+    }
+    // Chain SIBLING_OF links between co-owned ASes (linear, not
+    // quadratic, like the real importer).
+    let mut orgs: Vec<_> = by_org.into_iter().collect();
+    orgs.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, siblings) in orgs {
+        for pair in siblings.windows(2) {
+            imp.link(pair[0], Relationship::SiblingOf, pair[1], props([]))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn orgs_and_siblings() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::InetIntelAsOrg);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Internet Intelligence Lab", "ii.as_org", 0));
+        import_as_org(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("AS"), w.ases.len());
+        assert_eq!(g.label_count("Organization"), w.orgs.len());
+        // Sibling links exist iff some org owns several ASes.
+        let multi = w.ases.iter().filter(|a| {
+            w.ases.iter().filter(|b| b.org == a.org).count() > 1
+        }).count();
+        let siblings = g
+            .all_rels()
+            .filter(|r| g.symbols().rel_type_name(r.rel_type) == "SIBLING_OF")
+            .count();
+        assert_eq!(siblings > 0, multi > 0);
+    }
+}

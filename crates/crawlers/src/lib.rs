@@ -1,0 +1,49 @@
+//! Dataset importers ("crawlers") for the IYP knowledge graph.
+//!
+//! Mirroring the paper's architecture (§2.3), each of the 46 datasets has
+//! an independent crawler that
+//!
+//! 1. parses the dataset's native wire format (JSON, CSV, NRO delegated
+//!    format, plain text…),
+//! 2. translates identifiers to their **canonical forms** (via
+//!    `iyp-netdata`) before creating nodes, and
+//! 3. creates one relationship per imported datapoint, stamped with the
+//!    six provenance properties (§2.2) — never deduplicating links, so
+//!    the same fact imported from two datasets yields two parallel
+//!    links distinguished by `reference_name`.
+//!
+//! The input text comes from `iyp-simnet` (the synthetic Internet) in
+//! this reproduction; the parsing code is format-faithful, so pointing a
+//! crawler at the corresponding real-world file is a matter of fetching
+//! it.
+
+pub mod base;
+pub mod error;
+pub mod registry;
+
+// One module per providing organisation (Table 8).
+pub mod alice_lg;
+pub mod apnic;
+pub mod bgpkit;
+pub mod bgptools;
+pub mod caida;
+pub mod cisco;
+pub mod citizenlab;
+pub mod cloudflare;
+pub mod emileaben;
+pub mod ihr;
+pub mod inetintel;
+pub mod nro;
+pub mod openintel;
+pub mod pch;
+pub mod peeringdb;
+pub mod ripe;
+pub mod rovista;
+pub mod simulamet;
+pub mod stanford;
+pub mod tranco;
+pub mod worldbank;
+
+pub use base::{Importer, RANKING_CLOUDFLARE_TOP100, RANKING_TRANCO, RANKING_UMBRELLA};
+pub use error::CrawlError;
+pub use registry::{all_datasets, import_dataset, Crawler};

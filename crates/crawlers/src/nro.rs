@@ -1,0 +1,145 @@
+//! NRO extended delegated statistics crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, NodeId, Value};
+use iyp_netdata::Prefix;
+use iyp_ontology::Relationship;
+use std::net::IpAddr;
+use std::str::FromStr;
+
+const DS: &str = "nro";
+
+/// Parses the pipe-separated extended delegated format:
+/// `registry|cc|type|start|value|date|status|opaque-id`.
+///
+/// Produces `ASSIGNED`/`AVAILABLE`/`RESERVED` links between resources
+/// (AS, Prefix) and `OpaqueID` holders, plus `COUNTRY` links for both
+/// the resource and the opaque id.
+pub fn import_delegated(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let f: Vec<&str> = line.split('|').collect();
+        // Skip the version header and summary lines.
+        if f.len() < 8 || f[2] == "summary" || f.get(5) == Some(&"summary") {
+            continue;
+        }
+        let (registry, cc, rtype, start, value, _date, status, opaque) =
+            (f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]);
+        let resource: NodeId = match rtype {
+            "asn" => {
+                let asn: u32 = start.parse().map_err(|_| {
+                    CrawlError::parse(DS, format!("line {ln}: bad asn {start:?}"))
+                })?;
+                imp.as_node(asn)
+            }
+            "ipv4" => {
+                let count: u64 = value.parse().map_err(|_| {
+                    CrawlError::parse(DS, format!("line {ln}: bad ipv4 count"))
+                })?;
+                let len = 32 - (count as f64).log2() as u8;
+                let addr = IpAddr::from_str(start).map_err(|_| {
+                    CrawlError::parse(DS, format!("line {ln}: bad ipv4 start"))
+                })?;
+                let p = Prefix::new(addr, len)
+                    .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
+                imp.prefix_node(&p.canonical())?
+            }
+            "ipv6" => {
+                let len: u8 = value.parse().map_err(|_| {
+                    CrawlError::parse(DS, format!("line {ln}: bad ipv6 length"))
+                })?;
+                let addr = IpAddr::from_str(start).map_err(|_| {
+                    CrawlError::parse(DS, format!("line {ln}: bad ipv6 start"))
+                })?;
+                let p = Prefix::new(addr, len)
+                    .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
+                imp.prefix_node(&p.canonical())?
+            }
+            other => {
+                return Err(CrawlError::parse(DS, format!("line {ln}: unknown type {other:?}")))
+            }
+        };
+        let rel = match status {
+            "assigned" | "allocated" => Relationship::Assigned,
+            "available" => Relationship::Available,
+            "reserved" => Relationship::Reserved,
+            other => {
+                return Err(CrawlError::parse(DS, format!("line {ln}: status {other:?}")))
+            }
+        };
+        let holder = imp.opaque_id_node(opaque);
+        imp.link(
+            resource,
+            rel,
+            holder,
+            props([("registry", Value::Str(registry.into()))]),
+        )?;
+        if cc != "*" && !cc.is_empty() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(resource, Relationship::Country, c, props([]))?;
+                imp.link(holder, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn imports_all_resources() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::NroDelegatedStats);
+        let mut imp = Importer::new(&mut g, Reference::new("NRO", "nro.delegated_stats", 0));
+        import_delegated(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("AS"), w.ases.len());
+        assert_eq!(g.label_count("Prefix"), w.prefixes.len());
+        assert!(g.label_count("OpaqueID") > 0);
+        assert!(g.label_count("Country") > 0);
+    }
+
+    #[test]
+    fn parses_hand_written_lines() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("NRO", "nro.delegated_stats", 0));
+        let text = "\
+2.3|nro|20240501|3|19830705|20240501|+0000
+nro|*|asn|*|1|summary
+arin|US|asn|64496|1|20050101|assigned|opaque-0001
+ripencc|NL|ipv4|192.0.2.0|256|20050101|allocated|opaque-0002
+apnic|JP|ipv6|2001:db8::|32|20050101|reserved|opaque-0003
+";
+        import_delegated(&mut imp, text).unwrap();
+        assert!(g.lookup("AS", "asn", 64496i64).is_some());
+        assert!(g.lookup("Prefix", "prefix", "192.0.2.0/24").is_some());
+        assert!(g.lookup("Prefix", "prefix", "2001:db8::/32").is_some());
+        assert!(g.lookup("OpaqueID", "id", "opaque-0003").is_some());
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("NRO", "x", 0));
+        assert!(import_delegated(
+            &mut imp,
+            "arin|US|asn|notanumber|1|20050101|assigned|op-1\n"
+        )
+        .is_err());
+        assert!(import_delegated(
+            &mut imp,
+            "arin|US|phone|64496|1|20050101|assigned|op-1\n"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! OpenINTEL crawlers: `tranco1m`/`umbrella1m` resolutions, the NS
+//! measurement, and the UTwente DNS dependency graph.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+const DS: &str = "openintel";
+
+/// Registered domain of a hostname: the last two labels. The synthetic
+/// world only uses second-level registrations, matching how the paper's
+/// studies treat SLDs.
+pub fn registered_domain(host: &str) -> Option<String> {
+    let labels: Vec<&str> = host.split('.').filter(|l| !l.is_empty()).collect();
+    if labels.len() < 2 {
+        return None;
+    }
+    Some(labels[labels.len() - 2..].join("."))
+}
+
+fn jsonl(text: &str) -> impl Iterator<Item = Result<serde_json::Value, CrawlError>> + '_ {
+    text.lines().filter(|l| !l.trim().is_empty()).map(|l| {
+        serde_json::from_str::<serde_json::Value>(l)
+            .map_err(|e| CrawlError::parse(DS, format!("{e}: {l:?}")))
+    })
+}
+
+/// A/AAAA measurement (tranco1m, umbrella1m): `HostName -RESOLVES_TO→
+/// IP`, plus `HostName -PART_OF→ DomainName` for the registered domain.
+pub fn import_resolutions(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for rec in jsonl(text) {
+        let rec = rec?;
+        let qname = rec["query_name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "missing query_name"))?;
+        let ip = rec["ip4_address"]
+            .as_str()
+            .or_else(|| rec["ip6_address"].as_str())
+            .ok_or_else(|| CrawlError::parse(DS, "missing address"))?;
+        let h = imp.hostname_node(qname);
+        let i = imp.ip_node(ip)?;
+        imp.link(h, Relationship::ResolvesTo, i, props([]))?;
+        if let Some(reg) = registered_domain(qname) {
+            let d = imp.domain_node(&reg);
+            imp.link(h, Relationship::PartOf, d, props([]))?;
+        }
+    }
+    Ok(())
+}
+
+/// NS measurement: `DomainName -MANAGED_BY→ AuthoritativeNameServer`
+/// for NS records; glue A/AAAA records become nameserver
+/// `RESOLVES_TO` links.
+pub fn import_ns(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for rec in jsonl(text) {
+        let rec = rec?;
+        let qname = rec["query_name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "missing query_name"))?;
+        match rec["response_type"].as_str() {
+            Some("NS") => {
+                let ns_name = rec["ns_address"]
+                    .as_str()
+                    .ok_or_else(|| CrawlError::parse(DS, "missing ns_address"))?;
+                let zone = imp.domain_node(qname);
+                let ns = imp.nameserver_node(ns_name);
+                imp.link(zone, Relationship::ManagedBy, ns, props([]))?;
+            }
+            Some("A") | Some("AAAA") => {
+                let ip = rec["ip4_address"]
+                    .as_str()
+                    .or_else(|| rec["ip6_address"].as_str())
+                    .ok_or_else(|| CrawlError::parse(DS, "missing glue address"))?;
+                let ns = imp.nameserver_node(qname);
+                let i = imp.ip_node(ip)?;
+                imp.link(ns, Relationship::ResolvesTo, i, props([]))?;
+            }
+            other => {
+                return Err(CrawlError::parse(
+                    DS,
+                    format!("unexpected response_type {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// DNS dependency graph: `DomainName -DEPENDS_ON→ DomainName` with the
+/// dependency kind (`direct`, `third-party`, `hierarchical`) — the
+/// substrate of the §5.2 SPoF analysis.
+pub fn import_dnsgraph(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for rec in jsonl(text) {
+        let rec = rec?;
+        let domain = rec["domain"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "dnsgraph: missing domain"))?;
+        let dep = rec["dep_zone"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "dnsgraph: missing dep_zone"))?;
+        let kind = rec["kind"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "dnsgraph: missing kind"))?;
+        let d = imp.domain_node(domain);
+        let z = imp.domain_node(dep);
+        imp.link(d, Relationship::DependsOn, z, props([("kind", Value::Str(kind.into()))]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    fn run(id: DatasetId, f: fn(&mut Importer, &str) -> Result<(), CrawlError>) -> Graph {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(id);
+        let mut imp =
+            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        f(&mut imp, &text).unwrap();
+        assert!(imp.link_count() > 0);
+        g
+    }
+
+    #[test]
+    fn registered_domain_extraction() {
+        assert_eq!(registered_domain("www.example.com"), Some("example.com".into()));
+        assert_eq!(registered_domain("example.com"), Some("example.com".into()));
+        assert_eq!(registered_domain("com"), None);
+        assert_eq!(registered_domain("a.b.c.d.org"), Some("d.org".into()));
+    }
+
+    #[test]
+    fn resolutions_create_hostname_ip_domain_triangle() {
+        let g = run(DatasetId::OpenintelTranco1m, import_resolutions);
+        assert!(validate_graph(&g).is_empty());
+        let w = World::generate(&SimConfig::tiny(), 5);
+        // Apex and www hostnames both exist.
+        assert!(g.lookup("HostName", "name", w.domains[0].name.as_str()).is_some());
+        assert!(g
+            .lookup("HostName", "name", format!("www.{}", w.domains[0].name))
+            .is_some());
+        assert!(g.lookup("DomainName", "name", w.domains[0].name.as_str()).is_some());
+        assert!(g.label_count("IP") > 0);
+    }
+
+    #[test]
+    fn ns_import_builds_managed_by_and_glue() {
+        let g = run(DatasetId::OpenintelNs, import_ns);
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.label_count("AuthoritativeNameServer") > 0);
+        // TLD zones are DomainName nodes too.
+        assert!(g.lookup("DomainName", "name", "com").is_some());
+    }
+
+    #[test]
+    fn dnsgraph_links_kinds() {
+        let g = run(DatasetId::OpenintelDnsgraph, import_dnsgraph);
+        assert!(validate_graph(&g).is_empty());
+        let kinds: std::collections::HashSet<String> = g
+            .all_rels()
+            .filter_map(|r| r.prop("kind").and_then(|v| v.as_str()).map(String::from))
+            .collect();
+        assert!(kinds.contains("direct"));
+        assert!(kinds.contains("hierarchical"));
+        assert!(kinds.contains("third-party"));
+    }
+
+    #[test]
+    fn malformed_input_errors() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("OpenINTEL", "x", 0));
+        assert!(import_resolutions(&mut imp, "{not json").is_err());
+        assert!(import_ns(&mut imp, "{\"query_name\":\"a.com.\",\"response_type\":\"TXT\"}").is_err());
+        assert!(import_dnsgraph(&mut imp, "{\"domain\":\"a.com\"}").is_err());
+    }
+}

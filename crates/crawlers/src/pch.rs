@@ -1,0 +1,60 @@
+//! Packet Clearing House routing-snapshot crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+/// Simplified PCH table: `prefix;as_path` per line. The path's last AS
+/// originates the prefix.
+pub fn import_routing(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (prefix, path) = line
+            .split_once(';')
+            .ok_or_else(|| CrawlError::parse("pch", format!("line {ln}: {line:?}")))?;
+        let origin = path
+            .split_whitespace()
+            .last()
+            .ok_or_else(|| CrawlError::parse("pch", format!("line {ln}: empty path")))?;
+        let a = imp.as_node_str(origin)?;
+        let p = imp.prefix_node(prefix)?;
+        imp.link(a, Relationship::Originate, p, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn pch_imports_subset_of_prefixes() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::PchRoutingSnapshot);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Packet Clearing House", "pch.snapshots", 0));
+        import_routing(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        let n = g.label_count("Prefix");
+        assert!(n > 0 && n < w.prefixes.len());
+    }
+
+    #[test]
+    fn origin_is_path_tail() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("PCH", "x", 0));
+        import_routing(&mut imp, "192.0.2.0/24;3301 3307 64496\n").unwrap();
+        let a = g.lookup("AS", "asn", 64496i64).unwrap();
+        let p = g.lookup("Prefix", "prefix", "192.0.2.0/24").unwrap();
+        let rel = g.rels_of(a, iyp_graph::Direction::Outgoing, None).next().unwrap();
+        assert_eq!(rel.dst, p);
+    }
+}

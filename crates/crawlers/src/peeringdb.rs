@@ -1,0 +1,229 @@
+//! PeeringDB crawlers: `org`, `ix`, `ixlan`, `fac`, `netfac`.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::{Entity, Relationship};
+
+const DS: &str = "peeringdb";
+
+fn data(text: &str) -> Result<Vec<serde_json::Value>, CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
+    v["data"]
+        .as_array()
+        .cloned()
+        .ok_or_else(|| CrawlError::parse(DS, "missing data array"))
+}
+
+/// `org`: Organization nodes with PeeringDB ids and countries.
+pub fn import_org(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for e in data(text)? {
+        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "org: name"))?;
+        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "org: id"))?;
+        let org = imp.org_node(name);
+        let ext = imp.external_id_node(Entity::PeeringdbOrgId, id);
+        imp.link(org, Relationship::ExternalId, ext, props([]))?;
+        if let Some(cc) = e["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(org, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ix`: IXP nodes with PeeringDB ids and countries.
+pub fn import_ix(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for e in data(text)? {
+        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "ix: name"))?;
+        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ix: id"))?;
+        let ix = imp.ixp_node(name);
+        let ext = imp.external_id_node(Entity::PeeringdbIxId, id);
+        imp.link(ix, Relationship::ExternalId, ext, props([]))?;
+        if let Some(cc) = e["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(ix, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ixlan`: membership (`AS -MEMBER_OF→ IXP` with port details) and the
+/// peering-LAN prefix (`Prefix -MANAGED_BY→ IXP`).
+///
+/// Members reference the IXP by `ix_id`, so the `ix` dataset must be
+/// imported first for names to align; we merge on the external id.
+pub fn import_ixlan(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for e in data(text)? {
+        let ix_id = e["ix_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ixlan: ix_id"))?;
+        // Find the IXP already holding this external id; fall back to a
+        // synthetic name for standalone imports.
+        let ext = imp.external_id_node(Entity::PeeringdbIxId, ix_id);
+        let ix = imp
+            .graph()
+            .rels_of(ext, iyp_graph::Direction::Both, None)
+            .map(|r| r.other(ext))
+            .find(|n| {
+                imp.graph()
+                    .node(*n)
+                    .map(|node| {
+                        node.labels.iter().any(|l| {
+                            imp.graph().symbols().label_name(*l) == Entity::Ixp.label()
+                        })
+                    })
+                    .unwrap_or(false)
+            });
+        let ix = match ix {
+            Some(n) => n,
+            None => {
+                let n = imp.ixp_node(&format!("pdb-ix-{ix_id}"));
+                imp.link(n, Relationship::ExternalId, ext, props([]))?;
+                n
+            }
+        };
+        if let Some(prefix) = e["prefix"].as_str() {
+            let p = imp.prefix_node(prefix)?;
+            imp.link(p, Relationship::ManagedBy, ix, props([]))?;
+        }
+        for m in e["net_list"].as_array().unwrap_or(&Vec::new()) {
+            let asn =
+                m["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "ixlan: asn"))? as u32;
+            let a = imp.as_node(asn);
+            let mut extra = props([]);
+            if let Some(ip) = m["ipaddr4"].as_str() {
+                extra.insert("ipaddr4".into(), Value::Str(ip.into()));
+            }
+            if let Some(speed) = m["speed"].as_i64() {
+                extra.insert("speed".into(), Value::Int(speed));
+            }
+            if let Some(policy) = m["policy"].as_str() {
+                extra.insert("policy".into(), Value::Str(policy.into()));
+            }
+            imp.link(a, Relationship::MemberOf, ix, extra)?;
+        }
+    }
+    Ok(())
+}
+
+/// `fac`: Facility nodes with ids and countries.
+pub fn import_fac(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for e in data(text)? {
+        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "fac: name"))?;
+        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "fac: id"))?;
+        let fac = imp.facility_node(name);
+        let ext = imp.external_id_node(Entity::PeeringdbFacId, id);
+        imp.link(fac, Relationship::ExternalId, ext, props([]))?;
+        if let Some(cc) = e["country"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(fac, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `netfac`: `AS -LOCATED_IN→ Facility` presence.
+pub fn import_netfac(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for e in data(text)? {
+        let asn = e["local_asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse(DS, "netfac: local_asn"))? as u32;
+        let fac_id =
+            e["fac_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "netfac: fac_id"))?;
+        let a = imp.as_node(asn);
+        let ext = imp.external_id_node(Entity::PeeringdbFacId, fac_id);
+        // Resolve the facility through its external id; fabricate a
+        // placeholder when fac was not imported.
+        let fac = imp
+            .graph()
+            .rels_of(ext, iyp_graph::Direction::Both, None)
+            .map(|r| r.other(ext))
+            .find(|n| {
+                imp.graph()
+                    .node(*n)
+                    .map(|node| {
+                        node.labels.iter().any(|l| {
+                            imp.graph().symbols().label_name(*l) == Entity::Facility.label()
+                        })
+                    })
+                    .unwrap_or(false)
+            });
+        let fac = match fac {
+            Some(n) => n,
+            None => {
+                let n = imp.facility_node(&format!("pdb-fac-{fac_id}"));
+                imp.link(n, Relationship::ExternalId, ext, props([]))?;
+                n
+            }
+        };
+        imp.link(a, Relationship::LocatedIn, fac, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    fn import_all() -> (World, Graph) {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        for (id, f) in [
+            (DatasetId::PeeringdbOrg, import_org as fn(&mut Importer, &str) -> _),
+            (DatasetId::PeeringdbIx, import_ix),
+            (DatasetId::PeeringdbIxlan, import_ixlan),
+            (DatasetId::PeeringdbFac, import_fac),
+            (DatasetId::PeeringdbNetfac, import_netfac),
+        ] {
+            let text = w.render_dataset(id);
+            let mut imp = Importer::new(
+                &mut g,
+                Reference::new(id.organization(), id.name(), w.fetch_time),
+            );
+            f(&mut imp, &text).unwrap();
+        }
+        (w, g)
+    }
+
+    #[test]
+    fn full_import_is_valid_and_joined() {
+        let (w, g) = import_all();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("IXP"), w.ixps.len());
+        assert_eq!(g.label_count("Facility"), w.ixps.len());
+        assert_eq!(g.label_count("PeeringdbIXID"), w.ixps.len());
+        // Membership links exist and point at the named IXPs (not
+        // placeholders), because ix was imported before ixlan.
+        assert!(g.lookup("IXP", "name", w.ixps[0].name.as_str()).is_some());
+        let member_links = g
+            .all_rels()
+            .filter(|r| g.symbols().rel_type_name(r.rel_type) == "MEMBER_OF")
+            .count();
+        let truth: usize = w.ixps.iter().map(|ix| ix.members.len()).sum();
+        assert_eq!(member_links, truth);
+        assert!(g.lookup("IXP", "name", "pdb-ix-1").is_none());
+    }
+
+    #[test]
+    fn ixlan_standalone_fabricates_placeholder() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::PeeringdbIxlan);
+        let mut imp = Importer::new(&mut g, Reference::new("PeeringDB", "peeringdb.ixlan", 0));
+        import_ixlan(&mut imp, &text).unwrap();
+        assert!(g.lookup("IXP", "name", "pdb-ix-1").is_some());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("PeeringDB", "x", 0));
+        assert!(import_org(&mut imp, "[]").is_err());
+        assert!(import_ix(&mut imp, "{\"data\": [{}]}").is_err());
+    }
+}

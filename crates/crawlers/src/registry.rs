@@ -1,0 +1,118 @@
+//! Crawler registry: dataset ids → importer functions.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::Graph;
+use iyp_ontology::Reference;
+use iyp_simnet::datasets::{DatasetId, ALL_DATASETS};
+
+/// A registered crawler for one dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct Crawler {
+    /// Which dataset this crawler imports.
+    pub id: DatasetId,
+}
+
+impl Crawler {
+    /// Runs the crawler over dataset text, returning the number of
+    /// relationships created.
+    pub fn run(
+        &self,
+        graph: &mut Graph,
+        text: &str,
+        fetch_time: i64,
+    ) -> Result<usize, CrawlError> {
+        import_dataset(graph, self.id, text, fetch_time)
+    }
+}
+
+/// All datasets, in Table 8 order.
+pub fn all_datasets() -> &'static [DatasetId] {
+    &ALL_DATASETS
+}
+
+/// Builds the provenance [`Reference`] for a dataset.
+pub fn reference_for(id: DatasetId, fetch_time: i64) -> Reference {
+    Reference::new(id.organization(), id.name(), fetch_time)
+        .with_info_url(id.info_url())
+        .with_data_url(&format!("{}/{}", id.info_url().trim_end_matches('/'), id.name()))
+        .with_modification_time(fetch_time - 3600)
+}
+
+/// Imports one dataset's text into the graph; returns the number of
+/// relationships created.
+pub fn import_dataset(
+    graph: &mut Graph,
+    id: DatasetId,
+    text: &str,
+    fetch_time: i64,
+) -> Result<usize, CrawlError> {
+    let mut imp = Importer::new(graph, reference_for(id, fetch_time));
+    use DatasetId::*;
+    match id {
+        AliceLgAmsIx | AliceLgBcix | AliceLgDeCix | AliceLgIxBr | AliceLgLinx
+        | AliceLgMegaport | AliceLgNetnod => crate::alice_lg::import(&mut imp, text)?,
+        ApnicPopulation => crate::apnic::import_population(&mut imp, text)?,
+        BgpkitAs2rel => crate::bgpkit::import_as2rel(&mut imp, text)?,
+        BgpkitPeerStats => crate::bgpkit::import_peer_stats(&mut imp, text)?,
+        BgpkitPfx2as => crate::bgpkit::import_pfx2as(&mut imp, text)?,
+        BgptoolsAsNames => crate::bgptools::import_as_names(&mut imp, text)?,
+        BgptoolsTags => crate::bgptools::import_tags(&mut imp, text)?,
+        BgptoolsAnycast => crate::bgptools::import_anycast(&mut imp, text)?,
+        CaidaAsRank => crate::caida::import_asrank(&mut imp, text)?,
+        CaidaIxps => crate::caida::import_ixps(&mut imp, text)?,
+        CiscoUmbrella => crate::cisco::import_umbrella(&mut imp, text)?,
+        CitizenLabUrls => crate::citizenlab::import_urls(&mut imp, text)?,
+        CloudflareDnsTopAses => crate::cloudflare::import_dns_top_ases(&mut imp, text)?,
+        CloudflareDnsTopLocations => {
+            crate::cloudflare::import_dns_top_locations(&mut imp, text)?
+        }
+        CloudflareRankingTop => crate::cloudflare::import_ranking_top(&mut imp, text)?,
+        CloudflareRankingBuckets => crate::cloudflare::import_ranking_buckets(&mut imp, text)?,
+        EmileAbenAsNames => crate::emileaben::import_as_names(&mut imp, text)?,
+        IhrCountryDependency => crate::ihr::import_country_dependency(&mut imp, text)?,
+        IhrHegemony => crate::ihr::import_hegemony(&mut imp, text)?,
+        IhrRov => crate::ihr::import_rov(&mut imp, text)?,
+        InetIntelAsOrg => crate::inetintel::import_as_org(&mut imp, text)?,
+        NroDelegatedStats => crate::nro::import_delegated(&mut imp, text)?,
+        OpenintelTranco1m | OpenintelUmbrella1m => {
+            crate::openintel::import_resolutions(&mut imp, text)?
+        }
+        OpenintelNs => crate::openintel::import_ns(&mut imp, text)?,
+        OpenintelDnsgraph => crate::openintel::import_dnsgraph(&mut imp, text)?,
+        PchRoutingSnapshot => crate::pch::import_routing(&mut imp, text)?,
+        PeeringdbFac => crate::peeringdb::import_fac(&mut imp, text)?,
+        PeeringdbIx => crate::peeringdb::import_ix(&mut imp, text)?,
+        PeeringdbIxlan => crate::peeringdb::import_ixlan(&mut imp, text)?,
+        PeeringdbNetfac => crate::peeringdb::import_netfac(&mut imp, text)?,
+        PeeringdbOrg => crate::peeringdb::import_org(&mut imp, text)?,
+        RipeAsNames => crate::ripe::import_as_names(&mut imp, text)?,
+        RipeRpki => crate::ripe::import_rpki(&mut imp, text)?,
+        RipeAtlasMeasurements => crate::ripe::import_atlas(&mut imp, text)?,
+        SimulametRdns => crate::simulamet::import_rdns(&mut imp, text)?,
+        StanfordAsdb => crate::stanford::import_asdb(&mut imp, text)?,
+        TrancoList => crate::tranco::import_list(&mut imp, text)?,
+        RovistaRov => crate::rovista::import(&mut imp, text)?,
+        WorldBankPopulation => crate::worldbank::import_population(&mut imp, text)?,
+    }
+    Ok(imp.link_count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn references_carry_metadata() {
+        let r = reference_for(DatasetId::BgpkitPfx2as, 100);
+        assert_eq!(r.organization, "BGPKIT");
+        assert_eq!(r.dataset_name, "bgpkit.pfx2as");
+        assert!(r.info_url.is_some());
+        assert_eq!(r.fetch_time, 100);
+    }
+
+    #[test]
+    fn registry_covers_all_46() {
+        assert_eq!(all_datasets().len(), 46);
+    }
+}

@@ -1,0 +1,172 @@
+//! RIPE NCC crawlers: AS names, RPKI ROAs, Atlas measurements.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+const DS: &str = "ripe";
+
+/// `asn.txt`-style lines: `<asn> <name>, <country>` → `AS -NAME→ Name`
+/// and `AS -COUNTRY→ Country`.
+pub fn import_as_names(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (asn_str, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| CrawlError::parse(DS, format!("as names line {ln}: {line:?}")))?;
+        let a = imp.as_node_str(asn_str)?;
+        let (name, country) = match rest.rsplit_once(", ") {
+            Some((n, cc)) if cc.len() == 2 => (n, Some(cc)),
+            _ => (rest, None),
+        };
+        let n = imp.name_node(name.trim());
+        imp.link(a, Relationship::Name, n, props([]))?;
+        if let Some(cc) = country {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(a, Relationship::Country, c, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// RPKI ROAs: `AS -ROUTE_ORIGIN_AUTHORIZATION→ Prefix` with maxLength
+/// and trust anchor.
+pub fn import_rpki(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
+    let roas = v["roas"]
+        .as_array()
+        .ok_or_else(|| CrawlError::parse(DS, "rpki: missing roas"))?;
+    for roa in roas {
+        let asn = roa["asn"].as_str().ok_or_else(|| CrawlError::parse(DS, "rpki: asn"))?;
+        let prefix =
+            roa["prefix"].as_str().ok_or_else(|| CrawlError::parse(DS, "rpki: prefix"))?;
+        let a = imp.as_node_str(asn)?;
+        let p = imp.prefix_node(prefix)?;
+        let mut extra = props([]);
+        if let Some(ml) = roa["maxLength"].as_i64() {
+            extra.insert("maxLength".into(), Value::Int(ml));
+        }
+        if let Some(ta) = roa["ta"].as_str() {
+            extra.insert("ta".into(), Value::Str(ta.into()));
+        }
+        imp.link(a, Relationship::RouteOriginAuthorization, p, extra)?;
+    }
+    Ok(())
+}
+
+/// Atlas measurement information: measurements targeting hostnames,
+/// probes with assigned IPs, locations, and participation links.
+pub fn import_atlas(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
+    // Probes first so participation links can rely on them.
+    for p in v["probes"].as_array().unwrap_or(&Vec::new()) {
+        let id = p["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "atlas: probe id"))?;
+        let probe = imp.probe_node(id);
+        if let Some(asn) = p["asn_v4"].as_u64() {
+            let a = imp.as_node(asn as u32);
+            imp.link(probe, Relationship::LocatedIn, a, props([]))?;
+        }
+        if let Some(cc) = p["country_code"].as_str() {
+            if let Ok(c) = imp.country_node(cc) {
+                imp.link(probe, Relationship::Country, c, props([]))?;
+            }
+        }
+        if let Some(ip) = p["address_v4"].as_str() {
+            let i = imp.ip_node(ip)?;
+            imp.link(probe, Relationship::Assigned, i, props([]))?;
+        }
+    }
+    for m in v["measurements"].as_array().unwrap_or(&Vec::new()) {
+        let id = m["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "atlas: msm id"))?;
+        let target =
+            m["target"].as_str().ok_or_else(|| CrawlError::parse(DS, "atlas: target"))?;
+        let msm = imp.measurement_node(id);
+        let kind = m["type"].as_str().unwrap_or("ping");
+        let h = imp.hostname_node(target);
+        imp.link(
+            msm,
+            Relationship::Target,
+            h,
+            props([("type", Value::Str(kind.into())), ("af", Value::Int(m["af"].as_i64().unwrap_or(4)))]),
+        )?;
+        for pid in m["probes"].as_array().unwrap_or(&Vec::new()) {
+            if let Some(pid) = pid.as_i64() {
+                let probe = imp.probe_node(pid);
+                imp.link(probe, Relationship::PartOf, msm, props([]))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    fn run(id: DatasetId, f: fn(&mut Importer, &str) -> Result<(), CrawlError>) -> (World, Graph) {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(id);
+        let mut imp =
+            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        f(&mut imp, &text).unwrap();
+        assert!(imp.link_count() > 0);
+        (w, g)
+    }
+
+    #[test]
+    fn as_names_create_name_and_country() {
+        let (w, g) = run(DatasetId::RipeAsNames, import_as_names);
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("AS"), w.ases.len());
+        assert!(g.label_count("Name") > 0);
+        assert!(g.label_count("Country") > 0);
+    }
+
+    #[test]
+    fn rpki_roas_link_as_and_prefix() {
+        let (w, g) = run(DatasetId::RipeRpki, import_rpki);
+        assert!(validate_graph(&g).is_empty());
+        let roa_links = g
+            .all_rels()
+            .filter(|r| {
+                g.symbols().rel_type_name(r.rel_type) == "ROUTE_ORIGIN_AUTHORIZATION"
+            })
+            .count();
+        assert_eq!(roa_links, w.roas.len());
+        // maxLength property preserved.
+        let r = g.all_rels().next().unwrap();
+        assert!(r.prop("maxLength").is_some());
+    }
+
+    #[test]
+    fn atlas_builds_probe_and_measurement_graph() {
+        let (w, g) = run(DatasetId::RipeAtlasMeasurements, import_atlas);
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("AtlasProbe"), w.probes.len());
+        assert_eq!(g.label_count("AtlasMeasurement"), w.measurements.len());
+        // Every measurement targets a hostname.
+        let targets = g
+            .all_rels()
+            .filter(|r| g.symbols().rel_type_name(r.rel_type) == "TARGET")
+            .count();
+        assert_eq!(targets, w.measurements.len());
+    }
+
+    #[test]
+    fn bad_input() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("RIPE NCC", "x", 0));
+        assert!(import_rpki(&mut imp, "{}").is_err());
+        assert!(import_as_names(&mut imp, "notanumber name, JP").is_err());
+    }
+}

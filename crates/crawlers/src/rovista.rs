@@ -1,0 +1,56 @@
+//! Virginia Tech RoVista crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// Tag for ASes observed to filter RPKI-invalid routes.
+pub const TAG_VALIDATING: &str = "Validating RPKI ROV";
+/// Tag for ASes not observed to filter.
+pub const TAG_NOT_VALIDATING: &str = "Not Validating RPKI ROV";
+
+/// CSV `asn,ratio` → `AS -CATEGORIZED→ Tag` with the measured ratio as
+/// a link property; ratio ≥ 0.5 counts as validating (RoVista's own
+/// convention in IYP).
+pub fn import(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (asn, ratio) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse("rovista", format!("line {ln}: {line:?}")))?;
+        let ratio: f64 = ratio
+            .parse()
+            .map_err(|_| CrawlError::parse("rovista", format!("line {ln}: bad ratio")))?;
+        let a = imp.as_node_str(asn)?;
+        let tag = if ratio >= 0.5 { TAG_VALIDATING } else { TAG_NOT_VALIDATING };
+        let t = imp.tag_node(tag);
+        imp.link(a, Relationship::Categorized, t, props([("ratio", Value::Float(ratio))]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn ratio_splits_tags() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::RovistaRov);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("Virginia Tech", "rovista.validating", 0));
+        import(&mut imp, &text).unwrap();
+        let links = imp.link_count();
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.lookup("Tag", "label", TAG_VALIDATING).is_some());
+        assert!(g.lookup("Tag", "label", TAG_NOT_VALIDATING).is_some());
+        assert_eq!(links, w.ases.len());
+    }
+}

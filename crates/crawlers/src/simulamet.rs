@@ -1,0 +1,42 @@
+//! SimulaMet rDNS (rir-data.org) crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+/// CSV `prefix,nameserver` → `Prefix -MANAGED_BY→
+/// AuthoritativeNameServer` (reverse-zone delegation).
+pub fn import_rdns(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (prefix, ns) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse("simulamet", format!("line {ln}: {line:?}")))?;
+        let p = imp.prefix_node(prefix)?;
+        let n = imp.nameserver_node(ns);
+        imp.link(p, Relationship::ManagedBy, n, props([]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn reverse_delegations_import() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::SimulametRdns);
+        let mut imp = Importer::new(&mut g, Reference::new("SimulaMet", "simulamet.rdns", 0));
+        import_rdns(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert!(g.label_count("AuthoritativeNameServer") > 0);
+    }
+}

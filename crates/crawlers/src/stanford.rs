@@ -1,0 +1,78 @@
+//! Stanford ASdb crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::props;
+use iyp_ontology::Relationship;
+
+/// ASdb CSV (`ASN,Category 1 - Layer 1,Category 1 - Layer 2`) →
+/// `AS -CATEGORIZED→ Tag` for each category layer.
+pub fn import_asdb(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    for (ln, line) in text.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line);
+        if fields.len() < 2 {
+            return Err(CrawlError::parse("stanford", format!("line {ln}: {line:?}")));
+        }
+        let a = imp.as_node_str(&fields[0])?;
+        for cat in fields[1..].iter().filter(|c| !c.is_empty()) {
+            let t = imp.tag_node(cat);
+            imp.link(a, Relationship::Categorized, t, props([]))?;
+        }
+    }
+    Ok(())
+}
+
+/// Minimal CSV field splitter honouring double quotes.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => quoted = !quoted,
+            ',' if !quoted => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            other => cur.push(other),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn categories_become_tags() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::StanfordAsdb);
+        let mut imp = Importer::new(&mut g, Reference::new("Stanford", "stanford.asdb", 0));
+        import_asdb(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert!(g
+            .lookup("Tag", "label", "Internet Service Provider (ISP)")
+            .is_some());
+        assert_eq!(g.label_count("AS"), w.ases.len());
+    }
+
+    #[test]
+    fn csv_splitter_handles_quotes() {
+        assert_eq!(split_csv("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(split_csv("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(split_csv("\"x \"\"y\"\"\",z"), vec!["x \"y\"", "z"]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Tranco list crawler.
+
+use crate::base::{Importer, RANKING_TRANCO};
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// CSV `rank,domain` → `DomainName -RANK→ Ranking{'Tranco top 1M'}`
+/// with the rank as a link property.
+pub fn import_list(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let ranking = imp.ranking_node(RANKING_TRANCO);
+    for (ln, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (rank, domain) = line
+            .split_once(',')
+            .ok_or_else(|| CrawlError::parse("tranco", format!("line {ln}: {line:?}")))?;
+        let rank: i64 = rank
+            .parse()
+            .map_err(|_| CrawlError::parse("tranco", format!("line {ln}: bad rank")))?;
+        let d = imp.domain_node(domain);
+        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn ranks_are_imported() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::TrancoList);
+        let mut imp = Importer::new(&mut g, Reference::new("Tranco", "tranco.top1m", 0));
+        import_list(&mut imp, &text).unwrap();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(g.label_count("DomainName"), w.domains.len());
+        let ranking = g.lookup("Ranking", "name", RANKING_TRANCO).unwrap();
+        assert_eq!(
+            g.rels_of(ranking, iyp_graph::Direction::Both, None).count(),
+            w.domains.len()
+        );
+        // Rank 1 is stored on the link.
+        let first = g.lookup("DomainName", "name", w.domains[0].name.as_str()).unwrap();
+        let rel = g.rels_of(first, iyp_graph::Direction::Both, None).next().unwrap();
+        assert_eq!(rel.prop("rank").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("Tranco", "x", 0));
+        assert!(import_list(&mut imp, "x,example.com\n").is_err());
+        assert!(import_list(&mut imp, "nocomma\n").is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! World Bank population crawler.
+
+use crate::base::Importer;
+use crate::error::CrawlError;
+use iyp_graph::{props, Value};
+use iyp_ontology::Relationship;
+
+/// Name of the Estimate node all countries link to.
+pub const ESTIMATE_NAME: &str = "World Bank population estimate";
+
+/// The API's `[meta, data]` pair → `Country -POPULATION→ Estimate` with
+/// the value.
+pub fn import_population(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| CrawlError::parse("worldbank", e.to_string()))?;
+    let data = v
+        .as_array()
+        .and_then(|a| a.get(1))
+        .and_then(|d| d.as_array())
+        .ok_or_else(|| CrawlError::parse("worldbank", "expected [meta, data] pair"))?;
+    let estimate = imp.estimate_node(ESTIMATE_NAME);
+    for e in data {
+        let cc = e["country"]["id"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse("worldbank", "missing country id"))?;
+        let c = imp.country_node(cc)?;
+        imp.link(
+            c,
+            Relationship::Population,
+            estimate,
+            props([
+                ("value", e["value"].as_i64().into()),
+                ("date", Value::Str(e["date"].as_str().unwrap_or("").into())),
+            ]),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::Graph;
+    use iyp_ontology::{validate_graph, Reference};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn country_population_links() {
+        let w = World::generate(&SimConfig::tiny(), 5);
+        let mut g = Graph::new();
+        let text = w.render_dataset(DatasetId::WorldBankPopulation);
+        let mut imp =
+            Importer::new(&mut g, Reference::new("World Bank", "worldbank.country_pop", 0));
+        import_population(&mut imp, &text).unwrap();
+        let links = imp.link_count();
+        assert!(validate_graph(&g).is_empty());
+        assert_eq!(links, w.country_population.len());
+        assert!(g.lookup("Estimate", "name", ESTIMATE_NAME).is_some());
+    }
+}

@@ -1,0 +1,93 @@
+//! Robustness tests: crawlers must never panic on malformed input —
+//! they either import or return a parse error. (The paper imports
+//! community data "as-is"; upstream formats do break.)
+
+use iyp_crawlers::registry::import_dataset;
+use iyp_graph::Graph;
+use iyp_simnet::datasets::ALL_DATASETS;
+use iyp_simnet::{SimConfig, World};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static CELL: OnceLock<World> = OnceLock::new();
+    CELL.get_or_init(|| World::generate(&SimConfig::tiny(), 3))
+}
+
+/// Applies a deterministic mutation to dataset text.
+fn mutate(text: &str, kind: u8, pos: usize) -> String {
+    let mut s = text.to_string();
+    if s.is_empty() {
+        return s;
+    }
+    let pos = pos % s.len();
+    // Snap to a char boundary.
+    let pos = (0..=pos).rev().find(|p| s.is_char_boundary(*p)).unwrap_or(0);
+    match kind % 5 {
+        0 => {
+            // Truncate.
+            s.truncate(pos);
+            s
+        }
+        1 => {
+            // Delete one char.
+            if pos < s.len() {
+                s.remove(pos);
+            }
+            s
+        }
+        2 => {
+            // Insert garbage.
+            s.insert_str(pos, "\u{1F980}garbage,|};");
+            s
+        }
+        3 => {
+            // Duplicate a slice.
+            let tail = s[pos..].to_string();
+            s.push_str(&tail);
+            s
+        }
+        _ => {
+            // Replace a char with a NUL-ish separator.
+            if pos < s.len() {
+                s.remove(pos);
+                s.insert(pos, ';');
+            }
+            s
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// No crawler panics on mutated versions of its own dataset.
+    #[test]
+    fn crawlers_survive_mutations(ds_idx in 0usize..46, kind in any::<u8>(), pos in any::<usize>()) {
+        let id = ALL_DATASETS[ds_idx];
+        let text = world().render_dataset(id);
+        let mutated = mutate(&text, kind, pos.max(1));
+        let mut g = Graph::new();
+        // Must return Ok or Err, never panic.
+        let _ = import_dataset(&mut g, id, &mutated, 0);
+    }
+
+    /// No crawler panics on arbitrary noise.
+    #[test]
+    fn crawlers_survive_noise(ds_idx in 0usize..46, noise in "\\PC{0,200}") {
+        let id = ALL_DATASETS[ds_idx];
+        let mut g = Graph::new();
+        let _ = import_dataset(&mut g, id, &noise, 0);
+    }
+}
+
+#[test]
+fn empty_input_never_panics() {
+    for id in ALL_DATASETS {
+        let mut g = Graph::new();
+        let _ = import_dataset(&mut g, id, "", 0);
+        let _ = import_dataset(&mut g, id, "\n\n\n", 0);
+        let _ = import_dataset(&mut g, id, "{}", 0);
+        let _ = import_dataset(&mut g, id, "[]", 0);
+    }
+}

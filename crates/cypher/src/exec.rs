@@ -1,0 +1,975 @@
+//! Query execution: pattern matching, pipelines, aggregation.
+
+use crate::ast::*;
+use crate::error::CypherError;
+use crate::eval::{rt_eq, truth, EvalCtx, Row};
+use crate::parser::parse;
+use crate::rtval::RtVal;
+use iyp_graph::{Direction, Graph, KeyValue, NodeId, Rel, RelId, Value};
+use std::cmp::Ordering;
+use std::collections::{HashMap, HashSet};
+
+/// Query parameters.
+pub type Params = HashMap<String, Value>;
+
+/// The result of a query: named columns and rows of runtime values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Column names (projection aliases).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<RtVal>>,
+}
+
+impl ResultSet {
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Iterates the values of one column.
+    pub fn column_values<'a>(&'a self, name: &str) -> Box<dyn Iterator<Item = &'a RtVal> + 'a> {
+        match self.column(name) {
+            Some(i) => Box::new(self.rows.iter().map(move |r| &r[i])),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Convenience: the single value of a one-row, one-column result.
+    pub fn single(&self) -> Option<&RtVal> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: single integer result (e.g. `RETURN count(...)`).
+    pub fn single_int(&self) -> Option<i64> {
+        self.single()?.as_scalar()?.as_int()
+    }
+
+    /// Renders an ASCII table of the results (for examples and debugging).
+    pub fn render(&self, graph: &Graph) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(self.columns.join(" | ").len().max(4)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.render(graph)).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses and executes `text` against `graph` with the given parameters.
+pub fn query(graph: &Graph, text: &str, params: &Params) -> Result<ResultSet, CypherError> {
+    let ast = parse(text)?;
+    execute(graph, &ast, params)
+}
+
+/// Executes a parsed query.
+pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet, CypherError> {
+    // EXISTS subqueries re-enter the matcher with a hook-less inner
+    // context (one level of nesting; EXISTS-inside-EXISTS is rejected).
+    let exists_hook = move |patterns: &[PathPattern],
+                            row: &crate::eval::Row,
+                            filter: Option<&Expr>|
+          -> Result<bool, CypherError> {
+        let inner = EvalCtx { graph, params, exists: None };
+        let mut matches: Vec<(crate::eval::Row, HashSet<RelId>)> =
+            vec![(row.clone(), HashSet::new())];
+        for pattern in patterns {
+            let mut next = Vec::new();
+            for (r, used) in matches {
+                match_pattern(&inner, &r, &used, pattern, &mut next)?;
+            }
+            matches = next;
+            if matches.is_empty() {
+                return Ok(false);
+            }
+        }
+        match filter {
+            None => Ok(!matches.is_empty()),
+            Some(f) => {
+                for (r, _) in matches {
+                    if truth(&inner.eval(f, &r)?) == Some(true) {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    };
+    let ctx = EvalCtx { graph, params, exists: Some(&exists_hook) };
+    let mut rows: Vec<Row> = vec![Row::new()];
+    let mut result: Option<ResultSet> = None;
+
+    for clause in &ast.clauses {
+        match clause {
+            Clause::Match { optional, patterns } => {
+                rows = exec_match(&ctx, rows, patterns, *optional)?;
+            }
+            Clause::Where(expr) => {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if truth(&ctx.eval(expr, &row)?) == Some(true) {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+            Clause::Unwind { expr, var } => {
+                let mut out = Vec::new();
+                for row in rows {
+                    let v = ctx.eval(expr, &row)?;
+                    if let Some(items) = v.as_list() {
+                        for item in items {
+                            let mut r = row.clone();
+                            r.insert(var.clone(), item);
+                            out.push(r);
+                        }
+                    } else if !v.is_null() {
+                        // UNWIND of a non-list single value yields one row.
+                        let mut r = row.clone();
+                        r.insert(var.clone(), v);
+                        out.push(r);
+                    }
+                }
+                rows = out;
+            }
+            Clause::With(proj) => {
+                let (cols, projected) = project(&ctx, rows, proj)?;
+                rows = projected
+                    .into_iter()
+                    .map(|vals| cols.iter().cloned().zip(vals).collect())
+                    .collect();
+            }
+            Clause::Return(proj) => {
+                let (cols, projected) = project(&ctx, rows, proj)?;
+                result = Some(ResultSet { columns: cols, rows: projected });
+                rows = Vec::new();
+            }
+            Clause::Create(_) | Clause::Merge(_) | Clause::Set(_) | Clause::Delete { .. } => {
+                return Err(CypherError::runtime(
+                    "write clauses (CREATE/MERGE/SET/DELETE) need a mutable \
+                     graph — use query_write()",
+                ))
+            }
+        }
+    }
+
+    result.ok_or_else(|| CypherError::runtime("query did not produce a RETURN"))
+}
+
+// ----------------------------------------------------------------------
+// MATCH
+// ----------------------------------------------------------------------
+
+pub(crate) fn exec_match(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    patterns: &[PathPattern],
+    optional: bool,
+) -> Result<Vec<Row>, CypherError> {
+    let mut out = Vec::new();
+    for row in rows {
+        let mut matches: Vec<(Row, HashSet<RelId>)> = vec![(row.clone(), HashSet::new())];
+        for pattern in patterns {
+            let mut next = Vec::new();
+            for (r, used) in matches {
+                match_pattern(ctx, &r, &used, pattern, &mut next)?;
+            }
+            matches = next;
+            if matches.is_empty() {
+                break;
+            }
+        }
+        if matches.is_empty() {
+            if optional {
+                let mut r = row;
+                for var in pattern_vars(patterns) {
+                    r.entry(var).or_insert_with(RtVal::null);
+                }
+                out.push(r);
+            }
+        } else {
+            out.extend(matches.into_iter().map(|(r, _)| r));
+        }
+    }
+    Ok(out)
+}
+
+/// All variable names appearing in the patterns.
+pub(crate) fn pattern_vars(patterns: &[PathPattern]) -> Vec<String> {
+    let mut vars = Vec::new();
+    for p in patterns {
+        if let Some(v) = &p.start.var {
+            vars.push(v.clone());
+        }
+        for (rel, node) in &p.hops {
+            if let Some(v) = &rel.var {
+                vars.push(v.clone());
+            }
+            if let Some(v) = &node.var {
+                vars.push(v.clone());
+            }
+        }
+    }
+    vars
+}
+
+/// Matches a single linear pattern, appending `(row, used)` extensions.
+pub(crate) fn match_pattern(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<RelId>,
+    pattern: &PathPattern,
+    out: &mut Vec<(Row, HashSet<RelId>)>,
+) -> Result<(), CypherError> {
+    // Collect the node patterns as a flat list for anchor selection.
+    let nodes: Vec<&NodePattern> = std::iter::once(&pattern.start)
+        .chain(pattern.hops.iter().map(|(_, n)| n))
+        .collect();
+
+    // Anchor choice: a bound variable beats everything; otherwise the
+    // node with an index-usable inline property; otherwise the node
+    // whose (first) label has the smallest population; otherwise node 0.
+    let mut anchor = 0usize;
+    let mut anchor_kind = AnchorKind::Scan(usize::MAX);
+    for (i, np) in nodes.iter().enumerate() {
+        let kind = classify_anchor(ctx, row, np);
+        if kind.better_than(&anchor_kind) {
+            anchor_kind = kind;
+            anchor = i;
+        }
+    }
+
+    let candidates = anchor_candidates(ctx, row, nodes[anchor])?;
+    for cand in candidates {
+        if !node_matches(ctx, row, nodes[anchor], cand)? {
+            continue;
+        }
+        let mut r = row.clone();
+        if let Some(var) = &nodes[anchor].var {
+            r.insert(var.clone(), RtVal::Node(cand));
+        }
+        expand(ctx, pattern, anchor, cand, r, used.clone(), out)?;
+    }
+    Ok(())
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum AnchorKind {
+    /// Variable already bound — a single candidate.
+    Bound,
+    /// Inline key-property lookup — a single candidate.
+    IndexLookup,
+    /// Label scan of approximately `n` nodes.
+    Scan(usize),
+}
+
+impl AnchorKind {
+    fn better_than(&self, other: &AnchorKind) -> bool {
+        use AnchorKind::*;
+        match (self, other) {
+            (Bound, Bound) => false,
+            (Bound, _) => true,
+            (IndexLookup, Bound) => false,
+            (IndexLookup, IndexLookup) => false,
+            (IndexLookup, Scan(_)) => true,
+            (Scan(a), Scan(b)) => a < b,
+            (Scan(_), _) => false,
+        }
+    }
+}
+
+fn classify_anchor(ctx: &EvalCtx<'_>, row: &Row, np: &NodePattern) -> AnchorKind {
+    if let Some(var) = &np.var {
+        if row.contains_key(var) {
+            return AnchorKind::Bound;
+        }
+    }
+    if !np.labels.is_empty() && !np.props.is_empty() {
+        return AnchorKind::IndexLookup;
+    }
+    if let Some(first) = np.labels.first() {
+        return AnchorKind::Scan(ctx.graph.label_count(first));
+    }
+    AnchorKind::Scan(ctx.graph.node_count())
+}
+
+/// Candidate node ids for an anchor pattern.
+fn anchor_candidates(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+) -> Result<Vec<NodeId>, CypherError> {
+    if let Some(var) = &np.var {
+        if let Some(v) = row.get(var) {
+            return match v.as_node() {
+                Some(n) => Ok(vec![n]),
+                None if v.is_null() => Ok(vec![]),
+                None => Err(CypherError::runtime(format!(
+                    "variable `{var}` is not a node"
+                ))),
+            };
+        }
+    }
+    // Index lookup via an inline property on a labelled node.
+    if let Some(label) = np.labels.first() {
+        for (key, expr) in &np.props {
+            let v = ctx.eval(expr, row)?;
+            if let Some(scalar) = v.as_scalar() {
+                if let Some(kv) = KeyValue::from_value(scalar) {
+                    if let Some(hit) = ctx.graph.lookup(label, key, kv) {
+                        return Ok(vec![hit]);
+                    }
+                    // A usable key that finds nothing may simply not be
+                    // the identity key for this label; fall back to a
+                    // scan only if the lookup index has no entry space.
+                    // (Conservative: scan.)
+                    break;
+                }
+            }
+        }
+        let smallest = np
+            .labels
+            .iter()
+            .min_by_key(|l| ctx.graph.label_count(l))
+            .expect("labels non-empty");
+        return Ok(ctx.graph.nodes_with_label(smallest).collect());
+    }
+    Ok(ctx.graph.all_nodes().map(|n| n.id).collect())
+}
+
+/// Checks labels and inline props of a node pattern against a node.
+fn node_matches(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    np: &NodePattern,
+    node: NodeId,
+) -> Result<bool, CypherError> {
+    let Some(n) = ctx.graph.node(node) else { return Ok(false) };
+    for label in &np.labels {
+        match ctx.graph.symbols().get_label(label) {
+            Some(id) if n.has_label(id) => {}
+            _ => return Ok(false),
+        }
+    }
+    for (key, expr) in &np.props {
+        let want = ctx.eval(expr, row)?;
+        let have = RtVal::Scalar(n.prop(key).cloned().unwrap_or(Value::Null));
+        if rt_eq(&have, &want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Checks inline props of a relationship pattern.
+fn rel_matches(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    rp: &RelPattern,
+    rel: &Rel,
+) -> Result<bool, CypherError> {
+    if !rp.types.is_empty() {
+        let name = ctx.graph.symbols().rel_type_name(rel.rel_type);
+        if !rp.types.iter().any(|t| t == name) {
+            return Ok(false);
+        }
+    }
+    for (key, expr) in &rp.props {
+        let want = ctx.eval(expr, row)?;
+        let have = RtVal::Scalar(rel.prop(key).cloned().unwrap_or(Value::Null));
+        if rt_eq(&have, &want) != Some(true) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Expands the pattern in both directions from the anchor node.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    ctx: &EvalCtx<'_>,
+    pattern: &PathPattern,
+    anchor: usize,
+    anchor_node: NodeId,
+    row: Row,
+    used: HashSet<RelId>,
+    out: &mut Vec<(Row, HashSet<RelId>)>,
+) -> Result<(), CypherError> {
+    // Node positions: 0..=hops.len(). Hop i sits between node i and i+1.
+    // We expand rightward first (anchor..end), then leftward (anchor..0),
+    // via a work stack of partial states.
+    struct State {
+        row: Row,
+        used: HashSet<RelId>,
+        right: usize, // next hop index to expand rightward
+        left: usize,  // next hop index (+1) to expand leftward; 0 = done
+        right_node: NodeId,
+        left_node: NodeId,
+    }
+    let mut stack = vec![State {
+        row,
+        used,
+        right: anchor,
+        left: anchor,
+        right_node: anchor_node,
+        left_node: anchor_node,
+    }];
+
+    while let Some(st) = stack.pop() {
+        if st.right < pattern.hops.len() {
+            // Expand hop `st.right`: from node position st.right to +1.
+            let (rp, np) = &pattern.hops[st.right];
+            let dir = match rp.dir {
+                RelDir::Right => Direction::Outgoing,
+                RelDir::Left => Direction::Incoming,
+                RelDir::Undirected => Direction::Both,
+            };
+            let on_match = |row: Row, used: HashSet<RelId>, node: NodeId| {
+                stack.push(State {
+                    row,
+                    used,
+                    right: st.right + 1,
+                    left: st.left,
+                    right_node: node,
+                    left_node: st.left_node,
+                });
+            };
+            if let Some((min, max)) = rp.var_length {
+                step_var_length(ctx, &st.row, &st.used, st.right_node, rp, np, dir, min, max, on_match)?;
+            } else {
+                step(ctx, &st.row, &st.used, st.right_node, rp, np, dir, on_match)?;
+            }
+        } else if st.left > 0 {
+            // Expand hop `st.left - 1` leftward: from node position
+            // st.left to st.left - 1 (directions invert).
+            let hop_idx = st.left - 1;
+            let (rp, np) = (&pattern.hops[hop_idx].0, node_at(pattern, hop_idx));
+            let dir = match rp.dir {
+                RelDir::Right => Direction::Incoming,
+                RelDir::Left => Direction::Outgoing,
+                RelDir::Undirected => Direction::Both,
+            };
+            let on_match = |row: Row, used: HashSet<RelId>, node: NodeId| {
+                stack.push(State {
+                    row,
+                    used,
+                    right: st.right,
+                    left: hop_idx,
+                    right_node: st.right_node,
+                    left_node: node,
+                });
+            };
+            if let Some((min, max)) = rp.var_length {
+                step_var_length(ctx, &st.row, &st.used, st.left_node, rp, np, dir, min, max, on_match)?;
+            } else {
+                step(ctx, &st.row, &st.used, st.left_node, rp, np, dir, on_match)?;
+            }
+        } else {
+            out.push((st.row, st.used));
+        }
+    }
+    Ok(())
+}
+
+/// The node pattern at position `idx` (0 = start).
+fn node_at(pattern: &PathPattern, idx: usize) -> &NodePattern {
+    if idx == 0 {
+        &pattern.start
+    } else {
+        &pattern.hops[idx - 1].1
+    }
+}
+
+/// Takes one step across a relationship pattern from `from`, invoking
+/// `push` for every valid `(row, used, next_node)` extension.
+#[allow(clippy::too_many_arguments)]
+fn step(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<RelId>,
+    from: NodeId,
+    rp: &RelPattern,
+    np: &NodePattern,
+    dir: Direction,
+    mut push: impl FnMut(Row, HashSet<RelId>, NodeId),
+) -> Result<(), CypherError> {
+    // Pre-resolve single-type filters through the interner.
+    let type_filter = if rp.types.len() == 1 {
+        match ctx.graph.symbols().get_rel_type(&rp.types[0]) {
+            Some(t) => Some(t),
+            None => return Ok(()), // unknown type matches nothing
+        }
+    } else {
+        None
+    };
+
+    let bound_rel = rp.var.as_ref().and_then(|v| row.get(v)).cloned();
+
+    let rels: Vec<&Rel> = ctx.graph.rels_of(from, dir, type_filter).collect();
+    for rel in rels {
+        if let Some(bound) = &bound_rel {
+            if bound.as_rel() != Some(rel.id) {
+                continue;
+            }
+        } else if used.contains(&rel.id) {
+            continue;
+        }
+        if !rel_matches(ctx, row, rp, rel)? {
+            continue;
+        }
+        let next = rel.other(from);
+        // Directed traversal from `from`: ensure orientation is right
+        // when dir is Outgoing/Incoming (rels_of already filters);
+        // for self-loops `other` returns `from` which is fine.
+        if !node_matches(ctx, row, np, next)? {
+            continue;
+        }
+        if let Some(var) = &np.var {
+            if let Some(existing) = row.get(var) {
+                if existing.as_node() != Some(next) {
+                    continue;
+                }
+            }
+        }
+        let mut new_row = row.clone();
+        let mut new_used = used.clone();
+        if let Some(var) = &rp.var {
+            new_row.insert(var.clone(), RtVal::Rel(rel.id));
+        }
+        if bound_rel.is_none() {
+            new_used.insert(rel.id);
+        }
+        if let Some(var) = &np.var {
+            new_row.insert(var.clone(), RtVal::Node(next));
+        }
+        push(new_row, new_used, next);
+    }
+    Ok(())
+}
+
+/// Variable-length traversal: explores every path of `min..=max` hops
+/// whose relationships all satisfy the pattern, invoking `push` once per
+/// path endpoint (Cypher semantics: one row per *path*). The rel
+/// variable, if any, binds the list of traversed relationships.
+#[allow(clippy::too_many_arguments)]
+fn step_var_length(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<RelId>,
+    from: NodeId,
+    rp: &RelPattern,
+    np: &NodePattern,
+    dir: Direction,
+    min: u32,
+    max: u32,
+    mut push: impl FnMut(Row, HashSet<RelId>, NodeId),
+) -> Result<(), CypherError> {
+    let type_filter = if rp.types.len() == 1 {
+        match ctx.graph.symbols().get_rel_type(&rp.types[0]) {
+            Some(t) => Some(t),
+            None => return Ok(()),
+        }
+    } else {
+        None
+    };
+
+    struct PathState {
+        node: NodeId,
+        used: HashSet<RelId>,
+        rels: Vec<RelId>,
+    }
+    let mut stack = vec![PathState { node: from, used: used.clone(), rels: Vec::new() }];
+
+    while let Some(st) = stack.pop() {
+        let depth = st.rels.len() as u32;
+        // Emit the endpoint when within bounds and the node pattern
+        // accepts it.
+        if depth >= min && node_matches(ctx, row, np, st.node)? {
+            let node_ok = match np.var.as_ref().and_then(|v| row.get(v)) {
+                Some(existing) => existing.as_node() == Some(st.node),
+                None => true,
+            };
+            if node_ok {
+                let mut new_row = row.clone();
+                if let Some(var) = &rp.var {
+                    new_row.insert(
+                        var.clone(),
+                        RtVal::List(st.rels.iter().map(|r| RtVal::Rel(*r)).collect()),
+                    );
+                }
+                if let Some(var) = &np.var {
+                    new_row.insert(var.clone(), RtVal::Node(st.node));
+                }
+                push(new_row, st.used.clone(), st.node);
+            }
+        }
+        if depth >= max {
+            continue;
+        }
+        let rels: Vec<&Rel> = ctx.graph.rels_of(st.node, dir, type_filter).collect();
+        for rel in rels {
+            if st.used.contains(&rel.id) {
+                continue;
+            }
+            if !rel_matches(ctx, row, rp, rel)? {
+                continue;
+            }
+            let mut used2 = st.used.clone();
+            used2.insert(rel.id);
+            let mut rels2 = st.rels.clone();
+            rels2.push(rel.id);
+            stack.push(PathState { node: rel.other(st.node), used: used2, rels: rels2 });
+        }
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// Projection (WITH / RETURN)
+// ----------------------------------------------------------------------
+
+pub(crate) fn project(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    proj: &Projection,
+) -> Result<(Vec<String>, Vec<Vec<RtVal>>), CypherError> {
+    let columns: Vec<String> = proj.items.iter().map(|i| i.alias.clone()).collect();
+    let has_aggregate = proj.items.iter().any(|i| i.expr.contains_aggregate());
+
+    // Produce raw output rows (plus a representative input row for each,
+    // used by ORDER BY to reference pre-projection variables).
+    let mut produced: Vec<(Vec<RtVal>, Row)> = Vec::new();
+
+    if has_aggregate {
+        // Group rows by the non-aggregate items.
+        let group_idx: Vec<usize> = proj
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| !i.expr.contains_aggregate())
+            .map(|(k, _)| k)
+            .collect();
+        let mut groups: Vec<(Vec<RtVal>, Vec<Row>)> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        for row in rows {
+            let mut key = Vec::with_capacity(group_idx.len());
+            for &k in &group_idx {
+                key.push(ctx.eval(&proj.items[k].expr, &row)?);
+            }
+            let fingerprint = key
+                .iter()
+                .map(|v| v.render(ctx.graph))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            match index.get(&fingerprint) {
+                Some(&g) => groups[g].1.push(row),
+                None => {
+                    index.insert(fingerprint, groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+        // Aggregates over zero rows with no grouping keys still produce
+        // one row (e.g. `RETURN count(*)` on an empty match).
+        if groups.is_empty() && group_idx.is_empty() {
+            groups.push((Vec::new(), Vec::new()));
+        }
+        for (key, group_rows) in groups {
+            let mut out_row = Vec::with_capacity(proj.items.len());
+            let mut key_iter = key.into_iter();
+            for item in &proj.items {
+                if item.expr.contains_aggregate() {
+                    out_row.push(eval_aggregated(ctx, &item.expr, &group_rows)?);
+                } else {
+                    out_row.push(key_iter.next().expect("key arity"));
+                }
+            }
+            let repr = group_rows.into_iter().next().unwrap_or_default();
+            produced.push((out_row, repr));
+        }
+    } else {
+        for row in rows {
+            let mut out_row = Vec::with_capacity(proj.items.len());
+            for item in &proj.items {
+                out_row.push(ctx.eval(&item.expr, &row)?);
+            }
+            produced.push((out_row, row));
+        }
+    }
+
+    if proj.distinct {
+        let mut seen: HashSet<String> = HashSet::new();
+        produced.retain(|(vals, _)| {
+            let fp = vals
+                .iter()
+                .map(|v| v.render(ctx.graph))
+                .collect::<Vec<_>>()
+                .join("\u{1}");
+            seen.insert(fp)
+        });
+    }
+
+    if !proj.order_by.is_empty() {
+        // ORDER BY sees projected aliases plus the original bindings.
+        let mut keyed: Vec<(Vec<RtVal>, Vec<RtVal>, Row)> = Vec::with_capacity(produced.len());
+        for (vals, repr) in produced {
+            let mut scope = repr.clone();
+            for (c, v) in columns.iter().zip(vals.iter()) {
+                scope.insert(c.clone(), v.clone());
+            }
+            let mut keys = Vec::with_capacity(proj.order_by.len());
+            for ok in &proj.order_by {
+                keys.push(ctx.eval(&ok.expr, &scope)?);
+            }
+            keyed.push((keys, vals, repr));
+        }
+        keyed.sort_by(|a, b| {
+            for (i, ok) in proj.order_by.iter().enumerate() {
+                let c = a.0[i].order(&b.0[i]);
+                let c = if ok.descending { c.reverse() } else { c };
+                if c != Ordering::Equal {
+                    return c;
+                }
+            }
+            Ordering::Equal
+        });
+        produced = keyed.into_iter().map(|(_, vals, repr)| (vals, repr)).collect();
+    }
+
+    let empty = Row::new();
+    let skip = match &proj.skip {
+        Some(e) => eval_usize(ctx, e, &empty, "SKIP")?,
+        None => 0,
+    };
+    let limit = match &proj.limit {
+        Some(e) => eval_usize(ctx, e, &empty, "LIMIT")?,
+        None => usize::MAX,
+    };
+
+    let rows_out: Vec<Vec<RtVal>> = produced
+        .into_iter()
+        .skip(skip)
+        .take(limit)
+        .map(|(vals, _)| vals)
+        .collect();
+    Ok((columns, rows_out))
+}
+
+fn eval_usize(
+    ctx: &EvalCtx<'_>,
+    e: &Expr,
+    row: &Row,
+    what: &str,
+) -> Result<usize, CypherError> {
+    let v = ctx.eval(e, row)?;
+    v.as_scalar()
+        .and_then(|v| v.as_int())
+        .filter(|i| *i >= 0)
+        .map(|i| i as usize)
+        .ok_or_else(|| CypherError::runtime(format!("{what} must be a non-negative integer")))
+}
+
+/// Evaluates an expression that contains aggregates over a group.
+fn eval_aggregated(
+    ctx: &EvalCtx<'_>,
+    expr: &Expr,
+    group: &[Row],
+) -> Result<RtVal, CypherError> {
+    match expr {
+        Expr::Call { name, distinct, args } if is_aggregate_fn(name) => {
+            compute_aggregate(ctx, name, *distinct, args, group)
+        }
+        _ if !expr.contains_aggregate() => {
+            let repr = group.first().cloned().unwrap_or_default();
+            ctx.eval(expr, &repr)
+        }
+        Expr::Binary(op, a, b) => {
+            let x = eval_aggregated(ctx, a, group)?;
+            let y = eval_aggregated(ctx, b, group)?;
+            // Re-evaluate the binary op over materialised operands.
+            let tmp_expr = Expr::Binary(
+                *op,
+                Box::new(Expr::Var("\u{1}lhs".into())),
+                Box::new(Expr::Var("\u{1}rhs".into())),
+            );
+            let mut row = Row::new();
+            row.insert("\u{1}lhs".into(), x);
+            row.insert("\u{1}rhs".into(), y);
+            ctx.eval(&tmp_expr, &row)
+        }
+        Expr::Unary(op, a) => {
+            let x = eval_aggregated(ctx, a, group)?;
+            let tmp = Expr::Unary(*op, Box::new(Expr::Var("\u{1}x".into())));
+            let mut row = Row::new();
+            row.insert("\u{1}x".into(), x);
+            ctx.eval(&tmp, &row)
+        }
+        Expr::Call { name, distinct, args } => {
+            // Scalar function over aggregated arguments.
+            let mut row = Row::new();
+            let mut new_args = Vec::with_capacity(args.len());
+            for (i, a) in args.iter().enumerate() {
+                let v = eval_aggregated(ctx, a, group)?;
+                let key = format!("\u{1}a{i}");
+                row.insert(key.clone(), v);
+                new_args.push(Expr::Var(key));
+            }
+            ctx.eval(&Expr::Call { name: name.clone(), distinct: *distinct, args: new_args }, &row)
+        }
+        other => Err(CypherError::runtime(format!(
+            "unsupported aggregate expression shape: {other:?}"
+        ))),
+    }
+}
+
+fn compute_aggregate(
+    ctx: &EvalCtx<'_>,
+    name: &str,
+    distinct: bool,
+    args: &[Expr],
+    group: &[Row],
+) -> Result<RtVal, CypherError> {
+    // count(*) has no args.
+    if name == "count" && args.is_empty() {
+        return Ok(RtVal::Scalar(Value::Int(group.len() as i64)));
+    }
+    let arg = args
+        .first()
+        .ok_or_else(|| CypherError::runtime(format!("{name}() requires an argument")))?;
+
+    let mut values: Vec<RtVal> = Vec::with_capacity(group.len());
+    for row in group {
+        let v = ctx.eval(arg, row)?;
+        if !v.is_null() {
+            values.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = HashSet::new();
+        values.retain(|v| seen.insert(v.render(ctx.graph)));
+    }
+
+    match name {
+        "count" => Ok(RtVal::Scalar(Value::Int(values.len() as i64))),
+        "collect" => {
+            if values.iter().all(|v| matches!(v, RtVal::Scalar(_))) {
+                Ok(RtVal::Scalar(Value::List(
+                    values
+                        .into_iter()
+                        .map(|v| match v {
+                            RtVal::Scalar(s) => s,
+                            _ => unreachable!(),
+                        })
+                        .collect(),
+                )))
+            } else {
+                Ok(RtVal::List(values))
+            }
+        }
+        "sum" => {
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut any_float = false;
+            for v in &values {
+                match v.as_scalar() {
+                    Some(Value::Int(i)) => int_sum += i,
+                    Some(Value::Float(f)) => {
+                        any_float = true;
+                        float_sum += f;
+                    }
+                    _ => return Err(CypherError::runtime("sum() over non-numbers")),
+                }
+            }
+            Ok(RtVal::Scalar(if any_float {
+                Value::Float(float_sum + int_sum as f64)
+            } else {
+                Value::Int(int_sum)
+            }))
+        }
+        "avg" => {
+            if values.is_empty() {
+                return Ok(RtVal::null());
+            }
+            let mut sum = 0.0;
+            for v in &values {
+                sum += v
+                    .as_scalar()
+                    .and_then(|s| s.as_float())
+                    .ok_or_else(|| CypherError::runtime("avg() over non-numbers"))?;
+            }
+            Ok(RtVal::Scalar(Value::Float(sum / values.len() as f64)))
+        }
+        "min" => Ok(values
+            .into_iter()
+            .min_by(|a, b| a.order(b))
+            .unwrap_or_else(RtVal::null)),
+        "max" => Ok(values
+            .into_iter()
+            .max_by(|a, b| a.order(b))
+            .unwrap_or_else(RtVal::null)),
+        "percentilecont" | "percentiledisc" => {
+            let p_expr = args
+                .get(1)
+                .ok_or_else(|| CypherError::runtime(format!("{name}() needs a percentile")))?;
+            let p = ctx
+                .eval(p_expr, group.first().unwrap_or(&Row::new()))?
+                .as_scalar()
+                .and_then(|v| v.as_float())
+                .ok_or_else(|| CypherError::runtime("percentile must be a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(CypherError::runtime("percentile must be in [0, 1]"));
+            }
+            let mut nums: Vec<f64> = Vec::with_capacity(values.len());
+            for v in &values {
+                nums.push(
+                    v.as_scalar()
+                        .and_then(|s| s.as_float())
+                        .ok_or_else(|| CypherError::runtime("percentile over non-numbers"))?,
+                );
+            }
+            if nums.is_empty() {
+                return Ok(RtVal::null());
+            }
+            nums.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+            if name == "percentiledisc" {
+                let idx = ((p * nums.len() as f64).ceil() as usize).clamp(1, nums.len()) - 1;
+                Ok(RtVal::Scalar(Value::Float(nums[idx])))
+            } else {
+                let rank = p * (nums.len() - 1) as f64;
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let frac = rank - lo as f64;
+                Ok(RtVal::Scalar(Value::Float(
+                    nums[lo] + (nums[hi] - nums[lo]) * frac,
+                )))
+            }
+        }
+        "stdev" => {
+            if values.len() < 2 {
+                return Ok(RtVal::Scalar(Value::Float(0.0)));
+            }
+            let mut nums: Vec<f64> = Vec::with_capacity(values.len());
+            for v in &values {
+                nums.push(
+                    v.as_scalar()
+                        .and_then(|s| s.as_float())
+                        .ok_or_else(|| CypherError::runtime("stdev over non-numbers"))?,
+                );
+            }
+            let mean = nums.iter().sum::<f64>() / nums.len() as f64;
+            let var =
+                nums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (nums.len() - 1) as f64;
+            Ok(RtVal::Scalar(Value::Float(var.sqrt())))
+        }
+        other => Err(CypherError::runtime(format!("unknown aggregate {other}()"))),
+    }
+}

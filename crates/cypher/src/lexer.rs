@@ -1,0 +1,389 @@
+//! Tokenizer for the Cypher subset.
+
+use crate::error::CypherError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively; the original spelling is preserved here).
+    Ident(String),
+    /// Backtick-quoted identifier (allows spaces, e.g. `` `Tranco top 1M` ``).
+    QuotedIdent(String),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `$param` reference.
+    Param(String),
+    /// Punctuation / operators.
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Colon,
+    Comma,
+    Dot,
+    DotDot,
+    Semicolon,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Caret,
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Arrow,     // ->
+    BackArrow, // <-
+}
+
+impl Token {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes `input`, skipping whitespace and `//` line comments and
+/// `/* */` block comments.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, CypherError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CypherError::Lex {
+                            pos: start,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CypherError::Lex {
+                            pos: start,
+                            msg: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = input[i..].chars().next().expect("in bounds");
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    if ch == '\\' {
+                        i += 1;
+                        let esc = input[i..].chars().next().ok_or(CypherError::Lex {
+                            pos: i,
+                            msg: "dangling escape".into(),
+                        })?;
+                        s.push(match esc {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        });
+                        i += esc.len_utf8();
+                    } else {
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '`' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CypherError::Lex {
+                            pos: start,
+                            msg: "unterminated quoted identifier".into(),
+                        });
+                    }
+                    let ch = input[i..].chars().next().expect("in bounds");
+                    i += ch.len_utf8();
+                    if ch == '`' {
+                        break;
+                    }
+                    s.push(ch);
+                }
+                tokens.push(Token::QuotedIdent(s));
+            }
+            '$' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(CypherError::Lex { pos: start, msg: "empty parameter name".into() });
+                }
+                tokens.push(Token::Param(input[start..i].to_string()));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // Disambiguate `1..2` (range) from `1.5` (float).
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).map(|b| (*b as char).is_ascii_digit()) == Some(true);
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let f: f64 = input[start..i].parse().map_err(|_| CypherError::Lex {
+                        pos: start,
+                        msg: "bad float literal".into(),
+                    })?;
+                    tokens.push(Token::Float(f));
+                } else {
+                    let v: i64 = input[start..i].parse().map_err(|_| CypherError::Lex {
+                        pos: start,
+                        msg: "bad integer literal".into(),
+                    })?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = input[i..].chars().next().expect("in bounds");
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token::Colon);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    tokens.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '^' => {
+                tokens.push(Token::Caret);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token::BackArrow);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            other => {
+                return Err(CypherError::Lex {
+                    pos: i,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_listing_1() {
+        let toks = tokenize(
+            "// Select ASes originating prefixes\nMATCH (x:AS)-[:ORIGINATE]-(:Prefix)\nRETURN DISTINCT x.asn",
+        )
+        .unwrap();
+        assert!(toks[0].is_kw("match"));
+        assert_eq!(toks[1], Token::LParen);
+        assert_eq!(toks[2], Token::Ident("x".into()));
+        assert_eq!(toks[3], Token::Colon);
+        assert!(toks.contains(&Token::Minus));
+        assert!(toks.iter().any(|t| t.is_kw("RETURN")));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize(r#" 'RPKI Invalid' "double\'s" 'a\nb' "#).unwrap();
+        assert_eq!(toks[0], Token::Str("RPKI Invalid".into()));
+        assert_eq!(toks[1], Token::Str("double's".into()));
+        assert_eq!(toks[2], Token::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = tokenize("42 3.5 1..3").unwrap();
+        assert_eq!(toks[0], Token::Int(42));
+        assert_eq!(toks[1], Token::Float(3.5));
+        assert_eq!(toks[2], Token::Int(1));
+        assert_eq!(toks[3], Token::DotDot);
+        assert_eq!(toks[4], Token::Int(3));
+    }
+
+    #[test]
+    fn arrows_and_comparisons() {
+        let toks = tokenize("-> <- <> <= >= < > =").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Arrow,
+                Token::BackArrow,
+                Token::Neq,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn params_and_backticks() {
+        let toks = tokenize("$tranco `Tranco top 1M`").unwrap();
+        assert_eq!(toks[0], Token::Param("tranco".into()));
+        assert_eq!(toks[1], Token::QuotedIdent("Tranco top 1M".into()));
+    }
+
+    #[test]
+    fn block_comments() {
+        let toks = tokenize("MATCH /* ignore\nme */ RETURN").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("$").is_err());
+        assert!(tokenize("?").is_err());
+        assert!(tokenize("/* open").is_err());
+    }
+}

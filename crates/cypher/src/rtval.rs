@@ -1,0 +1,183 @@
+//! Runtime values: scalars plus graph entities.
+
+use iyp_graph::{Graph, NodeId, RelId, Value};
+use std::cmp::Ordering;
+
+/// A value flowing through the query pipeline. Unlike [`Value`], rows can
+/// carry whole nodes and relationships (e.g. `RETURN d, COLLECT(pfx)` in
+/// Listing 6), which keep their identity for `DISTINCT` and grouping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// A scalar (or scalar list) value.
+    Scalar(Value),
+    /// A node reference.
+    Node(NodeId),
+    /// A relationship reference.
+    Rel(RelId),
+    /// A list that may contain graph entities (result of `collect`).
+    List(Vec<RtVal>),
+}
+
+impl RtVal {
+    /// Null scalar.
+    pub fn null() -> RtVal {
+        RtVal::Scalar(Value::Null)
+    }
+
+    /// True if this is a null scalar.
+    pub fn is_null(&self) -> bool {
+        matches!(self, RtVal::Scalar(Value::Null))
+    }
+
+    /// The scalar inside, if this is a scalar.
+    pub fn as_scalar(&self) -> Option<&Value> {
+        match self {
+            RtVal::Scalar(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The node id inside, if this is a node.
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            RtVal::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The relationship id inside, if this is a relationship.
+    pub fn as_rel(&self) -> Option<RelId> {
+        match self {
+            RtVal::Rel(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The list inside, if this is a list of any kind.
+    pub fn as_list(&self) -> Option<Vec<RtVal>> {
+        match self {
+            RtVal::List(l) => Some(l.clone()),
+            RtVal::Scalar(Value::List(l)) => {
+                Some(l.iter().map(|v| RtVal::Scalar(v.clone())).collect())
+            }
+            _ => None,
+        }
+    }
+
+    /// Property lookup: nodes and relationships resolve against the
+    /// graph; anything else yields null (Cypher semantics).
+    pub fn prop(&self, graph: &Graph, key: &str) -> RtVal {
+        let v = match self {
+            RtVal::Node(n) => graph.node(*n).and_then(|n| n.prop(key)).cloned(),
+            RtVal::Rel(r) => graph.rel(*r).and_then(|r| r.prop(key)).cloned(),
+            _ => None,
+        };
+        RtVal::Scalar(v.unwrap_or(Value::Null))
+    }
+
+    /// Total ordering for `ORDER BY`, `DISTINCT`, and grouping.
+    /// Entities order by kind then id; scalars by [`Value::order`].
+    pub fn order(&self, other: &RtVal) -> Ordering {
+        fn rank(v: &RtVal) -> u8 {
+            match v {
+                RtVal::Scalar(_) => 0,
+                RtVal::Node(_) => 1,
+                RtVal::Rel(_) => 2,
+                RtVal::List(_) => 3,
+            }
+        }
+        match (self, other) {
+            (RtVal::Scalar(a), RtVal::Scalar(b)) => a.order(b),
+            (RtVal::Node(a), RtVal::Node(b)) => a.cmp(b),
+            (RtVal::Rel(a), RtVal::Rel(b)) => a.cmp(b),
+            (RtVal::List(a), RtVal::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.order(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Renders the value for display; nodes render as `(labels key)`.
+    pub fn render(&self, graph: &Graph) -> String {
+        match self {
+            RtVal::Scalar(v) => v.to_string(),
+            RtVal::Node(id) => match graph.node(*id) {
+                Some(n) => {
+                    let labels: Vec<&str> = n
+                        .labels
+                        .iter()
+                        .map(|l| graph.symbols().label_name(*l))
+                        .collect();
+                    format!("(:{} #{})", labels.join(":"), id.0)
+                }
+                None => format!("(#{}?)", id.0),
+            },
+            RtVal::Rel(id) => match graph.rel(*id) {
+                Some(r) => format!("[:{} #{}]", graph.symbols().rel_type_name(r.rel_type), id.0),
+                None => format!("[#{}?]", id.0),
+            },
+            RtVal::List(l) => {
+                let items: Vec<String> = l.iter().map(|v| v.render(graph)).collect();
+                format!("[{}]", items.join(", "))
+            }
+        }
+    }
+}
+
+impl From<Value> for RtVal {
+    fn from(v: Value) -> Self {
+        RtVal::Scalar(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::{props, Props};
+
+    #[test]
+    fn prop_resolution() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
+        let v = RtVal::Node(a);
+        assert_eq!(v.prop(&g, "name").as_scalar().unwrap().as_str(), Some("IIJ"));
+        assert!(v.prop(&g, "missing").is_null());
+        assert!(RtVal::Scalar(Value::Int(1)).prop(&g, "x").is_null());
+    }
+
+    #[test]
+    fn ordering_entities() {
+        let a = RtVal::Node(NodeId(1));
+        let b = RtVal::Node(NodeId(2));
+        assert_eq!(a.order(&b), Ordering::Less);
+        assert_eq!(a.order(&a), Ordering::Equal);
+        // Scalars sort before nodes.
+        assert_eq!(RtVal::Scalar(Value::Int(9)).order(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn list_coercion() {
+        let l = RtVal::Scalar(Value::List(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(l.as_list().unwrap().len(), 2);
+        let l2 = RtVal::List(vec![RtVal::Node(NodeId(0))]);
+        assert_eq!(l2.as_list().unwrap().len(), 1);
+        assert!(RtVal::Scalar(Value::Int(1)).as_list().is_none());
+    }
+
+    #[test]
+    fn render() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2u32, Props::new());
+        let r = g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        assert!(RtVal::Node(a).render(&g).contains(":AS"));
+        assert!(RtVal::Rel(r).render(&g).contains("PEERS_WITH"));
+        assert_eq!(RtVal::List(vec![RtVal::Scalar(Value::Int(1))]).render(&g), "[1]");
+    }
+}

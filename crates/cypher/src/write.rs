@@ -1,0 +1,321 @@
+//! Write-query execution: `CREATE`, `MERGE`, `SET`, `DELETE`.
+//!
+//! The paper's local-instance workflow (§6.1) has users *adding* to the
+//! knowledge graph — tagging the resources under study, importing
+//! confidential data, materialising intermediate results ("we added
+//! temporal SPoF relationships in the knowledge graph"). This module
+//! executes the Cypher write clauses against a mutable graph.
+
+use crate::ast::*;
+use crate::error::CypherError;
+use crate::eval::{truth, EvalCtx, Row};
+use crate::exec::{exec_match, match_pattern, project, Params, ResultSet};
+use crate::parser::parse;
+use crate::rtval::RtVal;
+use iyp_graph::{Graph, NodeId, Props, RelId, Value};
+use std::collections::HashSet;
+
+/// Counters describing the effects of a write query (the summary Neo4j
+/// prints after an update).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Nodes created.
+    pub nodes_created: usize,
+    /// Relationships created.
+    pub rels_created: usize,
+    /// Properties written by `SET`.
+    pub props_set: usize,
+    /// Nodes deleted.
+    pub nodes_deleted: usize,
+    /// Relationships deleted.
+    pub rels_deleted: usize,
+}
+
+/// Parses and executes a (possibly writing) query against a mutable
+/// graph. Returns the `RETURN` result (empty when the query has none)
+/// and the write counters.
+pub fn query_write(
+    graph: &mut Graph,
+    text: &str,
+    params: &Params,
+) -> Result<(ResultSet, WriteSummary), CypherError> {
+    let ast = parse(text)?;
+    execute_write(graph, &ast, params)
+}
+
+/// Executes a parsed query with write support.
+pub fn execute_write(
+    graph: &mut Graph,
+    ast: &Query,
+    params: &Params,
+) -> Result<(ResultSet, WriteSummary), CypherError> {
+    let mut rows: Vec<Row> = vec![Row::new()];
+    let mut result: Option<ResultSet> = None;
+    let mut summary = WriteSummary::default();
+
+    for clause in &ast.clauses {
+        match clause {
+            Clause::Match { optional, patterns } => {
+                let ctx = EvalCtx { graph, params, exists: None };
+                rows = exec_match(&ctx, rows, patterns, *optional)?;
+            }
+            Clause::Where(expr) => {
+                let ctx = EvalCtx { graph, params, exists: None };
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    if truth(&ctx.eval(expr, &row)?) == Some(true) {
+                        kept.push(row);
+                    }
+                }
+                rows = kept;
+            }
+            Clause::Unwind { expr, var } => {
+                let ctx = EvalCtx { graph, params, exists: None };
+                let mut out = Vec::new();
+                for row in rows {
+                    let v = ctx.eval(expr, &row)?;
+                    if let Some(items) = v.as_list() {
+                        for item in items {
+                            let mut r = row.clone();
+                            r.insert(var.clone(), item);
+                            out.push(r);
+                        }
+                    } else if !v.is_null() {
+                        let mut r = row.clone();
+                        r.insert(var.clone(), v);
+                        out.push(r);
+                    }
+                }
+                rows = out;
+            }
+            Clause::With(proj) => {
+                let ctx = EvalCtx { graph, params, exists: None };
+                let (cols, projected) = project(&ctx, rows, proj)?;
+                rows = projected
+                    .into_iter()
+                    .map(|vals| cols.iter().cloned().zip(vals).collect())
+                    .collect();
+            }
+            Clause::Return(proj) => {
+                let ctx = EvalCtx { graph, params, exists: None };
+                let (cols, projected) = project(&ctx, rows, proj)?;
+                result = Some(ResultSet { columns: cols, rows: projected });
+                rows = Vec::new();
+            }
+            Clause::Create(patterns) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut r = row;
+                    for pattern in patterns {
+                        r = create_pattern(graph, params, r, pattern, &mut summary)?;
+                    }
+                    out.push(r);
+                }
+                rows = out;
+            }
+            Clause::Merge(pattern) => {
+                let mut out = Vec::new();
+                for row in rows {
+                    // Try to match first.
+                    let matches = {
+                        let ctx = EvalCtx { graph, params, exists: None };
+                        let mut found = Vec::new();
+                        match_pattern(&ctx, &row, &HashSet::new(), pattern, &mut found)?;
+                        found
+                    };
+                    if matches.is_empty() {
+                        out.push(create_pattern(graph, params, row, pattern, &mut summary)?);
+                    } else {
+                        out.extend(matches.into_iter().map(|(r, _)| r));
+                    }
+                }
+                rows = out;
+            }
+            Clause::Set(items) => {
+                // Evaluate all assignments against the pre-SET state.
+                let mut planned: Vec<(RtVal, String, Value)> = Vec::new();
+                {
+                    let ctx = EvalCtx { graph, params, exists: None };
+                    for row in &rows {
+                        for item in items {
+                            let target = row.get(&item.var).cloned().ok_or_else(|| {
+                                CypherError::runtime(format!(
+                                    "SET target `{}` is not bound",
+                                    item.var
+                                ))
+                            })?;
+                            let value = ctx.eval(&item.value, row)?;
+                            let scalar = match value {
+                                RtVal::Scalar(s) => s,
+                                other => {
+                                    return Err(CypherError::runtime(format!(
+                                        "SET value must be a scalar, got {other:?}"
+                                    )))
+                                }
+                            };
+                            planned.push((target, item.key.clone(), scalar));
+                        }
+                    }
+                }
+                for (target, key, value) in planned {
+                    match target {
+                        RtVal::Node(n) => graph
+                            .set_node_prop(n, &key, value)
+                            .map_err(|e| CypherError::runtime(e.to_string()))?,
+                        RtVal::Rel(r) => graph
+                            .set_rel_prop(r, &key, value)
+                            .map_err(|e| CypherError::runtime(e.to_string()))?,
+                        other => {
+                            return Err(CypherError::runtime(format!(
+                                "SET target must be a node or relationship, got {other:?}"
+                            )))
+                        }
+                    }
+                    summary.props_set += 1;
+                }
+            }
+            Clause::Delete { exprs, detach } => {
+                let mut nodes: Vec<NodeId> = Vec::new();
+                let mut rels: Vec<RelId> = Vec::new();
+                {
+                    let ctx = EvalCtx { graph, params, exists: None };
+                    for row in &rows {
+                        for e in exprs {
+                            match ctx.eval(e, row)? {
+                                RtVal::Node(n) => nodes.push(n),
+                                RtVal::Rel(r) => rels.push(r),
+                                RtVal::Scalar(Value::Null) => {}
+                                other => {
+                                    return Err(CypherError::runtime(format!(
+                                        "DELETE target must be a node or relationship, got {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                rels.sort();
+                rels.dedup();
+                nodes.sort();
+                nodes.dedup();
+                for r in rels {
+                    // The rel may already be gone via an earlier detach.
+                    if graph.rel(r).is_some() {
+                        graph.delete_rel(r).map_err(|e| CypherError::runtime(e.to_string()))?;
+                        summary.rels_deleted += 1;
+                    }
+                }
+                for n in nodes {
+                    let Some(node) = graph.node(n) else { continue };
+                    if !detach && node.degree() > 0 {
+                        return Err(CypherError::runtime(
+                            "cannot DELETE a node that still has relationships \
+                             (use DETACH DELETE)",
+                        ));
+                    }
+                    summary.rels_deleted += node.degree();
+                    graph.delete_node(n).map_err(|e| CypherError::runtime(e.to_string()))?;
+                    summary.nodes_deleted += 1;
+                }
+            }
+        }
+    }
+
+    let result =
+        result.unwrap_or(ResultSet { columns: Vec::new(), rows: Vec::new() });
+    Ok((result, summary))
+}
+
+/// Evaluates a pattern's inline property maps into concrete values.
+fn eval_props(
+    graph: &Graph,
+    params: &Params,
+    row: &Row,
+    props: &[(String, Expr)],
+) -> Result<Props, CypherError> {
+    let ctx = EvalCtx { graph, params, exists: None };
+    let mut out = Props::new();
+    for (k, e) in props {
+        match ctx.eval(e, row)? {
+            RtVal::Scalar(v) => {
+                out.insert(k.clone(), v);
+            }
+            other => {
+                return Err(CypherError::runtime(format!(
+                    "property `{k}` must be a scalar, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Creates one path pattern, binding its variables into the row.
+fn create_pattern(
+    graph: &mut Graph,
+    params: &Params,
+    mut row: Row,
+    pattern: &PathPattern,
+    summary: &mut WriteSummary,
+) -> Result<Row, CypherError> {
+    let resolve_node = |graph: &mut Graph,
+                            row: &mut Row,
+                            np: &NodePattern,
+                            summary: &mut WriteSummary|
+     -> Result<NodeId, CypherError> {
+        if let Some(var) = &np.var {
+            if let Some(bound) = row.get(var) {
+                return bound.as_node().ok_or_else(|| {
+                    CypherError::runtime(format!("`{var}` is bound but is not a node"))
+                });
+            }
+        }
+        let props = eval_props(graph, params, row, &np.props)?;
+        let labels: Vec<&str> = np.labels.iter().map(String::as_str).collect();
+        if labels.is_empty() {
+            return Err(CypherError::runtime(
+                "CREATE/MERGE requires at least one label on new nodes",
+            ));
+        }
+        let id = graph.create_node(&labels, props);
+        summary.nodes_created += 1;
+        if let Some(var) = &np.var {
+            row.insert(var.clone(), RtVal::Node(id));
+        }
+        Ok(id)
+    };
+
+    let mut prev = resolve_node(graph, &mut row, &pattern.start, summary)?;
+    for (rp, np) in &pattern.hops {
+        if rp.var_length.is_some() {
+            return Err(CypherError::runtime(
+                "variable-length relationships cannot be created",
+            ));
+        }
+        if rp.types.len() != 1 {
+            return Err(CypherError::runtime(
+                "CREATE/MERGE relationships need exactly one type",
+            ));
+        }
+        let next = resolve_node(graph, &mut row, np, summary)?;
+        let (src, dst) = match rp.dir {
+            RelDir::Right => (prev, next),
+            RelDir::Left => (next, prev),
+            RelDir::Undirected => {
+                return Err(CypherError::runtime(
+                    "CREATE/MERGE relationships must be directed (use -> or <-)",
+                ))
+            }
+        };
+        let props = eval_props(graph, params, &row, &rp.props)?;
+        let rel = graph
+            .create_rel(src, &rp.types[0], dst, props)
+            .map_err(|e| CypherError::runtime(e.to_string()))?;
+        summary.rels_created += 1;
+        if let Some(var) = &rp.var {
+            row.insert(var.clone(), RtVal::Rel(rel));
+        }
+        prev = next;
+    }
+    Ok(row)
+}

@@ -1,0 +1,234 @@
+//! Graph algorithms over the knowledge graph.
+//!
+//! The paper's conclusion points at "the numerous knowledge graph
+//! applications to Internet data, including knowledge reasoning …
+//! and various applications based on knowledge graph embeddings". This
+//! module provides the classical building blocks those applications
+//! start from: traversal, components, degrees, and a PageRank-style
+//! centrality — all restricted to a chosen relationship type so they
+//! operate on meaningful sub-graphs (e.g. the `PEERS_WITH` AS mesh).
+
+use crate::node::{Direction, NodeId};
+use crate::store::Graph;
+use crate::symbols::RelTypeId;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Shortest path (by hop count) between two nodes along relationships
+/// of the given type (undirected). Returns the node sequence including
+/// both endpoints, or `None` when unreachable.
+pub fn shortest_path(
+    graph: &Graph,
+    from: NodeId,
+    to: NodeId,
+    rel_type: Option<RelTypeId>,
+) -> Option<Vec<NodeId>> {
+    if from == to {
+        return Some(vec![from]);
+    }
+    let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut queue = VecDeque::from([from]);
+    let mut seen = HashSet::from([from]);
+    while let Some(n) = queue.pop_front() {
+        for next in graph.neighbors(n, Direction::Both, rel_type) {
+            if seen.insert(next) {
+                prev.insert(next, n);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut cur = to;
+                    while let Some(&p) = prev.get(&cur) {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+/// Connected components over relationships of the given type among the
+/// given nodes. Returns one vector of node ids per component, largest
+/// first.
+pub fn connected_components(
+    graph: &Graph,
+    nodes: &[NodeId],
+    rel_type: Option<RelTypeId>,
+) -> Vec<Vec<NodeId>> {
+    let universe: HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    let mut components = Vec::new();
+    for &start in nodes {
+        if seen.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen.insert(start);
+        while let Some(n) = queue.pop_front() {
+            component.push(n);
+            for next in graph.neighbors(n, Direction::Both, rel_type) {
+                if universe.contains(&next) && seen.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+        components.push(component);
+    }
+    components.sort_by(|a, b| b.len().cmp(&a.len()));
+    components
+}
+
+/// Degree (number of incident relationships of the given type) for
+/// each of the given nodes.
+pub fn degrees(
+    graph: &Graph,
+    nodes: &[NodeId],
+    rel_type: Option<RelTypeId>,
+) -> Vec<(NodeId, usize)> {
+    nodes
+        .iter()
+        .map(|&n| (n, graph.rels_of(n, Direction::Both, rel_type).count()))
+        .collect()
+}
+
+/// PageRank over the sub-graph induced by `nodes` and relationships of
+/// the given type (treated as undirected: rank flows both ways, which
+/// suits peering meshes). Returns `(node, score)` sorted by descending
+/// score.
+pub fn pagerank(
+    graph: &Graph,
+    nodes: &[NodeId],
+    rel_type: Option<RelTypeId>,
+    damping: f64,
+    iterations: usize,
+) -> Vec<(NodeId, f64)> {
+    let index: HashMap<NodeId, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let n = nodes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Adjacency within the universe.
+    let adj: Vec<Vec<usize>> = nodes
+        .iter()
+        .map(|&node| {
+            graph
+                .neighbors(node, Direction::Both, rel_type)
+                .filter_map(|m| index.get(&m).copied())
+                .collect()
+        })
+        .collect();
+    let mut rank = vec![1.0 / n as f64; n];
+    for _ in 0..iterations {
+        let mut next = vec![(1.0 - damping) / n as f64; n];
+        let mut dangling = 0.0;
+        for (i, out) in adj.iter().enumerate() {
+            if out.is_empty() {
+                dangling += rank[i];
+            } else {
+                let share = damping * rank[i] / out.len() as f64;
+                for &j in out {
+                    next[j] += share;
+                }
+            }
+        }
+        let dangling_share = damping * dangling / n as f64;
+        for x in &mut next {
+            *x += dangling_share;
+        }
+        rank = next;
+    }
+    let mut out: Vec<(NodeId, f64)> =
+        nodes.iter().copied().zip(rank).collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Props;
+
+    /// A line a-b-c-d plus an isolated pair e-f.
+    fn line_graph() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> =
+            (0..6u32).map(|i| g.merge_node("AS", "asn", i, Props::new())).collect();
+        g.create_rel(ids[0], "PEERS_WITH", ids[1], Props::new()).unwrap();
+        g.create_rel(ids[1], "PEERS_WITH", ids[2], Props::new()).unwrap();
+        g.create_rel(ids[2], "PEERS_WITH", ids[3], Props::new()).unwrap();
+        g.create_rel(ids[4], "PEERS_WITH", ids[5], Props::new()).unwrap();
+        (g, ids)
+    }
+
+    #[test]
+    fn shortest_path_on_line() {
+        let (g, ids) = line_graph();
+        let t = g.symbols().get_rel_type("PEERS_WITH");
+        let p = shortest_path(&g, ids[0], ids[3], t).unwrap();
+        assert_eq!(p, vec![ids[0], ids[1], ids[2], ids[3]]);
+        assert_eq!(shortest_path(&g, ids[0], ids[0], t).unwrap(), vec![ids[0]]);
+        assert!(shortest_path(&g, ids[0], ids[4], t).is_none());
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let (g, ids) = line_graph();
+        let t = g.symbols().get_rel_type("PEERS_WITH");
+        let comps = connected_components(&g, &ids, t);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].len(), 4);
+        assert_eq!(comps[1].len(), 2);
+    }
+
+    #[test]
+    fn degrees_count_incident_rels() {
+        let (g, ids) = line_graph();
+        let t = g.symbols().get_rel_type("PEERS_WITH");
+        let d: HashMap<NodeId, usize> = degrees(&g, &ids, t).into_iter().collect();
+        assert_eq!(d[&ids[0]], 1);
+        assert_eq!(d[&ids[1]], 2);
+        assert_eq!(d[&ids[5]], 1);
+    }
+
+    #[test]
+    fn pagerank_favors_central_nodes() {
+        let (g, ids) = line_graph();
+        let t = g.symbols().get_rel_type("PEERS_WITH");
+        let pr = pagerank(&g, &ids[..4], t, 0.85, 50);
+        // Middle nodes of the line outrank the endpoints.
+        let score: HashMap<NodeId, f64> = pr.into_iter().collect();
+        assert!(score[&ids[1]] > score[&ids[0]]);
+        assert!(score[&ids[2]] > score[&ids[3]]);
+        // Scores sum to ~1.
+        let total: f64 = score.values().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pagerank_handles_empty_and_dangling() {
+        let (g, ids) = line_graph();
+        assert!(pagerank(&g, &[], None, 0.85, 10).is_empty());
+        // Node 0 alone: no neighbours inside the universe → dangling.
+        let pr = pagerank(&g, &ids[..1], None, 0.85, 10);
+        assert!((pr[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_center_dominates_pagerank() {
+        let mut g = Graph::new();
+        let center = g.merge_node("AS", "asn", 100u32, Props::new());
+        let mut ids = vec![center];
+        for i in 0..8u32 {
+            let leaf = g.merge_node("AS", "asn", i, Props::new());
+            g.create_rel(leaf, "PEERS_WITH", center, Props::new()).unwrap();
+            ids.push(leaf);
+        }
+        let t = g.symbols().get_rel_type("PEERS_WITH");
+        let pr = pagerank(&g, &ids, t, 0.85, 50);
+        assert_eq!(pr[0].0, center);
+    }
+}

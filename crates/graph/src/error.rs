@@ -1,0 +1,33 @@
+//! Graph store errors.
+
+use crate::node::{NodeId, RelId};
+use std::fmt;
+
+/// Errors returned by the graph store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The node id does not exist (or was deleted).
+    NodeNotFound(NodeId),
+    /// The relationship id does not exist (or was deleted).
+    RelNotFound(RelId),
+    /// A merge key value had a type that cannot be used as a key
+    /// (float, list, bool, null).
+    InvalidKeyType { key: String },
+    /// Snapshot (de)serialisation failed.
+    Snapshot(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeNotFound(id) => write!(f, "node {} not found", id.0),
+            GraphError::RelNotFound(id) => write!(f, "relationship {} not found", id.0),
+            GraphError::InvalidKeyType { key } => {
+                write!(f, "property {key:?} has a type that cannot be a merge key")
+            }
+            GraphError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,125 @@
+//! Node and relationship records.
+
+use crate::symbols::{LabelId, RelTypeId};
+use crate::value::{Props, Value};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node. Dense, assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u64);
+
+/// Identifier of a relationship. Dense, assigned in creation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelId(pub u64);
+
+/// Traversal direction relative to a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow relationships where the node is the source.
+    Outgoing,
+    /// Follow relationships where the node is the destination.
+    Incoming,
+    /// Follow relationships regardless of direction (the common case in
+    /// the paper's queries, written `-[:TYPE]-`).
+    Both,
+}
+
+/// A node: one or more entity labels plus a property map.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Entity labels (ontology node types). Most nodes have exactly one;
+    /// `Tag`-plus-`Name` style multi-label nodes are allowed.
+    pub labels: Vec<LabelId>,
+    /// Properties (identity key plus any circumstantial attributes).
+    pub props: Props,
+    /// Relationship ids where this node is the source.
+    pub out_rels: Vec<RelId>,
+    /// Relationship ids where this node is the destination.
+    pub in_rels: Vec<RelId>,
+}
+
+impl Node {
+    /// True if the node carries the given label.
+    pub fn has_label(&self, label: LabelId) -> bool {
+        self.labels.contains(&label)
+    }
+
+    /// Fetches a property value.
+    pub fn prop(&self, key: &str) -> Option<&Value> {
+        self.props.get(key)
+    }
+
+    /// Total degree (in + out).
+    pub fn degree(&self) -> usize {
+        self.out_rels.len() + self.in_rels.len()
+    }
+}
+
+/// A directed relationship with a type and properties.
+///
+/// Every relationship imported from a dataset carries the six IYP
+/// provenance properties (`reference_org`, `reference_name`, …) set by the
+/// crawler framework.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Rel {
+    /// This relationship's id.
+    pub id: RelId,
+    /// Relationship type (ontology relationship).
+    pub rel_type: RelTypeId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Properties, including provenance.
+    pub props: Props,
+}
+
+impl Rel {
+    /// Fetches a property value.
+    pub fn prop(&self, key: &str) -> Option<&Value> {
+        self.props.get(key)
+    }
+
+    /// Given one endpoint, returns the other.
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if self.src == node {
+            self.dst
+        } else {
+            self.src
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_endpoint() {
+        let r = Rel {
+            id: RelId(0),
+            rel_type: RelTypeId(0),
+            src: NodeId(1),
+            dst: NodeId(2),
+            props: Props::new(),
+        };
+        assert_eq!(r.other(NodeId(1)), NodeId(2));
+        assert_eq!(r.other(NodeId(2)), NodeId(1));
+    }
+
+    #[test]
+    fn node_label_and_degree() {
+        let n = Node {
+            id: NodeId(0),
+            labels: vec![LabelId(3)],
+            props: Props::new(),
+            out_rels: vec![RelId(0), RelId(1)],
+            in_rels: vec![RelId(2)],
+        };
+        assert!(n.has_label(LabelId(3)));
+        assert!(!n.has_label(LabelId(4)));
+        assert_eq!(n.degree(), 3);
+    }
+}

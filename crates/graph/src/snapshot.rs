@@ -1,0 +1,466 @@
+//! Snapshot persistence.
+//!
+//! The public IYP service releases weekly database snapshots that users
+//! load into a local instance (§3.1). This module provides the same
+//! workflow for our store, in two formats:
+//!
+//! - **JSON** — human-inspectable, interoperable;
+//! - **binary** — a compact length-prefixed encoding (via [`bytes`]),
+//!   several times smaller and faster, used by the benchmark suite.
+//!
+//! Both formats roundtrip the complete graph; indexes are rebuilt on load.
+
+use crate::error::GraphError;
+use crate::node::{Node, NodeId, Rel, RelId};
+use crate::store::Graph;
+use crate::symbols::{LabelId, RelTypeId, SymbolTable};
+use crate::value::{Props, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// Magic bytes identifying a binary IYP snapshot.
+const MAGIC: &[u8; 4] = b"IYPS";
+/// Binary format version.
+const VERSION: u8 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotDoc {
+    symbols: SymbolTable,
+    nodes: Vec<Option<Node>>,
+    rels: Vec<Option<Rel>>,
+}
+
+/// Serialises the graph to a JSON snapshot string.
+pub fn to_json(graph: &Graph) -> Result<String, GraphError> {
+    let (symbols, nodes, rels) = graph.parts();
+    let doc = SnapshotDoc {
+        symbols: symbols.clone(),
+        nodes: nodes.to_vec(),
+        rels: rels.to_vec(),
+    };
+    serde_json::to_string(&doc).map_err(|e| GraphError::Snapshot(e.to_string()))
+}
+
+/// Loads a graph from a JSON snapshot string.
+pub fn from_json(json: &str) -> Result<Graph, GraphError> {
+    let doc: SnapshotDoc =
+        serde_json::from_str(json).map_err(|e| GraphError::Snapshot(e.to_string()))?;
+    Ok(Graph::from_parts(doc.symbols, doc.nodes, doc.rels))
+}
+
+/// Writes a JSON snapshot to a file.
+pub fn save_json(graph: &Graph, path: &Path) -> Result<(), GraphError> {
+    let json = to_json(graph)?;
+    fs::write(path, json).map_err(|e| GraphError::Snapshot(e.to_string()))
+}
+
+/// Loads a JSON snapshot from a file.
+pub fn load_json(path: &Path) -> Result<Graph, GraphError> {
+    let json = fs::read_to_string(path).map_err(|e| GraphError::Snapshot(e.to_string()))?;
+    from_json(&json)
+}
+
+// ----------------------------------------------------------------------
+// Binary format
+// ----------------------------------------------------------------------
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, GraphError> {
+    if buf.remaining() < 4 {
+        return Err(GraphError::Snapshot("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(GraphError::Snapshot("truncated string body".into()));
+    }
+    let b = buf.copy_to_bytes(len);
+    String::from_utf8(b.to_vec()).map_err(|e| GraphError::Snapshot(e.to_string()))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64_le(*f);
+        }
+        Value::Str(s) => {
+            buf.put_u8(4);
+            put_str(buf, s);
+        }
+        Value::List(l) => {
+            buf.put_u8(5);
+            buf.put_u32_le(l.len() as u32);
+            for x in l {
+                put_value(buf, x);
+            }
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value, GraphError> {
+    if buf.remaining() < 1 {
+        return Err(GraphError::Snapshot("truncated value tag".into()));
+    }
+    match buf.get_u8() {
+        0 => Ok(Value::Null),
+        1 => {
+            if buf.remaining() < 1 {
+                return Err(GraphError::Snapshot("truncated bool".into()));
+            }
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        2 => {
+            if buf.remaining() < 8 {
+                return Err(GraphError::Snapshot("truncated int".into()));
+            }
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(GraphError::Snapshot("truncated float".into()));
+            }
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        4 => Ok(Value::Str(get_str(buf)?)),
+        5 => {
+            if buf.remaining() < 4 {
+                return Err(GraphError::Snapshot("truncated list length".into()));
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut l = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                l.push(get_value(buf)?);
+            }
+            Ok(Value::List(l))
+        }
+        t => Err(GraphError::Snapshot(format!("unknown value tag {t}"))),
+    }
+}
+
+fn put_props(buf: &mut BytesMut, props: &Props) {
+    buf.put_u32_le(props.len() as u32);
+    for (k, v) in props {
+        put_str(buf, k);
+        put_value(buf, v);
+    }
+}
+
+fn get_props(buf: &mut Bytes) -> Result<Props, GraphError> {
+    if buf.remaining() < 4 {
+        return Err(GraphError::Snapshot("truncated props length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut props = Props::new();
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        let v = get_value(buf)?;
+        props.insert(k, v);
+    }
+    Ok(props)
+}
+
+/// Serialises the graph to the compact binary snapshot format.
+pub fn to_binary(graph: &Graph) -> Bytes {
+    let (symbols, nodes, rels) = graph.parts();
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+
+    // Symbol table: labels, rel types (prop keys are rebuilt from data).
+    let labels: Vec<&str> = symbols.labels().map(|(_, n)| n).collect();
+    buf.put_u32_le(labels.len() as u32);
+    for l in labels {
+        put_str(&mut buf, l);
+    }
+    let types: Vec<&str> = symbols.rel_types().map(|(_, n)| n).collect();
+    buf.put_u32_le(types.len() as u32);
+    for t in types {
+        put_str(&mut buf, t);
+    }
+
+    // Nodes (adjacency is rebuilt from rels on load).
+    buf.put_u64_le(nodes.len() as u64);
+    for slot in nodes {
+        match slot {
+            None => buf.put_u8(0),
+            Some(n) => {
+                buf.put_u8(1);
+                buf.put_u16_le(n.labels.len() as u16);
+                for l in &n.labels {
+                    buf.put_u32_le(l.0);
+                }
+                put_props(&mut buf, &n.props);
+            }
+        }
+    }
+
+    // Rels.
+    buf.put_u64_le(rels.len() as u64);
+    for slot in rels {
+        match slot {
+            None => buf.put_u8(0),
+            Some(r) => {
+                buf.put_u8(1);
+                buf.put_u32_le(r.rel_type.0);
+                buf.put_u64_le(r.src.0);
+                buf.put_u64_le(r.dst.0);
+                put_props(&mut buf, &r.props);
+            }
+        }
+    }
+
+    buf.freeze()
+}
+
+/// Loads a graph from the compact binary snapshot format.
+pub fn from_binary(data: &[u8]) -> Result<Graph, GraphError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 5 {
+        return Err(GraphError::Snapshot("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Snapshot("bad magic".into()));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(GraphError::Snapshot(format!("unsupported version {version}")));
+    }
+
+    let mut symbols = SymbolTable::new();
+    if buf.remaining() < 4 {
+        return Err(GraphError::Snapshot("truncated label table".into()));
+    }
+    let nlabels = buf.get_u32_le();
+    for _ in 0..nlabels {
+        let name = get_str(&mut buf)?;
+        symbols.label(&name);
+    }
+    if buf.remaining() < 4 {
+        return Err(GraphError::Snapshot("truncated type table".into()));
+    }
+    let ntypes = buf.get_u32_le();
+    for _ in 0..ntypes {
+        let name = get_str(&mut buf)?;
+        symbols.rel_type(&name);
+    }
+
+    if buf.remaining() < 8 {
+        return Err(GraphError::Snapshot("truncated node count".into()));
+    }
+    let nnodes = buf.get_u64_le() as usize;
+    let mut nodes: Vec<Option<Node>> = Vec::with_capacity(nnodes.min(1 << 24));
+    for i in 0..nnodes {
+        if buf.remaining() < 1 {
+            return Err(GraphError::Snapshot("truncated node".into()));
+        }
+        match buf.get_u8() {
+            0 => nodes.push(None),
+            1 => {
+                if buf.remaining() < 2 {
+                    return Err(GraphError::Snapshot("truncated node labels".into()));
+                }
+                let nl = buf.get_u16_le() as usize;
+                let mut labels = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    if buf.remaining() < 4 {
+                        return Err(GraphError::Snapshot("truncated label id".into()));
+                    }
+                    labels.push(LabelId(buf.get_u32_le()));
+                }
+                let props = get_props(&mut buf)?;
+                nodes.push(Some(Node {
+                    id: NodeId(i as u64),
+                    labels,
+                    props,
+                    out_rels: Vec::new(),
+                    in_rels: Vec::new(),
+                }));
+            }
+            t => return Err(GraphError::Snapshot(format!("bad node tag {t}"))),
+        }
+    }
+
+    if buf.remaining() < 8 {
+        return Err(GraphError::Snapshot("truncated rel count".into()));
+    }
+    let nrels = buf.get_u64_le() as usize;
+    let mut rels: Vec<Option<Rel>> = Vec::with_capacity(nrels.min(1 << 24));
+    for i in 0..nrels {
+        if buf.remaining() < 1 {
+            return Err(GraphError::Snapshot("truncated rel".into()));
+        }
+        match buf.get_u8() {
+            0 => rels.push(None),
+            1 => {
+                if buf.remaining() < 4 + 8 + 8 {
+                    return Err(GraphError::Snapshot("truncated rel body".into()));
+                }
+                let rel_type = RelTypeId(buf.get_u32_le());
+                let src = NodeId(buf.get_u64_le());
+                let dst = NodeId(buf.get_u64_le());
+                let props = get_props(&mut buf)?;
+                rels.push(Some(Rel { id: RelId(i as u64), rel_type, src, dst, props }));
+            }
+            t => return Err(GraphError::Snapshot(format!("bad rel tag {t}"))),
+        }
+    }
+
+    // Rebuild adjacency.
+    for slot in rels.iter().filter_map(Option::as_ref) {
+        if let Some(Some(n)) = nodes.get_mut(slot.src.0 as usize) {
+            n.out_rels.push(slot.id);
+        }
+        if let Some(Some(n)) = nodes.get_mut(slot.dst.0 as usize) {
+            n.in_rels.push(slot.id);
+        }
+    }
+
+    Ok(Graph::from_parts(symbols, nodes, rels))
+}
+
+/// Writes a binary snapshot to a file.
+pub fn save_binary(graph: &Graph, path: &Path) -> Result<(), GraphError> {
+    fs::write(path, to_binary(graph)).map_err(|e| GraphError::Snapshot(e.to_string()))
+}
+
+/// Loads a binary snapshot from a file.
+pub fn load_binary(path: &Path) -> Result<Graph, GraphError> {
+    let data = fs::read(path).map_err(|e| GraphError::Snapshot(e.to_string()))?;
+    from_binary(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Direction;
+    use crate::value::props;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
+        let p = g.merge_node(
+            "Prefix",
+            "prefix",
+            "2001:db8::/32",
+            props([("af", Value::Int(6))]),
+        );
+        g.create_rel(
+            a,
+            "ORIGINATE",
+            p,
+            props([
+                ("reference_name", "bgpkit.pfx2as".into()),
+                ("count", Value::Int(12)),
+                ("weight", Value::Float(0.25)),
+                ("tags", Value::List(vec!["x".into(), Value::Int(1)])),
+                ("nullable", Value::Null),
+                ("flag", Value::Bool(true)),
+            ]),
+        )
+        .unwrap();
+        g
+    }
+
+    fn assert_same(g: &Graph, h: &Graph) {
+        assert_eq!(g.node_count(), h.node_count());
+        assert_eq!(g.rel_count(), h.rel_count());
+        let a = h.lookup("AS", "asn", 2497u32).expect("AS survives");
+        let p = h.lookup("Prefix", "prefix", "2001:db8::/32").expect("prefix survives");
+        let t = h.symbols().get_rel_type("ORIGINATE");
+        let rels: Vec<_> = h.rels_of(a, Direction::Outgoing, t).collect();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].dst, p);
+        assert_eq!(rels[0].prop("count").unwrap().as_int(), Some(12));
+        assert_eq!(rels[0].prop("weight").unwrap().as_float(), Some(0.25));
+        assert!(rels[0].prop("nullable").unwrap().is_null());
+        assert_eq!(rels[0].prop("flag").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            rels[0].prop("tags").unwrap().as_list().unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let g = sample_graph();
+        let json = to_json(&g).unwrap();
+        let h = from_json(&json).unwrap();
+        assert_same(&g, &h);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample_graph();
+        let bin = to_binary(&g);
+        let h = from_binary(&bin).unwrap();
+        assert_same(&g, &h);
+    }
+
+    #[test]
+    fn binary_is_smaller_than_json() {
+        let g = sample_graph();
+        assert!(to_binary(&g).len() < to_json(&g).unwrap().len());
+    }
+
+    #[test]
+    fn binary_rejects_garbage() {
+        assert!(from_binary(b"").is_err());
+        assert!(from_binary(b"NOPE\x01").is_err());
+        assert!(from_binary(b"IYPS\x63").is_err()); // bad version
+        let mut bin = to_binary(&sample_graph()).to_vec();
+        bin.truncate(bin.len() / 2);
+        assert!(from_binary(&bin).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample_graph();
+        let dir = std::env::temp_dir();
+        let jpath = dir.join("iyp_snapshot_test.json");
+        let bpath = dir.join("iyp_snapshot_test.bin");
+        save_json(&g, &jpath).unwrap();
+        save_binary(&g, &bpath).unwrap();
+        assert_same(&g, &load_json(&jpath).unwrap());
+        assert_same(&g, &load_binary(&bpath).unwrap());
+        let _ = std::fs::remove_file(jpath);
+        let _ = std::fs::remove_file(bpath);
+    }
+
+    #[test]
+    fn roundtrip_preserves_merge_semantics() {
+        let g = sample_graph();
+        let mut h = from_binary(&to_binary(&g)).unwrap();
+        // Merging the same AS key must hit the existing node, not make a new one.
+        let before = h.node_count();
+        let a = h.merge_node("AS", "asn", 2497u32, Props::new());
+        assert_eq!(h.node_count(), before);
+        assert_eq!(Some(a), h.lookup("AS", "asn", 2497u32));
+    }
+
+    #[test]
+    fn roundtrip_with_deletions() {
+        let mut g = sample_graph();
+        let extra = g.merge_node("AS", "asn", 99u32, Props::new());
+        g.delete_node(extra).unwrap();
+        let h = from_binary(&to_binary(&g)).unwrap();
+        assert_eq!(h.node_count(), g.node_count());
+        assert!(h.lookup("AS", "asn", 99u32).is_none());
+    }
+}

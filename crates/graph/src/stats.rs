@@ -1,0 +1,120 @@
+//! Graph statistics, used by the pipeline build report and the README
+//! tables.
+
+use crate::store::Graph;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Summary statistics of a graph: totals plus per-label and per-type
+/// breakdowns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Live node count.
+    pub nodes: usize,
+    /// Live relationship count.
+    pub rels: usize,
+    /// Node count per label, sorted by label name.
+    pub nodes_per_label: BTreeMap<String, usize>,
+    /// Relationship count per type, sorted by type name.
+    pub rels_per_type: BTreeMap<String, usize>,
+    /// Relationship count per `reference_name` (dataset), sorted.
+    pub rels_per_dataset: BTreeMap<String, usize>,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &Graph) -> Self {
+        let mut nodes_per_label: BTreeMap<String, usize> = BTreeMap::new();
+        for n in graph.all_nodes() {
+            for l in &n.labels {
+                *nodes_per_label
+                    .entry(graph.symbols().label_name(*l).to_string())
+                    .or_default() += 1;
+            }
+        }
+        let mut rels_per_type: BTreeMap<String, usize> = BTreeMap::new();
+        let mut rels_per_dataset: BTreeMap<String, usize> = BTreeMap::new();
+        for r in graph.all_rels() {
+            *rels_per_type
+                .entry(graph.symbols().rel_type_name(r.rel_type).to_string())
+                .or_default() += 1;
+            if let Some(ds) = r.prop("reference_name").and_then(|v| v.as_str()) {
+                *rels_per_dataset.entry(ds.to_string()).or_default() += 1;
+            }
+        }
+        GraphStats {
+            nodes: graph.node_count(),
+            rels: graph.rel_count(),
+            nodes_per_label,
+            rels_per_type,
+            rels_per_dataset,
+        }
+    }
+
+    /// Number of distinct datasets that contributed relationships.
+    pub fn dataset_count(&self) -> usize {
+        self.rels_per_dataset.len()
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {}  relationships: {}", self.nodes, self.rels)?;
+        writeln!(f, "-- nodes per label --")?;
+        for (l, c) in &self.nodes_per_label {
+            writeln!(f, "  {l:<28} {c:>9}")?;
+        }
+        writeln!(f, "-- relationships per type --")?;
+        for (t, c) in &self.rels_per_type {
+            writeln!(f, "  {t:<28} {c:>9}")?;
+        }
+        writeln!(f, "-- relationships per dataset --")?;
+        for (d, c) in &self.rels_per_dataset {
+            writeln!(f, "  {d:<40} {c:>9}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{props, Props};
+
+    #[test]
+    fn computes_breakdowns() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        g.create_rel(a, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
+            .unwrap();
+        g.create_rel(b, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
+            .unwrap();
+        g.create_rel(a, "PEERS_WITH", b, props([("reference_name", "bgpkit.as2rel".into())]))
+            .unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.rels, 3);
+        assert_eq!(s.nodes_per_label["AS"], 2);
+        assert_eq!(s.nodes_per_label["Prefix"], 1);
+        assert_eq!(s.rels_per_type["ORIGINATE"], 2);
+        assert_eq!(s.rels_per_type["PEERS_WITH"], 1);
+        assert_eq!(s.rels_per_dataset["bgpkit.pfx2as"], 2);
+        assert_eq!(s.dataset_count(), 2);
+        // Display renders without panicking and mentions labels.
+        let txt = s.to_string();
+        assert!(txt.contains("ORIGINATE"));
+    }
+
+    #[test]
+    fn multi_label_nodes_count_once_per_label() {
+        let mut g = Graph::new();
+        let n = g.create_node(&["AS"], Props::new());
+        g.add_label(n, "Tier1").unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.nodes_per_label["AS"], 1);
+        assert_eq!(s.nodes_per_label["Tier1"], 1);
+    }
+}

@@ -1,0 +1,582 @@
+//! The graph store: nodes, relationships, indexes, merge semantics.
+
+use crate::error::GraphError;
+use crate::node::{Direction, Node, NodeId, Rel, RelId};
+use crate::symbols::{LabelId, PropKeyId, RelTypeId, SymbolTable};
+use crate::value::{KeyValue, Props, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// A labelled property graph with Neo4j-`MERGE`-style node identity.
+///
+/// The store is append-mostly: IYP construction only ever adds nodes and
+/// relationships, but tombstone deletion is supported for completeness
+/// (e.g. retracting an erroneous dataset, §6.1).
+///
+/// # Identity and merging
+///
+/// Nodes representing network resources are created through
+/// [`Graph::merge_node`], keyed by `(label, key property, key value)` —
+/// e.g. `(AS, asn, 2497)`. Re-merging the same key returns the existing
+/// node, which is how datapoints from independent datasets collapse onto
+/// a single entity. Relationships are never deduplicated: each dataset
+/// import creates its own parallel link carrying provenance properties.
+#[derive(Debug, Default)]
+pub struct Graph {
+    symbols: SymbolTable,
+    nodes: Vec<Option<Node>>,
+    rels: Vec<Option<Rel>>,
+    /// label -> node ids carrying it (BTreeSet for deterministic scans).
+    label_index: HashMap<LabelId, BTreeSet<NodeId>>,
+    /// (label, key prop) -> key value -> node id.
+    key_index: HashMap<(LabelId, PropKeyId), HashMap<KeyValue, NodeId>>,
+    deleted_nodes: u64,
+    deleted_rels: u64,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Symbols
+    // ------------------------------------------------------------------
+
+    /// Read-only access to the symbol table.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Interns a label name.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        self.symbols.label(name)
+    }
+
+    /// Interns a relationship-type name.
+    pub fn rel_type(&mut self, name: &str) -> RelTypeId {
+        self.symbols.rel_type(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Creation and merging
+    // ------------------------------------------------------------------
+
+    /// Creates a new node with the given label names and properties.
+    pub fn create_node<S: AsRef<str>>(&mut self, labels: &[S], props: Props) -> NodeId {
+        let label_ids: Vec<LabelId> =
+            labels.iter().map(|l| self.symbols.label(l.as_ref())).collect();
+        let id = NodeId(self.nodes.len() as u64);
+        for l in &label_ids {
+            self.label_index.entry(*l).or_default().insert(id);
+        }
+        self.nodes.push(Some(Node {
+            id,
+            labels: label_ids,
+            props,
+            out_rels: Vec::new(),
+            in_rels: Vec::new(),
+        }));
+        id
+    }
+
+    /// Gets or creates the node identified by `(label, key, key_value)`,
+    /// merging `extra_props` into it (overwriting existing keys). This is
+    /// the IYP fusion primitive: callers pass *canonicalised* key values.
+    pub fn merge_node(
+        &mut self,
+        label: &str,
+        key: &str,
+        key_value: impl Into<KeyValue>,
+        extra_props: Props,
+    ) -> NodeId {
+        let label_id = self.symbols.label(label);
+        let key_id = self.symbols.prop_key(key);
+        let kv: KeyValue = key_value.into();
+        if let Some(existing) = self
+            .key_index
+            .get(&(label_id, key_id))
+            .and_then(|m| m.get(&kv))
+            .copied()
+        {
+            let node = self.nodes[existing.0 as usize]
+                .as_mut()
+                .expect("indexed node must be live");
+            for (k, v) in extra_props {
+                node.props.insert(k, v);
+            }
+            return existing;
+        }
+        let mut props = extra_props;
+        props.insert(key.to_string(), kv.to_value());
+        let id = self.create_node(&[label], props);
+        self.key_index
+            .entry((label_id, key_id))
+            .or_default()
+            .insert(kv, id);
+        id
+    }
+
+    /// Looks up a node by its merge key without creating it.
+    pub fn lookup(&self, label: &str, key: &str, key_value: impl Into<KeyValue>) -> Option<NodeId> {
+        let label_id = self.symbols.get_label(label)?;
+        let key_id = self.symbols.get_prop_key(key)?;
+        self.key_index
+            .get(&(label_id, key_id))?
+            .get(&key_value.into())
+            .copied()
+    }
+
+    /// Adds an extra label to an existing node (e.g. the refinement stage
+    /// marking a `Prefix` as also being a `BGPPrefix`).
+    pub fn add_label(&mut self, node: NodeId, label: &str) -> Result<(), GraphError> {
+        let label_id = self.symbols.label(label);
+        let n = self
+            .nodes
+            .get_mut(node.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::NodeNotFound(node))?;
+        if !n.labels.contains(&label_id) {
+            n.labels.push(label_id);
+            self.label_index.entry(label_id).or_default().insert(node);
+        }
+        Ok(())
+    }
+
+    /// Sets a property on a node.
+    pub fn set_node_prop(
+        &mut self,
+        node: NodeId,
+        key: &str,
+        value: Value,
+    ) -> Result<(), GraphError> {
+        let n = self
+            .nodes
+            .get_mut(node.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::NodeNotFound(node))?;
+        n.props.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Creates a relationship of the named type between two nodes.
+    pub fn create_rel(
+        &mut self,
+        src: NodeId,
+        rel_type: &str,
+        dst: NodeId,
+        props: Props,
+    ) -> Result<RelId, GraphError> {
+        if self.node(src).is_none() {
+            return Err(GraphError::NodeNotFound(src));
+        }
+        if self.node(dst).is_none() {
+            return Err(GraphError::NodeNotFound(dst));
+        }
+        let type_id = self.symbols.rel_type(rel_type);
+        let id = RelId(self.rels.len() as u64);
+        self.rels.push(Some(Rel { id, rel_type: type_id, src, dst, props }));
+        self.nodes[src.0 as usize]
+            .as_mut()
+            .expect("checked above")
+            .out_rels
+            .push(id);
+        self.nodes[dst.0 as usize]
+            .as_mut()
+            .expect("checked above")
+            .in_rels
+            .push(id);
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Deletes a relationship.
+    pub fn delete_rel(&mut self, rel: RelId) -> Result<(), GraphError> {
+        let r = self
+            .rels
+            .get_mut(rel.0 as usize)
+            .and_then(Option::take)
+            .ok_or(GraphError::RelNotFound(rel))?;
+        if let Some(Some(n)) = self.nodes.get_mut(r.src.0 as usize) {
+            n.out_rels.retain(|x| *x != rel);
+        }
+        if let Some(Some(n)) = self.nodes.get_mut(r.dst.0 as usize) {
+            n.in_rels.retain(|x| *x != rel);
+        }
+        self.deleted_rels += 1;
+        Ok(())
+    }
+
+    /// Detach-deletes a node: removes all its relationships, then the
+    /// node itself, and cleans the indexes.
+    pub fn delete_node(&mut self, node: NodeId) -> Result<(), GraphError> {
+        let n = self
+            .nodes
+            .get(node.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(GraphError::NodeNotFound(node))?;
+        let rels: Vec<RelId> = n.out_rels.iter().chain(n.in_rels.iter()).copied().collect();
+        for r in rels {
+            // A self-loop appears in both lists; the second delete is a no-op.
+            let _ = self.delete_rel(r);
+        }
+        let n = self.nodes[node.0 as usize].take().expect("checked above");
+        for l in &n.labels {
+            if let Some(set) = self.label_index.get_mut(l) {
+                set.remove(&node);
+            }
+        }
+        // Drop any key-index entries pointing at this node.
+        for idx in self.key_index.values_mut() {
+            idx.retain(|_, v| *v != node);
+        }
+        self.deleted_nodes += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Fetches a node.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Fetches a relationship.
+    pub fn rel(&self, id: RelId) -> Option<&Rel> {
+        self.rels.get(id.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Sets a property on a relationship.
+    pub fn set_rel_prop(&mut self, rel: RelId, key: &str, value: Value) -> Result<(), GraphError> {
+        let r = self
+            .rels
+            .get_mut(rel.0 as usize)
+            .and_then(Option::as_mut)
+            .ok_or(GraphError::RelNotFound(rel))?;
+        r.props.insert(key.to_string(), value);
+        Ok(())
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.deleted_nodes as usize
+    }
+
+    /// Number of live relationships.
+    pub fn rel_count(&self) -> usize {
+        self.rels.len() - self.deleted_rels as usize
+    }
+
+    /// Iterates all live nodes.
+    pub fn all_nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter_map(Option::as_ref)
+    }
+
+    /// Iterates all live relationships.
+    pub fn all_rels(&self) -> impl Iterator<Item = &Rel> {
+        self.rels.iter().filter_map(Option::as_ref)
+    }
+
+    /// Node ids carrying the given label, in id order. Returns an empty
+    /// iterator for unknown labels.
+    pub fn nodes_with_label<'a>(&'a self, label: &str) -> Box<dyn Iterator<Item = NodeId> + 'a> {
+        match self.symbols.get_label(label).and_then(|l| self.label_index.get(&l)) {
+            Some(set) => Box::new(set.iter().copied()),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Number of nodes carrying the given label.
+    pub fn label_count(&self, label: &str) -> usize {
+        self.symbols
+            .get_label(label)
+            .and_then(|l| self.label_index.get(&l))
+            .map_or(0, BTreeSet::len)
+    }
+
+    /// Relationships touching `node`, filtered by direction and
+    /// (optionally) type.
+    pub fn rels_of<'a>(
+        &'a self,
+        node: NodeId,
+        dir: Direction,
+        rel_type: Option<RelTypeId>,
+    ) -> impl Iterator<Item = &'a Rel> + 'a {
+        let (out, inc): (&[RelId], &[RelId]) = match self.node(node) {
+            Some(n) => match dir {
+                Direction::Outgoing => (&n.out_rels, &[][..]),
+                Direction::Incoming => (&[][..], &n.in_rels),
+                Direction::Both => (&n.out_rels, &n.in_rels),
+            },
+            None => (&[][..], &[][..]),
+        };
+        // Under Direction::Both a self-loop appears in both lists; skip it
+        // on the incoming side so it is yielded exactly once.
+        let skip_self_loops_in = dir == Direction::Both;
+        out.iter()
+            .map(|r| (*r, false))
+            .chain(inc.iter().map(|r| (*r, true)))
+            .filter_map(move |(r, from_in)| self.rel(r).map(|rel| (rel, from_in)))
+            .filter(move |(rel, from_in)| {
+                !(skip_self_loops_in && *from_in && rel.src == rel.dst)
+            })
+            .map(|(rel, _)| rel)
+            .filter(move |r| rel_type.is_none_or(|t| r.rel_type == t))
+    }
+
+    /// Neighbouring node ids via relationships of the given direction and
+    /// optional type. May contain duplicates if parallel edges exist.
+    pub fn neighbors<'a>(
+        &'a self,
+        node: NodeId,
+        dir: Direction,
+        rel_type: Option<RelTypeId>,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.rels_of(node, dir, rel_type).map(move |r| r.other(node))
+    }
+
+    /// Internal: raw access for snapshotting.
+    pub(crate) fn parts(&self) -> (&SymbolTable, &[Option<Node>], &[Option<Rel>]) {
+        (&self.symbols, &self.nodes, &self.rels)
+    }
+
+    /// Internal: reconstructs a graph from snapshot parts, rebuilding all
+    /// indexes.
+    pub(crate) fn from_parts(
+        mut symbols: SymbolTable,
+        nodes: Vec<Option<Node>>,
+        rels: Vec<Option<Rel>>,
+    ) -> Self {
+        symbols.rebuild_after_load();
+        let mut g = Graph {
+            symbols,
+            nodes,
+            rels,
+            label_index: HashMap::new(),
+            key_index: HashMap::new(),
+            deleted_nodes: 0,
+            deleted_rels: 0,
+        };
+        g.deleted_nodes = g.nodes.iter().filter(|n| n.is_none()).count() as u64;
+        g.deleted_rels = g.rels.iter().filter(|r| r.is_none()).count() as u64;
+        // Rebuild label index.
+        for n in g.nodes.iter().filter_map(Option::as_ref) {
+            for l in &n.labels {
+                g.label_index.entry(*l).or_default().insert(n.id);
+            }
+        }
+        // Rebuild the key index for the conventional identity keys: for
+        // every (label, prop) pair where a property is a valid key type,
+        // index the *first* node seen (mirrors merge semantics).
+        let mut key_index: HashMap<(LabelId, PropKeyId), HashMap<KeyValue, NodeId>> =
+            HashMap::new();
+        let prop_keys: Vec<(String, PropKeyId)> = {
+            let mut v = Vec::new();
+            for n in g.nodes.iter().filter_map(Option::as_ref) {
+                for k in n.props.keys() {
+                    if !v.iter().any(|(name, _)| name == k) {
+                        v.push((k.clone(), PropKeyId(0)));
+                    }
+                }
+            }
+            v
+        };
+        let prop_keys: Vec<(String, PropKeyId)> = prop_keys
+            .into_iter()
+            .map(|(name, _)| {
+                let id = g.symbols.prop_key(&name);
+                (name, id)
+            })
+            .collect();
+        for n in g.nodes.iter().filter_map(Option::as_ref) {
+            for l in &n.labels {
+                for (key_name, key_id) in &prop_keys {
+                    if let Some(v) = n.props.get(key_name) {
+                        if let Some(kv) = KeyValue::from_value(v) {
+                            key_index
+                                .entry((*l, *key_id))
+                                .or_default()
+                                .entry(kv)
+                                .or_insert(n.id);
+                        }
+                    }
+                }
+            }
+        }
+        g.key_index = key_index;
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::props;
+
+    #[test]
+    fn merge_deduplicates_nodes() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        // Props merged on re-merge.
+        assert_eq!(g.node(a).unwrap().prop("name").unwrap().as_str(), Some("IIJ"));
+        // Key prop was materialised.
+        assert_eq!(g.node(a).unwrap().prop("asn").unwrap().as_int(), Some(2497));
+    }
+
+    #[test]
+    fn merge_distinguishes_labels_and_keys() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2500u32, Props::new());
+        let c = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn lookup_without_create() {
+        let mut g = Graph::new();
+        assert!(g.lookup("AS", "asn", 2497u32).is_none());
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        assert_eq!(g.lookup("AS", "asn", 2497u32), Some(a));
+        assert!(g.lookup("AS", "asn", 9999u32).is_none());
+    }
+
+    #[test]
+    fn parallel_rels_are_kept() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        let r1 = g
+            .create_rel(a, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
+            .unwrap();
+        let r2 = g
+            .create_rel(a, "ORIGINATE", p, props([("reference_name", "ihr.rov".into())]))
+            .unwrap();
+        assert_ne!(r1, r2);
+        assert_eq!(g.rel_count(), 2);
+        let t = g.symbols().get_rel_type("ORIGINATE");
+        assert_eq!(g.rels_of(a, Direction::Outgoing, t).count(), 2);
+        assert_eq!(g.rels_of(p, Direction::Incoming, t).count(), 2);
+    }
+
+    #[test]
+    fn direction_filters() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        let b = g.create_node(&["X"], Props::new());
+        g.create_rel(a, "R", b, Props::new()).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Outgoing, None).count(), 1);
+        assert_eq!(g.rels_of(a, Direction::Incoming, None).count(), 0);
+        assert_eq!(g.rels_of(a, Direction::Both, None).count(), 1);
+        assert_eq!(g.rels_of(b, Direction::Incoming, None).count(), 1);
+        assert_eq!(g.neighbors(a, Direction::Both, None).next(), Some(b));
+    }
+
+    #[test]
+    fn type_filter() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        let b = g.create_node(&["X"], Props::new());
+        g.create_rel(a, "R1", b, Props::new()).unwrap();
+        g.create_rel(a, "R2", b, Props::new()).unwrap();
+        let t1 = g.symbols().get_rel_type("R1");
+        assert_eq!(g.rels_of(a, Direction::Both, t1).count(), 1);
+        assert_eq!(g.rels_of(a, Direction::Both, None).count(), 2);
+    }
+
+    #[test]
+    fn label_scan_is_ordered_and_complete() {
+        let mut g = Graph::new();
+        let mut ids = Vec::new();
+        for i in 0..10u32 {
+            ids.push(g.merge_node("AS", "asn", i, Props::new()));
+        }
+        g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        let scanned: Vec<NodeId> = g.nodes_with_label("AS").collect();
+        assert_eq!(scanned, ids);
+        assert_eq!(g.label_count("AS"), 10);
+        assert_eq!(g.label_count("Prefix"), 1);
+        assert_eq!(g.label_count("Nope"), 0);
+    }
+
+    #[test]
+    fn delete_rel_updates_adjacency() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        let b = g.create_node(&["X"], Props::new());
+        let r = g.create_rel(a, "R", b, Props::new()).unwrap();
+        g.delete_rel(r).unwrap();
+        assert_eq!(g.rel_count(), 0);
+        assert_eq!(g.rels_of(a, Direction::Both, None).count(), 0);
+        assert_eq!(g.rels_of(b, Direction::Both, None).count(), 0);
+        assert!(g.delete_rel(r).is_err());
+    }
+
+    #[test]
+    fn detach_delete_node() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2u32, Props::new());
+        g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g.delete_node(a).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.rel_count(), 0);
+        assert!(g.node(a).is_none());
+        assert!(g.lookup("AS", "asn", 1u32).is_none());
+        // b unaffected except adjacency cleaned.
+        assert_eq!(g.rels_of(b, Direction::Both, None).count(), 0);
+        // Merging the key again creates a fresh node.
+        let a2 = g.merge_node("AS", "asn", 1u32, Props::new());
+        assert_ne!(a, a2);
+    }
+
+    #[test]
+    fn add_label_is_idempotent() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["AS"], Props::new());
+        g.add_label(a, "Tier1").unwrap();
+        g.add_label(a, "Tier1").unwrap();
+        assert_eq!(g.node(a).unwrap().labels.len(), 2);
+        assert_eq!(g.nodes_with_label("Tier1").count(), 1);
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_both() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        g.create_rel(a, "R", a, Props::new()).unwrap();
+        assert_eq!(g.rels_of(a, Direction::Both, None).count(), 1);
+        assert_eq!(g.rels_of(a, Direction::Outgoing, None).count(), 1);
+        assert_eq!(g.rels_of(a, Direction::Incoming, None).count(), 1);
+    }
+
+    #[test]
+    fn rel_to_missing_node_fails() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        assert!(g.create_rel(a, "R", NodeId(99), Props::new()).is_err());
+        assert!(g.create_rel(NodeId(99), "R", a, Props::new()).is_err());
+    }
+
+    #[test]
+    fn set_props() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        let b = g.create_node(&["X"], Props::new());
+        let r = g.create_rel(a, "R", b, Props::new()).unwrap();
+        g.set_node_prop(a, "af", Value::Int(4)).unwrap();
+        g.set_rel_prop(r, "weight", Value::Float(0.5)).unwrap();
+        assert_eq!(g.node(a).unwrap().prop("af").unwrap().as_int(), Some(4));
+        assert_eq!(g.rel(r).unwrap().prop("weight").unwrap().as_float(), Some(0.5));
+    }
+}

@@ -1,0 +1,200 @@
+//! String interning for labels and relationship types.
+//!
+//! A knowledge graph touches the same small vocabulary (24 entity labels,
+//! 24 relationship types, a few dozen property keys) millions of times, so
+//! labels and relationship types are interned to small integers once and
+//! compared as integers everywhere else.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned node label (entity type), e.g. `AS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LabelId(pub u32);
+
+/// Interned relationship type, e.g. `ORIGINATE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelTypeId(pub u32);
+
+/// Interned property key, e.g. `asn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PropKeyId(pub u32);
+
+/// A bidirectional string ↔ id table.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Interner {
+    names: Vec<String>,
+    #[serde(skip)]
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn rebuild(&mut self) {
+        self.ids = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(id) = self.ids.get(name) {
+            return *id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn get(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The symbol table for one graph: labels, relationship types, and
+/// property keys each get their own namespace.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct SymbolTable {
+    labels: Interner,
+    rel_types: Interner,
+    prop_keys: Interner,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Called after deserialisation to restore the reverse maps.
+    pub fn rebuild_after_load(&mut self) {
+        self.labels.rebuild();
+        self.rel_types.rebuild();
+        self.prop_keys.rebuild();
+    }
+
+    /// Interns (or fetches) a label.
+    pub fn label(&mut self, name: &str) -> LabelId {
+        LabelId(self.labels.intern(name))
+    }
+
+    /// Looks up a label without interning.
+    pub fn get_label(&self, name: &str) -> Option<LabelId> {
+        self.labels.get(name).map(LabelId)
+    }
+
+    /// The textual name of a label.
+    pub fn label_name(&self, id: LabelId) -> &str {
+        self.labels.name(id.0)
+    }
+
+    /// Number of distinct labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Interns (or fetches) a relationship type.
+    pub fn rel_type(&mut self, name: &str) -> RelTypeId {
+        RelTypeId(self.rel_types.intern(name))
+    }
+
+    /// Looks up a relationship type without interning.
+    pub fn get_rel_type(&self, name: &str) -> Option<RelTypeId> {
+        self.rel_types.get(name).map(RelTypeId)
+    }
+
+    /// The textual name of a relationship type.
+    pub fn rel_type_name(&self, id: RelTypeId) -> &str {
+        self.rel_types.name(id.0)
+    }
+
+    /// Number of distinct relationship types.
+    pub fn rel_type_count(&self) -> usize {
+        self.rel_types.len()
+    }
+
+    /// Interns (or fetches) a property key.
+    pub fn prop_key(&mut self, name: &str) -> PropKeyId {
+        PropKeyId(self.prop_keys.intern(name))
+    }
+
+    /// Looks up a property key without interning.
+    pub fn get_prop_key(&self, name: &str) -> Option<PropKeyId> {
+        self.prop_keys.get(name).map(PropKeyId)
+    }
+
+    /// The textual name of a property key.
+    pub fn prop_key_name(&self, id: PropKeyId) -> &str {
+        self.prop_keys.name(id.0)
+    }
+
+    /// All label ids with their names.
+    pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.labels.names.iter().enumerate().map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+
+    /// All relationship-type ids with their names.
+    pub fn rel_types(&self) -> impl Iterator<Item = (RelTypeId, &str)> {
+        self.rel_types.names.iter().enumerate().map(|(i, n)| (RelTypeId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut t = SymbolTable::new();
+        let a1 = t.label("AS");
+        let p1 = t.label("Prefix");
+        let a2 = t.label("AS");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, p1);
+        assert_eq!(t.label_name(a1), "AS");
+        assert_eq!(t.label_count(), 2);
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let mut t = SymbolTable::new();
+        let l = t.label("NAME");
+        let r = t.rel_type("NAME");
+        let k = t.prop_key("NAME");
+        assert_eq!(l.0, 0);
+        assert_eq!(r.0, 0);
+        assert_eq!(k.0, 0);
+        assert_eq!(t.label_name(l), "NAME");
+        assert_eq!(t.rel_type_name(r), "NAME");
+        assert_eq!(t.prop_key_name(k), "NAME");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let t = SymbolTable::new();
+        assert!(t.get_label("AS").is_none());
+        assert!(t.get_rel_type("ORIGINATE").is_none());
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_reverse_map() {
+        let mut t = SymbolTable::new();
+        t.label("AS");
+        t.rel_type("ORIGINATE");
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: SymbolTable = serde_json::from_str(&json).unwrap();
+        back.rebuild_after_load();
+        assert_eq!(back.get_label("AS"), Some(LabelId(0)));
+        assert_eq!(back.get_rel_type("ORIGINATE"), Some(RelTypeId(0)));
+    }
+}

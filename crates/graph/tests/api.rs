@@ -1,0 +1,80 @@
+//! API-surface tests: conversions, error rendering, display paths.
+
+use iyp_graph::{props, Graph, GraphError, NodeId, Props, RelId, Value};
+
+#[test]
+fn value_from_conversions() {
+    assert_eq!(Value::from("x"), Value::Str("x".into()));
+    assert_eq!(Value::from(String::from("y")), Value::Str("y".into()));
+    assert_eq!(Value::from(7i64), Value::Int(7));
+    assert_eq!(Value::from(7i32), Value::Int(7));
+    assert_eq!(Value::from(7u32), Value::Int(7));
+    assert_eq!(Value::from(7usize), Value::Int(7));
+    assert_eq!(Value::from(0.5f64), Value::Float(0.5));
+    assert_eq!(Value::from(true), Value::Bool(true));
+    assert_eq!(Value::from(vec![1i64, 2]), Value::List(vec![Value::Int(1), Value::Int(2)]));
+    assert_eq!(Value::from(Some(3i64)), Value::Int(3));
+    assert_eq!(Value::from(None::<i64>), Value::Null);
+}
+
+#[test]
+fn value_accessors_reject_wrong_kinds() {
+    let v = Value::Str("s".into());
+    assert_eq!(v.as_int(), None);
+    assert_eq!(v.as_float(), None);
+    assert_eq!(v.as_bool(), None);
+    assert_eq!(v.as_list(), None);
+    assert_eq!(v.as_str(), Some("s"));
+    assert_eq!(Value::Int(3).as_float(), Some(3.0));
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let e = GraphError::NodeNotFound(NodeId(42));
+    assert!(e.to_string().contains("42"));
+    let e = GraphError::RelNotFound(RelId(7));
+    assert!(e.to_string().contains("7"));
+    let e = GraphError::Snapshot("boom".into());
+    assert!(e.to_string().contains("boom"));
+    let e = GraphError::InvalidKeyType { key: "af".into() };
+    assert!(e.to_string().contains("af"));
+}
+
+#[test]
+fn stats_display_lists_datasets() {
+    let mut g = Graph::new();
+    let a = g.merge_node("AS", "asn", 1u32, Props::new());
+    let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+    g.create_rel(a, "ORIGINATE", p, props([("reference_name", "x.y".into())])).unwrap();
+    let text = iyp_graph::GraphStats::compute(&g).to_string();
+    assert!(text.contains("x.y"));
+    assert!(text.contains("nodes: 2"));
+}
+
+#[test]
+fn symbols_iteration_matches_usage() {
+    let mut g = Graph::new();
+    g.merge_node("AS", "asn", 1u32, Props::new());
+    g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+    let labels: Vec<&str> = g.symbols().labels().map(|(_, n)| n).collect();
+    assert_eq!(labels, vec!["AS", "Prefix"]);
+    assert_eq!(g.symbols().label_count(), 2);
+    assert_eq!(g.symbols().rel_type_count(), 0);
+}
+
+#[test]
+fn key_value_display() {
+    use iyp_graph::KeyValue;
+    assert_eq!(KeyValue::from(42u32).to_string(), "42");
+    assert_eq!(KeyValue::from("x").to_string(), "x");
+    assert_eq!(KeyValue::from(String::from("y")).to_string(), "y");
+    assert_eq!(KeyValue::from(-1i64).to_string(), "-1");
+}
+
+#[test]
+fn merge_key_types_are_stable_across_int_widths() {
+    let mut g = Graph::new();
+    let a = g.merge_node("AS", "asn", 7u32, Props::new());
+    let b = g.merge_node("AS", "asn", 7i64, Props::new());
+    assert_eq!(a, b, "u32 and i64 keys must merge");
+}

@@ -1,0 +1,215 @@
+//! Property-based tests: the graph store against a naive model.
+
+use iyp_graph::{snapshot, Direction, Graph, KeyValue, NodeId, Props, Value};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Operations exercised against both the store and a naive model.
+#[derive(Debug, Clone)]
+enum Op {
+    Merge { label: u8, key: u16 },
+    Link { src: u16, dst: u16, rel_type: u8 },
+    DeleteRel { idx: u16 },
+    DeleteNode { idx: u16 },
+    AddLabel { idx: u16, label: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 0u16..60).prop_map(|(label, key)| Op::Merge { label, key }),
+        (0u16..80, 0u16..80, 0u8..3).prop_map(|(src, dst, rel_type)| Op::Link {
+            src,
+            dst,
+            rel_type
+        }),
+        (0u16..40).prop_map(|idx| Op::DeleteRel { idx }),
+        (0u16..40).prop_map(|idx| Op::DeleteNode { idx }),
+        (0u16..80, 0u8..4).prop_map(|(idx, label)| Op::AddLabel { idx, label }),
+    ]
+}
+
+fn label_name(l: u8) -> String {
+    format!("L{l}")
+}
+
+fn type_name(t: u8) -> String {
+    format!("T{t}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The store agrees with a naive model under arbitrary op sequences.
+    #[test]
+    fn store_matches_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut g = Graph::new();
+        // Model state.
+        let mut model_nodes: HashMap<(u8, u16), NodeId> = HashMap::new();
+        let mut model_labels: HashMap<NodeId, HashSet<String>> = HashMap::new();
+        let mut model_rels: Vec<Option<(NodeId, NodeId, u8)>> = Vec::new();
+        let mut created_nodes: Vec<NodeId> = Vec::new();
+        let mut created_rels: Vec<iyp_graph::RelId> = Vec::new();
+        let mut live_nodes: HashSet<NodeId> = HashSet::new();
+
+        for op in &ops {
+            match op {
+                Op::Merge { label, key } => {
+                    let id = g.merge_node(&label_name(*label), "k", *key as i64, Props::new());
+                    match model_nodes.get(&(*label, *key)) {
+                        Some(prev) if live_nodes.contains(prev) => {
+                            prop_assert_eq!(id, *prev, "merge must hit existing node");
+                        }
+                        _ => {
+                            model_nodes.insert((*label, *key), id);
+                            model_labels.entry(id).or_default().insert(label_name(*label));
+                            created_nodes.push(id);
+                            live_nodes.insert(id);
+                        }
+                    }
+                }
+                Op::Link { src, dst, rel_type } => {
+                    if created_nodes.is_empty() {
+                        continue;
+                    }
+                    let s = created_nodes[*src as usize % created_nodes.len()];
+                    let d = created_nodes[*dst as usize % created_nodes.len()];
+                    let res = g.create_rel(s, &type_name(*rel_type), d, Props::new());
+                    if live_nodes.contains(&s) && live_nodes.contains(&d) {
+                        let id = res.expect("live endpoints must link");
+                        created_rels.push(id);
+                        model_rels.push(Some((s, d, *rel_type)));
+                    } else {
+                        prop_assert!(res.is_err(), "link to deleted node must fail");
+                    }
+                }
+                Op::DeleteRel { idx } => {
+                    if created_rels.is_empty() {
+                        continue;
+                    }
+                    let i = *idx as usize % created_rels.len();
+                    let id = created_rels[i];
+                    let was_live = model_rels[i].is_some();
+                    let res = g.delete_rel(id);
+                    prop_assert_eq!(res.is_ok(), was_live);
+                    model_rels[i] = None;
+                }
+                Op::DeleteNode { idx } => {
+                    if created_nodes.is_empty() {
+                        continue;
+                    }
+                    let id = created_nodes[*idx as usize % created_nodes.len()];
+                    let was_live = live_nodes.contains(&id);
+                    let res = g.delete_node(id);
+                    prop_assert_eq!(res.is_ok(), was_live);
+                    if was_live {
+                        live_nodes.remove(&id);
+                        // Detach: drop model rels touching it.
+                        for slot in model_rels.iter_mut() {
+                            if let Some((s, d, _)) = slot {
+                                if *s == id || *d == id {
+                                    *slot = None;
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::AddLabel { idx, label } => {
+                    if created_nodes.is_empty() {
+                        continue;
+                    }
+                    let id = created_nodes[*idx as usize % created_nodes.len()];
+                    let res = g.add_label(id, &label_name(*label));
+                    prop_assert_eq!(res.is_ok(), live_nodes.contains(&id));
+                    if res.is_ok() {
+                        model_labels.entry(id).or_default().insert(label_name(*label));
+                    }
+                }
+            }
+        }
+
+        // Final state agreement.
+        prop_assert_eq!(g.node_count(), live_nodes.len());
+        prop_assert_eq!(g.rel_count(), model_rels.iter().flatten().count());
+        // Adjacency agrees per live node.
+        for &n in &live_nodes {
+            let expected_out =
+                model_rels.iter().flatten().filter(|(s, _, _)| *s == n).count();
+            let expected_in =
+                model_rels.iter().flatten().filter(|(_, d, _)| *d == n).count();
+            prop_assert_eq!(g.rels_of(n, Direction::Outgoing, None).count(), expected_out);
+            prop_assert_eq!(g.rels_of(n, Direction::Incoming, None).count(), expected_in);
+        }
+        // Label index agrees.
+        for l in 0..4u8 {
+            let name = label_name(l);
+            let expected: HashSet<NodeId> = live_nodes
+                .iter()
+                .filter(|n| model_labels.get(n).is_some_and(|s| s.contains(&name)))
+                .copied()
+                .collect();
+            let got: HashSet<NodeId> = g.nodes_with_label(&name).collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    /// Snapshots roundtrip arbitrary graphs in both formats.
+    #[test]
+    fn snapshot_roundtrips(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut g = Graph::new();
+        let mut nodes = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Merge { label, key } => {
+                    nodes.push(g.merge_node(&label_name(*label), "k", *key as i64, Props::new()));
+                }
+                Op::Link { src, dst, rel_type } if !nodes.is_empty() => {
+                    let s = nodes[*src as usize % nodes.len()];
+                    let d = nodes[*dst as usize % nodes.len()];
+                    let _ = g.create_rel(s, &type_name(*rel_type), d, Props::new());
+                }
+                _ => {}
+            }
+        }
+        let bin = snapshot::to_binary(&g);
+        let from_bin = snapshot::from_binary(&bin).unwrap();
+        prop_assert_eq!(g.node_count(), from_bin.node_count());
+        prop_assert_eq!(g.rel_count(), from_bin.rel_count());
+        let json = snapshot::to_json(&g).unwrap();
+        let from_json = snapshot::from_json(&json).unwrap();
+        prop_assert_eq!(g.node_count(), from_json.node_count());
+        prop_assert_eq!(g.rel_count(), from_json.rel_count());
+        // Merge keys survive.
+        for n in g.all_nodes() {
+            if let Some(k) = n.prop("k") {
+                let label = g.symbols().label_name(n.labels[0]);
+                let kv = KeyValue::from_value(k).unwrap();
+                prop_assert!(from_bin.lookup(label, "k", kv).is_some());
+            }
+        }
+    }
+
+    /// Value ordering is a total order (antisymmetric + transitive on
+    /// random triples).
+    #[test]
+    fn value_order_is_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.order(&a), Ordering::Equal);
+        prop_assert_eq!(a.order(&b), b.order(&a).reverse());
+        if a.order(&b) != Ordering::Greater && b.order(&c) != Ordering::Greater {
+            prop_assert_ne!(a.order(&c), Ordering::Greater);
+        }
+    }
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        (-1000i32..1000).prop_map(|i| Value::Float(i as f64 / 7.0)),
+        "[a-z]{0,6}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}

@@ -1,0 +1,141 @@
+//! Autonomous-system numbers.
+
+use crate::error::NetDataError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A 32-bit autonomous-system number.
+///
+/// `Asn` accepts the common textual spellings found in community datasets
+/// (`"64496"`, `"AS64496"`, `"as64496"`, and the asdot notation
+/// `"1.10"` used by some legacy feeds) and always renders the canonical
+/// asplain decimal form, which is the form IYP stores in the `asn` node
+/// property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved AS number used for private use ranges start (RFC 6996).
+    pub const PRIVATE_16BIT_START: u32 = 64512;
+    /// End of the 16-bit private range (RFC 6996).
+    pub const PRIVATE_16BIT_END: u32 = 65534;
+    /// Start of the 32-bit private range (RFC 6996).
+    pub const PRIVATE_32BIT_START: u32 = 4_200_000_000;
+    /// End of the 32-bit private range (RFC 6996).
+    pub const PRIVATE_32BIT_END: u32 = 4_294_967_294;
+
+    /// Returns the numeric value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True if the ASN falls in a private-use range (RFC 6996) or is the
+    /// reserved AS 0 / AS 23456 (AS_TRANS) / 65535 / 4294967295.
+    pub fn is_reserved(self) -> bool {
+        matches!(self.0, 0 | 23456 | 65535 | u32::MAX)
+            || (Self::PRIVATE_16BIT_START..=Self::PRIVATE_16BIT_END).contains(&self.0)
+            || (Self::PRIVATE_32BIT_START..=Self::PRIVATE_32BIT_END).contains(&self.0)
+    }
+
+    /// Renders the asdot form (`high.low`), used only for display of
+    /// 4-byte ASNs in some legacy tooling.
+    pub fn asdot(self) -> String {
+        if self.0 <= u16::MAX as u32 {
+            self.0.to_string()
+        } else {
+            format!("{}.{}", self.0 >> 16, self.0 & 0xffff)
+        }
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = NetDataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let t = t
+            .strip_prefix("AS")
+            .or_else(|| t.strip_prefix("as"))
+            .or_else(|| t.strip_prefix("As"))
+            .or_else(|| t.strip_prefix("aS"))
+            .unwrap_or(t);
+        if let Some((hi, lo)) = t.split_once('.') {
+            // asdot notation
+            let hi: u32 = hi.parse().map_err(|_| NetDataError::InvalidAsn(s.into()))?;
+            let lo: u32 = lo.parse().map_err(|_| NetDataError::InvalidAsn(s.into()))?;
+            if hi > u16::MAX as u32 || lo > u16::MAX as u32 {
+                return Err(NetDataError::InvalidAsn(s.into()));
+            }
+            return Ok(Asn((hi << 16) | lo));
+        }
+        t.parse::<u32>()
+            .map(Asn)
+            .map_err(|_| NetDataError::InvalidAsn(s.into()))
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_decimal() {
+        assert_eq!("64496".parse::<Asn>().unwrap(), Asn(64496));
+    }
+
+    #[test]
+    fn parses_as_prefix_any_case() {
+        assert_eq!("AS64496".parse::<Asn>().unwrap(), Asn(64496));
+        assert_eq!("as64496".parse::<Asn>().unwrap(), Asn(64496));
+        assert_eq!("As64496".parse::<Asn>().unwrap(), Asn(64496));
+    }
+
+    #[test]
+    fn parses_asdot() {
+        assert_eq!("1.10".parse::<Asn>().unwrap(), Asn(65546));
+        assert_eq!("AS2.0".parse::<Asn>().unwrap(), Asn(131072));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("".parse::<Asn>().is_err());
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("1.70000".parse::<Asn>().is_err());
+        assert!("4294967296".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn display_is_asplain() {
+        assert_eq!(Asn(65546).to_string(), "65546");
+    }
+
+    #[test]
+    fn asdot_rendering() {
+        assert_eq!(Asn(65546).asdot(), "1.10");
+        assert_eq!(Asn(64496).asdot(), "64496");
+    }
+
+    #[test]
+    fn reserved_ranges() {
+        assert!(Asn(0).is_reserved());
+        assert!(Asn(23456).is_reserved());
+        assert!(Asn(64512).is_reserved());
+        assert!(Asn(65534).is_reserved());
+        assert!(Asn(4_200_000_000).is_reserved());
+        assert!(!Asn(64511).is_reserved());
+        assert!(!Asn(15169).is_reserved());
+    }
+}

@@ -1,0 +1,105 @@
+//! Canonical forms for the identifiers that define node identity in IYP.
+//!
+//! §2.3 of the paper: *"We avoid creating duplicate nodes by enforcing
+//! canonical forms of certain identifiers (IP address, IP prefix, ASN,
+//! country code)."* This module is the single place where those forms are
+//! defined; crawlers call these helpers before handing identifiers to the
+//! graph store. Hostnames and URLs get the same treatment because the
+//! refinement stage links `URL` nodes to `HostName` nodes by name.
+
+use crate::asn::Asn;
+use crate::country;
+use crate::error::NetDataError;
+use crate::ip::canonical_ip;
+use crate::prefix::Prefix;
+
+/// Canonical ASN text (asplain decimal, no `AS` prefix).
+pub fn asn(s: &str) -> Result<String, NetDataError> {
+    s.parse::<Asn>().map(|a| a.to_string())
+}
+
+/// Canonical IP address text (RFC 5952 for IPv6).
+pub fn ip(s: &str) -> Result<String, NetDataError> {
+    canonical_ip(s)
+}
+
+/// Canonical prefix text (masked network address + length).
+pub fn prefix(s: &str) -> Result<String, NetDataError> {
+    s.parse::<Prefix>().map(|p| p.canonical())
+}
+
+/// Canonical country code (upper-case alpha-2).
+pub fn country_code(s: &str) -> Result<String, NetDataError> {
+    country::canonical_alpha2(s).map(|c| c.to_string())
+}
+
+/// Canonical hostname: lower-cased, trailing dot stripped, surrounding
+/// whitespace removed. DNS names are case-insensitive, and zone files mix
+/// absolute (`example.com.`) and relative spellings.
+pub fn hostname(s: &str) -> String {
+    let t = s.trim().to_ascii_lowercase();
+    t.strip_suffix('.').unwrap_or(&t).to_string()
+}
+
+/// Extracts the canonical hostname from a URL, used by the refinement
+/// stage to add `PART_OF` links between `URL` and `HostName` nodes.
+///
+/// Returns `None` when the URL has no recognisable authority component.
+pub fn url_hostname(url: &str) -> Option<String> {
+    let t = url.trim();
+    let rest = t.split_once("://").map(|(_, r)| r).unwrap_or(t);
+    // Strip userinfo.
+    let rest = rest.rsplit_once('@').map(|(_, r)| r).unwrap_or(rest);
+    // Authority ends at the first '/', '?' or '#'.
+    let authority = rest.split(['/', '?', '#']).next()?;
+    // Strip port (but not IPv6 bracket contents).
+    let host = if let Some(stripped) = authority.strip_prefix('[') {
+        stripped.split(']').next()?
+    } else {
+        authority.split(':').next()?
+    };
+    if host.is_empty() {
+        return None;
+    }
+    Some(hostname(host))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asn_forms() {
+        assert_eq!(asn("AS2497").unwrap(), "2497");
+        assert_eq!(asn("2497").unwrap(), "2497");
+        assert!(asn("ASN2497").is_err());
+    }
+
+    #[test]
+    fn prefix_forms() {
+        assert_eq!(prefix("2001:0DB8::/32").unwrap(), "2001:db8::/32");
+        assert_eq!(prefix("192.000.002.000/24").is_err(), true); // leading zeros rejected by std
+        assert_eq!(prefix("192.0.2.5/24").unwrap(), "192.0.2.0/24");
+    }
+
+    #[test]
+    fn country_forms() {
+        assert_eq!(country_code("jp").unwrap(), "JP");
+        assert_eq!(country_code("JPN").unwrap(), "JP");
+    }
+
+    #[test]
+    fn hostname_forms() {
+        assert_eq!(hostname("WWW.Example.COM."), "www.example.com");
+        assert_eq!(hostname(" ns1.example.org "), "ns1.example.org");
+    }
+
+    #[test]
+    fn url_hostnames() {
+        assert_eq!(url_hostname("https://www.Example.com/path?q=1"), Some("www.example.com".into()));
+        assert_eq!(url_hostname("http://user:pw@example.org:8080/x"), Some("example.org".into()));
+        assert_eq!(url_hostname("example.net/abc"), Some("example.net".into()));
+        assert_eq!(url_hostname("https://[2001:db8::1]:443/"), Some("2001:db8::1".into()));
+        assert_eq!(url_hostname("https:///nopath"), None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Error type shared by the netdata parsers.
+
+use std::fmt;
+
+/// Errors produced while parsing or canonicalising network identifiers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetDataError {
+    /// The string was not a valid autonomous-system number.
+    InvalidAsn(String),
+    /// The string was not a valid IPv4 or IPv6 address.
+    InvalidIp(String),
+    /// The string was not a valid CIDR prefix.
+    InvalidPrefix(String),
+    /// The prefix length exceeded the maximum for the address family.
+    PrefixLenOutOfRange { len: u8, max: u8 },
+    /// The string was not a known ISO-3166 country code.
+    UnknownCountry(String),
+}
+
+impl fmt::Display for NetDataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetDataError::InvalidAsn(s) => write!(f, "invalid ASN: {s:?}"),
+            NetDataError::InvalidIp(s) => write!(f, "invalid IP address: {s:?}"),
+            NetDataError::InvalidPrefix(s) => write!(f, "invalid prefix: {s:?}"),
+            NetDataError::PrefixLenOutOfRange { len, max } => {
+                write!(f, "prefix length {len} out of range (max {max})")
+            }
+            NetDataError::UnknownCountry(s) => write!(f, "unknown country code: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetDataError {}

@@ -1,0 +1,151 @@
+//! IP address handling and canonical textual forms.
+//!
+//! The IYP fusion stage (§2.3) avoids duplicate nodes by translating every
+//! identifier to a canonical form before node creation. For IP addresses
+//! the canonical form is the RFC 5952 compressed, lower-case rendering for
+//! IPv6 and the plain dotted quad for IPv4 — exactly what
+//! [`std::net::IpAddr`]'s `Display` produces, so canonicalisation is
+//! parse-then-render.
+
+use crate::error::NetDataError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::{IpAddr, Ipv6Addr};
+use std::str::FromStr;
+
+/// The address family of an IP address or prefix.
+///
+/// Stored as the `af` property on `IP` and `Prefix` nodes by the
+/// post-processing stage (valued `4` or `6`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AddressFamily {
+    /// IPv4.
+    V4,
+    /// IPv6.
+    V6,
+}
+
+impl AddressFamily {
+    /// The numeric value used for the `af` property (4 or 6).
+    pub fn as_number(self) -> i64 {
+        match self {
+            AddressFamily::V4 => 4,
+            AddressFamily::V6 => 6,
+        }
+    }
+
+    /// Address width in bits (32 or 128).
+    pub fn bits(self) -> u8 {
+        match self {
+            AddressFamily::V4 => 32,
+            AddressFamily::V6 => 128,
+        }
+    }
+}
+
+impl fmt::Display for AddressFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_number())
+    }
+}
+
+/// Returns the address family of an already-parsed address.
+pub fn family_of(ip: &IpAddr) -> AddressFamily {
+    match ip {
+        IpAddr::V4(_) => AddressFamily::V4,
+        IpAddr::V6(_) => AddressFamily::V6,
+    }
+}
+
+/// Parses `s` as an IPv4 or IPv6 address and returns the canonical text.
+///
+/// IPv6 addresses are compressed and lower-cased per RFC 5952;
+/// IPv4-mapped IPv6 addresses (`::ffff:a.b.c.d`) are kept in the v6
+/// family (they identify a v6 datapoint in the source dataset).
+///
+/// ```
+/// use iyp_netdata::canonical_ip;
+/// assert_eq!(canonical_ip("2001:DB8::0001").unwrap(), "2001:db8::1");
+/// assert_eq!(canonical_ip("192.0.2.1").unwrap(), "192.0.2.1");
+/// ```
+pub fn canonical_ip(s: &str) -> Result<String, NetDataError> {
+    parse_ip(s).map(|ip| ip.to_string())
+}
+
+/// Parses `s` as an IP address, accepting surrounding whitespace and
+/// bracketed IPv6 literals (`[2001:db8::1]`).
+pub fn parse_ip(s: &str) -> Result<IpAddr, NetDataError> {
+    let t = s.trim();
+    let t = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .unwrap_or(t);
+    IpAddr::from_str(t).map_err(|_| NetDataError::InvalidIp(s.into()))
+}
+
+/// Converts an IP address to its 128-bit integer key, used by the radix
+/// trie. IPv4 addresses occupy the low 32 bits.
+pub fn ip_to_bits(ip: &IpAddr) -> u128 {
+    match ip {
+        IpAddr::V4(v4) => u32::from(*v4) as u128,
+        IpAddr::V6(v6) => u128::from(*v6),
+    }
+}
+
+/// Converts a 128-bit key back to an address of the given family.
+pub fn bits_to_ip(bits: u128, af: AddressFamily) -> IpAddr {
+    match af {
+        AddressFamily::V4 => IpAddr::V4(std::net::Ipv4Addr::from(bits as u32)),
+        AddressFamily::V6 => IpAddr::V6(Ipv6Addr::from(bits)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalises_ipv6_case_and_zeros() {
+        assert_eq!(canonical_ip("2001:DB8:0:0:0:0:0:1").unwrap(), "2001:db8::1");
+        assert_eq!(canonical_ip("2001:0db8::0001").unwrap(), "2001:db8::1");
+    }
+
+    #[test]
+    fn ipv4_passthrough() {
+        assert_eq!(canonical_ip("192.0.2.1").unwrap(), "192.0.2.1");
+    }
+
+    #[test]
+    fn accepts_brackets_and_whitespace() {
+        assert_eq!(canonical_ip(" [2001:db8::1] ").unwrap(), "2001:db8::1");
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(canonical_ip("192.0.2.256").is_err());
+        assert!(canonical_ip("2001:db8::g").is_err());
+        assert!(canonical_ip("").is_err());
+    }
+
+    #[test]
+    fn family_numbers() {
+        assert_eq!(AddressFamily::V4.as_number(), 4);
+        assert_eq!(AddressFamily::V6.as_number(), 6);
+        assert_eq!(AddressFamily::V4.bits(), 32);
+        assert_eq!(AddressFamily::V6.bits(), 128);
+    }
+
+    #[test]
+    fn bits_roundtrip_v4() {
+        let ip = parse_ip("198.51.100.7").unwrap();
+        let bits = ip_to_bits(&ip);
+        assert_eq!(bits_to_ip(bits, AddressFamily::V4), ip);
+    }
+
+    #[test]
+    fn bits_roundtrip_v6() {
+        let ip = parse_ip("2001:db8::42").unwrap();
+        let bits = ip_to_bits(&ip);
+        assert_eq!(bits_to_ip(bits, AddressFamily::V6), ip);
+    }
+}

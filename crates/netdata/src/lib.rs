@@ -1,0 +1,25 @@
+//! Network-data primitives for the Internet Yellow Pages.
+//!
+//! This crate provides the low-level vocabulary shared by every other IYP
+//! crate: autonomous-system numbers, IP addresses and prefixes with the
+//! *canonical forms* required by the IYP fusion stage (§2.3 of the paper),
+//! a longest-prefix-match radix trie used by the refinement stage, and an
+//! ISO-3166 country table used to guarantee that every `Country` node has
+//! a two- and three-letter code plus a common name.
+//!
+//! Everything here is implemented from scratch on top of `std::net`; there
+//! are no third-party networking dependencies.
+
+pub mod asn;
+pub mod canon;
+pub mod country;
+pub mod error;
+pub mod ip;
+pub mod prefix;
+pub mod trie;
+
+pub use asn::Asn;
+pub use error::NetDataError;
+pub use ip::{canonical_ip, AddressFamily};
+pub use prefix::Prefix;
+pub use trie::PrefixTrie;

@@ -1,0 +1,200 @@
+//! CIDR prefixes with canonical forms and containment tests.
+
+use crate::error::NetDataError;
+use crate::ip::{family_of, ip_to_bits, parse_ip, AddressFamily};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::IpAddr;
+use std::str::FromStr;
+
+/// An IPv4 or IPv6 CIDR prefix.
+///
+/// Parsing produces the canonical form used for `Prefix` node identity in
+/// the knowledge graph: host bits are masked off and the network address
+/// is rendered canonically, so `2001:DB8::1/32` and `2001:0db8::/32` both
+/// canonicalise to `2001:db8::/32` and map to the *same* node — the
+/// dedup behaviour described in §2.3 / Figure 2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Prefix {
+    /// Network bits, right-aligned in a 128-bit integer (v4 uses the low
+    /// 32 bits).
+    bits: u128,
+    /// Prefix length in bits.
+    len: u8,
+    /// Address family.
+    af: AddressFamily,
+}
+
+impl Prefix {
+    /// Builds a prefix from an address and length, masking host bits.
+    pub fn new(addr: IpAddr, len: u8) -> Result<Self, NetDataError> {
+        let af = family_of(&addr);
+        if len > af.bits() {
+            return Err(NetDataError::PrefixLenOutOfRange { len, max: af.bits() });
+        }
+        let bits = ip_to_bits(&addr) & mask(len, af);
+        Ok(Prefix { bits, len, af })
+    }
+
+    /// The masked network address.
+    pub fn network(&self) -> IpAddr {
+        crate::ip::bits_to_ip(self.bits, self.af)
+    }
+
+    /// Prefix length.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the zero-length default route; provided to satisfy
+    /// the `len`/`is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Address family.
+    pub fn family(&self) -> AddressFamily {
+        self.af
+    }
+
+    /// The raw network bits (right-aligned).
+    pub fn raw_bits(&self) -> u128 {
+        self.bits
+    }
+
+    /// True if `ip` falls inside this prefix. Addresses of a different
+    /// family are never contained.
+    pub fn contains_ip(&self, ip: &IpAddr) -> bool {
+        if family_of(ip) != self.af {
+            return false;
+        }
+        ip_to_bits(ip) & mask(self.len, self.af) == self.bits
+    }
+
+    /// True if `other` is equal to or more specific than `self`.
+    pub fn covers(&self, other: &Prefix) -> bool {
+        self.af == other.af
+            && self.len <= other.len
+            && (other.bits & mask(self.len, self.af)) == self.bits
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` at /0.
+    pub fn parent(&self) -> Option<Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        let len = self.len - 1;
+        Some(Prefix {
+            bits: self.bits & mask(len, self.af),
+            len,
+            af: self.af,
+        })
+    }
+
+    /// The canonical textual form (`network/len`).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Bit mask for the top `len` bits of an address of family `af`,
+/// right-aligned in a u128.
+fn mask(len: u8, af: AddressFamily) -> u128 {
+    let width = af.bits() as u32;
+    if len == 0 {
+        return 0;
+    }
+    let width_mask = if width == 128 { !0u128 } else { (1u128 << width) - 1 };
+    (!0u128 << (width - len as u32)) & width_mask
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Prefix {
+    type Err = NetDataError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let (addr, len) = t
+            .split_once('/')
+            .ok_or_else(|| NetDataError::InvalidPrefix(s.into()))?;
+        let addr = parse_ip(addr).map_err(|_| NetDataError::InvalidPrefix(s.into()))?;
+        let len: u8 = len
+            .trim()
+            .parse()
+            .map_err(|_| NetDataError::InvalidPrefix(s.into()))?;
+        Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalises_paper_example() {
+        // Figure 2: 2001:DB8::/32 and 2001:0db8::/32 are the same node.
+        assert_eq!(p("2001:DB8::/32"), p("2001:0db8::/32"));
+        assert_eq!(p("2001:DB8::/32").canonical(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn masks_host_bits() {
+        assert_eq!(p("192.0.2.77/24").canonical(), "192.0.2.0/24");
+        assert_eq!(p("2001:db8::1/32").canonical(), "2001:db8::/32");
+    }
+
+    #[test]
+    fn containment_v4() {
+        let pfx = p("198.51.100.0/24");
+        assert!(pfx.contains_ip(&"198.51.100.200".parse().unwrap()));
+        assert!(!pfx.contains_ip(&"198.51.101.1".parse().unwrap()));
+        assert!(!pfx.contains_ip(&"2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn covers_relation() {
+        assert!(p("10.0.0.0/8").covers(&p("10.1.0.0/16")));
+        assert!(p("10.0.0.0/8").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.1.0.0/16").covers(&p("10.0.0.0/8")));
+        assert!(!p("10.0.0.0/8").covers(&p("11.0.0.0/16")));
+        assert!(!p("10.0.0.0/8").covers(&p("2001:db8::/32")));
+    }
+
+    #[test]
+    fn parent_chain() {
+        let pfx = p("192.0.2.0/25");
+        assert_eq!(pfx.parent().unwrap().canonical(), "192.0.2.0/24");
+        assert!(p("0.0.0.0/0").parent().is_none());
+    }
+
+    #[test]
+    fn default_routes() {
+        assert_eq!(p("0.0.0.0/0").canonical(), "0.0.0.0/0");
+        assert_eq!(p("::/0").canonical(), "::/0");
+        assert!(p("::/0").contains_ip(&"2001:db8::1".parse().unwrap()));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!("192.0.2.0".parse::<Prefix>().is_err()); // no length
+        assert!("192.0.2.0/33".parse::<Prefix>().is_err());
+        assert!("2001:db8::/129".parse::<Prefix>().is_err());
+        assert!("notaprefix/8".parse::<Prefix>().is_err());
+        assert!("192.0.2.0/x".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn family_detection() {
+        assert_eq!(p("10.0.0.0/8").family(), AddressFamily::V4);
+        assert_eq!(p("2001:db8::/32").family(), AddressFamily::V6);
+    }
+}

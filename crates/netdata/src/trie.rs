@@ -1,0 +1,285 @@
+//! A binary radix (Patricia-style) trie over CIDR prefixes.
+//!
+//! Used by the IYP refinement stage (§2.3) to link every `IP` node to the
+//! `Prefix` node of its longest prefix match, and every prefix to its
+//! closest covering prefix. One trie is kept per address family; the
+//! [`PrefixTrie`] facade dispatches on family.
+
+use crate::ip::{family_of, ip_to_bits, AddressFamily};
+use crate::prefix::Prefix;
+use std::net::IpAddr;
+
+/// Per-family binary trie node. Children are indexed by the next address
+/// bit after the node's depth.
+#[derive(Debug)]
+struct TrieNode<V> {
+    children: [Option<Box<TrieNode<V>>>; 2],
+    /// Value stored when a prefix terminates exactly at this node.
+    value: Option<V>,
+}
+
+impl<V> TrieNode<V> {
+    fn new() -> Self {
+        TrieNode { children: [None, None], value: None }
+    }
+}
+
+/// Extracts bit `i` (0 = most significant network bit) of a key of the
+/// given width.
+fn bit_at(width: u32, bits: u128, i: u32) -> usize {
+    ((bits >> (width - 1 - i)) & 1) as usize
+}
+
+#[derive(Debug)]
+struct FamilyTrie<V> {
+    root: TrieNode<V>,
+    width: u32,
+    len: usize,
+}
+
+impl<V> FamilyTrie<V> {
+    fn new(af: AddressFamily) -> Self {
+        FamilyTrie { root: TrieNode::new(), width: af.bits() as u32, len: 0 }
+    }
+
+    /// Extracts bit `i` (0 = most significant network bit) of `bits`.
+    fn bit(&self, bits: u128, i: u32) -> usize {
+        bit_at(self.width, bits, i)
+    }
+
+    fn insert(&mut self, prefix: &Prefix, value: V) -> Option<V> {
+        let bits = prefix.raw_bits();
+        let width = self.width;
+        let mut node = &mut self.root;
+        for i in 0..prefix.len() as u32 {
+            let b = bit_at(width, bits, i);
+            node = node.children[b].get_or_insert_with(|| Box::new(TrieNode::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn longest_match(&self, bits: u128, max_len: u32) -> Option<(u8, &V)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &V)> = None;
+        if let Some(v) = &node.value {
+            best = Some((0, v));
+        }
+        for i in 0..max_len {
+            let b = self.bit(bits, i);
+            match &node.children[b] {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = &node.value {
+                        best = Some(((i + 1) as u8, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn exact(&self, prefix: &Prefix) -> Option<&V> {
+        let bits = prefix.raw_bits();
+        let mut node = &self.root;
+        for i in 0..prefix.len() as u32 {
+            let b = self.bit(bits, i);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+/// A longest-prefix-match map from CIDR prefixes to arbitrary values.
+///
+/// ```
+/// use iyp_netdata::{Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert(&"10.0.0.0/8".parse().unwrap(), "big");
+/// t.insert(&"10.1.0.0/16".parse().unwrap(), "small");
+/// let ip = "10.1.2.3".parse().unwrap();
+/// assert_eq!(t.longest_match_ip(&ip).map(|(p, v)| (p.to_string(), *v)),
+///            Some(("10.1.0.0/16".to_string(), "small")));
+/// ```
+#[derive(Debug)]
+pub struct PrefixTrie<V> {
+    v4: FamilyTrie<V>,
+    v6: FamilyTrie<V>,
+    /// All inserted prefixes, kept for iteration.
+    entries: Vec<Prefix>,
+}
+
+impl<V> Default for PrefixTrie<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> PrefixTrie<V> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            v4: FamilyTrie::new(AddressFamily::V4),
+            v6: FamilyTrie::new(AddressFamily::V6),
+            entries: Vec::new(),
+        }
+    }
+
+    fn family(&self, af: AddressFamily) -> &FamilyTrie<V> {
+        match af {
+            AddressFamily::V4 => &self.v4,
+            AddressFamily::V6 => &self.v6,
+        }
+    }
+
+    /// Inserts `prefix` with `value`; returns the previous value if the
+    /// exact prefix was already present.
+    pub fn insert(&mut self, prefix: &Prefix, value: V) -> Option<V> {
+        let t = match prefix.family() {
+            AddressFamily::V4 => &mut self.v4,
+            AddressFamily::V6 => &mut self.v6,
+        };
+        let old = t.insert(prefix, value);
+        if old.is_none() {
+            self.entries.push(*prefix);
+        }
+        old
+    }
+
+    /// Number of distinct prefixes stored.
+    pub fn len(&self) -> usize {
+        self.v4.len + self.v6.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Longest-prefix match for an IP address. Returns the matched prefix
+    /// and its value.
+    pub fn longest_match_ip(&self, ip: &IpAddr) -> Option<(Prefix, &V)> {
+        let af = family_of(ip);
+        let t = self.family(af);
+        let bits = ip_to_bits(ip);
+        t.longest_match(bits, af.bits() as u32).map(|(len, v)| {
+            let p = Prefix::new(*ip, len).expect("length bounded by family width");
+            (p, v)
+        })
+    }
+
+    /// The most specific *strictly covering* prefix of `prefix` (i.e., the
+    /// longest stored prefix that covers it and is shorter than it).
+    pub fn covering(&self, prefix: &Prefix) -> Option<(Prefix, &V)> {
+        let af = prefix.family();
+        let t = self.family(af);
+        let max = (prefix.len() as u32).saturating_sub(1);
+        t.longest_match(prefix.raw_bits(), max).map(|(len, v)| {
+            let p = Prefix::new(prefix.network(), len).expect("length bounded");
+            (p, v)
+        })
+    }
+
+    /// Exact lookup of a stored prefix.
+    pub fn get(&self, prefix: &Prefix) -> Option<&V> {
+        self.family(prefix.family()).exact(prefix)
+    }
+
+    /// Iterates over all stored prefixes in insertion order.
+    pub fn prefixes(&self) -> impl Iterator<Item = &Prefix> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn lpm_prefers_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("10.0.0.0/8"), 8);
+        t.insert(&p("10.1.0.0/16"), 16);
+        t.insert(&p("10.1.2.0/24"), 24);
+        let hit = t.longest_match_ip(&"10.1.2.3".parse().unwrap()).unwrap();
+        assert_eq!(hit.0, p("10.1.2.0/24"));
+        assert_eq!(*hit.1, 24);
+        let hit = t.longest_match_ip(&"10.1.9.9".parse().unwrap()).unwrap();
+        assert_eq!(hit.0, p("10.1.0.0/16"));
+        let hit = t.longest_match_ip(&"10.200.0.1".parse().unwrap()).unwrap();
+        assert_eq!(hit.0, p("10.0.0.0/8"));
+        assert!(t.longest_match_ip(&"11.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn families_are_separate() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("0.0.0.0/0"), "v4");
+        assert!(t.longest_match_ip(&"2001:db8::1".parse().unwrap()).is_none());
+        t.insert(&p("2001:db8::/32"), "v6");
+        let hit = t.longest_match_ip(&"2001:db8::1".parse().unwrap()).unwrap();
+        assert_eq!(*hit.1, "v6");
+    }
+
+    #[test]
+    fn covering_excludes_self() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("10.0.0.0/8"), ());
+        t.insert(&p("10.1.0.0/16"), ());
+        // The covering prefix of the /16 is the /8, not itself.
+        let cov = t.covering(&p("10.1.0.0/16")).unwrap();
+        assert_eq!(cov.0, p("10.0.0.0/8"));
+        assert!(t.covering(&p("10.0.0.0/8")).is_none());
+        // Covering of a prefix not in the trie still works.
+        let cov = t.covering(&p("10.1.2.0/24")).unwrap();
+        assert_eq!(cov.0, p("10.1.0.0/16"));
+    }
+
+    #[test]
+    fn insert_replaces_and_counts() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(&p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(&p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(&p("10.0.0.0/9")), None);
+    }
+
+    #[test]
+    fn default_route_matches_everything_v4() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("0.0.0.0/0"), ());
+        assert!(t.longest_match_ip(&"203.0.113.9".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn ipv6_deep_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("2001:db8::/32"), 32);
+        t.insert(&p("2001:db8:abcd::/48"), 48);
+        t.insert(&p("2001:db8:abcd:12::/64"), 64);
+        let hit = t.longest_match_ip(&"2001:db8:abcd:12::99".parse().unwrap()).unwrap();
+        assert_eq!(*hit.1, 64);
+        let hit = t.longest_match_ip(&"2001:db8:abcd:ffff::1".parse().unwrap()).unwrap();
+        assert_eq!(*hit.1, 48);
+        let hit = t.longest_match_ip(&"2001:db8:ffff::1".parse().unwrap()).unwrap();
+        assert_eq!(*hit.1, 32);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = PrefixTrie::new();
+        t.insert(&p("192.0.2.1/32"), "host");
+        let hit = t.longest_match_ip(&"192.0.2.1".parse().unwrap()).unwrap();
+        assert_eq!(*hit.1, "host");
+        assert!(t.longest_match_ip(&"192.0.2.2".parse().unwrap()).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! API-surface tests for netdata: error rendering, display paths,
+//! country-table completeness against the crawler needs.
+
+use iyp_netdata::{canon, country, NetDataError, Prefix};
+
+#[test]
+fn error_messages_are_informative() {
+    assert!(NetDataError::InvalidAsn("x".into()).to_string().contains("x"));
+    assert!(NetDataError::InvalidIp("y".into()).to_string().contains("y"));
+    assert!(NetDataError::InvalidPrefix("z".into()).to_string().contains("z"));
+    assert!(NetDataError::PrefixLenOutOfRange { len: 33, max: 32 }
+        .to_string()
+        .contains("33"));
+    assert!(NetDataError::UnknownCountry("QQ".into()).to_string().contains("QQ"));
+}
+
+#[test]
+fn prefix_display_and_ord() {
+    let a: Prefix = "10.0.0.0/8".parse().unwrap();
+    let b: Prefix = "10.0.0.0/9".parse().unwrap();
+    assert_eq!(format!("{a}"), "10.0.0.0/8");
+    assert!(a < b, "same network, shorter length sorts first");
+    let mut v = vec![b, a];
+    v.sort();
+    assert_eq!(v[0], a);
+}
+
+#[test]
+fn country_table_covers_generator_pool() {
+    // Every country the synthetic Internet uses must be resolvable, or
+    // crawler country links would silently drop.
+    for cc in [
+        "US", "DE", "GB", "FR", "NL", "JP", "CN", "RU", "BR", "IN", "AU", "CA", "KR", "SG",
+        "ZA", "SE", "IT", "ES", "PL", "UA", "MX", "ID", "NG", "AR", "CH",
+    ] {
+        assert!(country::by_alpha2(cc).is_some(), "{cc} missing");
+    }
+}
+
+#[test]
+fn canonical_forms_compose() {
+    // A full round through the canonicalisers used by the importer.
+    assert_eq!(canon::asn(" AS2497 ").unwrap(), "2497");
+    assert_eq!(canon::ip("2001:DB8:0:0:0:0:0:1").unwrap(), "2001:db8::1");
+    assert_eq!(canon::prefix("2001:DB8::1/32").unwrap(), "2001:db8::/32");
+    assert_eq!(canon::country_code("jpn").unwrap(), "JP");
+    assert_eq!(canon::hostname("NS1.Example.ORG."), "ns1.example.org");
+    assert_eq!(
+        canon::url_hostname("https://User@WWW.Example.com:8443/a?b#c"),
+        Some("www.example.com".into())
+    );
+}
+
+#[test]
+fn asn_asdot_round() {
+    use iyp_netdata::Asn;
+    let a: Asn = "AS3.77".parse().unwrap();
+    assert_eq!(a.value(), 3 * 65536 + 77);
+    assert_eq!(a.asdot(), "3.77");
+    let b: Asn = a.to_string().parse().unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the netdata primitives.
+
+use iyp_netdata::ip::{bits_to_ip, ip_to_bits, AddressFamily};
+use iyp_netdata::{canonical_ip, Prefix, PrefixTrie};
+use proptest::prelude::*;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+fn arb_ipv4() -> impl Strategy<Value = IpAddr> {
+    any::<u32>().prop_map(|v| IpAddr::V4(Ipv4Addr::from(v)))
+}
+
+fn arb_ipv6() -> impl Strategy<Value = IpAddr> {
+    any::<u128>().prop_map(|v| IpAddr::V6(Ipv6Addr::from(v)))
+}
+
+fn arb_ip() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![arb_ipv4(), arb_ipv6()]
+}
+
+proptest! {
+    /// Canonicalisation is idempotent: canon(canon(x)) == canon(x).
+    #[test]
+    fn canonical_ip_idempotent(ip in arb_ip()) {
+        let once = canonical_ip(&ip.to_string()).unwrap();
+        let twice = canonical_ip(&once).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Bit conversion roundtrips for both families.
+    #[test]
+    fn ip_bits_roundtrip(ip in arb_ip()) {
+        let af = match ip { IpAddr::V4(_) => AddressFamily::V4, IpAddr::V6(_) => AddressFamily::V6 };
+        prop_assert_eq!(bits_to_ip(ip_to_bits(&ip), af), ip);
+    }
+
+    /// A prefix always contains its own network address, and parsing its
+    /// canonical text yields an equal prefix.
+    #[test]
+    fn prefix_contains_network_and_roundtrips(ip in arb_ipv4(), len in 0u8..=32) {
+        let p = Prefix::new(ip, len).unwrap();
+        prop_assert!(p.contains_ip(&p.network()));
+        let back: Prefix = p.canonical().parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// Same for IPv6.
+    #[test]
+    fn prefix_v6_roundtrips(ip in arb_ipv6(), len in 0u8..=128) {
+        let p = Prefix::new(ip, len).unwrap();
+        prop_assert!(p.contains_ip(&p.network()));
+        let back: Prefix = p.canonical().parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    /// covers() agrees with contains_ip() on the network address, and the
+    /// parent always covers the child.
+    #[test]
+    fn parent_covers_child(ip in arb_ipv4(), len in 1u8..=32) {
+        let child = Prefix::new(ip, len).unwrap();
+        let parent = child.parent().unwrap();
+        prop_assert!(parent.covers(&child));
+        prop_assert!(!child.covers(&parent) || parent == child);
+    }
+
+    /// Trie longest-match result always contains the queried IP, and is
+    /// at least as specific as any other inserted prefix containing it.
+    #[test]
+    fn trie_lpm_is_correct(
+        ips in proptest::collection::vec(arb_ipv4(), 1..20),
+        lens in proptest::collection::vec(1u8..=28, 1..20),
+        query in arb_ipv4(),
+    ) {
+        let mut trie = PrefixTrie::new();
+        let mut stored = Vec::new();
+        for (ip, len) in ips.iter().zip(lens.iter()) {
+            let p = Prefix::new(*ip, *len).unwrap();
+            trie.insert(&p, ());
+            stored.push(p);
+        }
+        let brute = stored.iter().filter(|p| p.contains_ip(&query)).max_by_key(|p| p.len());
+        let got = trie.longest_match_ip(&query).map(|(p, _)| p);
+        prop_assert_eq!(got, brute.copied());
+    }
+
+    /// Exact get() finds exactly what was inserted.
+    #[test]
+    fn trie_get_finds_inserted(ip in arb_ipv4(), len in 0u8..=32) {
+        let p = Prefix::new(ip, len).unwrap();
+        let mut trie = PrefixTrie::new();
+        trie.insert(&p, 7usize);
+        prop_assert_eq!(trie.get(&p), Some(&7));
+    }
+}

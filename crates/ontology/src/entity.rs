@@ -1,0 +1,255 @@
+//! Entity (node) types — Table 6 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The 24 entity types of the IYP ontology.
+///
+/// Each entity is identified in the graph by the *key property* returned
+/// by [`Entity::key_property`]; e.g. an `AS` node is uniquely identified
+/// by its `asn` property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Entity {
+    /// Autonomous System, identified by `asn`.
+    As,
+    /// RIPE Atlas measurement, identified by `id`.
+    AtlasMeasurement,
+    /// RIPE Atlas probe, identified by `id`.
+    AtlasProbe,
+    /// Authoritative DNS nameserver, identified by `name`.
+    AuthoritativeNameServer,
+    /// RIS/RouteViews BGP collector, identified by `name`.
+    BgpCollector,
+    /// CAIDA IXP identifier, identified by `id`.
+    CaidaIxId,
+    /// Economy/country, identified by `country_code` (alpha-2).
+    Country,
+    /// DNS domain name that is not a FQDN, identified by `name`.
+    DomainName,
+    /// A report approximating a quantity (e.g. population), identified by `name`.
+    Estimate,
+    /// Co-location facility, identified by `name`.
+    Facility,
+    /// Fully qualified domain name, identified by `name`.
+    HostName,
+    /// IPv4/IPv6 address, identified by `ip`.
+    Ip,
+    /// Internet Exchange Point, loosely identified by `name`.
+    Ixp,
+    /// A name associated to a resource, identified by `name`.
+    Name,
+    /// RIR delegated-file opaque id, identified by `id`.
+    OpaqueId,
+    /// Organization, loosely identified by `name`.
+    Organization,
+    /// PeeringDB facility id, identified by `id`.
+    PeeringdbFacId,
+    /// PeeringDB IXP id, identified by `id`.
+    PeeringdbIxId,
+    /// PeeringDB network id, identified by `id`.
+    PeeringdbNetId,
+    /// PeeringDB organization id, identified by `id`.
+    PeeringdbOrgId,
+    /// IPv4/IPv6 prefix, identified by `prefix`.
+    Prefix,
+    /// A ranking of Internet resources, identified by `name`.
+    Ranking,
+    /// Output of a classification, identified by `label`.
+    Tag,
+    /// Full URL, identified by `url`.
+    Url,
+}
+
+/// All entities, in Table 6 order.
+pub const ALL_ENTITIES: [Entity; 24] = [
+    Entity::As,
+    Entity::AtlasMeasurement,
+    Entity::AtlasProbe,
+    Entity::AuthoritativeNameServer,
+    Entity::BgpCollector,
+    Entity::CaidaIxId,
+    Entity::Country,
+    Entity::DomainName,
+    Entity::Estimate,
+    Entity::Facility,
+    Entity::HostName,
+    Entity::Ip,
+    Entity::Ixp,
+    Entity::Name,
+    Entity::OpaqueId,
+    Entity::Organization,
+    Entity::PeeringdbFacId,
+    Entity::PeeringdbIxId,
+    Entity::PeeringdbNetId,
+    Entity::PeeringdbOrgId,
+    Entity::Prefix,
+    Entity::Ranking,
+    Entity::Tag,
+    Entity::Url,
+];
+
+impl Entity {
+    /// The Neo4j-convention label string (camel-case, upper first).
+    pub fn label(self) -> &'static str {
+        match self {
+            Entity::As => "AS",
+            Entity::AtlasMeasurement => "AtlasMeasurement",
+            Entity::AtlasProbe => "AtlasProbe",
+            Entity::AuthoritativeNameServer => "AuthoritativeNameServer",
+            Entity::BgpCollector => "BGPCollector",
+            Entity::CaidaIxId => "CaidaIXID",
+            Entity::Country => "Country",
+            Entity::DomainName => "DomainName",
+            Entity::Estimate => "Estimate",
+            Entity::Facility => "Facility",
+            Entity::HostName => "HostName",
+            Entity::Ip => "IP",
+            Entity::Ixp => "IXP",
+            Entity::Name => "Name",
+            Entity::OpaqueId => "OpaqueID",
+            Entity::Organization => "Organization",
+            Entity::PeeringdbFacId => "PeeringdbFacID",
+            Entity::PeeringdbIxId => "PeeringdbIXID",
+            Entity::PeeringdbNetId => "PeeringdbNetID",
+            Entity::PeeringdbOrgId => "PeeringdbOrgID",
+            Entity::Prefix => "Prefix",
+            Entity::Ranking => "Ranking",
+            Entity::Tag => "Tag",
+            Entity::Url => "URL",
+        }
+    }
+
+    /// The property that uniquely identifies nodes of this entity.
+    pub fn key_property(self) -> &'static str {
+        match self {
+            Entity::As => "asn",
+            Entity::AtlasMeasurement | Entity::AtlasProbe => "id",
+            Entity::AuthoritativeNameServer => "name",
+            Entity::BgpCollector => "name",
+            Entity::CaidaIxId => "id",
+            Entity::Country => "country_code",
+            Entity::DomainName | Entity::HostName => "name",
+            Entity::Estimate => "name",
+            Entity::Facility => "name",
+            Entity::Ip => "ip",
+            Entity::Ixp => "name",
+            Entity::Name => "name",
+            Entity::OpaqueId => "id",
+            Entity::Organization => "name",
+            Entity::PeeringdbFacId
+            | Entity::PeeringdbIxId
+            | Entity::PeeringdbNetId
+            | Entity::PeeringdbOrgId => "id",
+            Entity::Prefix => "prefix",
+            Entity::Ranking => "name",
+            Entity::Tag => "label",
+            Entity::Url => "url",
+        }
+    }
+
+    /// One-line description (from Table 6).
+    pub fn description(self) -> &'static str {
+        match self {
+            Entity::As => "Autonomous System, uniquely identified with the asn property",
+            Entity::AtlasMeasurement => "RIPE Atlas measurement, identified with the id property",
+            Entity::AtlasProbe => "RIPE Atlas probe, identified with the id property",
+            Entity::AuthoritativeNameServer => {
+                "Authoritative DNS nameserver for a set of domain names"
+            }
+            Entity::BgpCollector => "A RIPE RIS or RouteViews BGP collector",
+            Entity::CaidaIxId => "Unique identifier for IXPs from CAIDA's IXP dataset",
+            Entity::Country => "Represents an economy, identified by its two/three character code",
+            Entity::DomainName => "Any DNS domain name that is not a FQDN",
+            Entity::Estimate => "A report that approximates a quantity",
+            Entity::Facility => "Co-location facility for IXPs and ASes",
+            Entity::HostName => "A fully qualified domain name",
+            Entity::Ip => "An IPv4 or IPv6 address, with af property for the address family",
+            Entity::Ixp => "An Internet Exchange Point",
+            Entity::Name => "A name associated to a network resource",
+            Entity::OpaqueId => "Opaque-id value found in RIR delegated files",
+            Entity::Organization => "Represents an organization",
+            Entity::PeeringdbFacId => "Unique identifier for a Facility as assigned by PeeringDB",
+            Entity::PeeringdbIxId => "Unique identifier for an IXP as assigned by PeeringDB",
+            Entity::PeeringdbNetId => "Unique identifier for an AS as assigned by PeeringDB",
+            Entity::PeeringdbOrgId => {
+                "Unique identifier for an Organization as assigned by PeeringDB"
+            }
+            Entity::Prefix => "An IPv4 or IPv6 prefix, with af property for the address family",
+            Entity::Ranking => "A specific ranking of Internet resources",
+            Entity::Tag => "The output of a manual or automated classification",
+            Entity::Url => "The full URL for an Internet resource",
+        }
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Entity {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_ENTITIES
+            .iter()
+            .find(|e| e.label() == s)
+            .copied()
+            .ok_or(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_24_entities() {
+        assert_eq!(ALL_ENTITIES.len(), 24);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = ALL_ENTITIES.iter().map(|e| e.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 24);
+    }
+
+    #[test]
+    fn labels_follow_neo4j_convention() {
+        for e in ALL_ENTITIES {
+            let l = e.label();
+            assert!(l.chars().next().unwrap().is_ascii_uppercase(), "{l}");
+            assert!(!l.contains('_'), "{l}");
+            assert!(!l.contains(' '), "{l}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_from_str() {
+        for e in ALL_ENTITIES {
+            assert_eq!(e.label().parse::<Entity>().unwrap(), e);
+        }
+        assert!("NotAnEntity".parse::<Entity>().is_err());
+    }
+
+    #[test]
+    fn key_properties_match_paper() {
+        assert_eq!(Entity::As.key_property(), "asn");
+        assert_eq!(Entity::Ip.key_property(), "ip");
+        assert_eq!(Entity::Prefix.key_property(), "prefix");
+        assert_eq!(Entity::Country.key_property(), "country_code");
+        assert_eq!(Entity::Tag.key_property(), "label");
+        assert_eq!(Entity::Url.key_property(), "url");
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for e in ALL_ENTITIES {
+            assert!(!e.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The IYP ontology (§2.2 of the paper).
+//!
+//! The ontology is the glue between data providers, the knowledge graph,
+//! and users: it enumerates the **entities** (node types, Table 6 of the
+//! paper), the **relationships** (link types, Table 7), and the
+//! **provenance properties** every imported link carries. This crate also
+//! encodes which `(source entity, relationship, destination entity)`
+//! triples are meaningful, so a constructed graph can be *validated*
+//! against the ontology.
+//!
+//! Naming follows the Neo4j convention the paper adopts: entities are
+//! camel-case beginning upper-case (`DomainName`), relationships are
+//! upper-case with underscores (`RESOLVES_TO`).
+
+pub mod entity;
+pub mod reference;
+pub mod relationship;
+pub mod schema;
+pub mod validate;
+
+pub use entity::Entity;
+pub use reference::Reference;
+pub use relationship::Relationship;
+pub use schema::{allowed_triples, is_allowed, Triple};
+pub use validate::{validate_graph, Violation};

@@ -1,0 +1,150 @@
+//! Provenance ("reference") properties — §2.2 of the paper.
+//!
+//! Every link created while importing a dataset is annotated with six
+//! properties documenting the origin of the data. These enable tracking
+//! the exact source of every datapoint and selecting/discarding specific
+//! datasets at query time (e.g. `[:RESOLVES_TO
+//! {reference_name:'openintel.tranco1m'}]` in Listing 3).
+
+use iyp_graph::{Props, Value};
+use serde::{Deserialize, Serialize};
+
+/// The six provenance properties stamped on every imported relationship.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reference {
+    /// Name of the organization that provides and maintains the dataset.
+    pub organization: String,
+    /// Unique name for the original dataset, e.g. `bgpkit.pfx2as`.
+    pub dataset_name: String,
+    /// Link to a human-readable description of the dataset, if available.
+    pub info_url: Option<String>,
+    /// URL from which the dataset was retrieved.
+    pub data_url: Option<String>,
+    /// Time the dataset was last modified (unix seconds), if available.
+    pub modification_time: Option<i64>,
+    /// Time the dataset was imported into IYP (unix seconds).
+    pub fetch_time: i64,
+}
+
+/// Property key for the providing organization.
+pub const KEY_ORG: &str = "reference_org";
+/// Property key for the dataset name.
+pub const KEY_NAME: &str = "reference_name";
+/// Property key for the human-readable info URL.
+pub const KEY_URL_INFO: &str = "reference_url_info";
+/// Property key for the data URL.
+pub const KEY_URL_DATA: &str = "reference_url_data";
+/// Property key for the dataset modification time.
+pub const KEY_TIME_MODIFICATION: &str = "reference_time_modification";
+/// Property key for the fetch time.
+pub const KEY_TIME_FETCH: &str = "reference_time_fetch";
+
+impl Reference {
+    /// Creates a reference with the two mandatory fields.
+    pub fn new(organization: &str, dataset_name: &str, fetch_time: i64) -> Self {
+        Reference {
+            organization: organization.to_string(),
+            dataset_name: dataset_name.to_string(),
+            info_url: None,
+            data_url: None,
+            modification_time: None,
+            fetch_time,
+        }
+    }
+
+    /// Sets the info URL.
+    pub fn with_info_url(mut self, url: &str) -> Self {
+        self.info_url = Some(url.to_string());
+        self
+    }
+
+    /// Sets the data URL.
+    pub fn with_data_url(mut self, url: &str) -> Self {
+        self.data_url = Some(url.to_string());
+        self
+    }
+
+    /// Sets the modification time.
+    pub fn with_modification_time(mut self, t: i64) -> Self {
+        self.modification_time = Some(t);
+        self
+    }
+
+    /// Renders the reference as relationship properties, merged with
+    /// `extra` (dataset-specific) properties. Reference keys win over
+    /// accidental collisions in `extra`.
+    pub fn to_props(&self, extra: Props) -> Props {
+        let mut p = extra;
+        p.insert(KEY_ORG.into(), Value::Str(self.organization.clone()));
+        p.insert(KEY_NAME.into(), Value::Str(self.dataset_name.clone()));
+        p.insert(KEY_URL_INFO.into(), self.info_url.clone().into());
+        p.insert(KEY_URL_DATA.into(), self.data_url.clone().into());
+        p.insert(KEY_TIME_MODIFICATION.into(), self.modification_time.into());
+        p.insert(KEY_TIME_FETCH.into(), Value::Int(self.fetch_time));
+        p
+    }
+
+    /// Parses a reference back out of relationship properties, if the
+    /// mandatory keys are present.
+    pub fn from_props(props: &Props) -> Option<Reference> {
+        Some(Reference {
+            organization: props.get(KEY_ORG)?.as_str()?.to_string(),
+            dataset_name: props.get(KEY_NAME)?.as_str()?.to_string(),
+            info_url: props
+                .get(KEY_URL_INFO)
+                .and_then(|v| v.as_str())
+                .map(String::from),
+            data_url: props
+                .get(KEY_URL_DATA)
+                .and_then(|v| v.as_str())
+                .map(String::from),
+            modification_time: props.get(KEY_TIME_MODIFICATION).and_then(|v| v.as_int()),
+            fetch_time: props.get(KEY_TIME_FETCH)?.as_int()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::props;
+
+    #[test]
+    fn roundtrip_through_props() {
+        let r = Reference::new("BGPKIT", "bgpkit.pfx2as", 1_714_521_600)
+            .with_info_url("https://data.bgpkit.com")
+            .with_data_url("https://data.bgpkit.com/pfx2as/latest.json")
+            .with_modification_time(1_714_500_000);
+        let p = r.to_props(Props::new());
+        assert_eq!(Reference::from_props(&p), Some(r));
+    }
+
+    #[test]
+    fn optional_fields_become_null() {
+        let r = Reference::new("IHR", "ihr.hegemony", 1);
+        let p = r.to_props(Props::new());
+        assert!(p[KEY_URL_INFO].is_null());
+        assert!(p[KEY_TIME_MODIFICATION].is_null());
+        assert_eq!(p[KEY_NAME].as_str(), Some("ihr.hegemony"));
+    }
+
+    #[test]
+    fn extra_props_are_preserved() {
+        let r = Reference::new("CAIDA", "caida.asrank", 1);
+        let p = r.to_props(props([("rank", Value::Int(12))]));
+        assert_eq!(p["rank"].as_int(), Some(12));
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn reference_keys_win_over_collisions() {
+        let r = Reference::new("CAIDA", "caida.asrank", 1);
+        let p = r.to_props(props([(KEY_NAME, Value::Str("spoofed".into()))]));
+        assert_eq!(p[KEY_NAME].as_str(), Some("caida.asrank"));
+    }
+
+    #[test]
+    fn from_props_requires_mandatory_keys() {
+        assert_eq!(Reference::from_props(&Props::new()), None);
+    }
+}

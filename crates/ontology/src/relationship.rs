@@ -1,0 +1,212 @@
+//! Relationship types — Table 7 of the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The 24 relationship types of the IYP ontology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Relationship {
+    /// CNAME equivalence between two HostNames.
+    AliasOf,
+    /// RIR allocation of a resource to a holder, or an Atlas probe's IP.
+    Assigned,
+    /// Resource unallocated and available at an RIR.
+    Available,
+    /// Resource classified with a Tag.
+    Categorized,
+    /// Any node related to its Country.
+    Country,
+    /// Reachability of an AS/Prefix depends on an AS.
+    DependsOn,
+    /// Identifier assigned by an external organization (e.g. PeeringDB).
+    ExternalId,
+    /// Geographical or topological location of a resource.
+    LocatedIn,
+    /// Entity in charge of a resource (AS→Organization, DomainName→NS).
+    ManagedBy,
+    /// Membership (e.g. AS member of IXP).
+    MemberOf,
+    /// Usual or registered name of an entity.
+    Name,
+    /// Prefix originated by an AS in BGP.
+    Originate,
+    /// Zone cut between parent and child DomainNames.
+    Parent,
+    /// One entity is part of another (IP∈Prefix, HostName∈DomainName).
+    PartOf,
+    /// BGP peering between ASes or AS↔collector.
+    PeersWith,
+    /// AS hosts a fraction of a country's population, or country population.
+    Population,
+    /// Top AS/Country querying a DomainName (Cloudflare radar).
+    QueriedFrom,
+    /// Resource appears in a Ranking (with rank property).
+    Rank,
+    /// Resource reserved by RIRs or IANA.
+    Reserved,
+    /// HostName resolves to an IP address.
+    ResolvesTo,
+    /// RPKI ROA: AS authorized to originate a Prefix.
+    RouteOriginAuthorization,
+    /// Two ASes/Organizations are the same entity.
+    SiblingOf,
+    /// Atlas measurement probes a resource.
+    Target,
+    /// Common website for a resource.
+    Website,
+}
+
+/// All relationships, in Table 7 order.
+pub const ALL_RELATIONSHIPS: [Relationship; 24] = [
+    Relationship::AliasOf,
+    Relationship::Assigned,
+    Relationship::Available,
+    Relationship::Categorized,
+    Relationship::Country,
+    Relationship::DependsOn,
+    Relationship::ExternalId,
+    Relationship::LocatedIn,
+    Relationship::ManagedBy,
+    Relationship::MemberOf,
+    Relationship::Name,
+    Relationship::Originate,
+    Relationship::Parent,
+    Relationship::PartOf,
+    Relationship::PeersWith,
+    Relationship::Population,
+    Relationship::QueriedFrom,
+    Relationship::Rank,
+    Relationship::Reserved,
+    Relationship::ResolvesTo,
+    Relationship::RouteOriginAuthorization,
+    Relationship::SiblingOf,
+    Relationship::Target,
+    Relationship::Website,
+];
+
+impl Relationship {
+    /// The Neo4j-convention type string (upper-case, underscores).
+    pub fn type_name(self) -> &'static str {
+        match self {
+            Relationship::AliasOf => "ALIAS_OF",
+            Relationship::Assigned => "ASSIGNED",
+            Relationship::Available => "AVAILABLE",
+            Relationship::Categorized => "CATEGORIZED",
+            Relationship::Country => "COUNTRY",
+            Relationship::DependsOn => "DEPENDS_ON",
+            Relationship::ExternalId => "EXTERNAL_ID",
+            Relationship::LocatedIn => "LOCATED_IN",
+            Relationship::ManagedBy => "MANAGED_BY",
+            Relationship::MemberOf => "MEMBER_OF",
+            Relationship::Name => "NAME",
+            Relationship::Originate => "ORIGINATE",
+            Relationship::Parent => "PARENT",
+            Relationship::PartOf => "PART_OF",
+            Relationship::PeersWith => "PEERS_WITH",
+            Relationship::Population => "POPULATION",
+            Relationship::QueriedFrom => "QUERIED_FROM",
+            Relationship::Rank => "RANK",
+            Relationship::Reserved => "RESERVED",
+            Relationship::ResolvesTo => "RESOLVES_TO",
+            Relationship::RouteOriginAuthorization => "ROUTE_ORIGIN_AUTHORIZATION",
+            Relationship::SiblingOf => "SIBLING_OF",
+            Relationship::Target => "TARGET",
+            Relationship::Website => "WEBSITE",
+        }
+    }
+
+    /// One-line description (from Table 7).
+    pub fn description(self) -> &'static str {
+        match self {
+            Relationship::AliasOf => "Equivalent to the CNAME record in DNS; relates two HostNames",
+            Relationship::Assigned => {
+                "RIR allocation of a resource to a holder, or the assigned IP of an AtlasProbe"
+            }
+            Relationship::Available => "Resource not allocated and available at the related RIR",
+            Relationship::Categorized => "Resource classified according to the related Tag",
+            Relationship::Country => "Relates a node to its corresponding country",
+            Relationship::DependsOn => "Reachability of the AS/Prefix depends on a certain AS",
+            Relationship::ExternalId => "Identifier commonly used by an external organization",
+            Relationship::LocatedIn => "Location at a geographical or topological place",
+            Relationship::ManagedBy => "Entity in charge of a network resource",
+            Relationship::MemberOf => "Membership to an organization (e.g. AS member of IXP)",
+            Relationship::Name => "Relates an entity to its usual or registered name",
+            Relationship::Originate => "Prefix seen as originated from that AS in BGP",
+            Relationship::Parent => "Zone cut between the parent zone and the more specific zone",
+            Relationship::PartOf => "One entity is a part of another",
+            Relationship::PeersWith => "Connection between two ASes as seen in BGP",
+            Relationship::Population => "AS hosts a fraction of the population of a country",
+            Relationship::QueriedFrom => {
+                "AS/Country among the top querying the DomainName (Cloudflare radar)"
+            }
+            Relationship::Rank => "Resource appears in the Ranking; rank property gives position",
+            Relationship::Reserved => "AS or Prefix reserved for a certain purpose by RIRs/IANA",
+            Relationship::ResolvesTo => "A DNS resolution resolved the corresponding IP",
+            Relationship::RouteOriginAuthorization => {
+                "AS authorized to originate the Prefix by RPKI"
+            }
+            Relationship::SiblingOf => "ASes or Organizations representing the same entity",
+            Relationship::Target => "Atlas measurement set up to probe that resource",
+            Relationship::Website => "Common website for the resource",
+        }
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.type_name())
+    }
+}
+
+impl FromStr for Relationship {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_RELATIONSHIPS
+            .iter()
+            .find(|r| r.type_name() == s)
+            .copied()
+            .ok_or(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_24_relationships() {
+        assert_eq!(ALL_RELATIONSHIPS.len(), 24);
+    }
+
+    #[test]
+    fn names_follow_neo4j_convention() {
+        for r in ALL_RELATIONSHIPS {
+            let n = r.type_name();
+            assert!(
+                n.chars().all(|c| c.is_ascii_uppercase() || c == '_'),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_roundtrip() {
+        let mut names: Vec<&str> = ALL_RELATIONSHIPS.iter().map(|r| r.type_name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 24);
+        for r in ALL_RELATIONSHIPS {
+            assert_eq!(r.type_name().parse::<Relationship>().unwrap(), r);
+        }
+        assert!("NOT_A_REL".parse::<Relationship>().is_err());
+    }
+
+    #[test]
+    fn descriptions_nonempty() {
+        for r in ALL_RELATIONSHIPS {
+            assert!(!r.description().is_empty());
+        }
+    }
+}

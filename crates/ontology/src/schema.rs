@@ -1,0 +1,201 @@
+//! Allowed `(source, relationship, destination)` triples.
+//!
+//! The ontology not only names entities and relationships but constrains
+//! which combinations are meaningful (e.g. `ORIGINATE` connects an `AS`
+//! to a `Prefix`, never a `HostName` to a `Country`). The triples below
+//! are drawn from Table 7's descriptions and the Figure 4 walk-through.
+
+use crate::entity::Entity;
+use crate::relationship::Relationship;
+
+/// An allowed schema triple, in canonical direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triple {
+    /// Source entity.
+    pub src: Entity,
+    /// Relationship type.
+    pub rel: Relationship,
+    /// Destination entity.
+    pub dst: Entity,
+}
+
+const fn t(src: Entity, rel: Relationship, dst: Entity) -> Triple {
+    Triple { src, rel, dst }
+}
+
+/// The full triple catalogue.
+pub const TRIPLES: &[Triple] = &[
+    // DNS aliasing.
+    t(Entity::HostName, Relationship::AliasOf, Entity::HostName),
+    // RIR delegated files.
+    t(Entity::As, Relationship::Assigned, Entity::OpaqueId),
+    t(Entity::Prefix, Relationship::Assigned, Entity::OpaqueId),
+    t(Entity::AtlasProbe, Relationship::Assigned, Entity::Ip),
+    t(Entity::As, Relationship::Available, Entity::OpaqueId),
+    t(Entity::Prefix, Relationship::Available, Entity::OpaqueId),
+    t(Entity::As, Relationship::Reserved, Entity::OpaqueId),
+    t(Entity::Prefix, Relationship::Reserved, Entity::OpaqueId),
+    // Classification.
+    t(Entity::As, Relationship::Categorized, Entity::Tag),
+    t(Entity::Prefix, Relationship::Categorized, Entity::Tag),
+    t(Entity::Url, Relationship::Categorized, Entity::Tag),
+    // Geography / registration.
+    t(Entity::As, Relationship::Country, Entity::Country),
+    t(Entity::Prefix, Relationship::Country, Entity::Country),
+    t(Entity::Organization, Relationship::Country, Entity::Country),
+    t(Entity::Ixp, Relationship::Country, Entity::Country),
+    t(Entity::Facility, Relationship::Country, Entity::Country),
+    t(Entity::AtlasProbe, Relationship::Country, Entity::Country),
+    t(Entity::OpaqueId, Relationship::Country, Entity::Country),
+    t(Entity::DomainName, Relationship::Country, Entity::Country),
+    // Inter-domain dependency (AS hegemony), country dependency, and
+    // the UTwente DNS dependency graph (§5.2).
+    t(Entity::As, Relationship::DependsOn, Entity::As),
+    t(Entity::Prefix, Relationship::DependsOn, Entity::As),
+    t(Entity::Country, Relationship::DependsOn, Entity::As),
+    t(Entity::DomainName, Relationship::DependsOn, Entity::DomainName),
+    // External identifiers.
+    t(Entity::Ixp, Relationship::ExternalId, Entity::CaidaIxId),
+    t(Entity::Ixp, Relationship::ExternalId, Entity::PeeringdbIxId),
+    t(Entity::As, Relationship::ExternalId, Entity::PeeringdbNetId),
+    t(Entity::Organization, Relationship::ExternalId, Entity::PeeringdbOrgId),
+    t(Entity::Facility, Relationship::ExternalId, Entity::PeeringdbFacId),
+    // Location.
+    t(Entity::Ixp, Relationship::LocatedIn, Entity::Facility),
+    t(Entity::As, Relationship::LocatedIn, Entity::Facility),
+    t(Entity::AtlasProbe, Relationship::LocatedIn, Entity::As),
+    t(Entity::AtlasProbe, Relationship::LocatedIn, Entity::Country),
+    t(Entity::Facility, Relationship::LocatedIn, Entity::Country),
+    // Management.
+    t(Entity::As, Relationship::ManagedBy, Entity::Organization),
+    t(Entity::Ixp, Relationship::ManagedBy, Entity::Organization),
+    t(Entity::Prefix, Relationship::ManagedBy, Entity::Organization),
+    t(Entity::DomainName, Relationship::ManagedBy, Entity::AuthoritativeNameServer),
+    // IXP peering LANs and rDNS delegations.
+    t(Entity::Prefix, Relationship::ManagedBy, Entity::Ixp),
+    t(Entity::Prefix, Relationship::ManagedBy, Entity::AuthoritativeNameServer),
+    // Membership.
+    t(Entity::As, Relationship::MemberOf, Entity::Ixp),
+    // Naming.
+    t(Entity::As, Relationship::Name, Entity::Name),
+    t(Entity::Organization, Relationship::Name, Entity::Name),
+    t(Entity::Ixp, Relationship::Name, Entity::Name),
+    t(Entity::Country, Relationship::Name, Entity::Name),
+    // Routing.
+    t(Entity::As, Relationship::Originate, Entity::Prefix),
+    t(Entity::As, Relationship::PeersWith, Entity::As),
+    t(Entity::As, Relationship::PeersWith, Entity::BgpCollector),
+    t(Entity::As, Relationship::RouteOriginAuthorization, Entity::Prefix),
+    // DNS hierarchy and resolution.
+    t(Entity::DomainName, Relationship::Parent, Entity::DomainName),
+    t(Entity::Ip, Relationship::PartOf, Entity::Prefix),
+    t(Entity::Prefix, Relationship::PartOf, Entity::Prefix),
+    t(Entity::HostName, Relationship::PartOf, Entity::DomainName),
+    t(Entity::Url, Relationship::PartOf, Entity::HostName),
+    t(Entity::AtlasProbe, Relationship::PartOf, Entity::AtlasMeasurement),
+    t(Entity::HostName, Relationship::ResolvesTo, Entity::Ip),
+    t(Entity::AuthoritativeNameServer, Relationship::ResolvesTo, Entity::Ip),
+    // Population estimates.
+    t(Entity::As, Relationship::Population, Entity::Country),
+    t(Entity::Country, Relationship::Population, Entity::Estimate),
+    // Query statistics (Cloudflare radar).
+    t(Entity::DomainName, Relationship::QueriedFrom, Entity::As),
+    t(Entity::DomainName, Relationship::QueriedFrom, Entity::Country),
+    // Rankings.
+    t(Entity::As, Relationship::Rank, Entity::Ranking),
+    t(Entity::DomainName, Relationship::Rank, Entity::Ranking),
+    t(Entity::HostName, Relationship::Rank, Entity::Ranking),
+    // Siblings.
+    t(Entity::As, Relationship::SiblingOf, Entity::As),
+    t(Entity::Organization, Relationship::SiblingOf, Entity::Organization),
+    // Atlas measurements.
+    t(Entity::AtlasMeasurement, Relationship::Target, Entity::Ip),
+    t(Entity::AtlasMeasurement, Relationship::Target, Entity::HostName),
+    t(Entity::AtlasMeasurement, Relationship::Target, Entity::As),
+    // Websites.
+    t(Entity::Url, Relationship::Website, Entity::Organization),
+    t(Entity::Url, Relationship::Website, Entity::Facility),
+    t(Entity::Url, Relationship::Website, Entity::Ixp),
+    t(Entity::Url, Relationship::Website, Entity::As),
+];
+
+/// All allowed triples for a given relationship.
+pub fn allowed_triples(rel: Relationship) -> impl Iterator<Item = &'static Triple> {
+    TRIPLES.iter().filter(move |x| x.rel == rel)
+}
+
+/// True if `(src, rel, dst)` is allowed in the canonical direction.
+pub fn is_allowed(src: Entity, rel: Relationship, dst: Entity) -> bool {
+    TRIPLES.iter().any(|x| x.src == src && x.rel == rel && x.dst == dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relationship::ALL_RELATIONSHIPS;
+
+    #[test]
+    fn every_relationship_has_at_least_one_triple() {
+        for r in ALL_RELATIONSHIPS {
+            assert!(allowed_triples(r).count() > 0, "{r} has no triples");
+        }
+    }
+
+    #[test]
+    fn paper_examples_are_allowed() {
+        // §2.2: "An AS is managed by an organization; An AS originates a
+        // prefix in BGP; A hostname resolves to an IP address."
+        assert!(is_allowed(Entity::As, Relationship::ManagedBy, Entity::Organization));
+        assert!(is_allowed(Entity::As, Relationship::Originate, Entity::Prefix));
+        assert!(is_allowed(Entity::HostName, Relationship::ResolvesTo, Entity::Ip));
+    }
+
+    #[test]
+    fn nonsense_is_rejected() {
+        assert!(!is_allowed(Entity::Country, Relationship::Originate, Entity::Prefix));
+        assert!(!is_allowed(Entity::HostName, Relationship::PeersWith, Entity::Ip));
+    }
+
+    #[test]
+    fn triples_are_unique() {
+        for (i, a) in TRIPLES.iter().enumerate() {
+            for b in &TRIPLES[i + 1..] {
+                assert!(!(a.src == b.src && a.rel == b.rel && a.dst == b.dst), "{a:?} duplicated");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+    use crate::entity::ALL_ENTITIES;
+
+    #[test]
+    fn every_entity_appears_in_some_triple() {
+        for e in ALL_ENTITIES {
+            let used = TRIPLES.iter().any(|t| t.src == e || t.dst == e);
+            assert!(used, "{e} appears in no schema triple");
+        }
+    }
+
+    #[test]
+    fn identity_style_entities_are_only_destinations() {
+        // External-id entities are pure identifiers: nothing should
+        // originate from them.
+        for e in [
+            Entity::CaidaIxId,
+            Entity::PeeringdbFacId,
+            Entity::PeeringdbIxId,
+            Entity::PeeringdbNetId,
+            Entity::PeeringdbOrgId,
+            Entity::Name,
+            Entity::Tag,
+        ] {
+            assert!(
+                TRIPLES.iter().all(|t| t.src != e),
+                "{e} should never be a triple source"
+            );
+        }
+    }
+}

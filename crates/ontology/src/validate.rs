@@ -1,0 +1,207 @@
+//! Graph-against-ontology validation.
+//!
+//! Used by the pipeline's final consistency check and by tests: every
+//! relationship in the constructed knowledge graph must use an ontology
+//! relationship type, connect entities in an allowed combination, and
+//! carry the mandatory provenance properties; every node with an ontology
+//! label must carry its identity key property.
+
+use crate::entity::Entity;
+use crate::reference::{KEY_NAME, KEY_ORG, KEY_TIME_FETCH};
+use crate::relationship::Relationship;
+use crate::schema::is_allowed;
+use iyp_graph::{Graph, NodeId, RelId};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A relationship uses a type that is not in the ontology.
+    UnknownRelType { rel: RelId, type_name: String },
+    /// A relationship connects entities in a combination the ontology
+    /// does not allow (in either direction).
+    DisallowedTriple {
+        rel: RelId,
+        src_labels: Vec<String>,
+        type_name: String,
+        dst_labels: Vec<String>,
+    },
+    /// A relationship is missing one of the mandatory provenance keys.
+    MissingReference { rel: RelId, key: &'static str },
+    /// A node with an ontology label is missing its identity property.
+    MissingKeyProperty { node: NodeId, label: String, key: &'static str },
+}
+
+/// Validates the graph against the ontology, returning all violations.
+///
+/// Labels that are not ontology entities (e.g. study-specific tags added
+/// in a local instance, which §6.1 encourages) are ignored, matching the
+/// paper's "extend the ontology or store as properties" policy.
+pub fn validate_graph(graph: &Graph) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Node identity keys.
+    for node in graph.all_nodes() {
+        for label_id in &node.labels {
+            let label = graph.symbols().label_name(*label_id);
+            if let Ok(entity) = label.parse::<Entity>() {
+                let key = entity.key_property();
+                if node.prop(key).is_none() {
+                    violations.push(Violation::MissingKeyProperty {
+                        node: node.id,
+                        label: label.to_string(),
+                        key,
+                    });
+                }
+            }
+        }
+    }
+
+    // Relationship types, triples, and provenance.
+    for rel in graph.all_rels() {
+        let type_name = graph.symbols().rel_type_name(rel.rel_type).to_string();
+        let Ok(ontology_rel) = type_name.parse::<Relationship>() else {
+            violations.push(Violation::UnknownRelType { rel: rel.id, type_name });
+            continue;
+        };
+
+        let entities_of = |node: NodeId| -> Vec<Entity> {
+            graph
+                .node(node)
+                .map(|n| {
+                    n.labels
+                        .iter()
+                        .filter_map(|l| graph.symbols().label_name(*l).parse::<Entity>().ok())
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let src_entities = entities_of(rel.src);
+        let dst_entities = entities_of(rel.dst);
+        let ok = src_entities.iter().any(|s| {
+            dst_entities.iter().any(|d| {
+                is_allowed(*s, ontology_rel, *d) || is_allowed(*d, ontology_rel, *s)
+            })
+        });
+        if !ok {
+            let labels_of = |node: NodeId| -> Vec<String> {
+                graph
+                    .node(node)
+                    .map(|n| {
+                        n.labels
+                            .iter()
+                            .map(|l| graph.symbols().label_name(*l).to_string())
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            violations.push(Violation::DisallowedTriple {
+                rel: rel.id,
+                src_labels: labels_of(rel.src),
+                type_name: type_name.clone(),
+                dst_labels: labels_of(rel.dst),
+            });
+        }
+
+        for key in [KEY_ORG, KEY_NAME, KEY_TIME_FETCH] {
+            if rel.prop(key).is_none() {
+                violations.push(Violation::MissingReference { rel: rel.id, key });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::Reference;
+    use iyp_graph::{props, Props, Value};
+
+    fn reference_props() -> Props {
+        Reference::new("TestOrg", "test.dataset", 1_714_521_600).to_props(Props::new())
+    }
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "2001:db8::/32", Props::new());
+        g.create_rel(a, "ORIGINATE", p, reference_props()).unwrap();
+        assert!(validate_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn reversed_direction_is_accepted() {
+        // Queries are undirected; validation accepts either orientation.
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "2001:db8::/32", Props::new());
+        g.create_rel(p, "ORIGINATE", a, reference_props()).unwrap();
+        assert!(validate_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn unknown_rel_type_is_flagged() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2u32, Props::new());
+        g.create_rel(a, "FRIENDS_WITH", b, reference_props()).unwrap();
+        let v = validate_graph(&g);
+        assert!(matches!(v[0], Violation::UnknownRelType { .. }));
+    }
+
+    #[test]
+    fn disallowed_triple_is_flagged() {
+        let mut g = Graph::new();
+        let c = g.merge_node("Country", "country_code", "JP", Props::new());
+        let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        g.create_rel(c, "ORIGINATE", p, reference_props()).unwrap();
+        let v = validate_graph(&g);
+        assert!(v.iter().any(|x| matches!(x, Violation::DisallowedTriple { .. })));
+    }
+
+    #[test]
+    fn missing_reference_is_flagged() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
+        let v = validate_graph(&g);
+        assert_eq!(
+            v.iter().filter(|x| matches!(x, Violation::MissingReference { .. })).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn missing_key_property_is_flagged() {
+        let mut g = Graph::new();
+        g.create_node(&["AS"], props([("name", Value::Str("no asn".into()))]));
+        let v = validate_graph(&g);
+        assert!(matches!(v[0], Violation::MissingKeyProperty { key: "asn", .. }));
+    }
+
+    #[test]
+    fn non_ontology_labels_are_ignored() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["MyStudyMarker"], Props::new());
+        let b = g.merge_node("AS", "asn", 1u32, Props::new());
+        // Relationship with an ontology type between a non-ontology node
+        // and an AS: the triple check can't match, but unknown labels on
+        // *nodes* alone don't violate anything.
+        let _ = (a, b);
+        assert!(validate_graph(&g).is_empty());
+    }
+
+    #[test]
+    fn multi_label_nodes_use_any_matching_entity() {
+        // AuthoritativeNameServer nodes also carry HostName in IYP.
+        let mut g = Graph::new();
+        let ns = g.merge_node("HostName", "name", "ns1.example.com", Props::new());
+        g.add_label(ns, "AuthoritativeNameServer").unwrap();
+        let ip = g.merge_node("IP", "ip", "192.0.2.1", Props::new());
+        g.create_rel(ns, "RESOLVES_TO", ip, reference_props()).unwrap();
+        assert!(validate_graph(&g).is_empty());
+    }
+}

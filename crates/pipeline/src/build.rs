@@ -1,0 +1,149 @@
+//! Full-graph construction.
+
+use crate::postprocess;
+use crate::report::BuildReport;
+use iyp_crawlers::{import_dataset, CrawlError};
+use iyp_graph::{Graph, GraphStats};
+use iyp_ontology::validate_graph;
+use iyp_simnet::datasets::ALL_DATASETS;
+use iyp_simnet::{DatasetId, World};
+
+/// Options for a build.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Datasets to import; defaults to all 46.
+    pub datasets: Vec<DatasetId>,
+    /// Run the refinement passes (IP→Prefix LPM, covering prefixes,
+    /// URL→HostName, `af` props, country completion).
+    pub refine: bool,
+    /// Run the final ontology validation.
+    pub validate: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { datasets: ALL_DATASETS.to_vec(), refine: true, validate: true }
+    }
+}
+
+impl BuildOptions {
+    /// Build with only the named datasets (plus refinement).
+    pub fn only(datasets: &[DatasetId]) -> Self {
+        BuildOptions { datasets: datasets.to_vec(), ..Default::default() }
+    }
+
+    /// Disable refinement (used by the refinement ablation bench).
+    pub fn without_refinement(mut self) -> Self {
+        self.refine = false;
+        self
+    }
+}
+
+/// Builds the IYP knowledge graph from a synthetic world.
+///
+/// Dataset texts are rendered concurrently (they are independent pure
+/// functions of the world); imports run serially in Table 8 order so
+/// the build is deterministic.
+pub fn build_graph(world: &World, options: &BuildOptions) -> Result<(Graph, BuildReport), CrawlError> {
+    // Render all dataset texts in parallel.
+    let mut texts: Vec<(DatasetId, String)> = Vec::with_capacity(options.datasets.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = options
+            .datasets
+            .iter()
+            .map(|&id| s.spawn(move |_| (id, world.render_dataset(id))))
+            .collect();
+        for h in handles {
+            texts.push(h.join().expect("render thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    // Deterministic import order.
+    texts.sort_by_key(|(id, _)| *id);
+
+    let mut graph = Graph::new();
+    let mut datasets = Vec::with_capacity(texts.len());
+    for (id, text) in &texts {
+        let links = import_dataset(&mut graph, *id, text, world.fetch_time)?;
+        datasets.push((id.name().to_string(), links));
+    }
+
+    let mut refinement = Vec::new();
+    if options.refine {
+        refinement.push(("address families (af)", postprocess::add_address_families(&mut graph)));
+        refinement.push((
+            "IP -> Prefix (longest match)",
+            postprocess::link_ips_to_prefixes(&mut graph, world.fetch_time)?,
+        ));
+        refinement.push((
+            "Prefix -> covering Prefix",
+            postprocess::link_covering_prefixes(&mut graph, world.fetch_time)?,
+        ));
+        refinement.push((
+            "URL -> HostName",
+            postprocess::link_urls_to_hostnames(&mut graph, world.fetch_time)?,
+        ));
+        refinement.push(("country completion", postprocess::complete_countries(&mut graph)));
+    }
+
+    let violations = if options.validate { validate_graph(&graph).len() } else { 0 };
+    let stats = GraphStats::compute(&graph);
+    Ok((graph, BuildReport { datasets, refinement, stats, violations }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_simnet::SimConfig;
+
+    #[test]
+    fn full_build_is_ontology_clean() {
+        let world = World::generate(&SimConfig::tiny(), 42);
+        let (graph, report) = build_graph(&world, &BuildOptions::default()).unwrap();
+        assert_eq!(report.violations, 0, "ontology violations in full build");
+        assert_eq!(report.datasets.len(), 46);
+        // Every dataset contributed at least one link.
+        for (name, links) in &report.datasets {
+            assert!(*links > 0, "{name} created no links");
+        }
+        assert!(report.refinement_links() > 0);
+        assert!(graph.node_count() > 500);
+        assert!(graph.rel_count() > graph.node_count());
+        // The report renders.
+        let text = report.to_string();
+        assert!(text.contains("bgpkit.pfx2as"));
+        assert!(text.contains("refinement"));
+    }
+
+    #[test]
+    fn dataset_subset_build() {
+        let world = World::generate(&SimConfig::tiny(), 42);
+        let opts = BuildOptions::only(&[DatasetId::TrancoList, DatasetId::BgpkitPfx2as]);
+        let (graph, report) = build_graph(&world, &opts).unwrap();
+        assert_eq!(report.datasets.len(), 2);
+        assert_eq!(report.violations, 0);
+        assert!(graph.label_count("DomainName") > 0);
+        assert!(graph.label_count("Prefix") > 0);
+    }
+
+    #[test]
+    fn refinement_can_be_disabled() {
+        let world = World::generate(&SimConfig::tiny(), 42);
+        let opts = BuildOptions::only(&[DatasetId::OpenintelTranco1m, DatasetId::BgpkitPfx2as])
+            .without_refinement();
+        let (_, report) = build_graph(&world, &opts).unwrap();
+        assert!(report.refinement.is_empty());
+        assert_eq!(report.refinement_links(), 0);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let world = World::generate(&SimConfig::tiny(), 42);
+        let (g1, r1) = build_graph(&world, &BuildOptions::default()).unwrap();
+        let (g2, r2) = build_graph(&world, &BuildOptions::default()).unwrap();
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.rel_count(), g2.rel_count());
+        assert_eq!(r1.datasets, r2.datasets);
+    }
+}

@@ -1,0 +1,222 @@
+//! Refinement passes (§2.3, "the final touch").
+
+use iyp_crawlers::{CrawlError, Importer};
+use iyp_graph::{Graph, NodeId, Value};
+use iyp_netdata::{canon, country, Prefix, PrefixTrie};
+use iyp_ontology::{Entity, Reference, Relationship};
+use std::str::FromStr;
+
+/// Provenance stamped on refinement-created links.
+pub fn refinement_reference(fetch_time: i64) -> Reference {
+    Reference::new("IYP", "iyp.postprocess", fetch_time)
+}
+
+/// Adds the `af` property (4 or 6) to every `IP` and `Prefix` node.
+pub fn add_address_families(graph: &mut Graph) -> usize {
+    let mut updates: Vec<(NodeId, i64)> = Vec::new();
+    for id in graph.nodes_with_label(Entity::Ip.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        if node.prop("af").is_some() {
+            continue;
+        }
+        if let Some(ip) = node.prop("ip").and_then(|v| v.as_str()) {
+            if let Ok(addr) = std::net::IpAddr::from_str(ip) {
+                updates.push((id, if addr.is_ipv4() { 4 } else { 6 }));
+            }
+        }
+    }
+    for id in graph.nodes_with_label(Entity::Prefix.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        if node.prop("af").is_some() {
+            continue;
+        }
+        if let Some(p) = node.prop("prefix").and_then(|v| v.as_str()) {
+            if let Ok(prefix) = p.parse::<Prefix>() {
+                updates.push((id, prefix.family().as_number()));
+            }
+        }
+    }
+    let n = updates.len();
+    for (id, af) in updates {
+        graph.set_node_prop(id, "af", Value::Int(af)).expect("node exists");
+    }
+    n
+}
+
+/// Builds the trie of all `Prefix` nodes.
+fn prefix_trie(graph: &Graph) -> PrefixTrie<NodeId> {
+    let mut trie = PrefixTrie::new();
+    for id in graph.nodes_with_label(Entity::Prefix.label()) {
+        let Some(node) = graph.node(id) else { continue };
+        if let Some(p) = node.prop("prefix").and_then(|v| v.as_str()) {
+            if let Ok(prefix) = p.parse::<Prefix>() {
+                trie.insert(&prefix, id);
+            }
+        }
+    }
+    trie
+}
+
+/// Links every `IP` node to the `Prefix` node of its longest prefix
+/// match (`IP -PART_OF→ Prefix`).
+pub fn link_ips_to_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
+    let trie = prefix_trie(graph);
+    let mut links: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in graph.nodes_with_label(Entity::Ip.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        let Some(ip) = node.prop("ip").and_then(|v| v.as_str()) else { continue };
+        let Ok(addr) = std::net::IpAddr::from_str(ip) else { continue };
+        if let Some((_, &pfx_node)) = trie.longest_match_ip(&addr) {
+            links.push((id, pfx_node));
+        }
+    }
+    let mut imp = Importer::new(graph, refinement_reference(fetch_time));
+    for (ip, pfx) in links {
+        imp.link(ip, Relationship::PartOf, pfx, iyp_graph::Props::new())?;
+    }
+    Ok(imp.link_count())
+}
+
+/// Links every `Prefix` node to its most specific covering prefix
+/// (`Prefix -PART_OF→ Prefix`).
+pub fn link_covering_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
+    let trie = prefix_trie(graph);
+    let mut links: Vec<(NodeId, NodeId)> = Vec::new();
+    for id in graph.nodes_with_label(Entity::Prefix.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        let Some(p) = node.prop("prefix").and_then(|v| v.as_str()) else { continue };
+        let Ok(prefix) = p.parse::<Prefix>() else { continue };
+        if let Some((_, &cover)) = trie.covering(&prefix) {
+            links.push((id, cover));
+        }
+    }
+    let mut imp = Importer::new(graph, refinement_reference(fetch_time));
+    for (p, cover) in links {
+        imp.link(p, Relationship::PartOf, cover, iyp_graph::Props::new())?;
+    }
+    Ok(imp.link_count())
+}
+
+/// Links every `URL` node to its `HostName` node (`URL -PART_OF→
+/// HostName`), creating the hostname when absent.
+pub fn link_urls_to_hostnames(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
+    let mut hosts: Vec<(NodeId, String)> = Vec::new();
+    for id in graph.nodes_with_label(Entity::Url.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        let Some(url) = node.prop("url").and_then(|v| v.as_str()) else { continue };
+        if let Some(host) = canon::url_hostname(url) {
+            hosts.push((id, host));
+        }
+    }
+    let mut imp = Importer::new(graph, refinement_reference(fetch_time));
+    for (url, host) in hosts {
+        let h = imp.hostname_node(&host);
+        imp.link(url, Relationship::PartOf, h, iyp_graph::Props::new())?;
+    }
+    Ok(imp.link_count())
+}
+
+/// Guarantees that every `Country` node carries `alpha3` and `name`
+/// (§2.3 last paragraph). Returns the number of nodes completed.
+pub fn complete_countries(graph: &mut Graph) -> usize {
+    let mut updates: Vec<(NodeId, &'static str, &'static str)> = Vec::new();
+    for id in graph.nodes_with_label(Entity::Country.label()).collect::<Vec<_>>() {
+        let Some(node) = graph.node(id) else { continue };
+        if node.prop("alpha3").is_some() && node.prop("name").is_some() {
+            continue;
+        }
+        let Some(cc) = node.prop("country_code").and_then(|v| v.as_str()) else { continue };
+        if let Some(info) = country::by_alpha2(cc) {
+            updates.push((id, info.alpha3, info.name));
+        }
+    }
+    let n = updates.len();
+    for (id, alpha3, name) in updates {
+        graph
+            .set_node_prop(id, "alpha3", Value::Str(alpha3.into()))
+            .expect("node exists");
+        graph
+            .set_node_prop(id, "name", Value::Str(name.into()))
+            .expect("node exists");
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_graph::{props, Props};
+
+    #[test]
+    fn af_props_are_added() {
+        let mut g = Graph::new();
+        g.merge_node("IP", "ip", "192.0.2.1", Props::new());
+        g.merge_node("IP", "ip", "2001:db8::1", Props::new());
+        g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        let n = add_address_families(&mut g);
+        assert_eq!(n, 3);
+        let v4 = g.lookup("IP", "ip", "192.0.2.1").unwrap();
+        assert_eq!(g.node(v4).unwrap().prop("af").unwrap().as_int(), Some(4));
+        let v6 = g.lookup("IP", "ip", "2001:db8::1").unwrap();
+        assert_eq!(g.node(v6).unwrap().prop("af").unwrap().as_int(), Some(6));
+        // Idempotent.
+        assert_eq!(add_address_families(&mut g), 0);
+    }
+
+    #[test]
+    fn lpm_links_most_specific() {
+        let mut g = Graph::new();
+        let big = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        let small = g.merge_node("Prefix", "prefix", "10.1.0.0/16", Props::new());
+        let inside = g.merge_node("IP", "ip", "10.1.2.3", Props::new());
+        let outside = g.merge_node("IP", "ip", "10.200.0.1", Props::new());
+        let nomatch = g.merge_node("IP", "ip", "192.0.2.1", Props::new());
+        let n = link_ips_to_prefixes(&mut g, 0).unwrap();
+        assert_eq!(n, 2);
+        let hit = g.neighbors(inside, iyp_graph::Direction::Outgoing, None).next();
+        assert_eq!(hit, Some(small));
+        let hit = g.neighbors(outside, iyp_graph::Direction::Outgoing, None).next();
+        assert_eq!(hit, Some(big));
+        assert_eq!(g.neighbors(nomatch, iyp_graph::Direction::Both, None).count(), 0);
+    }
+
+    #[test]
+    fn covering_prefix_links() {
+        let mut g = Graph::new();
+        let p8 = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
+        let p16 = g.merge_node("Prefix", "prefix", "10.1.0.0/16", Props::new());
+        let p24 = g.merge_node("Prefix", "prefix", "10.1.2.0/24", Props::new());
+        let n = link_covering_prefixes(&mut g, 0).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(g.neighbors(p24, iyp_graph::Direction::Outgoing, None).next(), Some(p16));
+        assert_eq!(g.neighbors(p16, iyp_graph::Direction::Outgoing, None).next(), Some(p8));
+        assert_eq!(g.neighbors(p8, iyp_graph::Direction::Outgoing, None).count(), 0);
+    }
+
+    #[test]
+    fn url_hostname_links() {
+        let mut g = Graph::new();
+        let url = g.merge_node("URL", "url", "https://www.Example.com/x?y=1", Props::new());
+        let n = link_urls_to_hostnames(&mut g, 0).unwrap();
+        assert_eq!(n, 1);
+        let host = g.lookup("HostName", "name", "www.example.com").unwrap();
+        assert_eq!(g.neighbors(url, iyp_graph::Direction::Outgoing, None).next(), Some(host));
+    }
+
+    #[test]
+    fn country_completion() {
+        let mut g = Graph::new();
+        g.merge_node("Country", "country_code", "JP", Props::new());
+        g.merge_node(
+            "Country",
+            "country_code",
+            "US",
+            props([("alpha3", "USA".into()), ("name", "United States".into())]),
+        );
+        let n = complete_countries(&mut g);
+        assert_eq!(n, 1);
+        let jp = g.lookup("Country", "country_code", "JP").unwrap();
+        assert_eq!(g.node(jp).unwrap().prop("alpha3").unwrap().as_str(), Some("JPN"));
+        assert_eq!(g.node(jp).unwrap().prop("name").unwrap().as_str(), Some("Japan"));
+    }
+}

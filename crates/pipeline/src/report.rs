@@ -1,0 +1,48 @@
+//! Build reporting.
+
+use iyp_graph::GraphStats;
+use std::fmt;
+
+/// Summary of a full IYP build.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// (dataset name, relationships created) in import order.
+    pub datasets: Vec<(String, usize)>,
+    /// Relationships added by each refinement pass.
+    pub refinement: Vec<(&'static str, usize)>,
+    /// Final graph statistics.
+    pub stats: GraphStats,
+    /// Ontology violations found in the final validation pass.
+    pub violations: usize,
+}
+
+impl BuildReport {
+    /// Total relationships created by crawlers.
+    pub fn crawled_links(&self) -> usize {
+        self.datasets.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Total relationships added by refinement.
+    pub fn refinement_links(&self) -> usize {
+        self.refinement.iter().map(|(_, n)| n).sum()
+    }
+}
+
+impl fmt::Display for BuildReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== IYP build report ==")?;
+        writeln!(f, "-- datasets ({}) --", self.datasets.len())?;
+        for (name, links) in &self.datasets {
+            writeln!(f, "  {name:<36} {links:>9} links")?;
+        }
+        writeln!(f, "-- refinement --")?;
+        for (pass, links) in &self.refinement {
+            writeln!(f, "  {pass:<36} {links:>9} links")?;
+        }
+        writeln!(f, "-- totals --")?;
+        writeln!(f, "  crawled links     {:>9}", self.crawled_links())?;
+        writeln!(f, "  refinement links  {:>9}", self.refinement_links())?;
+        writeln!(f, "  ontology issues   {:>9}", self.violations)?;
+        write!(f, "{}", self.stats)
+    }
+}

@@ -1,0 +1,40 @@
+//! A client for the query service.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected query client. One request/response at a time per
+/// connection (open several clients for parallel querying).
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Sends a request and waits for the response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.stream.write_all(req.to_line().as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Response::from_line(line.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Convenience: run a parameter-less query.
+    pub fn query(&mut self, text: &str) -> std::io::Result<Response> {
+        self.request(&Request::new(text))
+    }
+}

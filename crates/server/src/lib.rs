@@ -1,0 +1,40 @@
+//! The IYP query service.
+//!
+//! The paper operates a public, **read-only** IYP instance that anyone
+//! can query over the network (§3.1). This crate provides the same
+//! workflow for our store: a multi-threaded TCP server exposing the
+//! Cypher engine over a line-delimited JSON protocol, and a matching
+//! client.
+//!
+//! # Protocol
+//!
+//! One JSON object per line in each direction.
+//!
+//! Request:
+//! ```json
+//! {"query": "MATCH (a:AS) RETURN count(a)", "params": {"x": 1}}
+//! ```
+//!
+//! Response:
+//! ```json
+//! {"status": "ok", "columns": ["count(a)"], "rows": [[600]]}
+//! {"status": "error", "error": "parse error near token 3: …"}
+//! ```
+//!
+//! Graph entities are encoded as objects:
+//! `{"~node": 17, "labels": ["AS"], "props": {"asn": 2497}}` and
+//! `{"~rel": 99, "type": "ORIGINATE", "props": {…}}` — enough for a
+//! client to render results without another round trip.
+//!
+//! The server is deliberately synchronous (thread-per-connection over
+//! `std::net`): the workload is a handful of analysts running
+//! read-only queries, not a high-fan-out proxy, so an async runtime
+//! would add machinery without benefit.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use proto::{decode_value, encode_value, Request, Response};
+pub use server::{Server, ServerError};

@@ -1,0 +1,231 @@
+//! Wire protocol: requests, responses, and value encoding.
+
+use iyp_cypher::RtVal;
+use iyp_graph::{Graph, Value};
+use serde_json::json;
+
+/// A query request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Cypher text.
+    pub query: String,
+    /// Query parameters.
+    pub params: iyp_cypher::Params,
+}
+
+impl Request {
+    /// Creates a parameter-less request.
+    pub fn new(query: &str) -> Request {
+        Request { query: query.to_string(), params: Default::default() }
+    }
+
+    /// Serialises to one protocol line.
+    pub fn to_line(&self) -> String {
+        let params: serde_json::Map<String, serde_json::Value> = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), value_to_json(v)))
+            .collect();
+        serde_json::to_string(&json!({ "query": self.query, "params": params }))
+            .expect("serializable")
+    }
+
+    /// Parses a protocol line.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let query = v["query"]
+            .as_str()
+            .ok_or_else(|| "request missing `query`".to_string())?
+            .to_string();
+        let mut params = iyp_cypher::Params::new();
+        if let Some(obj) = v["params"].as_object() {
+            for (k, val) in obj {
+                params.insert(k.clone(), json_to_value(val));
+            }
+        }
+        Ok(Request { query, params })
+    }
+}
+
+/// A query response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Successful result.
+    Ok {
+        /// Column names.
+        columns: Vec<String>,
+        /// Rows of JSON-encoded values.
+        rows: Vec<Vec<serde_json::Value>>,
+    },
+    /// Failure with a message.
+    Error(String),
+}
+
+impl Response {
+    /// Serialises to one protocol line.
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Response::Ok { columns, rows } => {
+                json!({ "status": "ok", "columns": columns, "rows": rows })
+            }
+            Response::Error(msg) => json!({ "status": "error", "error": msg }),
+        };
+        serde_json::to_string(&v).expect("serializable")
+    }
+
+    /// Parses a protocol line.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("bad response JSON: {e}"))?;
+        match v["status"].as_str() {
+            Some("ok") => {
+                let columns = v["columns"]
+                    .as_array()
+                    .ok_or("missing columns")?
+                    .iter()
+                    .filter_map(|c| c.as_str().map(String::from))
+                    .collect();
+                let rows = v["rows"]
+                    .as_array()
+                    .ok_or("missing rows")?
+                    .iter()
+                    .filter_map(|r| r.as_array().cloned())
+                    .collect();
+                Ok(Response::Ok { columns, rows })
+            }
+            Some("error") => Ok(Response::Error(
+                v["error"].as_str().unwrap_or("unknown error").to_string(),
+            )),
+            other => Err(format!("bad status {other:?}")),
+        }
+    }
+}
+
+/// Scalar [`Value`] → JSON.
+pub fn value_to_json(v: &Value) -> serde_json::Value {
+    match v {
+        Value::Null => serde_json::Value::Null,
+        Value::Bool(b) => json!(b),
+        Value::Int(i) => json!(i),
+        Value::Float(f) => json!(f),
+        Value::Str(s) => json!(s),
+        Value::List(l) => serde_json::Value::Array(l.iter().map(value_to_json).collect()),
+    }
+}
+
+/// JSON → scalar [`Value`].
+pub fn json_to_value(v: &serde_json::Value) -> Value {
+    match v {
+        serde_json::Value::Null => Value::Null,
+        serde_json::Value::Bool(b) => Value::Bool(*b),
+        serde_json::Value::Number(n) => {
+            if let Some(i) = n.as_i64() {
+                Value::Int(i)
+            } else {
+                Value::Float(n.as_f64().unwrap_or(f64::NAN))
+            }
+        }
+        serde_json::Value::String(s) => Value::Str(s.clone()),
+        serde_json::Value::Array(a) => Value::List(a.iter().map(json_to_value).collect()),
+        serde_json::Value::Object(_) => Value::Null, // not a scalar
+    }
+}
+
+/// Runtime value → JSON, inlining node/relationship contents so the
+/// client needs no second round trip.
+pub fn encode_value(v: &RtVal, graph: &Graph) -> serde_json::Value {
+    match v {
+        RtVal::Scalar(s) => value_to_json(s),
+        RtVal::Node(id) => match graph.node(*id) {
+            Some(n) => {
+                let labels: Vec<&str> =
+                    n.labels.iter().map(|l| graph.symbols().label_name(*l)).collect();
+                let props: serde_json::Map<String, serde_json::Value> =
+                    n.props.iter().map(|(k, v)| (k.clone(), value_to_json(v))).collect();
+                json!({ "~node": id.0, "labels": labels, "props": props })
+            }
+            None => serde_json::Value::Null,
+        },
+        RtVal::Rel(id) => match graph.rel(*id) {
+            Some(r) => {
+                let props: serde_json::Map<String, serde_json::Value> =
+                    r.props.iter().map(|(k, v)| (k.clone(), value_to_json(v))).collect();
+                json!({
+                    "~rel": id.0,
+                    "type": graph.symbols().rel_type_name(r.rel_type),
+                    "props": props,
+                })
+            }
+            None => serde_json::Value::Null,
+        },
+        RtVal::List(l) => {
+            serde_json::Value::Array(l.iter().map(|x| encode_value(x, graph)).collect())
+        }
+    }
+}
+
+/// JSON → a client-side value (entities stay as JSON objects).
+pub fn decode_value(v: &serde_json::Value) -> serde_json::Value {
+    v.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut r = Request::new("MATCH (n) RETURN n");
+        r.params.insert("x".into(), Value::Int(7));
+        r.params.insert("s".into(), Value::Str("a'b".into()));
+        let back = Request::from_line(&r.to_line()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response::Ok {
+            columns: vec!["a".into(), "b".into()],
+            rows: vec![vec![json!(1), json!("x")], vec![json!(null), json!([1, 2])]],
+        };
+        assert_eq!(Response::from_line(&r.to_line()).unwrap(), r);
+        let e = Response::Error("boom".into());
+        assert_eq!(Response::from_line(&e.to_line()).unwrap(), e);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(Request::from_line("{").is_err());
+        assert!(Request::from_line("{}").is_err());
+        assert!(Response::from_line("{\"status\":\"weird\"}").is_err());
+    }
+
+    #[test]
+    fn value_json_roundtrip() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Float(2.5),
+            Value::Str("hello".into()),
+            Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+        ];
+        for v in vals {
+            assert_eq!(json_to_value(&value_to_json(&v)), v);
+        }
+    }
+
+    #[test]
+    fn entities_are_inlined() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 2497u32, iyp_graph::Props::new());
+        let b = g.merge_node("AS", "asn", 1u32, iyp_graph::Props::new());
+        let r = g.create_rel(a, "PEERS_WITH", b, iyp_graph::Props::new()).unwrap();
+        let jn = encode_value(&RtVal::Node(a), &g);
+        assert_eq!(jn["labels"][0], "AS");
+        assert_eq!(jn["props"]["asn"], 2497);
+        let jr = encode_value(&RtVal::Rel(r), &g);
+        assert_eq!(jr["type"], "PEERS_WITH");
+    }
+}

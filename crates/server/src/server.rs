@@ -1,0 +1,158 @@
+//! The read-only query server.
+
+use crate::proto::{encode_value, Request, Response};
+use iyp_graph::Graph;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server errors.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Binding or accepting failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// Hard cap on a single request line (1 MiB) — a protocol guard, not a
+/// resource plan.
+const MAX_REQUEST_BYTES: u64 = 1 << 20;
+
+/// A running query server. The graph is shared read-only across
+/// connection threads; dropping the handle (or calling
+/// [`Server::stop`]) shuts the listener down and joins the accept
+/// thread.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    served: Arc<AtomicUsize>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server for `graph` on `addr` (use port 0 to pick a free
+    /// port; the bound address is available via [`Server::addr`]).
+    pub fn start(graph: Arc<Graph>, addr: &str) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
+        let addr = listener.local_addr().map_err(ServerError::Io)?;
+        // Poll the listener so shutdown is prompt.
+        listener.set_nonblocking(true).map_err(ServerError::Io)?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicUsize::new(0));
+        let accept_shutdown = shutdown.clone();
+        let accept_served = served.clone();
+
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let graph = graph.clone();
+                        let served = accept_served.clone();
+                        // Workers are detached: they exit on client EOF
+                        // or the 30 s read timeout. stop() only has to
+                        // stop *accepting*; draining connections is the
+                        // clients' business (read-only service, nothing
+                        // to flush).
+                        std::thread::spawn(move || {
+                            let _ = handle_connection(stream, &graph, &served);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(Server { addr, shutdown, served, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of requests served so far.
+    pub fn served(&self) -> usize {
+        self.served.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server and joins the accept thread.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serves one connection: one request line → one response line, until
+/// EOF or a protocol error.
+fn handle_connection(
+    stream: TcpStream,
+    graph: &Graph,
+    served: &AtomicUsize,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        let mut read = String::new();
+        match reader.read_line(&mut read) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) => return Err(e),
+        }
+        if read.len() as u64 > MAX_REQUEST_BYTES {
+            let resp = Response::Error("request too large".into());
+            writer.write_all(resp.to_line().as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        if read.trim().is_empty() {
+            continue;
+        }
+        served.fetch_add(1, Ordering::SeqCst);
+        let response = match Request::from_line(read.trim()) {
+            Ok(req) => match iyp_cypher::query(graph, &req.query, &req.params) {
+                Ok(rs) => Response::Ok {
+                    columns: rs.columns.clone(),
+                    rows: rs
+                        .rows
+                        .iter()
+                        .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
+                        .collect(),
+                },
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Err(e) => Response::Error(e),
+        };
+        writer.write_all(response.to_line().as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+}

@@ -1,0 +1,133 @@
+//! End-to-end service tests: server + client over real sockets.
+
+use iyp_graph::{props, Graph, Props, Value};
+use iyp_server::{Client, Request, Response, Server};
+use std::sync::Arc;
+
+fn sample_graph() -> Arc<Graph> {
+    let mut g = Graph::new();
+    for asn in [2497u32, 64496, 64497] {
+        g.merge_node("AS", "asn", asn, Props::new());
+    }
+    let a = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
+    let p = g.merge_node("Prefix", "prefix", "192.0.2.0/24", Props::new());
+    g.create_rel(a, "ORIGINATE", p, props([("reference_name", Value::Str("bgpkit".into()))]))
+        .unwrap();
+    Arc::new(g)
+}
+
+fn start() -> (Server, std::net::SocketAddr) {
+    let server = Server::start(sample_graph(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    (server, addr)
+}
+
+#[test]
+fn query_roundtrip() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+    match resp {
+        Response::Ok { columns, rows } => {
+            assert_eq!(columns.len(), 1);
+            assert_eq!(rows[0][0], serde_json::json!(3));
+        }
+        Response::Error(e) => panic!("unexpected error: {e}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn entities_are_transported() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .query("MATCH (a:AS {asn: 2497})-[r:ORIGINATE]-(p:Prefix) RETURN a, r, p")
+        .unwrap();
+    let Response::Ok { rows, .. } = resp else { panic!("error") };
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0][0]["labels"][0], "AS");
+    assert_eq!(rows[0][0]["props"]["asn"], 2497);
+    assert_eq!(rows[0][1]["type"], "ORIGINATE");
+    assert_eq!(rows[0][2]["props"]["prefix"], "192.0.2.0/24");
+    server.stop();
+}
+
+#[test]
+fn parameters_travel() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut req = Request::new("MATCH (a:AS {asn: $asn}) RETURN a.asn");
+    req.params.insert("asn".into(), Value::Int(64496));
+    let Response::Ok { rows, .. } = client.request(&req).unwrap() else { panic!() };
+    assert_eq!(rows[0][0], serde_json::json!(64496));
+    server.stop();
+}
+
+#[test]
+fn query_errors_are_reported_not_fatal() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client.query("MATCH (a:AS RETURN a").unwrap();
+    assert!(matches!(resp, Response::Error(_)));
+    // The connection survives an error.
+    let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+    assert!(matches!(resp, Response::Ok { .. }));
+    server.stop();
+}
+
+#[test]
+fn multiple_sequential_requests_per_connection() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    for _ in 0..10 {
+        let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+        assert!(matches!(resp, Response::Ok { .. }));
+    }
+    assert!(server.served() >= 10);
+    server.stop();
+}
+
+#[test]
+fn concurrent_clients() {
+    let (mut server, addr) = start();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect");
+            for _ in 0..5 {
+                let resp = client
+                    .query("MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)")
+                    .unwrap();
+                let Response::Ok { rows, .. } = resp else { panic!("error") };
+                assert_eq!(rows[0][0], serde_json::json!(1));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(server.served() >= 40);
+    server.stop();
+}
+
+#[test]
+fn malformed_request_yields_error_line() {
+    use std::io::{BufRead, BufReader, Write};
+    let (mut server, addr) = start();
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"this is not json\n").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap()).read_line(&mut line).unwrap();
+    let resp = Response::from_line(line.trim()).unwrap();
+    assert!(matches!(resp, Response::Error(_)));
+    server.stop();
+}
+
+#[test]
+fn stop_is_idempotent_and_prompt() {
+    let (mut server, _addr) = start();
+    server.stop();
+    server.stop();
+}

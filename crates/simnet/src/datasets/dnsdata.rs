@@ -1,0 +1,335 @@
+//! DNS-related datasets: rankings, OpenINTEL resolutions, Cloudflare
+//! radar, SimulaMet rDNS.
+
+use crate::formats::csv_line;
+use crate::types::*;
+use crate::world::World;
+use serde_json::json;
+use std::net::IpAddr;
+
+/// Tranco list: CSV `rank,domain` (no header, like the real file).
+pub fn tranco_list(w: &World) -> String {
+    let mut out = String::new();
+    for d in &w.domains {
+        out.push_str(&format!("{},{}\n", d.rank, d.name));
+    }
+    out
+}
+
+/// Cisco Umbrella popularity list: CSV `rank,domain`, a different
+/// population (query-volume-based), partially overlapping Tranco.
+pub fn cisco_umbrella(w: &World) -> String {
+    let mut listed: Vec<(usize, &str)> = w
+        .domains
+        .iter()
+        .filter_map(|d| d.umbrella_rank.map(|r| (r, d.name.as_str())))
+        .collect();
+    listed.sort();
+    let mut out = String::new();
+    for (rank, name) in listed {
+        out.push_str(&format!("{rank},{name}\n"));
+    }
+    out
+}
+
+fn record(name: &str, ip: &IpAddr) -> String {
+    let (rtype, key) = match ip {
+        IpAddr::V4(_) => ("A", "ip4_address"),
+        IpAddr::V6(_) => ("AAAA", "ip6_address"),
+    };
+    serde_json::to_string(&json!({
+        "query_name": format!("{name}."),
+        "query_type": rtype,
+        "response_type": rtype,
+        key: ip.to_string(),
+    }))
+    .expect("serializable")
+}
+
+/// OpenINTEL `tranco1m`: JSON-lines A/AAAA resolutions of the apex and
+/// `www` hostname of every Tranco domain.
+pub fn openintel_tranco1m(w: &World) -> String {
+    let mut out = Vec::new();
+    for d in &w.domains {
+        for ip in &d.web_ips {
+            out.push(record(&d.name, ip));
+            out.push(record(&format!("www.{}", d.name), ip));
+        }
+    }
+    out.join("\n")
+}
+
+/// OpenINTEL `umbrella1m`: the same resolution data for the
+/// Umbrella-listed subset.
+pub fn openintel_umbrella1m(w: &World) -> String {
+    let mut out = Vec::new();
+    for d in w.domains.iter().filter(|d| d.umbrella_rank.is_some()) {
+        for ip in &d.web_ips {
+            out.push(record(&d.name, ip));
+        }
+    }
+    out.join("\n")
+}
+
+/// OpenINTEL NS measurement: JSON lines of NS records for every zone we
+/// know (Tranco domains, DNS-provider zones, TLDs), plus the A/AAAA
+/// records of every nameserver (the "glue" substitute).
+pub fn openintel_ns(w: &World) -> String {
+    let mut out = Vec::new();
+    let mut ns_record = |zone: &str, ns: &str| {
+        out.push(
+            serde_json::to_string(&json!({
+                "query_name": format!("{zone}."),
+                "query_type": "NS",
+                "response_type": "NS",
+                "ns_address": format!("{ns}."),
+            }))
+            .expect("serializable"),
+        );
+    };
+    for d in &w.domains {
+        for ns in &d.nameservers {
+            ns_record(&d.name, ns);
+        }
+    }
+    for p in &w.providers {
+        // The provider's own zone: self-served or outsourced.
+        let serving: Vec<String> = match p.outsourced_to {
+            Some(q) => w.providers[q].variants[0].clone(),
+            None => p.ns_pool.iter().take(4).cloned().collect(),
+        };
+        for ns in serving {
+            ns_record(&p.domain, &ns);
+        }
+    }
+    for t in &w.tlds {
+        for ns in &t.nameservers {
+            ns_record(t.name, ns);
+        }
+    }
+    // Nameserver address records.
+    for ns in &w.nameservers {
+        for ip in &ns.ips {
+            out.push(record(&ns.name, ip));
+        }
+    }
+    out.join("\n")
+}
+
+/// UTwente DNS dependency graph: JSON lines of
+/// `{domain, dep_zone, kind}` where `kind` is `direct`, `third-party`
+/// or `hierarchical` (§5.2 of the paper).
+pub fn openintel_dnsgraph(w: &World) -> String {
+    let mut out = Vec::new();
+    let mut edge = |domain: &str, dep: &str, kind: &str| {
+        out.push(
+            serde_json::to_string(&json!({
+                "domain": domain,
+                "dep_zone": dep,
+                "kind": kind,
+            }))
+            .expect("serializable"),
+        );
+    };
+    for d in &w.domains {
+        // Direct: the zone's own delegation.
+        edge(&d.name, &d.name, "direct");
+        // Third-party: the provider's zone (and its outsourcer's).
+        // Vanity-NS registrars are a *direct* dependency only — the
+        // customer's NS names live under the customer's own zone.
+        if let Some(p) = d.dns_provider {
+            let prov = &w.providers[p];
+            if !prov.vanity {
+                edge(&d.name, &prov.domain, "third-party");
+                if let Some(q) = prov.outsourced_to {
+                    edge(&d.name, &w.providers[q].domain, "third-party");
+                }
+            }
+        }
+        // Hierarchical: the TLD.
+        edge(&d.name, d.tld, "hierarchical");
+    }
+    out.join("\n")
+}
+
+/// Cloudflare radar `ranking/top`: top-100 domains.
+pub fn cloudflare_ranking_top(w: &World) -> String {
+    let top: Vec<_> = w
+        .domains
+        .iter()
+        .take(100)
+        .map(|d| json!({"domain": d.name, "rank": d.rank, "categories": []}))
+        .collect();
+    serde_json::to_string(&json!({"success": true, "result": {"top_0": top}}))
+        .expect("serializable")
+}
+
+/// Cloudflare radar ranking buckets (`radar/datasets`).
+pub fn cloudflare_ranking_buckets(w: &World) -> String {
+    let buckets = [("top_100", 100usize), ("top_1000", 1000), ("top_10000", 10_000)];
+    let mut out = Vec::new();
+    for (name, n) in buckets {
+        let domains: Vec<&str> = w
+            .domains
+            .iter()
+            .take(n.min(w.domains.len()))
+            .map(|d| d.name.as_str())
+            .collect();
+        out.push(json!({"bucket": name, "domains": domains}));
+    }
+    serde_json::to_string(&json!({"success": true, "result": {"datasets": out}}))
+        .expect("serializable")
+}
+
+/// Eyeball ASes likely to query popular domains, head-heavy.
+fn top_queriers(w: &World, salt: usize) -> Vec<(usize, f64)> {
+    let eyeballs: Vec<usize> = w
+        .ases
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.category == AsCategory::Eyeball)
+        .map(|(i, _)| i)
+        .collect();
+    let mut out = Vec::new();
+    let mut weight = 22.0;
+    for k in 0..5.min(eyeballs.len()) {
+        let idx = eyeballs[(salt + k * 7) % eyeballs.len()];
+        out.push((idx, weight));
+        weight *= 0.6;
+    }
+    out
+}
+
+/// Cloudflare radar `dns/top/ases`: for each of the top domains, the
+/// ASes querying 1.1.1.1 for it the most.
+pub fn cloudflare_dns_top_ases(w: &World) -> String {
+    let mut results = Vec::new();
+    for (i, d) in w.domains.iter().take(200).enumerate() {
+        let entries: Vec<_> = top_queriers(w, i)
+            .into_iter()
+            .map(|(a, v)| {
+                json!({
+                    "clientASN": w.ases[a].asn,
+                    "clientASName": w.ases[a].name,
+                    "value": format!("{v:.1}"),
+                })
+            })
+            .collect();
+        results.push(json!({"domain": d.name, "top_ases": entries}));
+    }
+    serde_json::to_string(&json!({"success": true, "result": results})).expect("serializable")
+}
+
+/// Cloudflare radar `dns/top/locations`: countries querying each domain.
+pub fn cloudflare_dns_top_locations(w: &World) -> String {
+    let mut results = Vec::new();
+    for (i, d) in w.domains.iter().take(200).enumerate() {
+        let entries: Vec<_> = top_queriers(w, i)
+            .into_iter()
+            .map(|(a, v)| {
+                json!({
+                    "clientCountryAlpha2": w.ases[a].country,
+                    "value": format!("{v:.1}"),
+                })
+            })
+            .collect();
+        results.push(json!({"domain": d.name, "top_locations": entries}));
+    }
+    serde_json::to_string(&json!({"success": true, "result": results})).expect("serializable")
+}
+
+/// SimulaMet rDNS: CSV `prefix,nameserver` — reverse-DNS delegations of
+/// announced space.
+pub fn simulamet_rdns(w: &World) -> String {
+    let mut out = String::from("prefix,nameserver\n");
+    for (i, a) in w.ases.iter().enumerate() {
+        let Some(&first) = w.as_prefixes[i].first() else { continue };
+        let p = &w.prefixes[first];
+        // Providers serve their own reverse zones; everyone else uses a
+        // conventional in-addr server name under the AS name.
+        let ns = w
+            .providers
+            .iter()
+            .find(|prov| prov.asn_idx == i)
+            .map(|prov| prov.ns_pool[0].clone())
+            .unwrap_or_else(|| format!("rdns.{}.invalid", a.name.to_lowercase()));
+        out.push_str(&csv_line([p.prefix.canonical(), ns]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn world() -> World {
+        World::generate(&SimConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn tranco_has_all_ranks() {
+        let w = world();
+        let text = tranco_list(&w);
+        assert_eq!(text.lines().count(), w.domains.len());
+        assert!(text.starts_with("1,site-000000."));
+    }
+
+    #[test]
+    fn umbrella_is_a_subset() {
+        let w = world();
+        let n = cisco_umbrella(&w).lines().count();
+        assert!(n > 0 && n < w.domains.len());
+    }
+
+    #[test]
+    fn openintel_lines_are_json() {
+        let w = world();
+        for line in openintel_tranco1m(&w).lines().take(20) {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v["query_name"].as_str().unwrap().ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn ns_dataset_covers_providers_and_tlds() {
+        let w = world();
+        let text = openintel_ns(&w);
+        assert!(text.contains(&format!("\"{}.\"", w.providers[0].domain)));
+        assert!(text.contains("\"com.\""));
+        assert!(text.contains("\"ns_address\""));
+        assert!(text.contains("\"ip4_address\""));
+    }
+
+    #[test]
+    fn dnsgraph_kinds() {
+        let w = world();
+        let text = openintel_dnsgraph(&w);
+        assert!(text.contains("\"direct\""));
+        assert!(text.contains("\"third-party\""));
+        assert!(text.contains("\"hierarchical\""));
+    }
+
+    #[test]
+    fn cloudflare_payloads_parse() {
+        let w = world();
+        for text in [
+            cloudflare_ranking_top(&w),
+            cloudflare_ranking_buckets(&w),
+            cloudflare_dns_top_ases(&w),
+            cloudflare_dns_top_locations(&w),
+        ] {
+            let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+            assert_eq!(v["success"], true);
+        }
+    }
+
+    #[test]
+    fn rdns_csv_shape() {
+        let w = world();
+        let text = simulamet_rdns(&w);
+        assert!(text.starts_with("prefix,nameserver\n"));
+        assert!(text.lines().count() > 1);
+    }
+}

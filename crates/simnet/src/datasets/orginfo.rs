@@ -1,0 +1,260 @@
+//! Name/classification datasets: AS names, tags, ASdb, as2org, APNIC
+//! population, World Bank, Citizen Lab, Atlas measurements.
+
+use crate::formats::csv_line;
+use crate::types::*;
+use crate::world::World;
+use serde_json::json;
+
+/// RIPE NCC AS names: `<asn> <name>, <country>` lines (asn.txt format).
+pub fn ripe_as_names(w: &World) -> String {
+    let mut out = String::new();
+    for a in &w.ases {
+        out.push_str(&format!("{} {}, {}\n", a.asn, a.name, a.country));
+    }
+    out
+}
+
+/// BGP.Tools AS names: CSV `asn,name` with `AS`-prefixed numbers.
+pub fn bgptools_as_names(w: &World) -> String {
+    let mut out = String::from("asn,name\n");
+    for a in &w.ases {
+        out.push_str(&csv_line([format!("AS{}", a.asn), a.name.clone()]));
+        out.push('\n');
+    }
+    out
+}
+
+/// BGP.Tools AS tags: CSV `asn,tag`.
+pub fn bgptools_tags(w: &World) -> String {
+    let mut out = String::from("asn,tag\n");
+    for a in &w.ases {
+        out.push_str(&format!("AS{},{}\n", a.asn, a.category.tag()));
+        // Tier-1s additionally get a Transit tag like the real feed.
+        if a.category == AsCategory::Tier1 {
+            out.push_str(&format!("AS{},Transit\n", a.asn));
+        }
+    }
+    out
+}
+
+/// BGP.Tools anycast prefixes: one prefix per line.
+pub fn bgptools_anycast(w: &World) -> String {
+    let mut out = String::new();
+    for p in w.prefixes.iter().filter(|p| p.anycast) {
+        out.push_str(&p.prefix.canonical());
+        out.push('\n');
+    }
+    out
+}
+
+/// Emile Aben's asnames: `AS<asn> <name>` lines.
+pub fn emileaben_as_names(w: &World) -> String {
+    let mut out = String::new();
+    for a in &w.ases {
+        out.push_str(&format!("AS{} {}\n", a.asn, a.name));
+    }
+    out
+}
+
+/// Internet Intelligence Lab AS-to-organization: JSON lines.
+pub fn inetintel_as_org(w: &World) -> String {
+    let mut lines = Vec::new();
+    for a in &w.ases {
+        lines.push(
+            serde_json::to_string(&json!({
+                "asn": a.asn,
+                "org_name": w.orgs[a.org].name,
+                "country": w.orgs[a.org].country,
+            }))
+            .expect("serializable"),
+        );
+    }
+    lines.join("\n")
+}
+
+/// Stanford ASdb: CSV with layered categories.
+pub fn stanford_asdb(w: &World) -> String {
+    let mut out = String::from("ASN,Category 1 - Layer 1,Category 1 - Layer 2\n");
+    for a in &w.ases {
+        out.push_str(&csv_line([
+            format!("AS{}", a.asn),
+            a.category.asdb_category().to_string(),
+            a.category.tag().to_string(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// APNIC AS population estimate: JSON array of `{asn, cc, users,
+/// percent}`.
+pub fn apnic_population(w: &World) -> String {
+    let mut entries = Vec::new();
+    for (as_idx, cc, share) in &w.as_population {
+        let total = w
+            .country_population
+            .iter()
+            .find(|(c, _)| c == cc)
+            .map(|(_, p)| *p)
+            .unwrap_or(1_000_000);
+        // Roughly 70% of a country's population is online.
+        let users = (total as f64 * 0.7 * share / 100.0) as u64;
+        entries.push(json!({
+            "asn": w.ases[*as_idx].asn,
+            "cc": cc,
+            "autnum": format!("AS{}", w.ases[*as_idx].asn),
+            "users": users,
+            "percent": share,
+        }));
+    }
+    serde_json::to_string(&entries).expect("serializable")
+}
+
+/// World Bank population: the API's `[meta, data]` pair structure.
+pub fn worldbank_population(w: &World) -> String {
+    let data: Vec<_> = w
+        .country_population
+        .iter()
+        .map(|(cc, pop)| {
+            json!({
+                "country": { "id": cc, "value": cc },
+                "date": "2023",
+                "value": pop,
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!([
+        { "page": 1, "pages": 1, "per_page": 300, "total": data.len() },
+        data
+    ]))
+    .expect("serializable")
+}
+
+/// Citizen Lab URL testing list: CSV with categories, covering a sample
+/// of popular sites.
+pub fn citizenlab_urls(w: &World) -> String {
+    let categories = [
+        ("NEWS", "News Media"),
+        ("POLR", "Political Rights"),
+        ("HUMR", "Human Rights"),
+        ("COMM", "Communication Tools"),
+        ("ECON", "Economics"),
+    ];
+    let mut out =
+        String::from("url,category_code,category_description,date_added,source,notes\n");
+    for (i, d) in w.domains.iter().enumerate().take(w.domains.len() / 10) {
+        let (code, desc) = categories[i % categories.len()];
+        out.push_str(&csv_line([
+            format!("https://www.{}/", d.name),
+            code.to_string(),
+            desc.to_string(),
+            "2024-01-01".to_string(),
+            "citizenlab".to_string(),
+            String::new(),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// RIPE Atlas measurement information, with embedded probe metadata.
+pub fn ripe_atlas_measurements(w: &World) -> String {
+    let probes: Vec<_> = w
+        .probes
+        .iter()
+        .map(|p| {
+            json!({
+                "id": p.id,
+                "asn_v4": w.ases[p.asn_idx].asn,
+                "country_code": p.country,
+                "address_v4": p.ip.to_string(),
+                "status": { "name": "Connected" },
+            })
+        })
+        .collect();
+    let measurements: Vec<_> = w
+        .measurements
+        .iter()
+        .map(|m| {
+            json!({
+                "id": m.id,
+                "target": m.target,
+                "type": m.kind,
+                "af": 4,
+                "status": { "name": "Ongoing" },
+                "probes": m.probes,
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!({
+        "measurements": measurements,
+        "probes": probes,
+    }))
+    .expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn world() -> World {
+        World::generate(&SimConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn as_name_datasets_cover_all_ases() {
+        let w = world();
+        assert_eq!(ripe_as_names(&w).lines().count(), w.ases.len());
+        assert_eq!(bgptools_as_names(&w).lines().count(), w.ases.len() + 1);
+        assert_eq!(emileaben_as_names(&w).lines().count(), w.ases.len());
+        assert_eq!(inetintel_as_org(&w).lines().count(), w.ases.len());
+        assert_eq!(stanford_asdb(&w).lines().count(), w.ases.len() + 1);
+    }
+
+    #[test]
+    fn tags_include_categories() {
+        let w = world();
+        let text = bgptools_tags(&w);
+        assert!(text.contains("Content Delivery Network"));
+        assert!(text.contains("Academic"));
+    }
+
+    #[test]
+    fn anycast_subset() {
+        let w = world();
+        let n = bgptools_anycast(&w).lines().count();
+        let truth = w.prefixes.iter().filter(|p| p.anycast).count();
+        assert_eq!(n, truth);
+    }
+
+    #[test]
+    fn population_parses() {
+        let w = world();
+        let v: serde_json::Value = serde_json::from_str(&apnic_population(&w)).unwrap();
+        assert!(!v.as_array().unwrap().is_empty());
+        let v: serde_json::Value = serde_json::from_str(&worldbank_population(&w)).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn atlas_probes_and_measurements() {
+        let w = world();
+        let v: serde_json::Value =
+            serde_json::from_str(&ripe_atlas_measurements(&w)).unwrap();
+        assert_eq!(v["probes"].as_array().unwrap().len(), w.probes.len());
+        assert_eq!(
+            v["measurements"].as_array().unwrap().len(),
+            w.measurements.len()
+        );
+    }
+
+    #[test]
+    fn citizenlab_has_header_and_urls() {
+        let w = world();
+        let text = citizenlab_urls(&w);
+        assert!(text.starts_with("url,"));
+        assert!(text.contains("https://www.site-"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Registry-style datasets: NRO delegated stats, RPKI, PeeringDB,
+//! CAIDA IXPs, Alice-LG looking glasses.
+
+use crate::datasets::DatasetId;
+use crate::world::World;
+use iyp_netdata::AddressFamily;
+use serde_json::json;
+
+/// NRO extended allocation and assignment reports, in the standard
+/// pipe-separated delegated format:
+/// `registry|cc|type|start|value|date|status|opaque-id`.
+pub fn nro_delegated_stats(w: &World) -> String {
+    let mut out = String::new();
+    // Version and summary lines, as in the real file.
+    let total = w.ases.len() + w.prefixes.len();
+    out.push_str(&format!("2.3|nro|20240501|{total}|19830705|20240501|+0000\n"));
+    out.push_str(&format!("nro|*|asn|*|{}|summary\n", w.ases.len()));
+    out.push_str(&format!("nro|*|ipv4|*|{}|summary\n", 0));
+    for (i, a) in w.ases.iter().enumerate() {
+        let rir = rir_of(a.country);
+        out.push_str(&format!(
+            "{rir}|{}|asn|{}|1|20050101|assigned|opaque-{:04}\n",
+            a.country, a.asn, a.org
+        ));
+        for &pidx in &w.as_prefixes[i] {
+            let p = &w.prefixes[pidx].prefix;
+            match p.family() {
+                AddressFamily::V4 => {
+                    let count = 1u64 << (32 - p.len() as u32);
+                    out.push_str(&format!(
+                        "{rir}|{}|ipv4|{}|{count}|20050101|allocated|opaque-{:04}\n",
+                        a.country,
+                        p.network(),
+                        a.org
+                    ));
+                }
+                AddressFamily::V6 => {
+                    out.push_str(&format!(
+                        "{rir}|{}|ipv6|{}|{}|20050101|allocated|opaque-{:04}\n",
+                        a.country,
+                        p.network(),
+                        p.len(),
+                        a.org
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Picks the RIR a country registers with.
+pub fn rir_of(country: &str) -> &'static str {
+    match country {
+        "US" | "CA" => "arin",
+        "BR" | "MX" | "AR" => "lacnic",
+        "ZA" | "NG" => "afrinic",
+        "JP" | "CN" | "KR" | "SG" | "AU" | "IN" | "ID" => "apnic",
+        _ => "ripencc",
+    }
+}
+
+/// RIPE RPKI: JSON `{roas: [{asn: "AS..", prefix, maxLength, ta}]}`.
+pub fn ripe_rpki(w: &World) -> String {
+    let roas: Vec<_> = w
+        .roas
+        .iter()
+        .map(|r| {
+            json!({
+                "asn": format!("AS{}", r.asn),
+                "prefix": r.prefix.canonical(),
+                "maxLength": r.max_length,
+                "ta": "sim-ta",
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!({ "roas": roas })).expect("serializable")
+}
+
+/// PeeringDB `org` endpoint.
+pub fn peeringdb_org(w: &World) -> String {
+    let mut data = Vec::new();
+    for (i, o) in w.orgs.iter().enumerate() {
+        data.push(json!({
+            "id": i + 1,
+            "name": o.name,
+            "country": o.country,
+        }));
+    }
+    serde_json::to_string(&json!({ "data": data })).expect("serializable")
+}
+
+/// PeeringDB `ix` endpoint.
+pub fn peeringdb_ix(w: &World) -> String {
+    let data: Vec<_> = w
+        .ixps
+        .iter()
+        .enumerate()
+        .map(|(i, ix)| {
+            json!({
+                "id": i + 1,
+                "name": ix.name,
+                "country": ix.country,
+                "city": ix.name.replace("SIM-IX ", ""),
+                "org_id": 0,
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!({ "data": data })).expect("serializable")
+}
+
+/// PeeringDB `ixlan` endpoint, including member connections
+/// (netixlan-style entries inlined for simplicity).
+pub fn peeringdb_ixlan(w: &World) -> String {
+    let mut data = Vec::new();
+    for (i, ix) in w.ixps.iter().enumerate() {
+        let members: Vec<_> = ix
+            .members
+            .iter()
+            .enumerate()
+            .map(|(k, &m)| {
+                let base = ix.peering_lan.raw_bits() as u32;
+                let policy = ["Open", "Selective", "Restrictive"][k % 3];
+                json!({
+                    "asn": w.ases[m].asn,
+                    "ipaddr4": std::net::Ipv4Addr::from(base + 2 + k as u32).to_string(),
+                    "speed": 10_000 * (1 + (k % 4) as u32),
+                    "policy": policy,
+                })
+            })
+            .collect();
+        data.push(json!({
+            "id": i + 1,
+            "ix_id": i + 1,
+            "prefix": ix.peering_lan.canonical(),
+            "net_list": members,
+        }));
+    }
+    serde_json::to_string(&json!({ "data": data })).expect("serializable")
+}
+
+/// PeeringDB `fac` endpoint.
+pub fn peeringdb_fac(w: &World) -> String {
+    let data: Vec<_> = w
+        .ixps
+        .iter()
+        .enumerate()
+        .map(|(i, ix)| {
+            json!({
+                "id": i + 1,
+                "name": ix.facility,
+                "country": ix.country,
+                "city": ix.name.replace("SIM-IX ", ""),
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!({ "data": data })).expect("serializable")
+}
+
+/// PeeringDB `netfac` endpoint: which ASes are present in which
+/// facility (IXP members are in the IXP's facility).
+pub fn peeringdb_netfac(w: &World) -> String {
+    let mut data = Vec::new();
+    for (i, ix) in w.ixps.iter().enumerate() {
+        for &m in &ix.members {
+            data.push(json!({
+                "fac_id": i + 1,
+                "local_asn": w.ases[m].asn,
+            }));
+        }
+    }
+    serde_json::to_string(&json!({ "data": data })).expect("serializable")
+}
+
+/// CAIDA IXPs dataset: JSON lines with CAIDA's own IXP identifiers.
+pub fn caida_ixps(w: &World) -> String {
+    let mut lines = Vec::new();
+    for (i, ix) in w.ixps.iter().enumerate() {
+        lines.push(
+            serde_json::to_string(&json!({
+                "ix_id": 100 + i,
+                "name": ix.name,
+                "country": ix.country,
+                "prefixes": { "ipv4": [ix.peering_lan.canonical()] },
+            }))
+            .expect("serializable"),
+        );
+    }
+    lines.join("\n")
+}
+
+/// Alice-LG looking-glass snapshot for one IXP: the route server's
+/// neighbour list.
+pub fn alice_lg(w: &World, id: DatasetId) -> String {
+    let slot = match id {
+        DatasetId::AliceLgAmsIx => 0,
+        DatasetId::AliceLgBcix => 1,
+        DatasetId::AliceLgDeCix => 2,
+        DatasetId::AliceLgIxBr => 3,
+        DatasetId::AliceLgLinx => 4,
+        DatasetId::AliceLgMegaport => 5,
+        DatasetId::AliceLgNetnod => 6,
+        _ => 0,
+    };
+    let ix = &w.ixps[slot % w.ixps.len()];
+    let neighbours: Vec<_> = ix
+        .members
+        .iter()
+        .map(|&m| {
+            json!({
+                "asn": w.ases[m].asn,
+                "description": w.ases[m].name,
+                "state": "up",
+            })
+        })
+        .collect();
+    serde_json::to_string(&json!({
+        "ixp": ix.name,
+        "neighbours": neighbours,
+    }))
+    .expect("serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn world() -> World {
+        World::generate(&SimConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn delegated_format_lines() {
+        let w = world();
+        let text = nro_delegated_stats(&w);
+        let mut asn_lines = 0;
+        for line in text.lines().skip(3) {
+            let parts: Vec<&str> = line.split('|').collect();
+            assert_eq!(parts.len(), 8, "line {line:?}");
+            if parts[2] == "asn" {
+                asn_lines += 1;
+            }
+        }
+        assert_eq!(asn_lines, w.ases.len());
+    }
+
+    #[test]
+    fn rpki_roas_parse() {
+        let w = world();
+        let v: serde_json::Value = serde_json::from_str(&ripe_rpki(&w)).unwrap();
+        let roas = v["roas"].as_array().unwrap();
+        assert_eq!(roas.len(), w.roas.len());
+        assert!(roas.iter().all(|r| r["asn"].as_str().unwrap().starts_with("AS")));
+    }
+
+    #[test]
+    fn peeringdb_member_counts_match() {
+        let w = world();
+        let v: serde_json::Value = serde_json::from_str(&peeringdb_ixlan(&w)).unwrap();
+        let data = v["data"].as_array().unwrap();
+        assert_eq!(data.len(), w.ixps.len());
+        for (i, lan) in data.iter().enumerate() {
+            assert_eq!(
+                lan["net_list"].as_array().unwrap().len(),
+                w.ixps[i].members.len()
+            );
+        }
+    }
+
+    #[test]
+    fn alice_lg_lists_neighbours() {
+        let w = world();
+        let v: serde_json::Value =
+            serde_json::from_str(&alice_lg(&w, DatasetId::AliceLgAmsIx)).unwrap();
+        assert!(!v["neighbours"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn rir_mapping_is_total() {
+        for (cc, _) in crate::build::topology::COUNTRY_POOL {
+            assert!(!rir_of(cc).is_empty());
+        }
+    }
+}

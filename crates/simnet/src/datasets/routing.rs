@@ -1,0 +1,296 @@
+//! Routing-derived datasets: BGPKIT, CAIDA ASRank, IHR, PCH, RoVista.
+
+use crate::types::*;
+use crate::world::World;
+use serde_json::json;
+
+/// BGPKIT `pfx2as`: JSON array of `{prefix, asn, count}`.
+///
+/// Deliberately reproduces the §6.1 lesson: a small, deterministic slice
+/// of the IPv6 entries carries a *wrong origin ASN* (off by one in the
+/// AS table), the kind of upstream bug the paper reports finding by
+/// comparing BGPKIT against IHR's ROV dataset inside IYP.
+pub fn bgpkit_pfx2as(w: &World) -> String {
+    let mut entries = Vec::new();
+    let mut v6_seen = 0usize;
+    for (i, p) in w.prefixes.iter().enumerate() {
+        let mut origin = p.origin;
+        let v6 = p.prefix.family() == iyp_netdata::AddressFamily::V6;
+        if v6 {
+            // Every 25th IPv6 entry carries the planted origin bug.
+            if v6_seen % 25 == 0 {
+                origin = (origin + 1) % w.ases.len();
+            }
+            v6_seen += 1;
+        }
+        entries.push(json!({
+            "prefix": p.prefix.canonical(),
+            "asn": w.ases[origin].asn,
+            "count": 12 + (i % 40),
+        }));
+    }
+    serde_json::to_string(&entries).expect("serializable")
+}
+
+/// BGPKIT `as2rel`: JSON array of `{asn1, asn2, rel}` where `rel` is 0
+/// for peer-peer and 1 when `asn1` is the provider of `asn2`.
+pub fn bgpkit_as2rel(w: &World) -> String {
+    let mut entries = Vec::new();
+    for (i, a) in w.ases.iter().enumerate() {
+        for &p in &a.providers {
+            entries.push(json!({
+                "asn1": w.ases[p].asn,
+                "asn2": a.asn,
+                "rel": 1,
+                "peers_count": 2 + (i % 7),
+            }));
+        }
+        for &q in &a.peers {
+            if q > i {
+                entries.push(json!({
+                    "asn1": a.asn,
+                    "asn2": w.ases[q].asn,
+                    "rel": 0,
+                    "peers_count": 1 + (i % 5),
+                }));
+            }
+        }
+    }
+    serde_json::to_string(&entries).expect("serializable")
+}
+
+/// BGPKIT `peer-stats`: collectors with their full-feed peers.
+pub fn bgpkit_peer_stats(w: &World) -> String {
+    let collectors = ["rrc00", "rrc01", "route-views2", "route-views.sg"];
+    let mut out = Vec::new();
+    for (c, name) in collectors.iter().enumerate() {
+        let peers: Vec<_> = w
+            .ases
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                matches!(a.category, AsCategory::Tier1 | AsCategory::Transit | AsCategory::Eyeball)
+                    && (i + c) % 3 == 0
+            })
+            .map(|(i, a)| {
+                json!({
+                    "asn": a.asn,
+                    "ip": format!("192.0.2.{}", (i + c * 40) % 250 + 1),
+                    "num_v4_pfxs": 900_000 + i,
+                })
+            })
+            .collect();
+        out.push(json!({ "collector": name, "peers": peers }));
+    }
+    serde_json::to_string(&json!({ "collectors": out })).expect("serializable")
+}
+
+/// CAIDA ASRank: JSON lines of `{asn, rank, cone_size, organization,
+/// country}`, ranked by transitive customer-cone size.
+pub fn caida_asrank(w: &World) -> String {
+    // Customer cone via reverse provider edges.
+    let mut customers: Vec<Vec<usize>> = vec![Vec::new(); w.ases.len()];
+    for (i, a) in w.ases.iter().enumerate() {
+        for &p in &a.providers {
+            customers[p].push(i);
+        }
+    }
+    fn cone(start: usize, customers: &[Vec<usize>]) -> usize {
+        let mut seen = vec![start];
+        let mut stack = vec![start];
+        while let Some(x) = stack.pop() {
+            for &c in &customers[x] {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                    stack.push(c);
+                }
+            }
+        }
+        seen.len()
+    }
+    let mut sizes: Vec<(usize, usize)> = (0..w.ases.len())
+        .map(|i| (i, cone(i, &customers)))
+        .collect();
+    sizes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut lines = Vec::new();
+    for (rank0, (i, size)) in sizes.iter().enumerate() {
+        let a = &w.ases[*i];
+        lines.push(
+            serde_json::to_string(&json!({
+                "asn": a.asn,
+                "rank": rank0 + 1,
+                "cone_size": size,
+                "organization": w.orgs[a.org].name,
+                "country": a.country,
+            }))
+            .expect("serializable"),
+        );
+    }
+    lines.join("\n")
+}
+
+/// IHR hegemony: CSV `timebin,originasn,asn,hege,af`.
+pub fn ihr_hegemony(w: &World) -> String {
+    let mut out = String::from("timebin,originasn,asn,hege,af\n");
+    for (dep, on, score) in &w.hegemony {
+        out.push_str(&format!(
+            "2024-05-01T00:00:00,{},{},{:.4},4\n",
+            w.ases[*dep].asn, w.ases[*on].asn, score
+        ));
+    }
+    out
+}
+
+/// IHR country dependency: CSV `country,asn,hege`.
+pub fn ihr_country_dependency(w: &World) -> String {
+    let mut out = String::from("country,asn,hege\n");
+    // A country's dependencies: providers of its eyeball networks,
+    // weighted by the eyeball's population share.
+    for (as_idx, cc, share) in &w.as_population {
+        for &p in &w.ases[*as_idx].providers {
+            out.push_str(&format!(
+                "{},{},{:.4}\n",
+                cc,
+                w.ases[p].asn,
+                share / 100.0 * 0.8
+            ));
+        }
+    }
+    out
+}
+
+/// IHR ROV: CSV `prefix,originasn,rpki_status` (correct origins, unlike
+/// the planted bug in `bgpkit_pfx2as`).
+pub fn ihr_rov(w: &World) -> String {
+    let mut out = String::from("prefix,originasn,rpki_status\n");
+    for p in &w.prefixes {
+        out.push_str(&format!(
+            "{},{},{}\n",
+            p.prefix.canonical(),
+            w.ases[p.origin].asn,
+            p.rpki.ihr_label()
+        ));
+    }
+    out
+}
+
+/// PCH daily routing snapshot: simplified table of `prefix;as_path`
+/// covering roughly 60% of announcements (PCH sees fewer routes than
+/// the union of RIS and RouteViews).
+pub fn pch_routing_snapshot(w: &World) -> String {
+    let mut out = String::new();
+    for (i, p) in w.prefixes.iter().enumerate() {
+        if i % 5 >= 3 {
+            continue; // 60% visibility
+        }
+        let origin = &w.ases[p.origin];
+        let mut path = vec![origin.asn];
+        let mut cur = p.origin;
+        for _ in 0..3 {
+            match w.ases[cur].providers.first() {
+                Some(&up) => {
+                    path.push(w.ases[up].asn);
+                    cur = up;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let path_str: Vec<String> = path.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!("{};{}\n", p.prefix.canonical(), path_str.join(" ")));
+    }
+    out
+}
+
+/// RoVista: CSV `asn,ratio` — how much of RPKI-invalid space an AS
+/// filters. Adopting security-minded categories filter most.
+pub fn rovista(w: &World) -> String {
+    let mut out = String::from("asn,ratio\n");
+    for a in &w.ases {
+        let ratio = match a.category {
+            AsCategory::DdosMitigation => 0.95,
+            AsCategory::Tier1 => 0.85,
+            AsCategory::Cdn => 0.8,
+            AsCategory::Transit => 0.6,
+            _ if a.rpki_adopter => 0.5,
+            _ => 0.1,
+        };
+        out.push_str(&format!("{},{ratio}\n", a.asn));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn world() -> World {
+        World::generate(&SimConfig::tiny(), 11)
+    }
+
+    #[test]
+    fn pfx2as_is_valid_json_with_planted_v6_bug() {
+        let w = world();
+        let parsed: Vec<serde_json::Value> =
+            serde_json::from_str(&bgpkit_pfx2as(&w)).unwrap();
+        assert_eq!(parsed.len(), w.prefixes.len());
+        // At least one v6 entry disagrees with ground truth.
+        let mut wrong = 0;
+        for (i, e) in parsed.iter().enumerate() {
+            let truth = w.ases[w.prefixes[i].origin].asn as i64;
+            if e["asn"].as_i64() != Some(truth) {
+                wrong += 1;
+                assert!(e["prefix"].as_str().unwrap().contains(':'), "bug must be v6-only");
+            }
+        }
+        assert!(wrong >= 1);
+    }
+
+    #[test]
+    fn ihr_rov_has_header_and_all_prefixes() {
+        let w = world();
+        let text = ihr_rov(&w);
+        assert!(text.starts_with("prefix,originasn,rpki_status\n"));
+        assert_eq!(text.lines().count(), w.prefixes.len() + 1);
+        assert!(text.contains("Valid") || text.contains("NotFound"));
+    }
+
+    #[test]
+    fn asrank_is_sorted_by_cone() {
+        let w = world();
+        let text = caida_asrank(&w);
+        let mut last_cone = usize::MAX;
+        for line in text.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            let cone = v["cone_size"].as_u64().unwrap() as usize;
+            assert!(cone <= last_cone);
+            last_cone = cone;
+        }
+    }
+
+    #[test]
+    fn pch_sees_a_subset() {
+        let w = world();
+        let n = pch_routing_snapshot(&w).lines().count();
+        assert!(n > 0 && n < w.prefixes.len());
+    }
+
+    #[test]
+    fn as2rel_contains_both_kinds() {
+        let w = world();
+        let entries: Vec<serde_json::Value> =
+            serde_json::from_str(&bgpkit_as2rel(&w)).unwrap();
+        assert!(entries.iter().any(|e| e["rel"] == 1));
+        assert!(entries.iter().any(|e| e["rel"] == 0));
+    }
+
+    #[test]
+    fn hegemony_csv_parses() {
+        let w = world();
+        let text = ihr_hegemony(&w);
+        for line in text.lines().skip(1).take(5) {
+            assert_eq!(line.split(',').count(), 5);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Small serialisation helpers shared by the dataset emitters.
+
+/// Escapes a CSV field (quotes when it contains separators or quotes).
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Joins fields into one CSV line.
+pub fn csv_line<I: IntoIterator<Item = String>>(fields: I) -> String {
+    fields
+        .into_iter()
+        .map(|f| csv_field(&f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(csv_field("abc"), "abc");
+    }
+
+    #[test]
+    fn fields_with_separators_are_quoted() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn lines_join() {
+        assert_eq!(
+            csv_line(["a".to_string(), "b,c".to_string()]),
+            "a,\"b,c\""
+        );
+    }
+}

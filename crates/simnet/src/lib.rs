@@ -1,0 +1,34 @@
+//! Synthetic-Internet generator for IYP.
+//!
+//! The paper ingests 46 live community datasets (Table 8). Those feeds —
+//! BGP collectors, DNS measurement platforms, RPKI repositories, routing
+//! registries — are not available offline, so this crate builds the
+//! closest synthetic equivalent: a deterministic, seeded model of an
+//! Internet (organisations, ASes, prefixes, RPKI, IXPs, a DNS ecosystem
+//! with provider consolidation, rankings, measurement infrastructure) and
+//! then *serialises each dataset in its native wire format* (CSV, JSON,
+//! NRO delegated format, …).
+//!
+//! The importers in `iyp-crawlers` parse those serialised strings exactly
+//! as the real IYP crawlers parse the real feeds, so the whole ETL path
+//! is exercised end to end. The generator is calibrated so the headline
+//! statistics of the paper's 2024 measurements (RPKI coverage around
+//! half of popular prefixes, CDN adoption highest, DNS provider
+//! consolidation, US-centred third-party DNS dependency…) emerge from
+//! the synthetic population; `EXPERIMENTS.md` records the calibration
+//! targets next to the measured values.
+//!
+//! Everything is reproducible: `World::generate(&SimConfig::default(), 42)`
+//! always produces byte-identical datasets.
+
+pub mod build;
+pub mod config;
+pub mod datasets;
+pub mod formats;
+pub mod types;
+pub mod world;
+
+pub use config::SimConfig;
+pub use datasets::DatasetId;
+pub use types::*;
+pub use world::World;

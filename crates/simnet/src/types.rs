@@ -1,0 +1,343 @@
+//! Ground-truth record types for the synthetic Internet.
+
+use iyp_netdata::Prefix;
+use std::net::IpAddr;
+
+/// Business category of an AS, mirroring the classifications found in
+/// ASdb (Stanford) and the BGP.Tools tag vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsCategory {
+    /// Settlement-free backbone.
+    Tier1,
+    /// Regional transit provider.
+    Transit,
+    /// Eyeball / access network.
+    Eyeball,
+    /// Generic stub / enterprise.
+    Stub,
+    /// Content delivery network.
+    Cdn,
+    /// Cloud / hosting provider.
+    CloudHosting,
+    /// Managed DNS provider.
+    DnsProvider,
+    /// DDoS mitigation provider.
+    DdosMitigation,
+    /// Academic / research network.
+    Academic,
+    /// Government network.
+    Government,
+}
+
+/// All categories.
+pub const ALL_CATEGORIES: [AsCategory; 10] = [
+    AsCategory::Tier1,
+    AsCategory::Transit,
+    AsCategory::Eyeball,
+    AsCategory::Stub,
+    AsCategory::Cdn,
+    AsCategory::CloudHosting,
+    AsCategory::DnsProvider,
+    AsCategory::DdosMitigation,
+    AsCategory::Academic,
+    AsCategory::Government,
+];
+
+impl AsCategory {
+    /// BGP.Tools-style tag label.
+    pub fn tag(self) -> &'static str {
+        match self {
+            AsCategory::Tier1 => "Tier1",
+            AsCategory::Transit => "Transit",
+            AsCategory::Eyeball => "Eyeball",
+            AsCategory::Stub => "Corporate",
+            AsCategory::Cdn => "Content Delivery Network",
+            AsCategory::CloudHosting => "Cloud Hosting",
+            AsCategory::DnsProvider => "DNS Provider",
+            AsCategory::DdosMitigation => "DDoS Mitigation",
+            AsCategory::Academic => "Academic",
+            AsCategory::Government => "Government",
+        }
+    }
+
+    /// ASdb-style business category.
+    pub fn asdb_category(self) -> &'static str {
+        match self {
+            AsCategory::Tier1 | AsCategory::Transit => "Internet Service Provider (ISP)",
+            AsCategory::Eyeball => "Internet Service Provider (ISP)",
+            AsCategory::Stub => "Corporate",
+            AsCategory::Cdn => "Media, Publishing, and Broadcasting",
+            AsCategory::CloudHosting => "Computer and Information Technology",
+            AsCategory::DnsProvider => "Computer and Information Technology",
+            AsCategory::DdosMitigation => "Computer and Information Technology",
+            AsCategory::Academic => "Education and Research",
+            AsCategory::Government => "Government and Public Administration",
+        }
+    }
+
+    /// Calibrated RPKI adoption probability (fraction of the category's
+    /// prefixes covered by a ROA), matching the per-tag deployment the
+    /// paper reports in §4.1.4 (Academic 16%, Government 21%, DDoS
+    /// Mitigation 76%, CDN 68.4%).
+    pub fn rpki_adoption(self) -> f64 {
+        match self {
+            AsCategory::Tier1 => 0.62,
+            AsCategory::Transit => 0.55,
+            AsCategory::Eyeball => 0.52,
+            AsCategory::Stub => 0.35,
+            AsCategory::Cdn => 0.684,
+            AsCategory::CloudHosting => 0.72,
+            AsCategory::DnsProvider => 0.48,
+            AsCategory::DdosMitigation => 0.76,
+            AsCategory::Academic => 0.16,
+            AsCategory::Government => 0.21,
+        }
+    }
+}
+
+/// RPKI validation state of an announced (prefix, origin) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpkiStatus {
+    /// No covering ROA.
+    NotCovered,
+    /// Covered and valid.
+    Valid,
+    /// Covered, invalid because the announcement is more specific than
+    /// the ROA's max length.
+    InvalidMaxLen,
+    /// Covered, invalid because the origin AS differs from the ROA.
+    InvalidOrigin,
+}
+
+impl RpkiStatus {
+    /// True if a covering ROA exists.
+    pub fn is_covered(self) -> bool {
+        !matches!(self, RpkiStatus::NotCovered)
+    }
+
+    /// True if the announcement is invalid.
+    pub fn is_invalid(self) -> bool {
+        matches!(self, RpkiStatus::InvalidMaxLen | RpkiStatus::InvalidOrigin)
+    }
+
+    /// IHR ROV dataset label.
+    pub fn ihr_label(self) -> &'static str {
+        match self {
+            RpkiStatus::NotCovered => "NotFound",
+            RpkiStatus::Valid => "Valid",
+            RpkiStatus::InvalidMaxLen => "Invalid,more-specific",
+            RpkiStatus::InvalidOrigin => "Invalid",
+        }
+    }
+}
+
+/// An organisation operating one or more ASes.
+#[derive(Debug, Clone)]
+pub struct Org {
+    /// Organisation name, e.g. `Telecom 17 Ltd.`.
+    pub name: String,
+    /// Registration country (alpha-2).
+    pub country: &'static str,
+}
+
+/// An autonomous system.
+#[derive(Debug, Clone)]
+pub struct AsInfo {
+    /// AS number.
+    pub asn: u32,
+    /// Network name (short handle), e.g. `NET-17`.
+    pub name: String,
+    /// Index into [`crate::world::World::orgs`].
+    pub org: usize,
+    /// Registration country (alpha-2).
+    pub country: &'static str,
+    /// Business category.
+    pub category: AsCategory,
+    /// Provider ASes (indexes into the AS table).
+    pub providers: Vec<usize>,
+    /// Peer ASes (indexes into the AS table).
+    pub peers: Vec<usize>,
+    /// RPKI adopter: when true the AS registers ROAs for its prefixes.
+    pub rpki_adopter: bool,
+}
+
+/// An announced prefix.
+#[derive(Debug, Clone)]
+pub struct PrefixInfo {
+    /// The prefix, canonical.
+    pub prefix: Prefix,
+    /// Index of the originating AS.
+    pub origin: usize,
+    /// RPKI state of this announcement.
+    pub rpki: RpkiStatus,
+    /// True if operated as anycast.
+    pub anycast: bool,
+}
+
+/// A published ROA (RPKI route origin authorisation).
+#[derive(Debug, Clone)]
+pub struct Roa {
+    /// Authorized prefix.
+    pub prefix: Prefix,
+    /// Authorized origin ASN.
+    pub asn: u32,
+    /// Maximum length.
+    pub max_length: u8,
+}
+
+/// An IXP with its members.
+#[derive(Debug, Clone)]
+pub struct IxpInfo {
+    /// IXP name, e.g. `SIM-IX Tokyo`.
+    pub name: String,
+    /// Country (alpha-2).
+    pub country: &'static str,
+    /// Member AS indexes.
+    pub members: Vec<usize>,
+    /// Peering LAN prefix.
+    pub peering_lan: Prefix,
+    /// Co-location facility name.
+    pub facility: String,
+}
+
+/// A managed DNS provider.
+#[derive(Debug, Clone)]
+pub struct DnsProvider {
+    /// Provider name, e.g. `globaldns`.
+    pub name: String,
+    /// The provider's own domain, e.g. `globaldns.net`.
+    pub domain: String,
+    /// Index of the AS hosting the provider's nameservers.
+    pub asn_idx: usize,
+    /// Nameserver hostnames in the provider's pool.
+    pub ns_pool: Vec<String>,
+    /// Number of distinct NS-set variants handed to customers; the
+    /// larger this is, the smaller the exact-set sharing groups.
+    pub set_variants: usize,
+    /// Precomputed NS sets, one per variant; customers are assigned a
+    /// variant and share its exact set (drives Table 4's grouping).
+    pub variants: Vec<Vec<String>>,
+    /// If the provider outsources its own zone, the index of the
+    /// provider serving it (third-party dependency chain).
+    pub outsourced_to: Option<usize>,
+    /// Registrar-style "vanity NS": customers get `ns1.<their-domain>`
+    /// names hosted on the provider's AS. Such domains depend on the
+    /// provider *directly* but not on the provider's own zone — the
+    /// GoDaddy-vs-Akamai contrast of Figure 6.
+    pub vanity: bool,
+}
+
+/// How a domain's web content is hosted, driving RPKI statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostingKind {
+    /// Served from a CDN AS.
+    Cdn,
+    /// Served from a cloud/hosting AS.
+    Cloud,
+    /// Self-hosted on a stub/enterprise AS.
+    SelfHosted,
+}
+
+/// A ranked domain with its DNS and hosting ground truth.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Second-level domain name, e.g. `site-000042.com`.
+    pub name: String,
+    /// TLD (without dot), e.g. `com`.
+    pub tld: &'static str,
+    /// Tranco-like rank (1-based).
+    pub rank: usize,
+    /// Umbrella-like rank, if listed.
+    pub umbrella_rank: Option<usize>,
+    /// DNS provider index, or `None` when self-hosting its NS.
+    pub dns_provider: Option<usize>,
+    /// Nameserver hostnames serving this domain.
+    pub nameservers: Vec<String>,
+    /// Index of the AS hosting the web content.
+    pub hosting_as: usize,
+    /// Hosting kind.
+    pub hosting: HostingKind,
+    /// Resolved web IPs (apex / www).
+    pub web_ips: Vec<IpAddr>,
+}
+
+/// A nameserver hostname with its resolved addresses.
+#[derive(Debug, Clone)]
+pub struct NameServer {
+    /// Hostname, e.g. `ns1.globaldns.net`.
+    pub name: String,
+    /// Resolved IPv4/IPv6 addresses.
+    pub ips: Vec<IpAddr>,
+    /// Index of the AS hosting those addresses.
+    pub asn_idx: usize,
+}
+
+/// A ccTLD or gTLD with its registry operator.
+#[derive(Debug, Clone)]
+pub struct Tld {
+    /// Label without dot, e.g. `com`, `ru`.
+    pub name: &'static str,
+    /// Registry country (alpha-2) — drives the hierarchical SPoF.
+    pub country: &'static str,
+    /// True for country-code TLDs.
+    pub cc: bool,
+    /// Registry nameserver hostnames.
+    pub nameservers: Vec<String>,
+}
+
+/// A RIPE-Atlas-like probe.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    /// Probe id.
+    pub id: u32,
+    /// AS index it is located in.
+    pub asn_idx: usize,
+    /// Country (alpha-2).
+    pub country: &'static str,
+    /// Assigned IPv4 address.
+    pub ip: IpAddr,
+}
+
+/// An Atlas-like measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Measurement id.
+    pub id: u32,
+    /// Target hostname.
+    pub target: String,
+    /// Measurement type (ping/traceroute).
+    pub kind: &'static str,
+    /// Participating probe ids.
+    pub probes: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_calibration_matches_paper() {
+        assert!((AsCategory::Cdn.rpki_adoption() - 0.684).abs() < 1e-9);
+        assert!((AsCategory::Academic.rpki_adoption() - 0.16).abs() < 1e-9);
+        assert!((AsCategory::Government.rpki_adoption() - 0.21).abs() < 1e-9);
+        assert!((AsCategory::DdosMitigation.rpki_adoption() - 0.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rpki_status_flags() {
+        assert!(!RpkiStatus::NotCovered.is_covered());
+        assert!(RpkiStatus::Valid.is_covered());
+        assert!(!RpkiStatus::Valid.is_invalid());
+        assert!(RpkiStatus::InvalidMaxLen.is_invalid());
+        assert!(RpkiStatus::InvalidOrigin.is_covered());
+        assert_eq!(RpkiStatus::InvalidMaxLen.ihr_label(), "Invalid,more-specific");
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut tags: Vec<&str> = ALL_CATEGORIES.iter().map(|c| c.tag()).collect();
+        tags.sort();
+        tags.dedup();
+        assert_eq!(tags.len(), ALL_CATEGORIES.len());
+    }
+}

@@ -1,0 +1,228 @@
+//! The synthetic-Internet ground truth.
+
+use crate::build;
+use crate::config::SimConfig;
+use crate::types::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Fixed "fetch time" stamped on the generated datasets: 2024-05-01,
+/// the snapshot date the paper's reproduction section uses.
+pub const SNAPSHOT_TIME: i64 = 1_714_521_600;
+
+/// The complete generated world. All vectors are index-linked: an AS is
+/// referred to everywhere by its index into [`World::ases`].
+#[derive(Debug)]
+pub struct World {
+    /// Generation configuration.
+    pub config: SimConfig,
+    /// RNG seed used.
+    pub seed: u64,
+    /// Organisations.
+    pub orgs: Vec<Org>,
+    /// Autonomous systems.
+    pub ases: Vec<AsInfo>,
+    /// Announced prefixes.
+    pub prefixes: Vec<PrefixInfo>,
+    /// Per-AS announced prefix indexes (same order as `ases`).
+    pub as_prefixes: Vec<Vec<usize>>,
+    /// Published ROAs.
+    pub roas: Vec<Roa>,
+    /// IXPs.
+    pub ixps: Vec<IxpInfo>,
+    /// TLDs.
+    pub tlds: Vec<Tld>,
+    /// Managed DNS providers.
+    pub providers: Vec<DnsProvider>,
+    /// Ranked domains (index = rank - 1).
+    pub domains: Vec<Domain>,
+    /// All nameservers (providers, self-hosted, TLD registries).
+    pub nameservers: Vec<NameServer>,
+    /// Nameserver name → index into `nameservers`.
+    pub ns_index: HashMap<String, usize>,
+    /// Atlas-like probes.
+    pub probes: Vec<Probe>,
+    /// Atlas-like measurements.
+    pub measurements: Vec<Measurement>,
+    /// Hegemony triples: (dependent AS, dependency AS, score).
+    pub hegemony: Vec<(usize, usize, f64)>,
+    /// Country populations.
+    pub country_population: Vec<(&'static str, u64)>,
+    /// (AS, country, percentage of the country's users).
+    pub as_population: Vec<(usize, &'static str, f64)>,
+    /// Unix time stamped on datasets.
+    pub fetch_time: i64,
+}
+
+impl World {
+    /// Generates a world deterministically from a config and seed.
+    pub fn generate(config: &SimConfig, seed: u64) -> World {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = World {
+            config: config.clone(),
+            seed,
+            orgs: Vec::new(),
+            ases: Vec::new(),
+            prefixes: Vec::new(),
+            as_prefixes: Vec::new(),
+            roas: Vec::new(),
+            ixps: Vec::new(),
+            tlds: Vec::new(),
+            providers: Vec::new(),
+            domains: Vec::new(),
+            nameservers: Vec::new(),
+            ns_index: HashMap::new(),
+            probes: Vec::new(),
+            measurements: Vec::new(),
+            hegemony: Vec::new(),
+            country_population: Vec::new(),
+            as_population: Vec::new(),
+            fetch_time: SNAPSHOT_TIME,
+        };
+        build::topology::build(&mut w, &mut rng);
+        build::dns::build(&mut w, &mut rng);
+        build::misc::build(&mut w, &mut rng);
+        w
+    }
+
+    /// AS index by ASN.
+    pub fn as_by_asn(&self, asn: u32) -> Option<usize> {
+        self.ases.iter().position(|a| a.asn == asn)
+    }
+
+    /// The nameserver record for a hostname, if known.
+    pub fn nameserver(&self, name: &str) -> Option<&NameServer> {
+        self.ns_index.get(name).map(|&i| &self.nameservers[i])
+    }
+
+    /// All ASes of a category.
+    pub fn ases_of(&self, cat: AsCategory) -> impl Iterator<Item = (usize, &AsInfo)> {
+        self.ases.iter().enumerate().filter(move |(_, a)| a.category == cat)
+    }
+
+    /// Ground-truth fraction of announced prefixes covered by RPKI.
+    pub fn rpki_covered_fraction(&self) -> f64 {
+        let covered = self.prefixes.iter().filter(|p| p.rpki.is_covered()).count();
+        covered as f64 / self.prefixes.len().max(1) as f64
+    }
+
+    /// The TLD record for a label.
+    pub fn tld(&self, label: &str) -> Option<&Tld> {
+        self.tlds.iter().find(|t| t.name == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = World::generate(&SimConfig::tiny(), 7);
+        let b = World::generate(&SimConfig::tiny(), 7);
+        assert_eq!(a.ases.len(), b.ases.len());
+        assert_eq!(a.domains.len(), b.domains.len());
+        for (x, y) in a.domains.iter().zip(b.domains.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.nameservers, y.nameservers);
+            assert_eq!(x.web_ips, y.web_ips);
+        }
+        for (x, y) in a.prefixes.iter().zip(b.prefixes.iter()) {
+            assert_eq!(x.prefix, y.prefix);
+            assert_eq!(x.rpki, y.rpki);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = World::generate(&SimConfig::tiny(), 1);
+        let b = World::generate(&SimConfig::tiny(), 2);
+        let same = a
+            .domains
+            .iter()
+            .zip(b.domains.iter())
+            .filter(|(x, y)| x.nameservers == y.nameservers)
+            .count();
+        assert!(same < a.domains.len());
+    }
+
+    #[test]
+    fn world_is_consistent() {
+        let w = World::generate(&SimConfig::small(), 42);
+        assert_eq!(w.ases.len(), w.config.num_ases);
+        assert_eq!(w.domains.len(), w.config.num_domains);
+        assert_eq!(w.as_prefixes.len(), w.ases.len());
+        // Every prefix's origin AS owns it.
+        for (i, p) in w.prefixes.iter().enumerate() {
+            assert!(w.as_prefixes[p.origin].contains(&i));
+        }
+        // Every domain's nameservers resolve.
+        for d in &w.domains {
+            assert!(!d.nameservers.is_empty(), "{} has no NS", d.name);
+            for ns in &d.nameservers {
+                assert!(w.nameserver(ns).is_some(), "unknown NS {ns}");
+            }
+            assert!(!d.web_ips.is_empty());
+        }
+        // Ranks are 1..=n.
+        for (i, d) in w.domains.iter().enumerate() {
+            assert_eq!(d.rank, i + 1);
+        }
+        // Measurements reference real probes.
+        for m in &w.measurements {
+            for pid in &m.probes {
+                assert!(w.probes.iter().any(|p| p.id == *pid));
+            }
+        }
+        // Hegemony references valid ASes.
+        for (a, b, s) in &w.hegemony {
+            assert!(*a < w.ases.len() && *b < w.ases.len());
+            assert!(*s > 0.0 && *s <= 1.0);
+        }
+    }
+
+    #[test]
+    fn rpki_calibration_is_plausible() {
+        let w = World::generate(&SimConfig::small(), 42);
+        let f = w.rpki_covered_fraction();
+        assert!(f > 0.25 && f < 0.75, "covered fraction {f}");
+        // Invalids exist but are rare.
+        let invalid = w.prefixes.iter().filter(|p| p.rpki.is_invalid()).count();
+        assert!((invalid as f64) / (w.prefixes.len() as f64) < 0.02);
+        // ROAs correspond to covered prefixes.
+        assert_eq!(
+            w.roas.len(),
+            w.prefixes.iter().filter(|p| p.rpki.is_covered()).count()
+        );
+    }
+
+    #[test]
+    fn dns_ground_truth_shape() {
+        let w = World::generate(&SimConfig::small(), 42);
+        // com/net/org cover roughly half the list.
+        let cno = w
+            .domains
+            .iter()
+            .filter(|d| matches!(d.tld, "com" | "net" | "org"))
+            .count() as f64
+            / w.domains.len() as f64;
+        assert!(cno > 0.40 && cno < 0.60, "com/net/org share {cno}");
+        // Provider consolidation: the largest provider serves many domains.
+        let mut counts = vec![0usize; w.providers.len()];
+        for d in &w.domains {
+            if let Some(p) = d.dns_provider {
+                counts[p] += 1;
+            }
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max as f64 / w.domains.len() as f64 > 0.05);
+        // TLD registries exist for every TLD.
+        for t in &w.tlds {
+            assert_eq!(t.nameservers.len(), 4);
+            for ns in &t.nameservers {
+                assert!(w.nameserver(ns).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-dataset comparison (§6.1, "Datasets comparison").
+//!
+//! The paper reports discovering an error in BGPKIT's IPv6
+//! prefix-to-AS data by diffing it against IHR's ROV dataset inside
+//! IYP. This module is that diff: thanks to parallel relationships
+//! tagged with `reference_name`, the disagreement is a three-line
+//! query.
+
+use crate::util::{get_int, get_str, run};
+use iyp_graph::Graph;
+
+/// Query: prefixes whose BGPKIT origin differs from their IHR origin.
+pub const Q_ORIGIN_DISAGREEMENT: &str = "
+    MATCH (a1:AS)-[:ORIGINATE {reference_name:'bgpkit.pfx2as'}]-(p:Prefix)\
+          -[:ORIGINATE {reference_name:'ihr.rov'}]-(a2:AS)
+    WHERE a1.asn <> a2.asn
+    RETURN DISTINCT p.prefix AS prefix, a1.asn AS bgpkit_origin, a2.asn AS ihr_origin";
+
+/// One disagreement between the two prefix-to-AS datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OriginDisagreement {
+    /// The affected prefix.
+    pub prefix: String,
+    /// Origin according to BGPKIT.
+    pub bgpkit_origin: u32,
+    /// Origin according to IHR.
+    pub ihr_origin: u32,
+}
+
+/// Finds all prefixes on which BGPKIT and IHR disagree about the
+/// origin AS.
+pub fn find_origin_disagreements(graph: &Graph) -> Vec<OriginDisagreement> {
+    let rs = run(graph, Q_ORIGIN_DISAGREEMENT);
+    let mut out = Vec::with_capacity(rs.rows.len());
+    for row in &rs.rows {
+        let (Some(prefix), Some(b), Some(i)) =
+            (get_str(&row[0]), get_int(&row[1]), get_int(&row[2]))
+        else {
+            continue;
+        };
+        out.push(OriginDisagreement {
+            prefix,
+            bgpkit_origin: b as u32,
+            ihr_origin: i as u32,
+        });
+    }
+    out.sort_by(|a, b| a.prefix.cmp(&b.prefix));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_pipeline::{build_graph, BuildOptions};
+    use iyp_simnet::{DatasetId, SimConfig, World};
+
+    #[test]
+    fn finds_the_planted_bgpkit_v6_bug() {
+        let world = World::generate(&SimConfig::small(), 42);
+        let opts =
+            BuildOptions::only(&[DatasetId::BgpkitPfx2as, DatasetId::IhrRov]);
+        let (graph, _) = build_graph(&world, &opts).unwrap();
+        let diffs = find_origin_disagreements(&graph);
+        assert!(!diffs.is_empty(), "planted bug not found");
+        // The paper's bug was IPv6-only; so is ours.
+        for d in &diffs {
+            assert!(d.prefix.contains(':'), "unexpected IPv4 disagreement: {d:?}");
+            assert_ne!(d.bgpkit_origin, d.ihr_origin);
+        }
+        // IHR matches ground truth; BGPKIT is the wrong one.
+        for d in &diffs {
+            let idx = world
+                .prefixes
+                .iter()
+                .position(|p| p.prefix.canonical() == d.prefix)
+                .expect("prefix exists in ground truth");
+            let truth = world.ases[world.prefixes[idx].origin].asn;
+            assert_eq!(d.ihr_origin, truth);
+            assert_ne!(d.bgpkit_origin, truth);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's studies, reproduced on the IYP knowledge graph.
+//!
+//! Following the paper's methodology (§4): each key result is obtained
+//! with one or two short Cypher queries, plus a few lines of Rust
+//! aggregation (standing in for the notebooks' Python). The query
+//! strings are public constants so examples and documentation can show
+//! them verbatim, like the paper's listings.
+//!
+//! | Module | Paper content |
+//! |---|---|
+//! | [`ripki`] | §4.1, Table 2 — RPKI deployment for popular domains, plus the §4.1.4 per-tag breakdown |
+//! | [`dns_robustness`] | §4.2, Tables 3–5 — DNS best practices and shared infrastructure |
+//! | [`insights`] | §5.1 — RPKI for nameservers; hosting consolidation |
+//! | [`spof`] | §5.2, Figures 5–6 — single points of failure in the DNS chain |
+//! | [`compare`] | §6.1 — cross-dataset comparison (the BGPKIT IPv6 bug) |
+//! | [`longitudinal`] | §7's follow-up: the multi-snapshot workflow |
+//! | [`topology`] | conclusion's follow-up: graph analytics (PageRank vs ASRank) |
+
+pub mod compare;
+pub mod dns_robustness;
+pub mod insights;
+pub mod longitudinal;
+pub mod ripki;
+pub mod spof;
+pub mod topology;
+pub mod util;
+
+pub use compare::{find_origin_disagreements, OriginDisagreement};
+pub use dns_robustness::{
+    shared_infrastructure, best_practices, BestPractices, GroupingStats, SharedInfra,
+};
+pub use insights::{hosting_consolidation, nameserver_rpki, HostingConsolidation, NameserverRpki};
+pub use longitudinal::{analyze_series, EpochStats, SnapshotSeries};
+pub use ripki::{ripki_study, rpki_by_tag, RipkiResults, TagCoverage};
+pub use spof::{spof_study, SpofKind, SpofResults};
+pub use topology::{centrality_study, CentralityResults};

@@ -1,0 +1,140 @@
+//! Longitudinal analysis across IYP snapshots.
+//!
+//! §7 of the paper: *"We conducted a longitudinal study … by running
+//! multiple IYP instances representing different snapshots in time …
+//! A variant of IYP including temporal dynamics could be an
+//! interesting follow up project."* This module implements that
+//! follow-up workflow: build one knowledge graph per snapshot epoch,
+//! run the same query against every instance, and merge the results —
+//! exactly the fetch-and-merge loop the authors describe, automated.
+
+use crate::util::{get_str, pct, run};
+use iyp_graph::Graph;
+use std::collections::HashSet;
+
+/// Query: all RPKI-covered prefixes.
+const Q_COVERED: &str = "
+    MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag)
+    WHERE t.label STARTS WITH 'RPKI'
+    RETURN DISTINCT p.prefix";
+
+/// Query: all announced prefixes.
+const Q_ANNOUNCED: &str = "
+    MATCH (:AS)-[:ORIGINATE]-(p:Prefix)
+    RETURN DISTINCT p.prefix";
+
+/// Query: all ranked domains.
+const Q_DOMAINS: &str = "
+    MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+    RETURN d.name";
+
+/// Statistics for one snapshot epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch number.
+    pub epoch: u32,
+    /// % of announced prefixes covered by RPKI.
+    pub rpki_covered_pct: f64,
+    /// Ranked domains present.
+    pub domains: usize,
+    /// Fraction of the previous epoch's domains that disappeared (%),
+    /// `None` for the first epoch.
+    pub domain_churn_pct: Option<f64>,
+}
+
+/// A merged longitudinal series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSeries {
+    /// Per-epoch statistics, in epoch order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl SnapshotSeries {
+    /// True if RPKI coverage never decreases across the series
+    /// (the paper's observed long-term trend).
+    pub fn rpki_trend_is_monotonic(&self) -> bool {
+        self.epochs
+            .windows(2)
+            .all(|w| w[1].rpki_covered_pct >= w[0].rpki_covered_pct - 1e-9)
+    }
+}
+
+/// Analyses a sequence of snapshot graphs (one per epoch, in order).
+pub fn analyze_series(graphs: &[(u32, &Graph)]) -> SnapshotSeries {
+    let mut epochs = Vec::with_capacity(graphs.len());
+    let mut prev_domains: Option<HashSet<String>> = None;
+    for (epoch, graph) in graphs {
+        let covered: HashSet<String> = run(graph, Q_COVERED)
+            .rows
+            .iter()
+            .filter_map(|r| get_str(&r[0]))
+            .collect();
+        let announced: HashSet<String> = run(graph, Q_ANNOUNCED)
+            .rows
+            .iter()
+            .filter_map(|r| get_str(&r[0]))
+            .collect();
+        let domains: HashSet<String> = run(graph, Q_DOMAINS)
+            .rows
+            .iter()
+            .filter_map(|r| get_str(&r[0]))
+            .collect();
+        let covered_announced = announced.iter().filter(|p| covered.contains(*p)).count();
+        let churn = prev_domains.as_ref().map(|prev| {
+            let gone = prev.iter().filter(|d| !domains.contains(*d)).count();
+            pct(gone, prev.len())
+        });
+        epochs.push(EpochStats {
+            epoch: *epoch,
+            rpki_covered_pct: pct(covered_announced, announced.len()),
+            domains: domains.len(),
+            domain_churn_pct: churn,
+        });
+        prev_domains = Some(domains);
+    }
+    SnapshotSeries { epochs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_pipeline::{build_graph, BuildOptions};
+    use iyp_simnet::{SimConfig, World};
+
+    fn snapshot(epoch: u32) -> Graph {
+        let config = SimConfig::tiny().at_epoch(epoch);
+        let world = World::generate(&config, 42);
+        build_graph(&world, &BuildOptions::default()).unwrap().0
+    }
+
+    #[test]
+    fn rpki_coverage_grows_and_domains_churn() {
+        let g0 = snapshot(0);
+        let g2 = snapshot(2);
+        let g4 = snapshot(4);
+        let series = analyze_series(&[(0, &g0), (2, &g2), (4, &g4)]);
+        assert_eq!(series.epochs.len(), 3);
+        assert!(
+            series.rpki_trend_is_monotonic(),
+            "coverage went backwards: {:?}",
+            series.epochs
+        );
+        assert!(
+            series.epochs[2].rpki_covered_pct > series.epochs[0].rpki_covered_pct,
+            "no growth: {:?}",
+            series.epochs
+        );
+        // Churn is present but moderate.
+        let churn = series.epochs[1].domain_churn_pct.unwrap();
+        assert!(churn > 0.5 && churn < 30.0, "churn {churn}");
+        assert!(series.epochs[0].domain_churn_pct.is_none());
+    }
+
+    #[test]
+    fn same_epoch_has_no_churn() {
+        let g0 = snapshot(0);
+        let g0b = snapshot(0);
+        let series = analyze_series(&[(0, &g0), (0, &g0b)]);
+        assert_eq!(series.epochs[1].domain_churn_pct, Some(0.0));
+    }
+}

@@ -1,0 +1,211 @@
+//! RiPKI reproduction (§4.1, Table 2) and the per-tag extension
+//! (§4.1.4).
+//!
+//! Methodology, following the paper: take the Tranco-ranked domains,
+//! resolve them to IP addresses (OpenINTEL data), map the addresses to
+//! routed prefixes (BGPKIT via the IP→Prefix refinement links), and
+//! check each prefix's RPKI status (IHR ROV tags). Percentages are over
+//! **distinct prefixes**, as in the original RiPKI study.
+
+use crate::util::{get_int, get_str, get_str_list, pct, run};
+use iyp_graph::Graph;
+use std::collections::{HashMap, HashSet};
+
+/// Query: ranked domains with the prefixes their hostnames resolve into
+/// (the Listing 4 pattern, returning raw rows for aggregation).
+pub const Q_DOMAIN_PREFIXES: &str = "
+    MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK]-(d:DomainName)-[:PART_OF]-(h:HostName)\
+          -[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)
+    RETURN d.name AS domain, min(r.rank) AS rank, collect(DISTINCT pfx.prefix) AS prefixes";
+
+/// Query: the RPKI tag of every tagged prefix (IHR ROV).
+pub const Q_PREFIX_RPKI: &str = "
+    MATCH (pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+    WHERE t.label STARTS WITH 'RPKI'
+    RETURN DISTINCT pfx.prefix AS prefix, t.label AS tag";
+
+/// Query: prefixes originated by ASes carrying a given classification
+/// tag (BGP.Tools), used for the CDN column and the §4.1.4 sweep.
+pub const Q_TAGGED_AS_PREFIXES: &str = "
+    MATCH (t:Tag)-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
+    RETURN t.label AS tag, collect(DISTINCT pfx.prefix) AS prefixes";
+
+/// Table 2 of the paper, computed on the knowledge graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RipkiResults {
+    /// Distinct prefixes serving Tranco domains.
+    pub total_prefixes: usize,
+    /// % of prefixes with an RPKI-invalid announcement.
+    pub invalid_pct: f64,
+    /// Of the invalids, % that are invalid due to max-length.
+    pub invalid_maxlen_share: f64,
+    /// % of prefixes covered by RPKI (valid or invalid).
+    pub covered_pct: f64,
+    /// % covered among prefixes of the top list decile.
+    pub top_pct: f64,
+    /// % covered among prefixes of the bottom list decile.
+    pub bottom_pct: f64,
+    /// % covered among CDN-originated prefixes serving the list.
+    pub cdn_pct: f64,
+}
+
+/// The RPKI status map of all tagged prefixes: prefix → tag label.
+fn rpki_tags(graph: &Graph) -> HashMap<String, String> {
+    let rs = run(graph, Q_PREFIX_RPKI);
+    let mut map = HashMap::new();
+    for row in &rs.rows {
+        if let (Some(p), Some(t)) = (get_str(&row[0]), get_str(&row[1])) {
+            // Prefer the Invalid tag if a prefix somehow carries both.
+            let e = map.entry(p).or_insert_with(String::new);
+            if e.is_empty() || t.starts_with("RPKI Invalid") {
+                *e = t;
+            }
+        }
+    }
+    map
+}
+
+fn covered_pct_of(prefixes: &HashSet<String>, tags: &HashMap<String, String>) -> f64 {
+    let covered = prefixes.iter().filter(|p| tags.contains_key(*p)).count();
+    pct(covered, prefixes.len())
+}
+
+/// Runs the RiPKI reproduction (Table 2).
+pub fn ripki_study(graph: &Graph) -> RipkiResults {
+    let tags = rpki_tags(graph);
+
+    // Domain → (rank, prefixes).
+    let rs = run(graph, Q_DOMAIN_PREFIXES);
+    let mut all: HashSet<String> = HashSet::new();
+    let mut top: HashSet<String> = HashSet::new();
+    let mut bottom: HashSet<String> = HashSet::new();
+    let mut max_rank = 0i64;
+    let mut rows: Vec<(i64, Vec<String>)> = Vec::with_capacity(rs.rows.len());
+    for row in &rs.rows {
+        let rank = get_int(&row[1]).unwrap_or(0);
+        max_rank = max_rank.max(rank);
+        rows.push((rank, get_str_list(&row[2])));
+    }
+    // "Top/Bottom 100k" of a 1M list = the first and last deciles.
+    let top_cut = max_rank / 10;
+    let bottom_cut = max_rank - max_rank / 10;
+    for (rank, prefixes) in rows {
+        for p in prefixes {
+            if rank <= top_cut {
+                top.insert(p.clone());
+            }
+            if rank > bottom_cut {
+                bottom.insert(p.clone());
+            }
+            all.insert(p);
+        }
+    }
+
+    // Invalids within the studied prefixes.
+    let invalid: Vec<&String> = all
+        .iter()
+        .filter(|p| tags.get(*p).is_some_and(|t| t.starts_with("RPKI Invalid")))
+        .collect();
+    let invalid_maxlen = invalid
+        .iter()
+        .filter(|p| tags.get(**p).is_some_and(|t| t.contains("more specific")))
+        .count();
+
+    // CDN prefixes serving the list.
+    let rs = run(graph, Q_TAGGED_AS_PREFIXES);
+    let mut cdn: HashSet<String> = HashSet::new();
+    for row in &rs.rows {
+        if get_str(&row[0]).as_deref() == Some("Content Delivery Network") {
+            for p in get_str_list(&row[1]) {
+                if all.contains(&p) {
+                    cdn.insert(p);
+                }
+            }
+        }
+    }
+
+    RipkiResults {
+        total_prefixes: all.len(),
+        invalid_pct: pct(invalid.len(), all.len()),
+        invalid_maxlen_share: pct(invalid_maxlen, invalid.len()),
+        covered_pct: covered_pct_of(&all, &tags),
+        top_pct: covered_pct_of(&top, &tags),
+        bottom_pct: covered_pct_of(&bottom, &tags),
+        cdn_pct: covered_pct_of(&cdn, &tags),
+    }
+}
+
+/// One row of the §4.1.4 per-tag RPKI deployment table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TagCoverage {
+    /// The AS classification tag (BGP.Tools vocabulary).
+    pub tag: String,
+    /// Distinct prefixes originated by ASes with that tag.
+    pub prefixes: usize,
+    /// % of them covered by RPKI.
+    pub covered_pct: f64,
+}
+
+/// RPKI deployment per AS classification tag (all announced prefixes,
+/// not just those serving Tranco — as in the paper's discussion).
+pub fn rpki_by_tag(graph: &Graph) -> Vec<TagCoverage> {
+    let tags = rpki_tags(graph);
+    let rs = run(graph, Q_TAGGED_AS_PREFIXES);
+    let mut out = Vec::new();
+    for row in &rs.rows {
+        let Some(tag) = get_str(&row[0]) else { continue };
+        if tag.starts_with("RPKI") || tag.contains("Validating") || tag == "Anycast" {
+            continue; // status tags, not classifications
+        }
+        let prefixes: HashSet<String> = get_str_list(&row[1]).into_iter().collect();
+        if prefixes.is_empty() {
+            continue;
+        }
+        out.push(TagCoverage {
+            tag,
+            prefixes: prefixes.len(),
+            covered_pct: covered_pct_of(&prefixes, &tags),
+        });
+    }
+    out.sort_by(|a, b| b.covered_pct.partial_cmp(&a.covered_pct).unwrap());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_pipeline::{build_graph, BuildOptions};
+    use iyp_simnet::{SimConfig, World};
+
+    fn graph() -> Graph {
+        let world = World::generate(&SimConfig::small(), 42);
+        build_graph(&world, &BuildOptions::default()).unwrap().0
+    }
+
+    #[test]
+    fn table2_shape_holds() {
+        let g = graph();
+        let r = ripki_study(&g);
+        assert!(r.total_prefixes > 50, "too few prefixes: {}", r.total_prefixes);
+        // Invalids are rare (paper: 0.12%), coverage is around half
+        // (paper: 52.2%), CDNs above average (paper: 68.4%), and the
+        // bottom decile beats the top (paper: 61.5% vs 55.2%).
+        assert!(r.invalid_pct < 5.0, "invalid {}", r.invalid_pct);
+        assert!(r.covered_pct > 30.0 && r.covered_pct < 75.0, "covered {}", r.covered_pct);
+        assert!(r.cdn_pct > r.covered_pct, "cdn {} vs {}", r.cdn_pct, r.covered_pct);
+        assert!(r.bottom_pct > r.top_pct, "bottom {} top {}", r.bottom_pct, r.top_pct);
+    }
+
+    #[test]
+    fn per_tag_ordering_matches_calibration() {
+        let g = graph();
+        let table = rpki_by_tag(&g);
+        let find = |t: &str| table.iter().find(|x| x.tag == t).map(|x| x.covered_pct);
+        let academic = find("Academic").expect("academic tag present");
+        let ddos = find("DDoS Mitigation").expect("ddos tag present");
+        let gov = find("Government").expect("government tag present");
+        assert!(ddos > academic, "ddos {ddos} academic {academic}");
+        assert!(ddos > gov);
+        assert!(academic < 40.0 && gov < 45.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! SPoF in the DNS chain (§5.2, Figures 5 and 6).
+//!
+//! Extends the DNS robustness methodology beyond direct dependencies:
+//! using the imported DNS dependency graph, every domain's *direct*,
+//! *third-party* (outsourced DNS) and *hierarchical* (TLD) dependency
+//! zones are resolved — zone → nameservers → addresses → BGP prefix →
+//! origin AS → registration country — and domains are counted per
+//! (country, kind) and (AS, kind).
+
+use crate::util::{get_str, get_str_list, run, run_with};
+use iyp_cypher::Params;
+use iyp_graph::{Graph, Value};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Query: every DNS dependency edge (the UTwente dnsgraph import).
+pub const Q_DEPENDENCY_EDGES: &str = "
+    MATCH (d:DomainName)-[dep:DEPENDS_ON]->(z:DomainName)
+    RETURN d.name AS domain, z.name AS zone, dep.kind AS kind";
+
+/// Query: each zone's hosting ASes and their registration countries,
+/// resolved through one precise dataset per hop (§6.1, "precise
+/// queries": BGPKIT for origin, delegated files for country).
+pub const Q_ZONE_HOSTING: &str = "
+    MATCH (z:DomainName)-[:MANAGED_BY]-(:AuthoritativeNameServer)\
+          -[:RESOLVES_TO]-(:IP)-[:PART_OF]-(:Prefix)\
+          -[:ORIGINATE {reference_name:'bgpkit.pfx2as'}]-(a:AS)
+    MATCH (a)-[:COUNTRY {reference_name:'nro.delegated_stats'}]-(c:Country)
+    MATCH (a)-[:NAME {reference_name:'ripe.as_names'}]-(n:Name)
+    RETURN z.name AS zone, collect(DISTINCT c.country_code) AS countries,
+           collect(DISTINCT n.name) AS ases";
+
+/// Query: members of a ranking (used to scope the study to Tranco or
+/// Umbrella).
+pub const Q_RANKED_DOMAINS: &str = "
+    MATCH (r:Ranking {name: $ranking})-[:RANK]-(d:DomainName)
+    RETURN d.name AS domain";
+
+/// Dependency kinds, as in Figures 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpofKind {
+    /// The domain's own delegation.
+    Direct,
+    /// Outsourced DNS operator zones.
+    ThirdParty,
+    /// The TLD registry.
+    Hierarchical,
+}
+
+impl SpofKind {
+    /// Parses the dnsgraph `kind` field.
+    pub fn parse(s: &str) -> Option<SpofKind> {
+        match s {
+            "direct" => Some(SpofKind::Direct),
+            "third-party" => Some(SpofKind::ThirdParty),
+            "hierarchical" => Some(SpofKind::Hierarchical),
+            _ => None,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpofKind::Direct => "direct",
+            SpofKind::ThirdParty => "third-party",
+            SpofKind::Hierarchical => "hierarchical",
+        }
+    }
+}
+
+/// Results of the SPoF analysis for one domain population.
+#[derive(Debug, Clone, Default)]
+pub struct SpofResults {
+    /// (country, kind) → number of dependent domains (Figure 5).
+    pub by_country: BTreeMap<(String, SpofKind), usize>,
+    /// (AS name, kind) → number of dependent domains (Figure 6).
+    pub by_as: BTreeMap<(String, SpofKind), usize>,
+    /// Number of domains analysed.
+    pub domains: usize,
+}
+
+impl SpofResults {
+    /// Top-`n` countries by total dependent domains, with per-kind
+    /// counts (the Figure 5 bars).
+    pub fn top_countries(&self, n: usize) -> Vec<(String, [usize; 3])> {
+        top_of(&self.by_country, n)
+    }
+
+    /// Top-`n` ASes (Figure 6 bars).
+    pub fn top_ases(&self, n: usize) -> Vec<(String, [usize; 3])> {
+        top_of(&self.by_as, n)
+    }
+}
+
+fn top_of(
+    map: &BTreeMap<(String, SpofKind), usize>,
+    n: usize,
+) -> Vec<(String, [usize; 3])> {
+    let mut totals: HashMap<&String, [usize; 3]> = HashMap::new();
+    for ((key, kind), count) in map {
+        let slot = match kind {
+            SpofKind::Direct => 0,
+            SpofKind::ThirdParty => 1,
+            SpofKind::Hierarchical => 2,
+        };
+        totals.entry(key).or_default()[slot] += count;
+    }
+    let mut rows: Vec<(String, [usize; 3])> =
+        totals.into_iter().map(|(k, v)| (k.clone(), v)).collect();
+    rows.sort_by(|a, b| {
+        let ta: usize = a.1.iter().sum();
+        let tb: usize = b.1.iter().sum();
+        tb.cmp(&ta).then(a.0.cmp(&b.0))
+    });
+    rows.truncate(n);
+    rows
+}
+
+/// Runs the SPoF study for the domains of one ranking (`'Tranco top
+/// 1M'` or `'Cisco Umbrella Top 1M'`).
+pub fn spof_study(graph: &Graph, ranking: &str) -> SpofResults {
+    // Population of interest.
+    let mut params = Params::new();
+    params.insert("ranking".into(), Value::Str(ranking.into()));
+    let population: HashSet<String> = run_with(graph, Q_RANKED_DOMAINS, &params)
+        .rows
+        .iter()
+        .filter_map(|row| get_str(&row[0]))
+        .collect();
+
+    // Zone → (countries, AS names).
+    let rs = run(graph, Q_ZONE_HOSTING);
+    let mut zone_hosting: HashMap<String, (Vec<String>, Vec<String>)> = HashMap::new();
+    for row in &rs.rows {
+        if let Some(zone) = get_str(&row[0]) {
+            zone_hosting.insert(zone, (get_str_list(&row[1]), get_str_list(&row[2])));
+        }
+    }
+
+    // Dependency edges joined against the population and hosting map.
+    let rs = run(graph, Q_DEPENDENCY_EDGES);
+    let mut results = SpofResults::default();
+    let mut seen_domains: HashSet<String> = HashSet::new();
+    // A domain counts once per (country/AS, kind) even when several of
+    // its zones resolve there.
+    let mut counted: HashSet<(String, String, SpofKind, bool)> = HashSet::new();
+    for row in &rs.rows {
+        let (Some(domain), Some(zone), Some(kind)) =
+            (get_str(&row[0]), get_str(&row[1]), get_str(&row[2]))
+        else {
+            continue;
+        };
+        if !population.contains(&domain) {
+            continue;
+        }
+        let Some(kind) = SpofKind::parse(&kind) else { continue };
+        let Some((countries, ases)) = zone_hosting.get(&zone) else { continue };
+        seen_domains.insert(domain.clone());
+        for c in countries {
+            if counted.insert((domain.clone(), c.clone(), kind, true)) {
+                *results.by_country.entry((c.clone(), kind)).or_default() += 1;
+            }
+        }
+        for a in ases {
+            if counted.insert((domain.clone(), a.clone(), kind, false)) {
+                *results.by_as.entry((a.clone(), kind)).or_default() += 1;
+            }
+        }
+    }
+    results.domains = seen_domains.len();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_crawlers::{RANKING_TRANCO, RANKING_UMBRELLA};
+    use iyp_pipeline::{build_graph, BuildOptions};
+    use iyp_simnet::{SimConfig, World};
+
+    fn graph() -> Graph {
+        let world = World::generate(&SimConfig::small(), 42);
+        build_graph(&world, &BuildOptions::default()).unwrap().0
+    }
+
+    #[test]
+    fn figure5_shape_us_dominates_third_party() {
+        let g = graph();
+        let r = spof_study(&g, RANKING_TRANCO);
+        assert!(r.domains > 100, "only {} domains analysed", r.domains);
+        let top = r.top_countries(10);
+        assert!(!top.is_empty());
+        // The US must dominate third-party dependencies (the paper's
+        // headline observation for Figure 5).
+        let us = top.iter().find(|(c, _)| c == "US").expect("US present");
+        let third_party_max = top.iter().map(|(_, v)| v[1]).max().unwrap();
+        assert_eq!(us.1[1], third_party_max, "US not the top third-party dependency");
+        // Hierarchical dependencies exist for non-US countries (ccTLDs:
+        // RU, CN, GB...).
+        let non_us_hier: usize = r
+            .by_country
+            .iter()
+            .filter(|((c, k), _)| c != "US" && *k == SpofKind::Hierarchical)
+            .map(|(_, n)| n)
+            .sum();
+        assert!(non_us_hier > 0, "no ccTLD hierarchical dependencies");
+    }
+
+    #[test]
+    fn figure6_shape_provider_roles_differ() {
+        let g = graph();
+        let r = spof_study(&g, RANKING_TRANCO);
+        let top = r.top_ases(15);
+        assert!(top.len() >= 3);
+        // Some AS is mostly direct, and some AS has a meaningful
+        // third-party role (the GoDaddy/Akamai contrast of Figure 6).
+        let has_direct_heavy = top.iter().any(|(_, v)| v[0] > v[1] * 2 && v[0] > 0);
+        let has_third_party = top.iter().any(|(_, v)| v[1] > 0);
+        assert!(has_direct_heavy, "no direct-heavy provider");
+        assert!(has_third_party, "no third-party provider");
+    }
+
+    #[test]
+    fn umbrella_population_also_works() {
+        let g = graph();
+        let tranco = spof_study(&g, RANKING_TRANCO);
+        let umbrella = spof_study(&g, RANKING_UMBRELLA);
+        assert!(umbrella.domains > 0);
+        assert!(umbrella.domains < tranco.domains);
+    }
+
+    #[test]
+    fn kind_parsing() {
+        assert_eq!(SpofKind::parse("direct"), Some(SpofKind::Direct));
+        assert_eq!(SpofKind::parse("third-party"), Some(SpofKind::ThirdParty));
+        assert_eq!(SpofKind::parse("hierarchical"), Some(SpofKind::Hierarchical));
+        assert_eq!(SpofKind::parse("nope"), None);
+        assert_eq!(SpofKind::Direct.label(), "direct");
+    }
+}

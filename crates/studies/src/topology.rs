@@ -1,0 +1,104 @@
+//! Topology analytics: graph-algorithmic centrality cross-checked
+//! against the imported rankings.
+//!
+//! The paper's conclusion lists knowledge-graph analytics (reasoning,
+//! embeddings, recommendations) as the road ahead. This module is a
+//! first concrete instance: compute PageRank centrality on the
+//! `PEERS_WITH` mesh inside the knowledge graph and compare it with
+//! CAIDA's customer-cone-based ASRank — two fully independent views of
+//! AS importance that should, and do, largely agree at the top.
+
+use crate::util::{get_int, run};
+use iyp_graph::{algo, Graph, NodeId};
+use std::collections::HashSet;
+
+/// Query: ASes with their CAIDA rank.
+const Q_ASRANK: &str = "
+    MATCH (a:AS)-[r:RANK]-(:Ranking {name:'CAIDA ASRank'})
+    RETURN a.asn AS asn, r.rank AS rank";
+
+/// Result of the centrality cross-check.
+#[derive(Debug, Clone)]
+pub struct CentralityResults {
+    /// Top ASNs by PageRank on the PEERS_WITH mesh, best first.
+    pub top_pagerank: Vec<(u32, f64)>,
+    /// Top ASNs by CAIDA ASRank (rank 1 first).
+    pub top_asrank: Vec<u32>,
+    /// Jaccard overlap of the two top-k sets.
+    pub overlap: f64,
+}
+
+/// Runs PageRank over the AS peering mesh and compares the top `k`
+/// against CAIDA ASRank.
+pub fn centrality_study(graph: &Graph, k: usize) -> CentralityResults {
+    // The AS universe and the PEERS_WITH mesh.
+    let ases: Vec<NodeId> = graph.nodes_with_label("AS").collect();
+    let peers = graph.symbols().get_rel_type("PEERS_WITH");
+    let pr = algo::pagerank(graph, &ases, peers, 0.85, 40);
+
+    let asn_of = |n: NodeId| -> Option<u32> {
+        graph.node(n)?.prop("asn")?.as_int().map(|i| i as u32)
+    };
+    let top_pagerank: Vec<(u32, f64)> = pr
+        .into_iter()
+        .filter_map(|(n, s)| asn_of(n).map(|a| (a, s)))
+        .take(k)
+        .collect();
+
+    // CAIDA's view.
+    let rs = run(graph, Q_ASRANK);
+    let mut ranked: Vec<(i64, u32)> = rs
+        .rows
+        .iter()
+        .filter_map(|r| {
+            let asn = get_int(&r[0])? as u32;
+            let rank = get_int(&r[1])?;
+            Some((rank, asn))
+        })
+        .collect();
+    ranked.sort();
+    let top_asrank: Vec<u32> = ranked.into_iter().map(|(_, a)| a).take(k).collect();
+
+    let a: HashSet<u32> = top_pagerank.iter().map(|(x, _)| *x).collect();
+    let b: HashSet<u32> = top_asrank.iter().copied().collect();
+    let inter = a.intersection(&b).count();
+    let union = a.union(&b).count();
+    let overlap = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+
+    CentralityResults { top_pagerank, top_asrank, overlap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iyp_pipeline::{build_graph, BuildOptions};
+    use iyp_simnet::{SimConfig, World};
+
+    #[test]
+    fn pagerank_agrees_with_asrank_at_the_top() {
+        let world = World::generate(&SimConfig::small(), 42);
+        let (graph, _) = build_graph(&world, &BuildOptions::default()).unwrap();
+        let r = centrality_study(&graph, 15);
+        assert_eq!(r.top_pagerank.len(), 15);
+        assert_eq!(r.top_asrank.len(), 15);
+        // Two independent importance measures over the same synthetic
+        // topology must broadly agree at the top.
+        assert!(r.overlap > 0.15, "overlap only {:.2}", r.overlap);
+        // The single most PageRank-central AS should be a big transit
+        // player: it must appear in ASRank's top quartile.
+        let best = r.top_pagerank[0].0;
+        let rank_of_best = {
+            let rs = run(&graph, Q_ASRANK);
+            rs.rows
+                .iter()
+                .find(|row| get_int(&row[0]) == Some(best as i64))
+                .and_then(|row| get_int(&row[1]))
+                .unwrap()
+        };
+        let total = world.ases.len() as i64;
+        assert!(
+            rank_of_best <= total / 4,
+            "pagerank-best AS{best} has ASRank {rank_of_best}/{total}"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Graph analytics on the knowledge graph (the conclusion's
+//! "knowledge-graph applications" direction): PageRank centrality on
+//! the AS peering mesh, cross-checked against CAIDA ASRank.
+//!
+//! ```text
+//! cargo run --release --example centrality
+//! ```
+
+use iyp::studies::centrality_study;
+use iyp::{Iyp, SimConfig};
+
+fn main() {
+    let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
+    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    println!("Building IYP ({scale} scale)...");
+    let iyp = Iyp::build(&config, 42).expect("build");
+
+    let r = centrality_study(iyp.graph(), 15);
+    println!("\n== PageRank on the PEERS_WITH mesh vs CAIDA ASRank ==");
+    println!("{:<6} {:>12} {:>6}   {:<10}", "rank", "pagerank", "ASN", "also in ASRank top-15?");
+    let asrank: std::collections::HashSet<u32> = r.top_asrank.iter().copied().collect();
+    for (i, (asn, score)) in r.top_pagerank.iter().enumerate() {
+        println!(
+            "{:<6} {:>12.6} {:>6}   {}",
+            i + 1,
+            score,
+            asn,
+            if asrank.contains(asn) { "yes" } else { "no" }
+        );
+    }
+    println!("\nJaccard overlap of the two top-15 sets: {:.2}", r.overlap);
+    println!(
+        "Two independent views of AS importance — customer cones (CAIDA)\n\
+         and peering-mesh centrality (computed in the graph) — agree at\n\
+         the top, the consistency check a knowledge graph makes cheap."
+    );
+
+    // Bonus: use the DEPENDS_ON (hegemony) view for the same question.
+    let rs = iyp
+        .query(
+            "MATCH (:AS)-[d:DEPENDS_ON]->(hub:AS)
+             RETURN hub.asn AS asn, count(d) AS dependents
+             ORDER BY dependents DESC LIMIT 5",
+        )
+        .expect("hegemony query");
+    println!("\n== Most depended-on ASes (IHR hegemony view) ==");
+    print!("{}", rs.render(iyp.graph()));
+}

@@ -1,0 +1,55 @@
+//! DNS Robustness reproduction (§4.2) — regenerates Tables 3, 4 and 5.
+//!
+//! ```text
+//! IYP_SCALE=default cargo run --release --example dns_robustness
+//! ```
+
+use iyp::studies::{best_practices, shared_infrastructure};
+use iyp::{Iyp, SimConfig};
+
+fn main() {
+    let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
+    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    println!("Building IYP ({scale} scale)...");
+    let iyp = Iyp::build(&config, 42).expect("build");
+
+    let bp = best_practices(iyp.graph());
+    println!("\n== Table 3: DNS best practices (.com/.net/.org SLDs) ==");
+    println!("                         paper 2009-2018   IYP paper 2024   this graph");
+    println!("Coverage com/net/org          56%               49%          {:5.1}%", bp.coverage_pct);
+    println!("Discarded SLDs                12-15%            10%          {:5.1}%", bp.discarded_pct);
+    println!("Meet NS requirements         ~39%               18%          {:5.1}%", bp.meet_pct);
+    println!("Exceed NS requirements       ~20%               67%          {:5.1}%", bp.exceed_pct);
+    println!("Not meet NS requirements      28%                4%          {:5.1}%", bp.not_meet_pct);
+    println!("In-zone glue                  69-73%            76%          {:5.1}%", bp.in_zone_glue_pct);
+
+    let si = shared_infrastructure(iyp.graph());
+    println!("\n== Table 4: shared infrastructure (.com/.net/.org) ==");
+    println!("                         paper 2018      IYP paper 2024    this graph");
+    println!(
+        "Grouped by NS set       med 163 max 9k    med 9 max 6k     med {} max {}",
+        si.cno_by_ns.median, si.cno_by_ns.max
+    );
+    println!(
+        "Grouped by /24          med 3k  max 71k   med 3.9k max 114k med {} max {}",
+        si.cno_by_slash24.median, si.cno_by_slash24.max
+    );
+
+    println!("\n== Table 5: extended with BGP prefixes and all TLDs ==");
+    println!(
+        "com/net/org by BGP prefix   (paper: med 4.1k max 114k)   med {} max {}",
+        si.cno_by_prefix.median, si.cno_by_prefix.max
+    );
+    println!(
+        "All Tranco by BGP prefix    (paper: med 6k   max 187k)   med {} max {}",
+        si.all_by_prefix.median, si.all_by_prefix.max
+    );
+    println!(
+        "All Tranco by NS set        (paper: med 15   max 25k)    med {} max {}",
+        si.all_by_ns.median, si.all_by_ns.max
+    );
+    println!(
+        "\n(groups: {} NS sets, {} /24 sets, {} prefix sets for com/net/org)",
+        si.cno_by_ns.groups, si.cno_by_slash24.groups, si.cno_by_prefix.groups
+    );
+}

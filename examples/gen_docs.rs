@@ -1,0 +1,26 @@
+//! Generates the `documentation/` pages from the code — the ontology
+//! tables (Tables 6 and 7 of the paper) and the data-source inventory
+//! (Table 8), mirroring the real IYP repository's documentation layout.
+//!
+//! ```text
+//! cargo run --release --example gen_docs
+//! ```
+//!
+//! `tests/docs_in_sync.rs` regenerates these in memory and fails when
+//! the committed pages drift from the code.
+
+use iyp::docs;
+
+fn main() {
+    let dir = std::path::Path::new("documentation");
+    std::fs::create_dir_all(dir).expect("mkdir documentation");
+    for (file, content) in [
+        ("node_types.md", docs::node_types_md()),
+        ("relationship_types.md", docs::relationship_types_md()),
+        ("data-sources.md", docs::data_sources_md()),
+    ] {
+        let path = dir.join(file);
+        std::fs::write(&path, content).expect("write doc");
+        println!("wrote {}", path.display());
+    }
+}

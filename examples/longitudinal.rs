@@ -1,0 +1,54 @@
+//! Longitudinal analysis (§7 of the paper, implemented as a follow-up):
+//! build one IYP instance per snapshot epoch and run the same queries
+//! against every instance.
+//!
+//! ```text
+//! cargo run --release --example longitudinal
+//! ```
+
+use iyp::studies::analyze_series;
+use iyp::{BuildOptions, Iyp, SimConfig, World};
+
+fn main() {
+    let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
+    let base = match scale.as_str() {
+        "tiny" => SimConfig::tiny(),
+        "default" => SimConfig::default(),
+        _ => SimConfig::small(),
+    };
+
+    let epochs = [0u32, 1, 2, 3, 4];
+    println!("building {} snapshot instances ({scale} scale)...", epochs.len());
+    let mut instances = Vec::new();
+    for &e in &epochs {
+        let config = base.clone().at_epoch(e);
+        let world = World::generate(&config, 42);
+        let iyp = Iyp::build_from_world(&world, &BuildOptions::default()).expect("build");
+        instances.push((e, iyp));
+    }
+
+    let graphs: Vec<(u32, &iyp::Graph)> =
+        instances.iter().map(|(e, i)| (*e, i.graph())).collect();
+    let series = analyze_series(&graphs);
+
+    println!("\nepoch  RPKI coverage  domains   churn vs prev");
+    for s in &series.epochs {
+        println!(
+            "{:>5}  {:>11.1}%  {:>7}   {}",
+            s.epoch,
+            s.rpki_covered_pct,
+            s.domains,
+            s.domain_churn_pct
+                .map(|c| format!("{c:.1}%"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!(
+        "\nRPKI trend monotonic: {} (the paper's observed long-term growth)",
+        series.rpki_trend_is_monotonic()
+    );
+    println!(
+        "This is the fetch-and-merge workflow §7 describes for running\n\
+         longitudinal studies over multiple IYP instances."
+    );
+}

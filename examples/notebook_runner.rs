@@ -1,0 +1,39 @@
+//! Runs the shared query notebooks (§6.2 of the paper) against a fresh
+//! IYP build, printing Markdown reports — the "weekly report" workflow:
+//! same queries, refreshed data.
+//!
+//! ```text
+//! cargo run --release --example notebook_runner [notebooks/ripki.cypher ...]
+//! ```
+
+use iyp::notebook::{parse_notebook, run_notebook};
+use iyp::{Iyp, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<std::path::PathBuf> = if args.is_empty() {
+        let mut v: Vec<_> = std::fs::read_dir("notebooks")
+            .expect("notebooks/ directory")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "cypher"))
+            .collect();
+        v.sort();
+        v
+    } else {
+        args.iter().map(Into::into).collect()
+    };
+
+    eprintln!("building IYP (small scale)...");
+    let iyp = Iyp::build(&SimConfig::small(), 42).expect("build");
+
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("read notebook");
+        let nb = parse_notebook(&text);
+        eprintln!("-- running {} ({} cells)", path.display(), nb.cells.len());
+        match run_notebook(&iyp, &nb) {
+            Ok(report) => println!("{report}"),
+            Err(e) => eprintln!("notebook {} failed: {e}", path.display()),
+        }
+    }
+}

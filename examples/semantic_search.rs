@@ -1,0 +1,72 @@
+//! Semantic search (Figure 3 / Listings 1–3 of the paper).
+//!
+//! Demonstrates pattern-based search: no keywords, only ontology terms.
+//!
+//! ```text
+//! cargo run --release --example semantic_search
+//! ```
+
+use iyp::{Iyp, SimConfig};
+
+fn main() {
+    let iyp = Iyp::build(&SimConfig::small(), 42).expect("build");
+
+    // (1) All originating ASes — a pure structural pattern.
+    let q1 = "
+        // Select ASes originating prefixes
+        MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
+        // Return the AS's ASN
+        RETURN DISTINCT x.asn
+        ORDER BY x.asn LIMIT 10";
+    println!("== (1) originating ASes (first 10) ==\n{q1}");
+    let rs = iyp.query(q1).expect("q1");
+    for row in &rs.rows {
+        println!("  AS{}", row[0].render(iyp.graph()));
+    }
+
+    // (2) MOAS prefixes.
+    let q2 = "
+        // Find Prefixes with two originating ASes
+        MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+        // Make sure that the ASNs of the two ASes are different
+        WHERE x.asn <> y.asn
+        RETURN DISTINCT p.prefix";
+    println!("\n== (2) MOAS prefixes ==\n{q2}");
+    let rs = iyp.query(q2).expect("q2");
+    println!("  {} MOAS prefixes (expected: disagreeing datasets create them)", rs.rows.len());
+    for row in rs.rows.iter().take(5) {
+        println!("  {}", row[0].render(iyp.graph()));
+    }
+
+    // (3) A branching pattern anchored at a specific node, Listing 3
+    // style: popular hostnames in RPKI-valid space of one organisation.
+    // Pick an organisation that actually originates RPKI-valid space.
+    let org = iyp
+        .query(
+            "MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)\
+                   -[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
+             MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO]-(:HostName)
+             RETURN org.name LIMIT 1",
+        )
+        .expect("org lookup");
+    let Some(org_name) = org.rows.first().map(|r| r[0].render(iyp.graph())) else {
+        println!("\n== (3) no organisation with RPKI-valid hosted prefixes in this sample ==");
+        return;
+    };
+
+    let q3 = format!(
+        "
+        // Find RPKI valid prefixes managed by {org_name}
+        MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)-[:CATEGORIZED]-(:Tag {{label:'RPKI Valid'}})
+        WHERE org.name = '{org_name}'
+        // Find popular hostnames in these prefixes
+        MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO {{reference_name:'openintel.tranco1m'}}]-(h:HostName)
+        RETURN distinct h.name LIMIT 10"
+    );
+    println!("\n== (3) Listing 3 anchored at '{org_name}' ==\n{q3}");
+    let rs = iyp.query(&q3).expect("q3");
+    for row in &rs.rows {
+        println!("  {}", row[0].render(iyp.graph()));
+    }
+    println!("\n({} hostnames total)", rs.rows.len());
+}

@@ -1,0 +1,123 @@
+//! Sneak peek (Figure 4 of the paper): walk the neighbourhood of one
+//! popular domain across the underlying datasets.
+//!
+//! ```text
+//! cargo run --release --example sneak_peek
+//! ```
+
+use iyp::{Iyp, RtVal, SimConfig};
+
+fn one_string(rs: &iyp::ResultSet) -> Option<String> {
+    rs.rows.first().and_then(|r| r.first()).and_then(|v| match v {
+        RtVal::Scalar(s) => s.as_str().map(String::from),
+        _ => None,
+    })
+}
+
+fn main() {
+    let iyp = Iyp::build(&SimConfig::small(), 42).expect("build");
+
+    // Start from the #1 Tranco domain (the paper starts from
+    // nytimes.com).
+    let domain = one_string(
+        &iyp.query(
+            "MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK {rank: 1}]-(d:DomainName)
+             RETURN d.name",
+        )
+        .expect("rank 1"),
+    )
+    .expect("a rank-1 domain exists");
+    println!("(:DomainName {{name: '{domain}'}})  — rank 1 in Tranco\n");
+
+    // Branch 1: the web branch (PART_OF / RESOLVES_TO / ORIGINATE).
+    let rs = iyp
+        .query(&format!(
+            "MATCH (d:DomainName {{name:'{domain}'}})-[:PART_OF]-(h:HostName)\
+                   -[:RESOLVES_TO]-(i:IP)-[:PART_OF]-(p:Prefix)\
+                   -[:ORIGINATE {{reference_name:'bgpkit.pfx2as'}}]-(a:AS)
+             RETURN DISTINCT h.name, i.ip, p.prefix, a.asn"
+        ))
+        .expect("web branch");
+    println!("-- web branch (hostname → IP → prefix → origin AS) --");
+    for row in &rs.rows {
+        println!(
+            "  {} -RESOLVES_TO-> {} -PART_OF-> {} -ORIGINATE- AS{}",
+            row[0].render(iyp.graph()),
+            row[1].render(iyp.graph()),
+            row[2].render(iyp.graph()),
+            row[3].render(iyp.graph())
+        );
+    }
+
+    // RPKI status of those prefixes.
+    let rs = iyp
+        .query(&format!(
+            "MATCH (d:DomainName {{name:'{domain}'}})-[:PART_OF]-(:HostName)\
+                   -[:RESOLVES_TO]-(:IP)-[:PART_OF]-(p:Prefix)-[:CATEGORIZED]-(t:Tag)
+             RETURN DISTINCT p.prefix, t.label"
+        ))
+        .expect("tags");
+    println!("\n-- prefix tags (IHR / BGP.Tools) --");
+    for row in &rs.rows {
+        println!(
+            "  {} -CATEGORIZED-> (:Tag {{label:'{}'}})",
+            row[0].render(iyp.graph()),
+            row[1].render(iyp.graph())
+        );
+    }
+
+    // Branch 2: the DNS branch (MANAGED_BY).
+    let rs = iyp
+        .query(&format!(
+            "MATCH (d:DomainName {{name:'{domain}'}})-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+             OPTIONAL MATCH (ns)-[:RESOLVES_TO]-(i:IP)
+             RETURN ns.name, collect(DISTINCT i.ip)"
+        ))
+        .expect("dns branch");
+    println!("\n-- DNS branch (authoritative nameservers) --");
+    for row in &rs.rows {
+        println!(
+            "  -MANAGED_BY-> {}  resolves to {}",
+            row[0].render(iyp.graph()),
+            row[1].render(iyp.graph())
+        );
+    }
+
+    // Branch 3: who queries this domain (Cloudflare radar).
+    let rs = iyp
+        .query(&format!(
+            "MATCH (d:DomainName {{name:'{domain}'}})-[q:QUERIED_FROM]-(a:AS)
+             RETURN a.asn, q.value ORDER BY q.value DESC"
+        ))
+        .expect("radar branch");
+    println!("\n-- QUERIED_FROM branch (Cloudflare-radar-style) --");
+    for row in &rs.rows {
+        println!(
+            "  AS{} queries it ({}% of resolver traffic)",
+            row[0].render(iyp.graph()),
+            row[1].render(iyp.graph())
+        );
+    }
+
+    // Branch 4: Atlas measurements targeting its hostnames, if any.
+    let rs = iyp
+        .query(&format!(
+            "MATCH (d:DomainName {{name:'{domain}'}})-[:PART_OF]-(h:HostName)\
+                   -[:TARGET]-(m:AtlasMeasurement)
+             RETURN m.id, h.name"
+        ))
+        .expect("atlas branch");
+    println!("\n-- Atlas branch --");
+    if rs.rows.is_empty() {
+        println!("  (no measurement targets this domain in this sample)");
+    }
+    for row in &rs.rows {
+        println!(
+            "  (:AtlasMeasurement {{id:{}}}) -TARGET-> {}",
+            row[0].render(iyp.graph()),
+            row[1].render(iyp.graph())
+        );
+    }
+
+    println!("\nEvery link above is annotated with its source dataset (reference_name).");
+}

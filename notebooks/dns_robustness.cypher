@@ -1,0 +1,18 @@
+// # DNS Robustness reproduction notebook (§4.2 of the paper)
+// The data-extraction queries behind Tables 3-5 (aggregation happens
+// client-side, as in the authors' Python notebooks).
+
+// Listing 5 extraction: domains, their nameservers, and NS addresses.
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:MANAGED_BY]-(a:AuthoritativeNameServer)
+OPTIONAL MATCH (a)-[:RESOLVES_TO]-(i:IP {af:4})
+RETURN count(DISTINCT d) AS domains, count(DISTINCT a.name) AS nameservers, count(DISTINCT i.ip) AS ns_addresses
+====
+// Listing 6: nameservers with their BGP prefixes (via the refinement
+// IP -> Prefix links).
+MATCH (a:AuthoritativeNameServer)-[:RESOLVES_TO]-(i:IP {af:4})-[:PART_OF]-(pfx:Prefix)
+RETURN count(DISTINCT a.name) AS nameservers, count(DISTINCT pfx.prefix) AS bgp_prefixes
+====
+// Nameserver consolidation preview: the ten busiest nameservers.
+MATCH (d:DomainName)-[:MANAGED_BY]-(a:AuthoritativeNameServer)
+RETURN a.name AS nameserver, count(DISTINCT d) AS zones
+ORDER BY zones DESC LIMIT 10

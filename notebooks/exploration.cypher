@@ -1,0 +1,26 @@
+// # Exploration notebook
+// The paper's Figure 3 semantic searches plus a few cross-dataset
+// explorations that showcase the knowledge graph.
+
+// Listing 1: all ASes originating prefixes.
+MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
+RETURN count(DISTINCT x.asn) AS originating_ases
+====
+// Listing 2: multiple-origin-AS prefixes.
+MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+WHERE x.asn <> y.asn
+RETURN count(DISTINCT p.prefix) AS moas_prefixes
+====
+// Where do the two prefix-to-AS datasets disagree? (§6.1)
+MATCH (a1:AS)-[:ORIGINATE {reference_name:'bgpkit.pfx2as'}]-(p:Prefix)-[:ORIGINATE {reference_name:'ihr.rov'}]-(a2:AS)
+WHERE a1.asn <> a2.asn
+RETURN count(DISTINCT p.prefix) AS disagreements
+====
+// Anycast usage among popular domains.
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PART_OF]-(:HostName)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(:Prefix)-[:CATEGORIZED]-(:Tag {label:'Anycast'})
+RETURN count(DISTINCT d.name) AS anycast_domains
+====
+// IXP membership: the best-connected ASes.
+MATCH (a:AS)-[:MEMBER_OF]-(ix:IXP)
+RETURN a.asn AS asn, count(DISTINCT ix.name) AS ixps
+ORDER BY ixps DESC LIMIT 10

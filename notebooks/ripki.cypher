@@ -1,0 +1,24 @@
+// # RiPKI reproduction notebook (§4.1 of the paper)
+// Queries mirroring the authors' published Jupyter notebook: run them
+// against any IYP instance/snapshot to refresh the Table 2 results.
+// One query per block; blocks are separated by a line of equals signs.
+
+// Domains in the Tranco ranking with the prefixes their hostnames
+// resolve into (the raw rows behind Table 2).
+MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK]-(d:DomainName)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)
+RETURN count(DISTINCT pfx.prefix) AS studied_prefixes
+====
+// Listing 4: RPKI-invalid prefixes serving Tranco domains.
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(:DomainName)-[:PART_OF]-(:HostName)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI Invalid'
+RETURN count(DISTINCT pfx) AS invalid_prefixes
+====
+// RPKI-covered prefixes serving Tranco domains.
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(:DomainName)-[:PART_OF]-(:HostName)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN count(DISTINCT pfx) AS covered_prefixes
+====
+// CDN-originated prefixes and their RPKI coverage (§4.1.3's CDN row).
+MATCH (:Tag {label:'Content Delivery Network'})-[:CATEGORIZED]-(:AS)-[:ORIGINATE]-(pfx:Prefix)
+OPTIONAL MATCH (pfx)-[:CATEGORIZED]-(t:Tag {label:'RPKI Valid'})
+RETURN count(DISTINCT pfx.prefix) AS cdn_prefixes, count(DISTINCT t) > 0 AS any_valid

@@ -1,0 +1,13 @@
+//! Internet Yellow Pages (IYP) — a knowledge graph for the Internet.
+//!
+//! A from-scratch Rust reproduction of *"The Wisdom of the Measurement
+//! Crowd: Building the Internet Yellow Pages, a Knowledge Graph for the
+//! Internet"* (IMC 2024): a property-graph store, a Cypher query
+//! engine, the IYP ontology, 46 dataset crawlers, a synthetic-Internet
+//! substrate, and the paper's studies.
+//!
+//! This facade re-exports [`iyp_core`]; see the `examples/` directory
+//! for runnable walk-throughs and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! per-experiment map.
+
+pub use iyp_core::*;

@@ -1,0 +1,269 @@
+//! `iyp` — the Internet Yellow Pages command-line tool.
+//!
+//! Mirrors the workflows of §3.1/§6 of the paper:
+//!
+//! ```text
+//! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE]
+//! iyp query   [--snapshot FILE] '<cypher>'
+//! iyp shell   [--snapshot FILE]
+//! iyp serve   [--snapshot FILE] [--addr HOST:PORT]
+//! iyp studies [--snapshot FILE]
+//! iyp datasets
+//! ```
+//!
+//! Without `--snapshot`, commands build a fresh small-scale graph.
+
+use iyp_core::{studies, DatasetId, Iyp, Params, SimConfig};
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    command: String,
+    scale: String,
+    seed: u64,
+    out: Option<PathBuf>,
+    snapshot: Option<PathBuf>,
+    addr: String,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().unwrap_or_else(|| "help".to_string());
+    let mut args = Args {
+        command,
+        scale: "small".into(),
+        seed: 42,
+        out: None,
+        snapshot: None,
+        addr: "127.0.0.1:7687".into(),
+        rest: Vec::new(),
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--scale" => args.scale = argv.next().ok_or("--scale needs a value")?,
+            "--seed" => {
+                args.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer")?
+            }
+            "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a path")?)),
+            "--snapshot" => {
+                args.snapshot =
+                    Some(PathBuf::from(argv.next().ok_or("--snapshot needs a path")?))
+            }
+            "--addr" => args.addr = argv.next().ok_or("--addr needs a value")?,
+            other => args.rest.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn config_of(scale: &str) -> SimConfig {
+    match scale {
+        "tiny" => SimConfig::tiny(),
+        "default" | "full" => SimConfig::default(),
+        _ => SimConfig::small(),
+    }
+}
+
+fn load_or_build(args: &Args) -> Result<Iyp, String> {
+    match &args.snapshot {
+        Some(path) => {
+            eprintln!("loading snapshot {}...", path.display());
+            Iyp::load_snapshot(path).map_err(|e| e.to_string())
+        }
+        None => {
+            eprintln!("building fresh graph ({} scale, seed {})...", args.scale, args.seed);
+            Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn cmd_build(args: &Args) -> Result<(), String> {
+    let iyp = Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())?;
+    println!("{}", iyp.report());
+    if let Some(out) = &args.out {
+        iyp.save_snapshot(out).map_err(|e| e.to_string())?;
+        println!("snapshot written to {}", out.display());
+    }
+    Ok(())
+}
+
+fn run_and_print(iyp: &Iyp, text: &str) {
+    match iyp.query_with(text, &Params::new()) {
+        Ok(rs) => {
+            print!("{}", rs.render(iyp.graph()));
+            println!("({} rows)", rs.rows.len());
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let text = args.rest.join(" ");
+    if text.trim().is_empty() {
+        return Err("query text required".into());
+    }
+    let iyp = load_or_build(args)?;
+    run_and_print(&iyp, &text);
+    Ok(())
+}
+
+fn cmd_shell(args: &Args) -> Result<(), String> {
+    let mut iyp = load_or_build(args)?;
+    eprintln!(
+        "IYP shell — end queries with ';', type 'quit;' to exit.\n\
+         Write clauses (CREATE/MERGE/SET/DELETE) modify this local instance."
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("iyp> ");
+        } else {
+            eprint!("...> ");
+        }
+        std::io::stderr().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        buffer.push_str(&line);
+        if !buffer.trim_end().ends_with(';') {
+            continue;
+        }
+        let text = buffer.trim().trim_end_matches(';').trim().to_string();
+        buffer.clear();
+        if text.eq_ignore_ascii_case("quit") || text.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        if text.is_empty() {
+            continue;
+        }
+        match iyp.update(&text) {
+            Ok((rs, summary)) => {
+                if !rs.columns.is_empty() {
+                    print!("{}", rs.render(iyp.graph()));
+                    println!("({} rows)", rs.rows.len());
+                }
+                if summary != Default::default() {
+                    println!(
+                        "+{} nodes, +{} rels, {} props set, -{} nodes, -{} rels",
+                        summary.nodes_created,
+                        summary.rels_created,
+                        summary.props_set,
+                        summary.nodes_deleted,
+                        summary.rels_deleted
+                    );
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let iyp = load_or_build(args)?;
+    let graph = Arc::new(iyp.into_graph());
+    let server = iyp_server::Server::start(graph, &args.addr).map_err(|e| e.to_string())?;
+    println!("serving read-only IYP on {} — protocol: one JSON request per line", server.addr());
+    println!("example: {{\"query\": \"MATCH (a:AS) RETURN count(a)\"}}");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_studies(args: &Args) -> Result<(), String> {
+    let iyp = load_or_build(args)?;
+    let g = iyp.graph();
+    let r = studies::ripki_study(g);
+    println!("== Table 2 (RiPKI) ==");
+    println!(
+        "invalid {:.2}%  covered {:.1}%  top {:.1}%  bottom {:.1}%  cdn {:.1}%",
+        r.invalid_pct, r.covered_pct, r.top_pct, r.bottom_pct, r.cdn_pct
+    );
+    let bp = studies::best_practices(g);
+    println!("\n== Table 3 (DNS best practices) ==");
+    println!(
+        "coverage {:.1}%  discarded {:.1}%  meet {:.1}%  exceed {:.1}%  not-meet {:.1}%  glue {:.1}%",
+        bp.coverage_pct, bp.discarded_pct, bp.meet_pct, bp.exceed_pct, bp.not_meet_pct,
+        bp.in_zone_glue_pct
+    );
+    let si = studies::shared_infrastructure(g);
+    println!("\n== Tables 4 & 5 (shared infrastructure) ==");
+    println!("cno by NS      med {} max {}", si.cno_by_ns.median, si.cno_by_ns.max);
+    println!("cno by /24     med {} max {}", si.cno_by_slash24.median, si.cno_by_slash24.max);
+    println!("cno by prefix  med {} max {}", si.cno_by_prefix.median, si.cno_by_prefix.max);
+    println!("all by prefix  med {} max {}", si.all_by_prefix.median, si.all_by_prefix.max);
+    println!("all by NS      med {} max {}", si.all_by_ns.median, si.all_by_ns.max);
+    let ns = studies::nameserver_rpki(g);
+    let hc = studies::hosting_consolidation(g);
+    println!("\n== §5.1 (insights) ==");
+    println!(
+        "NS prefixes covered {:.1}%  NS domains covered {:.1}%  hosting domains covered {:.1}%",
+        ns.prefix_covered_pct, ns.domain_covered_pct, hc.domain_covered_pct
+    );
+    Ok(())
+}
+
+fn cmd_datasets() {
+    println!("{:<26} {:<36} {:<9}", "Organization", "Dataset", "Frequency");
+    for d in iyp_core::simnet::datasets::ALL_DATASETS {
+        println!("{:<26} {:<36} {:<9}", d.organization(), d.name(), d.frequency());
+    }
+    let _ = DatasetId::TrancoList; // referenced for doc purposes
+}
+
+fn help() {
+    eprintln!(
+        "iyp — Internet Yellow Pages
+usage:
+  iyp build   [--scale tiny|small|default] [--seed N] [--out FILE]
+  iyp query   [--snapshot FILE] '<cypher>'
+  iyp shell   [--snapshot FILE]
+  iyp serve   [--snapshot FILE] [--addr HOST:PORT]
+  iyp studies [--snapshot FILE]
+  iyp datasets"
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "build" => cmd_build(&args),
+        "query" => cmd_query(&args),
+        "shell" => cmd_shell(&args),
+        "serve" => cmd_serve(&args),
+        "studies" => cmd_studies(&args),
+        "datasets" => {
+            cmd_datasets();
+            Ok(())
+        }
+        _ => {
+            help();
+            Ok(())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Guards against drift between the code and the committed
+//! documentation pages (regenerate with `cargo run --example gen_docs`).
+
+fn check(file: &str, expected: String) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("documentation")
+        .join(file);
+    let on_disk = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing {}: {e} — run `cargo run --example gen_docs`", path.display()));
+    assert_eq!(
+        on_disk, expected,
+        "{file} is stale — run `cargo run --example gen_docs`"
+    );
+}
+
+#[test]
+fn node_types_page_in_sync() {
+    check("node_types.md", iyp::docs::node_types_md());
+}
+
+#[test]
+fn relationship_types_page_in_sync() {
+    check("relationship_types.md", iyp::docs::relationship_types_md());
+}
+
+#[test]
+fn data_sources_page_in_sync() {
+    check("data-sources.md", iyp::docs::data_sources_md());
+}

@@ -1,0 +1,26 @@
+//! Every shipped notebook parses and runs cleanly (§6.2: shared
+//! queries must keep working on fresh snapshots).
+
+use iyp::notebook::{parse_notebook, run_notebook};
+use iyp::{Iyp, SimConfig};
+
+#[test]
+fn all_notebooks_run() {
+    let iyp = Iyp::build(&SimConfig::tiny(), 42).expect("build");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("notebooks");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).expect("notebooks dir") {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|x| x != "cypher") {
+            continue;
+        }
+        found += 1;
+        let nb = parse_notebook(&std::fs::read_to_string(&path).unwrap());
+        assert!(!nb.title.is_empty(), "{} has no title", path.display());
+        assert!(!nb.cells.is_empty(), "{} has no cells", path.display());
+        let report = run_notebook(&iyp, &nb)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", path.display()));
+        assert!(report.contains("```cypher"));
+    }
+    assert!(found >= 3, "expected at least 3 notebooks, found {found}");
+}

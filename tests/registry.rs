@@ -1,0 +1,79 @@
+//! Integration tests for the dataset registry (Tables 1 and 8).
+
+use iyp::simnet::datasets::ALL_DATASETS;
+use iyp::{DatasetId, SimConfig, World};
+use std::collections::BTreeMap;
+
+#[test]
+fn table8_has_46_datasets() {
+    assert_eq!(ALL_DATASETS.len(), 46);
+}
+
+#[test]
+fn table8_organizations_and_counts() {
+    // Table 8 row counts per organization.
+    let mut per_org: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in ALL_DATASETS {
+        *per_org.entry(d.organization()).or_default() += 1;
+    }
+    assert_eq!(per_org["Alice-LG"], 7);
+    assert_eq!(per_org["BGPKIT"], 3);
+    assert_eq!(per_org["BGP.Tools"], 3);
+    assert_eq!(per_org["CAIDA"], 2);
+    assert_eq!(per_org["Cloudflare"], 4);
+    assert_eq!(per_org["IHR"], 3);
+    assert_eq!(per_org["OpenINTEL"], 4);
+    assert_eq!(per_org["PeeringDB"], 5);
+    assert_eq!(per_org["RIPE NCC"], 3);
+    for org in [
+        "APNIC",
+        "Cisco",
+        "Citizen Lab",
+        "Emile Aben",
+        "Internet Intelligence Lab",
+        "NRO",
+        "Packet Clearing House",
+        "SimulaMet",
+        "Stanford",
+        "Tranco",
+        "Virginia Tech",
+        "World Bank",
+    ] {
+        assert_eq!(per_org[org], 1, "{org}");
+    }
+}
+
+#[test]
+fn table1_example_rows_are_present() {
+    // The example rows of Table 1 all exist with the right frequency.
+    let find = |name: &str| -> DatasetId {
+        *ALL_DATASETS
+            .iter()
+            .find(|d| d.name() == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    assert_eq!(find("bgpkit.pfx2as").frequency(), "Daily");
+    assert_eq!(find("caida.asrank").frequency(), "Monthly");
+    assert_eq!(find("stanford.asdb").frequency(), "6-month");
+    assert_eq!(find("peeringdb.ix").frequency(), "API");
+    assert_eq!(find("ihr.hegemony").organization(), "IHR");
+    assert_eq!(find("openintel.tranco1m").organization(), "OpenINTEL");
+}
+
+#[test]
+fn every_dataset_renders_nonempty_text() {
+    let w = World::generate(&SimConfig::tiny(), 7);
+    for d in ALL_DATASETS {
+        let text = w.render_dataset(d);
+        assert!(!text.trim().is_empty(), "{} rendered empty", d.name());
+    }
+}
+
+#[test]
+fn rendered_datasets_are_deterministic() {
+    let a = World::generate(&SimConfig::tiny(), 7);
+    let b = World::generate(&SimConfig::tiny(), 7);
+    for d in ALL_DATASETS {
+        assert_eq!(a.render_dataset(d), b.render_dataset(d), "{} differs", d.name());
+    }
+}
