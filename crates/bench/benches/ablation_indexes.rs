@@ -27,17 +27,14 @@ fn bench(c: &mut Criterion) {
     });
 
     // Tier 2: label scan with a WHERE filter (no index use).
-    let q_label = format!(
-        "MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)"
-    );
+    let q_label =
+        format!("MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)");
     g.bench_function("label_scan_anchor", |b| {
         b.iter(|| black_box(iyp.query(&q_label).unwrap().single_int()))
     });
 
     // Tier 3: full node scan (no label at all).
-    let q_scan = format!(
-        "MATCH (a)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)"
-    );
+    let q_scan = format!("MATCH (a)-[:ORIGINATE]-(p:Prefix) WHERE a.asn = {asn} RETURN count(p)");
     g.bench_function("full_scan_anchor", |b| {
         b.iter(|| black_box(iyp.query(&q_scan).unwrap().single_int()))
     });

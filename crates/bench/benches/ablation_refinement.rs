@@ -37,9 +37,7 @@ fn bench(c: &mut Criterion) {
     // Without refinement: fetch IPs and prefixes, LPM client-side.
     g.bench_function("client_side_lpm", |b| {
         b.iter(|| {
-            let prefixes = unrefined
-                .query("MATCH (p:Prefix) RETURN p.prefix")
-                .unwrap();
+            let prefixes = unrefined.query("MATCH (p:Prefix) RETURN p.prefix").unwrap();
             let mut trie: PrefixTrie<()> = PrefixTrie::new();
             for row in &prefixes.rows {
                 if let Some(p) = row[0].as_scalar().and_then(|v| v.as_str()) {

@@ -12,7 +12,10 @@ fn bench(c: &mut Criterion) {
 
     let r = spof_study(iyp.graph(), RANKING_TRANCO);
     let top = r.top_countries(5);
-    println!("[fig5] top countries (direct/third-party/hierarchical) over {} domains:", r.domains);
+    println!(
+        "[fig5] top countries (direct/third-party/hierarchical) over {} domains:",
+        r.domains
+    );
     for (cc, [d, t, h]) in &top {
         println!("[fig5]   {cc}: {d}/{t}/{h}");
     }

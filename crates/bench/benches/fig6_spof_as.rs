@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     let iyp = build_iyp();
 
     let r = spof_study(iyp.graph(), RANKING_TRANCO);
-    println!("[fig6] top ASes (direct/third-party/hierarchical) over {} domains:", r.domains);
+    println!(
+        "[fig6] top ASes (direct/third-party/hierarchical) over {} domains:",
+        r.domains
+    );
     for (name, [d, t, h]) in r.top_ases(5) {
         println!("[fig6]   {name}: {d}/{t}/{h}");
     }

@@ -22,7 +22,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("sec51_insights");
     g.sample_size(10);
-    g.bench_function("nameserver_rpki", |b| b.iter(|| black_box(nameserver_rpki(iyp.graph()))));
+    g.bench_function("nameserver_rpki", |b| {
+        b.iter(|| black_box(nameserver_rpki(iyp.graph())))
+    });
     g.bench_function("hosting_consolidation", |b| {
         b.iter(|| black_box(hosting_consolidation(iyp.graph())))
     });

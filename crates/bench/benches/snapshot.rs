@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("snapshot");
     g.sample_size(10);
-    g.bench_function("save_binary", |b| b.iter(|| black_box(snapshot::to_binary(iyp.graph()))));
+    g.bench_function("save_binary", |b| {
+        b.iter(|| black_box(snapshot::to_binary(iyp.graph())))
+    });
     g.bench_function("load_binary", |b| {
         b.iter(|| black_box(snapshot::from_binary(&bin).unwrap().node_count()))
     });

@@ -21,8 +21,12 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table2_ripki");
     g.sample_size(10);
-    g.bench_function("ripki_study", |b| b.iter(|| black_box(ripki_study(iyp.graph()))));
-    g.bench_function("rpki_by_tag_sweep", |b| b.iter(|| black_box(rpki_by_tag(iyp.graph()))));
+    g.bench_function("ripki_study", |b| {
+        b.iter(|| black_box(ripki_study(iyp.graph())))
+    });
+    g.bench_function("rpki_by_tag_sweep", |b| {
+        b.iter(|| black_box(rpki_by_tag(iyp.graph())))
+    });
     g.finish();
 }
 

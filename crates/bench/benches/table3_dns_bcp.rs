@@ -12,13 +12,19 @@ fn bench(c: &mut Criterion) {
     println!(
         "[table3] coverage {:.1}% discarded {:.1}% meet {:.1}% exceed {:.1}% \
          not-meet {:.1}% glue {:.1}% (paper 2024: 49 / 10 / 18 / 67 / 4 / 76)",
-        r.coverage_pct, r.discarded_pct, r.meet_pct, r.exceed_pct, r.not_meet_pct,
+        r.coverage_pct,
+        r.discarded_pct,
+        r.meet_pct,
+        r.exceed_pct,
+        r.not_meet_pct,
         r.in_zone_glue_pct
     );
 
     let mut g = c.benchmark_group("table3_dns_bcp");
     g.sample_size(10);
-    g.bench_function("best_practices", |b| b.iter(|| black_box(best_practices(iyp.graph()))));
+    g.bench_function("best_practices", |b| {
+        b.iter(|| black_box(best_practices(iyp.graph())))
+    });
     g.finish();
 }
 

@@ -1,0 +1,45 @@
+//! Telemetry overhead: Listing-1 query latency with the recorder
+//! disabled (the default — every instrument must be a no-op) versus
+//! enabled (counters + latency histograms recording).
+//!
+//! The disabled case is the guard: it must match the pre-telemetry
+//! baseline, i.e. instrumentation is free when nobody is looking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use std::hint::black_box;
+
+const LISTING_1: &str = "MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn";
+
+fn bench(c: &mut Criterion) {
+    let iyp = build_iyp();
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(20);
+
+    iyp_telemetry::disable();
+    g.bench_function("listing1_recorder_disabled", |b| {
+        b.iter(|| black_box(iyp.query(LISTING_1).unwrap().rows.len()))
+    });
+
+    iyp_telemetry::enable();
+    g.bench_function("listing1_recorder_enabled", |b| {
+        b.iter(|| black_box(iyp.query(LISTING_1).unwrap().rows.len()))
+    });
+    iyp_telemetry::disable();
+
+    // The enabled run really recorded: one counter tick per iteration.
+    let queries = iyp_telemetry::snapshot()
+        .into_iter()
+        .find(|(n, _)| n == iyp_telemetry::names::CYPHER_QUERIES_TOTAL)
+        .expect("query counter registered");
+    match queries.1 {
+        iyp_telemetry::MetricValue::Counter(n) => assert!(n > 0),
+        other => panic!("unexpected metric type: {other:?}"),
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -68,6 +68,9 @@ impl Iyp {
                 refinement: Vec::new(),
                 stats,
                 violations: 0,
+                dataset_timings: Vec::new(),
+                refinement_timings: Vec::new(),
+                total_time: std::time::Duration::ZERO,
             },
             graph,
         }
@@ -102,6 +105,18 @@ impl Iyp {
     /// Runs a Cypher query with parameters.
     pub fn query_with(&self, text: &str, params: &Params) -> Result<ResultSet, CypherError> {
         iyp_cypher::query(&self.graph, text, params)
+    }
+
+    /// Builds the execution plan for a query without running it
+    /// (`EXPLAIN`).
+    pub fn explain(&self, text: &str) -> Result<cypher::PlanNode, CypherError> {
+        iyp_cypher::explain(&self.graph, text)
+    }
+
+    /// Runs a query and returns its result together with the plan
+    /// annotated with per-operator rows and wall time (`PROFILE`).
+    pub fn profile(&self, text: &str) -> Result<(ResultSet, cypher::PlanNode), CypherError> {
+        iyp_cypher::profile(&self.graph, text, &Params::new())
     }
 
     /// Runs a (possibly writing) Cypher query — `CREATE`, `MERGE`,
@@ -159,7 +174,8 @@ mod tests {
         let g = iyp.graph_mut();
         let tag = g.merge_node("Tag", "label", "My Study", Props::new());
         let some_as = g.nodes_with_label("AS").next().unwrap();
-        g.create_rel(some_as, "CATEGORIZED", tag, Props::new()).unwrap();
+        g.create_rel(some_as, "CATEGORIZED", tag, Props::new())
+            .unwrap();
         let rs = iyp
             .query("MATCH (a:AS)-[:CATEGORIZED]-(:Tag {label:'My Study'}) RETURN count(a)")
             .unwrap();

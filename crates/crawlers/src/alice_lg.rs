@@ -20,7 +20,8 @@ pub fn import(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     {
         let asn = n["asn"]
             .as_u64()
-            .ok_or_else(|| CrawlError::parse("alice-lg", "neighbour asn"))? as u32;
+            .ok_or_else(|| CrawlError::parse("alice-lg", "neighbour asn"))?
+            as u32;
         if n["state"].as_str() != Some("up") {
             continue;
         }
@@ -46,8 +47,7 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::AliceLgAmsIx);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Alice-LG", "alice_lg.ams_ix", 0));
+        let mut imp = Importer::new(&mut g, Reference::new("Alice-LG", "alice_lg.ams_ix", 0));
         import(&mut imp, &text).unwrap();
         let links = imp.link_count();
         assert!(validate_graph(&g).is_empty());

@@ -10,12 +10,16 @@ use iyp_ontology::Relationship;
 pub fn import_population(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     let v: serde_json::Value =
         serde_json::from_str(text).map_err(|e| CrawlError::parse("apnic", e.to_string()))?;
-    let entries =
-        v.as_array().ok_or_else(|| CrawlError::parse("apnic", "expected array"))?;
+    let entries = v
+        .as_array()
+        .ok_or_else(|| CrawlError::parse("apnic", "expected array"))?;
     for e in entries {
-        let asn =
-            e["asn"].as_u64().ok_or_else(|| CrawlError::parse("apnic", "missing asn"))? as u32;
-        let cc = e["cc"].as_str().ok_or_else(|| CrawlError::parse("apnic", "missing cc"))?;
+        let asn = e["asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse("apnic", "missing asn"))? as u32;
+        let cc = e["cc"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse("apnic", "missing cc"))?;
         let a = imp.as_node(asn);
         let c = imp.country_node(cc)?;
         imp.link(
@@ -23,7 +27,10 @@ pub fn import_population(imp: &mut Importer<'_>, text: &str) -> Result<(), Crawl
             Relationship::Population,
             c,
             props([
-                ("percent", Value::Float(e["percent"].as_f64().unwrap_or(0.0))),
+                (
+                    "percent",
+                    Value::Float(e["percent"].as_f64().unwrap_or(0.0)),
+                ),
                 ("users", e["users"].as_i64().into()),
             ]),
         )?;

@@ -26,7 +26,11 @@ pub struct Importer<'g> {
 impl<'g> Importer<'g> {
     /// Starts an import session.
     pub fn new(graph: &'g mut Graph, reference: Reference) -> Self {
-        Importer { graph, reference, links: 0 }
+        Importer {
+            graph,
+            reference,
+            links: 0,
+        }
     }
 
     /// Number of links created so far.
@@ -69,13 +73,15 @@ impl<'g> Importer<'g> {
     /// IP node from any textual form; canonicalises.
     pub fn ip_node(&mut self, s: &str) -> Result<NodeId, CrawlError> {
         let canonical = canon::ip(s).map_err(|e| CrawlError::parse("ip", format!("{e}")))?;
-        Ok(self.graph.merge_node(Entity::Ip.label(), "ip", canonical, Props::new()))
+        Ok(self
+            .graph
+            .merge_node(Entity::Ip.label(), "ip", canonical, Props::new()))
     }
 
     /// Country node; ensures alpha-2/alpha-3/name properties (§2.3).
     pub fn country_node(&mut self, code: &str) -> Result<NodeId, CrawlError> {
-        let alpha2 = canon::country_code(code)
-            .map_err(|e| CrawlError::parse("country", format!("{e}")))?;
+        let alpha2 =
+            canon::country_code(code).map_err(|e| CrawlError::parse("country", format!("{e}")))?;
         let info = country::by_alpha2(&alpha2).expect("canonical code resolves");
         let mut props = Props::new();
         props.insert("alpha3".into(), Value::Str(info.alpha3.into()));
@@ -183,7 +189,8 @@ impl<'g> Importer<'g> {
 
     /// PeeringDB-style external-id node (entity picks the label).
     pub fn external_id_node(&mut self, entity: Entity, id: i64) -> NodeId {
-        self.graph.merge_node(entity.label(), "id", id, Props::new())
+        self.graph
+            .merge_node(entity.label(), "id", id, Props::new())
     }
 
     // ------------------------------------------------------------------
@@ -251,7 +258,12 @@ mod tests {
         let a = imp.as_node(2497);
         let p = imp.prefix_node("10.0.0.0/8").unwrap();
         let r = imp
-            .link(a, Relationship::Originate, p, props([("count", Value::Int(3))]))
+            .link(
+                a,
+                Relationship::Originate,
+                p,
+                props([("count", Value::Int(3))]),
+            )
             .unwrap();
         assert_eq!(imp.link_count(), 1);
         let rel = g.rel(r).unwrap();

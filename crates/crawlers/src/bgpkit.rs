@@ -28,7 +28,12 @@ pub fn import_pfx2as(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
         let count = e["count"].as_i64().unwrap_or(0);
         let a = imp.as_node(asn);
         let p = imp.prefix_node(prefix)?;
-        imp.link(a, Relationship::Originate, p, props([("count", Value::Int(count))]))?;
+        imp.link(
+            a,
+            Relationship::Originate,
+            p,
+            props([("count", Value::Int(count))]),
+        )?;
     }
     Ok(())
 }
@@ -42,12 +47,21 @@ pub fn import_as2rel(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
         .as_array()
         .ok_or_else(|| CrawlError::parse(DS, "as2rel: expected array"))?;
     for e in entries {
-        let a1 = e["asn1"].as_u64().ok_or_else(|| CrawlError::parse(DS, "as2rel: asn1"))? as u32;
-        let a2 = e["asn2"].as_u64().ok_or_else(|| CrawlError::parse(DS, "as2rel: asn2"))? as u32;
+        let a1 = e["asn1"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn1"))? as u32;
+        let a2 = e["asn2"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn2"))? as u32;
         let rel = e["rel"].as_i64().unwrap_or(0);
         let n1 = imp.as_node(a1);
         let n2 = imp.as_node(a2);
-        imp.link(n1, Relationship::PeersWith, n2, props([("rel", Value::Int(rel))]))?;
+        imp.link(
+            n1,
+            Relationship::PeersWith,
+            n2,
+            props([("rel", Value::Int(rel))]),
+        )?;
     }
     Ok(())
 }
@@ -65,8 +79,10 @@ pub fn import_peer_stats(imp: &mut Importer<'_>, text: &str) -> Result<(), Crawl
             .ok_or_else(|| CrawlError::parse(DS, "peer-stats: collector name"))?;
         let col = imp.collector_node(name);
         for p in c["peers"].as_array().unwrap_or(&Vec::new()) {
-            let asn =
-                p["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "peer-stats: asn"))? as u32;
+            let asn = p["asn"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "peer-stats: asn"))?
+                as u32;
             let a = imp.as_node(asn);
             let mut extra = props([]);
             if let Some(ip) = p["ip"].as_str() {
@@ -92,7 +108,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 3);
         let mut g = Graph::new();
         for (id, f) in [
-            (iyp_simnet::DatasetId::BgpkitPfx2as, import_pfx2as as fn(&mut Importer, &str) -> _),
+            (
+                iyp_simnet::DatasetId::BgpkitPfx2as,
+                import_pfx2as as fn(&mut Importer, &str) -> _,
+            ),
             (iyp_simnet::DatasetId::BgpkitAs2rel, import_as2rel),
             (iyp_simnet::DatasetId::BgpkitPeerStats, import_peer_stats),
         ] {
@@ -118,8 +137,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 3);
         let mut g = Graph::new();
         let text = w.render_dataset(iyp_simnet::DatasetId::BgpkitPfx2as);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("BGPKIT", "bgpkit.pfx2as", w.fetch_time));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("BGPKIT", "bgpkit.pfx2as", w.fetch_time),
+        );
         import_pfx2as(&mut imp, &text).unwrap();
         assert_eq!(imp.link_count(), w.prefixes.len());
         assert_eq!(g.label_count("Prefix"), w.prefixes.len());

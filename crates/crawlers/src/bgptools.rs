@@ -67,17 +67,21 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         for (id, f) in [
-            (DatasetId::BgptoolsAsNames, import_as_names as fn(&mut Importer, &str) -> _),
+            (
+                DatasetId::BgptoolsAsNames,
+                import_as_names as fn(&mut Importer, &str) -> _,
+            ),
             (DatasetId::BgptoolsTags, import_tags),
             (DatasetId::BgptoolsAnycast, import_anycast),
         ] {
             let text = w.render_dataset(id);
-            let mut imp =
-                Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
+            let mut imp = Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
             f(&mut imp, &text).unwrap();
         }
         assert!(validate_graph(&g).is_empty());
-        assert!(g.lookup("Tag", "label", "Content Delivery Network").is_some());
+        assert!(g
+            .lookup("Tag", "label", "Content Delivery Network")
+            .is_some());
         assert!(g.lookup("Tag", "label", "Anycast").is_some());
         let anycast_truth = w.prefixes.iter().filter(|p| p.anycast).count();
         let t = g.lookup("Tag", "label", "Anycast").unwrap();

@@ -14,9 +14,12 @@ pub fn import_asrank(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let v: serde_json::Value =
             serde_json::from_str(line).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
-        let asn =
-            v["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "asrank: asn"))? as u32;
-        let rank = v["rank"].as_i64().ok_or_else(|| CrawlError::parse(DS, "asrank: rank"))?;
+        let asn = v["asn"]
+            .as_u64()
+            .ok_or_else(|| CrawlError::parse(DS, "asrank: asn"))? as u32;
+        let rank = v["rank"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "asrank: rank"))?;
         let a = imp.as_node(asn);
         imp.link(
             a,
@@ -46,8 +49,12 @@ pub fn import_ixps(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError>
     for line in text.lines().filter(|l| !l.trim().is_empty()) {
         let v: serde_json::Value =
             serde_json::from_str(line).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
-        let name = v["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "ixs: name"))?;
-        let id = v["ix_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ixs: ix_id"))?;
+        let name = v["name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "ixs: name"))?;
+        let id = v["ix_id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "ixs: ix_id"))?;
         let ix = imp.ixp_node(name);
         let ext = imp.external_id_node(Entity::CaidaIxId, id);
         imp.link(ix, Relationship::ExternalId, ext, props([]))?;

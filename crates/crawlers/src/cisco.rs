@@ -20,7 +20,12 @@ pub fn import_umbrella(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
             .parse()
             .map_err(|_| CrawlError::parse("cisco", format!("line {ln}: bad rank")))?;
         let d = imp.domain_node(domain);
-        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+        imp.link(
+            d,
+            Relationship::Rank,
+            ranking,
+            props([("rank", Value::Int(rank))]),
+        )?;
     }
     Ok(())
 }
@@ -40,7 +45,11 @@ mod tests {
         let mut imp = Importer::new(&mut g, Reference::new("Cisco", "cisco.umbrella_top1m", 0));
         import_umbrella(&mut imp, &text).unwrap();
         assert!(validate_graph(&g).is_empty());
-        let truth = w.domains.iter().filter(|d| d.umbrella_rank.is_some()).count();
+        let truth = w
+            .domains
+            .iter()
+            .filter(|d| d.umbrella_rank.is_some())
+            .count();
         assert_eq!(g.label_count("DomainName"), truth);
     }
 }

@@ -14,7 +14,10 @@ pub fn import_urls(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError>
         }
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() < 3 {
-            return Err(CrawlError::parse("citizenlab", format!("line {ln}: {line:?}")));
+            return Err(CrawlError::parse(
+                "citizenlab",
+                format!("line {ln}: {line:?}"),
+            ));
         }
         let u = imp.url_node(fields[0]);
         let t = imp.tag_node(fields[2]);
@@ -35,8 +38,7 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::CitizenLabUrls);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Citizen Lab", "citizenlab.urldb", 0));
+        let mut imp = Importer::new(&mut g, Reference::new("Citizen Lab", "citizenlab.urldb", 0));
         import_urls(&mut imp, &text).unwrap();
         assert!(validate_graph(&g).is_empty());
         assert!(g.label_count("URL") > 0);

@@ -28,8 +28,16 @@ pub fn import_dns_top_ases(imp: &mut Importer<'_>, text: &str) -> Result<(), Cra
                 .ok_or_else(|| CrawlError::parse(DS, "dns_top_ases: clientASN"))?
                 as u32;
             let a = imp.as_node(asn);
-            let value: f64 = e["value"].as_str().and_then(|s| s.parse().ok()).unwrap_or(0.0);
-            imp.link(d, Relationship::QueriedFrom, a, props([("value", Value::Float(value))]))?;
+            let value: f64 = e["value"]
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0);
+            imp.link(
+                d,
+                Relationship::QueriedFrom,
+                a,
+                props([("value", Value::Float(value))]),
+            )?;
         }
     }
     Ok(())
@@ -51,8 +59,16 @@ pub fn import_dns_top_locations(imp: &mut Importer<'_>, text: &str) -> Result<()
                 .as_str()
                 .ok_or_else(|| CrawlError::parse(DS, "dns_top_locations: country"))?;
             let c = imp.country_node(cc)?;
-            let value: f64 = e["value"].as_str().and_then(|s| s.parse().ok()).unwrap_or(0.0);
-            imp.link(d, Relationship::QueriedFrom, c, props([("value", Value::Float(value))]))?;
+            let value: f64 = e["value"]
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0.0);
+            imp.link(
+                d,
+                Relationship::QueriedFrom,
+                c,
+                props([("value", Value::Float(value))]),
+            )?;
         }
     }
     Ok(())
@@ -66,11 +82,17 @@ pub fn import_ranking_top(imp: &mut Importer<'_>, text: &str) -> Result<(), Craw
         .ok_or_else(|| CrawlError::parse(DS, "ranking_top: missing top_0"))?;
     let ranking = imp.ranking_node(RANKING_CLOUDFLARE_TOP100);
     for e in top {
-        let domain =
-            e["domain"].as_str().ok_or_else(|| CrawlError::parse(DS, "ranking_top: domain"))?;
+        let domain = e["domain"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "ranking_top: domain"))?;
         let rank = e["rank"].as_i64().unwrap_or(0);
         let d = imp.domain_node(domain);
-        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+        imp.link(
+            d,
+            Relationship::Rank,
+            ranking,
+            props([("rank", Value::Int(rank))]),
+        )?;
     }
     Ok(())
 }
@@ -82,8 +104,9 @@ pub fn import_ranking_buckets(imp: &mut Importer<'_>, text: &str) -> Result<(), 
         .as_array()
         .ok_or_else(|| CrawlError::parse(DS, "ranking_bucket: missing datasets"))?;
     for b in datasets {
-        let bucket =
-            b["bucket"].as_str().ok_or_else(|| CrawlError::parse(DS, "ranking_bucket: name"))?;
+        let bucket = b["bucket"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "ranking_bucket: name"))?;
         let ranking = imp.ranking_node(&format!("Cloudflare {bucket}"));
         for d in b["domains"].as_array().unwrap_or(&Vec::new()) {
             let Some(domain) = d.as_str() else { continue };
@@ -105,8 +128,7 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(id);
-        let mut imp =
-            Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
+        let mut imp = Importer::new(&mut g, Reference::new(id.organization(), id.name(), 0));
         f(&mut imp, &text).unwrap();
         assert!(imp.link_count() > 0);
         g
@@ -119,7 +141,10 @@ mod tests {
                 DatasetId::CloudflareDnsTopAses,
                 import_dns_top_ases as fn(&mut Importer, &str) -> _,
             ),
-            (DatasetId::CloudflareDnsTopLocations, import_dns_top_locations),
+            (
+                DatasetId::CloudflareDnsTopLocations,
+                import_dns_top_locations,
+            ),
             (DatasetId::CloudflareRankingTop, import_ranking_top),
             (DatasetId::CloudflareRankingBuckets, import_ranking_buckets),
         ] {

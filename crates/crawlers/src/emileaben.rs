@@ -33,15 +33,16 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::EmileAbenAsNames);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Emile Aben", "emileaben.as_names", 0));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("Emile Aben", "emileaben.as_names", 0),
+        );
         import_as_names(&mut imp, &text).unwrap();
         // Same names from BGP.Tools merge onto the same Name nodes but
         // produce distinct links.
         let names_before = g.label_count("Name");
         let text = w.render_dataset(DatasetId::BgptoolsAsNames);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("BGP.Tools", "bgptools.as_names", 0));
+        let mut imp = Importer::new(&mut g, Reference::new("BGP.Tools", "bgptools.as_names", 0));
         crate::bgptools::import_as_names(&mut imp, &text).unwrap();
         assert!(validate_graph(&g).is_empty());
         assert_eq!(g.label_count("Name"), names_before);

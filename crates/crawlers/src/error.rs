@@ -14,7 +14,10 @@ pub enum CrawlError {
 impl CrawlError {
     /// Builds a parse error.
     pub fn parse(dataset: &'static str, msg: impl Into<String>) -> Self {
-        CrawlError::Parse { dataset, msg: msg.into() }
+        CrawlError::Parse {
+            dataset,
+            msg: msg.into(),
+        }
     }
 }
 

@@ -17,7 +17,10 @@ pub fn import_hegemony(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 5 {
-            return Err(CrawlError::parse(DS, format!("hegemony line {ln}: {line:?}")));
+            return Err(CrawlError::parse(
+                DS,
+                format!("hegemony line {ln}: {line:?}"),
+            ));
         }
         let origin: u32 = f[1]
             .parse()
@@ -33,7 +36,12 @@ pub fn import_hegemony(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
         }
         let a = imp.as_node(origin);
         let b = imp.as_node(dep);
-        imp.link(a, Relationship::DependsOn, b, props([("hege", Value::Float(hege))]))?;
+        imp.link(
+            a,
+            Relationship::DependsOn,
+            b,
+            props([("hege", Value::Float(hege))]),
+        )?;
     }
     Ok(())
 }
@@ -46,14 +54,22 @@ pub fn import_country_dependency(imp: &mut Importer<'_>, text: &str) -> Result<(
         }
         let f: Vec<&str> = line.split(',').collect();
         if f.len() != 3 {
-            return Err(CrawlError::parse(DS, format!("country dep line {ln}: {line:?}")));
+            return Err(CrawlError::parse(
+                DS,
+                format!("country dep line {ln}: {line:?}"),
+            ));
         }
         let c = imp.country_node(f[0])?;
         let a = imp.as_node_str(f[1])?;
         let hege: f64 = f[2]
             .parse()
             .map_err(|_| CrawlError::parse(DS, format!("country dep line {ln}: bad hege")))?;
-        imp.link(c, Relationship::DependsOn, a, props([("hege", Value::Float(hege))]))?;
+        imp.link(
+            c,
+            Relationship::DependsOn,
+            a,
+            props([("hege", Value::Float(hege))]),
+        )?;
     }
     Ok(())
 }
@@ -104,8 +120,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(id);
-        let mut imp =
-            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new(id.organization(), id.name(), w.fetch_time),
+        );
         f(&mut imp, &text).unwrap();
         assert!(imp.link_count() > 0);
         g
@@ -140,7 +158,10 @@ mod tests {
     #[test]
     fn tag_mapping() {
         assert_eq!(rov_tag("Valid"), Some("RPKI Valid"));
-        assert_eq!(rov_tag("Invalid,more-specific"), Some("RPKI Invalid, more specific"));
+        assert_eq!(
+            rov_tag("Invalid,more-specific"),
+            Some("RPKI Invalid, more specific")
+        );
         assert_eq!(rov_tag("NotFound"), None);
         assert_eq!(rov_tag("???"), None);
     }

@@ -54,16 +54,20 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::InetIntelAsOrg);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Internet Intelligence Lab", "ii.as_org", 0));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("Internet Intelligence Lab", "ii.as_org", 0),
+        );
         import_as_org(&mut imp, &text).unwrap();
         assert!(validate_graph(&g).is_empty());
         assert_eq!(g.label_count("AS"), w.ases.len());
         assert_eq!(g.label_count("Organization"), w.orgs.len());
         // Sibling links exist iff some org owns several ASes.
-        let multi = w.ases.iter().filter(|a| {
-            w.ases.iter().filter(|b| b.org == a.org).count() > 1
-        }).count();
+        let multi = w
+            .ases
+            .iter()
+            .filter(|a| w.ases.iter().filter(|b| b.org == a.org).count() > 1)
+            .count();
         let siblings = g
             .all_rels()
             .filter(|r| g.symbols().rel_type_name(r.rel_type) == "SIBLING_OF")

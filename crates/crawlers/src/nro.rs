@@ -31,36 +31,37 @@ pub fn import_delegated(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlE
             (f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]);
         let resource: NodeId = match rtype {
             "asn" => {
-                let asn: u32 = start.parse().map_err(|_| {
-                    CrawlError::parse(DS, format!("line {ln}: bad asn {start:?}"))
-                })?;
+                let asn: u32 = start
+                    .parse()
+                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad asn {start:?}")))?;
                 imp.as_node(asn)
             }
             "ipv4" => {
-                let count: u64 = value.parse().map_err(|_| {
-                    CrawlError::parse(DS, format!("line {ln}: bad ipv4 count"))
-                })?;
+                let count: u64 = value
+                    .parse()
+                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv4 count")))?;
                 let len = 32 - (count as f64).log2() as u8;
-                let addr = IpAddr::from_str(start).map_err(|_| {
-                    CrawlError::parse(DS, format!("line {ln}: bad ipv4 start"))
-                })?;
+                let addr = IpAddr::from_str(start)
+                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv4 start")))?;
                 let p = Prefix::new(addr, len)
                     .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
                 imp.prefix_node(&p.canonical())?
             }
             "ipv6" => {
-                let len: u8 = value.parse().map_err(|_| {
-                    CrawlError::parse(DS, format!("line {ln}: bad ipv6 length"))
-                })?;
-                let addr = IpAddr::from_str(start).map_err(|_| {
-                    CrawlError::parse(DS, format!("line {ln}: bad ipv6 start"))
-                })?;
+                let len: u8 = value
+                    .parse()
+                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv6 length")))?;
+                let addr = IpAddr::from_str(start)
+                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv6 start")))?;
                 let p = Prefix::new(addr, len)
                     .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
                 imp.prefix_node(&p.canonical())?
             }
             other => {
-                return Err(CrawlError::parse(DS, format!("line {ln}: unknown type {other:?}")))
+                return Err(CrawlError::parse(
+                    DS,
+                    format!("line {ln}: unknown type {other:?}"),
+                ))
             }
         };
         let rel = match status {
@@ -68,7 +69,10 @@ pub fn import_delegated(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlE
             "available" => Relationship::Available,
             "reserved" => Relationship::Reserved,
             other => {
-                return Err(CrawlError::parse(DS, format!("line {ln}: status {other:?}")))
+                return Err(CrawlError::parse(
+                    DS,
+                    format!("line {ln}: status {other:?}"),
+                ))
             }
         };
         let holder = imp.opaque_id_node(opaque);
@@ -136,10 +140,8 @@ apnic|JP|ipv6|2001:db8::|32|20050101|reserved|opaque-0003
             "arin|US|asn|notanumber|1|20050101|assigned|op-1\n"
         )
         .is_err());
-        assert!(import_delegated(
-            &mut imp,
-            "arin|US|phone|64496|1|20050101|assigned|op-1\n"
-        )
-        .is_err());
+        assert!(
+            import_delegated(&mut imp, "arin|US|phone|64496|1|20050101|assigned|op-1\n").is_err()
+        );
     }
 }

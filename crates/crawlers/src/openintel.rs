@@ -104,7 +104,12 @@ pub fn import_dnsgraph(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
             .ok_or_else(|| CrawlError::parse(DS, "dnsgraph: missing kind"))?;
         let d = imp.domain_node(domain);
         let z = imp.domain_node(dep);
-        imp.link(d, Relationship::DependsOn, z, props([("kind", Value::Str(kind.into()))]))?;
+        imp.link(
+            d,
+            Relationship::DependsOn,
+            z,
+            props([("kind", Value::Str(kind.into()))]),
+        )?;
     }
     Ok(())
 }
@@ -120,8 +125,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(id);
-        let mut imp =
-            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new(id.organization(), id.name(), w.fetch_time),
+        );
         f(&mut imp, &text).unwrap();
         assert!(imp.link_count() > 0);
         g
@@ -129,7 +136,10 @@ mod tests {
 
     #[test]
     fn registered_domain_extraction() {
-        assert_eq!(registered_domain("www.example.com"), Some("example.com".into()));
+        assert_eq!(
+            registered_domain("www.example.com"),
+            Some("example.com".into())
+        );
         assert_eq!(registered_domain("example.com"), Some("example.com".into()));
         assert_eq!(registered_domain("com"), None);
         assert_eq!(registered_domain("a.b.c.d.org"), Some("d.org".into()));
@@ -141,11 +151,15 @@ mod tests {
         assert!(validate_graph(&g).is_empty());
         let w = World::generate(&SimConfig::tiny(), 5);
         // Apex and www hostnames both exist.
-        assert!(g.lookup("HostName", "name", w.domains[0].name.as_str()).is_some());
+        assert!(g
+            .lookup("HostName", "name", w.domains[0].name.as_str())
+            .is_some());
         assert!(g
             .lookup("HostName", "name", format!("www.{}", w.domains[0].name))
             .is_some());
-        assert!(g.lookup("DomainName", "name", w.domains[0].name.as_str()).is_some());
+        assert!(g
+            .lookup("DomainName", "name", w.domains[0].name.as_str())
+            .is_some());
         assert!(g.label_count("IP") > 0);
     }
 
@@ -176,7 +190,11 @@ mod tests {
         let mut g = Graph::new();
         let mut imp = Importer::new(&mut g, Reference::new("OpenINTEL", "x", 0));
         assert!(import_resolutions(&mut imp, "{not json").is_err());
-        assert!(import_ns(&mut imp, "{\"query_name\":\"a.com.\",\"response_type\":\"TXT\"}").is_err());
+        assert!(import_ns(
+            &mut imp,
+            "{\"query_name\":\"a.com.\",\"response_type\":\"TXT\"}"
+        )
+        .is_err());
         assert!(import_dnsgraph(&mut imp, "{\"domain\":\"a.com\"}").is_err());
     }
 }

@@ -39,8 +39,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::PchRoutingSnapshot);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Packet Clearing House", "pch.snapshots", 0));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("Packet Clearing House", "pch.snapshots", 0),
+        );
         import_routing(&mut imp, &text).unwrap();
         assert!(validate_graph(&g).is_empty());
         let n = g.label_count("Prefix");
@@ -54,7 +56,10 @@ mod tests {
         import_routing(&mut imp, "192.0.2.0/24;3301 3307 64496\n").unwrap();
         let a = g.lookup("AS", "asn", 64496i64).unwrap();
         let p = g.lookup("Prefix", "prefix", "192.0.2.0/24").unwrap();
-        let rel = g.rels_of(a, iyp_graph::Direction::Outgoing, None).next().unwrap();
+        let rel = g
+            .rels_of(a, iyp_graph::Direction::Outgoing, None)
+            .next()
+            .unwrap();
         assert_eq!(rel.dst, p);
     }
 }

@@ -19,8 +19,12 @@ fn data(text: &str) -> Result<Vec<serde_json::Value>, CrawlError> {
 /// `org`: Organization nodes with PeeringDB ids and countries.
 pub fn import_org(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     for e in data(text)? {
-        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "org: name"))?;
-        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "org: id"))?;
+        let name = e["name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "org: name"))?;
+        let id = e["id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "org: id"))?;
         let org = imp.org_node(name);
         let ext = imp.external_id_node(Entity::PeeringdbOrgId, id);
         imp.link(org, Relationship::ExternalId, ext, props([]))?;
@@ -36,8 +40,12 @@ pub fn import_org(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> 
 /// `ix`: IXP nodes with PeeringDB ids and countries.
 pub fn import_ix(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     for e in data(text)? {
-        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "ix: name"))?;
-        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ix: id"))?;
+        let name = e["name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "ix: name"))?;
+        let id = e["id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "ix: id"))?;
         let ix = imp.ixp_node(name);
         let ext = imp.external_id_node(Entity::PeeringdbIxId, id);
         imp.link(ix, Relationship::ExternalId, ext, props([]))?;
@@ -57,7 +65,9 @@ pub fn import_ix(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
 /// imported first for names to align; we merge on the external id.
 pub fn import_ixlan(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     for e in data(text)? {
-        let ix_id = e["ix_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "ixlan: ix_id"))?;
+        let ix_id = e["ix_id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "ixlan: ix_id"))?;
         // Find the IXP already holding this external id; fall back to a
         // synthetic name for standalone imports.
         let ext = imp.external_id_node(Entity::PeeringdbIxId, ix_id);
@@ -69,9 +79,9 @@ pub fn import_ixlan(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
                 imp.graph()
                     .node(*n)
                     .map(|node| {
-                        node.labels.iter().any(|l| {
-                            imp.graph().symbols().label_name(*l) == Entity::Ixp.label()
-                        })
+                        node.labels
+                            .iter()
+                            .any(|l| imp.graph().symbols().label_name(*l) == Entity::Ixp.label())
                     })
                     .unwrap_or(false)
             });
@@ -88,8 +98,9 @@ pub fn import_ixlan(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
             imp.link(p, Relationship::ManagedBy, ix, props([]))?;
         }
         for m in e["net_list"].as_array().unwrap_or(&Vec::new()) {
-            let asn =
-                m["asn"].as_u64().ok_or_else(|| CrawlError::parse(DS, "ixlan: asn"))? as u32;
+            let asn = m["asn"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "ixlan: asn"))? as u32;
             let a = imp.as_node(asn);
             let mut extra = props([]);
             if let Some(ip) = m["ipaddr4"].as_str() {
@@ -110,8 +121,12 @@ pub fn import_ixlan(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
 /// `fac`: Facility nodes with ids and countries.
 pub fn import_fac(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     for e in data(text)? {
-        let name = e["name"].as_str().ok_or_else(|| CrawlError::parse(DS, "fac: name"))?;
-        let id = e["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "fac: id"))?;
+        let name = e["name"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "fac: name"))?;
+        let id = e["id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "fac: id"))?;
         let fac = imp.facility_node(name);
         let ext = imp.external_id_node(Entity::PeeringdbFacId, id);
         imp.link(fac, Relationship::ExternalId, ext, props([]))?;
@@ -130,8 +145,9 @@ pub fn import_netfac(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
         let asn = e["local_asn"]
             .as_u64()
             .ok_or_else(|| CrawlError::parse(DS, "netfac: local_asn"))? as u32;
-        let fac_id =
-            e["fac_id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "netfac: fac_id"))?;
+        let fac_id = e["fac_id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "netfac: fac_id"))?;
         let a = imp.as_node(asn);
         let ext = imp.external_id_node(Entity::PeeringdbFacId, fac_id);
         // Resolve the facility through its external id; fabricate a
@@ -174,7 +190,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         for (id, f) in [
-            (DatasetId::PeeringdbOrg, import_org as fn(&mut Importer, &str) -> _),
+            (
+                DatasetId::PeeringdbOrg,
+                import_org as fn(&mut Importer, &str) -> _,
+            ),
             (DatasetId::PeeringdbIx, import_ix),
             (DatasetId::PeeringdbIxlan, import_ixlan),
             (DatasetId::PeeringdbFac, import_fac),

@@ -16,12 +16,7 @@ pub struct Crawler {
 impl Crawler {
     /// Runs the crawler over dataset text, returning the number of
     /// relationships created.
-    pub fn run(
-        &self,
-        graph: &mut Graph,
-        text: &str,
-        fetch_time: i64,
-    ) -> Result<usize, CrawlError> {
+    pub fn run(&self, graph: &mut Graph, text: &str, fetch_time: i64) -> Result<usize, CrawlError> {
         import_dataset(graph, self.id, text, fetch_time)
     }
 }
@@ -35,7 +30,11 @@ pub fn all_datasets() -> &'static [DatasetId] {
 pub fn reference_for(id: DatasetId, fetch_time: i64) -> Reference {
     Reference::new(id.organization(), id.name(), fetch_time)
         .with_info_url(id.info_url())
-        .with_data_url(&format!("{}/{}", id.info_url().trim_end_matches('/'), id.name()))
+        .with_data_url(&format!(
+            "{}/{}",
+            id.info_url().trim_end_matches('/'),
+            id.name()
+        ))
         .with_modification_time(fetch_time - 3600)
 }
 
@@ -50,8 +49,8 @@ pub fn import_dataset(
     let mut imp = Importer::new(graph, reference_for(id, fetch_time));
     use DatasetId::*;
     match id {
-        AliceLgAmsIx | AliceLgBcix | AliceLgDeCix | AliceLgIxBr | AliceLgLinx
-        | AliceLgMegaport | AliceLgNetnod => crate::alice_lg::import(&mut imp, text)?,
+        AliceLgAmsIx | AliceLgBcix | AliceLgDeCix | AliceLgIxBr | AliceLgLinx | AliceLgMegaport
+        | AliceLgNetnod => crate::alice_lg::import(&mut imp, text)?,
         ApnicPopulation => crate::apnic::import_population(&mut imp, text)?,
         BgpkitAs2rel => crate::bgpkit::import_as2rel(&mut imp, text)?,
         BgpkitPeerStats => crate::bgpkit::import_peer_stats(&mut imp, text)?,
@@ -64,9 +63,7 @@ pub fn import_dataset(
         CiscoUmbrella => crate::cisco::import_umbrella(&mut imp, text)?,
         CitizenLabUrls => crate::citizenlab::import_urls(&mut imp, text)?,
         CloudflareDnsTopAses => crate::cloudflare::import_dns_top_ases(&mut imp, text)?,
-        CloudflareDnsTopLocations => {
-            crate::cloudflare::import_dns_top_locations(&mut imp, text)?
-        }
+        CloudflareDnsTopLocations => crate::cloudflare::import_dns_top_locations(&mut imp, text)?,
         CloudflareRankingTop => crate::cloudflare::import_ranking_top(&mut imp, text)?,
         CloudflareRankingBuckets => crate::cloudflare::import_ranking_buckets(&mut imp, text)?,
         EmileAbenAsNames => crate::emileaben::import_as_names(&mut imp, text)?,

@@ -42,9 +42,12 @@ pub fn import_rpki(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError>
         .as_array()
         .ok_or_else(|| CrawlError::parse(DS, "rpki: missing roas"))?;
     for roa in roas {
-        let asn = roa["asn"].as_str().ok_or_else(|| CrawlError::parse(DS, "rpki: asn"))?;
-        let prefix =
-            roa["prefix"].as_str().ok_or_else(|| CrawlError::parse(DS, "rpki: prefix"))?;
+        let asn = roa["asn"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "rpki: asn"))?;
+        let prefix = roa["prefix"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "rpki: prefix"))?;
         let a = imp.as_node_str(asn)?;
         let p = imp.prefix_node(prefix)?;
         let mut extra = props([]);
@@ -66,7 +69,9 @@ pub fn import_atlas(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
         serde_json::from_str(text).map_err(|e| CrawlError::parse(DS, e.to_string()))?;
     // Probes first so participation links can rely on them.
     for p in v["probes"].as_array().unwrap_or(&Vec::new()) {
-        let id = p["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "atlas: probe id"))?;
+        let id = p["id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "atlas: probe id"))?;
         let probe = imp.probe_node(id);
         if let Some(asn) = p["asn_v4"].as_u64() {
             let a = imp.as_node(asn as u32);
@@ -83,9 +88,12 @@ pub fn import_atlas(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
         }
     }
     for m in v["measurements"].as_array().unwrap_or(&Vec::new()) {
-        let id = m["id"].as_i64().ok_or_else(|| CrawlError::parse(DS, "atlas: msm id"))?;
-        let target =
-            m["target"].as_str().ok_or_else(|| CrawlError::parse(DS, "atlas: target"))?;
+        let id = m["id"]
+            .as_i64()
+            .ok_or_else(|| CrawlError::parse(DS, "atlas: msm id"))?;
+        let target = m["target"]
+            .as_str()
+            .ok_or_else(|| CrawlError::parse(DS, "atlas: target"))?;
         let msm = imp.measurement_node(id);
         let kind = m["type"].as_str().unwrap_or("ping");
         let h = imp.hostname_node(target);
@@ -93,7 +101,10 @@ pub fn import_atlas(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError
             msm,
             Relationship::Target,
             h,
-            props([("type", Value::Str(kind.into())), ("af", Value::Int(m["af"].as_i64().unwrap_or(4)))]),
+            props([
+                ("type", Value::Str(kind.into())),
+                ("af", Value::Int(m["af"].as_i64().unwrap_or(4))),
+            ]),
         )?;
         for pid in m["probes"].as_array().unwrap_or(&Vec::new()) {
             if let Some(pid) = pid.as_i64() {
@@ -116,8 +127,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(id);
-        let mut imp =
-            Importer::new(&mut g, Reference::new(id.organization(), id.name(), w.fetch_time));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new(id.organization(), id.name(), w.fetch_time),
+        );
         f(&mut imp, &text).unwrap();
         assert!(imp.link_count() > 0);
         (w, g)
@@ -138,9 +151,7 @@ mod tests {
         assert!(validate_graph(&g).is_empty());
         let roa_links = g
             .all_rels()
-            .filter(|r| {
-                g.symbols().rel_type_name(r.rel_type) == "ROUTE_ORIGIN_AUTHORIZATION"
-            })
+            .filter(|r| g.symbols().rel_type_name(r.rel_type) == "ROUTE_ORIGIN_AUTHORIZATION")
             .count();
         assert_eq!(roa_links, w.roas.len());
         // maxLength property preserved.

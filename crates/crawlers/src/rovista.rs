@@ -25,9 +25,18 @@ pub fn import(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
             .parse()
             .map_err(|_| CrawlError::parse("rovista", format!("line {ln}: bad ratio")))?;
         let a = imp.as_node_str(asn)?;
-        let tag = if ratio >= 0.5 { TAG_VALIDATING } else { TAG_NOT_VALIDATING };
+        let tag = if ratio >= 0.5 {
+            TAG_VALIDATING
+        } else {
+            TAG_NOT_VALIDATING
+        };
         let t = imp.tag_node(tag);
-        imp.link(a, Relationship::Categorized, t, props([("ratio", Value::Float(ratio))]))?;
+        imp.link(
+            a,
+            Relationship::Categorized,
+            t,
+            props([("ratio", Value::Float(ratio))]),
+        )?;
     }
     Ok(())
 }
@@ -44,8 +53,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::RovistaRov);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("Virginia Tech", "rovista.validating", 0));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("Virginia Tech", "rovista.validating", 0),
+        );
         import(&mut imp, &text).unwrap();
         let links = imp.link_count();
         assert!(validate_graph(&g).is_empty());

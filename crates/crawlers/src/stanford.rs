@@ -14,7 +14,10 @@ pub fn import_asdb(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError>
         }
         let fields = split_csv(line);
         if fields.len() < 2 {
-            return Err(CrawlError::parse("stanford", format!("line {ln}: {line:?}")));
+            return Err(CrawlError::parse(
+                "stanford",
+                format!("line {ln}: {line:?}"),
+            ));
         }
         let a = imp.as_node_str(&fields[0])?;
         for cat in fields[1..].iter().filter(|c| !c.is_empty()) {

@@ -20,7 +20,12 @@ pub fn import_list(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError>
             .parse()
             .map_err(|_| CrawlError::parse("tranco", format!("line {ln}: bad rank")))?;
         let d = imp.domain_node(domain);
-        imp.link(d, Relationship::Rank, ranking, props([("rank", Value::Int(rank))]))?;
+        imp.link(
+            d,
+            Relationship::Rank,
+            ranking,
+            props([("rank", Value::Int(rank))]),
+        )?;
     }
     Ok(())
 }
@@ -47,8 +52,13 @@ mod tests {
             w.domains.len()
         );
         // Rank 1 is stored on the link.
-        let first = g.lookup("DomainName", "name", w.domains[0].name.as_str()).unwrap();
-        let rel = g.rels_of(first, iyp_graph::Direction::Both, None).next().unwrap();
+        let first = g
+            .lookup("DomainName", "name", w.domains[0].name.as_str())
+            .unwrap();
+        let rel = g
+            .rels_of(first, iyp_graph::Direction::Both, None)
+            .next()
+            .unwrap();
         assert_eq!(rel.prop("rank").unwrap().as_int(), Some(1));
     }
 

@@ -49,8 +49,10 @@ mod tests {
         let w = World::generate(&SimConfig::tiny(), 5);
         let mut g = Graph::new();
         let text = w.render_dataset(DatasetId::WorldBankPopulation);
-        let mut imp =
-            Importer::new(&mut g, Reference::new("World Bank", "worldbank.country_pop", 0));
+        let mut imp = Importer::new(
+            &mut g,
+            Reference::new("World Bank", "worldbank.country_pop", 0),
+        );
         import_population(&mut imp, &text).unwrap();
         let links = imp.link_count();
         assert!(validate_graph(&g).is_empty());

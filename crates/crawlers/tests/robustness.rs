@@ -22,7 +22,10 @@ fn mutate(text: &str, kind: u8, pos: usize) -> String {
     }
     let pos = pos % s.len();
     // Snap to a char boundary.
-    let pos = (0..=pos).rev().find(|p| s.is_char_boundary(*p)).unwrap_or(0);
+    let pos = (0..=pos)
+        .rev()
+        .find(|p| s.is_char_boundary(*p))
+        .unwrap_or(0);
     match kind % 5 {
         0 => {
             // Truncate.

@@ -2,9 +2,25 @@
 
 use iyp_graph::Value;
 
+/// How a query should be run: normally, or as an `EXPLAIN`/`PROFILE`
+/// introspection request (leading keyword, as in openCypher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Execute and return the result rows.
+    #[default]
+    Normal,
+    /// Return the execution plan without running the query.
+    Explain,
+    /// Run the query and return the plan annotated with per-operator
+    /// rows-produced and wall time.
+    Profile,
+}
+
 /// A full query: a pipeline of clauses ending in `RETURN`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// Execution mode (`EXPLAIN` / `PROFILE` prefix).
+    pub mode: QueryMode,
     /// The clause pipeline, in source order.
     pub clauses: Vec<Clause>,
 }
@@ -255,7 +271,14 @@ impl Expr {
 pub fn is_aggregate_fn(name: &str) -> bool {
     matches!(
         name,
-        "count" | "collect" | "sum" | "avg" | "min" | "max" | "percentilecont" | "percentiledisc"
+        "count"
+            | "collect"
+            | "sum"
+            | "avg"
+            | "min"
+            | "max"
+            | "percentilecont"
+            | "percentiledisc"
             | "stdev"
     )
 }
@@ -266,7 +289,11 @@ mod tests {
 
     #[test]
     fn aggregate_detection() {
-        let agg = Expr::Call { name: "count".into(), distinct: true, args: vec![] };
+        let agg = Expr::Call {
+            name: "count".into(),
+            distinct: true,
+            args: vec![],
+        };
         assert!(agg.contains_aggregate());
         let nested = Expr::Binary(
             BinOp::Add,

@@ -79,7 +79,11 @@ impl<'g> EvalCtx<'g> {
             Expr::IsNull(e, negated) => {
                 let v = self.eval(e, row)?;
                 let is_null = v.is_null();
-                Ok(RtVal::Scalar(Value::Bool(if *negated { !is_null } else { is_null })))
+                Ok(RtVal::Scalar(Value::Bool(if *negated {
+                    !is_null
+                } else {
+                    is_null
+                })))
             }
             Expr::Call { name, args, .. } => self.eval_fn(name, args, row),
             Expr::Index(e, idx) => {
@@ -123,13 +127,7 @@ impl<'g> EvalCtx<'g> {
         }
     }
 
-    fn eval_binary(
-        &self,
-        op: BinOp,
-        a: &Expr,
-        b: &Expr,
-        row: &Row,
-    ) -> Result<RtVal, CypherError> {
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr, row: &Row) -> Result<RtVal, CypherError> {
         // Three-valued logic short-circuits.
         match op {
             BinOp::And => {
@@ -218,8 +216,7 @@ impl<'g> EvalCtx<'g> {
                 Ok(RtVal::Scalar(Value::Bool(found)))
             }
             BinOp::StartsWith | BinOp::EndsWith | BinOp::Contains => {
-                let (Some(Value::Str(s)), Some(Value::Str(t))) =
-                    (lhs.as_scalar(), rhs.as_scalar())
+                let (Some(Value::Str(s)), Some(Value::Str(t))) = (lhs.as_scalar(), rhs.as_scalar())
                 else {
                     return Ok(RtVal::null());
                 };
@@ -350,25 +347,34 @@ impl<'g> EvalCtx<'g> {
                     return Ok(RtVal::null());
                 };
                 Ok(RtVal::Scalar(Value::List(
-                    s.split(sep.as_str()).map(|p| Value::Str(p.to_string())).collect(),
+                    s.split(sep.as_str())
+                        .map(|p| Value::Str(p.to_string()))
+                        .collect(),
                 )))
             }
             "substring" => {
-                let Some(s) = arg_str(0) else { return Ok(RtVal::null()) };
+                let Some(s) = arg_str(0) else {
+                    return Ok(RtVal::null());
+                };
                 let start = vals
                     .get(1)
                     .and_then(|v| v.as_scalar())
                     .and_then(|v| v.as_int())
                     .unwrap_or(0)
                     .max(0) as usize;
-                let len = vals.get(2).and_then(|v| v.as_scalar()).and_then(|v| v.as_int());
+                let len = vals
+                    .get(2)
+                    .and_then(|v| v.as_scalar())
+                    .and_then(|v| v.as_int());
                 let chars: Vec<char> = s.chars().collect();
                 let end = match len {
                     Some(l) => (start + l.max(0) as usize).min(chars.len()),
                     None => chars.len(),
                 };
                 let start = start.min(chars.len());
-                Ok(RtVal::Scalar(Value::Str(chars[start..end].iter().collect())))
+                Ok(RtVal::Scalar(Value::Str(
+                    chars[start..end].iter().collect(),
+                )))
             }
             "size" => match vals.first() {
                 Some(RtVal::Scalar(Value::Str(s))) => {
@@ -398,15 +404,27 @@ impl<'g> EvalCtx<'g> {
                 Some(Value::Float(f)) => Ok(RtVal::Scalar(Value::Float(f.abs()))),
                 _ => Ok(RtVal::null()),
             },
-            "round" => match vals.first().and_then(|v| v.as_scalar()).and_then(|v| v.as_float()) {
+            "round" => match vals
+                .first()
+                .and_then(|v| v.as_scalar())
+                .and_then(|v| v.as_float())
+            {
                 Some(f) => Ok(RtVal::Scalar(Value::Float(f.round()))),
                 None => Ok(RtVal::null()),
             },
-            "floor" => match vals.first().and_then(|v| v.as_scalar()).and_then(|v| v.as_float()) {
+            "floor" => match vals
+                .first()
+                .and_then(|v| v.as_scalar())
+                .and_then(|v| v.as_float())
+            {
                 Some(f) => Ok(RtVal::Scalar(Value::Float(f.floor()))),
                 None => Ok(RtVal::null()),
             },
-            "ceil" => match vals.first().and_then(|v| v.as_scalar()).and_then(|v| v.as_float()) {
+            "ceil" => match vals
+                .first()
+                .and_then(|v| v.as_scalar())
+                .and_then(|v| v.as_float())
+            {
                 Some(f) => Ok(RtVal::Scalar(Value::Float(f.ceil()))),
                 None => Ok(RtVal::null()),
             },
@@ -414,7 +432,10 @@ impl<'g> EvalCtx<'g> {
                 Some(Value::Int(i)) => Ok(RtVal::Scalar(Value::Int(*i))),
                 Some(Value::Float(f)) => Ok(RtVal::Scalar(Value::Int(*f as i64))),
                 Some(Value::Str(s)) => Ok(RtVal::Scalar(
-                    s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+                    s.trim()
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .unwrap_or(Value::Null),
                 )),
                 _ => Ok(RtVal::null()),
             },
@@ -422,7 +443,10 @@ impl<'g> EvalCtx<'g> {
                 Some(Value::Int(i)) => Ok(RtVal::Scalar(Value::Float(*i as f64))),
                 Some(Value::Float(f)) => Ok(RtVal::Scalar(Value::Float(*f))),
                 Some(Value::Str(s)) => Ok(RtVal::Scalar(
-                    s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
+                    s.trim()
+                        .parse::<f64>()
+                        .map(Value::Float)
+                        .unwrap_or(Value::Null),
                 )),
                 _ => Ok(RtVal::null()),
             },
@@ -486,7 +510,9 @@ impl<'g> EvalCtx<'g> {
             }
             "range" => {
                 let get = |i: usize| {
-                    vals.get(i).and_then(|v| v.as_scalar()).and_then(|v| v.as_int())
+                    vals.get(i)
+                        .and_then(|v| v.as_scalar())
+                        .and_then(|v| v.as_int())
                 };
                 let (Some(start), Some(end)) = (get(0), get(1)) else {
                     return Ok(RtVal::null());
@@ -513,9 +539,7 @@ impl<'g> EvalCtx<'g> {
                         .map(|n| {
                             n.props
                                 .iter()
-                                .map(|(k, v)| {
-                                    Value::List(vec![Value::Str(k.clone()), v.clone()])
-                                })
+                                .map(|(k, v)| Value::List(vec![Value::Str(k.clone()), v.clone()]))
                                 .collect()
                         })
                         .unwrap_or_default(),
@@ -559,7 +583,9 @@ pub fn rt_eq(a: &RtVal, b: &RtVal) -> Option<bool> {
         }
         (RtVal::List(_), RtVal::Scalar(Value::List(_)))
         | (RtVal::Scalar(Value::List(_)), RtVal::List(_)) => {
-            let (Some(x), Some(y)) = (a.as_list(), b.as_list()) else { return Some(false) };
+            let (Some(x), Some(y)) = (a.as_list(), b.as_list()) else {
+                return Some(false);
+            };
             rt_eq(&RtVal::List(x), &RtVal::List(y))
         }
         (RtVal::Scalar(Value::Null), _) | (_, RtVal::Scalar(Value::Null)) => None,
@@ -570,17 +596,23 @@ pub fn rt_eq(a: &RtVal, b: &RtVal) -> Option<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::Clause;
+    use crate::parser::parse;
     use iyp_graph::props;
 
     fn eval_str(expr_text: &str) -> RtVal {
         // Parse via a dummy RETURN.
         let q = parse(&format!("MATCH (n) RETURN {expr_text}")).unwrap();
-        let Clause::Return(p) = &q.clauses[1] else { panic!() };
+        let Clause::Return(p) = &q.clauses[1] else {
+            panic!()
+        };
         let graph = Graph::new();
         let params = HashMap::new();
-        let ctx = EvalCtx { graph: &graph, params: &params, exists: None };
+        let ctx = EvalCtx {
+            graph: &graph,
+            params: &params,
+            exists: None,
+        };
         let mut row = Row::new();
         row.insert("n".into(), RtVal::null());
         ctx.eval(&p.items[0].expr, &row).unwrap()
@@ -607,14 +639,23 @@ mod tests {
         assert_eq!(scalar(eval_str("'ab' STARTS WITH 'a'")), Value::Bool(true));
         assert_eq!(scalar(eval_str("'ab' ENDS WITH 'a'")), Value::Bool(false));
         assert_eq!(scalar(eval_str("'abc' CONTAINS 'b'")), Value::Bool(true));
-        assert_eq!(scalar(eval_str("toUpper('rpki')")), Value::Str("RPKI".into()));
+        assert_eq!(
+            scalar(eval_str("toUpper('rpki')")),
+            Value::Str("RPKI".into())
+        );
         assert_eq!(scalar(eval_str("size('abc')")), Value::Int(3));
         assert_eq!(
             scalar(eval_str("split('a.b.c', '.')")),
             Value::List(vec!["a".into(), "b".into(), "c".into()])
         );
-        assert_eq!(scalar(eval_str("substring('abcdef', 1, 3)")), Value::Str("bcd".into()));
-        assert_eq!(scalar(eval_str("replace('a-b', '-', '.')")), Value::Str("a.b".into()));
+        assert_eq!(
+            scalar(eval_str("substring('abcdef', 1, 3)")),
+            Value::Str("bcd".into())
+        );
+        assert_eq!(
+            scalar(eval_str("replace('a-b', '-', '.')")),
+            Value::Str("a.b".into())
+        );
     }
 
     #[test]
@@ -663,7 +704,9 @@ mod tests {
     #[test]
     fn case_expression() {
         assert_eq!(
-            scalar(eval_str("CASE WHEN 1 = 2 THEN 'x' WHEN 2 = 2 THEN 'y' ELSE 'z' END")),
+            scalar(eval_str(
+                "CASE WHEN 1 = 2 THEN 'x' WHEN 2 = 2 THEN 'y' ELSE 'z' END"
+            )),
             Value::Str("y".into())
         );
         assert_eq!(
@@ -685,10 +728,16 @@ mod tests {
     #[test]
     fn division_by_zero_errors() {
         let q = parse("MATCH (n) RETURN 1 / 0").unwrap();
-        let Clause::Return(p) = &q.clauses[1] else { panic!() };
+        let Clause::Return(p) = &q.clauses[1] else {
+            panic!()
+        };
         let graph = Graph::new();
         let params = HashMap::new();
-        let ctx = EvalCtx { graph: &graph, params: &params, exists: None };
+        let ctx = EvalCtx {
+            graph: &graph,
+            params: &params,
+            exists: None,
+        };
         let mut row = Row::new();
         row.insert("n".into(), RtVal::null());
         assert!(ctx.eval(&p.items[0].expr, &row).is_err());
@@ -701,13 +750,19 @@ mod tests {
         let b = g.merge_node("AS", "asn", 64496u32, Props::new());
         let r = g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
         let params = HashMap::new();
-        let ctx = EvalCtx { graph: &g, params: &params, exists: None };
+        let ctx = EvalCtx {
+            graph: &g,
+            params: &params,
+            exists: None,
+        };
         let mut row = Row::new();
         row.insert("a".into(), RtVal::Node(a));
         row.insert("r".into(), RtVal::Rel(r));
 
         let q = parse("MATCH (n) RETURN labels(a), type(r), id(a), a.name").unwrap();
-        let Clause::Return(p) = &q.clauses[1] else { panic!() };
+        let Clause::Return(p) = &q.clauses[1] else {
+            panic!()
+        };
         let labels = ctx.eval(&p.items[0].expr, &row).unwrap();
         assert_eq!(
             labels.as_scalar().unwrap().as_list().unwrap()[0],

@@ -4,10 +4,12 @@ use crate::ast::*;
 use crate::error::CypherError;
 use crate::eval::{rt_eq, truth, EvalCtx, Row};
 use crate::parser::parse;
+use crate::plan::{annotate, plan_query, PlanNode};
 use crate::rtval::RtVal;
 use iyp_graph::{Direction, Graph, KeyValue, NodeId, Rel, RelId, Value};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
 
 /// Query parameters.
 pub type Params = HashMap<String, Value>;
@@ -66,20 +68,91 @@ impl ResultSet {
 }
 
 /// Parses and executes `text` against `graph` with the given parameters.
+///
+/// Queries prefixed with `EXPLAIN` return their execution plan (one
+/// `plan` column, one row per plan line) without running; `PROFILE`
+/// runs the query and returns the plan annotated with per-operator
+/// rows-produced and wall time.
 pub fn query(graph: &Graph, text: &str, params: &Params) -> Result<ResultSet, CypherError> {
+    let _span = iyp_telemetry::span(iyp_telemetry::names::CYPHER_QUERY_SECONDS);
+    iyp_telemetry::counter(iyp_telemetry::names::CYPHER_QUERIES_TOTAL).incr();
     let ast = parse(text)?;
-    execute(graph, &ast, params)
+    match ast.mode {
+        QueryMode::Normal => execute(graph, &ast, params),
+        QueryMode::Explain => Ok(plan_result(&plan_query(graph, &ast))),
+        QueryMode::Profile => {
+            let (_, plan) = run_profiled(graph, &ast, params)?;
+            Ok(plan_result(&plan))
+        }
+    }
+}
+
+/// Builds the execution plan for `text` without running it.
+pub fn explain(graph: &Graph, text: &str) -> Result<PlanNode, CypherError> {
+    let ast = parse(text)?;
+    Ok(plan_query(graph, &ast))
+}
+
+/// Runs `text` and returns both its result and the execution plan
+/// annotated with per-operator rows-produced and wall time.
+pub fn profile(
+    graph: &Graph,
+    text: &str,
+    params: &Params,
+) -> Result<(ResultSet, PlanNode), CypherError> {
+    let ast = parse(text)?;
+    run_profiled(graph, &ast, params)
+}
+
+fn run_profiled(
+    graph: &Graph,
+    ast: &Query,
+    params: &Params,
+) -> Result<(ResultSet, PlanNode), CypherError> {
+    let mut stats = Vec::with_capacity(ast.clauses.len());
+    let result = execute_observed(graph, ast, params, Some(&mut stats))?;
+    let plan = annotate(plan_query(graph, ast), &stats);
+    Ok((result, plan))
+}
+
+/// Shapes a rendered plan as a result set: one `plan` column, one row
+/// per plan line (so plans flow through the text protocol unchanged).
+fn plan_result(plan: &PlanNode) -> ResultSet {
+    ResultSet {
+        columns: vec!["plan".to_string()],
+        rows: plan
+            .render_lines()
+            .into_iter()
+            .map(|line| vec![RtVal::Scalar(Value::Str(line))])
+            .collect(),
+    }
 }
 
 /// Executes a parsed query.
 pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet, CypherError> {
+    execute_observed(graph, ast, params, None)
+}
+
+/// Executes the clause pipeline; when `stats` is provided, records
+/// `(rows_produced, wall_time)` for every clause in pipeline order
+/// (the `PROFILE` observer).
+fn execute_observed(
+    graph: &Graph,
+    ast: &Query,
+    params: &Params,
+    mut stats: Option<&mut Vec<(u64, Duration)>>,
+) -> Result<ResultSet, CypherError> {
     // EXISTS subqueries re-enter the matcher with a hook-less inner
     // context (one level of nesting; EXISTS-inside-EXISTS is rejected).
     let exists_hook = move |patterns: &[PathPattern],
                             row: &crate::eval::Row,
                             filter: Option<&Expr>|
           -> Result<bool, CypherError> {
-        let inner = EvalCtx { graph, params, exists: None };
+        let inner = EvalCtx {
+            graph,
+            params,
+            exists: None,
+        };
         let mut matches: Vec<(crate::eval::Row, HashSet<RelId>)> =
             vec![(row.clone(), HashSet::new())];
         for pattern in patterns {
@@ -104,11 +177,16 @@ pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet,
             }
         }
     };
-    let ctx = EvalCtx { graph, params, exists: Some(&exists_hook) };
+    let ctx = EvalCtx {
+        graph,
+        params,
+        exists: Some(&exists_hook),
+    };
     let mut rows: Vec<Row> = vec![Row::new()];
     let mut result: Option<ResultSet> = None;
 
     for clause in &ast.clauses {
+        let started = stats.as_ref().map(|_| Instant::now());
         match clause {
             Clause::Match { optional, patterns } => {
                 rows = exec_match(&ctx, rows, patterns, *optional)?;
@@ -150,7 +228,10 @@ pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet,
             }
             Clause::Return(proj) => {
                 let (cols, projected) = project(&ctx, rows, proj)?;
-                result = Some(ResultSet { columns: cols, rows: projected });
+                result = Some(ResultSet {
+                    columns: cols,
+                    rows: projected,
+                });
                 rows = Vec::new();
             }
             Clause::Create(_) | Clause::Merge(_) | Clause::Set(_) | Clause::Delete { .. } => {
@@ -159,6 +240,15 @@ pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet,
                      graph — use query_write()",
                 ))
             }
+        }
+        if let Some(collector) = stats.as_deref_mut() {
+            // RETURN drains `rows` into the result set; every other
+            // clause leaves its output in `rows`.
+            let produced = match (&result, clause) {
+                (Some(rs), Clause::Return(_)) => rs.rows.len() as u64,
+                _ => rows.len() as u64,
+            };
+            collector.push((produced, started.expect("profiling start").elapsed()));
         }
     }
 
@@ -353,7 +443,9 @@ fn node_matches(
     np: &NodePattern,
     node: NodeId,
 ) -> Result<bool, CypherError> {
-    let Some(n) = ctx.graph.node(node) else { return Ok(false) };
+    let Some(n) = ctx.graph.node(node) else {
+        return Ok(false);
+    };
     for label in &np.labels {
         match ctx.graph.symbols().get_label(label) {
             Some(id) if n.has_label(id) => {}
@@ -444,7 +536,18 @@ fn expand(
                 });
             };
             if let Some((min, max)) = rp.var_length {
-                step_var_length(ctx, &st.row, &st.used, st.right_node, rp, np, dir, min, max, on_match)?;
+                step_var_length(
+                    ctx,
+                    &st.row,
+                    &st.used,
+                    st.right_node,
+                    rp,
+                    np,
+                    dir,
+                    min,
+                    max,
+                    on_match,
+                )?;
             } else {
                 step(ctx, &st.row, &st.used, st.right_node, rp, np, dir, on_match)?;
             }
@@ -469,7 +572,18 @@ fn expand(
                 });
             };
             if let Some((min, max)) = rp.var_length {
-                step_var_length(ctx, &st.row, &st.used, st.left_node, rp, np, dir, min, max, on_match)?;
+                step_var_length(
+                    ctx,
+                    &st.row,
+                    &st.used,
+                    st.left_node,
+                    rp,
+                    np,
+                    dir,
+                    min,
+                    max,
+                    on_match,
+                )?;
             } else {
                 step(ctx, &st.row, &st.used, st.left_node, rp, np, dir, on_match)?;
             }
@@ -587,7 +701,11 @@ fn step_var_length(
         used: HashSet<RelId>,
         rels: Vec<RelId>,
     }
-    let mut stack = vec![PathState { node: from, used: used.clone(), rels: Vec::new() }];
+    let mut stack = vec![PathState {
+        node: from,
+        used: used.clone(),
+        rels: Vec::new(),
+    }];
 
     while let Some(st) = stack.pop() {
         let depth = st.rels.len() as u32;
@@ -627,7 +745,11 @@ fn step_var_length(
             used2.insert(rel.id);
             let mut rels2 = st.rels.clone();
             rels2.push(rel.id);
-            stack.push(PathState { node: rel.other(st.node), used: used2, rels: rels2 });
+            stack.push(PathState {
+                node: rel.other(st.node),
+                used: used2,
+                rels: rels2,
+            });
         }
     }
     Ok(())
@@ -742,7 +864,10 @@ pub(crate) fn project(
             }
             Ordering::Equal
         });
-        produced = keyed.into_iter().map(|(_, vals, repr)| (vals, repr)).collect();
+        produced = keyed
+            .into_iter()
+            .map(|(_, vals, repr)| (vals, repr))
+            .collect();
     }
 
     let empty = Row::new();
@@ -764,12 +889,7 @@ pub(crate) fn project(
     Ok((columns, rows_out))
 }
 
-fn eval_usize(
-    ctx: &EvalCtx<'_>,
-    e: &Expr,
-    row: &Row,
-    what: &str,
-) -> Result<usize, CypherError> {
+fn eval_usize(ctx: &EvalCtx<'_>, e: &Expr, row: &Row, what: &str) -> Result<usize, CypherError> {
     let v = ctx.eval(e, row)?;
     v.as_scalar()
         .and_then(|v| v.as_int())
@@ -779,15 +899,13 @@ fn eval_usize(
 }
 
 /// Evaluates an expression that contains aggregates over a group.
-fn eval_aggregated(
-    ctx: &EvalCtx<'_>,
-    expr: &Expr,
-    group: &[Row],
-) -> Result<RtVal, CypherError> {
+fn eval_aggregated(ctx: &EvalCtx<'_>, expr: &Expr, group: &[Row]) -> Result<RtVal, CypherError> {
     match expr {
-        Expr::Call { name, distinct, args } if is_aggregate_fn(name) => {
-            compute_aggregate(ctx, name, *distinct, args, group)
-        }
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } if is_aggregate_fn(name) => compute_aggregate(ctx, name, *distinct, args, group),
         _ if !expr.contains_aggregate() => {
             let repr = group.first().cloned().unwrap_or_default();
             ctx.eval(expr, &repr)
@@ -813,7 +931,11 @@ fn eval_aggregated(
             row.insert("\u{1}x".into(), x);
             ctx.eval(&tmp, &row)
         }
-        Expr::Call { name, distinct, args } => {
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } => {
             // Scalar function over aggregated arguments.
             let mut row = Row::new();
             let mut new_args = Vec::with_capacity(args.len());
@@ -823,7 +945,14 @@ fn eval_aggregated(
                 row.insert(key.clone(), v);
                 new_args.push(Expr::Var(key));
             }
-            ctx.eval(&Expr::Call { name: name.clone(), distinct: *distinct, args: new_args }, &row)
+            ctx.eval(
+                &Expr::Call {
+                    name: name.clone(),
+                    distinct: *distinct,
+                    args: new_args,
+                },
+                &row,
+            )
         }
         other => Err(CypherError::runtime(format!(
             "unsupported aggregate expression shape: {other:?}"

@@ -146,13 +146,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, CypherError> {
             '$' => {
                 i += 1;
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
                 if start == i {
-                    return Err(CypherError::Lex { pos: start, msg: "empty parameter name".into() });
+                    return Err(CypherError::Lex {
+                        pos: start,
+                        msg: "empty parameter name".into(),
+                    });
                 }
                 tokens.push(Token::Param(input[start..i].to_string()));
             }

@@ -48,10 +48,12 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod rtval;
 pub mod write;
 
 pub use error::CypherError;
-pub use exec::{query, Params, ResultSet};
+pub use exec::{explain, profile, query, Params, ResultSet};
+pub use plan::PlanNode;
 pub use rtval::RtVal;
 pub use write::{query_write, WriteSummary};

@@ -23,7 +23,10 @@ struct Parser {
 
 impl Parser {
     fn err(&self, msg: impl Into<String>) -> CypherError {
-        CypherError::Parse { pos: self.pos, msg: msg.into() }
+        CypherError::Parse {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -90,6 +93,13 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn query(&mut self) -> Result<Query, CypherError> {
+        let mode = if self.eat_kw("explain") {
+            QueryMode::Explain
+        } else if self.eat_kw("profile") {
+            QueryMode::Profile
+        } else {
+            QueryMode::Normal
+        };
         let mut clauses = Vec::new();
         let mut has_write = false;
         loop {
@@ -136,8 +146,7 @@ impl Parser {
                 let _ = self.eat(&Token::Semicolon);
                 break;
             } else if self.peek().is_none()
-                || (self.peek() == Some(&Token::Semicolon)
-                    && self.pos + 1 == self.tokens.len())
+                || (self.peek() == Some(&Token::Semicolon) && self.pos + 1 == self.tokens.len())
             {
                 let _ = self.eat(&Token::Semicolon);
                 if has_write {
@@ -148,7 +157,7 @@ impl Parser {
                 return Err(self.err(format!("unexpected token {:?}", self.peek())));
             }
         }
-        Ok(Query { clauses })
+        Ok(Query { mode, clauses })
     }
 
     fn set_item(&mut self) -> Result<SetItem, CypherError> {
@@ -199,9 +208,23 @@ impl Parser {
                 }
             }
         }
-        let skip = if self.eat_kw("skip") { Some(self.expr()?) } else { None };
-        let limit = if self.eat_kw("limit") { Some(self.expr()?) } else { None };
-        Ok(Projection { distinct, items, order_by, skip, limit })
+        let skip = if self.eat_kw("skip") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let limit = if self.eat_kw("limit") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Projection {
+            distinct,
+            items,
+            order_by,
+            skip,
+            limit,
+        })
     }
 
     fn proj_item(&mut self) -> Result<ProjItem, CypherError> {
@@ -306,7 +329,16 @@ impl Parser {
                 return Err(self.err("expected - or -> to close relationship pattern"));
             };
             let node = self.node_pattern()?;
-            hops.push((RelPattern { var, types, props, dir, var_length }, node));
+            hops.push((
+                RelPattern {
+                    var,
+                    types,
+                    props,
+                    dir,
+                    var_length,
+                },
+                node,
+            ));
         }
         Ok(PathPattern { start, hops })
     }
@@ -402,7 +434,11 @@ impl Parser {
         if self.eat_kw("starts") {
             self.expect_kw("with")?;
             let rhs = self.additive()?;
-            return Ok(Expr::Binary(BinOp::StartsWith, Box::new(lhs), Box::new(rhs)));
+            return Ok(Expr::Binary(
+                BinOp::StartsWith,
+                Box::new(lhs),
+                Box::new(rhs),
+            ));
         }
         if self.eat_kw("ends") {
             self.expect_kw("with")?;
@@ -584,7 +620,11 @@ impl Parser {
                         }
                     }
                     self.expect(&Token::RParen, ") to close call")?;
-                    return Ok(Expr::Call { name: name.to_ascii_lowercase(), distinct, args });
+                    return Ok(Expr::Call {
+                        name: name.to_ascii_lowercase(),
+                        distinct,
+                        args,
+                    });
                 }
                 Ok(Expr::Var(name))
             }
@@ -710,7 +750,9 @@ mod tests {
         assert_eq!(p.hops[0].0.types, vec!["ORIGINATE"]);
         assert_eq!(p.hops[0].0.dir, RelDir::Undirected);
         assert_eq!(p.hops[0].1.labels, vec!["Prefix"]);
-        let Clause::Return(proj) = &q.clauses[1] else { panic!("expected RETURN") };
+        let Clause::Return(proj) = &q.clauses[1] else {
+            panic!("expected RETURN")
+        };
         assert!(proj.distinct);
         assert_eq!(proj.items[0].alias, "x.asn");
     }
@@ -724,7 +766,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.clauses.len(), 3);
-        assert!(matches!(&q.clauses[1], Clause::Where(Expr::Binary(BinOp::Ne, _, _))));
+        assert!(matches!(
+            &q.clauses[1],
+            Clause::Where(Expr::Binary(BinOp::Ne, _, _))
+        ));
     }
 
     #[test]
@@ -737,11 +782,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.clauses.len(), 4);
-        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[0] else {
+            panic!()
+        };
         let tag = &patterns[0].hops[2].1;
         assert_eq!(tag.labels, vec!["Tag"]);
         assert_eq!(tag.props[0].0, "label");
-        let Clause::Match { patterns, .. } = &q.clauses[2] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[2] else {
+            panic!()
+        };
         let rel = &patterns[0].hops[1].0;
         assert_eq!(rel.props[0].0, "reference_name");
     }
@@ -749,7 +798,9 @@ mod tests {
     #[test]
     fn parses_directed_arrows() {
         let q = parse("MATCH (a)-[:R]->(b)<-[:S]-(c) RETURN a").unwrap();
-        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(patterns[0].hops[0].0.dir, RelDir::Right);
         assert_eq!(patterns[0].hops[1].0.dir, RelDir::Left);
     }
@@ -757,20 +808,33 @@ mod tests {
     #[test]
     fn parses_multiple_rel_types() {
         let q = parse("MATCH (a)-[:R|S|:T]-(b) RETURN a").unwrap();
-        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(patterns[0].hops[0].0.types, vec!["R", "S", "T"]);
     }
 
     #[test]
     fn parses_count_star_and_aggregates() {
         let q = parse("MATCH (n) RETURN count(*), count(DISTINCT n), collect(n.x) AS xs").unwrap();
-        let Clause::Return(p) = &q.clauses[1] else { panic!() };
+        let Clause::Return(p) = &q.clauses[1] else {
+            panic!()
+        };
         assert_eq!(p.items.len(), 3);
-        let Expr::Call { name, distinct, args } = &p.items[0].expr else { panic!() };
+        let Expr::Call {
+            name,
+            distinct,
+            args,
+        } = &p.items[0].expr
+        else {
+            panic!()
+        };
         assert_eq!(name, "count");
         assert!(!distinct);
         assert!(args.is_empty());
-        let Expr::Call { distinct, .. } = &p.items[1].expr else { panic!() };
+        let Expr::Call { distinct, .. } = &p.items[1].expr else {
+            panic!()
+        };
         assert!(distinct);
         assert_eq!(p.items[2].alias, "xs");
     }
@@ -785,7 +849,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.clauses.len(), 4);
-        let Clause::Return(p) = &q.clauses[3] else { panic!() };
+        let Clause::Return(p) = &q.clauses[3] else {
+            panic!()
+        };
         assert_eq!(p.order_by.len(), 2);
         assert!(p.order_by[0].descending);
         assert!(!p.order_by[1].descending);
@@ -799,7 +865,9 @@ mod tests {
             "MATCH (t:Tag) WHERE t.label STARTS WITH 'RPKI Invalid' AND t.x IN [1,2,3] RETURN t",
         )
         .unwrap();
-        let Clause::Where(e) = &q.clauses[1] else { panic!() };
+        let Clause::Where(e) = &q.clauses[1] else {
+            panic!()
+        };
         assert!(matches!(e, Expr::Binary(BinOp::And, _, _)));
     }
 
@@ -815,7 +883,9 @@ mod tests {
             "MATCH (n) RETURN CASE WHEN n.af = 4 THEN 'v4' WHEN n.af = 6 THEN 'v6' ELSE '?' END AS fam",
         )
         .unwrap();
-        let Clause::Return(p) = &q.clauses[1] else { panic!() };
+        let Clause::Return(p) = &q.clauses[1] else {
+            panic!()
+        };
         assert!(matches!(&p.items[0].expr, Expr::Case { branches, .. } if branches.len() == 2));
         assert_eq!(p.items[0].alias, "fam");
     }
@@ -823,7 +893,9 @@ mod tests {
     #[test]
     fn parses_is_null() {
         let q = parse("MATCH (n) WHERE n.x IS NOT NULL AND n.y IS NULL RETURN n").unwrap();
-        let Clause::Where(Expr::Binary(BinOp::And, a, b)) = &q.clauses[1] else { panic!() };
+        let Clause::Where(Expr::Binary(BinOp::And, a, b)) = &q.clauses[1] else {
+            panic!()
+        };
         assert!(matches!(a.as_ref(), Expr::IsNull(_, true)));
         assert!(matches!(b.as_ref(), Expr::IsNull(_, false)));
     }
@@ -840,7 +912,9 @@ mod tests {
     #[test]
     fn backticked_ranking_name() {
         let q = parse("MATCH (r:Ranking {name: 'Tranco top 1M'})-[:RANK]-(d) RETURN d").unwrap();
-        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(patterns[0].start.props[0].0, "name");
     }
 }
@@ -865,7 +939,9 @@ mod edge_case_tests {
     fn keyword_like_identifiers_work_as_variables() {
         // `matcher`, `returned` must not be eaten as keywords.
         let q = parse("MATCH (matcher:AS) RETURN matcher.asn").unwrap();
-        let Clause::Match { patterns, .. } = &q.clauses[0] else { panic!() };
+        let Clause::Match { patterns, .. } = &q.clauses[0] else {
+            panic!()
+        };
         assert_eq!(patterns[0].start.var.as_deref(), Some("matcher"));
     }
 
@@ -879,7 +955,9 @@ mod edge_case_tests {
             ("MATCH (a)-[:R*2..]-(b) RETURN a", (2, VAR_LENGTH_CAP)),
         ] {
             let ast = parse(q).unwrap();
-            let Clause::Match { patterns, .. } = &ast.clauses[0] else { panic!() };
+            let Clause::Match { patterns, .. } = &ast.clauses[0] else {
+                panic!()
+            };
             assert_eq!(patterns[0].hops[0].0.var_length, Some(expected), "{q}");
         }
     }
@@ -919,10 +997,10 @@ mod edge_case_tests {
 
     #[test]
     fn deeply_nested_expressions() {
-        assert!(parse(
-            "MATCH (n) WHERE ((n.a + 1) * (n.b - 2)) / (n.c % 3) > -(n.d ^ 2) RETURN n"
-        )
-        .is_ok());
+        assert!(
+            parse("MATCH (n) WHERE ((n.a + 1) * (n.b - 2)) / (n.c % 3) > -(n.d ^ 2) RETURN n")
+                .is_ok()
+        );
         assert!(parse(
             "MATCH (n) RETURN CASE WHEN n.x IN [1, [2, 3], 'a'] THEN coalesce(n.y, n.z, 0) ELSE size(split(n.s, '.')) END"
         )

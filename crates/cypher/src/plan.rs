@@ -1,0 +1,432 @@
+//! Execution plans for `EXPLAIN` and `PROFILE`.
+//!
+//! The executor is a clause pipeline, so the plan is a linear operator
+//! chain rooted at `ProduceResults`. `EXPLAIN` builds the chain from
+//! the AST plus graph statistics (which anchor the matcher would pick,
+//! how many nodes a label scan would touch); `PROFILE` additionally
+//! runs the query and annotates every operator with the rows it
+//! produced and the wall time it consumed.
+
+use crate::ast::*;
+use iyp_graph::Graph;
+use std::time::Duration;
+
+/// One operator in an execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// Operator name, e.g. `NodeByLabelScan`, `Filter`, `ProduceResults`.
+    pub op: String,
+    /// Human-readable operator arguments.
+    pub detail: String,
+    /// Input operators (the pipeline has exactly zero or one).
+    pub children: Vec<PlanNode>,
+    /// Rows this operator produced (`PROFILE` only).
+    pub rows: Option<u64>,
+    /// Wall time spent in this operator (`PROFILE` only).
+    pub time: Option<Duration>,
+    /// Index of the source clause this operator corresponds to, when
+    /// it maps one-to-one (used to attach `PROFILE` measurements).
+    pub clause: Option<usize>,
+}
+
+impl PlanNode {
+    /// A bare operator node.
+    pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        PlanNode {
+            op: op.into(),
+            detail: detail.into(),
+            children: Vec::new(),
+            rows: None,
+            time: None,
+            clause: None,
+        }
+    }
+
+    /// Pretty-prints the plan as an indented operator tree, one line
+    /// per operator, annotations aligned right when present.
+    pub fn render(&self) -> String {
+        let mut lines = Vec::new();
+        self.render_into(0, &mut lines);
+        lines.join("\n")
+    }
+
+    /// The plan as individual display lines (used to shape a
+    /// [`crate::ResultSet`] for the text protocol).
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        self.render_into(0, &mut lines);
+        lines
+    }
+
+    fn render_into(&self, depth: usize, out: &mut Vec<String>) {
+        let indent = if depth == 0 {
+            String::new()
+        } else {
+            format!("{}+- ", "   ".repeat(depth - 1))
+        };
+        let mut line = format!("{indent}{}", self.op);
+        if !self.detail.is_empty() {
+            line.push_str(&format!(" ({})", self.detail));
+        }
+        let mut notes = Vec::new();
+        if let Some(rows) = self.rows {
+            notes.push(format!("rows={rows}"));
+        }
+        if let Some(t) = self.time {
+            notes.push(format!("time={:.3}ms", t.as_secs_f64() * 1e3));
+        }
+        if !notes.is_empty() {
+            line.push_str(&format!("  [{}]", notes.join(" ")));
+        }
+        out.push(line);
+        for child in &self.children {
+            child.render_into(depth + 1, out);
+        }
+    }
+
+    /// Depth-first operator list, root first (pipelines are linear, so
+    /// this is execution order reversed).
+    pub fn flatten(&self) -> Vec<&PlanNode> {
+        let mut out = vec![self];
+        for c in &self.children {
+            out.extend(c.flatten());
+        }
+        out
+    }
+
+    /// Finds the first operator whose name matches.
+    pub fn find(&self, op: &str) -> Option<&PlanNode> {
+        self.flatten().into_iter().find(|n| n.op == op)
+    }
+}
+
+/// Builds the execution plan for a parsed query without running it.
+/// The chain is rooted at the final clause (`ProduceResults`); leaves
+/// are the data-access operators.
+pub fn plan_query(graph: &Graph, ast: &Query) -> PlanNode {
+    let mut chain: Option<PlanNode> = None;
+    let mut bound: Vec<String> = Vec::new();
+    for (i, clause) in ast.clauses.iter().enumerate() {
+        let mut node = plan_clause(graph, clause, &bound);
+        node.clause = Some(i);
+        for var in clause_vars(clause) {
+            if !bound.contains(&var) {
+                bound.push(var);
+            }
+        }
+        if let Some(prev) = chain.take() {
+            node.children.push(prev);
+        }
+        chain = Some(node);
+    }
+    chain.unwrap_or_else(|| PlanNode::new("EmptyPlan", ""))
+}
+
+/// Attaches `PROFILE` measurements (rows produced and wall time per
+/// clause, in pipeline order) to a plan built by [`plan_query`].
+pub fn annotate(mut plan: PlanNode, stats: &[(u64, Duration)]) -> PlanNode {
+    fn walk(node: &mut PlanNode, stats: &[(u64, Duration)]) {
+        if let Some((rows, time)) = node.clause.and_then(|i| stats.get(i)) {
+            node.rows = Some(*rows);
+            node.time = Some(*time);
+        }
+        for child in &mut node.children {
+            walk(child, stats);
+        }
+    }
+    walk(&mut plan, stats);
+    plan
+}
+
+fn plan_clause(graph: &Graph, clause: &Clause, bound: &[String]) -> PlanNode {
+    match clause {
+        Clause::Match { optional, patterns } => {
+            let op = if *optional { "OptionalMatch" } else { "Match" };
+            let mut node = PlanNode::new(op, summarize_patterns(patterns));
+            // Describe the access path for each pattern the way the
+            // matcher will pick it: bound variable, index seek, or the
+            // cheapest label scan.
+            for p in patterns {
+                node.children.push(access_path(graph, p, bound));
+            }
+            node
+        }
+        Clause::Where(e) => PlanNode::new("Filter", expr_summary(e)),
+        Clause::Unwind { var, .. } => PlanNode::new("Unwind", format!("AS {var}")),
+        Clause::With(proj) => projection_node("Projection", proj),
+        Clause::Return(proj) => projection_node("ProduceResults", proj),
+        Clause::Create(_) => PlanNode::new("Create", ""),
+        Clause::Merge(_) => PlanNode::new("Merge", ""),
+        Clause::Set(_) => PlanNode::new("SetProperties", ""),
+        Clause::Delete { detach, .. } => {
+            PlanNode::new(if *detach { "DetachDelete" } else { "Delete" }, "")
+        }
+    }
+}
+
+fn projection_node(op: &str, proj: &Projection) -> PlanNode {
+    let mut parts = Vec::new();
+    if proj.distinct {
+        parts.push("DISTINCT".to_string());
+    }
+    parts.push(
+        proj.items
+            .iter()
+            .map(|i| i.alias.clone())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    if !proj.order_by.is_empty() {
+        parts.push(format!("ORDER BY {} key(s)", proj.order_by.len()));
+    }
+    if proj.skip.is_some() {
+        parts.push("SKIP".into());
+    }
+    if proj.limit.is_some() {
+        parts.push("LIMIT".into());
+    }
+    PlanNode::new(op, parts.join(" "))
+}
+
+/// Mirrors the matcher's anchor selection: which node of the pattern
+/// execution starts from, and what that costs.
+fn access_path(graph: &Graph, pattern: &PathPattern, bound: &[String]) -> PlanNode {
+    let nodes: Vec<&NodePattern> = std::iter::once(&pattern.start)
+        .chain(pattern.hops.iter().map(|(_, n)| n))
+        .collect();
+    // Rank: bound var < index lookup < smallest label scan.
+    let mut best: Option<(usize, PlanNode)> = None;
+    for np in &nodes {
+        let var = np.var.clone().unwrap_or_else(|| "_".into());
+        let (rank, node) = if np.var.as_ref().is_some_and(|v| bound.contains(v)) {
+            (0usize, PlanNode::new("BoundVariable", var))
+        } else if !np.labels.is_empty() && !np.props.is_empty() {
+            (
+                1,
+                PlanNode::new(
+                    "NodeIndexSeek",
+                    format!("{var}:{} {{{}}}", np.labels.join(":"), np.props[0].0),
+                ),
+            )
+        } else if let Some(first) = np.labels.first() {
+            let count = graph.label_count(first);
+            (
+                2 + count,
+                PlanNode::new("NodeByLabelScan", format!("{var}:{first} (~{count} nodes)")),
+            )
+        } else {
+            let count = graph.node_count();
+            (
+                2 + count,
+                PlanNode::new("AllNodesScan", format!("{var} (~{count} nodes)")),
+            )
+        };
+        if best.as_ref().is_none_or(|(r, _)| rank < *r) {
+            best = Some((rank, node));
+        }
+    }
+    let mut access = best.map(|(_, n)| n).expect("pattern has at least one node");
+    if !pattern.hops.is_empty() {
+        let mut expand = PlanNode::new("Expand", format!("{} hop(s)", pattern.hops.len()));
+        expand.children.push(access);
+        access = expand;
+    }
+    access
+}
+
+/// Variables introduced by a clause (tracked for anchor planning).
+fn clause_vars(clause: &Clause) -> Vec<String> {
+    match clause {
+        Clause::Match { patterns, .. } | Clause::Create(patterns) => {
+            crate::exec::pattern_vars(patterns)
+        }
+        Clause::Merge(p) => crate::exec::pattern_vars(std::slice::from_ref(p)),
+        Clause::Unwind { var, .. } => vec![var.clone()],
+        Clause::With(proj) => proj.items.iter().map(|i| i.alias.clone()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+/// Compact single-line rendering of a set of path patterns.
+pub fn summarize_patterns(patterns: &[PathPattern]) -> String {
+    patterns
+        .iter()
+        .map(pattern_summary)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn pattern_summary(p: &PathPattern) -> String {
+    let mut s = node_summary(&p.start);
+    for (rel, node) in &p.hops {
+        let types = if rel.types.is_empty() {
+            String::new()
+        } else {
+            format!(":{}", rel.types.join("|"))
+        };
+        let var = rel.var.clone().unwrap_or_default();
+        let body = if var.is_empty() && types.is_empty() {
+            String::new()
+        } else {
+            format!("[{var}{types}]")
+        };
+        let arrow = match rel.dir {
+            RelDir::Right => format!("-{body}->"),
+            RelDir::Left => format!("<-{body}-"),
+            RelDir::Undirected => format!("-{body}-"),
+        };
+        s.push_str(&arrow);
+        s.push_str(&node_summary(node));
+    }
+    s
+}
+
+fn node_summary(n: &NodePattern) -> String {
+    let mut s = String::from("(");
+    if let Some(v) = &n.var {
+        s.push_str(v);
+    }
+    for l in &n.labels {
+        s.push(':');
+        s.push_str(l);
+    }
+    if !n.props.is_empty() {
+        s.push_str(" {");
+        s.push_str(
+            &n.props
+                .iter()
+                .map(|(k, _)| format!("{k}: …"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        s.push('}');
+    }
+    s.push(')');
+    s
+}
+
+/// Compact single-line rendering of an expression (for `Filter` rows).
+pub fn expr_summary(e: &Expr) -> String {
+    match e {
+        Expr::Lit(iyp_graph::Value::Str(s)) => format!("'{s}'"),
+        Expr::Lit(v) => format!("{v}"),
+        Expr::Param(p) => format!("${p}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Prop(b, k) => format!("{}.{k}", expr_summary(b)),
+        Expr::List(items) => format!(
+            "[{}]",
+            items
+                .iter()
+                .map(expr_summary)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Expr::Unary(UnaryOp::Not, b) => format!("NOT {}", expr_summary(b)),
+        Expr::Unary(UnaryOp::Neg, b) => format!("-{}", expr_summary(b)),
+        Expr::Binary(op, a, b) => {
+            let sym = match op {
+                BinOp::And => "AND",
+                BinOp::Or => "OR",
+                BinOp::Xor => "XOR",
+                BinOp::Eq => "=",
+                BinOp::Ne => "<>",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%",
+                BinOp::Pow => "^",
+                BinOp::In => "IN",
+                BinOp::StartsWith => "STARTS WITH",
+                BinOp::EndsWith => "ENDS WITH",
+                BinOp::Contains => "CONTAINS",
+            };
+            format!("{} {sym} {}", expr_summary(a), expr_summary(b))
+        }
+        Expr::IsNull(b, negated) => format!(
+            "{} IS {}NULL",
+            expr_summary(b),
+            if *negated { "NOT " } else { "" }
+        ),
+        Expr::Call {
+            name,
+            distinct,
+            args,
+        } => format!(
+            "{name}({}{})",
+            if *distinct { "DISTINCT " } else { "" },
+            args.iter().map(expr_summary).collect::<Vec<_>>().join(", ")
+        ),
+        Expr::Index(a, b) => format!("{}[{}]", expr_summary(a), expr_summary(b)),
+        Expr::Case { .. } => "CASE … END".into(),
+        Expr::Exists { patterns, .. } => {
+            format!("EXISTS {{ {} }}", summarize_patterns(patterns))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use iyp_graph::{Graph, Props};
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 64496u32, Props::new());
+        let p = g.merge_node("Prefix", "prefix", "192.0.2.0/24", Props::new());
+        g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
+        g
+    }
+
+    #[test]
+    fn plan_is_rooted_at_produce_results() {
+        let g = sample_graph();
+        let ast =
+            parse("MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) WHERE a.asn > 0 RETURN p.prefix").unwrap();
+        let plan = plan_query(&g, &ast);
+        assert_eq!(plan.op, "ProduceResults");
+        assert!(plan.find("Filter").is_some());
+        assert!(plan.find("Match").is_some());
+        let rendered = plan.render();
+        assert!(
+            rendered.contains("NodeByLabelScan") || rendered.contains("Expand"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn index_seek_beats_label_scan() {
+        let g = sample_graph();
+        let ast = parse("MATCH (a:AS {asn: 64496}) RETURN a.asn").unwrap();
+        let plan = plan_query(&g, &ast);
+        assert!(plan.render().contains("NodeIndexSeek"), "{}", plan.render());
+    }
+
+    #[test]
+    fn annotate_attaches_stats_in_pipeline_order() {
+        let g = sample_graph();
+        let ast = parse("MATCH (a:AS) RETURN count(*)").unwrap();
+        let plan = plan_query(&g, &ast);
+        let stats = vec![
+            (7u64, Duration::from_millis(1)),
+            (1u64, Duration::from_millis(2)),
+        ];
+        let annotated = annotate(plan, &stats);
+        assert_eq!(annotated.rows, Some(1)); // ProduceResults is last
+        assert_eq!(annotated.children[0].rows, Some(7)); // Match is first
+    }
+
+    #[test]
+    fn expr_summary_is_compact() {
+        let ast = parse("MATCH (a) WHERE a.asn <> 3 AND a.name STARTS WITH 'x' RETURN a").unwrap();
+        let Clause::Where(e) = &ast.clauses[1] else {
+            panic!("expected WHERE")
+        };
+        assert_eq!(expr_summary(e), "a.asn <> 3 AND a.name STARTS WITH 'x'");
+    }
+}

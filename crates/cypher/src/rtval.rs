@@ -146,7 +146,10 @@ mod tests {
         let mut g = Graph::new();
         let a = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
         let v = RtVal::Node(a);
-        assert_eq!(v.prop(&g, "name").as_scalar().unwrap().as_str(), Some("IIJ"));
+        assert_eq!(
+            v.prop(&g, "name").as_scalar().unwrap().as_str(),
+            Some("IIJ")
+        );
         assert!(v.prop(&g, "missing").is_null());
         assert!(RtVal::Scalar(Value::Int(1)).prop(&g, "x").is_null());
     }
@@ -178,6 +181,9 @@ mod tests {
         let r = g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
         assert!(RtVal::Node(a).render(&g).contains(":AS"));
         assert!(RtVal::Rel(r).render(&g).contains("PEERS_WITH"));
-        assert_eq!(RtVal::List(vec![RtVal::Scalar(Value::Int(1))]).render(&g), "[1]");
+        assert_eq!(
+            RtVal::List(vec![RtVal::Scalar(Value::Int(1))]).render(&g),
+            "[1]"
+        );
     }
 }

@@ -40,6 +40,11 @@ pub fn query_write(
     params: &Params,
 ) -> Result<(ResultSet, WriteSummary), CypherError> {
     let ast = parse(text)?;
+    if ast.mode != QueryMode::Normal {
+        return Err(CypherError::runtime(
+            "EXPLAIN/PROFILE are not supported for write queries",
+        ));
+    }
     execute_write(graph, &ast, params)
 }
 
@@ -56,11 +61,19 @@ pub fn execute_write(
     for clause in &ast.clauses {
         match clause {
             Clause::Match { optional, patterns } => {
-                let ctx = EvalCtx { graph, params, exists: None };
+                let ctx = EvalCtx {
+                    graph,
+                    params,
+                    exists: None,
+                };
                 rows = exec_match(&ctx, rows, patterns, *optional)?;
             }
             Clause::Where(expr) => {
-                let ctx = EvalCtx { graph, params, exists: None };
+                let ctx = EvalCtx {
+                    graph,
+                    params,
+                    exists: None,
+                };
                 let mut kept = Vec::with_capacity(rows.len());
                 for row in rows {
                     if truth(&ctx.eval(expr, &row)?) == Some(true) {
@@ -70,7 +83,11 @@ pub fn execute_write(
                 rows = kept;
             }
             Clause::Unwind { expr, var } => {
-                let ctx = EvalCtx { graph, params, exists: None };
+                let ctx = EvalCtx {
+                    graph,
+                    params,
+                    exists: None,
+                };
                 let mut out = Vec::new();
                 for row in rows {
                     let v = ctx.eval(expr, &row)?;
@@ -89,7 +106,11 @@ pub fn execute_write(
                 rows = out;
             }
             Clause::With(proj) => {
-                let ctx = EvalCtx { graph, params, exists: None };
+                let ctx = EvalCtx {
+                    graph,
+                    params,
+                    exists: None,
+                };
                 let (cols, projected) = project(&ctx, rows, proj)?;
                 rows = projected
                     .into_iter()
@@ -97,9 +118,16 @@ pub fn execute_write(
                     .collect();
             }
             Clause::Return(proj) => {
-                let ctx = EvalCtx { graph, params, exists: None };
+                let ctx = EvalCtx {
+                    graph,
+                    params,
+                    exists: None,
+                };
                 let (cols, projected) = project(&ctx, rows, proj)?;
-                result = Some(ResultSet { columns: cols, rows: projected });
+                result = Some(ResultSet {
+                    columns: cols,
+                    rows: projected,
+                });
                 rows = Vec::new();
             }
             Clause::Create(patterns) => {
@@ -118,7 +146,11 @@ pub fn execute_write(
                 for row in rows {
                     // Try to match first.
                     let matches = {
-                        let ctx = EvalCtx { graph, params, exists: None };
+                        let ctx = EvalCtx {
+                            graph,
+                            params,
+                            exists: None,
+                        };
                         let mut found = Vec::new();
                         match_pattern(&ctx, &row, &HashSet::new(), pattern, &mut found)?;
                         found
@@ -135,7 +167,11 @@ pub fn execute_write(
                 // Evaluate all assignments against the pre-SET state.
                 let mut planned: Vec<(RtVal, String, Value)> = Vec::new();
                 {
-                    let ctx = EvalCtx { graph, params, exists: None };
+                    let ctx = EvalCtx {
+                        graph,
+                        params,
+                        exists: None,
+                    };
                     for row in &rows {
                         for item in items {
                             let target = row.get(&item.var).cloned().ok_or_else(|| {
@@ -178,7 +214,11 @@ pub fn execute_write(
                 let mut nodes: Vec<NodeId> = Vec::new();
                 let mut rels: Vec<RelId> = Vec::new();
                 {
-                    let ctx = EvalCtx { graph, params, exists: None };
+                    let ctx = EvalCtx {
+                        graph,
+                        params,
+                        exists: None,
+                    };
                     for row in &rows {
                         for e in exprs {
                             match ctx.eval(e, row)? {
@@ -187,8 +227,8 @@ pub fn execute_write(
                                 RtVal::Scalar(Value::Null) => {}
                                 other => {
                                     return Err(CypherError::runtime(format!(
-                                        "DELETE target must be a node or relationship, got {other:?}"
-                                    )))
+                                    "DELETE target must be a node or relationship, got {other:?}"
+                                )))
                                 }
                             }
                         }
@@ -201,7 +241,9 @@ pub fn execute_write(
                 for r in rels {
                     // The rel may already be gone via an earlier detach.
                     if graph.rel(r).is_some() {
-                        graph.delete_rel(r).map_err(|e| CypherError::runtime(e.to_string()))?;
+                        graph
+                            .delete_rel(r)
+                            .map_err(|e| CypherError::runtime(e.to_string()))?;
                         summary.rels_deleted += 1;
                     }
                 }
@@ -214,15 +256,19 @@ pub fn execute_write(
                         ));
                     }
                     summary.rels_deleted += node.degree();
-                    graph.delete_node(n).map_err(|e| CypherError::runtime(e.to_string()))?;
+                    graph
+                        .delete_node(n)
+                        .map_err(|e| CypherError::runtime(e.to_string()))?;
                     summary.nodes_deleted += 1;
                 }
             }
         }
     }
 
-    let result =
-        result.unwrap_or(ResultSet { columns: Vec::new(), rows: Vec::new() });
+    let result = result.unwrap_or(ResultSet {
+        columns: Vec::new(),
+        rows: Vec::new(),
+    });
     Ok((result, summary))
 }
 
@@ -233,7 +279,11 @@ fn eval_props(
     row: &Row,
     props: &[(String, Expr)],
 ) -> Result<Props, CypherError> {
-    let ctx = EvalCtx { graph, params, exists: None };
+    let ctx = EvalCtx {
+        graph,
+        params,
+        exists: None,
+    };
     let mut out = Props::new();
     for (k, e) in props {
         match ctx.eval(e, row)? {
@@ -259,9 +309,9 @@ fn create_pattern(
     summary: &mut WriteSummary,
 ) -> Result<Row, CypherError> {
     let resolve_node = |graph: &mut Graph,
-                            row: &mut Row,
-                            np: &NodePattern,
-                            summary: &mut WriteSummary|
+                        row: &mut Row,
+                        np: &NodePattern,
+                        summary: &mut WriteSummary|
      -> Result<NodeId, CypherError> {
         if let Some(var) = &np.var {
             if let Some(bound) = row.get(var) {

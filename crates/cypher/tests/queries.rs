@@ -11,26 +11,62 @@ fn figure2_graph() -> Graph {
     let as64496 = g.merge_node("AS", "asn", 64496u32, Props::new());
     let as64497 = g.merge_node("AS", "asn", 64497u32, Props::new());
     // Canonicalised IPv6 prefix appearing in two datasets (IHR + BGPKIT).
-    let p6 = g.merge_node("Prefix", "prefix", "2001:db8::/32", props([("af", Value::Int(6))]));
-    let p4 = g.merge_node("Prefix", "prefix", "203.0.113.0/24", props([("af", Value::Int(4))]));
-    g.create_rel(as2497, "ORIGINATE", p6, props([("reference_name", "ihr.rov".into())]))
-        .unwrap();
-    g.create_rel(as2497, "ORIGINATE", p6, props([("reference_name", "bgpkit.pfx2as".into())]))
-        .unwrap();
+    let p6 = g.merge_node(
+        "Prefix",
+        "prefix",
+        "2001:db8::/32",
+        props([("af", Value::Int(6))]),
+    );
+    let p4 = g.merge_node(
+        "Prefix",
+        "prefix",
+        "203.0.113.0/24",
+        props([("af", Value::Int(4))]),
+    );
+    g.create_rel(
+        as2497,
+        "ORIGINATE",
+        p6,
+        props([("reference_name", "ihr.rov".into())]),
+    )
+    .unwrap();
+    g.create_rel(
+        as2497,
+        "ORIGINATE",
+        p6,
+        props([("reference_name", "bgpkit.pfx2as".into())]),
+    )
+    .unwrap();
     // MOAS prefix: p4 originated by two different ASes.
-    g.create_rel(as64496, "ORIGINATE", p4, props([("reference_name", "bgpkit.pfx2as".into())]))
-        .unwrap();
-    g.create_rel(as64497, "ORIGINATE", p4, props([("reference_name", "bgpkit.pfx2as".into())]))
-        .unwrap();
+    g.create_rel(
+        as64496,
+        "ORIGINATE",
+        p4,
+        props([("reference_name", "bgpkit.pfx2as".into())]),
+    )
+    .unwrap();
+    g.create_rel(
+        as64497,
+        "ORIGINATE",
+        p4,
+        props([("reference_name", "bgpkit.pfx2as".into())]),
+    )
+    .unwrap();
     let org = g.merge_node("Organization", "name", "CERN", Props::new());
-    g.create_rel(as2497, "MANAGED_BY", org, Props::new()).unwrap();
+    g.create_rel(as2497, "MANAGED_BY", org, Props::new())
+        .unwrap();
     let tag = g.merge_node("Tag", "label", "RPKI Valid", Props::new());
     g.create_rel(p6, "CATEGORIZED", tag, Props::new()).unwrap();
     let ip = g.merge_node("IP", "ip", "2001:db8::1", Props::new());
     g.create_rel(ip, "PART_OF", p6, Props::new()).unwrap();
     let host = g.merge_node("HostName", "name", "www.example.org", Props::new());
-    g.create_rel(host, "RESOLVES_TO", ip, props([("reference_name", "openintel.tranco1m".into())]))
-        .unwrap();
+    g.create_rel(
+        host,
+        "RESOLVES_TO",
+        ip,
+        props([("reference_name", "openintel.tranco1m".into())]),
+    )
+    .unwrap();
     g
 }
 
@@ -55,8 +91,11 @@ fn listing_1_originating_ases() {
          // Return the AS's ASN
          RETURN DISTINCT x.asn",
     );
-    let mut asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let mut asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     asns.sort();
     assert_eq!(asns, vec![2497, 64496, 64497]);
 }
@@ -90,7 +129,10 @@ fn listing_3_cern_rpki_hostnames() {
 fn reference_name_filters_datasets() {
     let g = figure2_graph();
     // Counting ORIGINATE links per dataset.
-    let both = run(&g, "MATCH (:AS)-[r:ORIGINATE]-(p:Prefix {prefix:'2001:db8::/32'}) RETURN count(r)");
+    let both = run(
+        &g,
+        "MATCH (:AS)-[r:ORIGINATE]-(p:Prefix {prefix:'2001:db8::/32'}) RETURN count(r)",
+    );
     assert_eq!(both.single_int(), Some(2));
     let ihr_only = run(
         &g,
@@ -121,7 +163,10 @@ fn grouping_by_non_aggregate_items() {
     );
     assert_eq!(rs.columns, vec!["pfx", "origins"]);
     assert_eq!(rs.rows.len(), 2);
-    assert_eq!(rs.rows[0][0].as_scalar().unwrap().as_str(), Some("203.0.113.0/24"));
+    assert_eq!(
+        rs.rows[0][0].as_scalar().unwrap().as_str(),
+        Some("203.0.113.0/24")
+    );
     assert_eq!(rs.rows[0][1].as_scalar().unwrap().as_int(), Some(2));
     assert_eq!(rs.rows[1][1].as_scalar().unwrap().as_int(), Some(1));
 }
@@ -184,8 +229,15 @@ fn with_pipeline_and_having_style_filter() {
 #[test]
 fn unwind_expands_lists() {
     let g = Graph::new();
-    let rs = run(&g, "UNWIND [1, 2, 3] AS x RETURN x * 10 AS y ORDER BY y DESC");
-    let ys: Vec<i64> = rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let rs = run(
+        &g,
+        "UNWIND [1, 2, 3] AS x RETURN x * 10 AS y ORDER BY y DESC",
+    );
+    let ys: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(ys, vec![30, 20, 10]);
 }
 
@@ -196,15 +248,21 @@ fn unwind_with_params() {
         g.merge_node("AS", "asn", asn, Props::new());
     }
     let mut params = Params::new();
-    params.insert("asns".into(), Value::List(vec![Value::Int(1), Value::Int(3)]));
+    params.insert(
+        "asns".into(),
+        Value::List(vec![Value::Int(1), Value::Int(3)]),
+    );
     let rs = query(
         &g,
         "UNWIND $asns AS a MATCH (n:AS {asn: a}) RETURN n.asn ORDER BY n.asn",
         &params,
     )
     .unwrap();
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![1, 3]);
 }
 
@@ -214,10 +272,22 @@ fn directed_patterns_respect_direction() {
     let a = g.merge_node("X", "name", "a", Props::new());
     let b = g.merge_node("X", "name", "b", Props::new());
     g.create_rel(a, "R", b, Props::new()).unwrap();
-    assert_eq!(run(&g, "MATCH (n:X {name:'a'})-[:R]->(m) RETURN count(m)").single_int(), Some(1));
-    assert_eq!(run(&g, "MATCH (n:X {name:'a'})<-[:R]-(m) RETURN count(m)").single_int(), Some(0));
-    assert_eq!(run(&g, "MATCH (n:X {name:'b'})<-[:R]-(m) RETURN count(m)").single_int(), Some(1));
-    assert_eq!(run(&g, "MATCH (n:X {name:'a'})-[:R]-(m) RETURN count(m)").single_int(), Some(1));
+    assert_eq!(
+        run(&g, "MATCH (n:X {name:'a'})-[:R]->(m) RETURN count(m)").single_int(),
+        Some(1)
+    );
+    assert_eq!(
+        run(&g, "MATCH (n:X {name:'a'})<-[:R]-(m) RETURN count(m)").single_int(),
+        Some(0)
+    );
+    assert_eq!(
+        run(&g, "MATCH (n:X {name:'b'})<-[:R]-(m) RETURN count(m)").single_int(),
+        Some(1)
+    );
+    assert_eq!(
+        run(&g, "MATCH (n:X {name:'a'})-[:R]-(m) RETURN count(m)").single_int(),
+        Some(1)
+    );
 }
 
 #[test]
@@ -228,11 +298,17 @@ fn relationship_uniqueness_within_match() {
     let a = g.merge_node("AS", "asn", 1u32, Props::new());
     let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
     g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
-    let rs = run(&g, "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) RETURN count(*)");
+    let rs = run(
+        &g,
+        "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) RETURN count(*)",
+    );
     assert_eq!(rs.single_int(), Some(0));
     // With two parallel links the pattern CAN match (x = y though).
     g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
-    let rs = run(&g, "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) RETURN count(*)");
+    let rs = run(
+        &g,
+        "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) RETURN count(*)",
+    );
     assert_eq!(rs.single_int(), Some(2)); // two orderings of the two rels
 }
 
@@ -244,7 +320,10 @@ fn multiple_rel_types() {
     let c = g.merge_node("AS", "asn", 3u32, Props::new());
     g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
     g.create_rel(a, "SIBLING_OF", c, Props::new()).unwrap();
-    let rs = run(&g, "MATCH (x:AS {asn:1})-[:PEERS_WITH|SIBLING_OF]-(y) RETURN count(y)");
+    let rs = run(
+        &g,
+        "MATCH (x:AS {asn:1})-[:PEERS_WITH|SIBLING_OF]-(y) RETURN count(y)",
+    );
     assert_eq!(rs.single_int(), Some(2));
     let rs = run(&g, "MATCH (x:AS {asn:1})-[:PEERS_WITH]-(y) RETURN count(y)");
     assert_eq!(rs.single_int(), Some(1));
@@ -253,7 +332,12 @@ fn multiple_rel_types() {
 #[test]
 fn starts_with_filter() {
     let mut g = Graph::new();
-    for label in ["RPKI Valid", "RPKI Invalid", "RPKI Invalid, more specific", "Anycast"] {
+    for label in [
+        "RPKI Valid",
+        "RPKI Invalid",
+        "RPKI Invalid, more specific",
+        "Anycast",
+    ] {
         g.merge_node("Tag", "label", label, Props::new());
     }
     let rs = run(
@@ -269,8 +353,15 @@ fn order_skip_limit() {
     for asn in 1..=10u32 {
         g.merge_node("AS", "asn", asn, Props::new());
     }
-    let rs = run(&g, "MATCH (n:AS) RETURN n.asn AS a ORDER BY a DESC SKIP 2 LIMIT 3");
-    let asns: Vec<i64> = rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let rs = run(
+        &g,
+        "MATCH (n:AS) RETURN n.asn AS a ORDER BY a DESC SKIP 2 LIMIT 3",
+    );
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![8, 7, 6]);
 }
 
@@ -279,7 +370,10 @@ fn distinct_on_nodes() {
     let g = figure2_graph();
     // AS2497 originates p6 via two datasets; DISTINCT on the node
     // collapses them.
-    let rs = run(&g, "MATCH (a:AS {asn: 2497})-[:ORIGINATE]-(p:Prefix) RETURN DISTINCT p");
+    let rs = run(
+        &g,
+        "MATCH (a:AS {asn: 2497})-[:ORIGINATE]-(p:Prefix) RETURN DISTINCT p",
+    );
     assert_eq!(rs.rows.len(), 1);
     assert!(matches!(rs.rows[0][0], RtVal::Node(_)));
 }
@@ -309,7 +403,10 @@ fn avg_min_max_sum() {
     for (i, v) in [10i64, 20, 30, 40].iter().enumerate() {
         g.merge_node("N", "name", format!("n{i}"), props([("v", Value::Int(*v))]));
     }
-    let rs = run(&g, "MATCH (n:N) RETURN sum(n.v), avg(n.v), min(n.v), max(n.v)");
+    let rs = run(
+        &g,
+        "MATCH (n:N) RETURN sum(n.v), avg(n.v), min(n.v), max(n.v)",
+    );
     assert_eq!(rs.rows[0][0].as_scalar().unwrap().as_int(), Some(100));
     assert_eq!(rs.rows[0][1].as_scalar().unwrap().as_float(), Some(25.0));
     assert_eq!(rs.rows[0][2].as_scalar().unwrap().as_int(), Some(10));
@@ -387,7 +484,10 @@ fn labels_function_and_multilabel() {
         "MATCH (n:AuthoritativeNameServer) RETURN size(labels(n)) AS nl, n.name AS name",
     );
     assert_eq!(rs.rows[0][0].as_scalar().unwrap().as_int(), Some(2));
-    assert_eq!(rs.rows[0][1].as_scalar().unwrap().as_str(), Some("ns1.example.com"));
+    assert_eq!(
+        rs.rows[0][1].as_scalar().unwrap().as_str(),
+        Some("ns1.example.com")
+    );
 }
 
 #[test]
@@ -396,7 +496,8 @@ fn long_chain_pattern() {
     let mut g = Graph::new();
     let ranking = g.merge_node("Ranking", "name", "Tranco top 1M", Props::new());
     let d = g.merge_node("DomainName", "name", "example.com", Props::new());
-    g.create_rel(ranking, "RANK", d, props([("rank", Value::Int(42))])).unwrap();
+    g.create_rel(ranking, "RANK", d, props([("rank", Value::Int(42))]))
+        .unwrap();
     let h = g.merge_node("HostName", "name", "example.com", Props::new());
     g.create_rel(h, "PART_OF", d, Props::new()).unwrap();
     let ip = g.merge_node("IP", "ip", "198.51.100.7", Props::new());
@@ -459,18 +560,27 @@ fn chain_graph() -> Graph {
     let transit = g.merge_node("AS", "asn", 2u32, props([("tier", Value::Int(2))]));
     let tier1 = g.merge_node("AS", "asn", 3u32, props([("tier", Value::Int(1))]));
     let tier1b = g.merge_node("AS", "asn", 4u32, props([("tier", Value::Int(1))]));
-    g.create_rel(stub, "PEERS_WITH", transit, Props::new()).unwrap();
-    g.create_rel(transit, "PEERS_WITH", tier1, Props::new()).unwrap();
-    g.create_rel(tier1, "PEERS_WITH", tier1b, Props::new()).unwrap();
+    g.create_rel(stub, "PEERS_WITH", transit, Props::new())
+        .unwrap();
+    g.create_rel(transit, "PEERS_WITH", tier1, Props::new())
+        .unwrap();
+    g.create_rel(tier1, "PEERS_WITH", tier1b, Props::new())
+        .unwrap();
     g
 }
 
 #[test]
 fn var_length_exact() {
     let g = chain_graph();
-    let rs = run(&g, "MATCH (a:AS {asn:1})-[:PEERS_WITH*2]-(b:AS) RETURN b.asn");
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let rs = run(
+        &g,
+        "MATCH (a:AS {asn:1})-[:PEERS_WITH*2]-(b:AS) RETURN b.asn",
+    );
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![3]);
 }
 
@@ -481,8 +591,11 @@ fn var_length_range() {
         &g,
         "MATCH (a:AS {asn:1})-[:PEERS_WITH*1..3]-(b:AS) RETURN b.asn ORDER BY b.asn",
     );
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![2, 3, 4]);
 }
 
@@ -490,23 +603,35 @@ fn var_length_range() {
 fn var_length_unbounded_respects_rel_uniqueness() {
     let g = chain_graph();
     // `*` walks each relationship at most once per path.
-    let rs = run(&g, "MATCH (a:AS {asn:1})-[:PEERS_WITH*]-(b:AS) RETURN count(b)");
+    let rs = run(
+        &g,
+        "MATCH (a:AS {asn:1})-[:PEERS_WITH*]-(b:AS) RETURN count(b)",
+    );
     assert_eq!(rs.single_int(), Some(3));
 }
 
 #[test]
 fn var_length_zero_includes_start() {
     let g = chain_graph();
-    let rs = run(&g, "MATCH (a:AS {asn:1})-[:PEERS_WITH*0..1]-(b:AS) RETURN b.asn ORDER BY b.asn");
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let rs = run(
+        &g,
+        "MATCH (a:AS {asn:1})-[:PEERS_WITH*0..1]-(b:AS) RETURN b.asn ORDER BY b.asn",
+    );
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![1, 2]);
 }
 
 #[test]
 fn var_length_binds_rel_list() {
     let g = chain_graph();
-    let rs = run(&g, "MATCH (a:AS {asn:1})-[rels:PEERS_WITH*2]-(b:AS) RETURN size(rels)");
+    let rs = run(
+        &g,
+        "MATCH (a:AS {asn:1})-[rels:PEERS_WITH*2]-(b:AS) RETURN size(rels)",
+    );
     assert_eq!(rs.single_int(), Some(2));
 }
 
@@ -520,8 +645,11 @@ fn exists_subquery_filters() {
          WHERE EXISTS { MATCH (a)-[:MANAGED_BY]-(:Organization) }
          RETURN a.asn",
     );
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![2497]);
 }
 
@@ -534,8 +662,11 @@ fn exists_with_inner_where() {
          WHERE EXISTS { MATCH (a)-[:ORIGINATE]-(p:Prefix) WHERE p.af = 6 }
          RETURN DISTINCT a.asn",
     );
-    let asns: Vec<i64> =
-        rs.rows.iter().map(|r| r[0].as_scalar().unwrap().as_int().unwrap()).collect();
+    let asns: Vec<i64> = rs
+        .rows
+        .iter()
+        .map(|r| r[0].as_scalar().unwrap().as_int().unwrap())
+        .collect();
     assert_eq!(asns, vec![2497]);
 }
 

@@ -34,7 +34,10 @@ fn create_path_and_return() {
     assert_eq!(s.nodes_created, 2);
     assert_eq!(s.rels_created, 1);
     assert_eq!(rs.rows[0][0].as_scalar().unwrap().as_int(), Some(1));
-    assert_eq!(count(&g, "MATCH (:AS)-[:ORIGINATE]->(:Prefix) RETURN count(*)"), 1);
+    assert_eq!(
+        count(&g, "MATCH (:AS)-[:ORIGINATE]->(:Prefix) RETURN count(*)"),
+        1
+    );
 }
 
 #[test]
@@ -47,15 +50,24 @@ fn create_uses_bound_variables() {
     );
     assert_eq!(s.nodes_created, 0);
     assert_eq!(s.rels_created, 1);
-    assert_eq!(count(&g, "MATCH (:AS)-[:PEERS_WITH]-(:AS) RETURN count(*)"), 2);
+    assert_eq!(
+        count(&g, "MATCH (:AS)-[:PEERS_WITH]-(:AS) RETURN count(*)"),
+        2
+    );
 }
 
 #[test]
 fn create_per_matched_row() {
     let mut g = Graph::new();
-    write(&mut g, "CREATE (:AS {asn: 1}) CREATE (:AS {asn: 2}) CREATE (:AS {asn: 3})");
+    write(
+        &mut g,
+        "CREATE (:AS {asn: 1}) CREATE (:AS {asn: 2}) CREATE (:AS {asn: 3})",
+    );
     // Tag every AS: one Tag node per row (CREATE semantics).
-    let s = write(&mut g, "MATCH (a:AS) CREATE (a)-[:CATEGORIZED]->(:Tag {label: 'seen'})");
+    let s = write(
+        &mut g,
+        "MATCH (a:AS) CREATE (a)-[:CATEGORIZED]->(:Tag {label: 'seen'})",
+    );
     assert_eq!(s.nodes_created, 3);
     assert_eq!(s.rels_created, 3);
 }
@@ -81,13 +93,19 @@ fn merge_relationship_is_idempotent() {
              MERGE (a)-[:CATEGORIZED]->(t)",
         );
     }
-    assert_eq!(count(&g, "MATCH (:AS)-[r:CATEGORIZED]->(:Tag) RETURN count(r)"), 1);
+    assert_eq!(
+        count(&g, "MATCH (:AS)-[r:CATEGORIZED]->(:Tag) RETURN count(r)"),
+        1
+    );
 }
 
 #[test]
 fn set_updates_nodes_and_rels() {
     let mut g = Graph::new();
-    write(&mut g, "CREATE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix {prefix: '10.0.0.0/8'})");
+    write(
+        &mut g,
+        "CREATE (a:AS {asn: 1})-[:ORIGINATE]->(p:Prefix {prefix: '10.0.0.0/8'})",
+    );
     let s = write(
         &mut g,
         "MATCH (a:AS {asn: 1})-[r:ORIGINATE]->(p:Prefix)
@@ -118,7 +136,10 @@ fn set_reads_pre_update_state() {
 #[test]
 fn delete_rel_and_detach_delete_node() {
     let mut g = Graph::new();
-    write(&mut g, "CREATE (a:AS {asn: 1})-[:PEERS_WITH]->(b:AS {asn: 2})");
+    write(
+        &mut g,
+        "CREATE (a:AS {asn: 1})-[:PEERS_WITH]->(b:AS {asn: 2})",
+    );
     // Plain DELETE of a connected node fails.
     let err = query_write(&mut g, "MATCH (a:AS {asn: 1}) DELETE a", &Params::new());
     assert!(err.is_err());
@@ -184,17 +205,17 @@ fn local_instance_tagging_workflow() {
         &mut g,
         "UNWIND [1, 2, 3, 4, 5] AS i CREATE (:AS {asn: i, tier: i % 2})",
     );
-    write(
-        &mut g,
-        "MERGE (t:Tag {label: 'under study'})",
-    );
+    write(&mut g, "MERGE (t:Tag {label: 'under study'})");
     write(
         &mut g,
         "MATCH (a:AS) WHERE a.tier = 1 MATCH (t:Tag {label: 'under study'})
          MERGE (a)-[:CATEGORIZED]->(t)",
     );
     assert_eq!(
-        count(&g, "MATCH (:Tag {label:'under study'})-[:CATEGORIZED]-(a:AS) RETURN count(a)"),
+        count(
+            &g,
+            "MATCH (:Tag {label:'under study'})-[:CATEGORIZED]-(a:AS) RETURN count(a)"
+        ),
         3
     );
 }

@@ -77,7 +77,7 @@ pub fn connected_components(
         }
         components.push(component);
     }
-    components.sort_by(|a, b| b.len().cmp(&a.len()));
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
     components
 }
 
@@ -105,8 +105,7 @@ pub fn pagerank(
     damping: f64,
     iterations: usize,
 ) -> Vec<(NodeId, f64)> {
-    let index: HashMap<NodeId, usize> =
-        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let n = nodes.len();
     if n == 0 {
         return Vec::new();
@@ -141,8 +140,7 @@ pub fn pagerank(
         }
         rank = next;
     }
-    let mut out: Vec<(NodeId, f64)> =
-        nodes.iter().copied().zip(rank).collect();
+    let mut out: Vec<(NodeId, f64)> = nodes.iter().copied().zip(rank).collect();
     out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
@@ -155,12 +153,17 @@ mod tests {
     /// A line a-b-c-d plus an isolated pair e-f.
     fn line_graph() -> (Graph, Vec<NodeId>) {
         let mut g = Graph::new();
-        let ids: Vec<NodeId> =
-            (0..6u32).map(|i| g.merge_node("AS", "asn", i, Props::new())).collect();
-        g.create_rel(ids[0], "PEERS_WITH", ids[1], Props::new()).unwrap();
-        g.create_rel(ids[1], "PEERS_WITH", ids[2], Props::new()).unwrap();
-        g.create_rel(ids[2], "PEERS_WITH", ids[3], Props::new()).unwrap();
-        g.create_rel(ids[4], "PEERS_WITH", ids[5], Props::new()).unwrap();
+        let ids: Vec<NodeId> = (0..6u32)
+            .map(|i| g.merge_node("AS", "asn", i, Props::new()))
+            .collect();
+        g.create_rel(ids[0], "PEERS_WITH", ids[1], Props::new())
+            .unwrap();
+        g.create_rel(ids[1], "PEERS_WITH", ids[2], Props::new())
+            .unwrap();
+        g.create_rel(ids[2], "PEERS_WITH", ids[3], Props::new())
+            .unwrap();
+        g.create_rel(ids[4], "PEERS_WITH", ids[5], Props::new())
+            .unwrap();
         (g, ids)
     }
 
@@ -224,7 +227,8 @@ mod tests {
         let mut ids = vec![center];
         for i in 0..8u32 {
             let leaf = g.merge_node("AS", "asn", i, Props::new());
-            g.create_rel(leaf, "PEERS_WITH", center, Props::new()).unwrap();
+            g.create_rel(leaf, "PEERS_WITH", center, Props::new())
+                .unwrap();
             ids.push(leaf);
         }
         let t = g.symbols().get_rel_type("PEERS_WITH");

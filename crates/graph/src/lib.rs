@@ -29,7 +29,7 @@ pub mod value;
 
 pub use error::GraphError;
 pub use node::{Direction, Node, NodeId, Rel, RelId};
+pub use stats::GraphStats;
 pub use store::Graph;
 pub use symbols::{LabelId, PropKeyId, RelTypeId, SymbolTable};
-pub use stats::GraphStats;
 pub use value::{props, KeyValue, Props, Value};

@@ -240,7 +240,9 @@ pub fn from_binary(data: &[u8]) -> Result<Graph, GraphError> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(GraphError::Snapshot(format!("unsupported version {version}")));
+        return Err(GraphError::Snapshot(format!(
+            "unsupported version {version}"
+        )));
     }
 
     let mut symbols = SymbolTable::new();
@@ -316,7 +318,13 @@ pub fn from_binary(data: &[u8]) -> Result<Graph, GraphError> {
                 let src = NodeId(buf.get_u64_le());
                 let dst = NodeId(buf.get_u64_le());
                 let props = get_props(&mut buf)?;
-                rels.push(Some(Rel { id: RelId(i as u64), rel_type, src, dst, props }));
+                rels.push(Some(Rel {
+                    id: RelId(i as u64),
+                    rel_type,
+                    src,
+                    dst,
+                    props,
+                }));
             }
             t => return Err(GraphError::Snapshot(format!("bad rel tag {t}"))),
         }
@@ -382,7 +390,9 @@ mod tests {
         assert_eq!(g.node_count(), h.node_count());
         assert_eq!(g.rel_count(), h.rel_count());
         let a = h.lookup("AS", "asn", 2497u32).expect("AS survives");
-        let p = h.lookup("Prefix", "prefix", "2001:db8::/32").expect("prefix survives");
+        let p = h
+            .lookup("Prefix", "prefix", "2001:db8::/32")
+            .expect("prefix survives");
         let t = h.symbols().get_rel_type("ORIGINATE");
         let rels: Vec<_> = h.rels_of(a, Direction::Outgoing, t).collect();
         assert_eq!(rels.len(), 1);
@@ -391,10 +401,7 @@ mod tests {
         assert_eq!(rels[0].prop("weight").unwrap().as_float(), Some(0.25));
         assert!(rels[0].prop("nullable").unwrap().is_null());
         assert_eq!(rels[0].prop("flag").unwrap().as_bool(), Some(true));
-        assert_eq!(
-            rels[0].prop("tags").unwrap().as_list().unwrap().len(),
-            2
-        );
+        assert_eq!(rels[0].prop("tags").unwrap().as_list().unwrap().len(), 2);
     }
 
     #[test]

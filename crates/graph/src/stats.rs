@@ -87,12 +87,27 @@ mod tests {
         let a = g.merge_node("AS", "asn", 1u32, Props::new());
         let b = g.merge_node("AS", "asn", 2u32, Props::new());
         let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
-        g.create_rel(a, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
-            .unwrap();
-        g.create_rel(b, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
-            .unwrap();
-        g.create_rel(a, "PEERS_WITH", b, props([("reference_name", "bgpkit.as2rel".into())]))
-            .unwrap();
+        g.create_rel(
+            a,
+            "ORIGINATE",
+            p,
+            props([("reference_name", "bgpkit.pfx2as".into())]),
+        )
+        .unwrap();
+        g.create_rel(
+            b,
+            "ORIGINATE",
+            p,
+            props([("reference_name", "bgpkit.pfx2as".into())]),
+        )
+        .unwrap();
+        g.create_rel(
+            a,
+            "PEERS_WITH",
+            b,
+            props([("reference_name", "bgpkit.as2rel".into())]),
+        )
+        .unwrap();
         let s = GraphStats::compute(&g);
         assert_eq!(s.nodes, 3);
         assert_eq!(s.rels, 3);

@@ -64,8 +64,10 @@ impl Graph {
 
     /// Creates a new node with the given label names and properties.
     pub fn create_node<S: AsRef<str>>(&mut self, labels: &[S], props: Props) -> NodeId {
-        let label_ids: Vec<LabelId> =
-            labels.iter().map(|l| self.symbols.label(l.as_ref())).collect();
+        let label_ids: Vec<LabelId> = labels
+            .iter()
+            .map(|l| self.symbols.label(l.as_ref()))
+            .collect();
         let id = NodeId(self.nodes.len() as u64);
         for l in &label_ids {
             self.label_index.entry(*l).or_default().insert(id);
@@ -175,7 +177,13 @@ impl Graph {
         }
         let type_id = self.symbols.rel_type(rel_type);
         let id = RelId(self.rels.len() as u64);
-        self.rels.push(Some(Rel { id, rel_type: type_id, src, dst, props }));
+        self.rels.push(Some(Rel {
+            id,
+            rel_type: type_id,
+            src,
+            dst,
+            props,
+        }));
         self.nodes[src.0 as usize]
             .as_mut()
             .expect("checked above")
@@ -285,7 +293,11 @@ impl Graph {
     /// Node ids carrying the given label, in id order. Returns an empty
     /// iterator for unknown labels.
     pub fn nodes_with_label<'a>(&'a self, label: &str) -> Box<dyn Iterator<Item = NodeId> + 'a> {
-        match self.symbols.get_label(label).and_then(|l| self.label_index.get(&l)) {
+        match self
+            .symbols
+            .get_label(label)
+            .and_then(|l| self.label_index.get(&l))
+        {
             Some(set) => Box::new(set.iter().copied()),
             None => Box::new(std::iter::empty()),
         }
@@ -322,9 +334,7 @@ impl Graph {
             .map(|r| (*r, false))
             .chain(inc.iter().map(|r| (*r, true)))
             .filter_map(move |(r, from_in)| self.rel(r).map(|rel| (rel, from_in)))
-            .filter(move |(rel, from_in)| {
-                !(skip_self_loops_in && *from_in && rel.src == rel.dst)
-            })
+            .filter(move |(rel, from_in)| !(skip_self_loops_in && *from_in && rel.src == rel.dst))
             .map(|(rel, _)| rel)
             .filter(move |r| rel_type.is_none_or(|t| r.rel_type == t))
     }
@@ -337,7 +347,8 @@ impl Graph {
         dir: Direction,
         rel_type: Option<RelTypeId>,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        self.rels_of(node, dir, rel_type).map(move |r| r.other(node))
+        self.rels_of(node, dir, rel_type)
+            .map(move |r| r.other(node))
     }
 
     /// Internal: raw access for snapshotting.
@@ -426,7 +437,10 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(g.node_count(), 1);
         // Props merged on re-merge.
-        assert_eq!(g.node(a).unwrap().prop("name").unwrap().as_str(), Some("IIJ"));
+        assert_eq!(
+            g.node(a).unwrap().prop("name").unwrap().as_str(),
+            Some("IIJ")
+        );
         // Key prop was materialised.
         assert_eq!(g.node(a).unwrap().prop("asn").unwrap().as_int(), Some(2497));
     }
@@ -457,10 +471,20 @@ mod tests {
         let a = g.merge_node("AS", "asn", 1u32, Props::new());
         let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
         let r1 = g
-            .create_rel(a, "ORIGINATE", p, props([("reference_name", "bgpkit.pfx2as".into())]))
+            .create_rel(
+                a,
+                "ORIGINATE",
+                p,
+                props([("reference_name", "bgpkit.pfx2as".into())]),
+            )
             .unwrap();
         let r2 = g
-            .create_rel(a, "ORIGINATE", p, props([("reference_name", "ihr.rov".into())]))
+            .create_rel(
+                a,
+                "ORIGINATE",
+                p,
+                props([("reference_name", "ihr.rov".into())]),
+            )
             .unwrap();
         assert_ne!(r1, r2);
         assert_eq!(g.rel_count(), 2);
@@ -577,6 +601,9 @@ mod tests {
         g.set_node_prop(a, "af", Value::Int(4)).unwrap();
         g.set_rel_prop(r, "weight", Value::Float(0.5)).unwrap();
         assert_eq!(g.node(a).unwrap().prop("af").unwrap().as_int(), Some(4));
-        assert_eq!(g.rel(r).unwrap().prop("weight").unwrap().as_float(), Some(0.5));
+        assert_eq!(
+            g.rel(r).unwrap().prop("weight").unwrap().as_float(),
+            Some(0.5)
+        );
     }
 }

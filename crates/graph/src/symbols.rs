@@ -140,12 +140,20 @@ impl SymbolTable {
 
     /// All label ids with their names.
     pub fn labels(&self) -> impl Iterator<Item = (LabelId, &str)> {
-        self.labels.names.iter().enumerate().map(|(i, n)| (LabelId(i as u32), n.as_str()))
+        self.labels
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
     }
 
     /// All relationship-type ids with their names.
     pub fn rel_types(&self) -> impl Iterator<Item = (RelTypeId, &str)> {
-        self.rel_types.names.iter().enumerate().map(|(i, n)| (RelTypeId(i as u32), n.as_str()))
+        self.rel_types
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (RelTypeId(i as u32), n.as_str()))
     }
 }
 

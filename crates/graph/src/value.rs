@@ -313,7 +313,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Str("b".into()),
             Value::Null,
             Value::Int(5),
@@ -366,7 +366,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(), "[1, a]");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(),
+            "[1, a]"
+        );
         assert_eq!(Value::Null.to_string(), "null");
     }
 }

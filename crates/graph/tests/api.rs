@@ -12,7 +12,10 @@ fn value_from_conversions() {
     assert_eq!(Value::from(7usize), Value::Int(7));
     assert_eq!(Value::from(0.5f64), Value::Float(0.5));
     assert_eq!(Value::from(true), Value::Bool(true));
-    assert_eq!(Value::from(vec![1i64, 2]), Value::List(vec![Value::Int(1), Value::Int(2)]));
+    assert_eq!(
+        Value::from(vec![1i64, 2]),
+        Value::List(vec![Value::Int(1), Value::Int(2)])
+    );
     assert_eq!(Value::from(Some(3i64)), Value::Int(3));
     assert_eq!(Value::from(None::<i64>), Value::Null);
 }
@@ -45,7 +48,8 @@ fn stats_display_lists_datasets() {
     let mut g = Graph::new();
     let a = g.merge_node("AS", "asn", 1u32, Props::new());
     let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
-    g.create_rel(a, "ORIGINATE", p, props([("reference_name", "x.y".into())])).unwrap();
+    g.create_rel(a, "ORIGINATE", p, props([("reference_name", "x.y".into())]))
+        .unwrap();
     let text = iyp_graph::GraphStats::compute(&g).to_string();
     assert!(text.contains("x.y"));
     assert!(text.contains("nodes: 2"));

@@ -78,7 +78,7 @@ mod tests {
     #[test]
     fn prefix_forms() {
         assert_eq!(prefix("2001:0DB8::/32").unwrap(), "2001:db8::/32");
-        assert_eq!(prefix("192.000.002.000/24").is_err(), true); // leading zeros rejected by std
+        assert!(prefix("192.000.002.000/24").is_err()); // leading zeros rejected by std
         assert_eq!(prefix("192.0.2.5/24").unwrap(), "192.0.2.0/24");
     }
 
@@ -96,10 +96,19 @@ mod tests {
 
     #[test]
     fn url_hostnames() {
-        assert_eq!(url_hostname("https://www.Example.com/path?q=1"), Some("www.example.com".into()));
-        assert_eq!(url_hostname("http://user:pw@example.org:8080/x"), Some("example.org".into()));
+        assert_eq!(
+            url_hostname("https://www.Example.com/path?q=1"),
+            Some("www.example.com".into())
+        );
+        assert_eq!(
+            url_hostname("http://user:pw@example.org:8080/x"),
+            Some("example.org".into())
+        );
         assert_eq!(url_hostname("example.net/abc"), Some("example.net".into()));
-        assert_eq!(url_hostname("https://[2001:db8::1]:443/"), Some("2001:db8::1".into()));
+        assert_eq!(
+            url_hostname("https://[2001:db8::1]:443/"),
+            Some("2001:db8::1".into())
+        );
         assert_eq!(url_hostname("https:///nopath"), None);
     }
 }

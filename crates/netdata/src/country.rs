@@ -23,257 +23,1261 @@ pub struct Country {
 /// All ISO 3166-1 assigned entries, ordered by alpha-2 code, plus the
 /// `EU`/`ZZ` user-assigned codes used in RIR data.
 pub const COUNTRIES: &[Country] = &[
-    Country { alpha2: "AD", alpha3: "AND", name: "Andorra" },
-    Country { alpha2: "AE", alpha3: "ARE", name: "United Arab Emirates" },
-    Country { alpha2: "AF", alpha3: "AFG", name: "Afghanistan" },
-    Country { alpha2: "AG", alpha3: "ATG", name: "Antigua and Barbuda" },
-    Country { alpha2: "AI", alpha3: "AIA", name: "Anguilla" },
-    Country { alpha2: "AL", alpha3: "ALB", name: "Albania" },
-    Country { alpha2: "AM", alpha3: "ARM", name: "Armenia" },
-    Country { alpha2: "AO", alpha3: "AGO", name: "Angola" },
-    Country { alpha2: "AQ", alpha3: "ATA", name: "Antarctica" },
-    Country { alpha2: "AR", alpha3: "ARG", name: "Argentina" },
-    Country { alpha2: "AS", alpha3: "ASM", name: "American Samoa" },
-    Country { alpha2: "AT", alpha3: "AUT", name: "Austria" },
-    Country { alpha2: "AU", alpha3: "AUS", name: "Australia" },
-    Country { alpha2: "AW", alpha3: "ABW", name: "Aruba" },
-    Country { alpha2: "AX", alpha3: "ALA", name: "Aland Islands" },
-    Country { alpha2: "AZ", alpha3: "AZE", name: "Azerbaijan" },
-    Country { alpha2: "BA", alpha3: "BIH", name: "Bosnia and Herzegovina" },
-    Country { alpha2: "BB", alpha3: "BRB", name: "Barbados" },
-    Country { alpha2: "BD", alpha3: "BGD", name: "Bangladesh" },
-    Country { alpha2: "BE", alpha3: "BEL", name: "Belgium" },
-    Country { alpha2: "BF", alpha3: "BFA", name: "Burkina Faso" },
-    Country { alpha2: "BG", alpha3: "BGR", name: "Bulgaria" },
-    Country { alpha2: "BH", alpha3: "BHR", name: "Bahrain" },
-    Country { alpha2: "BI", alpha3: "BDI", name: "Burundi" },
-    Country { alpha2: "BJ", alpha3: "BEN", name: "Benin" },
-    Country { alpha2: "BL", alpha3: "BLM", name: "Saint Barthelemy" },
-    Country { alpha2: "BM", alpha3: "BMU", name: "Bermuda" },
-    Country { alpha2: "BN", alpha3: "BRN", name: "Brunei Darussalam" },
-    Country { alpha2: "BO", alpha3: "BOL", name: "Bolivia" },
-    Country { alpha2: "BQ", alpha3: "BES", name: "Bonaire, Sint Eustatius and Saba" },
-    Country { alpha2: "BR", alpha3: "BRA", name: "Brazil" },
-    Country { alpha2: "BS", alpha3: "BHS", name: "Bahamas" },
-    Country { alpha2: "BT", alpha3: "BTN", name: "Bhutan" },
-    Country { alpha2: "BV", alpha3: "BVT", name: "Bouvet Island" },
-    Country { alpha2: "BW", alpha3: "BWA", name: "Botswana" },
-    Country { alpha2: "BY", alpha3: "BLR", name: "Belarus" },
-    Country { alpha2: "BZ", alpha3: "BLZ", name: "Belize" },
-    Country { alpha2: "CA", alpha3: "CAN", name: "Canada" },
-    Country { alpha2: "CC", alpha3: "CCK", name: "Cocos (Keeling) Islands" },
-    Country { alpha2: "CD", alpha3: "COD", name: "Congo, Democratic Republic of the" },
-    Country { alpha2: "CF", alpha3: "CAF", name: "Central African Republic" },
-    Country { alpha2: "CG", alpha3: "COG", name: "Congo" },
-    Country { alpha2: "CH", alpha3: "CHE", name: "Switzerland" },
-    Country { alpha2: "CI", alpha3: "CIV", name: "Cote d'Ivoire" },
-    Country { alpha2: "CK", alpha3: "COK", name: "Cook Islands" },
-    Country { alpha2: "CL", alpha3: "CHL", name: "Chile" },
-    Country { alpha2: "CM", alpha3: "CMR", name: "Cameroon" },
-    Country { alpha2: "CN", alpha3: "CHN", name: "China" },
-    Country { alpha2: "CO", alpha3: "COL", name: "Colombia" },
-    Country { alpha2: "CR", alpha3: "CRI", name: "Costa Rica" },
-    Country { alpha2: "CU", alpha3: "CUB", name: "Cuba" },
-    Country { alpha2: "CV", alpha3: "CPV", name: "Cabo Verde" },
-    Country { alpha2: "CW", alpha3: "CUW", name: "Curacao" },
-    Country { alpha2: "CX", alpha3: "CXR", name: "Christmas Island" },
-    Country { alpha2: "CY", alpha3: "CYP", name: "Cyprus" },
-    Country { alpha2: "CZ", alpha3: "CZE", name: "Czechia" },
-    Country { alpha2: "DE", alpha3: "DEU", name: "Germany" },
-    Country { alpha2: "DJ", alpha3: "DJI", name: "Djibouti" },
-    Country { alpha2: "DK", alpha3: "DNK", name: "Denmark" },
-    Country { alpha2: "DM", alpha3: "DMA", name: "Dominica" },
-    Country { alpha2: "DO", alpha3: "DOM", name: "Dominican Republic" },
-    Country { alpha2: "DZ", alpha3: "DZA", name: "Algeria" },
-    Country { alpha2: "EC", alpha3: "ECU", name: "Ecuador" },
-    Country { alpha2: "EE", alpha3: "EST", name: "Estonia" },
-    Country { alpha2: "EG", alpha3: "EGY", name: "Egypt" },
-    Country { alpha2: "EH", alpha3: "ESH", name: "Western Sahara" },
-    Country { alpha2: "ER", alpha3: "ERI", name: "Eritrea" },
-    Country { alpha2: "ES", alpha3: "ESP", name: "Spain" },
-    Country { alpha2: "ET", alpha3: "ETH", name: "Ethiopia" },
-    Country { alpha2: "EU", alpha3: "EUE", name: "European Union" },
-    Country { alpha2: "FI", alpha3: "FIN", name: "Finland" },
-    Country { alpha2: "FJ", alpha3: "FJI", name: "Fiji" },
-    Country { alpha2: "FK", alpha3: "FLK", name: "Falkland Islands" },
-    Country { alpha2: "FM", alpha3: "FSM", name: "Micronesia" },
-    Country { alpha2: "FO", alpha3: "FRO", name: "Faroe Islands" },
-    Country { alpha2: "FR", alpha3: "FRA", name: "France" },
-    Country { alpha2: "GA", alpha3: "GAB", name: "Gabon" },
-    Country { alpha2: "GB", alpha3: "GBR", name: "United Kingdom" },
-    Country { alpha2: "GD", alpha3: "GRD", name: "Grenada" },
-    Country { alpha2: "GE", alpha3: "GEO", name: "Georgia" },
-    Country { alpha2: "GF", alpha3: "GUF", name: "French Guiana" },
-    Country { alpha2: "GG", alpha3: "GGY", name: "Guernsey" },
-    Country { alpha2: "GH", alpha3: "GHA", name: "Ghana" },
-    Country { alpha2: "GI", alpha3: "GIB", name: "Gibraltar" },
-    Country { alpha2: "GL", alpha3: "GRL", name: "Greenland" },
-    Country { alpha2: "GM", alpha3: "GMB", name: "Gambia" },
-    Country { alpha2: "GN", alpha3: "GIN", name: "Guinea" },
-    Country { alpha2: "GP", alpha3: "GLP", name: "Guadeloupe" },
-    Country { alpha2: "GQ", alpha3: "GNQ", name: "Equatorial Guinea" },
-    Country { alpha2: "GR", alpha3: "GRC", name: "Greece" },
-    Country { alpha2: "GS", alpha3: "SGS", name: "South Georgia and the South Sandwich Islands" },
-    Country { alpha2: "GT", alpha3: "GTM", name: "Guatemala" },
-    Country { alpha2: "GU", alpha3: "GUM", name: "Guam" },
-    Country { alpha2: "GW", alpha3: "GNB", name: "Guinea-Bissau" },
-    Country { alpha2: "GY", alpha3: "GUY", name: "Guyana" },
-    Country { alpha2: "HK", alpha3: "HKG", name: "Hong Kong" },
-    Country { alpha2: "HM", alpha3: "HMD", name: "Heard Island and McDonald Islands" },
-    Country { alpha2: "HN", alpha3: "HND", name: "Honduras" },
-    Country { alpha2: "HR", alpha3: "HRV", name: "Croatia" },
-    Country { alpha2: "HT", alpha3: "HTI", name: "Haiti" },
-    Country { alpha2: "HU", alpha3: "HUN", name: "Hungary" },
-    Country { alpha2: "ID", alpha3: "IDN", name: "Indonesia" },
-    Country { alpha2: "IE", alpha3: "IRL", name: "Ireland" },
-    Country { alpha2: "IL", alpha3: "ISR", name: "Israel" },
-    Country { alpha2: "IM", alpha3: "IMN", name: "Isle of Man" },
-    Country { alpha2: "IN", alpha3: "IND", name: "India" },
-    Country { alpha2: "IO", alpha3: "IOT", name: "British Indian Ocean Territory" },
-    Country { alpha2: "IQ", alpha3: "IRQ", name: "Iraq" },
-    Country { alpha2: "IR", alpha3: "IRN", name: "Iran" },
-    Country { alpha2: "IS", alpha3: "ISL", name: "Iceland" },
-    Country { alpha2: "IT", alpha3: "ITA", name: "Italy" },
-    Country { alpha2: "JE", alpha3: "JEY", name: "Jersey" },
-    Country { alpha2: "JM", alpha3: "JAM", name: "Jamaica" },
-    Country { alpha2: "JO", alpha3: "JOR", name: "Jordan" },
-    Country { alpha2: "JP", alpha3: "JPN", name: "Japan" },
-    Country { alpha2: "KE", alpha3: "KEN", name: "Kenya" },
-    Country { alpha2: "KG", alpha3: "KGZ", name: "Kyrgyzstan" },
-    Country { alpha2: "KH", alpha3: "KHM", name: "Cambodia" },
-    Country { alpha2: "KI", alpha3: "KIR", name: "Kiribati" },
-    Country { alpha2: "KM", alpha3: "COM", name: "Comoros" },
-    Country { alpha2: "KN", alpha3: "KNA", name: "Saint Kitts and Nevis" },
-    Country { alpha2: "KP", alpha3: "PRK", name: "Korea, Democratic People's Republic of" },
-    Country { alpha2: "KR", alpha3: "KOR", name: "Korea, Republic of" },
-    Country { alpha2: "KW", alpha3: "KWT", name: "Kuwait" },
-    Country { alpha2: "KY", alpha3: "CYM", name: "Cayman Islands" },
-    Country { alpha2: "KZ", alpha3: "KAZ", name: "Kazakhstan" },
-    Country { alpha2: "LA", alpha3: "LAO", name: "Lao People's Democratic Republic" },
-    Country { alpha2: "LB", alpha3: "LBN", name: "Lebanon" },
-    Country { alpha2: "LC", alpha3: "LCA", name: "Saint Lucia" },
-    Country { alpha2: "LI", alpha3: "LIE", name: "Liechtenstein" },
-    Country { alpha2: "LK", alpha3: "LKA", name: "Sri Lanka" },
-    Country { alpha2: "LR", alpha3: "LBR", name: "Liberia" },
-    Country { alpha2: "LS", alpha3: "LSO", name: "Lesotho" },
-    Country { alpha2: "LT", alpha3: "LTU", name: "Lithuania" },
-    Country { alpha2: "LU", alpha3: "LUX", name: "Luxembourg" },
-    Country { alpha2: "LV", alpha3: "LVA", name: "Latvia" },
-    Country { alpha2: "LY", alpha3: "LBY", name: "Libya" },
-    Country { alpha2: "MA", alpha3: "MAR", name: "Morocco" },
-    Country { alpha2: "MC", alpha3: "MCO", name: "Monaco" },
-    Country { alpha2: "MD", alpha3: "MDA", name: "Moldova" },
-    Country { alpha2: "ME", alpha3: "MNE", name: "Montenegro" },
-    Country { alpha2: "MF", alpha3: "MAF", name: "Saint Martin (French part)" },
-    Country { alpha2: "MG", alpha3: "MDG", name: "Madagascar" },
-    Country { alpha2: "MH", alpha3: "MHL", name: "Marshall Islands" },
-    Country { alpha2: "MK", alpha3: "MKD", name: "North Macedonia" },
-    Country { alpha2: "ML", alpha3: "MLI", name: "Mali" },
-    Country { alpha2: "MM", alpha3: "MMR", name: "Myanmar" },
-    Country { alpha2: "MN", alpha3: "MNG", name: "Mongolia" },
-    Country { alpha2: "MO", alpha3: "MAC", name: "Macao" },
-    Country { alpha2: "MP", alpha3: "MNP", name: "Northern Mariana Islands" },
-    Country { alpha2: "MQ", alpha3: "MTQ", name: "Martinique" },
-    Country { alpha2: "MR", alpha3: "MRT", name: "Mauritania" },
-    Country { alpha2: "MS", alpha3: "MSR", name: "Montserrat" },
-    Country { alpha2: "MT", alpha3: "MLT", name: "Malta" },
-    Country { alpha2: "MU", alpha3: "MUS", name: "Mauritius" },
-    Country { alpha2: "MV", alpha3: "MDV", name: "Maldives" },
-    Country { alpha2: "MW", alpha3: "MWI", name: "Malawi" },
-    Country { alpha2: "MX", alpha3: "MEX", name: "Mexico" },
-    Country { alpha2: "MY", alpha3: "MYS", name: "Malaysia" },
-    Country { alpha2: "MZ", alpha3: "MOZ", name: "Mozambique" },
-    Country { alpha2: "NA", alpha3: "NAM", name: "Namibia" },
-    Country { alpha2: "NC", alpha3: "NCL", name: "New Caledonia" },
-    Country { alpha2: "NE", alpha3: "NER", name: "Niger" },
-    Country { alpha2: "NF", alpha3: "NFK", name: "Norfolk Island" },
-    Country { alpha2: "NG", alpha3: "NGA", name: "Nigeria" },
-    Country { alpha2: "NI", alpha3: "NIC", name: "Nicaragua" },
-    Country { alpha2: "NL", alpha3: "NLD", name: "Netherlands" },
-    Country { alpha2: "NO", alpha3: "NOR", name: "Norway" },
-    Country { alpha2: "NP", alpha3: "NPL", name: "Nepal" },
-    Country { alpha2: "NR", alpha3: "NRU", name: "Nauru" },
-    Country { alpha2: "NU", alpha3: "NIU", name: "Niue" },
-    Country { alpha2: "NZ", alpha3: "NZL", name: "New Zealand" },
-    Country { alpha2: "OM", alpha3: "OMN", name: "Oman" },
-    Country { alpha2: "PA", alpha3: "PAN", name: "Panama" },
-    Country { alpha2: "PE", alpha3: "PER", name: "Peru" },
-    Country { alpha2: "PF", alpha3: "PYF", name: "French Polynesia" },
-    Country { alpha2: "PG", alpha3: "PNG", name: "Papua New Guinea" },
-    Country { alpha2: "PH", alpha3: "PHL", name: "Philippines" },
-    Country { alpha2: "PK", alpha3: "PAK", name: "Pakistan" },
-    Country { alpha2: "PL", alpha3: "POL", name: "Poland" },
-    Country { alpha2: "PM", alpha3: "SPM", name: "Saint Pierre and Miquelon" },
-    Country { alpha2: "PN", alpha3: "PCN", name: "Pitcairn" },
-    Country { alpha2: "PR", alpha3: "PRI", name: "Puerto Rico" },
-    Country { alpha2: "PS", alpha3: "PSE", name: "Palestine, State of" },
-    Country { alpha2: "PT", alpha3: "PRT", name: "Portugal" },
-    Country { alpha2: "PW", alpha3: "PLW", name: "Palau" },
-    Country { alpha2: "PY", alpha3: "PRY", name: "Paraguay" },
-    Country { alpha2: "QA", alpha3: "QAT", name: "Qatar" },
-    Country { alpha2: "RE", alpha3: "REU", name: "Reunion" },
-    Country { alpha2: "RO", alpha3: "ROU", name: "Romania" },
-    Country { alpha2: "RS", alpha3: "SRB", name: "Serbia" },
-    Country { alpha2: "RU", alpha3: "RUS", name: "Russian Federation" },
-    Country { alpha2: "RW", alpha3: "RWA", name: "Rwanda" },
-    Country { alpha2: "SA", alpha3: "SAU", name: "Saudi Arabia" },
-    Country { alpha2: "SB", alpha3: "SLB", name: "Solomon Islands" },
-    Country { alpha2: "SC", alpha3: "SYC", name: "Seychelles" },
-    Country { alpha2: "SD", alpha3: "SDN", name: "Sudan" },
-    Country { alpha2: "SE", alpha3: "SWE", name: "Sweden" },
-    Country { alpha2: "SG", alpha3: "SGP", name: "Singapore" },
-    Country { alpha2: "SH", alpha3: "SHN", name: "Saint Helena" },
-    Country { alpha2: "SI", alpha3: "SVN", name: "Slovenia" },
-    Country { alpha2: "SJ", alpha3: "SJM", name: "Svalbard and Jan Mayen" },
-    Country { alpha2: "SK", alpha3: "SVK", name: "Slovakia" },
-    Country { alpha2: "SL", alpha3: "SLE", name: "Sierra Leone" },
-    Country { alpha2: "SM", alpha3: "SMR", name: "San Marino" },
-    Country { alpha2: "SN", alpha3: "SEN", name: "Senegal" },
-    Country { alpha2: "SO", alpha3: "SOM", name: "Somalia" },
-    Country { alpha2: "SR", alpha3: "SUR", name: "Suriname" },
-    Country { alpha2: "SS", alpha3: "SSD", name: "South Sudan" },
-    Country { alpha2: "ST", alpha3: "STP", name: "Sao Tome and Principe" },
-    Country { alpha2: "SV", alpha3: "SLV", name: "El Salvador" },
-    Country { alpha2: "SX", alpha3: "SXM", name: "Sint Maarten (Dutch part)" },
-    Country { alpha2: "SY", alpha3: "SYR", name: "Syrian Arab Republic" },
-    Country { alpha2: "SZ", alpha3: "SWZ", name: "Eswatini" },
-    Country { alpha2: "TC", alpha3: "TCA", name: "Turks and Caicos Islands" },
-    Country { alpha2: "TD", alpha3: "TCD", name: "Chad" },
-    Country { alpha2: "TF", alpha3: "ATF", name: "French Southern Territories" },
-    Country { alpha2: "TG", alpha3: "TGO", name: "Togo" },
-    Country { alpha2: "TH", alpha3: "THA", name: "Thailand" },
-    Country { alpha2: "TJ", alpha3: "TJK", name: "Tajikistan" },
-    Country { alpha2: "TK", alpha3: "TKL", name: "Tokelau" },
-    Country { alpha2: "TL", alpha3: "TLS", name: "Timor-Leste" },
-    Country { alpha2: "TM", alpha3: "TKM", name: "Turkmenistan" },
-    Country { alpha2: "TN", alpha3: "TUN", name: "Tunisia" },
-    Country { alpha2: "TO", alpha3: "TON", name: "Tonga" },
-    Country { alpha2: "TR", alpha3: "TUR", name: "Turkiye" },
-    Country { alpha2: "TT", alpha3: "TTO", name: "Trinidad and Tobago" },
-    Country { alpha2: "TV", alpha3: "TUV", name: "Tuvalu" },
-    Country { alpha2: "TW", alpha3: "TWN", name: "Taiwan" },
-    Country { alpha2: "TZ", alpha3: "TZA", name: "Tanzania" },
-    Country { alpha2: "UA", alpha3: "UKR", name: "Ukraine" },
-    Country { alpha2: "UG", alpha3: "UGA", name: "Uganda" },
-    Country { alpha2: "UM", alpha3: "UMI", name: "United States Minor Outlying Islands" },
-    Country { alpha2: "US", alpha3: "USA", name: "United States" },
-    Country { alpha2: "UY", alpha3: "URY", name: "Uruguay" },
-    Country { alpha2: "UZ", alpha3: "UZB", name: "Uzbekistan" },
-    Country { alpha2: "VA", alpha3: "VAT", name: "Holy See" },
-    Country { alpha2: "VC", alpha3: "VCT", name: "Saint Vincent and the Grenadines" },
-    Country { alpha2: "VE", alpha3: "VEN", name: "Venezuela" },
-    Country { alpha2: "VG", alpha3: "VGB", name: "Virgin Islands (British)" },
-    Country { alpha2: "VI", alpha3: "VIR", name: "Virgin Islands (U.S.)" },
-    Country { alpha2: "VN", alpha3: "VNM", name: "Viet Nam" },
-    Country { alpha2: "VU", alpha3: "VUT", name: "Vanuatu" },
-    Country { alpha2: "WF", alpha3: "WLF", name: "Wallis and Futuna" },
-    Country { alpha2: "WS", alpha3: "WSM", name: "Samoa" },
-    Country { alpha2: "YE", alpha3: "YEM", name: "Yemen" },
-    Country { alpha2: "YT", alpha3: "MYT", name: "Mayotte" },
-    Country { alpha2: "ZA", alpha3: "ZAF", name: "South Africa" },
-    Country { alpha2: "ZM", alpha3: "ZMB", name: "Zambia" },
-    Country { alpha2: "ZW", alpha3: "ZWE", name: "Zimbabwe" },
-    Country { alpha2: "ZZ", alpha3: "ZZZ", name: "Unknown" },
+    Country {
+        alpha2: "AD",
+        alpha3: "AND",
+        name: "Andorra",
+    },
+    Country {
+        alpha2: "AE",
+        alpha3: "ARE",
+        name: "United Arab Emirates",
+    },
+    Country {
+        alpha2: "AF",
+        alpha3: "AFG",
+        name: "Afghanistan",
+    },
+    Country {
+        alpha2: "AG",
+        alpha3: "ATG",
+        name: "Antigua and Barbuda",
+    },
+    Country {
+        alpha2: "AI",
+        alpha3: "AIA",
+        name: "Anguilla",
+    },
+    Country {
+        alpha2: "AL",
+        alpha3: "ALB",
+        name: "Albania",
+    },
+    Country {
+        alpha2: "AM",
+        alpha3: "ARM",
+        name: "Armenia",
+    },
+    Country {
+        alpha2: "AO",
+        alpha3: "AGO",
+        name: "Angola",
+    },
+    Country {
+        alpha2: "AQ",
+        alpha3: "ATA",
+        name: "Antarctica",
+    },
+    Country {
+        alpha2: "AR",
+        alpha3: "ARG",
+        name: "Argentina",
+    },
+    Country {
+        alpha2: "AS",
+        alpha3: "ASM",
+        name: "American Samoa",
+    },
+    Country {
+        alpha2: "AT",
+        alpha3: "AUT",
+        name: "Austria",
+    },
+    Country {
+        alpha2: "AU",
+        alpha3: "AUS",
+        name: "Australia",
+    },
+    Country {
+        alpha2: "AW",
+        alpha3: "ABW",
+        name: "Aruba",
+    },
+    Country {
+        alpha2: "AX",
+        alpha3: "ALA",
+        name: "Aland Islands",
+    },
+    Country {
+        alpha2: "AZ",
+        alpha3: "AZE",
+        name: "Azerbaijan",
+    },
+    Country {
+        alpha2: "BA",
+        alpha3: "BIH",
+        name: "Bosnia and Herzegovina",
+    },
+    Country {
+        alpha2: "BB",
+        alpha3: "BRB",
+        name: "Barbados",
+    },
+    Country {
+        alpha2: "BD",
+        alpha3: "BGD",
+        name: "Bangladesh",
+    },
+    Country {
+        alpha2: "BE",
+        alpha3: "BEL",
+        name: "Belgium",
+    },
+    Country {
+        alpha2: "BF",
+        alpha3: "BFA",
+        name: "Burkina Faso",
+    },
+    Country {
+        alpha2: "BG",
+        alpha3: "BGR",
+        name: "Bulgaria",
+    },
+    Country {
+        alpha2: "BH",
+        alpha3: "BHR",
+        name: "Bahrain",
+    },
+    Country {
+        alpha2: "BI",
+        alpha3: "BDI",
+        name: "Burundi",
+    },
+    Country {
+        alpha2: "BJ",
+        alpha3: "BEN",
+        name: "Benin",
+    },
+    Country {
+        alpha2: "BL",
+        alpha3: "BLM",
+        name: "Saint Barthelemy",
+    },
+    Country {
+        alpha2: "BM",
+        alpha3: "BMU",
+        name: "Bermuda",
+    },
+    Country {
+        alpha2: "BN",
+        alpha3: "BRN",
+        name: "Brunei Darussalam",
+    },
+    Country {
+        alpha2: "BO",
+        alpha3: "BOL",
+        name: "Bolivia",
+    },
+    Country {
+        alpha2: "BQ",
+        alpha3: "BES",
+        name: "Bonaire, Sint Eustatius and Saba",
+    },
+    Country {
+        alpha2: "BR",
+        alpha3: "BRA",
+        name: "Brazil",
+    },
+    Country {
+        alpha2: "BS",
+        alpha3: "BHS",
+        name: "Bahamas",
+    },
+    Country {
+        alpha2: "BT",
+        alpha3: "BTN",
+        name: "Bhutan",
+    },
+    Country {
+        alpha2: "BV",
+        alpha3: "BVT",
+        name: "Bouvet Island",
+    },
+    Country {
+        alpha2: "BW",
+        alpha3: "BWA",
+        name: "Botswana",
+    },
+    Country {
+        alpha2: "BY",
+        alpha3: "BLR",
+        name: "Belarus",
+    },
+    Country {
+        alpha2: "BZ",
+        alpha3: "BLZ",
+        name: "Belize",
+    },
+    Country {
+        alpha2: "CA",
+        alpha3: "CAN",
+        name: "Canada",
+    },
+    Country {
+        alpha2: "CC",
+        alpha3: "CCK",
+        name: "Cocos (Keeling) Islands",
+    },
+    Country {
+        alpha2: "CD",
+        alpha3: "COD",
+        name: "Congo, Democratic Republic of the",
+    },
+    Country {
+        alpha2: "CF",
+        alpha3: "CAF",
+        name: "Central African Republic",
+    },
+    Country {
+        alpha2: "CG",
+        alpha3: "COG",
+        name: "Congo",
+    },
+    Country {
+        alpha2: "CH",
+        alpha3: "CHE",
+        name: "Switzerland",
+    },
+    Country {
+        alpha2: "CI",
+        alpha3: "CIV",
+        name: "Cote d'Ivoire",
+    },
+    Country {
+        alpha2: "CK",
+        alpha3: "COK",
+        name: "Cook Islands",
+    },
+    Country {
+        alpha2: "CL",
+        alpha3: "CHL",
+        name: "Chile",
+    },
+    Country {
+        alpha2: "CM",
+        alpha3: "CMR",
+        name: "Cameroon",
+    },
+    Country {
+        alpha2: "CN",
+        alpha3: "CHN",
+        name: "China",
+    },
+    Country {
+        alpha2: "CO",
+        alpha3: "COL",
+        name: "Colombia",
+    },
+    Country {
+        alpha2: "CR",
+        alpha3: "CRI",
+        name: "Costa Rica",
+    },
+    Country {
+        alpha2: "CU",
+        alpha3: "CUB",
+        name: "Cuba",
+    },
+    Country {
+        alpha2: "CV",
+        alpha3: "CPV",
+        name: "Cabo Verde",
+    },
+    Country {
+        alpha2: "CW",
+        alpha3: "CUW",
+        name: "Curacao",
+    },
+    Country {
+        alpha2: "CX",
+        alpha3: "CXR",
+        name: "Christmas Island",
+    },
+    Country {
+        alpha2: "CY",
+        alpha3: "CYP",
+        name: "Cyprus",
+    },
+    Country {
+        alpha2: "CZ",
+        alpha3: "CZE",
+        name: "Czechia",
+    },
+    Country {
+        alpha2: "DE",
+        alpha3: "DEU",
+        name: "Germany",
+    },
+    Country {
+        alpha2: "DJ",
+        alpha3: "DJI",
+        name: "Djibouti",
+    },
+    Country {
+        alpha2: "DK",
+        alpha3: "DNK",
+        name: "Denmark",
+    },
+    Country {
+        alpha2: "DM",
+        alpha3: "DMA",
+        name: "Dominica",
+    },
+    Country {
+        alpha2: "DO",
+        alpha3: "DOM",
+        name: "Dominican Republic",
+    },
+    Country {
+        alpha2: "DZ",
+        alpha3: "DZA",
+        name: "Algeria",
+    },
+    Country {
+        alpha2: "EC",
+        alpha3: "ECU",
+        name: "Ecuador",
+    },
+    Country {
+        alpha2: "EE",
+        alpha3: "EST",
+        name: "Estonia",
+    },
+    Country {
+        alpha2: "EG",
+        alpha3: "EGY",
+        name: "Egypt",
+    },
+    Country {
+        alpha2: "EH",
+        alpha3: "ESH",
+        name: "Western Sahara",
+    },
+    Country {
+        alpha2: "ER",
+        alpha3: "ERI",
+        name: "Eritrea",
+    },
+    Country {
+        alpha2: "ES",
+        alpha3: "ESP",
+        name: "Spain",
+    },
+    Country {
+        alpha2: "ET",
+        alpha3: "ETH",
+        name: "Ethiopia",
+    },
+    Country {
+        alpha2: "EU",
+        alpha3: "EUE",
+        name: "European Union",
+    },
+    Country {
+        alpha2: "FI",
+        alpha3: "FIN",
+        name: "Finland",
+    },
+    Country {
+        alpha2: "FJ",
+        alpha3: "FJI",
+        name: "Fiji",
+    },
+    Country {
+        alpha2: "FK",
+        alpha3: "FLK",
+        name: "Falkland Islands",
+    },
+    Country {
+        alpha2: "FM",
+        alpha3: "FSM",
+        name: "Micronesia",
+    },
+    Country {
+        alpha2: "FO",
+        alpha3: "FRO",
+        name: "Faroe Islands",
+    },
+    Country {
+        alpha2: "FR",
+        alpha3: "FRA",
+        name: "France",
+    },
+    Country {
+        alpha2: "GA",
+        alpha3: "GAB",
+        name: "Gabon",
+    },
+    Country {
+        alpha2: "GB",
+        alpha3: "GBR",
+        name: "United Kingdom",
+    },
+    Country {
+        alpha2: "GD",
+        alpha3: "GRD",
+        name: "Grenada",
+    },
+    Country {
+        alpha2: "GE",
+        alpha3: "GEO",
+        name: "Georgia",
+    },
+    Country {
+        alpha2: "GF",
+        alpha3: "GUF",
+        name: "French Guiana",
+    },
+    Country {
+        alpha2: "GG",
+        alpha3: "GGY",
+        name: "Guernsey",
+    },
+    Country {
+        alpha2: "GH",
+        alpha3: "GHA",
+        name: "Ghana",
+    },
+    Country {
+        alpha2: "GI",
+        alpha3: "GIB",
+        name: "Gibraltar",
+    },
+    Country {
+        alpha2: "GL",
+        alpha3: "GRL",
+        name: "Greenland",
+    },
+    Country {
+        alpha2: "GM",
+        alpha3: "GMB",
+        name: "Gambia",
+    },
+    Country {
+        alpha2: "GN",
+        alpha3: "GIN",
+        name: "Guinea",
+    },
+    Country {
+        alpha2: "GP",
+        alpha3: "GLP",
+        name: "Guadeloupe",
+    },
+    Country {
+        alpha2: "GQ",
+        alpha3: "GNQ",
+        name: "Equatorial Guinea",
+    },
+    Country {
+        alpha2: "GR",
+        alpha3: "GRC",
+        name: "Greece",
+    },
+    Country {
+        alpha2: "GS",
+        alpha3: "SGS",
+        name: "South Georgia and the South Sandwich Islands",
+    },
+    Country {
+        alpha2: "GT",
+        alpha3: "GTM",
+        name: "Guatemala",
+    },
+    Country {
+        alpha2: "GU",
+        alpha3: "GUM",
+        name: "Guam",
+    },
+    Country {
+        alpha2: "GW",
+        alpha3: "GNB",
+        name: "Guinea-Bissau",
+    },
+    Country {
+        alpha2: "GY",
+        alpha3: "GUY",
+        name: "Guyana",
+    },
+    Country {
+        alpha2: "HK",
+        alpha3: "HKG",
+        name: "Hong Kong",
+    },
+    Country {
+        alpha2: "HM",
+        alpha3: "HMD",
+        name: "Heard Island and McDonald Islands",
+    },
+    Country {
+        alpha2: "HN",
+        alpha3: "HND",
+        name: "Honduras",
+    },
+    Country {
+        alpha2: "HR",
+        alpha3: "HRV",
+        name: "Croatia",
+    },
+    Country {
+        alpha2: "HT",
+        alpha3: "HTI",
+        name: "Haiti",
+    },
+    Country {
+        alpha2: "HU",
+        alpha3: "HUN",
+        name: "Hungary",
+    },
+    Country {
+        alpha2: "ID",
+        alpha3: "IDN",
+        name: "Indonesia",
+    },
+    Country {
+        alpha2: "IE",
+        alpha3: "IRL",
+        name: "Ireland",
+    },
+    Country {
+        alpha2: "IL",
+        alpha3: "ISR",
+        name: "Israel",
+    },
+    Country {
+        alpha2: "IM",
+        alpha3: "IMN",
+        name: "Isle of Man",
+    },
+    Country {
+        alpha2: "IN",
+        alpha3: "IND",
+        name: "India",
+    },
+    Country {
+        alpha2: "IO",
+        alpha3: "IOT",
+        name: "British Indian Ocean Territory",
+    },
+    Country {
+        alpha2: "IQ",
+        alpha3: "IRQ",
+        name: "Iraq",
+    },
+    Country {
+        alpha2: "IR",
+        alpha3: "IRN",
+        name: "Iran",
+    },
+    Country {
+        alpha2: "IS",
+        alpha3: "ISL",
+        name: "Iceland",
+    },
+    Country {
+        alpha2: "IT",
+        alpha3: "ITA",
+        name: "Italy",
+    },
+    Country {
+        alpha2: "JE",
+        alpha3: "JEY",
+        name: "Jersey",
+    },
+    Country {
+        alpha2: "JM",
+        alpha3: "JAM",
+        name: "Jamaica",
+    },
+    Country {
+        alpha2: "JO",
+        alpha3: "JOR",
+        name: "Jordan",
+    },
+    Country {
+        alpha2: "JP",
+        alpha3: "JPN",
+        name: "Japan",
+    },
+    Country {
+        alpha2: "KE",
+        alpha3: "KEN",
+        name: "Kenya",
+    },
+    Country {
+        alpha2: "KG",
+        alpha3: "KGZ",
+        name: "Kyrgyzstan",
+    },
+    Country {
+        alpha2: "KH",
+        alpha3: "KHM",
+        name: "Cambodia",
+    },
+    Country {
+        alpha2: "KI",
+        alpha3: "KIR",
+        name: "Kiribati",
+    },
+    Country {
+        alpha2: "KM",
+        alpha3: "COM",
+        name: "Comoros",
+    },
+    Country {
+        alpha2: "KN",
+        alpha3: "KNA",
+        name: "Saint Kitts and Nevis",
+    },
+    Country {
+        alpha2: "KP",
+        alpha3: "PRK",
+        name: "Korea, Democratic People's Republic of",
+    },
+    Country {
+        alpha2: "KR",
+        alpha3: "KOR",
+        name: "Korea, Republic of",
+    },
+    Country {
+        alpha2: "KW",
+        alpha3: "KWT",
+        name: "Kuwait",
+    },
+    Country {
+        alpha2: "KY",
+        alpha3: "CYM",
+        name: "Cayman Islands",
+    },
+    Country {
+        alpha2: "KZ",
+        alpha3: "KAZ",
+        name: "Kazakhstan",
+    },
+    Country {
+        alpha2: "LA",
+        alpha3: "LAO",
+        name: "Lao People's Democratic Republic",
+    },
+    Country {
+        alpha2: "LB",
+        alpha3: "LBN",
+        name: "Lebanon",
+    },
+    Country {
+        alpha2: "LC",
+        alpha3: "LCA",
+        name: "Saint Lucia",
+    },
+    Country {
+        alpha2: "LI",
+        alpha3: "LIE",
+        name: "Liechtenstein",
+    },
+    Country {
+        alpha2: "LK",
+        alpha3: "LKA",
+        name: "Sri Lanka",
+    },
+    Country {
+        alpha2: "LR",
+        alpha3: "LBR",
+        name: "Liberia",
+    },
+    Country {
+        alpha2: "LS",
+        alpha3: "LSO",
+        name: "Lesotho",
+    },
+    Country {
+        alpha2: "LT",
+        alpha3: "LTU",
+        name: "Lithuania",
+    },
+    Country {
+        alpha2: "LU",
+        alpha3: "LUX",
+        name: "Luxembourg",
+    },
+    Country {
+        alpha2: "LV",
+        alpha3: "LVA",
+        name: "Latvia",
+    },
+    Country {
+        alpha2: "LY",
+        alpha3: "LBY",
+        name: "Libya",
+    },
+    Country {
+        alpha2: "MA",
+        alpha3: "MAR",
+        name: "Morocco",
+    },
+    Country {
+        alpha2: "MC",
+        alpha3: "MCO",
+        name: "Monaco",
+    },
+    Country {
+        alpha2: "MD",
+        alpha3: "MDA",
+        name: "Moldova",
+    },
+    Country {
+        alpha2: "ME",
+        alpha3: "MNE",
+        name: "Montenegro",
+    },
+    Country {
+        alpha2: "MF",
+        alpha3: "MAF",
+        name: "Saint Martin (French part)",
+    },
+    Country {
+        alpha2: "MG",
+        alpha3: "MDG",
+        name: "Madagascar",
+    },
+    Country {
+        alpha2: "MH",
+        alpha3: "MHL",
+        name: "Marshall Islands",
+    },
+    Country {
+        alpha2: "MK",
+        alpha3: "MKD",
+        name: "North Macedonia",
+    },
+    Country {
+        alpha2: "ML",
+        alpha3: "MLI",
+        name: "Mali",
+    },
+    Country {
+        alpha2: "MM",
+        alpha3: "MMR",
+        name: "Myanmar",
+    },
+    Country {
+        alpha2: "MN",
+        alpha3: "MNG",
+        name: "Mongolia",
+    },
+    Country {
+        alpha2: "MO",
+        alpha3: "MAC",
+        name: "Macao",
+    },
+    Country {
+        alpha2: "MP",
+        alpha3: "MNP",
+        name: "Northern Mariana Islands",
+    },
+    Country {
+        alpha2: "MQ",
+        alpha3: "MTQ",
+        name: "Martinique",
+    },
+    Country {
+        alpha2: "MR",
+        alpha3: "MRT",
+        name: "Mauritania",
+    },
+    Country {
+        alpha2: "MS",
+        alpha3: "MSR",
+        name: "Montserrat",
+    },
+    Country {
+        alpha2: "MT",
+        alpha3: "MLT",
+        name: "Malta",
+    },
+    Country {
+        alpha2: "MU",
+        alpha3: "MUS",
+        name: "Mauritius",
+    },
+    Country {
+        alpha2: "MV",
+        alpha3: "MDV",
+        name: "Maldives",
+    },
+    Country {
+        alpha2: "MW",
+        alpha3: "MWI",
+        name: "Malawi",
+    },
+    Country {
+        alpha2: "MX",
+        alpha3: "MEX",
+        name: "Mexico",
+    },
+    Country {
+        alpha2: "MY",
+        alpha3: "MYS",
+        name: "Malaysia",
+    },
+    Country {
+        alpha2: "MZ",
+        alpha3: "MOZ",
+        name: "Mozambique",
+    },
+    Country {
+        alpha2: "NA",
+        alpha3: "NAM",
+        name: "Namibia",
+    },
+    Country {
+        alpha2: "NC",
+        alpha3: "NCL",
+        name: "New Caledonia",
+    },
+    Country {
+        alpha2: "NE",
+        alpha3: "NER",
+        name: "Niger",
+    },
+    Country {
+        alpha2: "NF",
+        alpha3: "NFK",
+        name: "Norfolk Island",
+    },
+    Country {
+        alpha2: "NG",
+        alpha3: "NGA",
+        name: "Nigeria",
+    },
+    Country {
+        alpha2: "NI",
+        alpha3: "NIC",
+        name: "Nicaragua",
+    },
+    Country {
+        alpha2: "NL",
+        alpha3: "NLD",
+        name: "Netherlands",
+    },
+    Country {
+        alpha2: "NO",
+        alpha3: "NOR",
+        name: "Norway",
+    },
+    Country {
+        alpha2: "NP",
+        alpha3: "NPL",
+        name: "Nepal",
+    },
+    Country {
+        alpha2: "NR",
+        alpha3: "NRU",
+        name: "Nauru",
+    },
+    Country {
+        alpha2: "NU",
+        alpha3: "NIU",
+        name: "Niue",
+    },
+    Country {
+        alpha2: "NZ",
+        alpha3: "NZL",
+        name: "New Zealand",
+    },
+    Country {
+        alpha2: "OM",
+        alpha3: "OMN",
+        name: "Oman",
+    },
+    Country {
+        alpha2: "PA",
+        alpha3: "PAN",
+        name: "Panama",
+    },
+    Country {
+        alpha2: "PE",
+        alpha3: "PER",
+        name: "Peru",
+    },
+    Country {
+        alpha2: "PF",
+        alpha3: "PYF",
+        name: "French Polynesia",
+    },
+    Country {
+        alpha2: "PG",
+        alpha3: "PNG",
+        name: "Papua New Guinea",
+    },
+    Country {
+        alpha2: "PH",
+        alpha3: "PHL",
+        name: "Philippines",
+    },
+    Country {
+        alpha2: "PK",
+        alpha3: "PAK",
+        name: "Pakistan",
+    },
+    Country {
+        alpha2: "PL",
+        alpha3: "POL",
+        name: "Poland",
+    },
+    Country {
+        alpha2: "PM",
+        alpha3: "SPM",
+        name: "Saint Pierre and Miquelon",
+    },
+    Country {
+        alpha2: "PN",
+        alpha3: "PCN",
+        name: "Pitcairn",
+    },
+    Country {
+        alpha2: "PR",
+        alpha3: "PRI",
+        name: "Puerto Rico",
+    },
+    Country {
+        alpha2: "PS",
+        alpha3: "PSE",
+        name: "Palestine, State of",
+    },
+    Country {
+        alpha2: "PT",
+        alpha3: "PRT",
+        name: "Portugal",
+    },
+    Country {
+        alpha2: "PW",
+        alpha3: "PLW",
+        name: "Palau",
+    },
+    Country {
+        alpha2: "PY",
+        alpha3: "PRY",
+        name: "Paraguay",
+    },
+    Country {
+        alpha2: "QA",
+        alpha3: "QAT",
+        name: "Qatar",
+    },
+    Country {
+        alpha2: "RE",
+        alpha3: "REU",
+        name: "Reunion",
+    },
+    Country {
+        alpha2: "RO",
+        alpha3: "ROU",
+        name: "Romania",
+    },
+    Country {
+        alpha2: "RS",
+        alpha3: "SRB",
+        name: "Serbia",
+    },
+    Country {
+        alpha2: "RU",
+        alpha3: "RUS",
+        name: "Russian Federation",
+    },
+    Country {
+        alpha2: "RW",
+        alpha3: "RWA",
+        name: "Rwanda",
+    },
+    Country {
+        alpha2: "SA",
+        alpha3: "SAU",
+        name: "Saudi Arabia",
+    },
+    Country {
+        alpha2: "SB",
+        alpha3: "SLB",
+        name: "Solomon Islands",
+    },
+    Country {
+        alpha2: "SC",
+        alpha3: "SYC",
+        name: "Seychelles",
+    },
+    Country {
+        alpha2: "SD",
+        alpha3: "SDN",
+        name: "Sudan",
+    },
+    Country {
+        alpha2: "SE",
+        alpha3: "SWE",
+        name: "Sweden",
+    },
+    Country {
+        alpha2: "SG",
+        alpha3: "SGP",
+        name: "Singapore",
+    },
+    Country {
+        alpha2: "SH",
+        alpha3: "SHN",
+        name: "Saint Helena",
+    },
+    Country {
+        alpha2: "SI",
+        alpha3: "SVN",
+        name: "Slovenia",
+    },
+    Country {
+        alpha2: "SJ",
+        alpha3: "SJM",
+        name: "Svalbard and Jan Mayen",
+    },
+    Country {
+        alpha2: "SK",
+        alpha3: "SVK",
+        name: "Slovakia",
+    },
+    Country {
+        alpha2: "SL",
+        alpha3: "SLE",
+        name: "Sierra Leone",
+    },
+    Country {
+        alpha2: "SM",
+        alpha3: "SMR",
+        name: "San Marino",
+    },
+    Country {
+        alpha2: "SN",
+        alpha3: "SEN",
+        name: "Senegal",
+    },
+    Country {
+        alpha2: "SO",
+        alpha3: "SOM",
+        name: "Somalia",
+    },
+    Country {
+        alpha2: "SR",
+        alpha3: "SUR",
+        name: "Suriname",
+    },
+    Country {
+        alpha2: "SS",
+        alpha3: "SSD",
+        name: "South Sudan",
+    },
+    Country {
+        alpha2: "ST",
+        alpha3: "STP",
+        name: "Sao Tome and Principe",
+    },
+    Country {
+        alpha2: "SV",
+        alpha3: "SLV",
+        name: "El Salvador",
+    },
+    Country {
+        alpha2: "SX",
+        alpha3: "SXM",
+        name: "Sint Maarten (Dutch part)",
+    },
+    Country {
+        alpha2: "SY",
+        alpha3: "SYR",
+        name: "Syrian Arab Republic",
+    },
+    Country {
+        alpha2: "SZ",
+        alpha3: "SWZ",
+        name: "Eswatini",
+    },
+    Country {
+        alpha2: "TC",
+        alpha3: "TCA",
+        name: "Turks and Caicos Islands",
+    },
+    Country {
+        alpha2: "TD",
+        alpha3: "TCD",
+        name: "Chad",
+    },
+    Country {
+        alpha2: "TF",
+        alpha3: "ATF",
+        name: "French Southern Territories",
+    },
+    Country {
+        alpha2: "TG",
+        alpha3: "TGO",
+        name: "Togo",
+    },
+    Country {
+        alpha2: "TH",
+        alpha3: "THA",
+        name: "Thailand",
+    },
+    Country {
+        alpha2: "TJ",
+        alpha3: "TJK",
+        name: "Tajikistan",
+    },
+    Country {
+        alpha2: "TK",
+        alpha3: "TKL",
+        name: "Tokelau",
+    },
+    Country {
+        alpha2: "TL",
+        alpha3: "TLS",
+        name: "Timor-Leste",
+    },
+    Country {
+        alpha2: "TM",
+        alpha3: "TKM",
+        name: "Turkmenistan",
+    },
+    Country {
+        alpha2: "TN",
+        alpha3: "TUN",
+        name: "Tunisia",
+    },
+    Country {
+        alpha2: "TO",
+        alpha3: "TON",
+        name: "Tonga",
+    },
+    Country {
+        alpha2: "TR",
+        alpha3: "TUR",
+        name: "Turkiye",
+    },
+    Country {
+        alpha2: "TT",
+        alpha3: "TTO",
+        name: "Trinidad and Tobago",
+    },
+    Country {
+        alpha2: "TV",
+        alpha3: "TUV",
+        name: "Tuvalu",
+    },
+    Country {
+        alpha2: "TW",
+        alpha3: "TWN",
+        name: "Taiwan",
+    },
+    Country {
+        alpha2: "TZ",
+        alpha3: "TZA",
+        name: "Tanzania",
+    },
+    Country {
+        alpha2: "UA",
+        alpha3: "UKR",
+        name: "Ukraine",
+    },
+    Country {
+        alpha2: "UG",
+        alpha3: "UGA",
+        name: "Uganda",
+    },
+    Country {
+        alpha2: "UM",
+        alpha3: "UMI",
+        name: "United States Minor Outlying Islands",
+    },
+    Country {
+        alpha2: "US",
+        alpha3: "USA",
+        name: "United States",
+    },
+    Country {
+        alpha2: "UY",
+        alpha3: "URY",
+        name: "Uruguay",
+    },
+    Country {
+        alpha2: "UZ",
+        alpha3: "UZB",
+        name: "Uzbekistan",
+    },
+    Country {
+        alpha2: "VA",
+        alpha3: "VAT",
+        name: "Holy See",
+    },
+    Country {
+        alpha2: "VC",
+        alpha3: "VCT",
+        name: "Saint Vincent and the Grenadines",
+    },
+    Country {
+        alpha2: "VE",
+        alpha3: "VEN",
+        name: "Venezuela",
+    },
+    Country {
+        alpha2: "VG",
+        alpha3: "VGB",
+        name: "Virgin Islands (British)",
+    },
+    Country {
+        alpha2: "VI",
+        alpha3: "VIR",
+        name: "Virgin Islands (U.S.)",
+    },
+    Country {
+        alpha2: "VN",
+        alpha3: "VNM",
+        name: "Viet Nam",
+    },
+    Country {
+        alpha2: "VU",
+        alpha3: "VUT",
+        name: "Vanuatu",
+    },
+    Country {
+        alpha2: "WF",
+        alpha3: "WLF",
+        name: "Wallis and Futuna",
+    },
+    Country {
+        alpha2: "WS",
+        alpha3: "WSM",
+        name: "Samoa",
+    },
+    Country {
+        alpha2: "YE",
+        alpha3: "YEM",
+        name: "Yemen",
+    },
+    Country {
+        alpha2: "YT",
+        alpha3: "MYT",
+        name: "Mayotte",
+    },
+    Country {
+        alpha2: "ZA",
+        alpha3: "ZAF",
+        name: "South Africa",
+    },
+    Country {
+        alpha2: "ZM",
+        alpha3: "ZMB",
+        name: "Zambia",
+    },
+    Country {
+        alpha2: "ZW",
+        alpha3: "ZWE",
+        name: "Zimbabwe",
+    },
+    Country {
+        alpha2: "ZZ",
+        alpha3: "ZZZ",
+        name: "Unknown",
+    },
 ];
 
 /// Looks up a country by alpha-2 code (case-insensitive).
@@ -328,7 +1332,12 @@ mod tests {
     #[test]
     fn table_is_sorted_and_unique() {
         for w in COUNTRIES.windows(2) {
-            assert!(w[0].alpha2 < w[1].alpha2, "{} !< {}", w[0].alpha2, w[1].alpha2);
+            assert!(
+                w[0].alpha2 < w[1].alpha2,
+                "{} !< {}",
+                w[0].alpha2,
+                w[1].alpha2
+            );
         }
     }
 

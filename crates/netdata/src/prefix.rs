@@ -30,7 +30,10 @@ impl Prefix {
     pub fn new(addr: IpAddr, len: u8) -> Result<Self, NetDataError> {
         let af = family_of(&addr);
         if len > af.bits() {
-            return Err(NetDataError::PrefixLenOutOfRange { len, max: af.bits() });
+            return Err(NetDataError::PrefixLenOutOfRange {
+                len,
+                max: af.bits(),
+            });
         }
         let bits = ip_to_bits(&addr) & mask(len, af);
         Ok(Prefix { bits, len, af })
@@ -104,7 +107,11 @@ fn mask(len: u8, af: AddressFamily) -> u128 {
     if len == 0 {
         return 0;
     }
-    let width_mask = if width == 128 { !0u128 } else { (1u128 << width) - 1 };
+    let width_mask = if width == 128 {
+        !0u128
+    } else {
+        (1u128 << width) - 1
+    };
     (!0u128 << (width - len as u32)) & width_mask
 }
 

@@ -20,7 +20,10 @@ struct TrieNode<V> {
 
 impl<V> TrieNode<V> {
     fn new() -> Self {
-        TrieNode { children: [None, None], value: None }
+        TrieNode {
+            children: [None, None],
+            value: None,
+        }
     }
 }
 
@@ -39,7 +42,11 @@ struct FamilyTrie<V> {
 
 impl<V> FamilyTrie<V> {
     fn new(af: AddressFamily) -> Self {
-        FamilyTrie { root: TrieNode::new(), width: af.bits() as u32, len: 0 }
+        FamilyTrie {
+            root: TrieNode::new(),
+            width: af.bits() as u32,
+            len: 0,
+        }
     }
 
     /// Extracts bit `i` (0 = most significant network bit) of `bits`.
@@ -223,7 +230,9 @@ mod tests {
     fn families_are_separate() {
         let mut t = PrefixTrie::new();
         t.insert(&p("0.0.0.0/0"), "v4");
-        assert!(t.longest_match_ip(&"2001:db8::1".parse().unwrap()).is_none());
+        assert!(t
+            .longest_match_ip(&"2001:db8::1".parse().unwrap())
+            .is_none());
         t.insert(&p("2001:db8::/32"), "v6");
         let hit = t.longest_match_ip(&"2001:db8::1".parse().unwrap()).unwrap();
         assert_eq!(*hit.1, "v6");
@@ -257,7 +266,9 @@ mod tests {
     fn default_route_matches_everything_v4() {
         let mut t = PrefixTrie::new();
         t.insert(&p("0.0.0.0/0"), ());
-        assert!(t.longest_match_ip(&"203.0.113.9".parse().unwrap()).is_some());
+        assert!(t
+            .longest_match_ip(&"203.0.113.9".parse().unwrap())
+            .is_some());
     }
 
     #[test]
@@ -266,11 +277,17 @@ mod tests {
         t.insert(&p("2001:db8::/32"), 32);
         t.insert(&p("2001:db8:abcd::/48"), 48);
         t.insert(&p("2001:db8:abcd:12::/64"), 64);
-        let hit = t.longest_match_ip(&"2001:db8:abcd:12::99".parse().unwrap()).unwrap();
+        let hit = t
+            .longest_match_ip(&"2001:db8:abcd:12::99".parse().unwrap())
+            .unwrap();
         assert_eq!(*hit.1, 64);
-        let hit = t.longest_match_ip(&"2001:db8:abcd:ffff::1".parse().unwrap()).unwrap();
+        let hit = t
+            .longest_match_ip(&"2001:db8:abcd:ffff::1".parse().unwrap())
+            .unwrap();
         assert_eq!(*hit.1, 48);
-        let hit = t.longest_match_ip(&"2001:db8:ffff::1".parse().unwrap()).unwrap();
+        let hit = t
+            .longest_match_ip(&"2001:db8:ffff::1".parse().unwrap())
+            .unwrap();
         assert_eq!(*hit.1, 32);
     }
 

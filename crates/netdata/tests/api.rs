@@ -5,13 +5,21 @@ use iyp_netdata::{canon, country, NetDataError, Prefix};
 
 #[test]
 fn error_messages_are_informative() {
-    assert!(NetDataError::InvalidAsn("x".into()).to_string().contains("x"));
-    assert!(NetDataError::InvalidIp("y".into()).to_string().contains("y"));
-    assert!(NetDataError::InvalidPrefix("z".into()).to_string().contains("z"));
+    assert!(NetDataError::InvalidAsn("x".into())
+        .to_string()
+        .contains("x"));
+    assert!(NetDataError::InvalidIp("y".into())
+        .to_string()
+        .contains("y"));
+    assert!(NetDataError::InvalidPrefix("z".into())
+        .to_string()
+        .contains("z"));
     assert!(NetDataError::PrefixLenOutOfRange { len: 33, max: 32 }
         .to_string()
         .contains("33"));
-    assert!(NetDataError::UnknownCountry("QQ".into()).to_string().contains("QQ"));
+    assert!(NetDataError::UnknownCountry("QQ".into())
+        .to_string()
+        .contains("QQ"));
 }
 
 #[test]
@@ -20,7 +28,7 @@ fn prefix_display_and_ord() {
     let b: Prefix = "10.0.0.0/9".parse().unwrap();
     assert_eq!(format!("{a}"), "10.0.0.0/8");
     assert!(a < b, "same network, shorter length sorts first");
-    let mut v = vec![b, a];
+    let mut v = [b, a];
     v.sort();
     assert_eq!(v[0], a);
 }
@@ -30,8 +38,8 @@ fn country_table_covers_generator_pool() {
     // Every country the synthetic Internet uses must be resolvable, or
     // crawler country links would silently drop.
     for cc in [
-        "US", "DE", "GB", "FR", "NL", "JP", "CN", "RU", "BR", "IN", "AU", "CA", "KR", "SG",
-        "ZA", "SE", "IT", "ES", "PL", "UA", "MX", "ID", "NG", "AR", "CH",
+        "US", "DE", "GB", "FR", "NL", "JP", "CN", "RU", "BR", "IN", "AU", "CA", "KR", "SG", "ZA",
+        "SE", "IT", "ES", "PL", "UA", "MX", "ID", "NG", "AR", "CH",
     ] {
         assert!(country::by_alpha2(cc).is_some(), "{cc} missing");
     }

@@ -184,10 +184,7 @@ mod tests {
     fn names_follow_neo4j_convention() {
         for r in ALL_RELATIONSHIPS {
             let n = r.type_name();
-            assert!(
-                n.chars().all(|c| c.is_ascii_uppercase() || c == '_'),
-                "{n}"
-            );
+            assert!(n.chars().all(|c| c.is_ascii_uppercase() || c == '_'), "{n}");
         }
     }
 

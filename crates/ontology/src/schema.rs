@@ -53,13 +53,25 @@ pub const TRIPLES: &[Triple] = &[
     t(Entity::As, Relationship::DependsOn, Entity::As),
     t(Entity::Prefix, Relationship::DependsOn, Entity::As),
     t(Entity::Country, Relationship::DependsOn, Entity::As),
-    t(Entity::DomainName, Relationship::DependsOn, Entity::DomainName),
+    t(
+        Entity::DomainName,
+        Relationship::DependsOn,
+        Entity::DomainName,
+    ),
     // External identifiers.
     t(Entity::Ixp, Relationship::ExternalId, Entity::CaidaIxId),
     t(Entity::Ixp, Relationship::ExternalId, Entity::PeeringdbIxId),
     t(Entity::As, Relationship::ExternalId, Entity::PeeringdbNetId),
-    t(Entity::Organization, Relationship::ExternalId, Entity::PeeringdbOrgId),
-    t(Entity::Facility, Relationship::ExternalId, Entity::PeeringdbFacId),
+    t(
+        Entity::Organization,
+        Relationship::ExternalId,
+        Entity::PeeringdbOrgId,
+    ),
+    t(
+        Entity::Facility,
+        Relationship::ExternalId,
+        Entity::PeeringdbFacId,
+    ),
     // Location.
     t(Entity::Ixp, Relationship::LocatedIn, Entity::Facility),
     t(Entity::As, Relationship::LocatedIn, Entity::Facility),
@@ -69,11 +81,23 @@ pub const TRIPLES: &[Triple] = &[
     // Management.
     t(Entity::As, Relationship::ManagedBy, Entity::Organization),
     t(Entity::Ixp, Relationship::ManagedBy, Entity::Organization),
-    t(Entity::Prefix, Relationship::ManagedBy, Entity::Organization),
-    t(Entity::DomainName, Relationship::ManagedBy, Entity::AuthoritativeNameServer),
+    t(
+        Entity::Prefix,
+        Relationship::ManagedBy,
+        Entity::Organization,
+    ),
+    t(
+        Entity::DomainName,
+        Relationship::ManagedBy,
+        Entity::AuthoritativeNameServer,
+    ),
     // IXP peering LANs and rDNS delegations.
     t(Entity::Prefix, Relationship::ManagedBy, Entity::Ixp),
-    t(Entity::Prefix, Relationship::ManagedBy, Entity::AuthoritativeNameServer),
+    t(
+        Entity::Prefix,
+        Relationship::ManagedBy,
+        Entity::AuthoritativeNameServer,
+    ),
     // Membership.
     t(Entity::As, Relationship::MemberOf, Entity::Ixp),
     // Naming.
@@ -85,32 +109,56 @@ pub const TRIPLES: &[Triple] = &[
     t(Entity::As, Relationship::Originate, Entity::Prefix),
     t(Entity::As, Relationship::PeersWith, Entity::As),
     t(Entity::As, Relationship::PeersWith, Entity::BgpCollector),
-    t(Entity::As, Relationship::RouteOriginAuthorization, Entity::Prefix),
+    t(
+        Entity::As,
+        Relationship::RouteOriginAuthorization,
+        Entity::Prefix,
+    ),
     // DNS hierarchy and resolution.
     t(Entity::DomainName, Relationship::Parent, Entity::DomainName),
     t(Entity::Ip, Relationship::PartOf, Entity::Prefix),
     t(Entity::Prefix, Relationship::PartOf, Entity::Prefix),
     t(Entity::HostName, Relationship::PartOf, Entity::DomainName),
     t(Entity::Url, Relationship::PartOf, Entity::HostName),
-    t(Entity::AtlasProbe, Relationship::PartOf, Entity::AtlasMeasurement),
+    t(
+        Entity::AtlasProbe,
+        Relationship::PartOf,
+        Entity::AtlasMeasurement,
+    ),
     t(Entity::HostName, Relationship::ResolvesTo, Entity::Ip),
-    t(Entity::AuthoritativeNameServer, Relationship::ResolvesTo, Entity::Ip),
+    t(
+        Entity::AuthoritativeNameServer,
+        Relationship::ResolvesTo,
+        Entity::Ip,
+    ),
     // Population estimates.
     t(Entity::As, Relationship::Population, Entity::Country),
     t(Entity::Country, Relationship::Population, Entity::Estimate),
     // Query statistics (Cloudflare radar).
     t(Entity::DomainName, Relationship::QueriedFrom, Entity::As),
-    t(Entity::DomainName, Relationship::QueriedFrom, Entity::Country),
+    t(
+        Entity::DomainName,
+        Relationship::QueriedFrom,
+        Entity::Country,
+    ),
     // Rankings.
     t(Entity::As, Relationship::Rank, Entity::Ranking),
     t(Entity::DomainName, Relationship::Rank, Entity::Ranking),
     t(Entity::HostName, Relationship::Rank, Entity::Ranking),
     // Siblings.
     t(Entity::As, Relationship::SiblingOf, Entity::As),
-    t(Entity::Organization, Relationship::SiblingOf, Entity::Organization),
+    t(
+        Entity::Organization,
+        Relationship::SiblingOf,
+        Entity::Organization,
+    ),
     // Atlas measurements.
     t(Entity::AtlasMeasurement, Relationship::Target, Entity::Ip),
-    t(Entity::AtlasMeasurement, Relationship::Target, Entity::HostName),
+    t(
+        Entity::AtlasMeasurement,
+        Relationship::Target,
+        Entity::HostName,
+    ),
     t(Entity::AtlasMeasurement, Relationship::Target, Entity::As),
     // Websites.
     t(Entity::Url, Relationship::Website, Entity::Organization),
@@ -126,7 +174,9 @@ pub fn allowed_triples(rel: Relationship) -> impl Iterator<Item = &'static Tripl
 
 /// True if `(src, rel, dst)` is allowed in the canonical direction.
 pub fn is_allowed(src: Entity, rel: Relationship, dst: Entity) -> bool {
-    TRIPLES.iter().any(|x| x.src == src && x.rel == rel && x.dst == dst)
+    TRIPLES
+        .iter()
+        .any(|x| x.src == src && x.rel == rel && x.dst == dst)
 }
 
 #[cfg(test)]
@@ -145,22 +195,45 @@ mod tests {
     fn paper_examples_are_allowed() {
         // §2.2: "An AS is managed by an organization; An AS originates a
         // prefix in BGP; A hostname resolves to an IP address."
-        assert!(is_allowed(Entity::As, Relationship::ManagedBy, Entity::Organization));
-        assert!(is_allowed(Entity::As, Relationship::Originate, Entity::Prefix));
-        assert!(is_allowed(Entity::HostName, Relationship::ResolvesTo, Entity::Ip));
+        assert!(is_allowed(
+            Entity::As,
+            Relationship::ManagedBy,
+            Entity::Organization
+        ));
+        assert!(is_allowed(
+            Entity::As,
+            Relationship::Originate,
+            Entity::Prefix
+        ));
+        assert!(is_allowed(
+            Entity::HostName,
+            Relationship::ResolvesTo,
+            Entity::Ip
+        ));
     }
 
     #[test]
     fn nonsense_is_rejected() {
-        assert!(!is_allowed(Entity::Country, Relationship::Originate, Entity::Prefix));
-        assert!(!is_allowed(Entity::HostName, Relationship::PeersWith, Entity::Ip));
+        assert!(!is_allowed(
+            Entity::Country,
+            Relationship::Originate,
+            Entity::Prefix
+        ));
+        assert!(!is_allowed(
+            Entity::HostName,
+            Relationship::PeersWith,
+            Entity::Ip
+        ));
     }
 
     #[test]
     fn triples_are_unique() {
         for (i, a) in TRIPLES.iter().enumerate() {
             for b in &TRIPLES[i + 1..] {
-                assert!(!(a.src == b.src && a.rel == b.rel && a.dst == b.dst), "{a:?} duplicated");
+                assert!(
+                    !(a.src == b.src && a.rel == b.rel && a.dst == b.dst),
+                    "{a:?} duplicated"
+                );
             }
         }
     }

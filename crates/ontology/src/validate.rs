@@ -28,7 +28,11 @@ pub enum Violation {
     /// A relationship is missing one of the mandatory provenance keys.
     MissingReference { rel: RelId, key: &'static str },
     /// A node with an ontology label is missing its identity property.
-    MissingKeyProperty { node: NodeId, label: String, key: &'static str },
+    MissingKeyProperty {
+        node: NodeId,
+        label: String,
+        key: &'static str,
+    },
 }
 
 /// Validates the graph against the ontology, returning all violations.
@@ -60,7 +64,10 @@ pub fn validate_graph(graph: &Graph) -> Vec<Violation> {
     for rel in graph.all_rels() {
         let type_name = graph.symbols().rel_type_name(rel.rel_type).to_string();
         let Ok(ontology_rel) = type_name.parse::<Relationship>() else {
-            violations.push(Violation::UnknownRelType { rel: rel.id, type_name });
+            violations.push(Violation::UnknownRelType {
+                rel: rel.id,
+                type_name,
+            });
             continue;
         };
 
@@ -78,9 +85,9 @@ pub fn validate_graph(graph: &Graph) -> Vec<Violation> {
         let src_entities = entities_of(rel.src);
         let dst_entities = entities_of(rel.dst);
         let ok = src_entities.iter().any(|s| {
-            dst_entities.iter().any(|d| {
-                is_allowed(*s, ontology_rel, *d) || is_allowed(*d, ontology_rel, *s)
-            })
+            dst_entities
+                .iter()
+                .any(|d| is_allowed(*s, ontology_rel, *d) || is_allowed(*d, ontology_rel, *s))
         });
         if !ok {
             let labels_of = |node: NodeId| -> Vec<String> {
@@ -146,7 +153,8 @@ mod tests {
         let mut g = Graph::new();
         let a = g.merge_node("AS", "asn", 1u32, Props::new());
         let b = g.merge_node("AS", "asn", 2u32, Props::new());
-        g.create_rel(a, "FRIENDS_WITH", b, reference_props()).unwrap();
+        g.create_rel(a, "FRIENDS_WITH", b, reference_props())
+            .unwrap();
         let v = validate_graph(&g);
         assert!(matches!(v[0], Violation::UnknownRelType { .. }));
     }
@@ -158,7 +166,9 @@ mod tests {
         let p = g.merge_node("Prefix", "prefix", "10.0.0.0/8", Props::new());
         g.create_rel(c, "ORIGINATE", p, reference_props()).unwrap();
         let v = validate_graph(&g);
-        assert!(v.iter().any(|x| matches!(x, Violation::DisallowedTriple { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::DisallowedTriple { .. })));
     }
 
     #[test]
@@ -169,7 +179,9 @@ mod tests {
         g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
         let v = validate_graph(&g);
         assert_eq!(
-            v.iter().filter(|x| matches!(x, Violation::MissingReference { .. })).count(),
+            v.iter()
+                .filter(|x| matches!(x, Violation::MissingReference { .. }))
+                .count(),
             3
         );
     }
@@ -179,7 +191,10 @@ mod tests {
         let mut g = Graph::new();
         g.create_node(&["AS"], props([("name", Value::Str("no asn".into()))]));
         let v = validate_graph(&g);
-        assert!(matches!(v[0], Violation::MissingKeyProperty { key: "asn", .. }));
+        assert!(matches!(
+            v[0],
+            Violation::MissingKeyProperty { key: "asn", .. }
+        ));
     }
 
     #[test]
@@ -201,7 +216,8 @@ mod tests {
         let ns = g.merge_node("HostName", "name", "ns1.example.com", Props::new());
         g.add_label(ns, "AuthoritativeNameServer").unwrap();
         let ip = g.merge_node("IP", "ip", "192.0.2.1", Props::new());
-        g.create_rel(ns, "RESOLVES_TO", ip, reference_props()).unwrap();
+        g.create_rel(ns, "RESOLVES_TO", ip, reference_props())
+            .unwrap();
         assert!(validate_graph(&g).is_empty());
     }
 }

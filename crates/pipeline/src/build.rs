@@ -7,6 +7,7 @@ use iyp_graph::{Graph, GraphStats};
 use iyp_ontology::validate_graph;
 use iyp_simnet::datasets::ALL_DATASETS;
 use iyp_simnet::{DatasetId, World};
+use std::time::Instant;
 
 /// Options for a build.
 #[derive(Debug, Clone)]
@@ -22,14 +23,21 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { datasets: ALL_DATASETS.to_vec(), refine: true, validate: true }
+        BuildOptions {
+            datasets: ALL_DATASETS.to_vec(),
+            refine: true,
+            validate: true,
+        }
     }
 }
 
 impl BuildOptions {
     /// Build with only the named datasets (plus refinement).
     pub fn only(datasets: &[DatasetId]) -> Self {
-        BuildOptions { datasets: datasets.to_vec(), ..Default::default() }
+        BuildOptions {
+            datasets: datasets.to_vec(),
+            ..Default::default()
+        }
     }
 
     /// Disable refinement (used by the refinement ablation bench).
@@ -44,7 +52,12 @@ impl BuildOptions {
 /// Dataset texts are rendered concurrently (they are independent pure
 /// functions of the world); imports run serially in Table 8 order so
 /// the build is deterministic.
-pub fn build_graph(world: &World, options: &BuildOptions) -> Result<(Graph, BuildReport), CrawlError> {
+pub fn build_graph(
+    world: &World,
+    options: &BuildOptions,
+) -> Result<(Graph, BuildReport), CrawlError> {
+    let build_start = Instant::now();
+    let _span = iyp_telemetry::span(iyp_telemetry::names::BUILD_SECONDS);
     // Render all dataset texts in parallel.
     let mut texts: Vec<(DatasetId, String)> = Vec::with_capacity(options.datasets.len());
     crossbeam::thread::scope(|s| {
@@ -64,32 +77,111 @@ pub fn build_graph(world: &World, options: &BuildOptions) -> Result<(Graph, Buil
 
     let mut graph = Graph::new();
     let mut datasets = Vec::with_capacity(texts.len());
+    let mut dataset_timings = Vec::with_capacity(texts.len());
     for (id, text) in &texts {
+        let started = Instant::now();
         let links = import_dataset(&mut graph, *id, text, world.fetch_time)?;
+        let elapsed = started.elapsed();
         datasets.push((id.name().to_string(), links));
+        dataset_timings.push((id.name().to_string(), elapsed));
+        if iyp_telemetry::enabled() {
+            let name = iyp_telemetry::labeled(
+                iyp_telemetry::names::BUILD_IMPORT_SECONDS,
+                &[("dataset", id.name())],
+            );
+            iyp_telemetry::histogram(&name).record(elapsed);
+            iyp_telemetry::counter(iyp_telemetry::names::BUILD_LINKS_TOTAL).add(links as u64);
+        }
     }
 
     let mut refinement = Vec::new();
+    let mut refinement_timings = Vec::new();
     if options.refine {
-        refinement.push(("address families (af)", postprocess::add_address_families(&mut graph)));
-        refinement.push((
+        let pass = |name: &'static str,
+                    links: usize,
+                    started: Instant,
+                    refinement: &mut Vec<(&'static str, usize)>,
+                    timings: &mut Vec<(&'static str, std::time::Duration)>| {
+            let elapsed = started.elapsed();
+            refinement.push((name, links));
+            timings.push((name, elapsed));
+            if iyp_telemetry::enabled() {
+                let labeled = iyp_telemetry::labeled(
+                    iyp_telemetry::names::BUILD_REFINE_SECONDS,
+                    &[("pass", name)],
+                );
+                iyp_telemetry::histogram(&labeled).record(elapsed);
+            }
+        };
+        let t = Instant::now();
+        let n = postprocess::add_address_families(&mut graph);
+        pass(
+            "address families (af)",
+            n,
+            t,
+            &mut refinement,
+            &mut refinement_timings,
+        );
+        let t = Instant::now();
+        let n = postprocess::link_ips_to_prefixes(&mut graph, world.fetch_time)?;
+        pass(
             "IP -> Prefix (longest match)",
-            postprocess::link_ips_to_prefixes(&mut graph, world.fetch_time)?,
-        ));
-        refinement.push((
+            n,
+            t,
+            &mut refinement,
+            &mut refinement_timings,
+        );
+        let t = Instant::now();
+        let n = postprocess::link_covering_prefixes(&mut graph, world.fetch_time)?;
+        pass(
             "Prefix -> covering Prefix",
-            postprocess::link_covering_prefixes(&mut graph, world.fetch_time)?,
-        ));
-        refinement.push((
+            n,
+            t,
+            &mut refinement,
+            &mut refinement_timings,
+        );
+        let t = Instant::now();
+        let n = postprocess::link_urls_to_hostnames(&mut graph, world.fetch_time)?;
+        pass(
             "URL -> HostName",
-            postprocess::link_urls_to_hostnames(&mut graph, world.fetch_time)?,
-        ));
-        refinement.push(("country completion", postprocess::complete_countries(&mut graph)));
+            n,
+            t,
+            &mut refinement,
+            &mut refinement_timings,
+        );
+        let t = Instant::now();
+        let n = postprocess::complete_countries(&mut graph);
+        pass(
+            "country completion",
+            n,
+            t,
+            &mut refinement,
+            &mut refinement_timings,
+        );
     }
 
-    let violations = if options.validate { validate_graph(&graph).len() } else { 0 };
+    let violations = if options.validate {
+        validate_graph(&graph).len()
+    } else {
+        0
+    };
     let stats = GraphStats::compute(&graph);
-    Ok((graph, BuildReport { datasets, refinement, stats, violations }))
+    if iyp_telemetry::enabled() {
+        iyp_telemetry::gauge(iyp_telemetry::names::GRAPH_NODES).set(graph.node_count() as i64);
+        iyp_telemetry::gauge(iyp_telemetry::names::GRAPH_RELS).set(graph.rel_count() as i64);
+    }
+    Ok((
+        graph,
+        BuildReport {
+            datasets,
+            refinement,
+            stats,
+            violations,
+            dataset_timings,
+            refinement_timings,
+            total_time: build_start.elapsed(),
+        },
+    ))
 }
 
 #[cfg(test)]

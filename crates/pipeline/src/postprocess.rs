@@ -14,7 +14,10 @@ pub fn refinement_reference(fetch_time: i64) -> Reference {
 /// Adds the `af` property (4 or 6) to every `IP` and `Prefix` node.
 pub fn add_address_families(graph: &mut Graph) -> usize {
     let mut updates: Vec<(NodeId, i64)> = Vec::new();
-    for id in graph.nodes_with_label(Entity::Ip.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Ip.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
         if node.prop("af").is_some() {
             continue;
@@ -25,7 +28,10 @@ pub fn add_address_families(graph: &mut Graph) -> usize {
             }
         }
     }
-    for id in graph.nodes_with_label(Entity::Prefix.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Prefix.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
         if node.prop("af").is_some() {
             continue;
@@ -38,7 +44,9 @@ pub fn add_address_families(graph: &mut Graph) -> usize {
     }
     let n = updates.len();
     for (id, af) in updates {
-        graph.set_node_prop(id, "af", Value::Int(af)).expect("node exists");
+        graph
+            .set_node_prop(id, "af", Value::Int(af))
+            .expect("node exists");
     }
     n
 }
@@ -62,10 +70,17 @@ fn prefix_trie(graph: &Graph) -> PrefixTrie<NodeId> {
 pub fn link_ips_to_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
     let trie = prefix_trie(graph);
     let mut links: Vec<(NodeId, NodeId)> = Vec::new();
-    for id in graph.nodes_with_label(Entity::Ip.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Ip.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
-        let Some(ip) = node.prop("ip").and_then(|v| v.as_str()) else { continue };
-        let Ok(addr) = std::net::IpAddr::from_str(ip) else { continue };
+        let Some(ip) = node.prop("ip").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let Ok(addr) = std::net::IpAddr::from_str(ip) else {
+            continue;
+        };
         if let Some((_, &pfx_node)) = trie.longest_match_ip(&addr) {
             links.push((id, pfx_node));
         }
@@ -82,10 +97,17 @@ pub fn link_ips_to_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usize,
 pub fn link_covering_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
     let trie = prefix_trie(graph);
     let mut links: Vec<(NodeId, NodeId)> = Vec::new();
-    for id in graph.nodes_with_label(Entity::Prefix.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Prefix.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
-        let Some(p) = node.prop("prefix").and_then(|v| v.as_str()) else { continue };
-        let Ok(prefix) = p.parse::<Prefix>() else { continue };
+        let Some(p) = node.prop("prefix").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let Ok(prefix) = p.parse::<Prefix>() else {
+            continue;
+        };
         if let Some((_, &cover)) = trie.covering(&prefix) {
             links.push((id, cover));
         }
@@ -101,9 +123,14 @@ pub fn link_covering_prefixes(graph: &mut Graph, fetch_time: i64) -> Result<usiz
 /// HostName`), creating the hostname when absent.
 pub fn link_urls_to_hostnames(graph: &mut Graph, fetch_time: i64) -> Result<usize, CrawlError> {
     let mut hosts: Vec<(NodeId, String)> = Vec::new();
-    for id in graph.nodes_with_label(Entity::Url.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Url.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
-        let Some(url) = node.prop("url").and_then(|v| v.as_str()) else { continue };
+        let Some(url) = node.prop("url").and_then(|v| v.as_str()) else {
+            continue;
+        };
         if let Some(host) = canon::url_hostname(url) {
             hosts.push((id, host));
         }
@@ -120,12 +147,17 @@ pub fn link_urls_to_hostnames(graph: &mut Graph, fetch_time: i64) -> Result<usiz
 /// (§2.3 last paragraph). Returns the number of nodes completed.
 pub fn complete_countries(graph: &mut Graph) -> usize {
     let mut updates: Vec<(NodeId, &'static str, &'static str)> = Vec::new();
-    for id in graph.nodes_with_label(Entity::Country.label()).collect::<Vec<_>>() {
+    for id in graph
+        .nodes_with_label(Entity::Country.label())
+        .collect::<Vec<_>>()
+    {
         let Some(node) = graph.node(id) else { continue };
         if node.prop("alpha3").is_some() && node.prop("name").is_some() {
             continue;
         }
-        let Some(cc) = node.prop("country_code").and_then(|v| v.as_str()) else { continue };
+        let Some(cc) = node.prop("country_code").and_then(|v| v.as_str()) else {
+            continue;
+        };
         if let Some(info) = country::by_alpha2(cc) {
             updates.push((id, info.alpha3, info.name));
         }
@@ -173,11 +205,19 @@ mod tests {
         let nomatch = g.merge_node("IP", "ip", "192.0.2.1", Props::new());
         let n = link_ips_to_prefixes(&mut g, 0).unwrap();
         assert_eq!(n, 2);
-        let hit = g.neighbors(inside, iyp_graph::Direction::Outgoing, None).next();
+        let hit = g
+            .neighbors(inside, iyp_graph::Direction::Outgoing, None)
+            .next();
         assert_eq!(hit, Some(small));
-        let hit = g.neighbors(outside, iyp_graph::Direction::Outgoing, None).next();
+        let hit = g
+            .neighbors(outside, iyp_graph::Direction::Outgoing, None)
+            .next();
         assert_eq!(hit, Some(big));
-        assert_eq!(g.neighbors(nomatch, iyp_graph::Direction::Both, None).count(), 0);
+        assert_eq!(
+            g.neighbors(nomatch, iyp_graph::Direction::Both, None)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -188,9 +228,21 @@ mod tests {
         let p24 = g.merge_node("Prefix", "prefix", "10.1.2.0/24", Props::new());
         let n = link_covering_prefixes(&mut g, 0).unwrap();
         assert_eq!(n, 2);
-        assert_eq!(g.neighbors(p24, iyp_graph::Direction::Outgoing, None).next(), Some(p16));
-        assert_eq!(g.neighbors(p16, iyp_graph::Direction::Outgoing, None).next(), Some(p8));
-        assert_eq!(g.neighbors(p8, iyp_graph::Direction::Outgoing, None).count(), 0);
+        assert_eq!(
+            g.neighbors(p24, iyp_graph::Direction::Outgoing, None)
+                .next(),
+            Some(p16)
+        );
+        assert_eq!(
+            g.neighbors(p16, iyp_graph::Direction::Outgoing, None)
+                .next(),
+            Some(p8)
+        );
+        assert_eq!(
+            g.neighbors(p8, iyp_graph::Direction::Outgoing, None)
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -200,7 +252,11 @@ mod tests {
         let n = link_urls_to_hostnames(&mut g, 0).unwrap();
         assert_eq!(n, 1);
         let host = g.lookup("HostName", "name", "www.example.com").unwrap();
-        assert_eq!(g.neighbors(url, iyp_graph::Direction::Outgoing, None).next(), Some(host));
+        assert_eq!(
+            g.neighbors(url, iyp_graph::Direction::Outgoing, None)
+                .next(),
+            Some(host)
+        );
     }
 
     #[test]
@@ -216,7 +272,13 @@ mod tests {
         let n = complete_countries(&mut g);
         assert_eq!(n, 1);
         let jp = g.lookup("Country", "country_code", "JP").unwrap();
-        assert_eq!(g.node(jp).unwrap().prop("alpha3").unwrap().as_str(), Some("JPN"));
-        assert_eq!(g.node(jp).unwrap().prop("name").unwrap().as_str(), Some("Japan"));
+        assert_eq!(
+            g.node(jp).unwrap().prop("alpha3").unwrap().as_str(),
+            Some("JPN")
+        );
+        assert_eq!(
+            g.node(jp).unwrap().prop("name").unwrap().as_str(),
+            Some("Japan")
+        );
     }
 }

@@ -2,6 +2,7 @@
 
 use iyp_graph::GraphStats;
 use std::fmt;
+use std::time::Duration;
 
 /// Summary of a full IYP build.
 #[derive(Debug, Clone)]
@@ -14,6 +15,14 @@ pub struct BuildReport {
     pub stats: GraphStats,
     /// Ontology violations found in the final validation pass.
     pub violations: usize,
+    /// Wall time of each dataset import (render + parse + merge), in
+    /// import order. Kept separate from `datasets` so that link counts
+    /// stay byte-for-byte deterministic across runs.
+    pub dataset_timings: Vec<(String, Duration)>,
+    /// Wall time of each refinement pass, in pass order.
+    pub refinement_timings: Vec<(&'static str, Duration)>,
+    /// Wall time of the whole build.
+    pub total_time: Duration,
 }
 
 impl BuildReport {
@@ -25,6 +34,35 @@ impl BuildReport {
     /// Total relationships added by refinement.
     pub fn refinement_links(&self) -> usize {
         self.refinement.iter().map(|(_, n)| n).sum()
+    }
+
+    /// The wall time recorded for one dataset import, by name.
+    pub fn dataset_time(&self, name: &str) -> Option<Duration> {
+        self.dataset_timings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| *d)
+    }
+
+    /// Renders the timing breakdown (the `--metrics` view): one line
+    /// per dataset import and refinement pass in import order, plus
+    /// the total.
+    pub fn render_timings(&self) -> String {
+        let mut out = String::new();
+        out.push_str("-- import timings --\n");
+        for (name, d) in &self.dataset_timings {
+            out.push_str(&format!("  {name:<36} {:>9.3} ms\n", d.as_secs_f64() * 1e3));
+        }
+        out.push_str("-- refinement timings --\n");
+        for (pass, d) in &self.refinement_timings {
+            out.push_str(&format!("  {pass:<36} {:>9.3} ms\n", d.as_secs_f64() * 1e3));
+        }
+        out.push_str(&format!(
+            "  {:<36} {:>9.3} ms\n",
+            "total build",
+            self.total_time.as_secs_f64() * 1e3
+        ));
+        out
     }
 }
 

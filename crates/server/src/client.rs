@@ -1,6 +1,6 @@
 //! A client for the query service.
 
-use crate::proto::{Request, Response};
+use crate::proto::{Command, Request, Response};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -13,18 +13,27 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server and verifies liveness with a `PING`
+    /// round trip, so a dead or non-IYP endpoint fails here rather
+    /// than on the first query.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_read_timeout(Some(Duration::from_secs(30)))?;
         stream.set_write_timeout(Some(Duration::from_secs(30)))?;
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { stream, reader })
+        let mut client = Client { stream, reader };
+        match client.send(&Command::Ping)? {
+            Response::Pong => Ok(client),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                format!("server failed the PING handshake: {other:?}"),
+            )),
+        }
     }
 
-    /// Sends a request and waits for the response.
-    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
-        self.stream.write_all(req.to_line().as_bytes())?;
+    /// Sends any protocol command and waits for the response.
+    pub fn send(&mut self, cmd: &Command) -> std::io::Result<Response> {
+        self.stream.write_all(cmd.to_line().as_bytes())?;
         self.stream.write_all(b"\n")?;
         self.stream.flush()?;
         let mut line = String::new();
@@ -33,8 +42,29 @@ impl Client {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
+    /// Sends a query request and waits for the response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.send(&Command::Query(req.clone()))
+    }
+
     /// Convenience: run a parameter-less query.
     pub fn query(&mut self, text: &str) -> std::io::Result<Response> {
         self.request(&Request::new(text))
+    }
+
+    /// Liveness probe: true when the server answers `PING`.
+    pub fn ping(&mut self) -> std::io::Result<bool> {
+        Ok(matches!(self.send(&Command::Ping)?, Response::Pong))
+    }
+
+    /// Fetches graph statistics plus the server's telemetry snapshot.
+    pub fn stats(&mut self) -> std::io::Result<serde_json::Value> {
+        match self.send(&Command::Stats)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected STATS response: {other:?}"),
+            )),
+        }
     }
 }

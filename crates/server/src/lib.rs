@@ -21,6 +21,14 @@
 //! {"status": "error", "error": "parse error near token 3: …"}
 //! ```
 //!
+//! Besides queries, the protocol has two service commands:
+//! `{"cmd": "ping"}` (liveness; answered with `{"status": "pong"}`,
+//! used by the client's connect handshake) and `{"cmd": "stats"}`
+//! (graph statistics plus a telemetry snapshot, answered with
+//! `{"status": "stats", "stats": {…}}`). Empty, oversized, or
+//! malformed request lines are rejected with a structured error code
+//! (`empty_request`, `request_too_large`, `bad_json`, …).
+//!
 //! Graph entities are encoded as objects:
 //! `{"~node": 17, "labels": ["AS"], "props": {"asn": 2497}}` and
 //! `{"~rel": 99, "type": "ORIGINATE", "props": {…}}` — enough for a
@@ -36,5 +44,5 @@ pub mod proto;
 pub mod server;
 
 pub use client::Client;
-pub use proto::{decode_value, encode_value, Request, Response};
+pub use proto::{decode_value, encode_value, Command, ProtoError, Request, Response};
 pub use server::{Server, ServerError};

@@ -3,6 +3,66 @@
 use iyp_cypher::RtVal;
 use iyp_graph::{Graph, Value};
 use serde_json::json;
+use std::fmt;
+
+/// A structured protocol violation: what the server rejects a request
+/// line for, before any query parsing happens. The `code` is stable
+/// machine-readable text; `Display` renders `code: human detail`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The request line was empty (or whitespace only).
+    Empty,
+    /// The request line exceeds the server's size cap.
+    TooLarge {
+        /// Bytes received.
+        len: usize,
+        /// The cap it exceeds.
+        max: usize,
+    },
+    /// The line was not valid JSON.
+    BadJson(String),
+    /// A JSON object without `query` or a known `cmd`.
+    MissingQuery,
+    /// An unrecognised `cmd` value.
+    UnknownCommand(String),
+}
+
+impl ProtoError {
+    /// Stable machine-readable error code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Empty => "empty_request",
+            ProtoError::TooLarge { .. } => "request_too_large",
+            ProtoError::BadJson(_) => "bad_json",
+            ProtoError::MissingQuery => "missing_query",
+            ProtoError::UnknownCommand(_) => "unknown_command",
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Empty => write!(f, "empty_request: request line is empty"),
+            ProtoError::TooLarge { len, max } => {
+                write!(
+                    f,
+                    "request_too_large: {len} bytes exceeds the {max} byte cap"
+                )
+            }
+            ProtoError::BadJson(e) => write!(f, "bad_json: {e}"),
+            ProtoError::MissingQuery => {
+                write!(
+                    f,
+                    "missing_query: request has neither `query` nor a known `cmd`"
+                )
+            }
+            ProtoError::UnknownCommand(c) => write!(f, "unknown_command: `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
 
 /// A query request.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,7 +76,10 @@ pub struct Request {
 impl Request {
     /// Creates a parameter-less request.
     pub fn new(query: &str) -> Request {
-        Request { query: query.to_string(), params: Default::default() }
+        Request {
+            query: query.to_string(),
+            params: Default::default(),
+        }
     }
 
     /// Serialises to one protocol line.
@@ -31,12 +94,55 @@ impl Request {
     }
 
     /// Parses a protocol line.
-    pub fn from_line(line: &str) -> Result<Request, String> {
+    pub fn from_line(line: &str) -> Result<Request, ProtoError> {
+        match Command::from_line(line)? {
+            Command::Query(req) => Ok(req),
+            Command::Stats | Command::Ping => Err(ProtoError::MissingQuery),
+        }
+    }
+}
+
+/// One protocol command: a Cypher query, or one of the service
+/// commands (`STATS`, `PING`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a Cypher query.
+    Query(Request),
+    /// Return graph statistics plus a telemetry snapshot.
+    Stats,
+    /// Liveness probe; the server answers with a `pong` status.
+    Ping,
+}
+
+impl Command {
+    /// Serialises to one protocol line.
+    pub fn to_line(&self) -> String {
+        match self {
+            Command::Query(req) => req.to_line(),
+            Command::Stats => r#"{"cmd":"stats"}"#.to_string(),
+            Command::Ping => r#"{"cmd":"ping"}"#.to_string(),
+        }
+    }
+
+    /// Parses a protocol line: `{"cmd": "stats"|"ping"}` commands or a
+    /// `{"query": …, "params": …}` request.
+    pub fn from_line(line: &str) -> Result<Command, ProtoError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(ProtoError::Empty);
+        }
         let v: serde_json::Value =
-            serde_json::from_str(line).map_err(|e| format!("bad request JSON: {e}"))?;
+            serde_json::from_str(line).map_err(|e| ProtoError::BadJson(e.to_string()))?;
+        if let Some(cmd) = v["cmd"].as_str() {
+            return match cmd.to_ascii_lowercase().as_str() {
+                "stats" => Ok(Command::Stats),
+                "ping" => Ok(Command::Ping),
+                other => Err(ProtoError::UnknownCommand(other.to_string())),
+            };
+        }
         let query = v["query"]
             .as_str()
-            .ok_or_else(|| "request missing `query`".to_string())?
+            .ok_or(ProtoError::MissingQuery)?
             .to_string();
         let mut params = iyp_cypher::Params::new();
         if let Some(obj) = v["params"].as_object() {
@@ -44,7 +150,7 @@ impl Request {
                 params.insert(k.clone(), json_to_value(val));
             }
         }
-        Ok(Request { query, params })
+        Ok(Command::Query(Request { query, params }))
     }
 }
 
@@ -60,6 +166,11 @@ pub enum Response {
     },
     /// Failure with a message.
     Error(String),
+    /// Answer to [`Command::Ping`].
+    Pong,
+    /// Answer to [`Command::Stats`]: a JSON object with `graph` and
+    /// `telemetry` sections.
+    Stats(serde_json::Value),
 }
 
 impl Response {
@@ -70,6 +181,8 @@ impl Response {
                 json!({ "status": "ok", "columns": columns, "rows": rows })
             }
             Response::Error(msg) => json!({ "status": "error", "error": msg }),
+            Response::Pong => json!({ "status": "pong" }),
+            Response::Stats(stats) => json!({ "status": "stats", "stats": stats }),
         };
         serde_json::to_string(&v).expect("serializable")
     }
@@ -79,6 +192,8 @@ impl Response {
         let v: serde_json::Value =
             serde_json::from_str(line).map_err(|e| format!("bad response JSON: {e}"))?;
         match v["status"].as_str() {
+            Some("pong") => Ok(Response::Pong),
+            Some("stats") => Ok(Response::Stats(v["stats"].clone())),
             Some("ok") => {
                 let columns = v["columns"]
                     .as_array()
@@ -139,18 +254,27 @@ pub fn encode_value(v: &RtVal, graph: &Graph) -> serde_json::Value {
         RtVal::Scalar(s) => value_to_json(s),
         RtVal::Node(id) => match graph.node(*id) {
             Some(n) => {
-                let labels: Vec<&str> =
-                    n.labels.iter().map(|l| graph.symbols().label_name(*l)).collect();
-                let props: serde_json::Map<String, serde_json::Value> =
-                    n.props.iter().map(|(k, v)| (k.clone(), value_to_json(v))).collect();
+                let labels: Vec<&str> = n
+                    .labels
+                    .iter()
+                    .map(|l| graph.symbols().label_name(*l))
+                    .collect();
+                let props: serde_json::Map<String, serde_json::Value> = n
+                    .props
+                    .iter()
+                    .map(|(k, v)| (k.clone(), value_to_json(v)))
+                    .collect();
                 json!({ "~node": id.0, "labels": labels, "props": props })
             }
             None => serde_json::Value::Null,
         },
         RtVal::Rel(id) => match graph.rel(*id) {
             Some(r) => {
-                let props: serde_json::Map<String, serde_json::Value> =
-                    r.props.iter().map(|(k, v)| (k.clone(), value_to_json(v))).collect();
+                let props: serde_json::Map<String, serde_json::Value> = r
+                    .props
+                    .iter()
+                    .map(|(k, v)| (k.clone(), value_to_json(v)))
+                    .collect();
                 json!({
                     "~rel": id.0,
                     "type": graph.symbols().rel_type_name(r.rel_type),
@@ -202,6 +326,46 @@ mod tests {
     }
 
     #[test]
+    fn commands_roundtrip() {
+        assert_eq!(
+            Command::from_line(&Command::Stats.to_line()).unwrap(),
+            Command::Stats
+        );
+        assert_eq!(
+            Command::from_line(&Command::Ping.to_line()).unwrap(),
+            Command::Ping
+        );
+        let q = Command::Query(Request::new("RETURN 1"));
+        assert_eq!(Command::from_line(&q.to_line()).unwrap(), q);
+    }
+
+    #[test]
+    fn proto_errors_are_structured() {
+        assert_eq!(Command::from_line("   ").unwrap_err(), ProtoError::Empty);
+        assert_eq!(Command::from_line("{").unwrap_err().code(), "bad_json");
+        assert_eq!(
+            Command::from_line("{}").unwrap_err(),
+            ProtoError::MissingQuery
+        );
+        assert_eq!(
+            Command::from_line(r#"{"cmd":"reboot"}"#).unwrap_err(),
+            ProtoError::UnknownCommand("reboot".into())
+        );
+        let e = ProtoError::TooLarge { len: 10, max: 5 };
+        assert!(e.to_string().starts_with("request_too_large:"));
+    }
+
+    #[test]
+    fn pong_and_stats_roundtrip() {
+        assert_eq!(
+            Response::from_line(&Response::Pong.to_line()).unwrap(),
+            Response::Pong
+        );
+        let s = Response::Stats(json!({"graph": {"nodes": 3}}));
+        assert_eq!(Response::from_line(&s.to_line()).unwrap(), s);
+    }
+
+    #[test]
     fn value_json_roundtrip() {
         let vals = [
             Value::Null,
@@ -221,7 +385,9 @@ mod tests {
         let mut g = Graph::new();
         let a = g.merge_node("AS", "asn", 2497u32, iyp_graph::Props::new());
         let b = g.merge_node("AS", "asn", 1u32, iyp_graph::Props::new());
-        let r = g.create_rel(a, "PEERS_WITH", b, iyp_graph::Props::new()).unwrap();
+        let r = g
+            .create_rel(a, "PEERS_WITH", b, iyp_graph::Props::new())
+            .unwrap();
         let jn = encode_value(&RtVal::Node(a), &g);
         assert_eq!(jn["labels"][0], "AS");
         assert_eq!(jn["props"]["asn"], 2497);

@@ -1,13 +1,14 @@
 //! The read-only query server.
 
-use crate::proto::{encode_value, Request, Response};
-use iyp_graph::Graph;
+use crate::proto::{encode_value, Command, ProtoError, Response};
+use iyp_graph::{Graph, GraphStats};
+use serde_json::json;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server errors.
 #[derive(Debug)]
@@ -28,7 +29,11 @@ impl std::error::Error for ServerError {}
 
 /// Hard cap on a single request line (1 MiB) — a protocol guard, not a
 /// resource plan.
-const MAX_REQUEST_BYTES: u64 = 1 << 20;
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Queries slower than this are logged to stderr (and counted in
+/// `iyp_server_slow_queries_total`).
+const SLOW_QUERY: Duration = Duration::from_millis(250);
 
 /// A running query server. The graph is shared read-only across
 /// connection threads; dropping the handle (or calling
@@ -78,7 +83,12 @@ impl Server {
             }
         });
 
-        Ok(Server { addr, shutdown, served, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            shutdown,
+            served,
+            accept_thread: Some(accept_thread),
+        })
     }
 
     /// The bound address.
@@ -126,33 +136,89 @@ fn handle_connection(
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
             Err(e) => return Err(e),
         }
-        if read.len() as u64 > MAX_REQUEST_BYTES {
-            let resp = Response::Error("request too large".into());
+        if read.len() > MAX_REQUEST_BYTES {
+            // Oversized lines kill the connection: the rest of the
+            // line is still in flight and can't be resynchronised.
+            let err = ProtoError::TooLarge {
+                len: read.len(),
+                max: MAX_REQUEST_BYTES,
+            };
+            let resp = Response::Error(err.to_string());
             writer.write_all(resp.to_line().as_bytes())?;
             writer.write_all(b"\n")?;
             writer.flush()?;
             return Ok(());
         }
-        if read.trim().is_empty() {
-            continue;
-        }
         served.fetch_add(1, Ordering::SeqCst);
-        let response = match Request::from_line(read.trim()) {
-            Ok(req) => match iyp_cypher::query(graph, &req.query, &req.params) {
-                Ok(rs) => Response::Ok {
-                    columns: rs.columns.clone(),
-                    rows: rs
-                        .rows
-                        .iter()
-                        .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
-                        .collect(),
-                },
-                Err(e) => Response::Error(e.to_string()),
-            },
-            Err(e) => Response::Error(e),
+        let response = match Command::from_line(&read) {
+            Ok(Command::Ping) => Response::Pong,
+            Ok(Command::Stats) => Response::Stats(stats_json(graph)),
+            Ok(Command::Query(req)) => {
+                let _span = iyp_telemetry::span(iyp_telemetry::names::SERVER_REQUEST_SECONDS);
+                let started = Instant::now();
+                let result = iyp_cypher::query(graph, &req.query, &req.params);
+                let elapsed = started.elapsed();
+                if elapsed >= SLOW_QUERY {
+                    iyp_telemetry::counter(iyp_telemetry::names::SERVER_SLOW_QUERIES_TOTAL).incr();
+                    let preview: String = req.query.chars().take(200).collect();
+                    eprintln!(
+                        "[iyp-server] slow query ({:.1} ms): {}",
+                        elapsed.as_secs_f64() * 1e3,
+                        preview.split_whitespace().collect::<Vec<_>>().join(" ")
+                    );
+                }
+                match result {
+                    Ok(rs) => Response::Ok {
+                        columns: rs.columns.clone(),
+                        rows: rs
+                            .rows
+                            .iter()
+                            .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
+                            .collect(),
+                    },
+                    Err(e) => Response::Error(e.to_string()),
+                }
+            }
+            Err(e) => Response::Error(e.to_string()),
         };
         writer.write_all(response.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
+}
+
+/// The `STATS` payload: graph statistics plus a snapshot of every
+/// registered telemetry metric.
+fn stats_json(graph: &Graph) -> serde_json::Value {
+    let stats = GraphStats::compute(graph);
+    let labels: serde_json::Map<String, serde_json::Value> = stats
+        .nodes_per_label
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    let rel_types: serde_json::Map<String, serde_json::Value> = stats
+        .rels_per_type
+        .iter()
+        .map(|(k, v)| (k.clone(), json!(v)))
+        .collect();
+    let mut telemetry = serde_json::Map::new();
+    for (name, value) in iyp_telemetry::snapshot() {
+        let v = match value {
+            iyp_telemetry::MetricValue::Counter(c) => json!(c),
+            iyp_telemetry::MetricValue::Gauge(g) => json!(g),
+            iyp_telemetry::MetricValue::Histogram { count, sum } => {
+                json!({ "count": count, "sum_seconds": sum.as_secs_f64() })
+            }
+        };
+        telemetry.insert(name, v);
+    }
+    json!({
+        "graph": {
+            "nodes": stats.nodes,
+            "rels": stats.rels,
+            "nodes_per_label": labels,
+            "rels_per_type": rel_types,
+        },
+        "telemetry": telemetry,
+    })
 }

@@ -11,8 +11,13 @@ fn sample_graph() -> Arc<Graph> {
     }
     let a = g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
     let p = g.merge_node("Prefix", "prefix", "192.0.2.0/24", Props::new());
-    g.create_rel(a, "ORIGINATE", p, props([("reference_name", Value::Str("bgpkit".into()))]))
-        .unwrap();
+    g.create_rel(
+        a,
+        "ORIGINATE",
+        p,
+        props([("reference_name", Value::Str("bgpkit".into()))]),
+    )
+    .unwrap();
     Arc::new(g)
 }
 
@@ -32,7 +37,7 @@ fn query_roundtrip() {
             assert_eq!(columns.len(), 1);
             assert_eq!(rows[0][0], serde_json::json!(3));
         }
-        Response::Error(e) => panic!("unexpected error: {e}"),
+        other => panic!("unexpected response: {other:?}"),
     }
     server.stop();
 }
@@ -44,7 +49,9 @@ fn entities_are_transported() {
     let resp = client
         .query("MATCH (a:AS {asn: 2497})-[r:ORIGINATE]-(p:Prefix) RETURN a, r, p")
         .unwrap();
-    let Response::Ok { rows, .. } = resp else { panic!("error") };
+    let Response::Ok { rows, .. } = resp else {
+        panic!("error")
+    };
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][0]["labels"][0], "AS");
     assert_eq!(rows[0][0]["props"]["asn"], 2497);
@@ -59,7 +66,9 @@ fn parameters_travel() {
     let mut client = Client::connect(addr).expect("connect");
     let mut req = Request::new("MATCH (a:AS {asn: $asn}) RETURN a.asn");
     req.params.insert("asn".into(), Value::Int(64496));
-    let Response::Ok { rows, .. } = client.request(&req).unwrap() else { panic!() };
+    let Response::Ok { rows, .. } = client.request(&req).unwrap() else {
+        panic!()
+    };
     assert_eq!(rows[0][0], serde_json::json!(64496));
     server.stop();
 }
@@ -99,7 +108,9 @@ fn concurrent_clients() {
                 let resp = client
                     .query("MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)")
                     .unwrap();
-                let Response::Ok { rows, .. } = resp else { panic!("error") };
+                let Response::Ok { rows, .. } = resp else {
+                    panic!("error")
+                };
                 assert_eq!(rows[0][0], serde_json::json!(1));
             }
         }));
@@ -119,7 +130,9 @@ fn malformed_request_yields_error_line() {
     stream.write_all(b"this is not json\n").unwrap();
     stream.flush().unwrap();
     let mut line = String::new();
-    BufReader::new(stream.try_clone().unwrap()).read_line(&mut line).unwrap();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
     let resp = Response::from_line(line.trim()).unwrap();
     assert!(matches!(resp, Response::Error(_)));
     server.stop();
@@ -129,5 +142,89 @@ fn malformed_request_yields_error_line() {
 fn stop_is_idempotent_and_prompt() {
     let (mut server, _addr) = start();
     server.stop();
+    server.stop();
+}
+
+#[test]
+fn ping_liveness() {
+    let (mut server, addr) = start();
+    // connect() itself performs a PING handshake; probe again manually.
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.ping().unwrap());
+    server.stop();
+}
+
+#[test]
+fn stats_command_reports_graph_and_telemetry() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats["graph"]["nodes"], serde_json::json!(4));
+    assert_eq!(
+        stats["graph"]["nodes_per_label"]["AS"],
+        serde_json::json!(3)
+    );
+    assert_eq!(
+        stats["graph"]["rels_per_type"]["ORIGINATE"],
+        serde_json::json!(1)
+    );
+    assert!(stats["telemetry"].as_object().is_some());
+    server.stop();
+}
+
+#[test]
+fn explain_flows_through_the_protocol() {
+    let (mut server, addr) = start();
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .query("EXPLAIN MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)")
+        .unwrap();
+    let Response::Ok { columns, rows } = resp else {
+        panic!("error")
+    };
+    assert_eq!(columns, vec!["plan"]);
+    let text: Vec<String> = rows
+        .iter()
+        .map(|r| r[0].as_str().unwrap().to_string())
+        .collect();
+    assert!(text[0].starts_with("ProduceResults"), "{text:?}");
+    assert!(text.iter().any(|l| l.contains("Match")), "{text:?}");
+    server.stop();
+}
+
+#[test]
+fn empty_lines_are_rejected_with_structured_error() {
+    use std::io::{BufRead, BufReader, Write};
+    let (mut server, addr) = start();
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"\n").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let Response::Error(msg) = Response::from_line(line.trim()).unwrap() else {
+        panic!("expected error")
+    };
+    assert!(msg.starts_with("empty_request:"), "{msg}");
+    server.stop();
+}
+
+#[test]
+fn oversized_lines_are_rejected_with_structured_error() {
+    use std::io::{BufRead, BufReader, Write};
+    let (mut server, addr) = start();
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    let huge = format!("{{\"query\": \"{}\"}}\n", "x".repeat(2 << 20));
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let Response::Error(msg) = Response::from_line(line.trim()).unwrap() else {
+        panic!("expected error")
+    };
+    assert!(msg.starts_with("request_too_large:"), "{msg}");
     server.stop();
 }

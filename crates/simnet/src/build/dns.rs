@@ -1,0 +1,303 @@
+//! Pass 2: TLD registries, managed DNS providers, ranked domains.
+
+use super::{first_v4_prefix, host_ip, ip_in_prefix};
+use crate::types::*;
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::net::IpAddr;
+
+/// (label, registry country, ccTLD?, share of the domain population).
+/// `.com`/`.net`/`.org` together carry ~49% — the Section 4.2.1 share.
+const TLDS: [(&str, &str, bool, f64); 12] = [
+    ("com", "US", false, 0.32),
+    ("net", "US", false, 0.10),
+    ("org", "US", false, 0.07),
+    ("de", "DE", true, 0.08),
+    ("ru", "RU", true, 0.07),
+    ("cn", "CN", true, 0.07),
+    ("jp", "JP", true, 0.06),
+    ("uk", "GB", true, 0.06),
+    ("fr", "FR", true, 0.05),
+    ("nl", "NL", true, 0.04),
+    ("info", "US", false, 0.05),
+    ("biz", "US", false, 0.03),
+];
+
+const PROVIDER_NAMES: [&str; 14] = [
+    "globaldns",
+    "anycastdns",
+    "parkzone",
+    "offzonedns",
+    "meetdns",
+    "cramped-ns",
+    "zonefleet",
+    "nsmasters",
+    "dnsworks",
+    "hostedns",
+    "eurodns",
+    "apexdns",
+    "quadns",
+    "rootline",
+];
+
+/// Provider market share (fraction of all domains). Whatever the
+/// provider list doesn't cover self-hosts its zone.
+fn provider_share(k: usize, total: usize) -> f64 {
+    match k {
+        0 => 0.18,
+        1 => 0.12,
+        2 => 0.10, // vanity registrar
+        3 => 0.08, // out-of-zone NS names
+        4 => 0.06, // two-NS sets
+        5 => 0.04, // all NS in one /24
+        _ => 0.32 / (total - 6) as f64,
+    }
+}
+
+fn add_ns(w: &mut World, name: String, ips: Vec<IpAddr>, asn_idx: usize) {
+    w.ns_index.insert(name.clone(), w.nameservers.len());
+    w.nameservers.push(NameServer { name, ips, asn_idx });
+}
+
+pub fn build(w: &mut World, rng: &mut StdRng) {
+    build_tlds(w, rng);
+    build_providers(w);
+    build_domains(w, rng);
+}
+
+fn build_tlds(w: &mut World, rng: &mut StdRng) {
+    for (t, (label, country, cc, _)) in TLDS.iter().enumerate() {
+        // Registries run in their own country when the world has a
+        // network there — that placement is what makes ccTLD zones a
+        // country-level single point of failure (§4.2.2).
+        let host = w
+            .ases
+            .iter()
+            .position(|a| a.country == *country)
+            .unwrap_or_else(|| rng.gen_range(0..w.ases.len()));
+        let mut nameservers = Vec::new();
+        for (j, letter) in ["a", "b", "c", "d"].iter().enumerate() {
+            let name = format!("{letter}.nic.{label}");
+            let ip = host_ip(w, host, 3000 + (t * 8 + j) as u32);
+            add_ns(w, name.clone(), vec![ip], host);
+            nameservers.push(name);
+        }
+        w.tlds.push(Tld {
+            name: label,
+            country,
+            cc: *cc,
+            nameservers,
+        });
+    }
+}
+
+fn build_providers(w: &mut World) {
+    let dns_ases: Vec<usize> = (0..w.ases.len())
+        .filter(|&i| w.ases[i].category == AsCategory::DnsProvider)
+        .collect();
+    let total = w.config.num_dns_providers;
+    for k in 0..total {
+        let name = if k < PROVIDER_NAMES.len() {
+            PROVIDER_NAMES[k].to_string()
+        } else {
+            format!("managed-dns-{k:02}")
+        };
+        let asn_idx = dns_ases[k % dns_ases.len()];
+        let vanity = k == 2;
+        let outsourced_to = if k == 6 { Some(0) } else { None };
+        let domain = match k {
+            3 => format!("{name}.de"),
+            _ if k % 2 == 0 => format!("{name}.com"),
+            _ => format!("{name}.net"),
+        };
+        // NS pool and customer-visible variant sets. Pool addresses
+        // alternate between two /24s of the hosting prefix so every
+        // variant spans both (except the deliberately "cramped" one).
+        let (pool_size, set_variants) = match k {
+            2 => (2, 0),
+            4 => (4, 3),
+            5 => (2, 1),
+            _ => (8, 4 + k % 4),
+        };
+        let mut ns_pool = Vec::new();
+        for j in 0..pool_size {
+            let ns_name = format!("ns{}.{domain}", j + 1);
+            let sub24 = if k == 5 { 1 } else { 1 + (j % 2) as u32 };
+            let ip = host_ip(w, asn_idx, 256 * sub24 + 10 + j as u32);
+            add_ns(w, ns_name.clone(), vec![ip], asn_idx);
+            ns_pool.push(ns_name);
+        }
+        let variants: Vec<Vec<String>> = match k {
+            2 => Vec::new(),
+            4 => (0..set_variants)
+                .map(|v| vec![ns_pool[v % 4].clone(), ns_pool[(v + 1) % 4].clone()])
+                .collect(),
+            5 => vec![ns_pool.clone()],
+            _ => (0..set_variants)
+                .map(|v| {
+                    [0, 3, 6, 9]
+                        .iter()
+                        .map(|o| ns_pool[(v + o) % 8].clone())
+                        .collect()
+                })
+                .collect(),
+        };
+        w.providers.push(DnsProvider {
+            name,
+            domain,
+            asn_idx,
+            ns_pool,
+            set_variants,
+            variants,
+            outsourced_to,
+            vanity,
+        });
+    }
+}
+
+fn build_domains(w: &mut World, rng: &mut StdRng) {
+    let num_domains = w.config.num_domains;
+    let epoch = w.config.epoch;
+    let total_providers = w.providers.len();
+    let cdns: Vec<usize> = (0..w.ases.len())
+        .filter(|&i| w.ases[i].category == AsCategory::Cdn)
+        .collect();
+    let clouds: Vec<usize> = (0..w.ases.len())
+        .filter(|&i| w.ases[i].category == AsCategory::CloudHosting)
+        .collect();
+    let stubs: Vec<usize> = (0..w.ases.len())
+        .filter(|&i| w.ases[i].category == AsCategory::Stub)
+        .collect();
+    let mut umbrella_next = 1usize;
+
+    for i in 0..num_domains {
+        // TLD: weighted draw over the fixed share table.
+        let mut ut = rng.gen_range(0.0..1.0);
+        let mut tld = TLDS[0].0;
+        for (label, _, _, share) in TLDS {
+            if ut < share {
+                tld = label;
+                break;
+            }
+            ut -= share;
+        }
+
+        // Domain churn: a slot's name carries the latest epoch that
+        // re-registered it. Purely arithmetic, so the RNG stream is
+        // identical across epochs and snapshots stay comparable.
+        let mut generation = 0u32;
+        for e in 1..=epoch {
+            if (i + 17 * e as usize).is_multiple_of(23) {
+                generation = e;
+            }
+        }
+        let name = if generation == 0 {
+            format!("site-{i:06}.{tld}")
+        } else {
+            format!("site-{i:06}-e{generation}.{tld}")
+        };
+
+        // Managed DNS provider (or None = self-hosted zone).
+        let mut up = rng.gen_range(0.0..1.0);
+        let mut dns_provider = None;
+        for k in 0..total_providers {
+            let share = provider_share(k, total_providers);
+            if up < share {
+                dns_provider = Some(k);
+                break;
+            }
+            up -= share;
+        }
+
+        // Web hosting, tilted by rank: popular sites self-host or run
+        // their own stub networks more often; the long tail sits on
+        // cloud providers (drives the Figure 7 top/bottom contrast).
+        let r = i as f64 / num_domains as f64;
+        let p_self = 0.55 - 0.45 * r;
+        let p_cdn = 0.18 + 0.12 * r;
+        let uh = rng.gen_range(0.0..1.0);
+        let (hosting, hosting_as) = if uh < p_self {
+            (
+                HostingKind::SelfHosted,
+                stubs[rng.gen_range(0..stubs.len())],
+            )
+        } else if uh < p_self + p_cdn {
+            let big = 2.min(cdns.len());
+            let a = if rng.gen_bool(0.85) {
+                cdns[rng.gen_range(0..big)]
+            } else {
+                cdns[rng.gen_range(0..cdns.len())]
+            };
+            (HostingKind::Cdn, a)
+        } else {
+            (HostingKind::Cloud, clouds[rng.gen_range(0..clouds.len())])
+        };
+
+        let web_prefixes = &w.as_prefixes[hosting_as];
+        let v4_candidates: Vec<usize> = web_prefixes
+            .iter()
+            .copied()
+            .filter(|&j| w.prefixes[j].prefix.family() == iyp_netdata::AddressFamily::V4)
+            .collect();
+        let pidx = v4_candidates[rng.gen_range(0..v4_candidates.len())];
+        let mut web_ips = Vec::new();
+        for t in 0..(1 + i % 2) {
+            web_ips.push(ip_in_prefix(w, pidx, (i * 3 + t) as u32));
+        }
+
+        let nameservers = match dns_provider {
+            Some(k) if w.providers[k].vanity => {
+                // Registrar-style vanity NS: names under the customer's
+                // domain, addresses on the provider's network.
+                let host = w.providers[k].asn_idx;
+                let mut set = Vec::new();
+                for j in 0..2u32 {
+                    let ns_name = format!("ns{}.{name}", j + 1);
+                    let ip = host_ip(w, host, 256 * (1 + j) + 40 + (i as u32 * 2) % 200);
+                    add_ns(w, ns_name.clone(), vec![ip], host);
+                    set.push(ns_name);
+                }
+                set
+            }
+            Some(k) => {
+                let variant = rng.gen_range(0..w.providers[k].set_variants.max(1));
+                w.providers[k].variants[variant % w.providers[k].variants.len()].clone()
+            }
+            None => {
+                // Self-hosted zone: two NS under the domain itself, in
+                // two different /24s of the hosting network.
+                let host_pidx = first_v4_prefix(w, hosting_as);
+                let mut set = Vec::new();
+                for j in 0..2u32 {
+                    let ns_name = format!("ns{}.{name}", j + 1);
+                    let offset = 256 * (3 * j) + 2 + (i as u32 * 2) % 200;
+                    let ip = ip_in_prefix(w, host_pidx, offset);
+                    add_ns(w, ns_name.clone(), vec![ip], hosting_as);
+                    set.push(ns_name);
+                }
+                set
+            }
+        };
+
+        let umbrella_rank = if rng.gen_bool(w.config.umbrella_fraction) {
+            let ur = Some(umbrella_next);
+            umbrella_next += 1;
+            ur
+        } else {
+            None
+        };
+
+        w.domains.push(Domain {
+            name,
+            tld,
+            rank: i + 1,
+            umbrella_rank,
+            dns_provider,
+            nameservers,
+            hosting_as,
+            hosting,
+            web_ips,
+        });
+    }
+}

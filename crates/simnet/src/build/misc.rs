@@ -1,0 +1,80 @@
+//! Pass 3: measurement infrastructure and population figures.
+
+use super::host_ip;
+use crate::types::*;
+use crate::world::World;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-country user share handed to the biggest eyeball networks, in
+/// order of appearance (APNIC-population style).
+const EYEBALL_SHARES: [f64; 5] = [45.0, 25.0, 15.0, 8.0, 5.0];
+
+pub fn build(w: &mut World, rng: &mut StdRng) {
+    let eyeballs: Vec<usize> = (0..w.ases.len())
+        .filter(|&i| w.ases[i].category == AsCategory::Eyeball)
+        .collect();
+
+    // --- Probes -------------------------------------------------------
+    for k in 0..w.config.num_probes {
+        let asn_idx = eyeballs[rng.gen_range(0..eyeballs.len())];
+        let ip = host_ip(w, asn_idx, 100 + k as u32);
+        w.probes.push(Probe {
+            id: 6100 + k as u32,
+            asn_idx,
+            country: w.ases[asn_idx].country,
+            ip,
+        });
+    }
+
+    // --- Measurements -------------------------------------------------
+    for m in 0..w.config.num_measurements {
+        let d = rng.gen_range(0..w.domains.len());
+        let target = format!("www.{}", w.domains[d].name);
+        let kind = if m % 2 == 0 { "ping" } else { "traceroute" };
+        let mut probes = Vec::new();
+        for _ in 0..3 {
+            let p = w.probes[rng.gen_range(0..w.probes.len())].id;
+            if !probes.contains(&p) {
+                probes.push(p);
+            }
+        }
+        w.measurements.push(Measurement {
+            id: 9000 + m as u32,
+            target,
+            kind,
+            probes,
+        });
+    }
+
+    // --- AS hegemony ---------------------------------------------------
+    // Every customer depends on each of its providers with some weight.
+    let pairs: Vec<(usize, usize)> = (0..w.ases.len())
+        .flat_map(|i| {
+            w.ases[i]
+                .providers
+                .iter()
+                .map(move |&p| (i, p))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (dependent, on) in pairs {
+        let score = 0.15 + 0.7 * rng.gen_range(0.0..1.0);
+        w.hegemony.push((dependent, on, score));
+    }
+
+    // --- Per-country eyeball population shares -------------------------
+    let mut by_country: Vec<(&'static str, Vec<usize>)> = Vec::new();
+    for &a in &eyeballs {
+        let c = w.ases[a].country;
+        match by_country.iter_mut().find(|(cc, _)| *cc == c) {
+            Some((_, list)) => list.push(a),
+            None => by_country.push((c, vec![a])),
+        }
+    }
+    for (country, list) in by_country {
+        for (j, &a) in list.iter().take(EYEBALL_SHARES.len()).enumerate() {
+            w.as_population.push((a, country, EYEBALL_SHARES[j]));
+        }
+    }
+}

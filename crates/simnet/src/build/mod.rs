@@ -1,0 +1,48 @@
+//! World construction, split in three passes that run in order:
+//!
+//! 1. [`topology`] — organisations, ASes, the provider/peer mesh,
+//!    announced prefixes, RPKI ROAs, and IXPs.
+//! 2. [`dns`] — TLD registries, managed DNS providers, the ranked
+//!    domain population with its nameservers and web hosting.
+//! 3. [`misc`] — Atlas-like probes and measurements, AS hegemony, and
+//!    population figures.
+//!
+//! Every pass draws from the same seeded RNG; the number and order of
+//! draws is independent of `SimConfig::epoch`, so two worlds that
+//! differ only in epoch stay comparable entity-by-entity (the
+//! longitudinal-study contract).
+
+pub mod dns;
+pub mod misc;
+pub mod topology;
+
+use crate::world::World;
+use iyp_netdata::AddressFamily;
+use std::net::IpAddr;
+
+/// Index of the first announced IPv4 prefix of `asn_idx`.
+pub(crate) fn first_v4_prefix(w: &World, asn_idx: usize) -> usize {
+    w.as_prefixes[asn_idx]
+        .iter()
+        .copied()
+        .find(|&j| w.prefixes[j].prefix.family() == AddressFamily::V4)
+        .expect("every AS announces at least one IPv4 prefix")
+}
+
+/// A host address inside prefix `pidx`, derived from `offset` (wrapped
+/// into the prefix's host span, avoiding the network/broadcast slots).
+pub(crate) fn ip_in_prefix(w: &World, pidx: usize, offset: u32) -> IpAddr {
+    let p = &w.prefixes[pidx].prefix;
+    let span = 1u32 << (32 - p.len());
+    let host = (offset % (span - 2)) + 1;
+    match p.network() {
+        IpAddr::V4(v4) => IpAddr::V4(std::net::Ipv4Addr::from(u32::from(v4) + host)),
+        IpAddr::V6(_) => unreachable!("ip_in_prefix is IPv4-only"),
+    }
+}
+
+/// A host address inside the first IPv4 prefix of `asn_idx`.
+pub(crate) fn host_ip(w: &World, asn_idx: usize, offset: u32) -> IpAddr {
+    let pidx = first_v4_prefix(w, asn_idx);
+    ip_in_prefix(w, pidx, offset)
+}

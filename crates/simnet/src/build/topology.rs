@@ -1,0 +1,360 @@
+//! Pass 1: organisations, ASes, the routing mesh, prefixes, RPKI, IXPs.
+
+use crate::types::*;
+use crate::world::World;
+use iyp_netdata::Prefix;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr};
+
+/// Countries the simulator draws from, with rough populations. All
+/// codes are real ISO alpha-2 (the country-completion refinement maps
+/// them to alpha-3 + official names) and together they span all five
+/// RIR service regions.
+pub const COUNTRY_POOL: [(&str, u64); 25] = [
+    ("US", 331_900_000),
+    ("CN", 1_412_000_000),
+    ("IN", 1_408_000_000),
+    ("ID", 273_800_000),
+    ("BR", 214_300_000),
+    ("RU", 143_400_000),
+    ("MX", 126_700_000),
+    ("JP", 125_700_000),
+    ("DE", 83_200_000),
+    ("GB", 67_300_000),
+    ("FR", 67_700_000),
+    ("IT", 59_100_000),
+    ("KR", 51_700_000),
+    ("ES", 47_400_000),
+    ("AR", 45_800_000),
+    ("PL", 37_700_000),
+    ("CA", 38_200_000),
+    ("AU", 25_700_000),
+    ("NL", 17_500_000),
+    ("SE", 10_400_000),
+    ("CZ", 10_500_000),
+    ("CH", 8_700_000),
+    ("SG", 5_900_000),
+    ("NG", 213_400_000),
+    ("ZA", 60_000_000),
+];
+
+/// IXP locations (city, country).
+const IXP_CITIES: [(&str, &str); 12] = [
+    ("Ashburn", "US"),
+    ("Frankfurt", "DE"),
+    ("London", "GB"),
+    ("Sao Paulo", "BR"),
+    ("Tokyo", "JP"),
+    ("Amsterdam", "NL"),
+    ("Singapore", "SG"),
+    ("Paris", "FR"),
+    ("Sydney", "AU"),
+    ("Johannesburg", "ZA"),
+    ("Stockholm", "SE"),
+    ("Mumbai", "IN"),
+];
+
+/// Deterministic category layout: quotas scale with the AS count but
+/// never drop below the floor each study needs (CDNs and academics for
+/// the tag datasets, eyeballs for the per-country population figures).
+fn category_plan(n: usize, num_dns: usize) -> Vec<AsCategory> {
+    let mut cats = Vec::with_capacity(n);
+    let quotas = [
+        (AsCategory::Tier1, (n * 5 / 100).max(3)),
+        (AsCategory::Transit, (n * 12 / 100).max(4)),
+        (AsCategory::Eyeball, (n * 25 / 100).max(8)),
+        (AsCategory::Cdn, (n * 4 / 100).max(3)),
+        (AsCategory::CloudHosting, (n * 6 / 100).max(4)),
+        (AsCategory::DnsProvider, num_dns),
+        (AsCategory::DdosMitigation, (n * 2 / 100).max(2)),
+        (AsCategory::Academic, (n * 5 / 100).max(2)),
+        (AsCategory::Government, (n * 4 / 100).max(2)),
+    ];
+    for (cat, count) in quotas {
+        for _ in 0..count {
+            cats.push(cat);
+        }
+    }
+    debug_assert!(cats.len() <= n, "category quotas exceed the AS count");
+    while cats.len() < n {
+        cats.push(AsCategory::Stub);
+    }
+    cats.truncate(n);
+    cats
+}
+
+/// The `block`-th /20 out of 10.0.0.0/8.
+fn v4_20(block: u32) -> Prefix {
+    let base = 0x0A00_0000u32 + block * 4096;
+    Prefix::new(IpAddr::V4(Ipv4Addr::from(base)), 20).expect("valid /20")
+}
+
+/// The `block`-th /48 out of 2001:db8::/32.
+fn v6_48(block: u32) -> Prefix {
+    let base = (0x2001_0db8u128 << 96) | ((block as u128) << 80);
+    Prefix::new(IpAddr::V6(Ipv6Addr::from(base)), 48).expect("valid /48")
+}
+
+/// Announced v4/v6 prefix counts per category. CDN space is anycast.
+fn prefix_plan(cat: AsCategory, i: usize) -> (usize, usize, bool) {
+    match cat {
+        AsCategory::Tier1 => (3, 1, false),
+        AsCategory::Transit => (2, 1, false),
+        AsCategory::Eyeball => (2, 0, false),
+        AsCategory::Stub => (1 + i % 2, 0, false),
+        AsCategory::Cdn => (4, 1, true),
+        AsCategory::CloudHosting => (4, 0, false),
+        AsCategory::DnsProvider => (1, 0, false),
+        AsCategory::DdosMitigation => (2, 1, false),
+        AsCategory::Academic => (1, 0, false),
+        AsCategory::Government => (1, 0, false),
+    }
+}
+
+fn pool_country(rng: &mut StdRng) -> &'static str {
+    COUNTRY_POOL[rng.gen_range(0..COUNTRY_POOL.len())].0
+}
+
+/// Picks up to `count` distinct indexes out of `from`.
+fn pick_distinct(rng: &mut StdRng, from: &[usize], count: usize, exclude: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    if from.is_empty() {
+        return out;
+    }
+    for _ in 0..count * 3 {
+        if out.len() == count {
+            break;
+        }
+        let c = from[rng.gen_range(0..from.len())];
+        if c != exclude && !out.contains(&c) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+pub fn build(w: &mut World, rng: &mut StdRng) {
+    let n = w.config.num_ases;
+    let epoch = w.config.epoch;
+    let cats = category_plan(n, w.config.num_dns_providers);
+
+    w.country_population = COUNTRY_POOL.to_vec();
+
+    // --- Organisations and ASes -------------------------------------
+    let mut eyeball_seen = 0usize;
+    for (i, &cat) in cats.iter().enumerate() {
+        let country = match cat {
+            AsCategory::Tier1
+            | AsCategory::Cdn
+            | AsCategory::CloudHosting
+            | AsCategory::DnsProvider
+            | AsCategory::DdosMitigation => {
+                if rng.gen_bool(0.7) {
+                    "US"
+                } else {
+                    pool_country(rng)
+                }
+            }
+            AsCategory::Transit => {
+                if rng.gen_bool(0.4) {
+                    "US"
+                } else {
+                    pool_country(rng)
+                }
+            }
+            AsCategory::Eyeball => {
+                let c = COUNTRY_POOL[eyeball_seen % COUNTRY_POOL.len()].0;
+                eyeball_seen += 1;
+                c
+            }
+            _ => pool_country(rng),
+        };
+        // Mostly one org per AS; some orgs run several networks.
+        let org = if i > 0 && rng.gen_bool(0.15) {
+            w.ases[rng.gen_range(0..i)].org
+        } else {
+            w.orgs.push(Org {
+                name: format!("Telecom {i} Ltd."),
+                country,
+            });
+            w.orgs.len() - 1
+        };
+        w.ases.push(AsInfo {
+            asn: 3000 + (i as u32) * 7,
+            name: format!("NET-{i}"),
+            org,
+            country,
+            category: cat,
+            providers: Vec::new(),
+            peers: Vec::new(),
+            rpki_adopter: false,
+        });
+    }
+
+    // --- Provider / peer mesh ---------------------------------------
+    let tier1: Vec<usize> = (0..n).filter(|&i| cats[i] == AsCategory::Tier1).collect();
+    let transit: Vec<usize> = (0..n).filter(|&i| cats[i] == AsCategory::Transit).collect();
+    for (i, &cat) in cats.iter().enumerate().take(n) {
+        match cat {
+            AsCategory::Tier1 => {
+                w.ases[i].peers = tier1.iter().copied().filter(|&q| q != i).collect();
+            }
+            AsCategory::Transit => {
+                let n_up = 1 + rng.gen_range(0..2usize);
+                let ups = pick_distinct(rng, &tier1, n_up, i);
+                let n_peer = 1 + rng.gen_range(0..2usize);
+                let peers = pick_distinct(rng, &transit, n_peer, i);
+                w.ases[i].providers = ups;
+                w.ases[i].peers = peers;
+            }
+            _ => {
+                let n_up = 1 + rng.gen_range(0..2usize);
+                let mut ups = pick_distinct(rng, &transit, n_up, i);
+                if rng.gen_bool(0.25) {
+                    let extra = tier1[rng.gen_range(0..tier1.len())];
+                    if !ups.contains(&extra) {
+                        ups.push(extra);
+                    }
+                }
+                w.ases[i].providers = ups;
+            }
+        }
+    }
+
+    // --- Announced prefixes -----------------------------------------
+    let mut v4_block = 0u32;
+    let mut v6_block = 0u32;
+    for (i, &cat) in cats.iter().enumerate().take(n) {
+        let (n4, n6, anycast) = prefix_plan(cat, i);
+        let mut owned = Vec::new();
+        for _ in 0..n4 {
+            owned.push(w.prefixes.len());
+            w.prefixes.push(PrefixInfo {
+                prefix: v4_20(v4_block),
+                origin: i,
+                rpki: RpkiStatus::NotCovered,
+                anycast,
+            });
+            v4_block += 1;
+        }
+        for _ in 0..n6 {
+            owned.push(w.prefixes.len());
+            w.prefixes.push(PrefixInfo {
+                prefix: v6_48(v6_block),
+                origin: i,
+                rpki: RpkiStatus::NotCovered,
+                anycast: false,
+            });
+            v6_block += 1;
+        }
+        w.as_prefixes.push(owned);
+    }
+    // Route-collector peering addresses (192.0.2.0/24, used by the
+    // BGPKIT peer-stats dataset) are originated by the first Tier1.
+    let collector_pfx = Prefix::new(IpAddr::V4(Ipv4Addr::new(192, 0, 2, 0)), 24).unwrap();
+    w.as_prefixes[tier1[0]].push(w.prefixes.len());
+    w.prefixes.push(PrefixInfo {
+        prefix: collector_pfx,
+        origin: tier1[0],
+        rpki: RpkiStatus::NotCovered,
+        anycast: false,
+    });
+
+    // --- RPKI --------------------------------------------------------
+    // Adoption is threshold-based: each AS draws one priority value and
+    // adopts when it falls under the (category × epoch) quota. Later
+    // epochs only raise the threshold, so coverage grows monotonically
+    // while the per-AS draws stay identical across epochs.
+    let growth = 1.0 + 0.06 * epoch as f64;
+    let cdns: Vec<usize> = (0..n).filter(|&i| cats[i] == AsCategory::Cdn).collect();
+    let dns_ases: Vec<usize> = (0..n)
+        .filter(|&i| cats[i] == AsCategory::DnsProvider)
+        .collect();
+    // The biggest CDNs and managed-DNS operators run tight RPKI shops
+    // regardless of the draw — the paper's §4.1.4 per-tag contrast.
+    let mut forced: Vec<usize> = cdns.iter().take(2).copied().collect();
+    forced.extend(dns_ases.iter().take(3).copied());
+    for i in 0..n {
+        let u = rng.gen_range(0.0..1.0);
+        let p = (w.ases[i].category.rpki_adoption() * w.config.rpki_scale * growth).min(0.97);
+        w.ases[i].rpki_adopter = forced.contains(&i) || u < p;
+    }
+    for j in 0..w.prefixes.len() {
+        let u_invalid = rng.gen_range(0.0..1.0);
+        let u_kind = rng.gen_range(0.0..1.0);
+        let origin = w.prefixes[j].origin;
+        if !w.ases[origin].rpki_adopter {
+            continue;
+        }
+        let asn = w.ases[origin].asn;
+        let pfx = w.prefixes[j].prefix;
+        if u_invalid < w.config.rpki_invalid_rate {
+            if u_kind < w.config.rpki_invalid_maxlen_share && pfx.len() == 20 {
+                // Announce a more-specific /22; the ROA stays on the
+                // covering /20 with maxLength 20.
+                let child = Prefix::new(pfx.network(), 22).unwrap();
+                w.prefixes[j].prefix = child;
+                w.prefixes[j].rpki = RpkiStatus::InvalidMaxLen;
+                w.roas.push(Roa {
+                    prefix: pfx,
+                    asn,
+                    max_length: 20,
+                });
+            } else {
+                w.prefixes[j].rpki = RpkiStatus::InvalidOrigin;
+                let wrong = w.ases[(origin + 1) % n].asn;
+                let max_length = pfx.len();
+                w.roas.push(Roa {
+                    prefix: pfx,
+                    asn: wrong,
+                    max_length,
+                });
+            }
+        } else {
+            w.prefixes[j].rpki = RpkiStatus::Valid;
+            let max_length = pfx.len();
+            w.roas.push(Roa {
+                prefix: pfx,
+                asn,
+                max_length,
+            });
+        }
+    }
+
+    // --- IXPs ---------------------------------------------------------
+    for x in 0..w.config.num_ixps {
+        let (city, country) = IXP_CITIES[x % IXP_CITIES.len()];
+        let name = if x < IXP_CITIES.len() {
+            format!("SIM-IX {city}")
+        } else {
+            format!("SIM-IX {city} {}", x / IXP_CITIES.len() + 1)
+        };
+        let peering_lan = Prefix::new(IpAddr::V4(Ipv4Addr::new(198, 18, x as u8, 0)), 24).unwrap();
+        let mut members = Vec::new();
+        for (i, &cat) in cats.iter().enumerate().take(n) {
+            let joins = matches!(
+                cat,
+                AsCategory::Tier1
+                    | AsCategory::Transit
+                    | AsCategory::Cdn
+                    | AsCategory::CloudHosting
+                    | AsCategory::Eyeball
+                    | AsCategory::DdosMitigation
+            );
+            if joins && rng.gen_bool(0.25) {
+                members.push(i);
+            }
+        }
+        if members.len() < 2 {
+            members = vec![tier1[x % tier1.len()], transit[x % transit.len()]];
+        }
+        w.ixps.push(IxpInfo {
+            name,
+            country,
+            members,
+            peering_lan,
+            facility: format!("{city} Interconnect"),
+        });
+    }
+}

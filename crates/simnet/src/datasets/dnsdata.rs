@@ -166,7 +166,11 @@ pub fn cloudflare_ranking_top(w: &World) -> String {
 
 /// Cloudflare radar ranking buckets (`radar/datasets`).
 pub fn cloudflare_ranking_buckets(w: &World) -> String {
-    let buckets = [("top_100", 100usize), ("top_1000", 1000), ("top_10000", 10_000)];
+    let buckets = [
+        ("top_100", 100usize),
+        ("top_1000", 1000),
+        ("top_10000", 10_000),
+    ];
     let mut out = Vec::new();
     for (name, n) in buckets {
         let domains: Vec<&str> = w
@@ -243,7 +247,9 @@ pub fn cloudflare_dns_top_locations(w: &World) -> String {
 pub fn simulamet_rdns(w: &World) -> String {
     let mut out = String::from("prefix,nameserver\n");
     for (i, a) in w.ases.iter().enumerate() {
-        let Some(&first) = w.as_prefixes[i].first() else { continue };
+        let Some(&first) = w.as_prefixes[i].first() else {
+            continue;
+        };
         let p = &w.prefixes[first];
         // Providers serve their own reverse zones; everyone else uses a
         // conventional in-addr server name under the AS name.

@@ -167,7 +167,9 @@ impl DatasetId {
             CaidaAsRank | CaidaIxps => "CAIDA",
             CiscoUmbrella => "Cisco",
             CitizenLabUrls => "Citizen Lab",
-            CloudflareDnsTopAses | CloudflareDnsTopLocations | CloudflareRankingTop
+            CloudflareDnsTopAses
+            | CloudflareDnsTopLocations
+            | CloudflareRankingTop
             | CloudflareRankingBuckets => "Cloudflare",
             EmileAbenAsNames => "Emile Aben",
             IhrCountryDependency | IhrHegemony | IhrRov => "IHR",
@@ -288,9 +290,15 @@ impl DatasetId {
         match self {
             CaidaAsRank => "Monthly",
             StanfordAsdb => "6-month",
-            CloudflareDnsTopAses | CloudflareDnsTopLocations | CloudflareRankingTop
-            | CloudflareRankingBuckets | PeeringdbFac | PeeringdbIx | PeeringdbIxlan
-            | PeeringdbNetfac | PeeringdbOrg => "API",
+            CloudflareDnsTopAses
+            | CloudflareDnsTopLocations
+            | CloudflareRankingTop
+            | CloudflareRankingBuckets
+            | PeeringdbFac
+            | PeeringdbIx
+            | PeeringdbIxlan
+            | PeeringdbNetfac
+            | PeeringdbOrg => "API",
             _ => "Daily",
         }
     }

@@ -141,8 +141,7 @@ pub fn citizenlab_urls(w: &World) -> String {
         ("COMM", "Communication Tools"),
         ("ECON", "Economics"),
     ];
-    let mut out =
-        String::from("url,category_code,category_description,date_added,source,notes\n");
+    let mut out = String::from("url,category_code,category_description,date_added,source,notes\n");
     for (i, d) in w.domains.iter().enumerate().take(w.domains.len() / 10) {
         let (code, desc) = categories[i % categories.len()];
         out.push_str(&csv_line([
@@ -241,8 +240,7 @@ mod tests {
     #[test]
     fn atlas_probes_and_measurements() {
         let w = world();
-        let v: serde_json::Value =
-            serde_json::from_str(&ripe_atlas_measurements(&w)).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&ripe_atlas_measurements(&w)).unwrap();
         assert_eq!(v["probes"].as_array().unwrap().len(), w.probes.len());
         assert_eq!(
             v["measurements"].as_array().unwrap().len(),

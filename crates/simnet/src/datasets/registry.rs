@@ -13,7 +13,9 @@ pub fn nro_delegated_stats(w: &World) -> String {
     let mut out = String::new();
     // Version and summary lines, as in the real file.
     let total = w.ases.len() + w.prefixes.len();
-    out.push_str(&format!("2.3|nro|20240501|{total}|19830705|20240501|+0000\n"));
+    out.push_str(&format!(
+        "2.3|nro|20240501|{total}|19830705|20240501|+0000\n"
+    ));
     out.push_str(&format!("nro|*|asn|*|{}|summary\n", w.ases.len()));
     out.push_str(&format!("nro|*|ipv4|*|{}|summary\n", 0));
     for (i, a) in w.ases.iter().enumerate() {
@@ -251,7 +253,9 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&ripe_rpki(&w)).unwrap();
         let roas = v["roas"].as_array().unwrap();
         assert_eq!(roas.len(), w.roas.len());
-        assert!(roas.iter().all(|r| r["asn"].as_str().unwrap().starts_with("AS")));
+        assert!(roas
+            .iter()
+            .all(|r| r["asn"].as_str().unwrap().starts_with("AS")));
     }
 
     #[test]

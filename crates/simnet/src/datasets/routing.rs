@@ -18,7 +18,7 @@ pub fn bgpkit_pfx2as(w: &World) -> String {
         let v6 = p.prefix.family() == iyp_netdata::AddressFamily::V6;
         if v6 {
             // Every 25th IPv6 entry carries the planted origin bug.
-            if v6_seen % 25 == 0 {
+            if v6_seen.is_multiple_of(25) {
                 origin = (origin + 1) % w.ases.len();
             }
             v6_seen += 1;
@@ -69,8 +69,10 @@ pub fn bgpkit_peer_stats(w: &World) -> String {
             .iter()
             .enumerate()
             .filter(|(i, a)| {
-                matches!(a.category, AsCategory::Tier1 | AsCategory::Transit | AsCategory::Eyeball)
-                    && (i + c) % 3 == 0
+                matches!(
+                    a.category,
+                    AsCategory::Tier1 | AsCategory::Transit | AsCategory::Eyeball
+                ) && (i + c) % 3 == 0
             })
             .map(|(i, a)| {
                 json!({
@@ -197,7 +199,11 @@ pub fn pch_routing_snapshot(w: &World) -> String {
         }
         path.reverse();
         let path_str: Vec<String> = path.iter().map(|a| a.to_string()).collect();
-        out.push_str(&format!("{};{}\n", p.prefix.canonical(), path_str.join(" ")));
+        out.push_str(&format!(
+            "{};{}\n",
+            p.prefix.canonical(),
+            path_str.join(" ")
+        ));
     }
     out
 }
@@ -232,8 +238,7 @@ mod tests {
     #[test]
     fn pfx2as_is_valid_json_with_planted_v6_bug() {
         let w = world();
-        let parsed: Vec<serde_json::Value> =
-            serde_json::from_str(&bgpkit_pfx2as(&w)).unwrap();
+        let parsed: Vec<serde_json::Value> = serde_json::from_str(&bgpkit_pfx2as(&w)).unwrap();
         assert_eq!(parsed.len(), w.prefixes.len());
         // At least one v6 entry disagrees with ground truth.
         let mut wrong = 0;
@@ -241,7 +246,10 @@ mod tests {
             let truth = w.ases[w.prefixes[i].origin].asn as i64;
             if e["asn"].as_i64() != Some(truth) {
                 wrong += 1;
-                assert!(e["prefix"].as_str().unwrap().contains(':'), "bug must be v6-only");
+                assert!(
+                    e["prefix"].as_str().unwrap().contains(':'),
+                    "bug must be v6-only"
+                );
             }
         }
         assert!(wrong >= 1);
@@ -279,8 +287,7 @@ mod tests {
     #[test]
     fn as2rel_contains_both_kinds() {
         let w = world();
-        let entries: Vec<serde_json::Value> =
-            serde_json::from_str(&bgpkit_as2rel(&w)).unwrap();
+        let entries: Vec<serde_json::Value> = serde_json::from_str(&bgpkit_as2rel(&w)).unwrap();
         assert!(entries.iter().any(|e| e["rel"] == 1));
         assert!(entries.iter().any(|e| e["rel"] == 0));
     }

@@ -35,9 +35,6 @@ mod tests {
 
     #[test]
     fn lines_join() {
-        assert_eq!(
-            csv_line(["a".to_string(), "b,c".to_string()]),
-            "a,\"b,c\""
-        );
+        assert_eq!(csv_line(["a".to_string(), "b,c".to_string()]), "a,\"b,c\"");
     }
 }

@@ -330,7 +330,10 @@ mod tests {
         assert!(!RpkiStatus::Valid.is_invalid());
         assert!(RpkiStatus::InvalidMaxLen.is_invalid());
         assert!(RpkiStatus::InvalidOrigin.is_covered());
-        assert_eq!(RpkiStatus::InvalidMaxLen.ihr_label(), "Invalid,more-specific");
+        assert_eq!(
+            RpkiStatus::InvalidMaxLen.ihr_label(),
+            "Invalid,more-specific"
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ impl World {
 
     /// All ASes of a category.
     pub fn ases_of(&self, cat: AsCategory) -> impl Iterator<Item = (usize, &AsInfo)> {
-        self.ases.iter().enumerate().filter(move |(_, a)| a.category == cat)
+        self.ases
+            .iter()
+            .enumerate()
+            .filter(move |(_, a)| a.category == cat)
     }
 
     /// Ground-truth fraction of announced prefixes covered by RPKI.

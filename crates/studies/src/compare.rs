@@ -57,14 +57,16 @@ mod tests {
     #[test]
     fn finds_the_planted_bgpkit_v6_bug() {
         let world = World::generate(&SimConfig::small(), 42);
-        let opts =
-            BuildOptions::only(&[DatasetId::BgpkitPfx2as, DatasetId::IhrRov]);
+        let opts = BuildOptions::only(&[DatasetId::BgpkitPfx2as, DatasetId::IhrRov]);
         let (graph, _) = build_graph(&world, &opts).unwrap();
         let diffs = find_origin_disagreements(&graph);
         assert!(!diffs.is_empty(), "planted bug not found");
         // The paper's bug was IPv6-only; so is ours.
         for d in &diffs {
-            assert!(d.prefix.contains(':'), "unexpected IPv4 disagreement: {d:?}");
+            assert!(
+                d.prefix.contains(':'),
+                "unexpected IPv4 disagreement: {d:?}"
+            );
             assert_ne!(d.bgpkit_origin, d.ihr_origin);
         }
         // IHR matches ground truth; BGPKIT is the wrong one.

@@ -42,7 +42,9 @@ fn domain_ns_map(graph: &Graph) -> BTreeMap<String, DomainNs> {
     let rs = run(graph, Q_DOMAIN_NS_IPS);
     let mut map: BTreeMap<String, DomainNs> = BTreeMap::new();
     for row in &rs.rows {
-        let (Some(domain), Some(ns)) = (get_str(&row[0]), get_str(&row[1])) else { continue };
+        let (Some(domain), Some(ns)) = (get_str(&row[0]), get_str(&row[1])) else {
+            continue;
+        };
         let ips = get_str_list(&row[2]);
         let e = map.entry(domain).or_default();
         e.ns.push(ns.clone());
@@ -221,9 +223,11 @@ pub fn shared_infrastructure(graph: &Graph) -> SharedInfra {
             .collect()
     };
 
-    let cno_by_ns = group_stats(map.iter().filter(|(d, _)| is_cno(d)).map(|(d, info)| {
-        (d.clone(), visible_ns(info, true))
-    }));
+    let cno_by_ns = group_stats(
+        map.iter()
+            .filter(|(d, _)| is_cno(d))
+            .map(|(d, info)| (d.clone(), visible_ns(info, true))),
+    );
     let cno_by_slash24 = group_stats(map.iter().filter(|(d, _)| is_cno(d)).map(|(d, info)| {
         let ns = visible_ns(info, true);
         (d.clone(), slash24s_of(info, &ns))
@@ -237,10 +241,17 @@ pub fn shared_infrastructure(graph: &Graph) -> SharedInfra {
         (d.clone(), prefixes_of(&ns))
     }));
     let all_by_ns = group_stats(
-        map.iter().map(|(d, info)| (d.clone(), visible_ns(info, false))),
+        map.iter()
+            .map(|(d, info)| (d.clone(), visible_ns(info, false))),
     );
 
-    SharedInfra { cno_by_ns, cno_by_slash24, cno_by_prefix, all_by_prefix, all_by_ns }
+    SharedInfra {
+        cno_by_ns,
+        cno_by_slash24,
+        cno_by_prefix,
+        all_by_prefix,
+        all_by_ns,
+    }
 }
 
 #[cfg(test)]
@@ -259,11 +270,29 @@ mod tests {
         let g = graph();
         let r = best_practices(&g);
         // Coverage ≈ 49% (paper Table 3).
-        assert!(r.coverage_pct > 40.0 && r.coverage_pct < 60.0, "coverage {}", r.coverage_pct);
+        assert!(
+            r.coverage_pct > 40.0 && r.coverage_pct < 60.0,
+            "coverage {}",
+            r.coverage_pct
+        );
         // 2024 shape: exceed ≫ meet ≫ not-meet; some discarded.
-        assert!(r.exceed_pct > r.meet_pct, "exceed {} meet {}", r.exceed_pct, r.meet_pct);
-        assert!(r.meet_pct > r.not_meet_pct, "meet {} not {}", r.meet_pct, r.not_meet_pct);
-        assert!(r.discarded_pct > 1.0 && r.discarded_pct < 30.0, "discarded {}", r.discarded_pct);
+        assert!(
+            r.exceed_pct > r.meet_pct,
+            "exceed {} meet {}",
+            r.exceed_pct,
+            r.meet_pct
+        );
+        assert!(
+            r.meet_pct > r.not_meet_pct,
+            "meet {} not {}",
+            r.meet_pct,
+            r.not_meet_pct
+        );
+        assert!(
+            r.discarded_pct > 1.0 && r.discarded_pct < 30.0,
+            "discarded {}",
+            r.discarded_pct
+        );
         assert!(r.in_zone_glue_pct > 50.0, "glue {}", r.in_zone_glue_pct);
         // Sanity: the four buckets cover all com/net/org domains.
         let sum = r.discarded_pct + r.meet_pct + r.exceed_pct + r.not_meet_pct;

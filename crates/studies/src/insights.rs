@@ -96,7 +96,9 @@ pub fn hosting_consolidation(graph: &Graph) -> HostingConsolidation {
     let mut cdn_domains_covered = 0usize;
     let mut domain_prefix_count: HashMap<String, usize> = HashMap::new();
     for row in &rs.rows {
-        let Some(domain) = get_str(&row[0]) else { continue };
+        let Some(domain) = get_str(&row[0]) else {
+            continue;
+        };
         let prefixes = get_str_list(&row[1]);
         if prefixes.is_empty() {
             continue;
@@ -110,7 +112,10 @@ pub fn hosting_consolidation(graph: &Graph) -> HostingConsolidation {
         let on_cdn = prefixes.iter().any(|p| cdn.contains(p));
         if on_cdn {
             cdn_domains += 1;
-            if prefixes.iter().any(|p| cdn.contains(p) && covered.contains(p)) {
+            if prefixes
+                .iter()
+                .any(|p| cdn.contains(p) && covered.contains(p))
+            {
                 cdn_domains_covered += 1;
             }
         }

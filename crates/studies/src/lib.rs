@@ -27,7 +27,7 @@ pub mod util;
 
 pub use compare::{find_origin_disagreements, OriginDisagreement};
 pub use dns_robustness::{
-    shared_infrastructure, best_practices, BestPractices, GroupingStats, SharedInfra,
+    best_practices, shared_infrastructure, BestPractices, GroupingStats, SharedInfra,
 };
 pub use insights::{hosting_consolidation, nameserver_rpki, HostingConsolidation, NameserverRpki};
 pub use longitudinal::{analyze_series, EpochStats, SnapshotSeries};

@@ -153,7 +153,9 @@ pub fn rpki_by_tag(graph: &Graph) -> Vec<TagCoverage> {
     let rs = run(graph, Q_TAGGED_AS_PREFIXES);
     let mut out = Vec::new();
     for row in &rs.rows {
-        let Some(tag) = get_str(&row[0]) else { continue };
+        let Some(tag) = get_str(&row[0]) else {
+            continue;
+        };
         if tag.starts_with("RPKI") || tag.contains("Validating") || tag == "Anycast" {
             continue; // status tags, not classifications
         }
@@ -186,14 +188,32 @@ mod tests {
     fn table2_shape_holds() {
         let g = graph();
         let r = ripki_study(&g);
-        assert!(r.total_prefixes > 50, "too few prefixes: {}", r.total_prefixes);
+        assert!(
+            r.total_prefixes > 50,
+            "too few prefixes: {}",
+            r.total_prefixes
+        );
         // Invalids are rare (paper: 0.12%), coverage is around half
         // (paper: 52.2%), CDNs above average (paper: 68.4%), and the
         // bottom decile beats the top (paper: 61.5% vs 55.2%).
         assert!(r.invalid_pct < 5.0, "invalid {}", r.invalid_pct);
-        assert!(r.covered_pct > 30.0 && r.covered_pct < 75.0, "covered {}", r.covered_pct);
-        assert!(r.cdn_pct > r.covered_pct, "cdn {} vs {}", r.cdn_pct, r.covered_pct);
-        assert!(r.bottom_pct > r.top_pct, "bottom {} top {}", r.bottom_pct, r.top_pct);
+        assert!(
+            r.covered_pct > 30.0 && r.covered_pct < 75.0,
+            "covered {}",
+            r.covered_pct
+        );
+        assert!(
+            r.cdn_pct > r.covered_pct,
+            "cdn {} vs {}",
+            r.cdn_pct,
+            r.covered_pct
+        );
+        assert!(
+            r.bottom_pct > r.top_pct,
+            "bottom {} top {}",
+            r.bottom_pct,
+            r.top_pct
+        );
     }
 
     #[test]

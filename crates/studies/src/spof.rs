@@ -91,10 +91,7 @@ impl SpofResults {
     }
 }
 
-fn top_of(
-    map: &BTreeMap<(String, SpofKind), usize>,
-    n: usize,
-) -> Vec<(String, [usize; 3])> {
+fn top_of(map: &BTreeMap<(String, SpofKind), usize>, n: usize) -> Vec<(String, [usize; 3])> {
     let mut totals: HashMap<&String, [usize; 3]> = HashMap::new();
     for ((key, kind), count) in map {
         let slot = match kind {
@@ -152,8 +149,12 @@ pub fn spof_study(graph: &Graph, ranking: &str) -> SpofResults {
         if !population.contains(&domain) {
             continue;
         }
-        let Some(kind) = SpofKind::parse(&kind) else { continue };
-        let Some((countries, ases)) = zone_hosting.get(&zone) else { continue };
+        let Some(kind) = SpofKind::parse(&kind) else {
+            continue;
+        };
+        let Some((countries, ases)) = zone_hosting.get(&zone) else {
+            continue;
+        };
         seen_domains.insert(domain.clone());
         for c in countries {
             if counted.insert((domain.clone(), c.clone(), kind, true)) {
@@ -193,7 +194,10 @@ mod tests {
         // headline observation for Figure 5).
         let us = top.iter().find(|(c, _)| c == "US").expect("US present");
         let third_party_max = top.iter().map(|(_, v)| v[1]).max().unwrap();
-        assert_eq!(us.1[1], third_party_max, "US not the top third-party dependency");
+        assert_eq!(
+            us.1[1], third_party_max,
+            "US not the top third-party dependency"
+        );
         // Hierarchical dependencies exist for non-US countries (ccTLDs:
         // RU, CN, GB...).
         let non_us_hier: usize = r
@@ -232,7 +236,10 @@ mod tests {
     fn kind_parsing() {
         assert_eq!(SpofKind::parse("direct"), Some(SpofKind::Direct));
         assert_eq!(SpofKind::parse("third-party"), Some(SpofKind::ThirdParty));
-        assert_eq!(SpofKind::parse("hierarchical"), Some(SpofKind::Hierarchical));
+        assert_eq!(
+            SpofKind::parse("hierarchical"),
+            Some(SpofKind::Hierarchical)
+        );
         assert_eq!(SpofKind::parse("nope"), None);
         assert_eq!(SpofKind::Direct.label(), "direct");
     }

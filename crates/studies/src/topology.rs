@@ -36,9 +36,8 @@ pub fn centrality_study(graph: &Graph, k: usize) -> CentralityResults {
     let peers = graph.symbols().get_rel_type("PEERS_WITH");
     let pr = algo::pagerank(graph, &ases, peers, 0.85, 40);
 
-    let asn_of = |n: NodeId| -> Option<u32> {
-        graph.node(n)?.prop("asn")?.as_int().map(|i| i as u32)
-    };
+    let asn_of =
+        |n: NodeId| -> Option<u32> { graph.node(n)?.prop("asn")?.as_int().map(|i| i as u32) };
     let top_pagerank: Vec<(u32, f64)> = pr
         .into_iter()
         .filter_map(|(n, s)| asn_of(n).map(|a| (a, s)))
@@ -63,9 +62,17 @@ pub fn centrality_study(graph: &Graph, k: usize) -> CentralityResults {
     let b: HashSet<u32> = top_asrank.iter().copied().collect();
     let inter = a.intersection(&b).count();
     let union = a.union(&b).count();
-    let overlap = if union == 0 { 0.0 } else { inter as f64 / union as f64 };
+    let overlap = if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    };
 
-    CentralityResults { top_pagerank, top_asrank, overlap }
+    CentralityResults {
+        top_pagerank,
+        top_asrank,
+        overlap,
+    }
 }
 
 #[cfg(test)]

@@ -91,7 +91,10 @@ mod tests {
     #[test]
     fn name_helpers() {
         assert_eq!(tld_of("a.b.com"), "com");
-        assert_eq!(registered_domain("ns1.example.org"), Some("example.org".into()));
+        assert_eq!(
+            registered_domain("ns1.example.org"),
+            Some("example.org".into())
+        );
         assert_eq!(registered_domain("org"), None);
         assert_eq!(slash24_of("192.0.2.77"), Some("192.0.2.0/24".into()));
         assert_eq!(slash24_of("2001:db8::1"), Some("2001:db8::/64".into()));

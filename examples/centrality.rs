@@ -11,13 +11,20 @@ use iyp::{Iyp, SimConfig};
 
 fn main() {
     let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
-    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    let config = if scale == "default" {
+        SimConfig::default()
+    } else {
+        SimConfig::small()
+    };
     println!("Building IYP ({scale} scale)...");
     let iyp = Iyp::build(&config, 42).expect("build");
 
     let r = centrality_study(iyp.graph(), 15);
     println!("\n== PageRank on the PEERS_WITH mesh vs CAIDA ASRank ==");
-    println!("{:<6} {:>12} {:>6}   {:<10}", "rank", "pagerank", "ASN", "also in ASRank top-15?");
+    println!(
+        "{:<6} {:>12} {:>6}   {:<10}",
+        "rank", "pagerank", "ASN", "also in ASRank top-15?"
+    );
     let asrank: std::collections::HashSet<u32> = r.top_asrank.iter().copied().collect();
     for (i, (asn, score)) in r.top_pagerank.iter().enumerate() {
         println!(

@@ -17,7 +17,10 @@ fn main() {
     println!("{}", iyp::studies::compare::Q_ORIGIN_DISAGREEMENT);
 
     let diffs = find_origin_disagreements(iyp.graph());
-    println!("== {} origin disagreements between bgpkit.pfx2as and ihr.rov ==", diffs.len());
+    println!(
+        "== {} origin disagreements between bgpkit.pfx2as and ihr.rov ==",
+        diffs.len()
+    );
     for d in diffs.iter().take(15) {
         println!(
             "  {:<28} bgpkit says AS{:<8} ihr says AS{}",

@@ -10,14 +10,26 @@ use iyp::{Iyp, SimConfig};
 
 fn main() {
     println!("== Table 8: datasets integrated into IYP ==\n");
-    println!("{:<26} {:<36} {:<9}", "Organization", "Dataset", "Frequency");
+    println!(
+        "{:<26} {:<36} {:<9}",
+        "Organization", "Dataset", "Frequency"
+    );
     println!("{}", "-".repeat(75));
     let mut orgs = std::collections::BTreeSet::new();
     for d in ALL_DATASETS {
-        println!("{:<26} {:<36} {:<9}", d.organization(), d.name(), d.frequency());
+        println!(
+            "{:<26} {:<36} {:<9}",
+            d.organization(),
+            d.name(),
+            d.frequency()
+        );
         orgs.insert(d.organization());
     }
-    println!("\n{} datasets from {} organizations\n", ALL_DATASETS.len(), orgs.len());
+    println!(
+        "\n{} datasets from {} organizations\n",
+        ALL_DATASETS.len(),
+        orgs.len()
+    );
 
     println!("Building the graph to measure each dataset's contribution...");
     let iyp = Iyp::build(&SimConfig::small(), 42).expect("build");
@@ -29,5 +41,9 @@ fn main() {
     for (pass, links) in &iyp.report().refinement {
         println!("  {pass:<36} {links:>9}");
     }
-    println!("\ntotal: {} nodes, {} relationships", iyp.report().stats.nodes, iyp.report().stats.rels);
+    println!(
+        "\ntotal: {} nodes, {} relationships",
+        iyp.report().stats.nodes,
+        iyp.report().stats.rels
+    );
 }

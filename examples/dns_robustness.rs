@@ -9,19 +9,41 @@ use iyp::{Iyp, SimConfig};
 
 fn main() {
     let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
-    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    let config = if scale == "default" {
+        SimConfig::default()
+    } else {
+        SimConfig::small()
+    };
     println!("Building IYP ({scale} scale)...");
     let iyp = Iyp::build(&config, 42).expect("build");
 
     let bp = best_practices(iyp.graph());
     println!("\n== Table 3: DNS best practices (.com/.net/.org SLDs) ==");
     println!("                         paper 2009-2018   IYP paper 2024   this graph");
-    println!("Coverage com/net/org          56%               49%          {:5.1}%", bp.coverage_pct);
-    println!("Discarded SLDs                12-15%            10%          {:5.1}%", bp.discarded_pct);
-    println!("Meet NS requirements         ~39%               18%          {:5.1}%", bp.meet_pct);
-    println!("Exceed NS requirements       ~20%               67%          {:5.1}%", bp.exceed_pct);
-    println!("Not meet NS requirements      28%                4%          {:5.1}%", bp.not_meet_pct);
-    println!("In-zone glue                  69-73%            76%          {:5.1}%", bp.in_zone_glue_pct);
+    println!(
+        "Coverage com/net/org          56%               49%          {:5.1}%",
+        bp.coverage_pct
+    );
+    println!(
+        "Discarded SLDs                12-15%            10%          {:5.1}%",
+        bp.discarded_pct
+    );
+    println!(
+        "Meet NS requirements         ~39%               18%          {:5.1}%",
+        bp.meet_pct
+    );
+    println!(
+        "Exceed NS requirements       ~20%               67%          {:5.1}%",
+        bp.exceed_pct
+    );
+    println!(
+        "Not meet NS requirements      28%                4%          {:5.1}%",
+        bp.not_meet_pct
+    );
+    println!(
+        "In-zone glue                  69-73%            76%          {:5.1}%",
+        bp.in_zone_glue_pct
+    );
 
     let si = shared_infrastructure(iyp.graph());
     println!("\n== Table 4: shared infrastructure (.com/.net/.org) ==");

@@ -7,8 +7,8 @@
 
 use iyp::crawlers::{RANKING_TRANCO, RANKING_UMBRELLA};
 use iyp::studies::{
-    best_practices, find_origin_disagreements, hosting_consolidation, nameserver_rpki,
-    ripki_study, rpki_by_tag, shared_infrastructure, spof_study,
+    best_practices, find_origin_disagreements, hosting_consolidation, nameserver_rpki, ripki_study,
+    rpki_by_tag, shared_infrastructure, spof_study,
 };
 use iyp::{Iyp, SimConfig};
 use std::time::Instant;
@@ -39,7 +39,11 @@ fn main() {
 
     let t = Instant::now();
     let r = ripki_study(iyp.graph());
-    println!("\n## Table 2 — RiPKI ({} distinct prefixes, {:.2}s)", r.total_prefixes, t.elapsed().as_secs_f64());
+    println!(
+        "\n## Table 2 — RiPKI ({} distinct prefixes, {:.2}s)",
+        r.total_prefixes,
+        t.elapsed().as_secs_f64()
+    );
     println!("| metric | RiPKI 2015 | IYP paper 2024 | measured |");
     println!("|---|---|---|---|");
     println!("| RPKI Invalid | 0.09% | 0.12% | {:.2}% |", r.invalid_pct);
@@ -47,30 +51,51 @@ fn main() {
     println!("| Top 100k | 4% | 55.2% | {:.1}% |", r.top_pct);
     println!("| Bottom 100k | 5.5% | 61.5% | {:.1}% |", r.bottom_pct);
     println!("| CDN | 0.9% | 68.4% | {:.1}% |", r.cdn_pct);
-    println!("| invalids due to max-length | — | 75% | {:.0}% |", r.invalid_maxlen_share);
+    println!(
+        "| invalids due to max-length | — | 75% | {:.0}% |",
+        r.invalid_maxlen_share
+    );
 
     println!("\n## §4.1.4 — RPKI by AS tag (paper: DDoS 76, Gov 21, Academic 16)");
     println!("| tag | prefixes | covered |");
     println!("|---|---|---|");
     for row in rpki_by_tag(iyp.graph()) {
-        println!("| {} | {} | {:.1}% |", row.tag, row.prefixes, row.covered_pct);
+        println!(
+            "| {} | {} | {:.1}% |",
+            row.tag, row.prefixes, row.covered_pct
+        );
     }
 
     let t = Instant::now();
     let bp = best_practices(iyp.graph());
-    println!("\n## Table 3 — DNS best practices ({:.2}s)", t.elapsed().as_secs_f64());
+    println!(
+        "\n## Table 3 — DNS best practices ({:.2}s)",
+        t.elapsed().as_secs_f64()
+    );
     println!("| metric | paper 2009-2018 | IYP paper 2024 | measured |");
     println!("|---|---|---|---|");
-    println!("| coverage com/net/org | 56% | 49% | {:.1}% |", bp.coverage_pct);
-    println!("| discarded SLDs | 12-15% | 10% | {:.1}% |", bp.discarded_pct);
+    println!(
+        "| coverage com/net/org | 56% | 49% | {:.1}% |",
+        bp.coverage_pct
+    );
+    println!(
+        "| discarded SLDs | 12-15% | 10% | {:.1}% |",
+        bp.discarded_pct
+    );
     println!("| meet NS req. | ~39% | 18% | {:.1}% |", bp.meet_pct);
     println!("| exceed NS req. | ~20% | 67% | {:.1}% |", bp.exceed_pct);
     println!("| not meet NS req. | 28% | 4% | {:.1}% |", bp.not_meet_pct);
-    println!("| in-zone glue | 69-73% | 76% | {:.1}% |", bp.in_zone_glue_pct);
+    println!(
+        "| in-zone glue | 69-73% | 76% | {:.1}% |",
+        bp.in_zone_glue_pct
+    );
 
     let t = Instant::now();
     let si = shared_infrastructure(iyp.graph());
-    println!("\n## Tables 4 & 5 — shared infrastructure ({:.2}s)", t.elapsed().as_secs_f64());
+    println!(
+        "\n## Tables 4 & 5 — shared infrastructure ({:.2}s)",
+        t.elapsed().as_secs_f64()
+    );
     println!("| grouping | paper 2018 | IYP paper 2024 | measured |");
     println!("|---|---|---|---|");
     println!(
@@ -97,16 +122,37 @@ fn main() {
     let t = Instant::now();
     let ns = nameserver_rpki(iyp.graph());
     let hc = hosting_consolidation(iyp.graph());
-    println!("\n## §5.1 — combined insights ({:.2}s)", t.elapsed().as_secs_f64());
+    println!(
+        "\n## §5.1 — combined insights ({:.2}s)",
+        t.elapsed().as_secs_f64()
+    );
     println!("| metric | IYP paper 2024 | measured |");
     println!("|---|---|---|");
-    println!("| NS prefixes RPKI-covered | 48% | {:.1}% |", ns.prefix_covered_pct);
-    println!("| domains with covered NS | 84% | {:.1}% |", ns.domain_covered_pct);
-    println!("| hosting prefixes covered | 52.2% | {:.1}% |", hc.prefix_covered_pct);
-    println!("| domains on covered prefixes | 78.8% | {:.1}% |", hc.domain_covered_pct);
-    println!("| CDN-hosted domains covered | 96% | {:.1}% |", hc.cdn_domain_covered_pct);
+    println!(
+        "| NS prefixes RPKI-covered | 48% | {:.1}% |",
+        ns.prefix_covered_pct
+    );
+    println!(
+        "| domains with covered NS | 84% | {:.1}% |",
+        ns.domain_covered_pct
+    );
+    println!(
+        "| hosting prefixes covered | 52.2% | {:.1}% |",
+        hc.prefix_covered_pct
+    );
+    println!(
+        "| domains on covered prefixes | 78.8% | {:.1}% |",
+        hc.domain_covered_pct
+    );
+    println!(
+        "| CDN-hosted domains covered | 96% | {:.1}% |",
+        hc.cdn_domain_covered_pct
+    );
 
-    for (ranking, label) in [(RANKING_TRANCO, "Tranco"), (RANKING_UMBRELLA, "Cisco Umbrella")] {
+    for (ranking, label) in [
+        (RANKING_TRANCO, "Tranco"),
+        (RANKING_UMBRELLA, "Cisco Umbrella"),
+    ] {
         let t = Instant::now();
         let r = spof_study(iyp.graph(), ranking);
         println!(

@@ -18,6 +18,7 @@ fn main() {
         ("node_types.md", docs::node_types_md()),
         ("relationship_types.md", docs::relationship_types_md()),
         ("data-sources.md", docs::data_sources_md()),
+        ("telemetry.md", docs::telemetry_md()),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, content).expect("write doc");

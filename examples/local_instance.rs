@@ -36,7 +36,10 @@ fn main() {
              MERGE (d)-[:CATEGORIZED {reference_name: 'local.study'}]->(t)",
         )
         .expect("tagging");
-    println!("tagged: +{} nodes, +{} rels", s.nodes_created, s.rels_created);
+    println!(
+        "tagged: +{} nodes, +{} rels",
+        s.nodes_created, s.rels_created
+    );
 
     // Step 2: integrate confidential data — say, an internal list of
     // customer ASes — as ordinary write queries.

@@ -18,7 +18,10 @@ fn main() {
     };
 
     let epochs = [0u32, 1, 2, 3, 4];
-    println!("building {} snapshot instances ({scale} scale)...", epochs.len());
+    println!(
+        "building {} snapshot instances ({scale} scale)...",
+        epochs.len()
+    );
     let mut instances = Vec::new();
     for &e in &epochs {
         let config = base.clone().at_epoch(e);
@@ -27,8 +30,7 @@ fn main() {
         instances.push((e, iyp));
     }
 
-    let graphs: Vec<(u32, &iyp::Graph)> =
-        instances.iter().map(|(e, i)| (*e, i.graph())).collect();
+    let graphs: Vec<(u32, &iyp::Graph)> = instances.iter().map(|(e, i)| (*e, i.graph())).collect();
     let series = analyze_series(&graphs);
 
     println!("\nepoch  RPKI coverage  domains   churn vs prev");

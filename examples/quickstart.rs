@@ -16,7 +16,10 @@ fn config() -> (SimConfig, u64) {
         "tiny" => SimConfig::tiny(),
         _ => SimConfig::small(),
     };
-    let seed = std::env::var("IYP_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+    let seed = std::env::var("IYP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
     (config, seed)
 }
 
@@ -34,7 +37,12 @@ fn main() {
         iyp::ontology::relationship::ALL_RELATIONSHIPS.len()
     );
     for e in iyp::ontology::entity::ALL_ENTITIES.iter().take(6) {
-        println!("  :{:<24} key={:<14} {}", e.label(), e.key_property(), e.description());
+        println!(
+            "  :{:<24} key={:<14} {}",
+            e.label(),
+            e.key_property(),
+            e.description()
+        );
     }
     println!("  ... (see documentation for the full tables)\n");
 
@@ -50,7 +58,10 @@ fn main() {
              RETURN count(DISTINCT p.prefix) AS moas";
     println!("== Listing 2: MOAS prefixes ==\n{q}");
     let rs = iyp.query(q).expect("query");
-    println!("-> {} prefixes with multiple origin ASes\n", rs.single_int().unwrap());
+    println!(
+        "-> {} prefixes with multiple origin ASes\n",
+        rs.single_int().unwrap()
+    );
 
     // A taste of multi-dataset navigation: popular domains hosted on
     // anycast prefixes.
@@ -59,5 +70,8 @@ fn main() {
              RETURN count(DISTINCT d.name) AS anycast_domains";
     println!("== Cross-dataset: Tranco domains on anycast prefixes ==\n{q}");
     let rs = iyp.query(q).expect("query");
-    println!("-> {} domains served from anycast prefixes", rs.single_int().unwrap());
+    println!(
+        "-> {} domains served from anycast prefixes",
+        rs.single_int().unwrap()
+    );
 }

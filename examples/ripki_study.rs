@@ -10,18 +10,37 @@ use iyp::{Iyp, SimConfig};
 
 fn main() {
     let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
-    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    let config = if scale == "default" {
+        SimConfig::default()
+    } else {
+        SimConfig::small()
+    };
     println!("Building IYP ({scale} scale)...");
     let iyp = Iyp::build(&config, 42).expect("build");
 
     let r = ripki_study(iyp.graph());
     println!("\n== Table 2: RPKI status of prefixes serving Tranco domains ==");
     println!("                       RiPKI (2015)   IYP paper (2024)   this graph");
-    println!("RPKI Invalid              0.09%            0.12%          {:6.2}%", r.invalid_pct);
-    println!("RPKI covered              6%               52.2%          {:6.1}%", r.covered_pct);
-    println!("Top 100k                  4%               55.2%          {:6.1}%", r.top_pct);
-    println!("Bottom 100k               5.5%             61.5%          {:6.1}%", r.bottom_pct);
-    println!("CDN                       0.9%             68.4%          {:6.1}%", r.cdn_pct);
+    println!(
+        "RPKI Invalid              0.09%            0.12%          {:6.2}%",
+        r.invalid_pct
+    );
+    println!(
+        "RPKI covered              6%               52.2%          {:6.1}%",
+        r.covered_pct
+    );
+    println!(
+        "Top 100k                  4%               55.2%          {:6.1}%",
+        r.top_pct
+    );
+    println!(
+        "Bottom 100k               5.5%             61.5%          {:6.1}%",
+        r.bottom_pct
+    );
+    println!(
+        "CDN                       0.9%             68.4%          {:6.1}%",
+        r.cdn_pct
+    );
     println!(
         "\n{} distinct prefixes; {:.0}% of invalids due to max-length (paper: 75%)",
         r.total_prefixes, r.invalid_maxlen_share
@@ -30,7 +49,10 @@ fn main() {
     println!("\n== §4.1.4: RPKI deployment per AS classification tag ==");
     println!("{:<28} {:>9} {:>10}", "tag", "prefixes", "covered");
     for row in rpki_by_tag(iyp.graph()) {
-        println!("{:<28} {:>9} {:>9.1}%", row.tag, row.prefixes, row.covered_pct);
+        println!(
+            "{:<28} {:>9} {:>9.1}%",
+            row.tag, row.prefixes, row.covered_pct
+        );
     }
     println!("\n(paper: DDoS Mitigation 76%, Government 21%, Academic 16%)");
 }

@@ -33,7 +33,10 @@ fn main() {
         RETURN DISTINCT p.prefix";
     println!("\n== (2) MOAS prefixes ==\n{q2}");
     let rs = iyp.query(q2).expect("q2");
-    println!("  {} MOAS prefixes (expected: disagreeing datasets create them)", rs.rows.len());
+    println!(
+        "  {} MOAS prefixes (expected: disagreeing datasets create them)",
+        rs.rows.len()
+    );
     for row in rs.rows.iter().take(5) {
         println!("  {}", row[0].render(iyp.graph()));
     }

@@ -8,10 +8,13 @@
 use iyp::{Iyp, RtVal, SimConfig};
 
 fn one_string(rs: &iyp::ResultSet) -> Option<String> {
-    rs.rows.first().and_then(|r| r.first()).and_then(|v| match v {
-        RtVal::Scalar(s) => s.as_str().map(String::from),
-        _ => None,
-    })
+    rs.rows
+        .first()
+        .and_then(|r| r.first())
+        .and_then(|v| match v {
+            RtVal::Scalar(s) => s.as_str().map(String::from),
+            _ => None,
+        })
 }
 
 fn main() {

@@ -10,21 +10,35 @@ use iyp::studies::{hosting_consolidation, nameserver_rpki, spof_study};
 use iyp::{Iyp, SimConfig};
 
 fn bar(n: usize, total: usize) -> String {
-    let width = if total == 0 { 0 } else { n * 40 / total };
+    let width = (n * 40).checked_div(total).unwrap_or(0);
     "#".repeat(width.max(usize::from(n > 0)))
 }
 
 fn print_panel(title: &str, rows: &[(String, [usize; 3])], domains: usize) {
-    println!("\n-- {title} (top {}; {} domains analysed) --", rows.len(), domains);
-    println!("{:<28} {:>8} {:>12} {:>12}", "", "direct", "third-party", "hierarchical");
+    println!(
+        "\n-- {title} (top {}; {} domains analysed) --",
+        rows.len(),
+        domains
+    );
+    println!(
+        "{:<28} {:>8} {:>12} {:>12}",
+        "", "direct", "third-party", "hierarchical"
+    );
     for (name, [d, t, h]) in rows {
-        println!("{name:<28} {d:>8} {t:>12} {h:>12}  {}", bar(d + t + h, domains * 3));
+        println!(
+            "{name:<28} {d:>8} {t:>12} {h:>12}  {}",
+            bar(d + t + h, domains * 3)
+        );
     }
 }
 
 fn main() {
     let scale = std::env::var("IYP_SCALE").unwrap_or_else(|_| "small".into());
-    let config = if scale == "default" { SimConfig::default() } else { SimConfig::small() };
+    let config = if scale == "default" {
+        SimConfig::default()
+    } else {
+        SimConfig::small()
+    };
     println!("Building IYP ({scale} scale)...");
     let iyp = Iyp::build(&config, 42).expect("build");
 
@@ -41,11 +55,23 @@ fn main() {
 
     println!("\n== §5.1.2: web hosting consolidation and RPKI ==");
     let hc = hosting_consolidation(iyp.graph());
-    println!("prefix-weighted coverage:  {:.1}% (paper: 52.2%)", hc.prefix_covered_pct);
-    println!("domain-weighted coverage:  {:.1}% (paper: 78.8%)", hc.domain_covered_pct);
-    println!("CDN-hosted domains:        {:.1}% (paper: 96%)", hc.cdn_domain_covered_pct);
+    println!(
+        "prefix-weighted coverage:  {:.1}% (paper: 52.2%)",
+        hc.prefix_covered_pct
+    );
+    println!(
+        "domain-weighted coverage:  {:.1}% (paper: 78.8%)",
+        hc.domain_covered_pct
+    );
+    println!(
+        "CDN-hosted domains:        {:.1}% (paper: 96%)",
+        hc.cdn_domain_covered_pct
+    );
 
-    for (ranking, label) in [(RANKING_TRANCO, "Tranco"), (RANKING_UMBRELLA, "Cisco Umbrella")] {
+    for (ranking, label) in [
+        (RANKING_TRANCO, "Tranco"),
+        (RANKING_UMBRELLA, "Cisco Umbrella"),
+    ] {
         let r = spof_study(iyp.graph(), ranking);
         println!("\n==================== {label} top list ====================");
         print_panel(

@@ -3,8 +3,9 @@
 //! Mirrors the workflows of §3.1/§6 of the paper:
 //!
 //! ```text
-//! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE]
+//! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--metrics]
 //! iyp query   [--snapshot FILE] '<cypher>'
+//! iyp profile [--snapshot FILE] '<cypher>'
 //! iyp shell   [--snapshot FILE]
 //! iyp serve   [--snapshot FILE] [--addr HOST:PORT]
 //! iyp studies [--snapshot FILE]
@@ -19,6 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Args {
     command: String,
     scale: String,
@@ -26,11 +28,12 @@ struct Args {
     out: Option<PathBuf>,
     snapshot: Option<PathBuf>,
     addr: String,
+    metrics: bool,
     rest: Vec<String>,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut argv = argv.into_iter();
     let command = argv.next().unwrap_or_else(|| "help".to_string());
     let mut args = Args {
         command,
@@ -39,6 +42,7 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         snapshot: None,
         addr: "127.0.0.1:7687".into(),
+        metrics: false,
         rest: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -53,10 +57,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(argv.next().ok_or("--out needs a path")?)),
             "--snapshot" => {
-                args.snapshot =
-                    Some(PathBuf::from(argv.next().ok_or("--snapshot needs a path")?))
+                args.snapshot = Some(PathBuf::from(argv.next().ok_or("--snapshot needs a path")?))
             }
             "--addr" => args.addr = argv.next().ok_or("--addr needs a value")?,
+            "--metrics" => args.metrics = true,
             other => args.rest.push(other.to_string()),
         }
     }
@@ -78,15 +82,26 @@ fn load_or_build(args: &Args) -> Result<Iyp, String> {
             Iyp::load_snapshot(path).map_err(|e| e.to_string())
         }
         None => {
-            eprintln!("building fresh graph ({} scale, seed {})...", args.scale, args.seed);
+            eprintln!(
+                "building fresh graph ({} scale, seed {})...",
+                args.scale, args.seed
+            );
             Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())
         }
     }
 }
 
 fn cmd_build(args: &Args) -> Result<(), String> {
+    if args.metrics {
+        iyp_telemetry::enable();
+    }
     let iyp = Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())?;
     println!("{}", iyp.report());
+    if args.metrics {
+        println!("{}", iyp.report().render_timings());
+        println!("-- telemetry exposition --");
+        print!("{}", iyp_telemetry::render());
+    }
     if let Some(out) = &args.out {
         iyp.save_snapshot(out).map_err(|e| e.to_string())?;
         println!("snapshot written to {}", out.display());
@@ -111,6 +126,19 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     }
     let iyp = load_or_build(args)?;
     run_and_print(&iyp, &text);
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let text = args.rest.join(" ");
+    if text.trim().is_empty() {
+        return Err("query text required".into());
+    }
+    let iyp = load_or_build(args)?;
+    let (rs, plan) = iyp.profile(&text).map_err(|e| e.to_string())?;
+    print!("{}", rs.render(iyp.graph()));
+    println!("({} rows)\n", rs.rows.len());
+    println!("{}", plan.render());
     Ok(())
 }
 
@@ -147,6 +175,17 @@ fn cmd_shell(args: &Args) -> Result<(), String> {
         if text.is_empty() {
             continue;
         }
+        // EXPLAIN/PROFILE are read-only introspection — route them
+        // through the read path (the write path rejects them).
+        let first = text
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_lowercase();
+        if first == "explain" || first == "profile" {
+            run_and_print(&iyp, &text);
+            continue;
+        }
         match iyp.update(&text) {
             Ok((rs, summary)) => {
                 if !rs.columns.is_empty() {
@@ -174,7 +213,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let iyp = load_or_build(args)?;
     let graph = Arc::new(iyp.into_graph());
     let server = iyp_server::Server::start(graph, &args.addr).map_err(|e| e.to_string())?;
-    println!("serving read-only IYP on {} — protocol: one JSON request per line", server.addr());
+    println!(
+        "serving read-only IYP on {} — protocol: one JSON request per line",
+        server.addr()
+    );
     println!("example: {{\"query\": \"MATCH (a:AS) RETURN count(a)\"}}");
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -199,11 +241,26 @@ fn cmd_studies(args: &Args) -> Result<(), String> {
     );
     let si = studies::shared_infrastructure(g);
     println!("\n== Tables 4 & 5 (shared infrastructure) ==");
-    println!("cno by NS      med {} max {}", si.cno_by_ns.median, si.cno_by_ns.max);
-    println!("cno by /24     med {} max {}", si.cno_by_slash24.median, si.cno_by_slash24.max);
-    println!("cno by prefix  med {} max {}", si.cno_by_prefix.median, si.cno_by_prefix.max);
-    println!("all by prefix  med {} max {}", si.all_by_prefix.median, si.all_by_prefix.max);
-    println!("all by NS      med {} max {}", si.all_by_ns.median, si.all_by_ns.max);
+    println!(
+        "cno by NS      med {} max {}",
+        si.cno_by_ns.median, si.cno_by_ns.max
+    );
+    println!(
+        "cno by /24     med {} max {}",
+        si.cno_by_slash24.median, si.cno_by_slash24.max
+    );
+    println!(
+        "cno by prefix  med {} max {}",
+        si.cno_by_prefix.median, si.cno_by_prefix.max
+    );
+    println!(
+        "all by prefix  med {} max {}",
+        si.all_by_prefix.median, si.all_by_prefix.max
+    );
+    println!(
+        "all by NS      med {} max {}",
+        si.all_by_ns.median, si.all_by_ns.max
+    );
     let ns = studies::nameserver_rpki(g);
     let hc = studies::hosting_consolidation(g);
     println!("\n== §5.1 (insights) ==");
@@ -215,9 +272,17 @@ fn cmd_studies(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_datasets() {
-    println!("{:<26} {:<36} {:<9}", "Organization", "Dataset", "Frequency");
+    println!(
+        "{:<26} {:<36} {:<9}",
+        "Organization", "Dataset", "Frequency"
+    );
     for d in iyp_core::simnet::datasets::ALL_DATASETS {
-        println!("{:<26} {:<36} {:<9}", d.organization(), d.name(), d.frequency());
+        println!(
+            "{:<26} {:<36} {:<9}",
+            d.organization(),
+            d.name(),
+            d.frequency()
+        );
     }
     let _ = DatasetId::TrancoList; // referenced for doc purposes
 }
@@ -226,8 +291,9 @@ fn help() {
     eprintln!(
         "iyp — Internet Yellow Pages
 usage:
-  iyp build   [--scale tiny|small|default] [--seed N] [--out FILE]
+  iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--metrics]
   iyp query   [--snapshot FILE] '<cypher>'
+  iyp profile [--snapshot FILE] '<cypher>'
   iyp shell   [--snapshot FILE]
   iyp serve   [--snapshot FILE] [--addr HOST:PORT]
   iyp studies [--snapshot FILE]
@@ -235,8 +301,31 @@ usage:
     );
 }
 
+fn run(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "build" => cmd_build(args),
+        "query" => cmd_query(args),
+        "profile" => cmd_profile(args),
+        "shell" => cmd_shell(args),
+        "serve" => cmd_serve(args),
+        "studies" => cmd_studies(args),
+        "datasets" => {
+            cmd_datasets();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            help();
+            Ok(())
+        }
+        other => {
+            help();
+            Err(format!("unknown command `{other}`"))
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -244,26 +333,69 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match args.command.as_str() {
-        "build" => cmd_build(&args),
-        "query" => cmd_query(&args),
-        "shell" => cmd_shell(&args),
-        "serve" => cmd_serve(&args),
-        "studies" => cmd_studies(&args),
-        "datasets" => {
-            cmd_datasets();
-            Ok(())
-        }
-        _ => {
-            help();
-            Ok(())
-        }
-    };
-    match result {
+    match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_defaults() {
+        let a = parse_args(argv(&[])).unwrap();
+        assert_eq!(a.command, "help");
+        assert_eq!(a.scale, "small");
+        assert_eq!(a.seed, 42);
+        assert!(!a.metrics);
+        assert!(a.rest.is_empty());
+    }
+
+    #[test]
+    fn parse_args_full_build_invocation() {
+        let a = parse_args(argv(&[
+            "build",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out",
+            "x.snap",
+            "--metrics",
+        ]))
+        .unwrap();
+        assert_eq!(a.command, "build");
+        assert_eq!(a.scale, "tiny");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.out, Some(PathBuf::from("x.snap")));
+        assert!(a.metrics);
+    }
+
+    #[test]
+    fn parse_args_collects_query_text() {
+        let a = parse_args(argv(&["query", "MATCH (n)", "RETURN n"])).unwrap();
+        assert_eq!(a.rest.join(" "), "MATCH (n) RETURN n");
+    }
+
+    #[test]
+    fn parse_args_rejects_missing_values() {
+        assert!(parse_args(argv(&["build", "--seed"])).is_err());
+        assert!(parse_args(argv(&["build", "--seed", "NaN"])).is_err());
+        assert!(parse_args(argv(&["query", "--snapshot"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let a = parse_args(argv(&["bogus"])).unwrap();
+        assert!(run(&a).is_err());
     }
 }

@@ -32,9 +32,11 @@ fn parallel_links_keep_dataset_identity() {
     let mut imp = Importer::new(&mut g, Reference::new("IHR", "ihr.rov", 0));
     let a = imp.as_node(2497);
     let p = imp.prefix_node("192.0.2.0/24").unwrap();
-    imp.link(a, Relationship::Originate, p, Props::new()).unwrap();
+    imp.link(a, Relationship::Originate, p, Props::new())
+        .unwrap();
     let mut imp = Importer::new(&mut g, Reference::new("BGPKIT", "bgpkit.pfx2as", 0));
-    imp.link(a, Relationship::Originate, p, Props::new()).unwrap();
+    imp.link(a, Relationship::Originate, p, Props::new())
+        .unwrap();
 
     let rs = iyp::cypher::query(
         &g,
@@ -57,7 +59,7 @@ fn fusion_across_all_datasets_creates_one_as_population() {
     let iyp = built();
     let w = World::generate(&SimConfig::tiny(), 42);
     assert_eq!(iyp.graph().label_count("AS"), w.ases.len());
-    assert_eq!(iyp.graph().label_count("Country") > 0, true);
+    assert!(iyp.graph().label_count("Country") > 0);
     // Prefixes: announced prefixes plus ROA parents (max-len invalids),
     // IXP peering LANs — never fewer than the announcements.
     assert!(iyp.graph().label_count("Prefix") >= w.prefixes.len());
@@ -85,7 +87,11 @@ fn refinement_adds_the_implicit_knowledge() {
         .unwrap()
         .single_int()
         .unwrap();
-    let total = iyp.query("MATCH (i:IP) RETURN count(i)").unwrap().single_int().unwrap();
+    let total = iyp
+        .query("MATCH (i:IP) RETURN count(i)")
+        .unwrap()
+        .single_int()
+        .unwrap();
     assert!(
         with_pfx * 100 >= total * 95,
         "only {with_pfx}/{total} IPs linked to prefixes"

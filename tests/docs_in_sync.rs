@@ -5,8 +5,12 @@ fn check(file: &str, expected: String) {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("documentation")
         .join(file);
-    let on_disk = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing {}: {e} — run `cargo run --example gen_docs`", path.display()));
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {}: {e} — run `cargo run --example gen_docs`",
+            path.display()
+        )
+    });
     assert_eq!(
         on_disk, expected,
         "{file} is stale — run `cargo run --example gen_docs`"
@@ -26,4 +30,9 @@ fn relationship_types_page_in_sync() {
 #[test]
 fn data_sources_page_in_sync() {
     check("data-sources.md", iyp::docs::data_sources_md());
+}
+
+#[test]
+fn telemetry_page_in_sync() {
+    check("telemetry.md", iyp::docs::telemetry_md());
 }

@@ -18,8 +18,8 @@ fn all_notebooks_run() {
         let nb = parse_notebook(&std::fs::read_to_string(&path).unwrap());
         assert!(!nb.title.is_empty(), "{} has no title", path.display());
         assert!(!nb.cells.is_empty(), "{} has no cells", path.display());
-        let report = run_notebook(&iyp, &nb)
-            .unwrap_or_else(|e| panic!("{} failed: {e}", path.display()));
+        let report =
+            run_notebook(&iyp, &nb).unwrap_or_else(|e| panic!("{} failed: {e}", path.display()));
         assert!(report.contains("```cypher"));
     }
     assert!(found >= 3, "expected at least 3 notebooks, found {found}");

@@ -74,6 +74,11 @@ fn rendered_datasets_are_deterministic() {
     let a = World::generate(&SimConfig::tiny(), 7);
     let b = World::generate(&SimConfig::tiny(), 7);
     for d in ALL_DATASETS {
-        assert_eq!(a.render_dataset(d), b.render_dataset(d), "{} differs", d.name());
+        assert_eq!(
+            a.render_dataset(d),
+            b.render_dataset(d),
+            "{} differs",
+            d.name()
+        );
     }
 }

@@ -4,8 +4,8 @@
 
 use iyp::crawlers::{RANKING_TRANCO, RANKING_UMBRELLA};
 use iyp::studies::{
-    best_practices, find_origin_disagreements, hosting_consolidation, nameserver_rpki,
-    ripki_study, rpki_by_tag, shared_infrastructure, spof_study, SpofKind,
+    best_practices, find_origin_disagreements, hosting_consolidation, nameserver_rpki, ripki_study,
+    rpki_by_tag, shared_infrastructure, spof_study, SpofKind,
 };
 use iyp::{Iyp, SimConfig};
 use std::sync::OnceLock;
@@ -20,9 +20,23 @@ fn table2_ripki() {
     let r = ripki_study(built().graph());
     // Shape (paper 2024: 0.12 / 52.2 / 55.2 / 61.5 / 68.4):
     assert!(r.invalid_pct < 5.0, "invalid {:.2}%", r.invalid_pct);
-    assert!(r.covered_pct > 35.0 && r.covered_pct < 70.0, "covered {:.1}%", r.covered_pct);
-    assert!(r.bottom_pct > r.top_pct, "bottom {:.1} <= top {:.1}", r.bottom_pct, r.top_pct);
-    assert!(r.cdn_pct > r.covered_pct, "cdn {:.1} <= overall {:.1}", r.cdn_pct, r.covered_pct);
+    assert!(
+        r.covered_pct > 35.0 && r.covered_pct < 70.0,
+        "covered {:.1}%",
+        r.covered_pct
+    );
+    assert!(
+        r.bottom_pct > r.top_pct,
+        "bottom {:.1} <= top {:.1}",
+        r.bottom_pct,
+        r.top_pct
+    );
+    assert!(
+        r.cdn_pct > r.covered_pct,
+        "cdn {:.1} <= overall {:.1}",
+        r.cdn_pct,
+        r.covered_pct
+    );
     // And a long way from the 2015 RiPKI world (6% coverage).
     assert!(r.covered_pct > 6.0 * 4.0);
 }
@@ -49,8 +63,16 @@ fn sec414_per_tag_rpki() {
 fn table3_best_practices() {
     let r = best_practices(built().graph());
     // Paper 2024: 49 / 10 / 18 / 67 / 4 / 76.
-    assert!((r.coverage_pct - 49.0).abs() < 8.0, "coverage {:.1}", r.coverage_pct);
-    assert!(r.discarded_pct > 3.0 && r.discarded_pct < 20.0, "discarded {:.1}", r.discarded_pct);
+    assert!(
+        (r.coverage_pct - 49.0).abs() < 8.0,
+        "coverage {:.1}",
+        r.coverage_pct
+    );
+    assert!(
+        r.discarded_pct > 3.0 && r.discarded_pct < 20.0,
+        "discarded {:.1}",
+        r.discarded_pct
+    );
     // 2024 inversion: exceed clearly dominates meet (paper: 67 vs 18; at
     // default scale we measure ~61 vs ~26 — small scales sit closer).
     assert!(
@@ -60,7 +82,11 @@ fn table3_best_practices() {
         r.meet_pct
     );
     assert!(r.not_meet_pct < 10.0, "not meet {:.1}", r.not_meet_pct);
-    assert!(r.in_zone_glue_pct > 65.0 && r.in_zone_glue_pct < 95.0, "glue {:.1}", r.in_zone_glue_pct);
+    assert!(
+        r.in_zone_glue_pct > 65.0 && r.in_zone_glue_pct < 95.0,
+        "glue {:.1}",
+        r.in_zone_glue_pct
+    );
 }
 
 #[test]
@@ -68,11 +94,19 @@ fn table4_and_5_shared_infrastructure() {
     let r = shared_infrastructure(built().graph());
     // Table 4 shape: /24 grouping concentrates far more than NS-set
     // grouping (paper: max 114k vs 6k).
-    assert!(r.cno_by_slash24.max >= 2 * r.cno_by_ns.max, "{:?} vs {:?}", r.cno_by_slash24, r.cno_by_ns);
+    assert!(
+        r.cno_by_slash24.max >= 2 * r.cno_by_ns.max,
+        "{:?} vs {:?}",
+        r.cno_by_slash24,
+        r.cno_by_ns
+    );
     assert!(r.cno_by_slash24.median >= r.cno_by_ns.median);
     // Table 5 row 1: BGP prefixes ≈ /24 grouping (paper: "almost identical").
     let ratio = r.cno_by_prefix.max as f64 / r.cno_by_slash24.max as f64;
-    assert!(ratio > 0.5 && ratio < 4.0, "prefix/slash24 max ratio {ratio}");
+    assert!(
+        ratio > 0.5 && ratio < 4.0,
+        "prefix/slash24 max ratio {ratio}"
+    );
     // Table 5 rows 2–3: widening to all Tranco grows every group.
     assert!(r.all_by_prefix.max >= r.cno_by_prefix.max);
     assert!(r.all_by_ns.max >= r.cno_by_ns.max);
@@ -93,7 +127,11 @@ fn sec512_hosting_consolidation() {
     let r = hosting_consolidation(built().graph());
     // Paper: 52.2% of prefixes vs 78.8% of domains vs 96% of CDN domains.
     assert!(r.domain_covered_pct > r.prefix_covered_pct + 10.0);
-    assert!(r.cdn_domain_covered_pct > 80.0, "cdn domains {:.1}", r.cdn_domain_covered_pct);
+    assert!(
+        r.cdn_domain_covered_pct > 80.0,
+        "cdn domains {:.1}",
+        r.cdn_domain_covered_pct
+    );
 }
 
 #[test]
@@ -105,7 +143,12 @@ fn figure5_country_spof() {
     let us = top.iter().find(|(c, _)| c == "US").expect("US in top-8");
     assert!(top.iter().all(|(_, v)| v[1] <= us.1[1]));
     // Direct dependencies dominate overall volume.
-    let direct: usize = r.by_country.iter().filter(|((_, k), _)| *k == SpofKind::Direct).map(|(_, n)| n).sum();
+    let direct: usize = r
+        .by_country
+        .iter()
+        .filter(|((_, k), _)| *k == SpofKind::Direct)
+        .map(|(_, n)| n)
+        .sum();
     let hier: usize = r
         .by_country
         .iter()
@@ -156,5 +199,8 @@ fn umbrella_panel_matches_tranco_shape() {
 fn sec61_dataset_comparison_finds_planted_bug() {
     let diffs = find_origin_disagreements(built().graph());
     assert!(!diffs.is_empty());
-    assert!(diffs.iter().all(|d| d.prefix.contains(':')), "bug must be IPv6-only");
+    assert!(
+        diffs.iter().all(|d| d.prefix.contains(':')),
+        "bug must be IPv6-only"
+    );
 }

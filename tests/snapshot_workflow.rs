@@ -70,7 +70,15 @@ fn weekly_refresh_changes_data_not_queries() {
     // §6.2: re-running a stored query on a newer snapshot refreshes the
     // results. Two different seeds stand in for two weekly snapshots.
     let q = "MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN count(DISTINCT x.asn)";
-    let week1 = Iyp::build(&SimConfig::tiny(), 1).unwrap().query(q).unwrap().single_int();
-    let week2 = Iyp::build(&SimConfig::tiny(), 2).unwrap().query(q).unwrap().single_int();
+    let week1 = Iyp::build(&SimConfig::tiny(), 1)
+        .unwrap()
+        .query(q)
+        .unwrap()
+        .single_int();
+    let week2 = Iyp::build(&SimConfig::tiny(), 2)
+        .unwrap()
+        .query(q)
+        .unwrap()
+        .single_int();
     assert!(week1.is_some() && week2.is_some());
 }
