@@ -1,0 +1,68 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the pipeline uses is provided, delegating
+//! to `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Placeholder scope value passed to spawned closures, mirroring
+    /// crossbeam's nested-spawn signature (`|_| ...`).
+    #[derive(Clone, Copy)]
+    pub struct NestedScope;
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a
+        /// placeholder nested-scope argument for signature parity with
+        /// crossbeam (`s.spawn(move |_| ...)`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope)),
+            }
+        }
+    }
+
+    /// Runs a closure with a thread scope; all spawned threads join
+    /// before this returns. Always `Ok` (panics propagate as panics),
+    /// keeping crossbeam's `Result` signature for `.expect(..)` callers.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 100);
+    }
+}

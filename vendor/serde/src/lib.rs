@@ -1,0 +1,382 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The real serde is unavailable in this build environment (no network,
+//! empty registry), so this crate provides the same *surface* the
+//! workspace uses — `Serialize`/`Deserialize` traits plus the matching
+//! derive macros — over a much simpler data model: every value
+//! serialises to a JSON-shaped [`content::Content`] tree. The vendored
+//! `serde_json` renders and parses that tree, so `serde_json::to_string`
+//! / `from_str` round-trip exactly as the code expects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The JSON-shaped data model all values (de)serialise through.
+pub mod content {
+    /// A serialised value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// JSON null.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Signed integer.
+        I64(i64),
+        /// Unsigned integer too large for `i64`.
+        U64(u64),
+        /// Floating-point number.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Sequence.
+        Seq(Vec<Content>),
+        /// Map with string keys, insertion-ordered.
+        Map(Vec<(String, Content)>),
+    }
+
+    /// Looks a key up in a serialised map.
+    pub fn map_get<'a>(m: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+        m.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+use content::Content;
+
+/// A deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialisation to the [`Content`] data model.
+pub trait Serialize {
+    /// Converts the value into a content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Deserialisation from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs the value from a content tree.
+    fn from_content(c: &Content) -> Result<Self, DeError>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 { Content::I64(v as i64) } else { Content::U64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::I64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    Content::U64(v) => <$t>::try_from(*v)
+                        .map_err(|_| DeError::new("integer out of range")),
+                    _ => Err(DeError::new(concat!("expected integer for ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+// 128-bit integers do not fit the JSON number model; encode as strings.
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => s.parse().map_err(|_| DeError::new("bad u128 string")),
+            Content::I64(v) if *v >= 0 => Ok(*v as u128),
+            Content::U64(v) => Ok(*v as u128),
+            _ => Err(DeError::new("expected u128")),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => s.parse().map_err(|_| DeError::new("bad i128 string")),
+            Content::I64(v) => Ok(*v as i128),
+            Content::U64(v) => Ok(*v as i128),
+            _ => Err(DeError::new("expected i128")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+macro_rules! de_float {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    _ => Err(DeError::new("expected number")),
+                }
+            }
+        }
+    )*};
+}
+
+de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => Ok(Some(T::from_content(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) => s.iter().map(T::from_content).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) if s.len() == 2 => {
+                Ok((A::from_content(&s[0])?, B::from_content(&s[1])?))
+            }
+            _ => Err(DeError::new("expected pair")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(s) if s.len() == 3 => Ok((
+                A::from_content(&s[0])?,
+                B::from_content(&s[1])?,
+                C::from_content(&s[2])?,
+            )),
+            _ => Err(DeError::new("expected triple")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected map")),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::new("expected map")),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}

@@ -1,0 +1,429 @@
+//! Derive macros for the vendored `serde` facade.
+//!
+//! This is an offline stand-in for the real `serde_derive`: it derives the
+//! simplified `Serialize`/`Deserialize` traits defined by the vendored
+//! `serde` crate (which funnel through a JSON-like `Content` tree rather
+//! than the full serde data model). It supports exactly the shapes this
+//! workspace uses: named structs, tuple/newtype structs, unit structs,
+//! and enums with unit / newtype / tuple / struct variants, plus the
+//! `#[serde(skip)]` field attribute. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated code must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Inspects an attribute group (the `[...]` body). Returns `None` for
+/// non-serde attributes (doc comments, etc.) and `Some(true)` for
+/// `#[serde(skip)]`. Any other serde attribute (`rename`, `default`,
+/// `tag`, ...) is not implemented by this stand-in, so it panics —
+/// a compile error — rather than silently producing wrong encodings.
+fn attr_is_skip(group: &proc_macro::Group) -> Option<bool> {
+    let mut toks = group.stream().into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match toks.next() {
+        Some(TokenTree::Group(inner)) => inner,
+        other => panic!("serde_derive: malformed serde attribute near {other:?}"),
+    };
+    let mut skip = false;
+    for t in inner.stream() {
+        match &t {
+            TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!(
+                "serde_derive: unsupported serde attribute `{other}`; \
+                 this vendored stand-in only implements #[serde(skip)]"
+            ),
+        }
+    }
+    Some(skip)
+}
+
+/// Consumes leading attributes; returns whether any was `serde(skip)`.
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g)) if p.as_char() == '#' => {
+                if g.delimiter() == Delimiter::Bracket && attr_is_skip(g) == Some(true) {
+                    skip = true;
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Consumes a `pub` / `pub(crate)` visibility marker if present.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    eat_attrs(&toks, &mut i);
+    eat_vis(&toks, &mut i);
+    let kw = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (type {name})");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Counts fields in a tuple-struct/-variant body (top-level commas,
+/// ignoring commas nested inside `<...>` generics).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let skip = eat_attrs(&toks, &mut i);
+        eat_vis(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field {name}, got {other}"),
+        }
+        // Skip the type: consume until a top-level comma.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        eat_attrs(&toks, &mut i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+const CONTENT: &str = "::serde::content::Content";
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("{CONTENT}::Null"),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                .collect();
+            format!("{CONTENT}::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, \
+                 ::serde::content::Content)> = ::std::vec::Vec::new();",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "__m.push((\"{0}\".to_string(), ::serde::Serialize::to_content(&self.{0})));",
+                    f.name
+                ));
+            }
+            s.push_str(&format!("{CONTENT}::Map(__m)"));
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => {CONTENT}::Str(\"{vn}\".to_string()),"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {CONTENT}::Map(::std::vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_content(__f0))]),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_content(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {CONTENT}::Map(::std::vec![(\"{vn}\".to_string(), \
+                             {CONTENT}::Seq(::std::vec![{}]))]),",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {CONTENT}::Map(::std::vec![(\"{vn}\"\
+                             .to_string(), {CONTENT}::Map(::std::vec![{}]))]),",
+                            pats.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn to_content(&self) -> ::serde::content::Content {{ {body} }}\
+         }}"
+    )
+}
+
+fn gen_named_de(path: &str, fields: &[Field], map_var: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: ::core::default::Default::default(),", f.name));
+        } else {
+            // Absent keys deserialize from Null, matching real serde:
+            // Option<T> fields become None; required types keep a clear
+            // "missing field" error instead of Null's type mismatch.
+            inits.push_str(&format!(
+                "{0}: match ::serde::content::map_get({map_var}, \"{0}\") {{\
+                     ::core::option::Option::Some(__v) => \
+                         ::serde::Deserialize::from_content(__v)?,\
+                     ::core::option::Option::None => \
+                         ::serde::Deserialize::from_content(&::serde::content::Content::Null)\
+                             .map_err(|_| ::serde::DeError::new(\"missing field `{0}`\"))?,\
+                 }},",
+                f.name
+            ));
+        }
+    }
+    format!("::core::result::Result::Ok({path} {{ {inits} }})")
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let err = |msg: &str| format!("::core::result::Result::Err(::serde::DeError::new(\"{msg}\"))");
+    let body = match shape {
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_content(__c)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                .collect();
+            format!(
+                "match __c {{ {CONTENT}::Seq(__s) if __s.len() == {n} => \
+                 ::core::result::Result::Ok({name}({})), _ => {} }}",
+                items.join(", "),
+                err(&format!("expected {n}-element sequence for {name}"))
+            )
+        }
+        Shape::NamedStruct(fields) => format!(
+            "match __c {{ {CONTENT}::Map(__m) => {{ {} }}, _ => {} }}",
+            gen_named_de(name, fields, "__m"),
+            err(&format!("expected map for {name}"))
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_content(__v)?)),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_content(&__s[{k}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => match __v {{ {CONTENT}::Seq(__s) if __s.len() == {n} => \
+                             ::core::result::Result::Ok({name}::{vn}({})), _ => {} }},",
+                            items.join(", "),
+                            err(&format!("expected {n}-element sequence for {name}::{vn}"))
+                        ));
+                    }
+                    VariantKind::Named(fields) => data_arms.push_str(&format!(
+                        "\"{vn}\" => match __v {{ {CONTENT}::Map(__fm) => {{ {} }}, _ => {} }},",
+                        gen_named_de(&format!("{name}::{vn}"), fields, "__fm"),
+                        err(&format!("expected map for {name}::{vn}"))
+                    )),
+                }
+            }
+            format!(
+                "match __c {{\
+                     {CONTENT}::Str(__s) => match __s.as_str() {{ {unit_arms} _ => {e1} }},\
+                     {CONTENT}::Map(__m) if __m.len() == 1 => {{\
+                         let (__k, __v) = &__m[0];\
+                         match __k.as_str() {{ {data_arms} _ => {e2} }}\
+                     }},\
+                     _ => {e3},\
+                 }}",
+                e1 = err(&format!("unknown unit variant of {name}")),
+                e2 = err(&format!("unknown variant of {name}")),
+                e3 = err(&format!("expected variant encoding for {name}"))
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn from_content(__c: &::serde::content::Content) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{ {body} }}\
+         }}"
+    )
+}

@@ -1,0 +1,383 @@
+//! JSON text parsing.
+
+use crate::{Error, Map, Number, Value};
+use serde::Deserialize;
+
+/// Maximum nesting depth, matching real serde_json's recursion limit.
+/// Bounds stack growth so a deeply nested document (e.g. `[[[[...`) from
+/// an untrusted client returns an error instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+/// Parses a JSON document into a deserialisable type.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_content(&serde::Serialize::to_content(&value))?)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::new(format!(
+                "recursion limit exceeded ({MAX_DEPTH} levels) at byte {}",
+                self.pos
+            )));
+        }
+        let value = self.parse_value_inner();
+        self.depth -= 1;
+        value
+    }
+
+    fn parse_value_inner(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character '{}' at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(map)),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\x08'),
+                    Some(b'f') => out.push('\x0c'),
+                    Some(b'u') => {
+                        let first = self.parse_hex4()?;
+                        let code = if (0xd800..0xdc00).contains(&first) {
+                            // High surrogate: a \uXXXX low surrogate must follow.
+                            self.eat_literal("\\u")?;
+                            let low = self.parse_hex4()?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(Error::new("invalid low surrogate"));
+                            }
+                            0x10000 + ((first - 0xd800) << 10) + (low - 0xdc00)
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid unicode escape"))?,
+                        );
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(Error::new(format!(
+                        "control character 0x{b:02x} must be escaped in string at byte {}",
+                        self.pos - 1
+                    )))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the multi-byte UTF-8 sequence.
+                    let start = self.pos - 1;
+                    let width = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(Error::new("invalid utf-8 in string")),
+                    };
+                    let end = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::new("truncated utf-8 in string"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error::new("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let chunk = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+        if !chunk.iter().all(|b| b.is_ascii_hexdigit()) {
+            return Err(Error::new("bad \\u escape"));
+        }
+        let s = std::str::from_utf8(chunk).map_err(|_| Error::new("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::new("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part per RFC 8259: `0` or a nonzero digit followed by
+        // more digits; a leading zero may not be followed by a digit.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(Error::new(format!(
+                        "leading zero in number at byte {start}"
+                    )));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(Error::new(format!("invalid number at byte {start}"))),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::new(format!(
+                    "expected digit after '.' at byte {}",
+                    self.pos
+                )));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error::new(format!(
+                    "expected digit in exponent at byte {}",
+                    self.pos
+                )));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+        }
+        let v: f64 = text
+            .parse()
+            .map_err(|_| Error::new(format!("invalid number '{}'", text)))?;
+        Number::from_f64(v)
+            .map(Value::Number)
+            .ok_or_else(|| Error::new("non-finite number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::from_str;
+    use crate::Value;
+
+    #[test]
+    fn depth_limit_rejects_deep_nesting() {
+        // 200k-deep "[[[..." fits the server's request cap but must error
+        // cleanly instead of overflowing the stack.
+        let deep = "[".repeat(200_000);
+        let err = from_str::<Value>(&deep).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+
+        let obj = "{\"k\":".repeat(200_000);
+        let err = from_str::<Value>(&obj).unwrap_err();
+        assert!(err.to_string().contains("recursion limit"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_allows_reasonable_nesting() {
+        let n = 100;
+        let doc = format!("{}{}", "[".repeat(n), "]".repeat(n));
+        from_str::<Value>(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_raw_control_chars_in_strings() {
+        assert!(from_str::<Value>("\"a\nb\"").is_err());
+        assert!(from_str::<Value>("\"a\u{0}b\"").is_err());
+        // Escaped forms stay valid.
+        assert_eq!(from_str::<Value>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        for bad in ["01", "-01", "1.", ".5", "1e", "1e+", "-", "1.e3"] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+        for good in ["0", "-0", "10", "1.5", "1e3", "-0.5E+10", "0.0"] {
+            assert!(from_str::<Value>(good).is_ok(), "rejected {good:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_unicode_escapes() {
+        // from_str_radix would accept a leading '+'; JSON must not.
+        assert!(from_str::<Value>("\"\\u+123\"").is_err());
+        assert!(from_str::<Value>("\"\\u12g4\"").is_err());
+        assert_eq!(from_str::<Value>("\"\\u0041\"").unwrap(), "A");
+    }
+
+    #[test]
+    fn missing_option_fields_deserialize_to_none() {
+        #[derive(Debug, serde::Deserialize)]
+        struct Ref {
+            name: String,
+            info_url: Option<String>,
+        }
+
+        let r: Ref = from_str("{\"name\":\"x\"}").unwrap();
+        assert_eq!(r.name, "x");
+        assert_eq!(r.info_url, None);
+
+        // Required (non-Option) fields still error clearly when absent.
+        let err = from_str::<Ref>("{\"info_url\":\"u\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field `name`"), "{err}");
+    }
+}

@@ -1,0 +1,731 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the subset of serde_json the workspace uses: the [`Value`]
+//! tree, the [`json!`] macro, [`to_string`], [`to_value`], [`from_str`],
+//! and an insertion-ordered [`Map`]. Values parse from and render to
+//! real JSON text.
+
+use serde::content::Content;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+mod de;
+mod ser;
+
+pub use de::from_str;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Map<String, Value>),
+}
+
+/// A JSON number: integer or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    I(i64),
+    U(u64),
+    F(f64),
+}
+
+impl Number {
+    /// Returns the number as `i64` if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::I(v) => Some(v),
+            N::U(v) => i64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// Returns the number as `u64` if it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::I(v) => u64::try_from(v).ok(),
+            N::U(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// Returns the number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::I(v) => Some(v as f64),
+            N::U(v) => Some(v as f64),
+            N::F(v) => Some(v),
+        }
+    }
+
+    /// Builds a number from an `f64`; returns `None` for NaN/infinite.
+    pub fn from_f64(v: f64) -> Option<Number> {
+        if v.is_finite() {
+            Some(Number { n: N::F(v) })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::I(v) => write!(f, "{}", v),
+            N::U(v) => write!(f, "{}", v),
+            // {:?} keeps a trailing ".0" on whole floats, like serde_json.
+            N::F(v) => write!(f, "{:?}", v),
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        Number { n: N::I(v) }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        if v <= i64::MAX as u64 {
+            Number { n: N::I(v as i64) }
+        } else {
+            Number { n: N::U(v) }
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts a key/value pair, replacing any existing value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in self.entries.iter_mut() {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// True if the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl FromIterator<(String, Value)> for Map<String, Value> {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl IntoIterator for Map<String, Value> {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map<String, Value> {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (String, Value)>,
+        fn(&'a (String, Value)) -> (&'a String, &'a Value),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        fn split(e: &(String, Value)) -> (&String, &Value) {
+            (&e.0, &e.1)
+        }
+        self.entries.iter().map(split)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Returns the string slice if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `i64` if it is an integer number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u64` if it is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the array if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Returns the object if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object field lookup that returns `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        ser::write_value(f, self)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+// ----------------------------------------------------------- conversions
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(Number::from(v as i64)) }
+        }
+    )*};
+}
+
+from_int!(i8, i16, i32, i64, u8, u16, u32, isize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::from(v as u64))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Number::from_f64(v as f64)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Number::from_f64(v)
+            .map(Value::Number)
+            .unwrap_or(Value::Null)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(m: Map<String, Value>) -> Self {
+        Value::Object(m)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ----------------------------------------------- comparisons (for tests)
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_i64() == Some(*other as i64)
+            }
+        }
+    )*};
+}
+
+eq_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<usize> for Value {
+    fn eq(&self, other: &usize) -> bool {
+        self.as_u64() == Some(*other as u64)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<f32> for Value {
+    fn eq(&self, other: &f32) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+
+// ------------------------------------------- serde data-model bridging
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => match n.n {
+                N::I(v) => Content::I64(v),
+                N::U(v) => Content::U64(v),
+                N::F(v) => Content::F64(v),
+            },
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(a) => Content::Seq(a.iter().map(Serialize::to_content).collect()),
+            Value::Object(m) => {
+                Content::Map(m.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+            }
+        }
+    }
+}
+
+impl Serialize for Map<String, Value> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for Value {
+    fn from_content(c: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(c))
+    }
+}
+
+fn content_to_value(c: &Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(*b),
+        Content::I64(v) => Value::Number(Number::from(*v)),
+        Content::U64(v) => Value::Number(Number::from(*v)),
+        Content::F64(v) => Number::from_f64(*v)
+            .map(Value::Number)
+            .unwrap_or(Value::Null),
+        Content::Str(s) => Value::String(s.clone()),
+        Content::Seq(s) => Value::Array(s.iter().map(content_to_value).collect()),
+        Content::Map(m) => Value::Object(
+            m.iter()
+                .map(|(k, v)| (k.clone(), content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// A serialisation or deserialisation error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialises a value to compact JSON text.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let v = content_to_value(&value.to_content());
+    Ok(v.to_string())
+}
+
+/// Serialises a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let v = content_to_value(&value.to_content());
+    let mut out = String::new();
+    ser::write_pretty(&mut out, &v, 0);
+    Ok(out)
+}
+
+/// Converts a serialisable value into a [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(content_to_value(&value.to_content()))
+}
+
+/// Converts a [`Value`] tree into a deserialisable type.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    Ok(T::from_content(&value.to_content())?)
+}
+
+/// Builds a [`Value`] from JSON-like literal syntax.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Internal tt-muncher behind [`json!`]. Not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ------------------------------------------------- array elements
+    // Done, with or without trailing comma.
+    (@array [$($elems:expr,)*]) => {
+        <[_]>::into_vec(::std::boxed::Box::new([$($elems,)*]))
+    };
+    (@array [$($elems:expr),*]) => {
+        <[_]>::into_vec(::std::boxed::Box::new([$($elems),*]))
+    };
+    // Next element is a keyword or nested structure.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*
+        )
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(
+            @array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*
+        )
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    // Last element is an expression with no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after the most recent element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ------------------------------------------------- object entries
+    // The state is: accumulated-key parens, remaining tokens, and a
+    // copy of the remaining tokens for error recovery.
+    (@object $object:ident () () ()) => {};
+    // Insert the completed entry, then continue after the comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final entry.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Value is a keyword or nested structure.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    // Value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    // Value is the last expression, no trailing comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$($key)+] ($crate::json_internal!($value))
+        );
+    };
+    // Munch one more token into the current key.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ------------------------------------------------- primary forms
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::to_value(&$other).unwrap() };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({"a": 1, "b": [true, null, "x"], "c": {"d": 2.5}});
+        assert_eq!(v["a"], 1);
+        assert_eq!(v["b"][0], true);
+        assert!(v["b"][1].is_null());
+        assert_eq!(v["b"][2], "x");
+        assert_eq!(v["c"]["d"], 2.5);
+    }
+
+    #[test]
+    fn roundtrip_text() {
+        let v = json!({"s": "he\"llo\n", "n": -3, "f": 1.0, "a": [1, 2]});
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn float_renders_with_point() {
+        assert_eq!(json!(1.0).to_string(), "1.0");
+        assert_eq!(json!(0.25).to_string(), "0.25");
+    }
+
+    #[test]
+    fn expression_values() {
+        let name = String::from("ok");
+        let v = json!({"k": name, "n": 2 + 3});
+        assert_eq!(v["k"], "ok");
+        assert_eq!(v["n"], 5);
+    }
+}

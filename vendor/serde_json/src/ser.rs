@@ -1,0 +1,92 @@
+//! JSON text rendering.
+
+use crate::Value;
+use std::fmt;
+
+pub(crate) fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write!(f, "{}", n),
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(a) => {
+            f.write_str("[")?;
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_value(f, item)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(m) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(f, k)?;
+                f.write_str(":")?;
+                write_value(f, val)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+fn write_escaped(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\x08' => f.write_str("\\b")?,
+            '\x0c' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+pub(crate) fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    use fmt::Write;
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                let _ = write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{}", other);
+        }
+    }
+}
