@@ -1,0 +1,50 @@
+//! Journal write path: WAL append throughput under each fsync policy,
+//! plus frame encoding alone. Reported in EXPERIMENTS.md §Durability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_core::graph::{Graph, GraphOp, Props, Value};
+use iyp_core::journal::{encode_frame, FsyncPolicy, WalWriter};
+use std::hint::black_box;
+
+/// Records one realistic write-query batch: a MERGE that creates the
+/// node plus a property SET — the dominant op shape in IYP updates.
+fn sample_batch(asn: i64) -> Vec<GraphOp> {
+    let mut g = Graph::new();
+    g.begin_recording();
+    let n = g.merge_node("AS", "asn", asn as u32, Props::new());
+    g.set_node_prop(n, "name", Value::Str(format!("AS{asn}")))
+        .unwrap();
+    g.take_recording()
+}
+
+fn bench(c: &mut Criterion) {
+    let batch = sample_batch(64500);
+    println!(
+        "[journal_append] batch: {} ops, {} bytes framed",
+        batch.len(),
+        encode_frame(&batch).len()
+    );
+
+    let mut g = c.benchmark_group("journal_append");
+    g.sample_size(10);
+    g.bench_function("encode_frame", |b| {
+        b.iter(|| black_box(encode_frame(&batch).len()))
+    });
+    for (tag, policy) in [
+        ("fsync_never", FsyncPolicy::Never),
+        ("fsync_every_32", FsyncPolicy::EveryN(32)),
+        ("fsync_always", FsyncPolicy::Always),
+    ] {
+        let path = std::env::temp_dir().join(format!("iyp-bench-wal-{tag}.log"));
+        let mut w = WalWriter::create(&path, policy).expect("create wal");
+        g.bench_function(tag, |b| {
+            b.iter(|| black_box(w.append_batch(&batch).expect("append")))
+        });
+        drop(w);
+        let _ = std::fs::remove_file(&path);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

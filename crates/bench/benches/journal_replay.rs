@@ -1,0 +1,61 @@
+//! Journal recovery path: replay throughput of a WAL full of write
+//! batches, and a full checkpoint of the bench-scale graph. Reported
+//! in EXPERIMENTS.md §Durability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iyp_bench::build_iyp;
+use iyp_core::graph::{Graph, Props, Value};
+use iyp_core::journal::{replay_into, DurableGraph, FsyncPolicy, WalWriter};
+use std::hint::black_box;
+
+const BATCHES: i64 = 2_000;
+
+/// Writes a WAL of `BATCHES` two-op batches (merge + set, the dominant
+/// update shape) and returns its path.
+fn build_wal(path: &std::path::Path) {
+    let mut g = Graph::new();
+    let mut w = WalWriter::create(path, FsyncPolicy::Never).expect("create wal");
+    for asn in 0..BATCHES {
+        g.begin_recording();
+        let n = g.merge_node("AS", "asn", asn as u32, Props::new());
+        g.set_node_prop(n, "name", Value::Str(format!("AS{asn}")))
+            .unwrap();
+        w.append_batch(&g.take_recording()).expect("append");
+    }
+    w.sync().expect("sync");
+}
+
+fn bench(c: &mut Criterion) {
+    let wal = std::env::temp_dir().join("iyp-bench-replay.log");
+    build_wal(&wal);
+    println!(
+        "[journal_replay] WAL: {BATCHES} batches, {} KiB",
+        std::fs::metadata(&wal).unwrap().len() / 1024
+    );
+
+    let mut g = c.benchmark_group("journal_replay");
+    g.sample_size(10);
+    g.bench_function("replay_wal", |b| {
+        b.iter(|| {
+            let mut graph = Graph::new();
+            let report = replay_into(&mut graph, &wal, false).expect("replay");
+            black_box((graph.node_count(), report.ops))
+        })
+    });
+    let _ = std::fs::remove_file(&wal);
+
+    // Checkpoint cost at bench scale: snapshot write + WAL rotation.
+    let iyp = build_iyp();
+    let dir = std::env::temp_dir().join("iyp-bench-checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable =
+        DurableGraph::seed(&dir, iyp.into_graph(), FsyncPolicy::Never).expect("seed journal");
+    g.bench_function("checkpoint", |b| {
+        b.iter(|| black_box(durable.checkpoint().expect("checkpoint")))
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

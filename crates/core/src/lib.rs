@@ -21,6 +21,7 @@ pub mod notebook;
 pub use iyp_crawlers as crawlers;
 pub use iyp_cypher as cypher;
 pub use iyp_graph as graph;
+pub use iyp_journal as journal;
 pub use iyp_netdata as netdata;
 pub use iyp_ontology as ontology;
 pub use iyp_pipeline as pipeline;
@@ -95,6 +96,18 @@ impl Iyp {
     /// it behind an `Arc` with a query server).
     pub fn into_graph(self) -> Graph {
         self.graph
+    }
+
+    /// Consumes the instance, seeding a journal directory with the
+    /// graph (generation-1 snapshot + empty WAL) and returning the
+    /// durable handle — the journaled-build workflow: subsequent writes
+    /// go through the WAL and survive crashes.
+    pub fn into_durable(
+        self,
+        dir: &Path,
+        policy: journal::FsyncPolicy,
+    ) -> Result<journal::DurableGraph, journal::JournalError> {
+        journal::DurableGraph::seed(dir, self.graph, policy)
     }
 
     /// Runs a Cypher query without parameters.

@@ -39,6 +39,8 @@ pub fn query_write(
     text: &str,
     params: &Params,
 ) -> Result<(ResultSet, WriteSummary), CypherError> {
+    let _span = iyp_telemetry::span(iyp_telemetry::names::CYPHER_QUERY_SECONDS);
+    iyp_telemetry::counter(iyp_telemetry::names::CYPHER_WRITE_QUERIES_TOTAL).incr();
     let ast = parse(text)?;
     if ast.mode != QueryMode::Normal {
         return Err(CypherError::runtime(

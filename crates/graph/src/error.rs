@@ -15,6 +15,9 @@ pub enum GraphError {
     InvalidKeyType { key: String },
     /// Snapshot (de)serialisation failed.
     Snapshot(String),
+    /// Replaying a recorded op diverged from the recorded outcome
+    /// (e.g. the store would assign a different id than the log claims).
+    Replay(String),
 }
 
 impl fmt::Display for GraphError {
@@ -26,6 +29,7 @@ impl fmt::Display for GraphError {
                 write!(f, "property {key:?} has a type that cannot be a merge key")
             }
             GraphError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            GraphError::Replay(msg) => write!(f, "replay diverged: {msg}"),
         }
     }
 }

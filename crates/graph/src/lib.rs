@@ -21,6 +21,7 @@
 pub mod algo;
 pub mod error;
 pub mod node;
+pub mod op;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -29,6 +30,7 @@ pub mod value;
 
 pub use error::GraphError;
 pub use node::{Direction, Node, NodeId, Rel, RelId};
+pub use op::GraphOp;
 pub use stats::GraphStats;
 pub use store::Graph;
 pub use symbols::{LabelId, PropKeyId, RelTypeId, SymbolTable};

@@ -1,0 +1,410 @@
+//! Logical graph operations: the unit of journaling and replay.
+//!
+//! Every mutation the store can perform is expressible as a [`GraphOp`].
+//! Live writes *record* the ops they perform (see
+//! [`Graph::begin_recording`]), a write-ahead log persists them, and
+//! crash recovery *replays* them through [`Graph::apply`] — one shared
+//! code path, so a replayed log reproduces the exact same state,
+//! including node and relationship ids.
+//!
+//! # Effect logging
+//!
+//! Ops are *effects*, not intents: a `MERGE` records which node it
+//! resolved to and whether it created one, and creations record the id
+//! the store assigned. This makes replay deterministic by construction
+//! — it never re-runs index lookups whose outcome could differ after a
+//! snapshot reload — and lets [`Graph::apply`] *verify* determinism:
+//! if a replayed creation would assign a different id than the recorded
+//! one, replay fails with [`GraphError::Replay`] instead of silently
+//! diverging.
+
+use crate::error::GraphError;
+use crate::node::{NodeId, RelId};
+use crate::snapshot::{get_props, get_str, get_value, put_props, put_str, put_value};
+use crate::value::{KeyValue, Props, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One logical mutation of the graph, as recorded by a live write.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphOp {
+    /// `Graph::create_node` — `id` is the id the store assigned.
+    CreateNode {
+        /// Assigned node id (next dense id at the time of the write).
+        id: NodeId,
+        /// Label names (resolved to the symbol table on apply).
+        labels: Vec<String>,
+        /// Initial properties.
+        props: Props,
+    },
+    /// `Graph::merge_node` — with the resolution it took.
+    MergeNode {
+        /// Merge label.
+        label: String,
+        /// Merge key property name.
+        key: String,
+        /// Merge key value.
+        key_value: KeyValue,
+        /// Extra properties merged into the node.
+        props: Props,
+        /// The node the merge resolved to.
+        node: NodeId,
+        /// Whether the node was created (vs. merged into an existing
+        /// one). Replay honours this decision instead of re-probing
+        /// the unique-key index.
+        created: bool,
+    },
+    /// `Graph::add_label`.
+    AddLabel {
+        /// Target node.
+        node: NodeId,
+        /// Label name to add.
+        label: String,
+    },
+    /// `Graph::set_node_prop`.
+    SetNodeProp {
+        /// Target node.
+        node: NodeId,
+        /// Property key.
+        key: String,
+        /// New value.
+        value: Value,
+    },
+    /// `Graph::set_rel_prop`.
+    SetRelProp {
+        /// Target relationship.
+        rel: RelId,
+        /// Property key.
+        key: String,
+        /// New value.
+        value: Value,
+    },
+    /// `Graph::create_rel` — `id` is the id the store assigned.
+    CreateRel {
+        /// Assigned relationship id.
+        id: RelId,
+        /// Source node.
+        src: NodeId,
+        /// Relationship type name.
+        rel_type: String,
+        /// Destination node.
+        dst: NodeId,
+        /// Relationship properties.
+        props: Props,
+    },
+    /// `Graph::delete_rel`.
+    DeleteRel {
+        /// Relationship to delete.
+        rel: RelId,
+    },
+    /// `Graph::delete_node` (detach semantics: the cascade over the
+    /// node's relationships is implied, not recorded separately).
+    DeleteNode {
+        /// Node to delete.
+        node: NodeId,
+    },
+}
+
+impl GraphOp {
+    /// Short operation name (for reports and debugging).
+    pub fn name(&self) -> &'static str {
+        match self {
+            GraphOp::CreateNode { .. } => "create_node",
+            GraphOp::MergeNode { .. } => "merge_node",
+            GraphOp::AddLabel { .. } => "add_label",
+            GraphOp::SetNodeProp { .. } => "set_node_prop",
+            GraphOp::SetRelProp { .. } => "set_rel_prop",
+            GraphOp::CreateRel { .. } => "create_rel",
+            GraphOp::DeleteRel { .. } => "delete_rel",
+            GraphOp::DeleteNode { .. } => "delete_node",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Binary codec (shares the snapshot value encoding)
+// ----------------------------------------------------------------------
+
+const TAG_CREATE_NODE: u8 = 1;
+const TAG_MERGE_NODE: u8 = 2;
+const TAG_ADD_LABEL: u8 = 3;
+const TAG_SET_NODE_PROP: u8 = 4;
+const TAG_SET_REL_PROP: u8 = 5;
+const TAG_CREATE_REL: u8 = 6;
+const TAG_DELETE_REL: u8 = 7;
+const TAG_DELETE_NODE: u8 = 8;
+
+fn put_key_value(buf: &mut BytesMut, kv: &KeyValue) {
+    match kv {
+        KeyValue::Int(i) => {
+            buf.put_u8(0);
+            buf.put_i64_le(*i);
+        }
+        KeyValue::Str(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_key_value(buf: &mut Bytes) -> Result<KeyValue, GraphError> {
+    if buf.remaining() < 1 {
+        return Err(GraphError::Snapshot("truncated key-value tag".into()));
+    }
+    match buf.get_u8() {
+        0 => {
+            if buf.remaining() < 8 {
+                return Err(GraphError::Snapshot("truncated key-value int".into()));
+            }
+            Ok(KeyValue::Int(buf.get_i64_le()))
+        }
+        1 => Ok(KeyValue::Str(get_str(buf)?)),
+        t => Err(GraphError::Snapshot(format!("unknown key-value tag {t}"))),
+    }
+}
+
+/// Appends the binary encoding of one op to `buf`.
+pub fn encode_op(buf: &mut BytesMut, op: &GraphOp) {
+    match op {
+        GraphOp::CreateNode { id, labels, props } => {
+            buf.put_u8(TAG_CREATE_NODE);
+            buf.put_u64_le(id.0);
+            buf.put_u16_le(labels.len() as u16);
+            for l in labels {
+                put_str(buf, l);
+            }
+            put_props(buf, props);
+        }
+        GraphOp::MergeNode {
+            label,
+            key,
+            key_value,
+            props,
+            node,
+            created,
+        } => {
+            buf.put_u8(TAG_MERGE_NODE);
+            put_str(buf, label);
+            put_str(buf, key);
+            put_key_value(buf, key_value);
+            put_props(buf, props);
+            buf.put_u64_le(node.0);
+            buf.put_u8(*created as u8);
+        }
+        GraphOp::AddLabel { node, label } => {
+            buf.put_u8(TAG_ADD_LABEL);
+            buf.put_u64_le(node.0);
+            put_str(buf, label);
+        }
+        GraphOp::SetNodeProp { node, key, value } => {
+            buf.put_u8(TAG_SET_NODE_PROP);
+            buf.put_u64_le(node.0);
+            put_str(buf, key);
+            put_value(buf, value);
+        }
+        GraphOp::SetRelProp { rel, key, value } => {
+            buf.put_u8(TAG_SET_REL_PROP);
+            buf.put_u64_le(rel.0);
+            put_str(buf, key);
+            put_value(buf, value);
+        }
+        GraphOp::CreateRel {
+            id,
+            src,
+            rel_type,
+            dst,
+            props,
+        } => {
+            buf.put_u8(TAG_CREATE_REL);
+            buf.put_u64_le(id.0);
+            buf.put_u64_le(src.0);
+            put_str(buf, rel_type);
+            buf.put_u64_le(dst.0);
+            put_props(buf, props);
+        }
+        GraphOp::DeleteRel { rel } => {
+            buf.put_u8(TAG_DELETE_REL);
+            buf.put_u64_le(rel.0);
+        }
+        GraphOp::DeleteNode { node } => {
+            buf.put_u8(TAG_DELETE_NODE);
+            buf.put_u64_le(node.0);
+        }
+    }
+}
+
+fn get_u64(buf: &mut Bytes, what: &str) -> Result<u64, GraphError> {
+    if buf.remaining() < 8 {
+        return Err(GraphError::Snapshot(format!("truncated {what}")));
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Decodes one op from `buf`, advancing it past the encoding.
+pub fn decode_op(buf: &mut Bytes) -> Result<GraphOp, GraphError> {
+    if buf.remaining() < 1 {
+        return Err(GraphError::Snapshot("truncated op tag".into()));
+    }
+    match buf.get_u8() {
+        TAG_CREATE_NODE => {
+            let id = NodeId(get_u64(buf, "node id")?);
+            if buf.remaining() < 2 {
+                return Err(GraphError::Snapshot("truncated label count".into()));
+            }
+            let n = buf.get_u16_le() as usize;
+            let mut labels = Vec::with_capacity(n);
+            for _ in 0..n {
+                labels.push(get_str(buf)?);
+            }
+            let props = get_props(buf)?;
+            Ok(GraphOp::CreateNode { id, labels, props })
+        }
+        TAG_MERGE_NODE => {
+            let label = get_str(buf)?;
+            let key = get_str(buf)?;
+            let key_value = get_key_value(buf)?;
+            let props = get_props(buf)?;
+            let node = NodeId(get_u64(buf, "merge node id")?);
+            if buf.remaining() < 1 {
+                return Err(GraphError::Snapshot("truncated merge flag".into()));
+            }
+            let created = buf.get_u8() != 0;
+            Ok(GraphOp::MergeNode {
+                label,
+                key,
+                key_value,
+                props,
+                node,
+                created,
+            })
+        }
+        TAG_ADD_LABEL => {
+            let node = NodeId(get_u64(buf, "node id")?);
+            let label = get_str(buf)?;
+            Ok(GraphOp::AddLabel { node, label })
+        }
+        TAG_SET_NODE_PROP => {
+            let node = NodeId(get_u64(buf, "node id")?);
+            let key = get_str(buf)?;
+            let value = get_value(buf)?;
+            Ok(GraphOp::SetNodeProp { node, key, value })
+        }
+        TAG_SET_REL_PROP => {
+            let rel = RelId(get_u64(buf, "rel id")?);
+            let key = get_str(buf)?;
+            let value = get_value(buf)?;
+            Ok(GraphOp::SetRelProp { rel, key, value })
+        }
+        TAG_CREATE_REL => {
+            let id = RelId(get_u64(buf, "rel id")?);
+            let src = NodeId(get_u64(buf, "src node")?);
+            let rel_type = get_str(buf)?;
+            let dst = NodeId(get_u64(buf, "dst node")?);
+            let props = get_props(buf)?;
+            Ok(GraphOp::CreateRel {
+                id,
+                src,
+                rel_type,
+                dst,
+                props,
+            })
+        }
+        TAG_DELETE_REL => Ok(GraphOp::DeleteRel {
+            rel: RelId(get_u64(buf, "rel id")?),
+        }),
+        TAG_DELETE_NODE => Ok(GraphOp::DeleteNode {
+            node: NodeId(get_u64(buf, "node id")?),
+        }),
+        t => Err(GraphError::Snapshot(format!("unknown op tag {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::props;
+
+    fn sample_ops() -> Vec<GraphOp> {
+        vec![
+            GraphOp::CreateNode {
+                id: NodeId(0),
+                labels: vec!["AS".into(), "Tier1".into()],
+                props: props([("asn", Value::Int(2497)), ("name", "IIJ".into())]),
+            },
+            GraphOp::MergeNode {
+                label: "Prefix".into(),
+                key: "prefix".into(),
+                key_value: KeyValue::Str("192.0.2.0/24".into()),
+                props: props([("af", Value::Int(4))]),
+                node: NodeId(1),
+                created: true,
+            },
+            GraphOp::MergeNode {
+                label: "AS".into(),
+                key: "asn".into(),
+                key_value: KeyValue::Int(2497),
+                props: Props::new(),
+                node: NodeId(0),
+                created: false,
+            },
+            GraphOp::AddLabel {
+                node: NodeId(0),
+                label: "Transit".into(),
+            },
+            GraphOp::SetNodeProp {
+                node: NodeId(1),
+                key: "tags".into(),
+                value: Value::List(vec![Value::Null, Value::Bool(true), Value::Float(0.5)]),
+            },
+            GraphOp::CreateRel {
+                id: RelId(0),
+                src: NodeId(0),
+                rel_type: "ORIGINATE".into(),
+                dst: NodeId(1),
+                props: props([("reference_name", "bgpkit.pfx2as".into())]),
+            },
+            GraphOp::SetRelProp {
+                rel: RelId(0),
+                key: "weight".into(),
+                value: Value::Float(1.25),
+            },
+            GraphOp::DeleteRel { rel: RelId(0) },
+            GraphOp::DeleteNode { node: NodeId(1) },
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        for op in sample_ops() {
+            let mut buf = BytesMut::new();
+            encode_op(&mut buf, &op);
+            let mut bytes = buf.freeze();
+            let back = decode_op(&mut bytes).unwrap();
+            assert_eq!(back, op);
+            assert_eq!(bytes.remaining(), 0, "decoder must consume the encoding");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_truncations() {
+        for op in sample_ops() {
+            let mut buf = BytesMut::new();
+            encode_op(&mut buf, &op);
+            let full = buf.freeze();
+            for cut in 0..full.len() {
+                let mut partial = Bytes::copy_from_slice(&full.to_vec()[..cut]);
+                assert!(
+                    decode_op(&mut partial).is_err(),
+                    "truncation at {cut} of {} must fail for {}",
+                    full.len(),
+                    op.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_rejects_unknown_tag() {
+        let mut bytes = Bytes::copy_from_slice(&[99]);
+        assert!(decode_op(&mut bytes).is_err());
+    }
+}

@@ -66,12 +66,12 @@ pub fn load_json(path: &Path) -> Result<Graph, GraphError> {
 // Binary format
 // ----------------------------------------------------------------------
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, GraphError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, GraphError> {
     if buf.remaining() < 4 {
         return Err(GraphError::Snapshot("truncated string length".into()));
     }
@@ -83,7 +83,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, GraphError> {
     String::from_utf8(b.to_vec()).map_err(|e| GraphError::Snapshot(e.to_string()))
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(0),
         Value::Bool(b) => {
@@ -112,7 +112,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_value(buf: &mut Bytes) -> Result<Value, GraphError> {
+pub(crate) fn get_value(buf: &mut Bytes) -> Result<Value, GraphError> {
     if buf.remaining() < 1 {
         return Err(GraphError::Snapshot("truncated value tag".into()));
     }
@@ -152,7 +152,7 @@ fn get_value(buf: &mut Bytes) -> Result<Value, GraphError> {
     }
 }
 
-fn put_props(buf: &mut BytesMut, props: &Props) {
+pub(crate) fn put_props(buf: &mut BytesMut, props: &Props) {
     buf.put_u32_le(props.len() as u32);
     for (k, v) in props {
         put_str(buf, k);
@@ -160,7 +160,7 @@ fn put_props(buf: &mut BytesMut, props: &Props) {
     }
 }
 
-fn get_props(buf: &mut Bytes) -> Result<Props, GraphError> {
+pub(crate) fn get_props(buf: &mut Bytes) -> Result<Props, GraphError> {
     if buf.remaining() < 4 {
         return Err(GraphError::Snapshot("truncated props length".into()));
     }

@@ -2,6 +2,7 @@
 
 use crate::error::GraphError;
 use crate::node::{Direction, Node, NodeId, Rel, RelId};
+use crate::op::GraphOp;
 use crate::symbols::{LabelId, PropKeyId, RelTypeId, SymbolTable};
 use crate::value::{KeyValue, Props, Value};
 use std::collections::{BTreeSet, HashMap};
@@ -31,6 +32,9 @@ pub struct Graph {
     key_index: HashMap<(LabelId, PropKeyId), HashMap<KeyValue, NodeId>>,
     deleted_nodes: u64,
     deleted_rels: u64,
+    /// When `Some`, every mutation appends its effect [`GraphOp`] here
+    /// (the journaling hook; see [`Graph::begin_recording`]).
+    recorder: Option<Vec<GraphOp>>,
 }
 
 impl Graph {
@@ -64,10 +68,24 @@ impl Graph {
 
     /// Creates a new node with the given label names and properties.
     pub fn create_node<S: AsRef<str>>(&mut self, labels: &[S], props: Props) -> NodeId {
+        if self.recorder.is_some() {
+            let op = GraphOp::CreateNode {
+                id: NodeId(self.nodes.len() as u64),
+                labels: labels.iter().map(|l| l.as_ref().to_string()).collect(),
+                props: props.clone(),
+            };
+            self.record(|| op);
+        }
         let label_ids: Vec<LabelId> = labels
             .iter()
             .map(|l| self.symbols.label(l.as_ref()))
             .collect();
+        self.create_node_with_ids(label_ids, props)
+    }
+
+    /// Raw node insertion with pre-interned labels (shared by
+    /// [`Graph::create_node`] and the merge-create path; never records).
+    fn create_node_with_ids(&mut self, label_ids: Vec<LabelId>, props: Props) -> NodeId {
         let id = NodeId(self.nodes.len() as u64);
         for l in &label_ids {
             self.label_index.entry(*l).or_default().insert(id);
@@ -95,15 +113,41 @@ impl Graph {
         let label_id = self.symbols.label(label);
         let key_id = self.symbols.prop_key(key);
         let kv: KeyValue = key_value.into();
-        if let Some(existing) = self
+        let existing = self
             .key_index
             .get(&(label_id, key_id))
             .and_then(|m| m.get(&kv))
-            .copied()
-        {
+            .copied();
+        if self.recorder.is_some() {
+            let op = GraphOp::MergeNode {
+                label: label.to_string(),
+                key: key.to_string(),
+                key_value: kv.clone(),
+                props: extra_props.clone(),
+                node: existing.unwrap_or(NodeId(self.nodes.len() as u64)),
+                created: existing.is_none(),
+            };
+            self.record(|| op);
+        }
+        self.merge_resolved(label_id, key_id, key, kv, extra_props, existing)
+    }
+
+    /// Applies a merge whose resolution is already known: the shared
+    /// tail of live merges (resolution = an index probe) and replayed
+    /// merges (resolution = what the log recorded).
+    fn merge_resolved(
+        &mut self,
+        label_id: LabelId,
+        key_id: PropKeyId,
+        key: &str,
+        kv: KeyValue,
+        extra_props: Props,
+        existing: Option<NodeId>,
+    ) -> NodeId {
+        if let Some(existing) = existing {
             let node = self.nodes[existing.0 as usize]
                 .as_mut()
-                .expect("indexed node must be live");
+                .expect("merge target must be live");
             for (k, v) in extra_props {
                 node.props.insert(k, v);
             }
@@ -111,7 +155,7 @@ impl Graph {
         }
         let mut props = extra_props;
         props.insert(key.to_string(), kv.to_value());
-        let id = self.create_node(&[label], props);
+        let id = self.create_node_with_ids(vec![label_id], props);
         self.key_index
             .entry((label_id, key_id))
             .or_default()
@@ -142,6 +186,10 @@ impl Graph {
             n.labels.push(label_id);
             self.label_index.entry(label_id).or_default().insert(node);
         }
+        self.record(|| GraphOp::AddLabel {
+            node,
+            label: label.to_string(),
+        });
         Ok(())
     }
 
@@ -152,12 +200,22 @@ impl Graph {
         key: &str,
         value: Value,
     ) -> Result<(), GraphError> {
-        let n = self
-            .nodes
-            .get_mut(node.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(GraphError::NodeNotFound(node))?;
-        n.props.insert(key.to_string(), value);
+        if self.node(node).is_none() {
+            return Err(GraphError::NodeNotFound(node));
+        }
+        if self.recorder.is_some() {
+            let op = GraphOp::SetNodeProp {
+                node,
+                key: key.to_string(),
+                value: value.clone(),
+            };
+            self.record(|| op);
+        }
+        self.nodes[node.0 as usize]
+            .as_mut()
+            .expect("checked above")
+            .props
+            .insert(key.to_string(), value);
         Ok(())
     }
 
@@ -174,6 +232,16 @@ impl Graph {
         }
         if self.node(dst).is_none() {
             return Err(GraphError::NodeNotFound(dst));
+        }
+        if self.recorder.is_some() {
+            let op = GraphOp::CreateRel {
+                id: RelId(self.rels.len() as u64),
+                src,
+                rel_type: rel_type.to_string(),
+                dst,
+                props: props.clone(),
+            };
+            self.record(|| op);
         }
         let type_id = self.symbols.rel_type(rel_type);
         let id = RelId(self.rels.len() as u64);
@@ -203,11 +271,15 @@ impl Graph {
 
     /// Deletes a relationship.
     pub fn delete_rel(&mut self, rel: RelId) -> Result<(), GraphError> {
+        if self.rel(rel).is_none() {
+            return Err(GraphError::RelNotFound(rel));
+        }
+        self.record(|| GraphOp::DeleteRel { rel });
         let r = self
             .rels
             .get_mut(rel.0 as usize)
             .and_then(Option::take)
-            .ok_or(GraphError::RelNotFound(rel))?;
+            .expect("checked above");
         if let Some(Some(n)) = self.nodes.get_mut(r.src.0 as usize) {
             n.out_rels.retain(|x| *x != rel);
         }
@@ -220,7 +292,22 @@ impl Graph {
 
     /// Detach-deletes a node: removes all its relationships, then the
     /// node itself, and cleans the indexes.
+    ///
+    /// Records a single [`GraphOp::DeleteNode`]: the relationship
+    /// cascade is deterministic, so replay re-derives it.
     pub fn delete_node(&mut self, node: NodeId) -> Result<(), GraphError> {
+        if self.node(node).is_none() {
+            return Err(GraphError::NodeNotFound(node));
+        }
+        self.record(|| GraphOp::DeleteNode { node });
+        // Suppress recording for the cascade below — the one op covers it.
+        let saved = self.recorder.take();
+        let result = self.delete_node_detach(node);
+        self.recorder = saved;
+        result
+    }
+
+    fn delete_node_detach(&mut self, node: NodeId) -> Result<(), GraphError> {
         let n = self
             .nodes
             .get(node.0 as usize)
@@ -246,6 +333,137 @@ impl Graph {
     }
 
     // ------------------------------------------------------------------
+    // Op recording and replay
+    // ------------------------------------------------------------------
+
+    fn record(&mut self, op: impl FnOnce() -> GraphOp) {
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(op());
+        }
+    }
+
+    /// Starts capturing the effect of every subsequent mutation as a
+    /// [`GraphOp`]. Ops record *outcomes* (assigned IDs, merge
+    /// resolutions), so [`Graph::apply`]ing them to a copy of the
+    /// pre-recording graph reproduces identical state.
+    ///
+    /// Any previously recorded but untaken ops are discarded.
+    pub fn begin_recording(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Whether a recording started by [`Graph::begin_recording`] is live.
+    pub fn is_recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Stops recording and returns the captured ops (empty if recording
+    /// was never started).
+    pub fn take_recording(&mut self) -> Vec<GraphOp> {
+        self.recorder.take().unwrap_or_default()
+    }
+
+    /// Applies a recorded [`GraphOp`] — the replay half of the journal.
+    ///
+    /// Dispatches into the same mutation tails used by live writes, and
+    /// verifies that IDs assigned during replay match the IDs the op
+    /// recorded; a mismatch means the op stream does not correspond to
+    /// this base graph and yields [`GraphError::Replay`].
+    pub fn apply(&mut self, op: &GraphOp) -> Result<(), GraphError> {
+        // Never re-record a replayed op.
+        let saved = self.recorder.take();
+        let result = self.apply_inner(op);
+        self.recorder = saved;
+        result
+    }
+
+    fn apply_inner(&mut self, op: &GraphOp) -> Result<(), GraphError> {
+        match op {
+            GraphOp::CreateNode { id, labels, props } => {
+                let next = NodeId(self.nodes.len() as u64);
+                if *id != next {
+                    return Err(GraphError::Replay(format!(
+                        "create_node expected id {} but store would assign {}",
+                        id.0, next.0
+                    )));
+                }
+                let label_ids: Vec<LabelId> =
+                    labels.iter().map(|l| self.symbols.label(l)).collect();
+                self.create_node_with_ids(label_ids, props.clone());
+                Ok(())
+            }
+            GraphOp::MergeNode {
+                label,
+                key,
+                key_value,
+                props,
+                node,
+                created,
+            } => {
+                let label_id = self.symbols.label(label);
+                let key_id = self.symbols.prop_key(key);
+                if *created {
+                    let next = NodeId(self.nodes.len() as u64);
+                    if *node != next {
+                        return Err(GraphError::Replay(format!(
+                            "merge_node expected id {} but store would assign {}",
+                            node.0, next.0
+                        )));
+                    }
+                    self.merge_resolved(
+                        label_id,
+                        key_id,
+                        key,
+                        key_value.clone(),
+                        props.clone(),
+                        None,
+                    );
+                } else {
+                    if self.node(*node).is_none() {
+                        return Err(GraphError::Replay(format!(
+                            "merge_node resolved to node {} which does not exist",
+                            node.0
+                        )));
+                    }
+                    self.merge_resolved(
+                        label_id,
+                        key_id,
+                        key,
+                        key_value.clone(),
+                        props.clone(),
+                        Some(*node),
+                    );
+                }
+                Ok(())
+            }
+            GraphOp::AddLabel { node, label } => self.add_label(*node, label),
+            GraphOp::SetNodeProp { node, key, value } => {
+                self.set_node_prop(*node, key, value.clone())
+            }
+            GraphOp::SetRelProp { rel, key, value } => self.set_rel_prop(*rel, key, value.clone()),
+            GraphOp::CreateRel {
+                id,
+                src,
+                rel_type,
+                dst,
+                props,
+            } => {
+                let next = RelId(self.rels.len() as u64);
+                if *id != next {
+                    return Err(GraphError::Replay(format!(
+                        "create_rel expected id {} but store would assign {}",
+                        id.0, next.0
+                    )));
+                }
+                self.create_rel(*src, rel_type, *dst, props.clone())?;
+                Ok(())
+            }
+            GraphOp::DeleteRel { rel } => self.delete_rel(*rel),
+            GraphOp::DeleteNode { node } => self.delete_node(*node),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Reads
     // ------------------------------------------------------------------
 
@@ -261,12 +479,22 @@ impl Graph {
 
     /// Sets a property on a relationship.
     pub fn set_rel_prop(&mut self, rel: RelId, key: &str, value: Value) -> Result<(), GraphError> {
-        let r = self
-            .rels
-            .get_mut(rel.0 as usize)
-            .and_then(Option::as_mut)
-            .ok_or(GraphError::RelNotFound(rel))?;
-        r.props.insert(key.to_string(), value);
+        if self.rel(rel).is_none() {
+            return Err(GraphError::RelNotFound(rel));
+        }
+        if self.recorder.is_some() {
+            let op = GraphOp::SetRelProp {
+                rel,
+                key: key.to_string(),
+                value: value.clone(),
+            };
+            self.record(|| op);
+        }
+        self.rels[rel.0 as usize]
+            .as_mut()
+            .expect("checked above")
+            .props
+            .insert(key.to_string(), value);
         Ok(())
     }
 
@@ -372,6 +600,7 @@ impl Graph {
             key_index: HashMap::new(),
             deleted_nodes: 0,
             deleted_rels: 0,
+            recorder: None,
         };
         g.deleted_nodes = g.nodes.iter().filter(|n| n.is_none()).count() as u64;
         g.deleted_rels = g.rels.iter().filter(|r| r.is_none()).count() as u64;
@@ -590,6 +819,59 @@ mod tests {
         let a = g.create_node(&["X"], Props::new());
         assert!(g.create_rel(a, "R", NodeId(99), Props::new()).is_err());
         assert!(g.create_rel(NodeId(99), "R", a, Props::new()).is_err());
+    }
+
+    #[test]
+    fn recording_and_replay_reproduce_identical_graph() {
+        let mut g = Graph::new();
+        g.begin_recording();
+        let a = g.merge_node("AS", "asn", 2497u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2500u32, props([("name", "X".into())]));
+        g.merge_node("AS", "asn", 2497u32, props([("name", "IIJ".into())]));
+        let c = g.create_node(&["Tag"], props([("label", "tier1".into())]));
+        let r = g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g.create_rel(a, "CATEGORIZED", c, Props::new()).unwrap();
+        g.set_node_prop(a, "af", Value::Int(4)).unwrap();
+        g.set_rel_prop(r, "weight", Value::Float(0.5)).unwrap();
+        g.add_label(a, "Transit").unwrap();
+        g.delete_rel(r).unwrap();
+        g.delete_node(b).unwrap();
+        let ops = g.take_recording();
+        assert!(!g.is_recording());
+
+        let mut replica = Graph::new();
+        for op in &ops {
+            replica.apply(op).unwrap();
+        }
+        assert_eq!(
+            crate::snapshot::to_binary(&g),
+            crate::snapshot::to_binary(&replica)
+        );
+    }
+
+    #[test]
+    fn delete_node_records_single_op() {
+        let mut g = Graph::new();
+        let a = g.create_node(&["X"], Props::new());
+        let b = g.create_node(&["X"], Props::new());
+        g.create_rel(a, "R", b, Props::new()).unwrap();
+        g.begin_recording();
+        g.delete_node(a).unwrap();
+        let ops = g.take_recording();
+        assert_eq!(ops.len(), 1);
+        assert!(matches!(ops[0], GraphOp::DeleteNode { node } if node == a));
+    }
+
+    #[test]
+    fn apply_rejects_id_mismatch() {
+        let mut g = Graph::new();
+        g.create_node(&["X"], Props::new());
+        let op = GraphOp::CreateNode {
+            id: NodeId(0), // store would assign 1
+            labels: vec!["X".into()],
+            props: Props::new(),
+        };
+        assert!(matches!(g.apply(&op), Err(GraphError::Replay(_))));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! CRC-32 (IEEE 802.3 polynomial), the checksum guarding WAL frames.
+//!
+//! Implemented locally — the build has no registry access and no crc
+//! crate vendored. Byte-at-a-time with a lazily built 256-entry table;
+//! plenty for journal frame sizes.
+
+/// Computes the CRC-32/IEEE checksum of `data` (init `0xFFFF_FFFF`,
+/// reflected, final XOR `0xFFFF_FFFF` — the zlib/Ethernet variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    !crc
+}
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"internet yellow pages".to_vec();
+        let good = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[i] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), good, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Journal errors.
+
+use iyp_graph::GraphError;
+use std::fmt;
+use std::io;
+
+/// Errors returned by the journal layer.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// Replaying the WAL diverged or an op failed to apply — the log
+    /// does not correspond to the base snapshot.
+    Replay(GraphError),
+    /// The journal directory contains no usable state and `open` was
+    /// told not to initialise one.
+    NotInitialised(String),
+    /// A snapshot file failed to decode.
+    Snapshot(GraphError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Replay(e) => write!(f, "WAL replay failed: {e}"),
+            JournalError::NotInitialised(dir) => {
+                write!(f, "no journal state in {dir} (run with seeding enabled)")
+            }
+            JournalError::Snapshot(e) => write!(f, "snapshot decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Replay(e) | JournalError::Snapshot(e) => Some(e),
+            JournalError::NotInitialised(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}

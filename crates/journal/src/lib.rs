@@ -1,0 +1,29 @@
+//! iyp-journal: durability for the IYP graph store.
+//!
+//! The paper's local-instance workflow (§6.1) has users *mutating* the
+//! knowledge graph — tagging resources, importing confidential data,
+//! materialising intermediate results — so writes must survive a crash
+//! without a full snapshot rewrite per query. This crate provides:
+//!
+//! - a **write-ahead log** ([`wal`]) of CRC32-framed batches of logical
+//!   graph ops, with a configurable [`FsyncPolicy`] and torn-tail
+//!   detection-and-truncation on replay;
+//! - **checkpointing** that compacts the WAL into generation-numbered
+//!   binary snapshots, crash-safe at every intermediate step;
+//! - [`DurableGraph`], the serving wrapper: concurrent readers and an
+//!   exclusive writer over the in-memory graph, journaling one batch
+//!   per write query, with automatic recovery on open.
+//!
+//! Determinism: ops record *effects* (assigned ids, merge resolutions),
+//! so replaying `snapshot + WAL` reproduces the pre-crash graph
+//! byte-identically — including node and relationship ids. See
+//! [`iyp_graph::op`] for the op model.
+
+pub mod crc;
+pub mod durable;
+pub mod error;
+pub mod wal;
+
+pub use durable::{DurableGraph, RecoveryReport};
+pub use error::JournalError;
+pub use wal::{encode_frame, replay_into, FsyncPolicy, ReplayReport, WalWriter};

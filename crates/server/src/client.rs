@@ -52,6 +52,30 @@ impl Client {
         self.request(&Request::new(text))
     }
 
+    /// Sends a write query (`CREATE`/`MERGE`/`SET`/`DELETE`). The
+    /// server must be running with a journal.
+    pub fn write(&mut self, text: &str) -> std::io::Result<Response> {
+        self.send(&Command::Write(Request::new(text)))
+    }
+
+    /// Sends a write query with parameters.
+    pub fn write_request(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.send(&Command::Write(req.clone()))
+    }
+
+    /// Asks the server to compact its journal into a new snapshot
+    /// generation; returns the new generation number.
+    pub fn checkpoint(&mut self) -> std::io::Result<u64> {
+        match self.send(&Command::Checkpoint)? {
+            Response::Checkpointed { generation } => Ok(generation),
+            Response::Error(e) => Err(std::io::Error::other(e)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected CHECKPOINT response: {other:?}"),
+            )),
+        }
+    }
+
     /// Liveness probe: true when the server answers `PING`.
     pub fn ping(&mut self) -> std::io::Result<bool> {
         Ok(matches!(self.send(&Command::Ping)?, Response::Pong))

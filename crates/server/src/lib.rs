@@ -1,10 +1,12 @@
 //! The IYP query service.
 //!
 //! The paper operates a public, **read-only** IYP instance that anyone
-//! can query over the network (§3.1). This crate provides the same
-//! workflow for our store: a multi-threaded TCP server exposing the
-//! Cypher engine over a line-delimited JSON protocol, and a matching
-//! client.
+//! can query over the network (§3.1), and users run **writable** local
+//! instances for their own analyses (§6.1). This crate provides both
+//! workflows for our store: a multi-threaded TCP server exposing the
+//! Cypher engine over a line-delimited JSON protocol — read-only over a
+//! shared graph, or read-write over a journaled
+//! [`iyp_journal::DurableGraph`] — and a matching client.
 //!
 //! # Protocol
 //!
@@ -21,13 +23,19 @@
 //! {"status": "error", "error": "parse error near token 3: …"}
 //! ```
 //!
-//! Besides queries, the protocol has two service commands:
+//! Besides queries, the protocol has service commands:
 //! `{"cmd": "ping"}` (liveness; answered with `{"status": "pong"}`,
-//! used by the client's connect handshake) and `{"cmd": "stats"}`
+//! used by the client's connect handshake), `{"cmd": "stats"}`
 //! (graph statistics plus a telemetry snapshot, answered with
-//! `{"status": "stats", "stats": {…}}`). Empty, oversized, or
-//! malformed request lines are rejected with a structured error code
-//! (`empty_request`, `request_too_large`, `bad_json`, …).
+//! `{"status": "stats", "stats": {…}}`),
+//! `{"cmd": "write", "query": …, "params": …}` (a Cypher write query,
+//! answered with `{"status": "written", …, "summary": {…}}`), and
+//! `{"cmd": "checkpoint"}` (journal compaction, answered with
+//! `{"status": "checkpointed", "generation": N}`). `write` and
+//! `checkpoint` are rejected with a `read_only` error on a server
+//! started without a journal. Empty, oversized, or malformed request
+//! lines are rejected with a structured error code (`empty_request`,
+//! `request_too_large`, `bad_json`, …).
 //!
 //! Graph entities are encoded as objects:
 //! `{"~node": 17, "labels": ["AS"], "props": {"asn": 2497}}` and
@@ -45,4 +53,4 @@ pub mod server;
 
 pub use client::Client;
 pub use proto::{decode_value, encode_value, Command, ProtoError, Request, Response};
-pub use server::{Server, ServerError};
+pub use server::{Server, ServerError, Service};

@@ -96,18 +96,24 @@ impl Request {
     /// Parses a protocol line.
     pub fn from_line(line: &str) -> Result<Request, ProtoError> {
         match Command::from_line(line)? {
-            Command::Query(req) => Ok(req),
-            Command::Stats | Command::Ping => Err(ProtoError::MissingQuery),
+            Command::Query(req) | Command::Write(req) => Ok(req),
+            Command::Stats | Command::Ping | Command::Checkpoint => Err(ProtoError::MissingQuery),
         }
     }
 }
 
-/// One protocol command: a Cypher query, or one of the service
-/// commands (`STATS`, `PING`).
+/// One protocol command: a Cypher query (read or write), or one of the
+/// service commands (`STATS`, `PING`, `CHECKPOINT`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run a Cypher query.
+    /// Run a read-only Cypher query.
     Query(Request),
+    /// Run a Cypher write query (`CREATE`/`MERGE`/`SET`/`DELETE`).
+    /// Only accepted by a server running with a journal.
+    Write(Request),
+    /// Compact the journal into a new snapshot generation. Only
+    /// accepted by a server running with a journal.
+    Checkpoint,
     /// Return graph statistics plus a telemetry snapshot.
     Stats,
     /// Liveness probe; the server answers with a `pong` status.
@@ -119,12 +125,24 @@ impl Command {
     pub fn to_line(&self) -> String {
         match self {
             Command::Query(req) => req.to_line(),
+            Command::Write(req) => {
+                let params: serde_json::Map<String, serde_json::Value> = req
+                    .params
+                    .iter()
+                    .map(|(k, v)| (k.clone(), value_to_json(v)))
+                    .collect();
+                serde_json::to_string(
+                    &json!({ "cmd": "write", "query": req.query, "params": params }),
+                )
+                .expect("serializable")
+            }
+            Command::Checkpoint => r#"{"cmd":"checkpoint"}"#.to_string(),
             Command::Stats => r#"{"cmd":"stats"}"#.to_string(),
             Command::Ping => r#"{"cmd":"ping"}"#.to_string(),
         }
     }
 
-    /// Parses a protocol line: `{"cmd": "stats"|"ping"}` commands or a
+    /// Parses a protocol line: `{"cmd": …}` commands or a
     /// `{"query": …, "params": …}` request.
     pub fn from_line(line: &str) -> Result<Command, ProtoError> {
         let line = line.trim();
@@ -133,24 +151,29 @@ impl Command {
         }
         let v: serde_json::Value =
             serde_json::from_str(line).map_err(|e| ProtoError::BadJson(e.to_string()))?;
+        let parse_request = |v: &serde_json::Value| -> Result<Request, ProtoError> {
+            let query = v["query"]
+                .as_str()
+                .ok_or(ProtoError::MissingQuery)?
+                .to_string();
+            let mut params = iyp_cypher::Params::new();
+            if let Some(obj) = v["params"].as_object() {
+                for (k, val) in obj {
+                    params.insert(k.clone(), json_to_value(val));
+                }
+            }
+            Ok(Request { query, params })
+        };
         if let Some(cmd) = v["cmd"].as_str() {
             return match cmd.to_ascii_lowercase().as_str() {
                 "stats" => Ok(Command::Stats),
                 "ping" => Ok(Command::Ping),
+                "checkpoint" => Ok(Command::Checkpoint),
+                "write" => Ok(Command::Write(parse_request(&v)?)),
                 other => Err(ProtoError::UnknownCommand(other.to_string())),
             };
         }
-        let query = v["query"]
-            .as_str()
-            .ok_or(ProtoError::MissingQuery)?
-            .to_string();
-        let mut params = iyp_cypher::Params::new();
-        if let Some(obj) = v["params"].as_object() {
-            for (k, val) in obj {
-                params.insert(k.clone(), json_to_value(val));
-            }
-        }
-        Ok(Command::Query(Request { query, params }))
+        Ok(Command::Query(parse_request(&v)?))
     }
 }
 
@@ -163,6 +186,22 @@ pub enum Response {
         columns: Vec<String>,
         /// Rows of JSON-encoded values.
         rows: Vec<Vec<serde_json::Value>>,
+    },
+    /// Successful write: the `RETURN` result (often empty) plus the
+    /// write counters, as a JSON object
+    /// (`{"nodes_created": …, "rels_created": …, …}`).
+    Written {
+        /// Column names.
+        columns: Vec<String>,
+        /// Rows of JSON-encoded values.
+        rows: Vec<Vec<serde_json::Value>>,
+        /// Write counters.
+        summary: serde_json::Value,
+    },
+    /// Answer to [`Command::Checkpoint`]: the new snapshot generation.
+    Checkpointed {
+        /// Generation number of the snapshot just written.
+        generation: u64,
     },
     /// Failure with a message.
     Error(String),
@@ -179,6 +218,21 @@ impl Response {
         let v = match self {
             Response::Ok { columns, rows } => {
                 json!({ "status": "ok", "columns": columns, "rows": rows })
+            }
+            Response::Written {
+                columns,
+                rows,
+                summary,
+            } => {
+                json!({
+                    "status": "written",
+                    "columns": columns,
+                    "rows": rows,
+                    "summary": summary,
+                })
+            }
+            Response::Checkpointed { generation } => {
+                json!({ "status": "checkpointed", "generation": generation })
             }
             Response::Error(msg) => json!({ "status": "error", "error": msg }),
             Response::Pong => json!({ "status": "pong" }),
@@ -209,6 +263,28 @@ impl Response {
                     .collect();
                 Ok(Response::Ok { columns, rows })
             }
+            Some("written") => {
+                let columns = v["columns"]
+                    .as_array()
+                    .ok_or("missing columns")?
+                    .iter()
+                    .filter_map(|c| c.as_str().map(String::from))
+                    .collect();
+                let rows = v["rows"]
+                    .as_array()
+                    .ok_or("missing rows")?
+                    .iter()
+                    .filter_map(|r| r.as_array().cloned())
+                    .collect();
+                Ok(Response::Written {
+                    columns,
+                    rows,
+                    summary: v["summary"].clone(),
+                })
+            }
+            Some("checkpointed") => Ok(Response::Checkpointed {
+                generation: v["generation"].as_u64().ok_or("missing generation")?,
+            }),
             Some("error") => Ok(Response::Error(
                 v["error"].as_str().unwrap_or("unknown error").to_string(),
             )),
@@ -337,6 +413,35 @@ mod tests {
         );
         let q = Command::Query(Request::new("RETURN 1"));
         assert_eq!(Command::from_line(&q.to_line()).unwrap(), q);
+    }
+
+    #[test]
+    fn write_and_checkpoint_commands_roundtrip() {
+        let mut req = Request::new("CREATE (n:Tag {label: $l})");
+        req.params.insert("l".into(), Value::Str("spof".into()));
+        let w = Command::Write(req);
+        assert_eq!(Command::from_line(&w.to_line()).unwrap(), w);
+        assert_eq!(
+            Command::from_line(&Command::Checkpoint.to_line()).unwrap(),
+            Command::Checkpoint
+        );
+        // A write command without a query is a protocol error.
+        assert_eq!(
+            Command::from_line(r#"{"cmd":"write"}"#).unwrap_err(),
+            ProtoError::MissingQuery
+        );
+    }
+
+    #[test]
+    fn written_and_checkpointed_responses_roundtrip() {
+        let r = Response::Written {
+            columns: vec!["n".into()],
+            rows: vec![vec![json!({"~node": 0})]],
+            summary: json!({"nodes_created": 1}),
+        };
+        assert_eq!(Response::from_line(&r.to_line()).unwrap(), r);
+        let c = Response::Checkpointed { generation: 3 };
+        assert_eq!(Response::from_line(&c.to_line()).unwrap(), c);
     }
 
     #[test]

@@ -1,7 +1,9 @@
-//! The read-only query server.
+//! The query server: read-only over a shared graph, or read-write over
+//! a journaled [`DurableGraph`].
 
 use crate::proto::{encode_value, Command, ProtoError, Response};
 use iyp_graph::{Graph, GraphStats};
+use iyp_journal::DurableGraph;
 use serde_json::json;
 use std::fmt;
 use std::io::{BufRead, BufReader, Write};
@@ -35,8 +37,19 @@ const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// `iyp_server_slow_queries_total`).
 const SLOW_QUERY: Duration = Duration::from_millis(250);
 
-/// A running query server. The graph is shared read-only across
-/// connection threads; dropping the handle (or calling
+/// What the server serves: an immutable shared graph, or a journaled
+/// durable one that also accepts `write` and `checkpoint` commands.
+#[derive(Clone)]
+pub enum Service {
+    /// Read-only over an `Arc<Graph>` (the paper's public instance).
+    ReadOnly(Arc<Graph>),
+    /// Read-write over a [`DurableGraph`] (the local-instance
+    /// workflow, §6.1): concurrent readers, exclusive writer, every
+    /// write journaled before it is acknowledged.
+    Durable(Arc<DurableGraph>),
+}
+
+/// A running query server. Dropping the handle (or calling
 /// [`Server::stop`]) shuts the listener down and joins the accept
 /// thread.
 pub struct Server {
@@ -47,38 +60,54 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts a server for `graph` on `addr` (use port 0 to pick a free
-    /// port; the bound address is available via [`Server::addr`]).
+    /// Starts a read-only server for `graph` on `addr` (use port 0 to
+    /// pick a free port; the bound address is available via
+    /// [`Server::addr`]).
     pub fn start(graph: Arc<Graph>, addr: &str) -> Result<Server, ServerError> {
+        Self::start_service(Service::ReadOnly(graph), addr)
+    }
+
+    /// Starts a read-write server over a journaled graph.
+    pub fn start_durable(durable: Arc<DurableGraph>, addr: &str) -> Result<Server, ServerError> {
+        Self::start_service(Service::Durable(durable), addr)
+    }
+
+    /// Starts a server for any [`Service`].
+    pub fn start_service(service: Service, addr: &str) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
-        // Poll the listener so shutdown is prompt.
-        listener.set_nonblocking(true).map_err(ServerError::Io)?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicUsize::new(0));
         let accept_shutdown = shutdown.clone();
         let accept_served = served.clone();
 
-        let accept_thread = std::thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let graph = graph.clone();
-                        let served = accept_served.clone();
-                        // Workers are detached: they exit on client EOF
-                        // or the 30 s read timeout. stop() only has to
-                        // stop *accepting*; draining connections is the
-                        // clients' business (read-only service, nothing
-                        // to flush).
-                        std::thread::spawn(move || {
-                            let _ = handle_connection(stream, &graph, &served);
-                        });
+        // The listener blocks in accept(); stop() wakes it with a
+        // throwaway connection after setting the shutdown flag, so
+        // shutdown is immediate without a sleep/poll cycle burning a
+        // wakeup every 10 ms for the server's whole lifetime.
+        let accept_thread = std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break; // the wakeup connection itself
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
+                    let service = service.clone();
+                    let served = accept_served.clone();
+                    // Workers are detached: they exit on client EOF
+                    // or the 30 s read timeout. stop() only has to
+                    // stop *accepting*; draining connections is the
+                    // clients' business (writes are journaled before
+                    // they are acknowledged, so there is nothing to
+                    // flush here).
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &service, &served);
+                    });
+                }
+                Err(_) => {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
                     }
-                    Err(_) => break,
                 }
             }
         });
@@ -103,7 +132,11 @@ impl Server {
 
     /// Stops the server and joins the accept thread.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Wake the blocked accept() so the thread observes the flag.
+        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
@@ -120,7 +153,7 @@ impl Drop for Server {
 /// EOF or a protocol error.
 fn handle_connection(
     stream: TcpStream,
-    graph: &Graph,
+    service: &Service,
     served: &AtomicUsize,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
@@ -152,38 +185,105 @@ fn handle_connection(
         served.fetch_add(1, Ordering::SeqCst);
         let response = match Command::from_line(&read) {
             Ok(Command::Ping) => Response::Pong,
-            Ok(Command::Stats) => Response::Stats(stats_json(graph)),
+            Ok(Command::Stats) => match service {
+                Service::ReadOnly(graph) => Response::Stats(stats_json(graph)),
+                Service::Durable(durable) => durable.read(|g| Response::Stats(stats_json(g))),
+            },
             Ok(Command::Query(req)) => {
                 let _span = iyp_telemetry::span(iyp_telemetry::names::SERVER_REQUEST_SECONDS);
                 let started = Instant::now();
-                let result = iyp_cypher::query(graph, &req.query, &req.params);
-                let elapsed = started.elapsed();
-                if elapsed >= SLOW_QUERY {
-                    iyp_telemetry::counter(iyp_telemetry::names::SERVER_SLOW_QUERIES_TOTAL).incr();
-                    let preview: String = req.query.chars().take(200).collect();
-                    eprintln!(
-                        "[iyp-server] slow query ({:.1} ms): {}",
-                        elapsed.as_secs_f64() * 1e3,
-                        preview.split_whitespace().collect::<Vec<_>>().join(" ")
-                    );
-                }
-                match result {
-                    Ok(rs) => Response::Ok {
-                        columns: rs.columns.clone(),
-                        rows: rs
-                            .rows
-                            .iter()
-                            .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
-                            .collect(),
-                    },
-                    Err(e) => Response::Error(e.to_string()),
-                }
+                let response = match service {
+                    Service::ReadOnly(graph) => run_query(graph, &req),
+                    Service::Durable(durable) => durable.read(|g| run_query(g, &req)),
+                };
+                log_if_slow(&req.query, started.elapsed());
+                response
             }
+            Ok(Command::Write(req)) => {
+                let _span = iyp_telemetry::span(iyp_telemetry::names::SERVER_REQUEST_SECONDS);
+                let started = Instant::now();
+                let response = match service {
+                    Service::ReadOnly(_) => Response::Error(
+                        "read_only: this server has no journal; start it with --journal to accept writes"
+                            .to_string(),
+                    ),
+                    Service::Durable(durable) => {
+                        iyp_telemetry::counter(iyp_telemetry::names::SERVER_WRITE_QUERIES_TOTAL)
+                            .incr();
+                        match durable.write(|g| run_write(g, &req)) {
+                            Ok(resp) => resp,
+                            Err(e) => Response::Error(format!("journal: {e}")),
+                        }
+                    }
+                };
+                log_if_slow(&req.query, started.elapsed());
+                response
+            }
+            Ok(Command::Checkpoint) => match service {
+                Service::ReadOnly(_) => Response::Error(
+                    "read_only: this server has no journal; nothing to checkpoint".to_string(),
+                ),
+                Service::Durable(durable) => match durable.checkpoint() {
+                    Ok(generation) => Response::Checkpointed { generation },
+                    Err(e) => Response::Error(format!("journal: {e}")),
+                },
+            },
             Err(e) => Response::Error(e.to_string()),
         };
         writer.write_all(response.to_line().as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
+    }
+}
+
+/// Runs a read query and encodes the result (inside whatever lock the
+/// caller holds — entity encoding needs the graph).
+fn run_query(graph: &Graph, req: &crate::proto::Request) -> Response {
+    match iyp_cypher::query(graph, &req.query, &req.params) {
+        Ok(rs) => Response::Ok {
+            columns: rs.columns.clone(),
+            rows: rs
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
+                .collect(),
+        },
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+/// Runs a write query and encodes the result while still holding the
+/// exclusive lock.
+fn run_write(graph: &mut Graph, req: &crate::proto::Request) -> Response {
+    match iyp_cypher::query_write(graph, &req.query, &req.params) {
+        Ok((rs, summary)) => Response::Written {
+            columns: rs.columns.clone(),
+            rows: rs
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
+                .collect(),
+            summary: json!({
+                "nodes_created": summary.nodes_created,
+                "rels_created": summary.rels_created,
+                "props_set": summary.props_set,
+                "nodes_deleted": summary.nodes_deleted,
+                "rels_deleted": summary.rels_deleted,
+            }),
+        },
+        Err(e) => Response::Error(e.to_string()),
+    }
+}
+
+fn log_if_slow(query: &str, elapsed: Duration) {
+    if elapsed >= SLOW_QUERY {
+        iyp_telemetry::counter(iyp_telemetry::names::SERVER_SLOW_QUERIES_TOTAL).incr();
+        let preview: String = query.chars().take(200).collect();
+        eprintln!(
+            "[iyp-server] slow query ({:.1} ms): {}",
+            elapsed.as_secs_f64() * 1e3,
+            preview.split_whitespace().collect::<Vec<_>>().join(" ")
+        );
     }
 }
 

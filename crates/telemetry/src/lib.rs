@@ -50,10 +50,24 @@ pub mod names {
     pub const SERVER_REQUEST_SECONDS: &str = "iyp_server_request_seconds";
     /// Counter: server queries slower than the slow-query threshold.
     pub const SERVER_SLOW_QUERIES_TOTAL: &str = "iyp_server_slow_queries_total";
+    /// Counter: write queries executed by the server.
+    pub const SERVER_WRITE_QUERIES_TOTAL: &str = "iyp_server_write_queries_total";
+    /// Counter: Cypher write queries executed.
+    pub const CYPHER_WRITE_QUERIES_TOTAL: &str = "iyp_cypher_write_queries_total";
+    /// Counter: bytes appended to the write-ahead log.
+    pub const JOURNAL_APPEND_BYTES_TOTAL: &str = "iyp_journal_append_bytes_total";
+    /// Counter: fsync calls issued by the journal.
+    pub const JOURNAL_FSYNCS_TOTAL: &str = "iyp_journal_fsyncs_total";
+    /// Counter: graph ops replayed during crash recovery.
+    pub const JOURNAL_REPLAYED_OPS_TOTAL: &str = "iyp_journal_replayed_ops_total";
+    /// Counter: torn-tail bytes truncated from the WAL during recovery.
+    pub const JOURNAL_TRUNCATED_BYTES_TOTAL: &str = "iyp_journal_truncated_bytes_total";
+    /// Histogram: checkpoint (WAL compaction into a snapshot) wall time.
+    pub const JOURNAL_CHECKPOINT_SECONDS: &str = "iyp_journal_checkpoint_seconds";
 
     /// Every canonical metric as `(name, kind, labels, description)` —
     /// the source of truth for `documentation/telemetry.md`.
-    pub const ALL: [(&str, &str, &str, &str); 10] = [
+    pub const ALL: [(&str, &str, &str, &str); 17] = [
         (
             CYPHER_QUERIES_TOTAL,
             "counter",
@@ -113,6 +127,48 @@ pub mod names {
             "counter",
             "",
             "server queries slower than 250 ms",
+        ),
+        (
+            SERVER_WRITE_QUERIES_TOTAL,
+            "counter",
+            "",
+            "write queries executed by the server",
+        ),
+        (
+            CYPHER_WRITE_QUERIES_TOTAL,
+            "counter",
+            "",
+            "Cypher write queries executed",
+        ),
+        (
+            JOURNAL_APPEND_BYTES_TOTAL,
+            "counter",
+            "",
+            "bytes appended to the write-ahead log",
+        ),
+        (
+            JOURNAL_FSYNCS_TOTAL,
+            "counter",
+            "",
+            "fsync calls issued by the journal",
+        ),
+        (
+            JOURNAL_REPLAYED_OPS_TOTAL,
+            "counter",
+            "",
+            "graph ops replayed during crash recovery",
+        ),
+        (
+            JOURNAL_TRUNCATED_BYTES_TOTAL,
+            "counter",
+            "",
+            "torn-tail bytes truncated from the WAL during recovery",
+        ),
+        (
+            JOURNAL_CHECKPOINT_SECONDS,
+            "histogram",
+            "",
+            "checkpoint (WAL compaction into a snapshot) wall time",
         ),
     ];
 }

@@ -19,6 +19,7 @@ fn main() {
         ("relationship_types.md", docs::relationship_types_md()),
         ("data-sources.md", docs::data_sources_md()),
         ("telemetry.md", docs::telemetry_md()),
+        ("durability.md", docs::durability_md()),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, content).expect("write doc");

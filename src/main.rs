@@ -3,18 +3,23 @@
 //! Mirrors the workflows of §3.1/§6 of the paper:
 //!
 //! ```text
-//! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--metrics]
+//! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
 //! iyp query   [--snapshot FILE] '<cypher>'
 //! iyp profile [--snapshot FILE] '<cypher>'
 //! iyp shell   [--snapshot FILE]
-//! iyp serve   [--snapshot FILE] [--addr HOST:PORT]
+//! iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--journal DIR] [--fsync always|never|every=N]
+//! iyp recover --journal DIR [--out FILE]
 //! iyp studies [--snapshot FILE]
 //! iyp datasets
 //! ```
 //!
 //! Without `--snapshot`, commands build a fresh small-scale graph.
+//! With `--journal`, `serve` runs read-write: writes go through a
+//! write-ahead log and survive crashes (see
+//! `documentation/durability.md`).
 
 use iyp_core::{studies, DatasetId, Iyp, Params, SimConfig};
+use iyp_journal::{DurableGraph, FsyncPolicy};
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,6 +34,8 @@ struct Args {
     snapshot: Option<PathBuf>,
     addr: String,
     metrics: bool,
+    journal: Option<PathBuf>,
+    fsync: String,
     rest: Vec<String>,
 }
 
@@ -43,6 +50,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         snapshot: None,
         addr: "127.0.0.1:7687".into(),
         metrics: false,
+        journal: None,
+        fsync: "always".into(),
         rest: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -61,6 +70,10 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
             }
             "--addr" => args.addr = argv.next().ok_or("--addr needs a value")?,
             "--metrics" => args.metrics = true,
+            "--journal" => {
+                args.journal = Some(PathBuf::from(argv.next().ok_or("--journal needs a path")?))
+            }
+            "--fsync" => args.fsync = argv.next().ok_or("--fsync needs a value")?,
             other => args.rest.push(other.to_string()),
         }
     }
@@ -105,6 +118,11 @@ fn cmd_build(args: &Args) -> Result<(), String> {
     if let Some(out) = &args.out {
         iyp.save_snapshot(out).map_err(|e| e.to_string())?;
         println!("snapshot written to {}", out.display());
+    }
+    if let Some(dir) = &args.journal {
+        let policy = FsyncPolicy::parse(&args.fsync)?;
+        iyp.into_durable(dir, policy).map_err(|e| e.to_string())?;
+        println!("journal seeded in {} (generation 1)", dir.display());
     }
     Ok(())
 }
@@ -210,17 +228,99 @@ fn cmd_shell(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    let iyp = load_or_build(args)?;
-    let graph = Arc::new(iyp.into_graph());
-    let server = iyp_server::Server::start(graph, &args.addr).map_err(|e| e.to_string())?;
-    println!(
-        "serving read-only IYP on {} — protocol: one JSON request per line",
-        server.addr()
-    );
-    println!("example: {{\"query\": \"MATCH (a:AS) RETURN count(a)\"}}");
+    let server = match &args.journal {
+        None => {
+            let iyp = load_or_build(args)?;
+            let graph = Arc::new(iyp.into_graph());
+            let server = iyp_server::Server::start(graph, &args.addr).map_err(|e| e.to_string())?;
+            // "listening on …" must stay machine-parseable: tests and
+            // scripts read the bound address from it (port 0 support).
+            println!("listening on {}", server.addr());
+            println!("serving read-only IYP — protocol: one JSON request per line");
+            println!("example: {{\"query\": \"MATCH (a:AS) RETURN count(a)\"}}");
+            server
+        }
+        Some(dir) => {
+            let policy = FsyncPolicy::parse(&args.fsync)?;
+            let durable = if DurableGraph::exists(dir) {
+                let (durable, report) =
+                    DurableGraph::open(dir, policy).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "recovered journal {} (generation {}, {} ops replayed{})",
+                    dir.display(),
+                    report.generation,
+                    report.replay.ops,
+                    if report.replay.truncated_bytes > 0 {
+                        format!(", {} torn bytes truncated", report.replay.truncated_bytes)
+                    } else {
+                        String::new()
+                    }
+                );
+                durable
+            } else {
+                let iyp = load_or_build(args)?;
+                eprintln!("seeding journal {} (generation 1)", dir.display());
+                DurableGraph::seed(dir, iyp.into_graph(), policy).map_err(|e| e.to_string())?
+            };
+            let server = iyp_server::Server::start_durable(Arc::new(durable), &args.addr)
+                .map_err(|e| e.to_string())?;
+            println!("listening on {}", server.addr());
+            println!("serving journaled IYP — writes: {{\"cmd\": \"write\", \"query\": …}}");
+            println!("checkpoint: {{\"cmd\": \"checkpoint\"}}");
+            server
+        }
+    };
+    let _server = server;
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
     }
+}
+
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let dir = args.journal.as_ref().ok_or("recover needs --journal DIR")?;
+    if !DurableGraph::exists(dir) {
+        return Err(format!("no journal state in {}", dir.display()));
+    }
+    let policy = FsyncPolicy::parse(&args.fsync)?;
+    let (durable, report) = DurableGraph::open(dir, policy).map_err(|e| e.to_string())?;
+    println!(
+        "recovered generation {}: snapshot {}, {} batches / {} ops replayed",
+        report.generation,
+        if report.snapshot_loaded {
+            "loaded"
+        } else {
+            "none"
+        },
+        report.replay.batches,
+        report.replay.ops
+    );
+    if report.replay.truncated_bytes > 0 {
+        println!(
+            "torn tail: {} bytes truncated{}",
+            report.replay.truncated_bytes,
+            if report.replay.repaired {
+                " (repaired)"
+            } else {
+                ""
+            }
+        );
+    }
+    if report.removed_stale_files > 0 {
+        println!("removed {} stale files", report.removed_stale_files);
+    }
+    let generation = durable.checkpoint().map_err(|e| e.to_string())?;
+    println!("compacted into generation {generation}");
+    let graph = durable.into_graph();
+    println!(
+        "graph: {} nodes, {} rels",
+        graph.node_count(),
+        graph.rel_count()
+    );
+    if let Some(out) = &args.out {
+        iyp_graph::snapshot::save_binary(&graph, out).map_err(|e| e.to_string())?;
+        println!("snapshot exported to {}", out.display());
+    }
+    Ok(())
 }
 
 fn cmd_studies(args: &Args) -> Result<(), String> {
@@ -291,11 +391,12 @@ fn help() {
     eprintln!(
         "iyp — Internet Yellow Pages
 usage:
-  iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--metrics]
+  iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
   iyp query   [--snapshot FILE] '<cypher>'
   iyp profile [--snapshot FILE] '<cypher>'
   iyp shell   [--snapshot FILE]
-  iyp serve   [--snapshot FILE] [--addr HOST:PORT]
+  iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--journal DIR] [--fsync always|never|every=N]
+  iyp recover --journal DIR [--out FILE]
   iyp studies [--snapshot FILE]
   iyp datasets"
     );
@@ -308,6 +409,7 @@ fn run(args: &Args) -> Result<(), String> {
         "profile" => cmd_profile(args),
         "shell" => cmd_shell(args),
         "serve" => cmd_serve(args),
+        "recover" => cmd_recover(args),
         "studies" => cmd_studies(args),
         "datasets" => {
             cmd_datasets();
@@ -378,6 +480,27 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.out, Some(PathBuf::from("x.snap")));
         assert!(a.metrics);
+    }
+
+    #[test]
+    fn parse_args_journal_flags() {
+        let a = parse_args(argv(&[
+            "serve",
+            "--journal",
+            "/tmp/j",
+            "--fsync",
+            "every=16",
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap();
+        assert_eq!(a.journal, Some(PathBuf::from("/tmp/j")));
+        assert_eq!(a.fsync, "every=16");
+        assert_eq!(a.addr, "127.0.0.1:0");
+        let d = parse_args(argv(&["serve"])).unwrap();
+        assert_eq!(d.journal, None);
+        assert_eq!(d.fsync, "always");
+        assert!(parse_args(argv(&["serve", "--journal"])).is_err());
     }
 
     #[test]

@@ -36,3 +36,8 @@ fn data_sources_page_in_sync() {
 fn telemetry_page_in_sync() {
     check("telemetry.md", iyp::docs::telemetry_md());
 }
+
+#[test]
+fn durability_page_in_sync() {
+    check("durability.md", iyp::docs::durability_md());
+}

@@ -13,11 +13,15 @@ pub use std::hint::black_box;
 /// Benchmark driver.
 pub struct Criterion {
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        Criterion {
+            sample_size: 20,
+            test_mode: false,
+        }
     }
 }
 
@@ -33,18 +37,23 @@ impl Criterion {
         BenchmarkGroup {
             name: name.into(),
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
             _parent: self,
         }
     }
 
     /// Runs a single benchmark outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_bench(name, self.sample_size, f);
+        run_bench(name, self.sample_size, self.test_mode, f);
         self
     }
 
-    /// Hook kept for API parity; configuration comes from the harness.
-    pub fn configure_from_args(self) -> Self {
+    /// Reads harness flags. Like real criterion, `--test` (as passed by
+    /// `cargo bench -- --test`) switches to test mode: every benchmark
+    /// routine runs exactly once, untimed — a CI smoke test that the
+    /// benches still work, without the measurement cost.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
         self
     }
 
@@ -56,6 +65,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    test_mode: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -68,7 +78,12 @@ impl<'a> BenchmarkGroup<'a> {
 
     /// Runs one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_bench(&format!("{}/{}", self.name, name), self.sample_size, f);
+        run_bench(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.test_mode,
+            f,
+        );
         self
     }
 
@@ -93,7 +108,16 @@ impl Bencher {
     }
 }
 
-fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{:<48} (test mode: 1 iteration)", name);
+        return;
+    }
     // Calibrate the per-sample iteration count to roughly 5 ms.
     let mut iters = 1u64;
     loop {
