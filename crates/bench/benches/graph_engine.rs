@@ -33,6 +33,44 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // Typed expansion on a high-degree hub: `rels_of` with a type
+    // filter walks the per-type adjacency list, so asking a 50k-degree
+    // hub for its 16 RARE edges is O(16), not O(50k). The untyped
+    // variant is the full-degree baseline the old filter-scan paid.
+    {
+        use iyp_core::graph::Direction;
+        let mut graph = Graph::new();
+        let hub = graph.merge_node("AS", "asn", 1u32, Props::new());
+        for i in 0..50_000u32 {
+            let p = graph.merge_node(
+                "Prefix",
+                "prefix",
+                format!("10.{}.{}.0/24", i >> 8, i & 255),
+                Props::new(),
+            );
+            graph.create_rel(hub, "ORIGINATE", p, Props::new()).unwrap();
+            if i % 3_200 == 0 {
+                let t = graph.merge_node("Tag", "label", format!("t{i}"), Props::new());
+                graph
+                    .create_rel(hub, "CATEGORIZED", t, Props::new())
+                    .unwrap();
+            }
+        }
+        let rare_type = graph.symbols().get_rel_type("CATEGORIZED").unwrap();
+        g.bench_function("hub_expand_rare_type", |b| {
+            b.iter(|| {
+                black_box(
+                    graph
+                        .rels_of(hub, Direction::Outgoing, Some(rare_type))
+                        .count(),
+                )
+            })
+        });
+        g.bench_function("hub_expand_untyped", |b| {
+            b.iter(|| black_box(graph.rels_of(hub, Direction::Outgoing, None).count()))
+        });
+    }
+
     g.bench_function("cypher_parse", |b| {
         b.iter(|| {
             black_box(

@@ -10,9 +10,10 @@ use std::collections::HashMap;
 pub type Row = HashMap<String, RtVal>;
 
 /// Callback used to evaluate `EXISTS { … }` subqueries; installed by
-/// the executor (which owns the pattern matcher).
+/// the executor (which owns the pattern matcher). `Sync` because the
+/// parallel matcher evaluates predicates from worker threads.
 pub type ExistsHook<'g> =
-    dyn Fn(&[PathPattern], &Row, Option<&Expr>) -> Result<bool, CypherError> + 'g;
+    dyn Fn(&[PathPattern], &Row, Option<&Expr>) -> Result<bool, CypherError> + Sync + 'g;
 
 /// Evaluation context: the graph plus query parameters.
 pub struct EvalCtx<'g> {

@@ -3,13 +3,14 @@
 use crate::ast::*;
 use crate::error::CypherError;
 use crate::eval::{rt_eq, truth, EvalCtx, Row};
+use crate::par::{self, ParCapture};
 use crate::parser::parse;
-use crate::plan::{annotate, plan_query, PlanNode};
-use crate::rtval::RtVal;
+use crate::plan::{annotate, plan_query, ClauseStat, PlanNode};
+use crate::rtval::{GroupKey, RtVal};
 use iyp_graph::{Direction, Graph, KeyValue, NodeId, Rel, RelId, Value};
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Query parameters.
 pub type Params = HashMap<String, Value>;
@@ -140,7 +141,7 @@ fn execute_observed(
     graph: &Graph,
     ast: &Query,
     params: &Params,
-    mut stats: Option<&mut Vec<(u64, Duration)>>,
+    mut stats: Option<&mut Vec<ClauseStat>>,
 ) -> Result<ResultSet, CypherError> {
     // EXISTS subqueries re-enter the matcher with a hook-less inner
     // context (one level of nesting; EXISTS-inside-EXISTS is rejected).
@@ -158,7 +159,7 @@ fn execute_observed(
         for pattern in patterns {
             let mut next = Vec::new();
             for (r, used) in matches {
-                match_pattern(&inner, &r, &used, pattern, &mut next)?;
+                match_pattern(&inner, &r, &used, pattern, &mut next, None)?;
             }
             matches = next;
             if matches.is_empty() {
@@ -187,18 +188,13 @@ fn execute_observed(
 
     for clause in &ast.clauses {
         let started = stats.as_ref().map(|_| Instant::now());
+        let mut cap = ParCapture::default();
         match clause {
             Clause::Match { optional, patterns } => {
-                rows = exec_match(&ctx, rows, patterns, *optional)?;
+                rows = exec_match(&ctx, rows, patterns, *optional, Some(&mut cap))?;
             }
             Clause::Where(expr) => {
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    if truth(&ctx.eval(expr, &row)?) == Some(true) {
-                        kept.push(row);
-                    }
-                }
-                rows = kept;
+                rows = exec_where(&ctx, rows, expr, Some(&mut cap))?;
             }
             Clause::Unwind { expr, var } => {
                 let mut out = Vec::new();
@@ -248,7 +244,12 @@ fn execute_observed(
                 (Some(rs), Clause::Return(_)) => rs.rows.len() as u64,
                 _ => rows.len() as u64,
             };
-            collector.push((produced, started.expect("profiling start").elapsed()));
+            collector.push(ClauseStat {
+                rows: produced,
+                time: started.expect("profiling start").elapsed(),
+                parallelism: cap.parallelism.max(1),
+                chunk_rows: cap.chunk_rows,
+            });
         }
     }
 
@@ -259,38 +260,110 @@ fn execute_observed(
 // MATCH
 // ----------------------------------------------------------------------
 
+/// Runs a `MATCH` clause over the input rows. When the input row set is
+/// large it is partitioned across worker threads (each row matches
+/// independently); results merge in chunk order, so the output is
+/// identical to serial execution.
 pub(crate) fn exec_match(
     ctx: &EvalCtx<'_>,
     rows: Vec<Row>,
     patterns: &[PathPattern],
     optional: bool,
+    mut cap: Option<&mut ParCapture>,
 ) -> Result<Vec<Row>, CypherError> {
+    let threads = par::threads();
+    if par::should_parallelize(rows.len(), threads) {
+        let chunks = par::run_chunks(&rows, threads, |chunk| {
+            let mut local = Vec::new();
+            for row in chunk {
+                match_row(ctx, row, patterns, optional, &mut local, None)?;
+            }
+            Ok(local)
+        })?;
+        if let Some(cap) = cap.as_deref_mut() {
+            cap.record(threads, &chunks.iter().map(Vec::len).collect::<Vec<_>>());
+        }
+        return Ok(chunks.into_iter().flatten().collect());
+    }
     let mut out = Vec::new();
-    for row in rows {
-        let mut matches: Vec<(Row, HashSet<RelId>)> = vec![(row.clone(), HashSet::new())];
-        for pattern in patterns {
-            let mut next = Vec::new();
-            for (r, used) in matches {
-                match_pattern(ctx, &r, &used, pattern, &mut next)?;
-            }
-            matches = next;
-            if matches.is_empty() {
-                break;
-            }
-        }
-        if matches.is_empty() {
-            if optional {
-                let mut r = row;
-                for var in pattern_vars(patterns) {
-                    r.entry(var).or_insert_with(RtVal::null);
-                }
-                out.push(r);
-            }
-        } else {
-            out.extend(matches.into_iter().map(|(r, _)| r));
-        }
+    for row in &rows {
+        match_row(ctx, row, patterns, optional, &mut out, cap.as_deref_mut())?;
     }
     Ok(out)
+}
+
+/// Matches every pattern of a `MATCH` clause against one input row.
+fn match_row(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    patterns: &[PathPattern],
+    optional: bool,
+    out: &mut Vec<Row>,
+    mut cap: Option<&mut ParCapture>,
+) -> Result<(), CypherError> {
+    let mut matches: Vec<(Row, HashSet<RelId>)> = vec![(row.clone(), HashSet::new())];
+    for pattern in patterns {
+        let mut next = Vec::new();
+        for (r, used) in matches {
+            match_pattern(ctx, &r, &used, pattern, &mut next, cap.as_deref_mut())?;
+        }
+        matches = next;
+        if matches.is_empty() {
+            break;
+        }
+    }
+    if matches.is_empty() {
+        if optional {
+            let mut r = row.clone();
+            for var in pattern_vars(patterns) {
+                r.entry(var).or_insert_with(RtVal::null);
+            }
+            out.push(r);
+        }
+    } else {
+        out.extend(matches.into_iter().map(|(r, _)| r));
+    }
+    Ok(())
+}
+
+/// Runs a `WHERE` clause. Large row sets evaluate the predicate on
+/// worker threads; the kept rows preserve input order exactly.
+fn exec_where(
+    ctx: &EvalCtx<'_>,
+    rows: Vec<Row>,
+    expr: &Expr,
+    cap: Option<&mut ParCapture>,
+) -> Result<Vec<Row>, CypherError> {
+    let threads = par::threads();
+    if par::should_parallelize(rows.len(), threads) {
+        let verdicts = par::run_chunks(&rows, threads, |chunk| {
+            let mut keep = Vec::with_capacity(chunk.len());
+            for row in chunk {
+                keep.push(truth(&ctx.eval(expr, row)?) == Some(true));
+            }
+            Ok(keep)
+        })?;
+        if let Some(cap) = cap {
+            let kept_per_chunk: Vec<usize> = verdicts
+                .iter()
+                .map(|c| c.iter().filter(|k| **k).count())
+                .collect();
+            cap.record(threads, &kept_per_chunk);
+        }
+        let keep: Vec<bool> = verdicts.into_iter().flatten().collect();
+        return Ok(rows
+            .into_iter()
+            .zip(keep)
+            .filter_map(|(r, k)| k.then_some(r))
+            .collect());
+    }
+    let mut kept = Vec::with_capacity(rows.len());
+    for row in rows {
+        if truth(&ctx.eval(expr, &row)?) == Some(true) {
+            kept.push(row);
+        }
+    }
+    Ok(kept)
 }
 
 /// All variable names appearing in the patterns.
@@ -313,12 +386,15 @@ pub(crate) fn pattern_vars(patterns: &[PathPattern]) -> Vec<String> {
 }
 
 /// Matches a single linear pattern, appending `(row, used)` extensions.
+/// Large anchor candidate sets are partitioned across worker threads;
+/// chunk results merge in candidate order, matching serial output.
 pub(crate) fn match_pattern(
     ctx: &EvalCtx<'_>,
     row: &Row,
     used: &HashSet<RelId>,
     pattern: &PathPattern,
     out: &mut Vec<(Row, HashSet<RelId>)>,
+    cap: Option<&mut ParCapture>,
 ) -> Result<(), CypherError> {
     // Collect the node patterns as a flat list for anchor selection.
     let nodes: Vec<&NodePattern> = std::iter::once(&pattern.start)
@@ -338,18 +414,51 @@ pub(crate) fn match_pattern(
         }
     }
 
-    let candidates = anchor_candidates(ctx, row, nodes[anchor])?;
+    let anchor_np = nodes[anchor];
+    let candidates = anchor_candidates(ctx, row, anchor_np)?;
+    let threads = par::threads();
+    if par::should_parallelize(candidates.len(), threads) {
+        let chunks = par::run_chunks(&candidates, threads, |chunk| {
+            let mut local = Vec::new();
+            for cand in chunk {
+                match_candidate(
+                    ctx, row, used, pattern, anchor, anchor_np, *cand, &mut local,
+                )?;
+            }
+            Ok(local)
+        })?;
+        if let Some(cap) = cap {
+            cap.record(threads, &chunks.iter().map(Vec::len).collect::<Vec<_>>());
+        }
+        out.extend(chunks.into_iter().flatten());
+        return Ok(());
+    }
     for cand in candidates {
-        if !node_matches(ctx, row, nodes[anchor], cand)? {
-            continue;
-        }
-        let mut r = row.clone();
-        if let Some(var) = &nodes[anchor].var {
-            r.insert(var.clone(), RtVal::Node(cand));
-        }
-        expand(ctx, pattern, anchor, cand, r, used.clone(), out)?;
+        match_candidate(ctx, row, used, pattern, anchor, anchor_np, cand, out)?;
     }
     Ok(())
+}
+
+/// Expands the pattern from one anchor candidate.
+#[allow(clippy::too_many_arguments)]
+fn match_candidate(
+    ctx: &EvalCtx<'_>,
+    row: &Row,
+    used: &HashSet<RelId>,
+    pattern: &PathPattern,
+    anchor: usize,
+    anchor_np: &NodePattern,
+    cand: NodeId,
+    out: &mut Vec<(Row, HashSet<RelId>)>,
+) -> Result<(), CypherError> {
+    if !node_matches(ctx, row, anchor_np, cand)? {
+        return Ok(());
+    }
+    let mut r = row.clone();
+    if let Some(var) = &anchor_np.var {
+        r.insert(var.clone(), RtVal::Node(cand));
+    }
+    expand(ctx, pattern, anchor, cand, r, used.clone(), out)
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -772,7 +881,12 @@ pub(crate) fn project(
     let mut produced: Vec<(Vec<RtVal>, Row)> = Vec::new();
 
     if has_aggregate {
-        // Group rows by the non-aggregate items.
+        // Group rows by the non-aggregate items. Key expressions are
+        // evaluated (in parallel for large inputs, order preserved),
+        // then rows merge serially into groups — first-occurrence
+        // order, so grouping is deterministic and thread-count
+        // independent. Keys are structural [`GroupKey`]s, not rendered
+        // strings, so distinct values can no longer collide.
         let group_idx: Vec<usize> = proj
             .items
             .iter()
@@ -780,22 +894,33 @@ pub(crate) fn project(
             .filter(|(_, i)| !i.expr.contains_aggregate())
             .map(|(k, _)| k)
             .collect();
-        let mut groups: Vec<(Vec<RtVal>, Vec<Row>)> = Vec::new();
-        let mut index: HashMap<String, usize> = HashMap::new();
-        for row in rows {
+        let eval_key = |row: &Row| -> Result<(Vec<RtVal>, Vec<GroupKey>), CypherError> {
             let mut key = Vec::with_capacity(group_idx.len());
             for &k in &group_idx {
-                key.push(ctx.eval(&proj.items[k].expr, &row)?);
+                key.push(ctx.eval(&proj.items[k].expr, row)?);
             }
-            let fingerprint = key
-                .iter()
-                .map(|v| v.render(ctx.graph))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            match index.get(&fingerprint) {
+            let gk = key.iter().map(RtVal::group_key).collect();
+            Ok((key, gk))
+        };
+        let threads = par::threads();
+        let keys: Vec<(Vec<RtVal>, Vec<GroupKey>)> = if par::should_parallelize(rows.len(), threads)
+        {
+            par::run_chunks(&rows, threads, |chunk| {
+                chunk.iter().map(&eval_key).collect()
+            })?
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            rows.iter().map(eval_key).collect::<Result<Vec<_>, _>>()?
+        };
+        let mut groups: Vec<(Vec<RtVal>, Vec<Row>)> = Vec::new();
+        let mut index: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        for (row, (key, gk)) in rows.into_iter().zip(keys) {
+            match index.get(&gk) {
                 Some(&g) => groups[g].1.push(row),
                 None => {
-                    index.insert(fingerprint, groups.len());
+                    index.insert(gk, groups.len());
                     groups.push((key, vec![row]));
                 }
             }
@@ -819,32 +944,43 @@ pub(crate) fn project(
             produced.push((out_row, repr));
         }
     } else {
-        for row in rows {
+        // Plain projection: evaluate items per row, in parallel for
+        // large inputs (order preserved by chunk-order merge).
+        let eval_row = |row: &Row| -> Result<Vec<RtVal>, CypherError> {
             let mut out_row = Vec::with_capacity(proj.items.len());
             for item in &proj.items {
-                out_row.push(ctx.eval(&item.expr, &row)?);
+                out_row.push(ctx.eval(&item.expr, row)?);
             }
-            produced.push((out_row, row));
+            Ok(out_row)
+        };
+        let threads = par::threads();
+        if par::should_parallelize(rows.len(), threads) {
+            let outs = par::run_chunks(&rows, threads, |chunk| {
+                chunk.iter().map(&eval_row).collect()
+            })?;
+            produced = outs.into_iter().flatten().zip(rows).collect();
+        } else {
+            for row in rows {
+                let vals = eval_row(&row)?;
+                produced.push((vals, row));
+            }
         }
     }
 
     if proj.distinct {
-        let mut seen: HashSet<String> = HashSet::new();
-        produced.retain(|(vals, _)| {
-            let fp = vals
-                .iter()
-                .map(|v| v.render(ctx.graph))
-                .collect::<Vec<_>>()
-                .join("\u{1}");
-            seen.insert(fp)
-        });
+        let mut seen: HashSet<Vec<GroupKey>> = HashSet::new();
+        produced.retain(|(vals, _)| seen.insert(vals.iter().map(RtVal::group_key).collect()));
     }
 
-    if !proj.order_by.is_empty() {
-        // ORDER BY sees projected aliases plus the original bindings.
-        let mut keyed: Vec<(Vec<RtVal>, Vec<RtVal>, Row)> = Vec::with_capacity(produced.len());
-        for (vals, repr) in produced {
-            let mut scope = repr.clone();
+    let ordered: Vec<Vec<RtVal>> = if proj.order_by.is_empty() {
+        produced.into_iter().map(|(vals, _)| vals).collect()
+    } else {
+        // Decorate–sort–undecorate: ORDER BY sees projected aliases
+        // plus the original bindings, so overlay the aliases onto the
+        // representative row (consumed, not cloned) to evaluate keys,
+        // then sort by the precomputed keys alone.
+        let mut keyed: Vec<(Vec<RtVal>, Vec<RtVal>)> = Vec::with_capacity(produced.len());
+        for (vals, mut scope) in produced {
             for (c, v) in columns.iter().zip(vals.iter()) {
                 scope.insert(c.clone(), v.clone());
             }
@@ -852,7 +988,7 @@ pub(crate) fn project(
             for ok in &proj.order_by {
                 keys.push(ctx.eval(&ok.expr, &scope)?);
             }
-            keyed.push((keys, vals, repr));
+            keyed.push((keys, vals));
         }
         keyed.sort_by(|a, b| {
             for (i, ok) in proj.order_by.iter().enumerate() {
@@ -864,11 +1000,8 @@ pub(crate) fn project(
             }
             Ordering::Equal
         });
-        produced = keyed
-            .into_iter()
-            .map(|(_, vals, repr)| (vals, repr))
-            .collect();
-    }
+        keyed.into_iter().map(|(_, vals)| vals).collect()
+    };
 
     let empty = Row::new();
     let skip = match &proj.skip {
@@ -880,12 +1013,7 @@ pub(crate) fn project(
         None => usize::MAX,
     };
 
-    let rows_out: Vec<Vec<RtVal>> = produced
-        .into_iter()
-        .skip(skip)
-        .take(limit)
-        .map(|(vals, _)| vals)
-        .collect();
+    let rows_out: Vec<Vec<RtVal>> = ordered.into_iter().skip(skip).take(limit).collect();
     Ok((columns, rows_out))
 }
 
@@ -983,8 +1111,8 @@ fn compute_aggregate(
         }
     }
     if distinct {
-        let mut seen = HashSet::new();
-        values.retain(|v| seen.insert(v.render(ctx.graph)));
+        let mut seen: HashSet<GroupKey> = HashSet::new();
+        values.retain(|v| seen.insert(v.group_key()));
     }
 
     match name {

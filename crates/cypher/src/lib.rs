@@ -47,6 +47,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod lexer;
+pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod rtval;
@@ -54,6 +55,7 @@ pub mod write;
 
 pub use error::CypherError;
 pub use exec::{explain, profile, query, Params, ResultSet};
-pub use plan::PlanNode;
-pub use rtval::RtVal;
+pub use par::{set_min_partition, set_threads, threads};
+pub use plan::{ClauseStat, PlanNode};
+pub use rtval::{GroupKey, RtVal};
 pub use write::{query_write, WriteSummary};

@@ -11,6 +11,19 @@ use crate::ast::*;
 use iyp_graph::Graph;
 use std::time::Duration;
 
+/// Per-clause measurements collected by the `PROFILE` observer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClauseStat {
+    /// Rows the clause produced.
+    pub rows: u64,
+    /// Wall time the clause consumed.
+    pub time: Duration,
+    /// Widest parallelism any stage of the clause ran at (1 = serial).
+    pub parallelism: usize,
+    /// Rows produced per worker slot, summed across parallel stages.
+    pub chunk_rows: Vec<u64>,
+}
+
 /// One operator in an execution plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlanNode {
@@ -24,6 +37,11 @@ pub struct PlanNode {
     pub rows: Option<u64>,
     /// Wall time spent in this operator (`PROFILE` only).
     pub time: Option<Duration>,
+    /// Worker threads the operator ran on (`PROFILE` only; absent or 1
+    /// means it ran serially).
+    pub parallelism: Option<usize>,
+    /// Rows produced per worker slot (`PROFILE` only, parallel runs).
+    pub chunk_rows: Option<Vec<u64>>,
     /// Index of the source clause this operator corresponds to, when
     /// it maps one-to-one (used to attach `PROFILE` measurements).
     pub clause: Option<usize>,
@@ -38,6 +56,8 @@ impl PlanNode {
             children: Vec::new(),
             rows: None,
             time: None,
+            parallelism: None,
+            chunk_rows: None,
             clause: None,
         }
     }
@@ -74,6 +94,13 @@ impl PlanNode {
         }
         if let Some(t) = self.time {
             notes.push(format!("time={:.3}ms", t.as_secs_f64() * 1e3));
+        }
+        if let Some(par) = self.parallelism.filter(|p| *p > 1) {
+            notes.push(format!("par={par}"));
+            if let Some(chunks) = self.chunk_rows.as_ref().filter(|c| !c.is_empty()) {
+                let per: Vec<String> = chunks.iter().map(u64::to_string).collect();
+                notes.push(format!("chunks={}", per.join("/")));
+            }
         }
         if !notes.is_empty() {
             line.push_str(&format!("  [{}]", notes.join(" ")));
@@ -122,13 +149,18 @@ pub fn plan_query(graph: &Graph, ast: &Query) -> PlanNode {
     chain.unwrap_or_else(|| PlanNode::new("EmptyPlan", ""))
 }
 
-/// Attaches `PROFILE` measurements (rows produced and wall time per
-/// clause, in pipeline order) to a plan built by [`plan_query`].
-pub fn annotate(mut plan: PlanNode, stats: &[(u64, Duration)]) -> PlanNode {
-    fn walk(node: &mut PlanNode, stats: &[(u64, Duration)]) {
-        if let Some((rows, time)) = node.clause.and_then(|i| stats.get(i)) {
-            node.rows = Some(*rows);
-            node.time = Some(*time);
+/// Attaches `PROFILE` measurements (rows produced, wall time, and
+/// parallel-stage data per clause, in pipeline order) to a plan built
+/// by [`plan_query`].
+pub fn annotate(mut plan: PlanNode, stats: &[ClauseStat]) -> PlanNode {
+    fn walk(node: &mut PlanNode, stats: &[ClauseStat]) {
+        if let Some(stat) = node.clause.and_then(|i| stats.get(i)) {
+            node.rows = Some(stat.rows);
+            node.time = Some(stat.time);
+            if stat.parallelism > 1 {
+                node.parallelism = Some(stat.parallelism);
+                node.chunk_rows = Some(stat.chunk_rows.clone());
+            }
         }
         for child in &mut node.children {
             walk(child, stats);
@@ -413,12 +445,28 @@ mod tests {
         let ast = parse("MATCH (a:AS) RETURN count(*)").unwrap();
         let plan = plan_query(&g, &ast);
         let stats = vec![
-            (7u64, Duration::from_millis(1)),
-            (1u64, Duration::from_millis(2)),
+            ClauseStat {
+                rows: 7,
+                time: Duration::from_millis(1),
+                parallelism: 4,
+                chunk_rows: vec![2, 2, 2, 1],
+            },
+            ClauseStat {
+                rows: 1,
+                time: Duration::from_millis(2),
+                parallelism: 1,
+                chunk_rows: Vec::new(),
+            },
         ];
         let annotated = annotate(plan, &stats);
         assert_eq!(annotated.rows, Some(1)); // ProduceResults is last
         assert_eq!(annotated.children[0].rows, Some(7)); // Match is first
+                                                         // Parallel stages surface as par=/chunks= notes on their operator.
+        assert!(annotated.parallelism.is_none());
+        assert_eq!(annotated.children[0].parallelism, Some(4));
+        let rendered = annotated.render();
+        assert!(rendered.contains("par=4"), "{rendered}");
+        assert!(rendered.contains("chunks=2/2/2/1"), "{rendered}");
     }
 
     #[test]

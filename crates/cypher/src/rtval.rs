@@ -136,6 +136,82 @@ impl From<Value> for RtVal {
     }
 }
 
+/// A hashable structural key for grouping and `DISTINCT`.
+///
+/// Replaces the old `render()`-string fingerprints, which conflated
+/// values that render identically (`1` vs `"1"`, nodes vs their
+/// rendering) and broke on strings containing the join separator.
+/// Structure is preserved exactly; the only normalisation is numeric:
+/// a whole `Float` maps to the same key as the equal `Int` (Cypher
+/// equivalence: `1` and `1.0` are the same grouping key), `-0.0`
+/// collapses to `0`, and all NaNs share one key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// Null (all nulls group together, as with the old fingerprints).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer, or a float exactly equal to one.
+    Int(i64),
+    /// A non-integral float, by bit pattern (NaN canonicalised).
+    Float(u64),
+    /// A string, structurally (no separator to collide with).
+    Str(String),
+    /// A node, by identity.
+    Node(u64),
+    /// A relationship, by identity.
+    Rel(u64),
+    /// A list; scalar lists and entity lists with equal elements agree.
+    List(Vec<GroupKey>),
+}
+
+impl GroupKey {
+    fn of_value(v: &Value) -> GroupKey {
+        match v {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(i) => GroupKey::Int(*i),
+            Value::Float(f) => GroupKey::of_float(*f),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+            Value::List(l) => GroupKey::List(l.iter().map(GroupKey::of_value).collect()),
+        }
+    }
+
+    fn of_float(f: f64) -> GroupKey {
+        if f.is_nan() {
+            return GroupKey::Float(f64::NAN.to_bits());
+        }
+        // A whole float within i64 range is equivalent to the integer
+        // (this also folds -0.0 into 0).
+        if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 {
+            let i = f as i64;
+            if i as f64 == f {
+                return GroupKey::Int(i);
+            }
+        }
+        GroupKey::Float(f.to_bits())
+    }
+}
+
+impl RtVal {
+    /// The structural grouping/`DISTINCT` key of this value.
+    pub fn group_key(&self) -> GroupKey {
+        if iyp_telemetry::enabled() {
+            iyp_telemetry::counter(iyp_telemetry::names::CYPHER_GROUP_KEYS_TOTAL).incr();
+        }
+        self.group_key_inner()
+    }
+
+    fn group_key_inner(&self) -> GroupKey {
+        match self {
+            RtVal::Scalar(v) => GroupKey::of_value(v),
+            RtVal::Node(n) => GroupKey::Node(n.0),
+            RtVal::Rel(r) => GroupKey::Rel(r.0),
+            RtVal::List(l) => GroupKey::List(l.iter().map(RtVal::group_key_inner).collect()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,6 +247,56 @@ mod tests {
         let l2 = RtVal::List(vec![RtVal::Node(NodeId(0))]);
         assert_eq!(l2.as_list().unwrap().len(), 1);
         assert!(RtVal::Scalar(Value::Int(1)).as_list().is_none());
+    }
+
+    #[test]
+    fn group_key_semantics() {
+        let int1 = RtVal::Scalar(Value::Int(1)).group_key();
+        let float1 = RtVal::Scalar(Value::Float(1.0)).group_key();
+        let str1 = RtVal::Scalar(Value::Str("1".into())).group_key();
+        // Cypher numeric equivalence: 1 and 1.0 share a key …
+        assert_eq!(int1, float1);
+        // … but the string "1" does not (the old render-fingerprint
+        // conflated all three).
+        assert_ne!(int1, str1);
+        // Entities are identity, not their rendering or their id number.
+        assert_ne!(RtVal::Node(NodeId(1)).group_key(), int1);
+        assert_ne!(
+            RtVal::Node(NodeId(1)).group_key(),
+            RtVal::Rel(RelId(1)).group_key()
+        );
+        // Strings embedding the old \u{1} separator can no longer
+        // collide with multi-value keys.
+        let embedded = RtVal::Scalar(Value::Str("a\u{1}b".into())).group_key();
+        let split = RtVal::List(vec![
+            RtVal::Scalar(Value::Str("a".into())),
+            RtVal::Scalar(Value::Str("b".into())),
+        ])
+        .group_key();
+        assert_ne!(embedded, split);
+        // Scalar lists and entity-shaped lists with equal elements agree.
+        assert_eq!(
+            RtVal::Scalar(Value::List(vec![Value::Int(2), Value::Int(3)])).group_key(),
+            RtVal::List(vec![
+                RtVal::Scalar(Value::Int(2)),
+                RtVal::Scalar(Value::Int(3))
+            ])
+            .group_key()
+        );
+        // Float edge cases: -0.0 folds into 0; NaNs share one key; a
+        // non-integral float keeps its own key.
+        assert_eq!(
+            RtVal::Scalar(Value::Float(-0.0)).group_key(),
+            RtVal::Scalar(Value::Int(0)).group_key()
+        );
+        assert_eq!(
+            RtVal::Scalar(Value::Float(f64::NAN)).group_key(),
+            RtVal::Scalar(Value::Float(-f64::NAN)).group_key()
+        );
+        assert_ne!(
+            RtVal::Scalar(Value::Float(1.5)).group_key(),
+            RtVal::Scalar(Value::Int(1)).group_key()
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub fn execute_write(
                     params,
                     exists: None,
                 };
-                rows = exec_match(&ctx, rows, patterns, *optional)?;
+                rows = exec_match(&ctx, rows, patterns, *optional, None)?;
             }
             Clause::Where(expr) => {
                 let ctx = EvalCtx {
@@ -154,7 +154,7 @@ pub fn execute_write(
                             exists: None,
                         };
                         let mut found = Vec::new();
-                        match_pattern(&ctx, &row, &HashSet::new(), pattern, &mut found)?;
+                        match_pattern(&ctx, &row, &HashSet::new(), pattern, &mut found, None)?;
                         found
                     };
                     if matches.is_empty() {

@@ -30,11 +30,47 @@ pub struct Graph {
     label_index: HashMap<LabelId, BTreeSet<NodeId>>,
     /// (label, key prop) -> key value -> node id.
     key_index: HashMap<(LabelId, PropKeyId), HashMap<KeyValue, NodeId>>,
+    /// Per-node adjacency grouped by relationship type, parallel to
+    /// `nodes`. Derived from the rel table (never serialized; rebuilt in
+    /// [`Graph::from_parts`]) so typed expansion is O(degree-of-type).
+    typed_adj: Vec<TypedAdj>,
     deleted_nodes: u64,
     deleted_rels: u64,
     /// When `Some`, every mutation appends its effect [`GraphOp`] here
     /// (the journaling hook; see [`Graph::begin_recording`]).
     recorder: Option<Vec<GraphOp>>,
+}
+
+/// Typed adjacency lists for one node: rel ids partitioned by
+/// [`RelTypeId`], each list in creation (id) order so iteration matches
+/// the order a type filter over `out_rels`/`in_rels` would produce.
+#[derive(Debug, Default, Clone)]
+struct TypedAdj {
+    out: Vec<(RelTypeId, Vec<RelId>)>,
+    inc: Vec<(RelTypeId, Vec<RelId>)>,
+}
+
+fn typed_push(list: &mut Vec<(RelTypeId, Vec<RelId>)>, t: RelTypeId, id: RelId) {
+    match list.binary_search_by_key(&t, |(ty, _)| *ty) {
+        Ok(i) => list[i].1.push(id),
+        Err(i) => list.insert(i, (t, vec![id])),
+    }
+}
+
+fn typed_remove(list: &mut Vec<(RelTypeId, Vec<RelId>)>, t: RelTypeId, id: RelId) {
+    if let Ok(i) = list.binary_search_by_key(&t, |(ty, _)| *ty) {
+        list[i].1.retain(|x| *x != id);
+        if list[i].1.is_empty() {
+            list.remove(i);
+        }
+    }
+}
+
+fn typed_get(list: &[(RelTypeId, Vec<RelId>)], t: RelTypeId) -> &[RelId] {
+    match list.binary_search_by_key(&t, |(ty, _)| *ty) {
+        Ok(i) => &list[i].1,
+        Err(_) => &[],
+    }
 }
 
 impl Graph {
@@ -97,6 +133,7 @@ impl Graph {
             out_rels: Vec::new(),
             in_rels: Vec::new(),
         }));
+        self.typed_adj.push(TypedAdj::default());
         id
     }
 
@@ -262,6 +299,8 @@ impl Graph {
             .expect("checked above")
             .in_rels
             .push(id);
+        typed_push(&mut self.typed_adj[src.0 as usize].out, type_id, id);
+        typed_push(&mut self.typed_adj[dst.0 as usize].inc, type_id, id);
         Ok(id)
     }
 
@@ -282,9 +321,11 @@ impl Graph {
             .expect("checked above");
         if let Some(Some(n)) = self.nodes.get_mut(r.src.0 as usize) {
             n.out_rels.retain(|x| *x != rel);
+            typed_remove(&mut self.typed_adj[r.src.0 as usize].out, r.rel_type, rel);
         }
         if let Some(Some(n)) = self.nodes.get_mut(r.dst.0 as usize) {
             n.in_rels.retain(|x| *x != rel);
+            typed_remove(&mut self.typed_adj[r.dst.0 as usize].inc, r.rel_type, rel);
         }
         self.deleted_rels += 1;
         Ok(())
@@ -319,6 +360,7 @@ impl Graph {
             let _ = self.delete_rel(r);
         }
         let n = self.nodes[node.0 as usize].take().expect("checked above");
+        self.typed_adj[node.0 as usize] = TypedAdj::default();
         for l in &n.labels {
             if let Some(set) = self.label_index.get_mut(l) {
                 set.remove(&node);
@@ -541,19 +583,29 @@ impl Graph {
 
     /// Relationships touching `node`, filtered by direction and
     /// (optionally) type.
+    ///
+    /// With a type filter this reads the per-type adjacency lists, so it
+    /// is O(degree-of-type) rather than a scan of the whole adjacency.
+    /// Iteration order is identical either way: rel ids in creation
+    /// order, outgoing before incoming.
     pub fn rels_of<'a>(
         &'a self,
         node: NodeId,
         dir: Direction,
         rel_type: Option<RelTypeId>,
     ) -> impl Iterator<Item = &'a Rel> + 'a {
-        let (out, inc): (&[RelId], &[RelId]) = match self.node(node) {
-            Some(n) => match dir {
-                Direction::Outgoing => (&n.out_rels, &[][..]),
-                Direction::Incoming => (&[][..], &n.in_rels),
-                Direction::Both => (&n.out_rels, &n.in_rels),
-            },
-            None => (&[][..], &[][..]),
+        let (all_out, all_inc): (&[RelId], &[RelId]) = match (self.node(node), rel_type) {
+            (None, _) => (&[][..], &[][..]),
+            (Some(n), None) => (&n.out_rels, &n.in_rels),
+            (Some(_), Some(t)) => {
+                let adj = &self.typed_adj[node.0 as usize];
+                (typed_get(&adj.out, t), typed_get(&adj.inc, t))
+            }
+        };
+        let (out, inc): (&[RelId], &[RelId]) = match dir {
+            Direction::Outgoing => (all_out, &[][..]),
+            Direction::Incoming => (&[][..], all_inc),
+            Direction::Both => (all_out, all_inc),
         };
         // Under Direction::Both a self-loop appears in both lists; skip it
         // on the incoming side so it is yielded exactly once.
@@ -564,7 +616,6 @@ impl Graph {
             .filter_map(move |(r, from_in)| self.rel(r).map(|rel| (rel, from_in)))
             .filter(move |(rel, from_in)| !(skip_self_loops_in && *from_in && rel.src == rel.dst))
             .map(|(rel, _)| rel)
-            .filter(move |r| rel_type.is_none_or(|t| r.rel_type == t))
     }
 
     /// Neighbouring node ids via relationships of the given direction and
@@ -598,6 +649,7 @@ impl Graph {
             rels,
             label_index: HashMap::new(),
             key_index: HashMap::new(),
+            typed_adj: Vec::new(),
             deleted_nodes: 0,
             deleted_rels: 0,
             recorder: None,
@@ -609,6 +661,13 @@ impl Graph {
             for l in &n.labels {
                 g.label_index.entry(*l).or_default().insert(n.id);
             }
+        }
+        // Rebuild typed adjacency: rels in id order reproduces the same
+        // per-type list order live writes maintain.
+        g.typed_adj = vec![TypedAdj::default(); g.nodes.len()];
+        for r in g.rels.iter().filter_map(Option::as_ref) {
+            typed_push(&mut g.typed_adj[r.src.0 as usize].out, r.rel_type, r.id);
+            typed_push(&mut g.typed_adj[r.dst.0 as usize].inc, r.rel_type, r.id);
         }
         // Rebuild the key index for the conventional identity keys: for
         // every (label, prop) pair where a property is a valid key type,
@@ -872,6 +931,64 @@ mod tests {
             props: Props::new(),
         };
         assert!(matches!(g.apply(&op), Err(GraphError::Replay(_))));
+    }
+
+    #[test]
+    fn typed_adjacency_matches_filtered_scan() {
+        // The typed lists must agree with a brute-force type filter over
+        // the untyped adjacency — same rels, same order — through
+        // creation, deletion, and self-loops.
+        let mut g = Graph::new();
+        let hub = g.create_node(&["Hub"], Props::new());
+        let mut spokes = Vec::new();
+        for i in 0..8u32 {
+            spokes.push(g.merge_node("Spoke", "n", i, Props::new()));
+        }
+        let mut created = Vec::new();
+        for (i, s) in spokes.iter().enumerate() {
+            let t = ["R1", "R2", "R3"][i % 3];
+            created.push(g.create_rel(hub, t, *s, Props::new()).unwrap());
+            created.push(g.create_rel(*s, t, hub, Props::new()).unwrap());
+        }
+        g.create_rel(hub, "R1", hub, Props::new()).unwrap();
+        g.delete_rel(created[2]).unwrap();
+        g.delete_rel(created[5]).unwrap();
+        for dir in [Direction::Outgoing, Direction::Incoming, Direction::Both] {
+            for t in ["R1", "R2", "R3"] {
+                let tid = g.symbols().get_rel_type(t).unwrap();
+                let typed: Vec<RelId> = g.rels_of(hub, dir, Some(tid)).map(|r| r.id).collect();
+                let filtered: Vec<RelId> = g
+                    .rels_of(hub, dir, None)
+                    .filter(|r| r.rel_type == tid)
+                    .map(|r| r.id)
+                    .collect();
+                assert_eq!(typed, filtered, "{dir:?} {t}");
+            }
+        }
+        // Unknown type: empty, not a scan fallback.
+        assert!(g.rels_of(hub, Direction::Both, None).count() > 0);
+        let mut g2 = Graph::new();
+        g2.rel_type("Ghost");
+        assert_eq!(g2.rels_of(hub, Direction::Both, None).count(), 0);
+    }
+
+    #[test]
+    fn typed_adjacency_survives_snapshot_reload() {
+        let mut g = Graph::new();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        let b = g.merge_node("AS", "asn", 2u32, Props::new());
+        g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        g.create_rel(a, "DEPENDS_ON", b, Props::new()).unwrap();
+        g.create_rel(b, "PEERS_WITH", a, Props::new()).unwrap();
+        let bytes = crate::snapshot::to_binary(&g);
+        let g2 = crate::snapshot::from_binary(&bytes).unwrap();
+        let t = g2.symbols().get_rel_type("PEERS_WITH").unwrap();
+        let ids: Vec<RelId> = g2
+            .rels_of(a, Direction::Both, Some(t))
+            .map(|r| r.id)
+            .collect();
+        assert_eq!(ids, vec![RelId(0), RelId(2)]);
+        assert_eq!(g2.rels_of(a, Direction::Outgoing, Some(t)).count(), 1);
     }
 
     #[test]

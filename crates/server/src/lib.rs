@@ -53,4 +53,4 @@ pub mod server;
 
 pub use client::Client;
 pub use proto::{decode_value, encode_value, Command, ProtoError, Request, Response};
-pub use server::{Server, ServerError, Service};
+pub use server::{Server, ServerError, ServerOptions, Service};

@@ -37,6 +37,34 @@ const MAX_REQUEST_BYTES: usize = 1 << 20;
 /// `iyp_server_slow_queries_total`).
 const SLOW_QUERY: Duration = Duration::from_millis(250);
 
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Maximum connection handlers in flight at once. Connections
+    /// arriving above the cap are rejected with a structured `busy`
+    /// error (and counted in `iyp_server_busy_rejected_total`) instead
+    /// of spawning an unbounded thread per connection.
+    pub max_connections: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_connections: 64,
+        }
+    }
+}
+
+/// Decrements the in-flight connection count when a handler exits,
+/// however it exits.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// What the server serves: an immutable shared graph, or a journaled
 /// durable one that also accepts `write` and `checkpoint` commands.
 #[derive(Clone)]
@@ -72,8 +100,17 @@ impl Server {
         Self::start_service(Service::Durable(durable), addr)
     }
 
-    /// Starts a server for any [`Service`].
+    /// Starts a server for any [`Service`] with default options.
     pub fn start_service(service: Service, addr: &str) -> Result<Server, ServerError> {
+        Self::start_service_with(service, addr, ServerOptions::default())
+    }
+
+    /// Starts a server for any [`Service`] with explicit options.
+    pub fn start_service_with(
+        service: Service,
+        addr: &str,
+        options: ServerOptions,
+    ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(addr).map_err(ServerError::Io)?;
         let addr = listener.local_addr().map_err(ServerError::Io)?;
 
@@ -81,6 +118,8 @@ impl Server {
         let served = Arc::new(AtomicUsize::new(0));
         let accept_shutdown = shutdown.clone();
         let accept_served = served.clone();
+        let max_connections = options.max_connections.max(1);
+        let active = Arc::new(AtomicUsize::new(0));
 
         // The listener blocks in accept(); stop() wakes it with a
         // throwaway connection after setting the shutdown flag, so
@@ -92,6 +131,15 @@ impl Server {
                     if accept_shutdown.load(Ordering::SeqCst) {
                         break; // the wakeup connection itself
                     }
+                    // Cap in-flight handlers: above the cap, reject
+                    // with a structured `busy` error instead of
+                    // spawning without bound.
+                    if active.load(Ordering::SeqCst) >= max_connections {
+                        reject_busy(stream, max_connections);
+                        continue;
+                    }
+                    active.fetch_add(1, Ordering::SeqCst);
+                    let guard = ActiveGuard(active.clone());
                     let service = service.clone();
                     let served = accept_served.clone();
                     // Workers are detached: they exit on client EOF
@@ -101,6 +149,7 @@ impl Server {
                     // they are acknowledged, so there is nothing to
                     // flush here).
                     std::thread::spawn(move || {
+                        let _guard = guard;
                         let _ = handle_connection(stream, &service, &served);
                     });
                 }
@@ -147,6 +196,20 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
     }
+}
+
+/// Rejects a connection that arrived above the in-flight handler cap:
+/// writes one structured `busy` error line and drops the stream. Runs
+/// on the accept thread, so it must never block on a slow client.
+fn reject_busy(mut stream: TcpStream, max_connections: usize) {
+    iyp_telemetry::counter(iyp_telemetry::names::SERVER_BUSY_REJECTED_TOTAL).incr();
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let resp = Response::Error(format!(
+        "busy: server is at its connection cap ({max_connections} in flight); retry shortly"
+    ));
+    let _ = stream.write_all(resp.to_line().as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
 }
 
 /// Serves one connection: one request line → one response line, until

@@ -1,7 +1,7 @@
 //! End-to-end service tests: server + client over real sockets.
 
 use iyp_graph::{props, Graph, Props, Value};
-use iyp_server::{Client, Request, Response, Server};
+use iyp_server::{Client, Request, Response, Server, ServerOptions, Service};
 use std::sync::Arc;
 
 fn sample_graph() -> Arc<Graph> {
@@ -207,6 +207,50 @@ fn empty_lines_are_rejected_with_structured_error() {
         panic!("expected error")
     };
     assert!(msg.starts_with("empty_request:"), "{msg}");
+    server.stop();
+}
+
+#[test]
+fn connection_cap_rejects_excess_clients_with_busy() {
+    use std::io::{BufRead, BufReader};
+    let mut server = Server::start_service_with(
+        Service::ReadOnly(sample_graph()),
+        "127.0.0.1:0",
+        ServerOptions { max_connections: 2 },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    // connect() performs a PING roundtrip, so once it returns the
+    // handler thread is definitely in flight.
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    assert!(a.ping().unwrap());
+    assert!(b.ping().unwrap());
+
+    // Third connection is over the cap: it gets one busy error line.
+    let third = std::net::TcpStream::connect(addr).unwrap();
+    let mut line = String::new();
+    BufReader::new(third).read_line(&mut line).unwrap();
+    let Response::Error(msg) = Response::from_line(line.trim()).unwrap() else {
+        panic!("expected busy error, got {line:?}")
+    };
+    assert!(msg.starts_with("busy:"), "{msg}");
+
+    // Releasing a slot lets new clients in again (the handler needs a
+    // moment to observe EOF, so retry briefly).
+    drop(a);
+    let mut readmitted = None;
+    for _ in 0..100 {
+        if let Ok(c) = Client::connect(addr) {
+            readmitted = Some(c);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut c = readmitted.expect("slot was never released");
+    assert!(c.ping().unwrap());
+    drop(b);
     server.stop();
 }
 

@@ -64,10 +64,19 @@ pub mod names {
     pub const JOURNAL_TRUNCATED_BYTES_TOTAL: &str = "iyp_journal_truncated_bytes_total";
     /// Histogram: checkpoint (WAL compaction into a snapshot) wall time.
     pub const JOURNAL_CHECKPOINT_SECONDS: &str = "iyp_journal_checkpoint_seconds";
+    /// Counter: work chunks dispatched to parallel Cypher worker threads.
+    pub const CYPHER_PARALLEL_CHUNKS_TOTAL: &str = "iyp_cypher_parallel_chunks_total";
+    /// Histogram: wall time spent inside parallel Cypher workers.
+    pub const CYPHER_WORKER_SECONDS: &str = "iyp_cypher_worker_seconds";
+    /// Counter: structural group/DISTINCT keys hashed during projection.
+    pub const CYPHER_GROUP_KEYS_TOTAL: &str = "iyp_cypher_group_keys_total";
+    /// Counter: connections rejected because the in-flight handler cap
+    /// was reached.
+    pub const SERVER_BUSY_REJECTED_TOTAL: &str = "iyp_server_busy_rejected_total";
 
     /// Every canonical metric as `(name, kind, labels, description)` —
     /// the source of truth for `documentation/telemetry.md`.
-    pub const ALL: [(&str, &str, &str, &str); 17] = [
+    pub const ALL: [(&str, &str, &str, &str); 21] = [
         (
             CYPHER_QUERIES_TOTAL,
             "counter",
@@ -169,6 +178,30 @@ pub mod names {
             "histogram",
             "",
             "checkpoint (WAL compaction into a snapshot) wall time",
+        ),
+        (
+            CYPHER_PARALLEL_CHUNKS_TOTAL,
+            "counter",
+            "",
+            "work chunks dispatched to parallel Cypher worker threads",
+        ),
+        (
+            CYPHER_WORKER_SECONDS,
+            "histogram",
+            "",
+            "wall time spent inside parallel Cypher workers",
+        ),
+        (
+            CYPHER_GROUP_KEYS_TOTAL,
+            "counter",
+            "",
+            "structural group/DISTINCT keys hashed during projection",
+        ),
+        (
+            SERVER_BUSY_REJECTED_TOTAL,
+            "counter",
+            "",
+            "connections rejected because the in-flight handler cap was reached",
         ),
     ];
 }

@@ -20,6 +20,7 @@ fn main() {
         ("data-sources.md", docs::data_sources_md()),
         ("telemetry.md", docs::telemetry_md()),
         ("durability.md", docs::durability_md()),
+        ("query-engine.md", docs::query_engine_md()),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, content).expect("write doc");

@@ -4,10 +4,11 @@
 //!
 //! ```text
 //! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
-//! iyp query   [--snapshot FILE] '<cypher>'
-//! iyp profile [--snapshot FILE] '<cypher>'
+//! iyp query   [--snapshot FILE] [--threads N] '<cypher>'
+//! iyp profile [--snapshot FILE] [--threads N] '<cypher>'
 //! iyp shell   [--snapshot FILE]
-//! iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--journal DIR] [--fsync always|never|every=N]
+//! iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--threads N] [--max-conns N]
+//!             [--journal DIR] [--fsync always|never|every=N]
 //! iyp recover --journal DIR [--out FILE]
 //! iyp studies [--snapshot FILE]
 //! iyp datasets
@@ -16,7 +17,10 @@
 //! Without `--snapshot`, commands build a fresh small-scale graph.
 //! With `--journal`, `serve` runs read-write: writes go through a
 //! write-ahead log and survive crashes (see
-//! `documentation/durability.md`).
+//! `documentation/durability.md`). `--threads` caps the Cypher
+//! engine's worker threads (also settable via `IYP_CYPHER_THREADS`;
+//! see `documentation/query-engine.md`), and `--max-conns` bounds
+//! in-flight server connections.
 
 use iyp_core::{studies, DatasetId, Iyp, Params, SimConfig};
 use iyp_journal::{DurableGraph, FsyncPolicy};
@@ -36,6 +40,8 @@ struct Args {
     metrics: bool,
     journal: Option<PathBuf>,
     fsync: String,
+    threads: Option<usize>,
+    max_conns: Option<usize>,
     rest: Vec<String>,
 }
 
@@ -52,6 +58,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         metrics: false,
         journal: None,
         fsync: "always".into(),
+        threads: None,
+        max_conns: None,
         rest: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -74,6 +82,22 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 args.journal = Some(PathBuf::from(argv.next().ok_or("--journal needs a path")?))
             }
             "--fsync" => args.fsync = argv.next().ok_or("--fsync needs a value")?,
+            "--threads" => {
+                args.threads = Some(
+                    argv.next()
+                        .ok_or("--threads needs a value")?
+                        .parse()
+                        .map_err(|_| "--threads must be an integer")?,
+                )
+            }
+            "--max-conns" => {
+                args.max_conns = Some(
+                    argv.next()
+                        .ok_or("--max-conns needs a value")?
+                        .parse()
+                        .map_err(|_| "--max-conns must be an integer")?,
+                )
+            }
             other => args.rest.push(other.to_string()),
         }
     }
@@ -228,11 +252,27 @@ fn cmd_shell(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    // A serving process records its own metrics: the `stats` command
+    // (and the busy-rejection counter) are useless on a recorder
+    // that never turned on.
+    iyp_telemetry::enable();
+    let mut options = iyp_server::ServerOptions::default();
+    if let Some(cap) = args.max_conns {
+        if cap == 0 {
+            return Err("--max-conns must be at least 1".into());
+        }
+        options.max_connections = cap;
+    }
     let server = match &args.journal {
         None => {
             let iyp = load_or_build(args)?;
             let graph = Arc::new(iyp.into_graph());
-            let server = iyp_server::Server::start(graph, &args.addr).map_err(|e| e.to_string())?;
+            let server = iyp_server::Server::start_service_with(
+                iyp_server::Service::ReadOnly(graph),
+                &args.addr,
+                options,
+            )
+            .map_err(|e| e.to_string())?;
             // "listening on …" must stay machine-parseable: tests and
             // scripts read the bound address from it (port 0 support).
             println!("listening on {}", server.addr());
@@ -262,8 +302,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 eprintln!("seeding journal {} (generation 1)", dir.display());
                 DurableGraph::seed(dir, iyp.into_graph(), policy).map_err(|e| e.to_string())?
             };
-            let server = iyp_server::Server::start_durable(Arc::new(durable), &args.addr)
-                .map_err(|e| e.to_string())?;
+            let server = iyp_server::Server::start_service_with(
+                iyp_server::Service::Durable(Arc::new(durable)),
+                &args.addr,
+                options,
+            )
+            .map_err(|e| e.to_string())?;
             println!("listening on {}", server.addr());
             println!("serving journaled IYP — writes: {{\"cmd\": \"write\", \"query\": …}}");
             println!("checkpoint: {{\"cmd\": \"checkpoint\"}}");
@@ -392,10 +436,11 @@ fn help() {
         "iyp — Internet Yellow Pages
 usage:
   iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
-  iyp query   [--snapshot FILE] '<cypher>'
-  iyp profile [--snapshot FILE] '<cypher>'
+  iyp query   [--snapshot FILE] [--threads N] '<cypher>'
+  iyp profile [--snapshot FILE] [--threads N] '<cypher>'
   iyp shell   [--snapshot FILE]
-  iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--journal DIR] [--fsync always|never|every=N]
+  iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--threads N] [--max-conns N]
+              [--journal DIR] [--fsync always|never|every=N]
   iyp recover --journal DIR [--out FILE]
   iyp studies [--snapshot FILE]
   iyp datasets"
@@ -403,6 +448,12 @@ usage:
 }
 
 fn run(args: &Args) -> Result<(), String> {
+    if let Some(n) = args.threads {
+        if n == 0 {
+            return Err("--threads must be at least 1".into());
+        }
+        iyp_cypher::set_threads(n);
+    }
     match args.command.as_str() {
         "build" => cmd_build(args),
         "query" => cmd_query(args),
@@ -501,6 +552,25 @@ mod tests {
         assert_eq!(d.journal, None);
         assert_eq!(d.fsync, "always");
         assert!(parse_args(argv(&["serve", "--journal"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_threads_and_max_conns() {
+        let a = parse_args(argv(&["serve", "--threads", "4", "--max-conns", "128"])).unwrap();
+        assert_eq!(a.threads, Some(4));
+        assert_eq!(a.max_conns, Some(128));
+        let d = parse_args(argv(&["profile", "RETURN 1"])).unwrap();
+        assert_eq!(d.threads, None);
+        assert_eq!(d.max_conns, None);
+        assert!(parse_args(argv(&["serve", "--threads"])).is_err());
+        assert!(parse_args(argv(&["serve", "--threads", "four"])).is_err());
+        assert!(parse_args(argv(&["serve", "--max-conns", "-1"])).is_err());
+    }
+
+    #[test]
+    fn zero_threads_is_rejected_at_run_time() {
+        let a = parse_args(argv(&["query", "--threads", "0", "RETURN 1"])).unwrap();
+        assert!(run(&a).is_err());
     }
 
     #[test]

@@ -41,3 +41,8 @@ fn telemetry_page_in_sync() {
 fn durability_page_in_sync() {
     check("durability.md", iyp::docs::durability_md());
 }
+
+#[test]
+fn query_engine_page_in_sync() {
+    check("query-engine.md", iyp::docs::query_engine_md());
+}
