@@ -64,15 +64,7 @@ impl Iyp {
     pub fn from_graph(graph: Graph) -> Iyp {
         let stats = GraphStats::compute(&graph);
         Iyp {
-            report: BuildReport {
-                datasets: Vec::new(),
-                refinement: Vec::new(),
-                stats,
-                violations: 0,
-                dataset_timings: Vec::new(),
-                refinement_timings: Vec::new(),
-                total_time: std::time::Duration::ZERO,
-            },
+            report: BuildReport::empty(stats),
             graph,
         }
     }

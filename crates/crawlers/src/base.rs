@@ -12,6 +12,59 @@ pub const RANKING_UMBRELLA: &str = "Cisco Umbrella Top 1M";
 /// Canonical name of the Cloudflare top-100 ranking node.
 pub const RANKING_CLOUDFLARE_TOP100: &str = "Cloudflare top 100 domains";
 
+/// Record-level quarantine policy: how many malformed records a
+/// dataset may contain before the whole import fails.
+///
+/// Real community feeds routinely carry a handful of broken rows; the
+/// production IYP imports them "as-is" and skips what it cannot parse.
+/// The policy makes that tolerance explicit and bounded: a malformed
+/// record is quarantined (skipped and counted) until more than
+/// `error_budget_pct` percent of the records seen so far are bad —
+/// with `min_quarantined` bad records always tolerated first, so a
+/// single typo cannot fail a ten-row file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportPolicy {
+    /// Percentage (0–100) of records allowed to be malformed.
+    pub error_budget_pct: u8,
+    /// Malformed records always tolerated before the percentage
+    /// threshold applies.
+    pub min_quarantined: usize,
+}
+
+impl Default for ImportPolicy {
+    fn default() -> Self {
+        ImportPolicy {
+            error_budget_pct: 10,
+            min_quarantined: 8,
+        }
+    }
+}
+
+impl ImportPolicy {
+    /// The pre-quarantine behaviour: any malformed record fails the
+    /// whole dataset.
+    pub fn strict() -> Self {
+        ImportPolicy {
+            error_budget_pct: 0,
+            min_quarantined: 0,
+        }
+    }
+}
+
+/// Quarantine accounting for one import session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineStats {
+    /// Records the importer attempted (malformed ones included).
+    pub records: usize,
+    /// Malformed records skipped under the error budget.
+    pub quarantined: usize,
+    /// Rendered errors for the first few quarantined records.
+    pub samples: Vec<String>,
+}
+
+/// How many quarantined-record errors are kept as samples.
+const QUARANTINE_SAMPLES: usize = 3;
+
 /// A graph-writing session for one dataset import.
 ///
 /// Wraps the graph with the dataset's [`Reference`] so that every link
@@ -21,21 +74,35 @@ pub struct Importer<'g> {
     graph: &'g mut Graph,
     reference: Reference,
     links: usize,
+    policy: ImportPolicy,
+    quarantine: QuarantineStats,
 }
 
 impl<'g> Importer<'g> {
-    /// Starts an import session.
+    /// Starts an import session with the default quarantine policy.
     pub fn new(graph: &'g mut Graph, reference: Reference) -> Self {
+        Importer::with_policy(graph, reference, ImportPolicy::default())
+    }
+
+    /// Starts an import session with an explicit quarantine policy.
+    pub fn with_policy(graph: &'g mut Graph, reference: Reference, policy: ImportPolicy) -> Self {
         Importer {
             graph,
             reference,
             links: 0,
+            policy,
+            quarantine: QuarantineStats::default(),
         }
     }
 
     /// Number of links created so far.
     pub fn link_count(&self) -> usize {
         self.links
+    }
+
+    /// Quarantine accounting for this session so far.
+    pub fn quarantine(&self) -> &QuarantineStats {
+        &self.quarantine
     }
 
     /// Direct read access to the underlying graph.
@@ -210,6 +277,73 @@ impl<'g> Importer<'g> {
         self.links += 1;
         Ok(id)
     }
+
+    // ------------------------------------------------------------------
+    // Record quarantine
+    // ------------------------------------------------------------------
+
+    /// Imports one record through `f`, quarantining parse failures.
+    ///
+    /// `line` and `raw` locate the record for error reports. On a
+    /// parse failure the record is counted and skipped (`Ok(None)`)
+    /// until the [`ImportPolicy`] error budget is exhausted, at which
+    /// point the whole dataset fails with a budget-exhausted error
+    /// carrying the last offending record. Graph errors are never
+    /// quarantined — they indicate importer bugs, not bad data.
+    pub fn record<T>(
+        &mut self,
+        line: usize,
+        raw: &str,
+        f: impl FnOnce(&mut Self) -> Result<T, CrawlError>,
+    ) -> Result<Option<T>, CrawlError> {
+        self.quarantine.records += 1;
+        match f(self) {
+            Ok(v) => Ok(Some(v)),
+            Err(e @ CrawlError::Graph(_)) => Err(e),
+            Err(e) => {
+                let e = e.at(line, raw);
+                self.quarantine.quarantined += 1;
+                if self.quarantine.samples.len() < QUARANTINE_SAMPLES {
+                    self.quarantine.samples.push(e.to_string());
+                }
+                if self.over_budget() {
+                    Err(self.budget_exhausted(e))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// True once quarantined records exceed both the absolute floor
+    /// and the percentage budget.
+    fn over_budget(&self) -> bool {
+        let q = self.quarantine.quarantined;
+        q > self.policy.min_quarantined
+            && q * 100 > self.quarantine.records * self.policy.error_budget_pct as usize
+    }
+
+    /// Wraps the last offending record's error in a budget report.
+    /// The inner error keeps its own line/excerpt, so the wrapper
+    /// carries only the line to avoid printing the excerpt twice.
+    fn budget_exhausted(&self, last: CrawlError) -> CrawlError {
+        let (dataset, line) = match &last {
+            CrawlError::Parse { dataset, line, .. } => (*dataset, *line),
+            CrawlError::Graph(_) => unreachable!("graph errors are never quarantined"),
+        };
+        CrawlError::Parse {
+            dataset,
+            msg: format!(
+                "error budget exhausted: {} of {} records malformed (budget {}%, floor {}); last: {last}",
+                self.quarantine.quarantined,
+                self.quarantine.records,
+                self.policy.error_budget_pct,
+                self.policy.min_quarantined,
+            ),
+            line,
+            excerpt: None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +426,76 @@ mod tests {
         assert!(imp.ip_node("999.1.1.1").is_err());
         assert!(imp.country_node("XQ").is_err());
         assert!(imp.as_node_str("ASXYZ").is_err());
+    }
+
+    #[test]
+    fn record_quarantines_within_budget() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        for ln in 0..100 {
+            let ok = ln % 20 != 0; // 5% bad: within the 10% budget
+            let r = imp.record(ln, "raw-input", |imp| {
+                if ok {
+                    imp.prefix_node("10.0.0.0/8").map(|_| ())
+                } else {
+                    Err(CrawlError::parse("test.ds", "bad row"))
+                }
+            });
+            assert_eq!(r.unwrap().is_some(), ok);
+        }
+        let q = imp.quarantine();
+        assert_eq!(q.records, 100);
+        assert_eq!(q.quarantined, 5);
+        assert_eq!(q.samples.len(), 3);
+        assert!(q.samples[0].contains("line 0"));
+        assert!(q.samples[0].contains("raw-input"));
+    }
+
+    #[test]
+    fn record_fails_dataset_past_budget() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        // Every record is malformed: the floor (8) tolerates the
+        // first eight, the ninth exhausts the budget.
+        let mut result = Ok(None);
+        let mut failures = 0;
+        for ln in 0..20 {
+            result = imp.record(ln, "junk", |_| {
+                Err::<(), _>(CrawlError::parse("test.ds", "bad row"))
+            });
+            if result.is_err() {
+                failures = ln + 1;
+                break;
+            }
+        }
+        assert_eq!(failures, 9);
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("error budget exhausted"), "{err}");
+        assert!(err.contains("9 of 9"), "{err}");
+    }
+
+    #[test]
+    fn strict_policy_fails_on_first_bad_record() {
+        let mut g = Graph::new();
+        let mut imp = Importer::with_policy(
+            &mut g,
+            Reference::new("TestOrg", "test.ds", 0),
+            ImportPolicy::strict(),
+        );
+        let r = imp.record(0, "junk", |_| {
+            Err::<(), _>(CrawlError::parse("test.ds", "bad row"))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn graph_errors_are_never_quarantined() {
+        let mut g = Graph::new();
+        let mut imp = importer(&mut g);
+        let r = imp.record(0, "raw", |_| {
+            Err::<(), _>(CrawlError::Graph("node missing".into()))
+        });
+        assert_eq!(r, Err(CrawlError::Graph("node missing".into())));
+        assert_eq!(imp.quarantine().quarantined, 0);
     }
 }

@@ -18,22 +18,25 @@ pub fn import_pfx2as(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
     let entries = v
         .as_array()
         .ok_or_else(|| CrawlError::parse(DS, "pfx2as: expected array"))?;
-    for e in entries {
-        let prefix = e["prefix"]
-            .as_str()
-            .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing prefix"))?;
-        let asn = e["asn"]
-            .as_u64()
-            .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing asn"))? as u32;
-        let count = e["count"].as_i64().unwrap_or(0);
-        let a = imp.as_node(asn);
-        let p = imp.prefix_node(prefix)?;
-        imp.link(
-            a,
-            Relationship::Originate,
-            p,
-            props([("count", Value::Int(count))]),
-        )?;
+    for (idx, e) in entries.iter().enumerate() {
+        imp.record(idx, &e.to_string(), |imp| {
+            let prefix = e["prefix"]
+                .as_str()
+                .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing prefix"))?;
+            let asn = e["asn"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "pfx2as: missing asn"))?
+                as u32;
+            let count = e["count"].as_i64().unwrap_or(0);
+            let a = imp.as_node(asn);
+            let p = imp.prefix_node(prefix)?;
+            imp.link(
+                a,
+                Relationship::Originate,
+                p,
+                props([("count", Value::Int(count))]),
+            )
+        })?;
     }
     Ok(())
 }
@@ -46,22 +49,24 @@ pub fn import_as2rel(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlErro
     let entries = v
         .as_array()
         .ok_or_else(|| CrawlError::parse(DS, "as2rel: expected array"))?;
-    for e in entries {
-        let a1 = e["asn1"]
-            .as_u64()
-            .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn1"))? as u32;
-        let a2 = e["asn2"]
-            .as_u64()
-            .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn2"))? as u32;
-        let rel = e["rel"].as_i64().unwrap_or(0);
-        let n1 = imp.as_node(a1);
-        let n2 = imp.as_node(a2);
-        imp.link(
-            n1,
-            Relationship::PeersWith,
-            n2,
-            props([("rel", Value::Int(rel))]),
-        )?;
+    for (idx, e) in entries.iter().enumerate() {
+        imp.record(idx, &e.to_string(), |imp| {
+            let a1 = e["asn1"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn1"))? as u32;
+            let a2 = e["asn2"]
+                .as_u64()
+                .ok_or_else(|| CrawlError::parse(DS, "as2rel: asn2"))? as u32;
+            let rel = e["rel"].as_i64().unwrap_or(0);
+            let n1 = imp.as_node(a1);
+            let n2 = imp.as_node(a2);
+            imp.link(
+                n1,
+                Relationship::PeersWith,
+                n2,
+                props([("rel", Value::Int(rel))]),
+            )
+        })?;
     }
     Ok(())
 }
@@ -154,10 +159,32 @@ mod tests {
 
     #[test]
     fn garbage_is_rejected() {
+        // Whole-text failures (broken JSON, wrong shape) stay fatal.
         let mut g = Graph::new();
         let mut imp = Importer::new(&mut g, Reference::new("BGPKIT", "x", 0));
         assert!(import_pfx2as(&mut imp, "not json").is_err());
         assert!(import_pfx2as(&mut imp, "{}").is_err());
+    }
+
+    #[test]
+    fn bad_entries_are_quarantined() {
+        let mut g = Graph::new();
+        let mut imp = Importer::new(&mut g, Reference::new("BGPKIT", "x", 0));
+        import_as2rel(
+            &mut imp,
+            "[{\"asn1\": \"oops\"}, {\"asn1\": 1, \"asn2\": 2, \"rel\": 0}]",
+        )
+        .unwrap();
+        assert_eq!(imp.quarantine().quarantined, 1);
+        assert_eq!(imp.link_count(), 1);
+        assert!(imp.quarantine().samples[0].contains("asn1"));
+        // Under a strict policy the same entry is fatal.
+        use crate::base::ImportPolicy;
+        let mut imp = Importer::with_policy(
+            &mut g,
+            Reference::new("BGPKIT", "x", 0),
+            ImportPolicy::strict(),
+        );
         assert!(import_as2rel(&mut imp, "[{\"asn1\": \"oops\"}]").is_err());
     }
 }

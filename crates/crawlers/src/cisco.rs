@@ -13,19 +13,21 @@ pub fn import_umbrella(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
         if line.trim().is_empty() {
             continue;
         }
-        let (rank, domain) = line
-            .split_once(',')
-            .ok_or_else(|| CrawlError::parse("cisco", format!("line {ln}: {line:?}")))?;
-        let rank: i64 = rank
-            .parse()
-            .map_err(|_| CrawlError::parse("cisco", format!("line {ln}: bad rank")))?;
-        let d = imp.domain_node(domain);
-        imp.link(
-            d,
-            Relationship::Rank,
-            ranking,
-            props([("rank", Value::Int(rank))]),
-        )?;
+        imp.record(ln, line, |imp| {
+            let (rank, domain) = line
+                .split_once(',')
+                .ok_or_else(|| CrawlError::parse("cisco", "missing comma"))?;
+            let rank: i64 = rank
+                .parse()
+                .map_err(|_| CrawlError::parse("cisco", "bad rank"))?;
+            let d = imp.domain_node(domain);
+            imp.link(
+                d,
+                Relationship::Rank,
+                ranking,
+                props([("rank", Value::Int(rank))]),
+            )
+        })?;
     }
     Ok(())
 }

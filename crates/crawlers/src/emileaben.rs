@@ -11,12 +11,14 @@ pub fn import_as_names(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlEr
         if line.trim().is_empty() {
             continue;
         }
-        let (asn, name) = line
-            .split_once(' ')
-            .ok_or_else(|| CrawlError::parse("emileaben", format!("line {ln}: {line:?}")))?;
-        let a = imp.as_node_str(asn)?;
-        let n = imp.name_node(name.trim());
-        imp.link(a, Relationship::Name, n, props([]))?;
+        imp.record(ln, line, |imp| {
+            let (asn, name) = line
+                .split_once(' ')
+                .ok_or_else(|| CrawlError::parse("emileaben", "missing separator"))?;
+            let a = imp.as_node_str(asn)?;
+            let n = imp.name_node(name.trim());
+            imp.link(a, Relationship::Name, n, props([]))
+        })?;
     }
     Ok(())
 }

@@ -2,11 +2,22 @@
 
 use std::fmt;
 
+/// How many characters of offending input an error excerpt keeps.
+const EXCERPT_MAX: usize = 60;
+
 /// Errors raised while parsing or importing a dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CrawlError {
     /// The dataset text could not be parsed.
-    Parse { dataset: &'static str, msg: String },
+    Parse {
+        dataset: &'static str,
+        msg: String,
+        /// Line number (as enumerated by the importer) of the
+        /// offending record, when known.
+        line: Option<usize>,
+        /// A short excerpt of the offending input, when known.
+        excerpt: Option<String>,
+    },
     /// A graph operation failed.
     Graph(String),
 }
@@ -17,14 +28,70 @@ impl CrawlError {
         CrawlError::Parse {
             dataset,
             msg: msg.into(),
+            line: None,
+            excerpt: None,
         }
     }
+
+    /// Builds a parse error pinned to a line with an input excerpt.
+    pub fn parse_at(dataset: &'static str, line: usize, raw: &str, msg: impl Into<String>) -> Self {
+        CrawlError::Parse {
+            dataset,
+            msg: msg.into(),
+            line: Some(line),
+            excerpt: Some(excerpt_of(raw)),
+        }
+    }
+
+    /// Attaches a line number and input excerpt to a parse error that
+    /// lacks them (graph errors pass through unchanged). Existing
+    /// location info — e.g. from a nested `parse_at` — is kept.
+    pub fn at(self, line: usize, raw: &str) -> Self {
+        match self {
+            CrawlError::Parse {
+                dataset,
+                msg,
+                line: old_line,
+                excerpt,
+            } => CrawlError::Parse {
+                dataset,
+                msg,
+                line: old_line.or(Some(line)),
+                excerpt: excerpt.or_else(|| Some(excerpt_of(raw))),
+            },
+            other => other,
+        }
+    }
+}
+
+/// Clips `raw` to a one-line excerpt of at most [`EXCERPT_MAX`] chars.
+fn excerpt_of(raw: &str) -> String {
+    let one_line = raw.trim_end_matches('\n').replace('\n', "\\n");
+    let mut out: String = one_line.chars().take(EXCERPT_MAX).collect();
+    if one_line.chars().count() > EXCERPT_MAX {
+        out.push('…');
+    }
+    out
 }
 
 impl fmt::Display for CrawlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CrawlError::Parse { dataset, msg } => write!(f, "{dataset}: parse error: {msg}"),
+            CrawlError::Parse {
+                dataset,
+                msg,
+                line,
+                excerpt,
+            } => {
+                match line {
+                    Some(ln) => write!(f, "{dataset}: parse error at line {ln}: {msg}")?,
+                    None => write!(f, "{dataset}: parse error: {msg}")?,
+                }
+                if let Some(input) = excerpt {
+                    write!(f, " (input: {input:?})")?;
+                }
+                Ok(())
+            }
             CrawlError::Graph(msg) => write!(f, "graph error: {msg}"),
         }
     }
@@ -35,5 +102,54 @@ impl std::error::Error for CrawlError {}
 impl From<iyp_graph::GraphError> for CrawlError {
     fn from(e: iyp_graph::GraphError) -> Self {
         CrawlError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_parse_error_formats_as_before() {
+        let e = CrawlError::parse("tranco", "missing comma");
+        assert_eq!(e.to_string(), "tranco: parse error: missing comma");
+    }
+
+    #[test]
+    fn located_error_carries_line_and_excerpt() {
+        let e = CrawlError::parse_at("tranco", 12, "x,example.com", "bad rank");
+        assert_eq!(
+            e.to_string(),
+            "tranco: parse error at line 12: bad rank (input: \"x,example.com\")"
+        );
+    }
+
+    #[test]
+    fn at_enriches_but_never_overwrites() {
+        let e = CrawlError::parse("nro", "bad date").at(7, "apnic|JP|asn|x");
+        assert_eq!(
+            e.to_string(),
+            "nro: parse error at line 7: bad date (input: \"apnic|JP|asn|x\")"
+        );
+        // A second `at` keeps the first location.
+        let e2 = e.clone().at(99, "other");
+        assert_eq!(e, e2);
+        // Graph errors pass through unchanged.
+        let g = CrawlError::Graph("boom".into()).at(1, "x");
+        assert_eq!(g, CrawlError::Graph("boom".into()));
+    }
+
+    #[test]
+    fn long_excerpts_are_clipped() {
+        let raw = "a".repeat(200);
+        let e = CrawlError::parse_at("cisco", 1, &raw, "bad row");
+        match e {
+            CrawlError::Parse { excerpt, .. } => {
+                let x = excerpt.unwrap();
+                assert!(x.chars().count() <= 61);
+                assert!(x.ends_with('…'));
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -44,6 +44,9 @@ pub mod stanford;
 pub mod tranco;
 pub mod worldbank;
 
-pub use base::{Importer, RANKING_CLOUDFLARE_TOP100, RANKING_TRANCO, RANKING_UMBRELLA};
+pub use base::{
+    ImportPolicy, Importer, QuarantineStats, RANKING_CLOUDFLARE_TOP100, RANKING_TRANCO,
+    RANKING_UMBRELLA,
+};
 pub use error::CrawlError;
-pub use registry::{all_datasets, import_dataset, Crawler};
+pub use registry::{all_datasets, import_dataset, import_dataset_with, Crawler, ImportOutcome};

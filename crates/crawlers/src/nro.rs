@@ -27,67 +27,60 @@ pub fn import_delegated(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlE
         if f.len() < 8 || f[2] == "summary" || f.get(5) == Some(&"summary") {
             continue;
         }
-        let (registry, cc, rtype, start, value, _date, status, opaque) =
-            (f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]);
-        let resource: NodeId = match rtype {
-            "asn" => {
-                let asn: u32 = start
-                    .parse()
-                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad asn {start:?}")))?;
-                imp.as_node(asn)
+        imp.record(ln, line, |imp| {
+            let (registry, cc, rtype, start, value, _date, status, opaque) =
+                (f[0], f[1], f[2], f[3], f[4], f[5], f[6], f[7]);
+            let resource: NodeId = match rtype {
+                "asn" => {
+                    let asn: u32 = start
+                        .parse()
+                        .map_err(|_| CrawlError::parse(DS, format!("bad asn {start:?}")))?;
+                    imp.as_node(asn)
+                }
+                "ipv4" => {
+                    let count: u64 = value
+                        .parse()
+                        .map_err(|_| CrawlError::parse(DS, "bad ipv4 count"))?;
+                    let len = 32 - (count as f64).log2() as u8;
+                    let addr = IpAddr::from_str(start)
+                        .map_err(|_| CrawlError::parse(DS, "bad ipv4 start"))?;
+                    let p = Prefix::new(addr, len)
+                        .map_err(|e| CrawlError::parse(DS, format!("{e}")))?;
+                    imp.prefix_node(&p.canonical())?
+                }
+                "ipv6" => {
+                    let len: u8 = value
+                        .parse()
+                        .map_err(|_| CrawlError::parse(DS, "bad ipv6 length"))?;
+                    let addr = IpAddr::from_str(start)
+                        .map_err(|_| CrawlError::parse(DS, "bad ipv6 start"))?;
+                    let p = Prefix::new(addr, len)
+                        .map_err(|e| CrawlError::parse(DS, format!("{e}")))?;
+                    imp.prefix_node(&p.canonical())?
+                }
+                other => return Err(CrawlError::parse(DS, format!("unknown type {other:?}"))),
+            };
+            let rel = match status {
+                "assigned" | "allocated" => Relationship::Assigned,
+                "available" => Relationship::Available,
+                "reserved" => Relationship::Reserved,
+                other => return Err(CrawlError::parse(DS, format!("status {other:?}"))),
+            };
+            let holder = imp.opaque_id_node(opaque);
+            imp.link(
+                resource,
+                rel,
+                holder,
+                props([("registry", Value::Str(registry.into()))]),
+            )?;
+            if cc != "*" && !cc.is_empty() {
+                if let Ok(c) = imp.country_node(cc) {
+                    imp.link(resource, Relationship::Country, c, props([]))?;
+                    imp.link(holder, Relationship::Country, c, props([]))?;
+                }
             }
-            "ipv4" => {
-                let count: u64 = value
-                    .parse()
-                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv4 count")))?;
-                let len = 32 - (count as f64).log2() as u8;
-                let addr = IpAddr::from_str(start)
-                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv4 start")))?;
-                let p = Prefix::new(addr, len)
-                    .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
-                imp.prefix_node(&p.canonical())?
-            }
-            "ipv6" => {
-                let len: u8 = value
-                    .parse()
-                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv6 length")))?;
-                let addr = IpAddr::from_str(start)
-                    .map_err(|_| CrawlError::parse(DS, format!("line {ln}: bad ipv6 start")))?;
-                let p = Prefix::new(addr, len)
-                    .map_err(|e| CrawlError::parse(DS, format!("line {ln}: {e}")))?;
-                imp.prefix_node(&p.canonical())?
-            }
-            other => {
-                return Err(CrawlError::parse(
-                    DS,
-                    format!("line {ln}: unknown type {other:?}"),
-                ))
-            }
-        };
-        let rel = match status {
-            "assigned" | "allocated" => Relationship::Assigned,
-            "available" => Relationship::Available,
-            "reserved" => Relationship::Reserved,
-            other => {
-                return Err(CrawlError::parse(
-                    DS,
-                    format!("line {ln}: status {other:?}"),
-                ))
-            }
-        };
-        let holder = imp.opaque_id_node(opaque);
-        imp.link(
-            resource,
-            rel,
-            holder,
-            props([("registry", Value::Str(registry.into()))]),
-        )?;
-        if cc != "*" && !cc.is_empty() {
-            if let Ok(c) = imp.country_node(cc) {
-                imp.link(resource, Relationship::Country, c, props([]))?;
-                imp.link(holder, Relationship::Country, c, props([]))?;
-            }
-        }
+            Ok(())
+        })?;
     }
     Ok(())
 }
@@ -132,9 +125,30 @@ apnic|JP|ipv6|2001:db8::|32|20050101|reserved|opaque-0003
     }
 
     #[test]
-    fn rejects_bad_lines() {
+    fn bad_lines_are_quarantined() {
         let mut g = Graph::new();
         let mut imp = Importer::new(&mut g, Reference::new("NRO", "x", 0));
+        import_delegated(
+            &mut imp,
+            "arin|US|asn|notanumber|1|20050101|assigned|op-1\n\
+             arin|US|phone|64496|1|20050101|assigned|op-1\n\
+             arin|US|asn|64496|1|20050101|assigned|op-1\n",
+        )
+        .unwrap();
+        assert_eq!(imp.quarantine().quarantined, 2);
+        assert_eq!(imp.quarantine().records, 3);
+        assert!(imp.quarantine().samples[0].contains("bad asn"));
+    }
+
+    #[test]
+    fn strict_policy_rejects_bad_lines() {
+        use crate::base::ImportPolicy;
+        let mut g = Graph::new();
+        let mut imp = Importer::with_policy(
+            &mut g,
+            Reference::new("NRO", "x", 0),
+            ImportPolicy::strict(),
+        );
         assert!(import_delegated(
             &mut imp,
             "arin|US|asn|notanumber|1|20050101|assigned|op-1\n"

@@ -1,6 +1,6 @@
 //! Crawler registry: dataset ids → importer functions.
 
-use crate::base::Importer;
+use crate::base::{ImportPolicy, Importer, QuarantineStats};
 use crate::error::CrawlError;
 use iyp_graph::Graph;
 use iyp_ontology::Reference;
@@ -38,61 +38,102 @@ pub fn reference_for(id: DatasetId, fetch_time: i64) -> Reference {
         .with_modification_time(fetch_time - 3600)
 }
 
+/// Outcome of one dataset import: links created plus the record
+/// quarantine accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportOutcome {
+    /// Relationships created.
+    pub links: usize,
+    /// Records the importer attempted.
+    pub records: usize,
+    /// Malformed records skipped under the error budget.
+    pub quarantined: usize,
+    /// Rendered errors for the first few quarantined records.
+    pub samples: Vec<String>,
+}
+
 /// Imports one dataset's text into the graph; returns the number of
-/// relationships created.
+/// relationships created. Malformed records are quarantined under the
+/// default [`ImportPolicy`].
 pub fn import_dataset(
     graph: &mut Graph,
     id: DatasetId,
     text: &str,
     fetch_time: i64,
 ) -> Result<usize, CrawlError> {
-    let mut imp = Importer::new(graph, reference_for(id, fetch_time));
+    import_dataset_with(graph, id, text, fetch_time, ImportPolicy::default()).map(|o| o.links)
+}
+
+/// Imports one dataset's text under an explicit quarantine policy,
+/// returning full [`ImportOutcome`] accounting.
+pub fn import_dataset_with(
+    graph: &mut Graph,
+    id: DatasetId,
+    text: &str,
+    fetch_time: i64,
+    policy: ImportPolicy,
+) -> Result<ImportOutcome, CrawlError> {
+    let mut imp = Importer::with_policy(graph, reference_for(id, fetch_time), policy);
+    dispatch(&mut imp, id, text)?;
+    let QuarantineStats {
+        records,
+        quarantined,
+        samples,
+    } = imp.quarantine().clone();
+    Ok(ImportOutcome {
+        links: imp.link_count(),
+        records,
+        quarantined,
+        samples,
+    })
+}
+
+/// Routes dataset text to its importer function.
+fn dispatch(imp: &mut Importer<'_>, id: DatasetId, text: &str) -> Result<(), CrawlError> {
     use DatasetId::*;
     match id {
         AliceLgAmsIx | AliceLgBcix | AliceLgDeCix | AliceLgIxBr | AliceLgLinx | AliceLgMegaport
-        | AliceLgNetnod => crate::alice_lg::import(&mut imp, text)?,
-        ApnicPopulation => crate::apnic::import_population(&mut imp, text)?,
-        BgpkitAs2rel => crate::bgpkit::import_as2rel(&mut imp, text)?,
-        BgpkitPeerStats => crate::bgpkit::import_peer_stats(&mut imp, text)?,
-        BgpkitPfx2as => crate::bgpkit::import_pfx2as(&mut imp, text)?,
-        BgptoolsAsNames => crate::bgptools::import_as_names(&mut imp, text)?,
-        BgptoolsTags => crate::bgptools::import_tags(&mut imp, text)?,
-        BgptoolsAnycast => crate::bgptools::import_anycast(&mut imp, text)?,
-        CaidaAsRank => crate::caida::import_asrank(&mut imp, text)?,
-        CaidaIxps => crate::caida::import_ixps(&mut imp, text)?,
-        CiscoUmbrella => crate::cisco::import_umbrella(&mut imp, text)?,
-        CitizenLabUrls => crate::citizenlab::import_urls(&mut imp, text)?,
-        CloudflareDnsTopAses => crate::cloudflare::import_dns_top_ases(&mut imp, text)?,
-        CloudflareDnsTopLocations => crate::cloudflare::import_dns_top_locations(&mut imp, text)?,
-        CloudflareRankingTop => crate::cloudflare::import_ranking_top(&mut imp, text)?,
-        CloudflareRankingBuckets => crate::cloudflare::import_ranking_buckets(&mut imp, text)?,
-        EmileAbenAsNames => crate::emileaben::import_as_names(&mut imp, text)?,
-        IhrCountryDependency => crate::ihr::import_country_dependency(&mut imp, text)?,
-        IhrHegemony => crate::ihr::import_hegemony(&mut imp, text)?,
-        IhrRov => crate::ihr::import_rov(&mut imp, text)?,
-        InetIntelAsOrg => crate::inetintel::import_as_org(&mut imp, text)?,
-        NroDelegatedStats => crate::nro::import_delegated(&mut imp, text)?,
-        OpenintelTranco1m | OpenintelUmbrella1m => {
-            crate::openintel::import_resolutions(&mut imp, text)?
-        }
-        OpenintelNs => crate::openintel::import_ns(&mut imp, text)?,
-        OpenintelDnsgraph => crate::openintel::import_dnsgraph(&mut imp, text)?,
-        PchRoutingSnapshot => crate::pch::import_routing(&mut imp, text)?,
-        PeeringdbFac => crate::peeringdb::import_fac(&mut imp, text)?,
-        PeeringdbIx => crate::peeringdb::import_ix(&mut imp, text)?,
-        PeeringdbIxlan => crate::peeringdb::import_ixlan(&mut imp, text)?,
-        PeeringdbNetfac => crate::peeringdb::import_netfac(&mut imp, text)?,
-        PeeringdbOrg => crate::peeringdb::import_org(&mut imp, text)?,
-        RipeAsNames => crate::ripe::import_as_names(&mut imp, text)?,
-        RipeRpki => crate::ripe::import_rpki(&mut imp, text)?,
-        RipeAtlasMeasurements => crate::ripe::import_atlas(&mut imp, text)?,
-        SimulametRdns => crate::simulamet::import_rdns(&mut imp, text)?,
-        StanfordAsdb => crate::stanford::import_asdb(&mut imp, text)?,
-        TrancoList => crate::tranco::import_list(&mut imp, text)?,
-        RovistaRov => crate::rovista::import(&mut imp, text)?,
-        WorldBankPopulation => crate::worldbank::import_population(&mut imp, text)?,
+        | AliceLgNetnod => crate::alice_lg::import(imp, text)?,
+        ApnicPopulation => crate::apnic::import_population(imp, text)?,
+        BgpkitAs2rel => crate::bgpkit::import_as2rel(imp, text)?,
+        BgpkitPeerStats => crate::bgpkit::import_peer_stats(imp, text)?,
+        BgpkitPfx2as => crate::bgpkit::import_pfx2as(imp, text)?,
+        BgptoolsAsNames => crate::bgptools::import_as_names(imp, text)?,
+        BgptoolsTags => crate::bgptools::import_tags(imp, text)?,
+        BgptoolsAnycast => crate::bgptools::import_anycast(imp, text)?,
+        CaidaAsRank => crate::caida::import_asrank(imp, text)?,
+        CaidaIxps => crate::caida::import_ixps(imp, text)?,
+        CiscoUmbrella => crate::cisco::import_umbrella(imp, text)?,
+        CitizenLabUrls => crate::citizenlab::import_urls(imp, text)?,
+        CloudflareDnsTopAses => crate::cloudflare::import_dns_top_ases(imp, text)?,
+        CloudflareDnsTopLocations => crate::cloudflare::import_dns_top_locations(imp, text)?,
+        CloudflareRankingTop => crate::cloudflare::import_ranking_top(imp, text)?,
+        CloudflareRankingBuckets => crate::cloudflare::import_ranking_buckets(imp, text)?,
+        EmileAbenAsNames => crate::emileaben::import_as_names(imp, text)?,
+        IhrCountryDependency => crate::ihr::import_country_dependency(imp, text)?,
+        IhrHegemony => crate::ihr::import_hegemony(imp, text)?,
+        IhrRov => crate::ihr::import_rov(imp, text)?,
+        InetIntelAsOrg => crate::inetintel::import_as_org(imp, text)?,
+        NroDelegatedStats => crate::nro::import_delegated(imp, text)?,
+        OpenintelTranco1m | OpenintelUmbrella1m => crate::openintel::import_resolutions(imp, text)?,
+        OpenintelNs => crate::openintel::import_ns(imp, text)?,
+        OpenintelDnsgraph => crate::openintel::import_dnsgraph(imp, text)?,
+        PchRoutingSnapshot => crate::pch::import_routing(imp, text)?,
+        PeeringdbFac => crate::peeringdb::import_fac(imp, text)?,
+        PeeringdbIx => crate::peeringdb::import_ix(imp, text)?,
+        PeeringdbIxlan => crate::peeringdb::import_ixlan(imp, text)?,
+        PeeringdbNetfac => crate::peeringdb::import_netfac(imp, text)?,
+        PeeringdbOrg => crate::peeringdb::import_org(imp, text)?,
+        RipeAsNames => crate::ripe::import_as_names(imp, text)?,
+        RipeRpki => crate::ripe::import_rpki(imp, text)?,
+        RipeAtlasMeasurements => crate::ripe::import_atlas(imp, text)?,
+        SimulametRdns => crate::simulamet::import_rdns(imp, text)?,
+        StanfordAsdb => crate::stanford::import_asdb(imp, text)?,
+        TrancoList => crate::tranco::import_list(imp, text)?,
+        RovistaRov => crate::rovista::import(imp, text)?,
+        WorldBankPopulation => crate::worldbank::import_population(imp, text)?,
     }
-    Ok(imp.link_count())
+    Ok(())
 }
 
 #[cfg(test)]

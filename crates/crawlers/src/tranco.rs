@@ -6,26 +6,29 @@ use iyp_graph::{props, Value};
 use iyp_ontology::Relationship;
 
 /// CSV `rank,domain` → `DomainName -RANK→ Ranking{'Tranco top 1M'}`
-/// with the rank as a link property.
+/// with the rank as a link property. Malformed rows are quarantined
+/// under the session's [`crate::base::ImportPolicy`].
 pub fn import_list(imp: &mut Importer<'_>, text: &str) -> Result<(), CrawlError> {
     let ranking = imp.ranking_node(RANKING_TRANCO);
     for (ln, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let (rank, domain) = line
-            .split_once(',')
-            .ok_or_else(|| CrawlError::parse("tranco", format!("line {ln}: {line:?}")))?;
-        let rank: i64 = rank
-            .parse()
-            .map_err(|_| CrawlError::parse("tranco", format!("line {ln}: bad rank")))?;
-        let d = imp.domain_node(domain);
-        imp.link(
-            d,
-            Relationship::Rank,
-            ranking,
-            props([("rank", Value::Int(rank))]),
-        )?;
+        imp.record(ln, line, |imp| {
+            let (rank, domain) = line
+                .split_once(',')
+                .ok_or_else(|| CrawlError::parse("tranco", "missing comma"))?;
+            let rank: i64 = rank
+                .parse()
+                .map_err(|_| CrawlError::parse("tranco", "bad rank"))?;
+            let d = imp.domain_node(domain);
+            imp.link(
+                d,
+                Relationship::Rank,
+                ranking,
+                props([("rank", Value::Int(rank))]),
+            )
+        })?;
     }
     Ok(())
 }
@@ -63,10 +66,31 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_rows() {
+    fn bad_rows_are_quarantined_within_budget() {
         let mut g = Graph::new();
         let mut imp = Importer::new(&mut g, Reference::new("Tranco", "x", 0));
+        let mut text = String::from("x,example.com\nnocomma\n");
+        for i in 1..=20 {
+            text.push_str(&format!("{i},host{i}.example\n"));
+        }
+        import_list(&mut imp, &text).unwrap();
+        assert_eq!(imp.quarantine().quarantined, 2);
+        assert_eq!(imp.quarantine().records, 22);
+        assert_eq!(imp.link_count(), 20);
+        // The samples point at the offending rows.
+        assert!(imp.quarantine().samples[0].contains("bad rank"));
+        assert!(imp.quarantine().samples[1].contains("missing comma"));
+    }
+
+    #[test]
+    fn strict_policy_rejects_bad_rows() {
+        use crate::base::ImportPolicy;
+        let mut g = Graph::new();
+        let mut imp = Importer::with_policy(
+            &mut g,
+            Reference::new("Tranco", "x", 0),
+            ImportPolicy::strict(),
+        );
         assert!(import_list(&mut imp, "x,example.com\n").is_err());
-        assert!(import_list(&mut imp, "nocomma\n").is_err());
     }
 }

@@ -1,0 +1,126 @@
+//! Cooperative query cancellation and deadlines.
+//!
+//! A [`Cancel`] token is threaded through the executor via
+//! [`crate::eval::EvalCtx`] and polled at row boundaries — the serial
+//! row loops, the candidate loops of the pattern matcher, the
+//! projection paths, and inside the `par` worker chunks — so a hostile
+//! or runaway query stops within one row's worth of work instead of
+//! pinning its thread. Queries run without a token pay only an
+//! `Option` check per row.
+
+use crate::error::CypherError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// A deadline/cancel token. `Sync`: parallel workers poll it too.
+#[derive(Debug)]
+pub struct Cancel {
+    started: Instant,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+impl Cancel {
+    /// A token with no deadline; it only trips via [`Cancel::cancel`].
+    pub fn new() -> Cancel {
+        Cancel {
+            started: Instant::now(),
+            deadline: None,
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// A token that trips once `limit` wall-clock time has elapsed.
+    pub fn with_timeout(limit: Duration) -> Cancel {
+        let started = Instant::now();
+        Cancel {
+            started,
+            deadline: started.checked_add(limit),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// Trips the token; every subsequent [`Cancel::check`] fails.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Wall-clock time since the token was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Polls the token; returns `CypherError::Timeout` once tripped.
+    /// Called at row boundaries, so one poll per unit of real work.
+    #[inline]
+    pub fn check(&self) -> Result<(), CypherError> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(self.timeout_error());
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.cancelled.store(true, Ordering::Relaxed);
+                return Err(self.timeout_error());
+            }
+        }
+        Ok(())
+    }
+
+    fn timeout_error(&self) -> CypherError {
+        CypherError::Timeout {
+            after_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+}
+
+impl Default for Cancel {
+    fn default() -> Self {
+        Cancel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_passes() {
+        let c = Cancel::new();
+        assert!(c.check().is_ok());
+        assert!(!c.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_token_fails() {
+        let c = Cancel::new();
+        c.cancel();
+        assert!(c.is_cancelled());
+        assert!(matches!(c.check(), Err(CypherError::Timeout { .. })));
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let c = Cancel::with_timeout(Duration::ZERO);
+        assert!(c.check().is_err());
+        // The trip is sticky.
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let c = Cancel::with_timeout(Duration::from_secs(3600));
+        assert!(c.check().is_ok());
+    }
+
+    #[test]
+    fn timeout_error_is_structured() {
+        let c = Cancel::with_timeout(Duration::ZERO);
+        let e = c.check().unwrap_err();
+        assert!(e.to_string().starts_with("timeout: "), "{e}");
+    }
+}

@@ -11,6 +11,12 @@ pub enum CypherError {
     Parse { pos: usize, msg: String },
     /// Runtime error (type mismatch, unknown function, …).
     Runtime(String),
+    /// The query was cancelled at a row boundary after exceeding its
+    /// deadline (or being cancelled explicitly).
+    Timeout {
+        /// Wall-clock milliseconds the query had run when cancelled.
+        after_ms: u64,
+    },
 }
 
 impl CypherError {
@@ -25,6 +31,10 @@ impl fmt::Display for CypherError {
             CypherError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
             CypherError::Parse { pos, msg } => write!(f, "parse error near token {pos}: {msg}"),
             CypherError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            CypherError::Timeout { after_ms } => write!(
+                f,
+                "timeout: query cancelled at a row boundary after {after_ms} ms"
+            ),
         }
     }
 }

@@ -23,9 +23,30 @@ pub struct EvalCtx<'g> {
     pub params: &'g HashMap<String, Value>,
     /// `EXISTS { … }` evaluator, when running under the executor.
     pub exists: Option<&'g ExistsHook<'g>>,
+    /// Deadline/cancel token, polled at row boundaries.
+    pub cancel: Option<&'g crate::cancel::Cancel>,
 }
 
 impl<'g> EvalCtx<'g> {
+    /// A context with no `EXISTS` hook and no cancel token.
+    pub fn new(graph: &'g Graph, params: &'g HashMap<String, Value>) -> EvalCtx<'g> {
+        EvalCtx {
+            graph,
+            params,
+            exists: None,
+            cancel: None,
+        }
+    }
+
+    /// Polls the cancel token, if any. Called at row boundaries by the
+    /// executor; a query with no token pays only this `Option` check.
+    #[inline]
+    pub fn check_cancel(&self) -> Result<(), CypherError> {
+        match self.cancel {
+            None => Ok(()),
+            Some(c) => c.check(),
+        }
+    }
     /// Evaluates an expression in a row. Aggregate calls are rejected —
     /// the executor evaluates those over groups.
     pub fn eval(&self, expr: &Expr, row: &Row) -> Result<RtVal, CypherError> {
@@ -609,11 +630,7 @@ mod tests {
         };
         let graph = Graph::new();
         let params = HashMap::new();
-        let ctx = EvalCtx {
-            graph: &graph,
-            params: &params,
-            exists: None,
-        };
+        let ctx = EvalCtx::new(&graph, &params);
         let mut row = Row::new();
         row.insert("n".into(), RtVal::null());
         ctx.eval(&p.items[0].expr, &row).unwrap()
@@ -734,11 +751,7 @@ mod tests {
         };
         let graph = Graph::new();
         let params = HashMap::new();
-        let ctx = EvalCtx {
-            graph: &graph,
-            params: &params,
-            exists: None,
-        };
+        let ctx = EvalCtx::new(&graph, &params);
         let mut row = Row::new();
         row.insert("n".into(), RtVal::null());
         assert!(ctx.eval(&p.items[0].expr, &row).is_err());
@@ -751,11 +764,7 @@ mod tests {
         let b = g.merge_node("AS", "asn", 64496u32, Props::new());
         let r = g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
         let params = HashMap::new();
-        let ctx = EvalCtx {
-            graph: &g,
-            params: &params,
-            exists: None,
-        };
+        let ctx = EvalCtx::new(&g, &params);
         let mut row = Row::new();
         row.insert("a".into(), RtVal::Node(a));
         row.insert("r".into(), RtVal::Rel(r));

@@ -1,6 +1,7 @@
 //! Query execution: pattern matching, pipelines, aggregation.
 
 use crate::ast::*;
+use crate::cancel::Cancel;
 use crate::error::CypherError;
 use crate::eval::{rt_eq, truth, EvalCtx, Row};
 use crate::par::{self, ParCapture};
@@ -75,14 +76,37 @@ impl ResultSet {
 /// runs the query and returns the plan annotated with per-operator
 /// rows-produced and wall time.
 pub fn query(graph: &Graph, text: &str, params: &Params) -> Result<ResultSet, CypherError> {
+    query_impl(graph, text, params, None)
+}
+
+/// Like [`query`], but polls `cancel` at row boundaries (including
+/// inside parallel workers): once the token trips — by deadline or an
+/// explicit [`Cancel::cancel`] — execution stops with
+/// [`CypherError::Timeout`] within one row's worth of work. Results of
+/// queries that finish before the deadline are identical to [`query`].
+pub fn query_with_cancel(
+    graph: &Graph,
+    text: &str,
+    params: &Params,
+    cancel: &Cancel,
+) -> Result<ResultSet, CypherError> {
+    query_impl(graph, text, params, Some(cancel))
+}
+
+fn query_impl(
+    graph: &Graph,
+    text: &str,
+    params: &Params,
+    cancel: Option<&Cancel>,
+) -> Result<ResultSet, CypherError> {
     let _span = iyp_telemetry::span(iyp_telemetry::names::CYPHER_QUERY_SECONDS);
     iyp_telemetry::counter(iyp_telemetry::names::CYPHER_QUERIES_TOTAL).incr();
     let ast = parse(text)?;
     match ast.mode {
-        QueryMode::Normal => execute(graph, &ast, params),
+        QueryMode::Normal => execute_observed(graph, &ast, params, None, cancel),
         QueryMode::Explain => Ok(plan_result(&plan_query(graph, &ast))),
         QueryMode::Profile => {
-            let (_, plan) = run_profiled(graph, &ast, params)?;
+            let (_, plan) = run_profiled(graph, &ast, params, cancel)?;
             Ok(plan_result(&plan))
         }
     }
@@ -102,16 +126,17 @@ pub fn profile(
     params: &Params,
 ) -> Result<(ResultSet, PlanNode), CypherError> {
     let ast = parse(text)?;
-    run_profiled(graph, &ast, params)
+    run_profiled(graph, &ast, params, None)
 }
 
 fn run_profiled(
     graph: &Graph,
     ast: &Query,
     params: &Params,
+    cancel: Option<&Cancel>,
 ) -> Result<(ResultSet, PlanNode), CypherError> {
     let mut stats = Vec::with_capacity(ast.clauses.len());
-    let result = execute_observed(graph, ast, params, Some(&mut stats))?;
+    let result = execute_observed(graph, ast, params, Some(&mut stats), cancel)?;
     let plan = annotate(plan_query(graph, ast), &stats);
     Ok((result, plan))
 }
@@ -131,17 +156,19 @@ fn plan_result(plan: &PlanNode) -> ResultSet {
 
 /// Executes a parsed query.
 pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet, CypherError> {
-    execute_observed(graph, ast, params, None)
+    execute_observed(graph, ast, params, None, None)
 }
 
 /// Executes the clause pipeline; when `stats` is provided, records
 /// `(rows_produced, wall_time)` for every clause in pipeline order
-/// (the `PROFILE` observer).
+/// (the `PROFILE` observer). When `cancel` is provided, it is polled
+/// at row boundaries throughout the pipeline.
 fn execute_observed(
     graph: &Graph,
     ast: &Query,
     params: &Params,
     mut stats: Option<&mut Vec<ClauseStat>>,
+    cancel: Option<&Cancel>,
 ) -> Result<ResultSet, CypherError> {
     // EXISTS subqueries re-enter the matcher with a hook-less inner
     // context (one level of nesting; EXISTS-inside-EXISTS is rejected).
@@ -153,6 +180,7 @@ fn execute_observed(
             graph,
             params,
             exists: None,
+            cancel,
         };
         let mut matches: Vec<(crate::eval::Row, HashSet<RelId>)> =
             vec![(row.clone(), HashSet::new())];
@@ -182,6 +210,7 @@ fn execute_observed(
         graph,
         params,
         exists: Some(&exists_hook),
+        cancel,
     };
     let mut rows: Vec<Row> = vec![Row::new()];
     let mut result: Option<ResultSet> = None;
@@ -276,6 +305,7 @@ pub(crate) fn exec_match(
         let chunks = par::run_chunks(&rows, threads, |chunk| {
             let mut local = Vec::new();
             for row in chunk {
+                ctx.check_cancel()?;
                 match_row(ctx, row, patterns, optional, &mut local, None)?;
             }
             Ok(local)
@@ -287,6 +317,7 @@ pub(crate) fn exec_match(
     }
     let mut out = Vec::new();
     for row in &rows {
+        ctx.check_cancel()?;
         match_row(ctx, row, patterns, optional, &mut out, cap.as_deref_mut())?;
     }
     Ok(out)
@@ -339,6 +370,7 @@ fn exec_where(
         let verdicts = par::run_chunks(&rows, threads, |chunk| {
             let mut keep = Vec::with_capacity(chunk.len());
             for row in chunk {
+                ctx.check_cancel()?;
                 keep.push(truth(&ctx.eval(expr, row)?) == Some(true));
             }
             Ok(keep)
@@ -359,6 +391,7 @@ fn exec_where(
     }
     let mut kept = Vec::with_capacity(rows.len());
     for row in rows {
+        ctx.check_cancel()?;
         if truth(&ctx.eval(expr, &row)?) == Some(true) {
             kept.push(row);
         }
@@ -421,6 +454,7 @@ pub(crate) fn match_pattern(
         let chunks = par::run_chunks(&candidates, threads, |chunk| {
             let mut local = Vec::new();
             for cand in chunk {
+                ctx.check_cancel()?;
                 match_candidate(
                     ctx, row, used, pattern, anchor, anchor_np, *cand, &mut local,
                 )?;
@@ -434,6 +468,7 @@ pub(crate) fn match_pattern(
         return Ok(());
     }
     for cand in candidates {
+        ctx.check_cancel()?;
         match_candidate(ctx, row, used, pattern, anchor, anchor_np, cand, out)?;
     }
     Ok(())
@@ -626,6 +661,9 @@ fn expand(
     }];
 
     while let Some(st) = stack.pop() {
+        // Expansion work stacks can blow up on dense graphs; poll the
+        // cancel token per popped state, not just per row.
+        ctx.check_cancel()?;
         if st.right < pattern.hops.len() {
             // Expand hop `st.right`: from node position st.right to +1.
             let (rp, np) = &pattern.hops[st.right];
@@ -817,6 +855,8 @@ fn step_var_length(
     }];
 
     while let Some(st) = stack.pop() {
+        // Var-length paths are the classic runaway: poll per state.
+        ctx.check_cancel()?;
         let depth = st.rels.len() as u32;
         // Emit the endpoint when within bounds and the node pattern
         // accepts it.

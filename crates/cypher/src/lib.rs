@@ -43,6 +43,7 @@
 //! ```
 
 pub mod ast;
+pub mod cancel;
 pub mod error;
 pub mod eval;
 pub mod exec;
@@ -53,8 +54,9 @@ pub mod plan;
 pub mod rtval;
 pub mod write;
 
+pub use cancel::Cancel;
 pub use error::CypherError;
-pub use exec::{explain, profile, query, Params, ResultSet};
+pub use exec::{explain, profile, query, query_with_cancel, Params, ResultSet};
 pub use par::{set_min_partition, set_threads, threads};
 pub use plan::{ClauseStat, PlanNode};
 pub use rtval::{GroupKey, RtVal};

@@ -63,19 +63,11 @@ pub fn execute_write(
     for clause in &ast.clauses {
         match clause {
             Clause::Match { optional, patterns } => {
-                let ctx = EvalCtx {
-                    graph,
-                    params,
-                    exists: None,
-                };
+                let ctx = EvalCtx::new(graph, params);
                 rows = exec_match(&ctx, rows, patterns, *optional, None)?;
             }
             Clause::Where(expr) => {
-                let ctx = EvalCtx {
-                    graph,
-                    params,
-                    exists: None,
-                };
+                let ctx = EvalCtx::new(graph, params);
                 let mut kept = Vec::with_capacity(rows.len());
                 for row in rows {
                     if truth(&ctx.eval(expr, &row)?) == Some(true) {
@@ -85,11 +77,7 @@ pub fn execute_write(
                 rows = kept;
             }
             Clause::Unwind { expr, var } => {
-                let ctx = EvalCtx {
-                    graph,
-                    params,
-                    exists: None,
-                };
+                let ctx = EvalCtx::new(graph, params);
                 let mut out = Vec::new();
                 for row in rows {
                     let v = ctx.eval(expr, &row)?;
@@ -108,11 +96,7 @@ pub fn execute_write(
                 rows = out;
             }
             Clause::With(proj) => {
-                let ctx = EvalCtx {
-                    graph,
-                    params,
-                    exists: None,
-                };
+                let ctx = EvalCtx::new(graph, params);
                 let (cols, projected) = project(&ctx, rows, proj)?;
                 rows = projected
                     .into_iter()
@@ -120,11 +104,7 @@ pub fn execute_write(
                     .collect();
             }
             Clause::Return(proj) => {
-                let ctx = EvalCtx {
-                    graph,
-                    params,
-                    exists: None,
-                };
+                let ctx = EvalCtx::new(graph, params);
                 let (cols, projected) = project(&ctx, rows, proj)?;
                 result = Some(ResultSet {
                     columns: cols,
@@ -148,11 +128,7 @@ pub fn execute_write(
                 for row in rows {
                     // Try to match first.
                     let matches = {
-                        let ctx = EvalCtx {
-                            graph,
-                            params,
-                            exists: None,
-                        };
+                        let ctx = EvalCtx::new(graph, params);
                         let mut found = Vec::new();
                         match_pattern(&ctx, &row, &HashSet::new(), pattern, &mut found, None)?;
                         found
@@ -169,11 +145,7 @@ pub fn execute_write(
                 // Evaluate all assignments against the pre-SET state.
                 let mut planned: Vec<(RtVal, String, Value)> = Vec::new();
                 {
-                    let ctx = EvalCtx {
-                        graph,
-                        params,
-                        exists: None,
-                    };
+                    let ctx = EvalCtx::new(graph, params);
                     for row in &rows {
                         for item in items {
                             let target = row.get(&item.var).cloned().ok_or_else(|| {
@@ -216,11 +188,7 @@ pub fn execute_write(
                 let mut nodes: Vec<NodeId> = Vec::new();
                 let mut rels: Vec<RelId> = Vec::new();
                 {
-                    let ctx = EvalCtx {
-                        graph,
-                        params,
-                        exists: None,
-                    };
+                    let ctx = EvalCtx::new(graph, params);
                     for row in &rows {
                         for e in exprs {
                             match ctx.eval(e, row)? {
@@ -281,11 +249,7 @@ fn eval_props(
     row: &Row,
     props: &[(String, Expr)],
 ) -> Result<Props, CypherError> {
-    let ctx = EvalCtx {
-        graph,
-        params,
-        exists: None,
-    };
+    let ctx = EvalCtx::new(graph, params);
     let mut out = Props::new();
     for (k, e) in props {
         match ctx.eval(e, row)? {

@@ -1,0 +1,72 @@
+//! Cooperative cancellation: a tripped token stops the executor at a
+//! row boundary with a structured `timeout:` error, while a generous
+//! deadline leaves results byte-identical to the plain `query` path.
+
+use iyp_cypher::{query, query_with_cancel, Cancel, CypherError, Params};
+use iyp_graph::{props, Graph, Props, Value};
+use std::time::Duration;
+
+/// A small but well-connected AS/Prefix graph: enough rows that every
+/// executor stage (match, expand, where, return) sees real work.
+fn dense_graph() -> Graph {
+    let mut g = Graph::new();
+    let mut ases = Vec::new();
+    for asn in 0..40i64 {
+        ases.push(g.merge_node("AS", "asn", asn, props([("tier", Value::Int(asn % 3))])));
+    }
+    for (i, &a) in ases.iter().enumerate() {
+        for &b in &ases[i + 1..] {
+            if (i * 7) % 3 == 0 {
+                g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+            }
+        }
+        let p = g.merge_node("Prefix", "prefix", format!("10.{i}.0.0/16"), Props::new());
+        g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
+    }
+    g
+}
+
+const QUERIES: &[&str] = &[
+    "MATCH (a:AS) RETURN a.asn ORDER BY a.asn",
+    "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) WHERE a.asn < b.asn RETURN count(*)",
+    "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN a.asn, p.prefix ORDER BY a.asn",
+    "MATCH (a:AS)-[:PEERS_WITH*1..2]-(b:AS) RETURN count(*)",
+];
+
+#[test]
+fn pre_cancelled_token_times_out() {
+    let g = dense_graph();
+    let params = Params::default();
+    for q in QUERIES {
+        let cancel = Cancel::new();
+        cancel.cancel();
+        let err = query_with_cancel(&g, q, &params, &cancel).unwrap_err();
+        assert!(
+            matches!(err, CypherError::Timeout { .. }),
+            "{q}: expected Timeout, got {err:?}"
+        );
+        assert!(err.to_string().starts_with("timeout: "), "{err}");
+    }
+}
+
+#[test]
+fn zero_deadline_times_out() {
+    let g = dense_graph();
+    let params = Params::default();
+    let cancel = Cancel::with_timeout(Duration::ZERO);
+    let err = query_with_cancel(&g, QUERIES[3], &params, &cancel).unwrap_err();
+    assert!(matches!(err, CypherError::Timeout { .. }), "{err:?}");
+}
+
+#[test]
+fn generous_deadline_matches_plain_query() {
+    let g = dense_graph();
+    let params = Params::default();
+    for q in QUERIES {
+        let plain = query(&g, q, &params).unwrap();
+        let cancel = Cancel::with_timeout(Duration::from_secs(3600));
+        let timed = query_with_cancel(&g, q, &params, &cancel).unwrap();
+        assert_eq!(plain.columns, timed.columns, "{q}");
+        assert_eq!(plain.rows, timed.rows, "{q}");
+    }
+}

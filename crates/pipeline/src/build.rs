@@ -1,13 +1,14 @@
 //! Full-graph construction.
 
 use crate::postprocess;
-use crate::report::BuildReport;
-use iyp_crawlers::{import_dataset, CrawlError};
+use crate::report::{BuildReport, DatasetFailure, QuarantineEntry};
+use iyp_crawlers::{import_dataset_with, CrawlError, ImportPolicy};
 use iyp_graph::{Graph, GraphStats};
 use iyp_ontology::validate_graph;
 use iyp_simnet::datasets::ALL_DATASETS;
-use iyp_simnet::{DatasetId, World};
-use std::time::Instant;
+use iyp_simnet::{DatasetId, FaultPlan, World};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Options for a build.
 #[derive(Debug, Clone)]
@@ -19,6 +20,16 @@ pub struct BuildOptions {
     pub refine: bool,
     /// Run the final ontology validation.
     pub validate: bool,
+    /// Fault-injection plan applied to simulated fetches and rendered
+    /// texts (chaos testing). `None` builds cleanly.
+    pub chaos: Option<FaultPlan>,
+    /// Fetch retries after a transient failure (attempts = retries + 1).
+    pub max_retries: u32,
+    /// Base backoff slept between fetch attempts; doubles per retry.
+    /// Tests set this to zero.
+    pub retry_backoff: Duration,
+    /// Record-quarantine policy handed to every importer.
+    pub import_policy: ImportPolicy,
 }
 
 impl Default for BuildOptions {
@@ -27,6 +38,10 @@ impl Default for BuildOptions {
             datasets: ALL_DATASETS.to_vec(),
             refine: true,
             validate: true,
+            chaos: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(10),
+            import_policy: ImportPolicy::default(),
         }
     }
 }
@@ -45,6 +60,52 @@ impl BuildOptions {
         self.refine = false;
         self
     }
+
+    /// Inject faults from a [`FaultPlan`] (chaos testing).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
+}
+
+/// Renders a panic payload as a short message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Simulated fetch with bounded retries. Returns the retries spent on
+/// success, or `(final cause, retries spent)` when the dataset could
+/// not be fetched within the retry budget.
+fn simulate_fetch(
+    plan: &FaultPlan,
+    id: DatasetId,
+    max_retries: u32,
+    backoff: Duration,
+) -> Result<u32, (String, u32)> {
+    let mut retries = 0;
+    loop {
+        let attempt = retries + 1;
+        match plan.fetch_outcome(id, attempt) {
+            Ok(()) => return Ok(retries),
+            Err(cause) if retries >= max_retries => return Err((cause, retries)),
+            Err(_) => {
+                retries += 1;
+                if iyp_telemetry::enabled() {
+                    iyp_telemetry::counter(iyp_telemetry::names::BUILD_RETRIES_TOTAL).incr();
+                }
+                if !backoff.is_zero() {
+                    // Exponential backoff, capped at 16× the base.
+                    std::thread::sleep(backoff * 1u32.wrapping_shl(retries.min(4) - 1));
+                }
+            }
+        }
+    }
 }
 
 /// Builds the IYP knowledge graph from a synthetic world.
@@ -52,22 +113,43 @@ impl BuildOptions {
 /// Dataset texts are rendered concurrently (they are independent pure
 /// functions of the world); imports run serially in Table 8 order so
 /// the build is deterministic.
+///
+/// Each dataset is isolated: a renderer or importer that panics or
+/// returns an error fails only its own dataset, which is recorded in
+/// the report's `failed`/`skipped` sections while the build continues.
+/// Links a failing importer created before its error stay in the graph
+/// (imports are best-effort, matching the production IYP's "import
+/// as-is" stance). Only refinement and validation errors abort the
+/// build — those indicate bugs, not bad data.
 pub fn build_graph(
     world: &World,
     options: &BuildOptions,
 ) -> Result<(Graph, BuildReport), CrawlError> {
     let build_start = Instant::now();
     let _span = iyp_telemetry::span(iyp_telemetry::names::BUILD_SECONDS);
-    // Render all dataset texts in parallel.
-    let mut texts: Vec<(DatasetId, String)> = Vec::with_capacity(options.datasets.len());
+    // Render all dataset texts in parallel; a panicking renderer is
+    // caught on its own thread and fails only its dataset.
+    let mut texts: Vec<(DatasetId, Result<String, String>)> =
+        Vec::with_capacity(options.datasets.len());
     crossbeam::thread::scope(|s| {
         let handles: Vec<_> = options
             .datasets
             .iter()
-            .map(|&id| s.spawn(move |_| (id, world.render_dataset(id))))
+            .map(|&id| {
+                (
+                    id,
+                    s.spawn(move |_| {
+                        catch_unwind(AssertUnwindSafe(|| world.render_dataset(id)))
+                            .map_err(|p| format!("render panicked: {}", panic_message(p)))
+                    }),
+                )
+            })
             .collect();
-        for h in handles {
-            texts.push(h.join().expect("render thread panicked"));
+        for (id, h) in handles {
+            let rendered = h
+                .join()
+                .unwrap_or_else(|p| Err(format!("render thread died: {}", panic_message(p))));
+            texts.push((id, rendered));
         }
     })
     .expect("crossbeam scope");
@@ -78,20 +160,112 @@ pub fn build_graph(
     let mut graph = Graph::new();
     let mut datasets = Vec::with_capacity(texts.len());
     let mut dataset_timings = Vec::with_capacity(texts.len());
-    for (id, text) in &texts {
+    let mut failed: Vec<DatasetFailure> = Vec::new();
+    let mut skipped: Vec<DatasetFailure> = Vec::new();
+    let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+    for (id, rendered) in &texts {
+        let name = id.name().to_string();
         let started = Instant::now();
-        let links = import_dataset(&mut graph, *id, text, world.fetch_time)?;
+
+        // Simulated fetch: transient chaos failures are retried with
+        // bounded backoff; a dataset that never fetches is skipped.
+        let mut retries = 0;
+        if let Some(plan) = &options.chaos {
+            match simulate_fetch(plan, *id, options.max_retries, options.retry_backoff) {
+                Ok(r) => retries = r,
+                Err((cause, retries)) => {
+                    skipped.push(DatasetFailure {
+                        dataset: name,
+                        cause,
+                        retries,
+                    });
+                    continue;
+                }
+            }
+        }
+
+        let text = match rendered {
+            Ok(t) => t,
+            Err(cause) => {
+                failed.push(DatasetFailure {
+                    dataset: name,
+                    cause: cause.clone(),
+                    retries,
+                });
+                continue;
+            }
+        };
+        // Chaos corruption of the fetched text, when planned.
+        let corrupted;
+        let text: &str = match &options.chaos {
+            Some(plan) if plan.is_corrupted(*id) => {
+                corrupted = plan.corrupt(*id, text);
+                &corrupted
+            }
+            _ => text,
+        };
+
+        // Isolated import: a panicking or failing importer loses only
+        // its own dataset.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            import_dataset_with(
+                &mut graph,
+                *id,
+                text,
+                world.fetch_time,
+                options.import_policy,
+            )
+        }));
         let elapsed = started.elapsed();
-        datasets.push((id.name().to_string(), links));
-        dataset_timings.push((id.name().to_string(), elapsed));
+        let links = match outcome {
+            Ok(Ok(out)) => {
+                if out.quarantined > 0 {
+                    quarantine.push(QuarantineEntry {
+                        dataset: name.clone(),
+                        records: out.records,
+                        quarantined: out.quarantined,
+                        samples: out.samples,
+                    });
+                    if iyp_telemetry::enabled() {
+                        iyp_telemetry::counter(
+                            iyp_telemetry::names::BUILD_QUARANTINED_RECORDS_TOTAL,
+                        )
+                        .add(out.quarantined as u64);
+                    }
+                }
+                out.links
+            }
+            Ok(Err(e)) => {
+                failed.push(DatasetFailure {
+                    dataset: name,
+                    cause: e.to_string(),
+                    retries,
+                });
+                continue;
+            }
+            Err(p) => {
+                failed.push(DatasetFailure {
+                    dataset: name,
+                    cause: format!("importer panicked: {}", panic_message(p)),
+                    retries,
+                });
+                continue;
+            }
+        };
+        datasets.push((name.clone(), links));
+        dataset_timings.push((name.clone(), elapsed));
         if iyp_telemetry::enabled() {
-            let name = iyp_telemetry::labeled(
+            let metric = iyp_telemetry::labeled(
                 iyp_telemetry::names::BUILD_IMPORT_SECONDS,
                 &[("dataset", id.name())],
             );
-            iyp_telemetry::histogram(&name).record(elapsed);
+            iyp_telemetry::histogram(&metric).record(elapsed);
             iyp_telemetry::counter(iyp_telemetry::names::BUILD_LINKS_TOTAL).add(links as u64);
         }
+    }
+    if iyp_telemetry::enabled() && (!failed.is_empty() || !skipped.is_empty()) {
+        iyp_telemetry::counter(iyp_telemetry::names::BUILD_FAILED_DATASETS_TOTAL)
+            .add((failed.len() + skipped.len()) as u64);
     }
 
     let mut refinement = Vec::new();
@@ -174,6 +348,9 @@ pub fn build_graph(
         graph,
         BuildReport {
             datasets,
+            failed,
+            skipped,
+            quarantine,
             refinement,
             stats,
             violations,

@@ -4,11 +4,47 @@ use iyp_graph::GraphStats;
 use std::fmt;
 use std::time::Duration;
 
+/// One dataset that did not make it into the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetFailure {
+    /// Dataset name (Table 8 spelling, e.g. `bgpkit.pfx2as`).
+    pub dataset: String,
+    /// Human-readable cause: the parse/graph error, panic payload, or
+    /// final fetch failure.
+    pub cause: String,
+    /// Fetch retries spent on this dataset before it failed (or, for
+    /// imported datasets, before it succeeded).
+    pub retries: u32,
+}
+
+/// Quarantine accounting for a dataset that imported with skipped
+/// records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Records the importer attempted.
+    pub records: usize,
+    /// Malformed records skipped under the error budget.
+    pub quarantined: usize,
+    /// Rendered errors for the first few quarantined records.
+    pub samples: Vec<String>,
+}
+
 /// Summary of a full IYP build.
 #[derive(Debug, Clone)]
 pub struct BuildReport {
     /// (dataset name, relationships created) in import order.
     pub datasets: Vec<(String, usize)>,
+    /// Datasets whose render or import failed (error, panic, or
+    /// exhausted record error-budget); the build continued without
+    /// them.
+    pub failed: Vec<DatasetFailure>,
+    /// Datasets that could never be fetched (transient failures that
+    /// outlived the retry budget, or hard fetch failures).
+    pub skipped: Vec<DatasetFailure>,
+    /// Datasets that imported successfully but quarantined records.
+    pub quarantine: Vec<QuarantineEntry>,
     /// Relationships added by each refinement pass.
     pub refinement: Vec<(&'static str, usize)>,
     /// Final graph statistics.
@@ -34,6 +70,41 @@ impl BuildReport {
     /// Total relationships added by refinement.
     pub fn refinement_links(&self) -> usize {
         self.refinement.iter().map(|(_, n)| n).sum()
+    }
+
+    /// An empty report holding only graph statistics (snapshot loads).
+    pub fn empty(stats: GraphStats) -> BuildReport {
+        BuildReport {
+            datasets: Vec::new(),
+            failed: Vec::new(),
+            skipped: Vec::new(),
+            quarantine: Vec::new(),
+            refinement: Vec::new(),
+            stats,
+            violations: 0,
+            dataset_timings: Vec::new(),
+            refinement_timings: Vec::new(),
+            total_time: Duration::ZERO,
+        }
+    }
+
+    /// Total records quarantined across all datasets.
+    pub fn quarantined_records(&self) -> usize {
+        self.quarantine.iter().map(|q| q.quarantined).sum()
+    }
+
+    /// Total fetch retries spent across failed and skipped datasets.
+    pub fn total_retries(&self) -> u32 {
+        self.failed
+            .iter()
+            .chain(&self.skipped)
+            .map(|f| f.retries)
+            .sum()
+    }
+
+    /// True when every requested dataset imported cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty() && self.quarantine.is_empty()
     }
 
     /// The wall time recorded for one dataset import, by name.
@@ -73,6 +144,31 @@ impl fmt::Display for BuildReport {
         for (name, links) in &self.datasets {
             writeln!(f, "  {name:<36} {links:>9} links")?;
         }
+        if !self.failed.is_empty() {
+            writeln!(f, "-- failed ({}) --", self.failed.len())?;
+            for d in &self.failed {
+                writeln!(f, "  {:<36} retries {}  {}", d.dataset, d.retries, d.cause)?;
+            }
+        }
+        if !self.skipped.is_empty() {
+            writeln!(f, "-- skipped ({}) --", self.skipped.len())?;
+            for d in &self.skipped {
+                writeln!(f, "  {:<36} retries {}  {}", d.dataset, d.retries, d.cause)?;
+            }
+        }
+        if !self.quarantine.is_empty() {
+            writeln!(f, "-- quarantined records --")?;
+            for q in &self.quarantine {
+                writeln!(
+                    f,
+                    "  {:<36} {:>9} of {} records",
+                    q.dataset, q.quarantined, q.records
+                )?;
+                for s in &q.samples {
+                    writeln!(f, "    · {s}")?;
+                }
+            }
+        }
         writeln!(f, "-- refinement --")?;
         for (pass, links) in &self.refinement {
             writeln!(f, "  {pass:<36} {links:>9} links")?;
@@ -81,6 +177,12 @@ impl fmt::Display for BuildReport {
         writeln!(f, "  crawled links     {:>9}", self.crawled_links())?;
         writeln!(f, "  refinement links  {:>9}", self.refinement_links())?;
         writeln!(f, "  ontology issues   {:>9}", self.violations)?;
+        if !self.is_clean() {
+            writeln!(f, "  failed datasets   {:>9}", self.failed.len())?;
+            writeln!(f, "  skipped datasets  {:>9}", self.skipped.len())?;
+            writeln!(f, "  quarantined recs  {:>9}", self.quarantined_records())?;
+            writeln!(f, "  fetch retries     {:>9}", self.total_retries())?;
+        }
         write!(f, "{}", self.stats)
     }
 }

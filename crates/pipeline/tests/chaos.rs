@@ -1,0 +1,202 @@
+//! Chaos-injection integration tests: a build under a seeded
+//! [`FaultPlan`] must never panic, must import every unaffected dataset
+//! exactly as a clean build would, and must account for every affected
+//! dataset in the [`BuildReport`].
+
+use iyp_pipeline::{build_graph, BuildOptions, BuildReport};
+use iyp_simnet::{DatasetId, FaultPlan, FetchFault, SimConfig, World};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// The fixed chaos seed used here and by the CI `chaos` job:
+/// `FaultPlan::generate(CHAOS_SEED, 8)` targets 8 datasets, 7 of them
+/// with text corruptions.
+const CHAOS_SEED: u64 = 0;
+
+fn chaos_options(plan: FaultPlan) -> BuildOptions {
+    let mut options = BuildOptions::default().with_chaos(plan);
+    options.retry_backoff = Duration::ZERO;
+    options
+}
+
+fn clean_link_counts(world: &World) -> BTreeMap<String, usize> {
+    let (_, report) = build_graph(world, &BuildOptions::default()).expect("clean build");
+    report.datasets.into_iter().collect()
+}
+
+/// Every dataset is exactly one of: imported, failed, or skipped.
+fn assert_accounted(report: &BuildReport, plan: &FaultPlan) {
+    assert_eq!(
+        report.datasets.len() + report.failed.len() + report.skipped.len(),
+        46,
+        "datasets lost: {} imported, {:?} failed, {:?} skipped",
+        report.datasets.len(),
+        report.failed,
+        report.skipped
+    );
+    let affected: Vec<String> = plan.affected().iter().map(|d| d.name().into()).collect();
+    for f in report.failed.iter().chain(&report.skipped) {
+        assert!(!f.cause.is_empty(), "{} has no cause", f.dataset);
+        assert!(
+            affected.contains(&f.dataset),
+            "{} failed but was never targeted by the plan",
+            f.dataset
+        );
+    }
+    for q in &report.quarantine {
+        assert!(q.quarantined > 0 && q.quarantined <= q.records, "{q:?}");
+        let id = plan
+            .affected()
+            .iter()
+            .copied()
+            .find(|d| d.name() == q.dataset);
+        assert!(
+            id.is_some_and(|d| plan.is_corrupted(d)),
+            "{} quarantined records but its text was never corrupted",
+            q.dataset
+        );
+    }
+}
+
+#[test]
+fn fixed_seed_chaos_build_isolates_every_fault() {
+    let world = World::generate(&SimConfig::tiny(), 42);
+    let plan = FaultPlan::generate(CHAOS_SEED, 8);
+    let corrupted = plan
+        .affected()
+        .iter()
+        .filter(|d| plan.is_corrupted(**d))
+        .count();
+    assert!(
+        corrupted >= 5,
+        "seed {CHAOS_SEED} only corrupts {corrupted}"
+    );
+
+    let clean = clean_link_counts(&world);
+    let (graph, report) =
+        build_graph(&world, &chaos_options(plan.clone())).expect("chaos build completes");
+    assert_accounted(&report, &plan);
+    assert!(
+        !report.is_clean(),
+        "a plan with 8 targets should leave a mark"
+    );
+
+    // Every dataset the plan did not touch imports exactly as in a
+    // clean build — fault isolation means bit-identical link counts.
+    let affected = plan.affected();
+    for id in iyp_simnet::datasets::ALL_DATASETS {
+        if affected.contains(&id) {
+            continue;
+        }
+        let links = report
+            .datasets
+            .iter()
+            .find(|(n, _)| n == id.name())
+            .unwrap_or_else(|| panic!("{} missing from chaos build", id.name()))
+            .1;
+        assert_eq!(
+            Some(&links),
+            clean.get(id.name()),
+            "{} diverged from the clean build",
+            id.name()
+        );
+    }
+    assert!(graph.node_count() > 0);
+
+    // The report renders its failure sections.
+    let text = report.to_string();
+    if !report.failed.is_empty() {
+        assert!(text.contains("-- failed ("), "{text}");
+    }
+    if !report.skipped.is_empty() {
+        assert!(text.contains("-- skipped ("), "{text}");
+    }
+    if !report.quarantine.is_empty() {
+        assert!(text.contains("-- quarantined records --"), "{text}");
+    }
+}
+
+#[test]
+fn chaos_builds_are_deterministic() {
+    let world = World::generate(&SimConfig::tiny(), 42);
+    let plan = FaultPlan::generate(CHAOS_SEED, 8);
+    let (g1, r1) = build_graph(&world, &chaos_options(plan.clone())).unwrap();
+    let (g2, r2) = build_graph(&world, &chaos_options(plan)).unwrap();
+    assert_eq!(g1.node_count(), g2.node_count());
+    assert_eq!(g1.rel_count(), g2.rel_count());
+    assert_eq!(r1.datasets, r2.datasets);
+    assert_eq!(r1.failed, r2.failed);
+    assert_eq!(r1.skipped, r2.skipped);
+    assert_eq!(r1.quarantine, r2.quarantine);
+}
+
+#[test]
+fn garbage_lines_are_quarantined_not_fatal() {
+    let world = World::generate(&SimConfig::tiny(), 42);
+    let plan = FaultPlan::new(3)
+        .with_corruption(DatasetId::TrancoList, iyp_simnet::FaultKind::GarbageLines);
+    let (_, report) = build_graph(&world, &chaos_options(plan)).unwrap();
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    let q = report
+        .quarantine
+        .iter()
+        .find(|q| q.dataset == DatasetId::TrancoList.name())
+        .expect("tranco quarantined its garbage lines");
+    // The corruption splices exactly three non-record lines in.
+    assert_eq!(q.quarantined, 3, "{q:?}");
+    assert_eq!(report.quarantined_records(), 3);
+    assert!(!q.samples.is_empty());
+    // ... and the dataset still imported everything else.
+    assert!(report
+        .datasets
+        .iter()
+        .any(|(n, links)| n == DatasetId::TrancoList.name() && *links > 0));
+}
+
+#[test]
+fn transient_fetch_failures_are_retried_to_success() {
+    let world = World::generate(&SimConfig::tiny(), 42);
+    let plan =
+        FaultPlan::new(7).with_fetch(DatasetId::TrancoList, FetchFault::Transient { failures: 2 });
+    let (_, report) = build_graph(&world, &chaos_options(plan)).unwrap();
+    // Two failures fit inside the default budget of two retries.
+    assert!(report.failed.is_empty(), "{:?}", report.failed);
+    assert!(report.skipped.is_empty(), "{:?}", report.skipped);
+    assert!(report
+        .datasets
+        .iter()
+        .any(|(n, links)| n == DatasetId::TrancoList.name() && *links > 0));
+}
+
+#[test]
+fn hard_fetch_failures_exhaust_retries_and_skip() {
+    let world = World::generate(&SimConfig::tiny(), 42);
+    let plan = FaultPlan::new(7).with_fetch(DatasetId::TrancoList, FetchFault::Hard);
+    let (_, report) = build_graph(&world, &chaos_options(plan)).unwrap();
+    assert_eq!(report.skipped.len(), 1);
+    let skip = &report.skipped[0];
+    assert_eq!(skip.dataset, DatasetId::TrancoList.name());
+    assert_eq!(skip.retries, BuildOptions::default().max_retries);
+    assert_eq!(report.total_retries(), skip.retries);
+    assert!(!report
+        .datasets
+        .iter()
+        .any(|(n, _)| n == DatasetId::TrancoList.name()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any seeded fault plan over any number of targets: the build
+    /// never panics, always returns a report, and accounts for all 46
+    /// datasets.
+    #[test]
+    fn random_chaos_never_panics(seed in any::<u64>(), targets in 0usize..=12) {
+        let world = World::generate(&SimConfig::tiny(), 42);
+        let plan = FaultPlan::generate(seed, targets);
+        let (_, report) =
+            build_graph(&world, &chaos_options(plan.clone())).expect("build completes");
+        assert_accounted(&report, &plan);
+    }
+}

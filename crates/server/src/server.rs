@@ -45,13 +45,61 @@ pub struct ServerOptions {
     /// error (and counted in `iyp_server_busy_rejected_total`) instead
     /// of spawning an unbounded thread per connection.
     pub max_connections: usize,
+    /// Wall-clock deadline for a single read query. Queries past the
+    /// deadline are cancelled cooperatively at a row boundary and the
+    /// client gets a structured `timeout` error (counted in
+    /// `iyp_server_query_timeout_total`); the connection stays usable.
+    /// `None` (the default) disables the deadline. Write queries are
+    /// not covered: they hold the exclusive journal lock and must run
+    /// to completion or not at all.
+    pub query_timeout: Option<Duration>,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions {
             max_connections: 64,
+            query_timeout: None,
         }
+    }
+}
+
+/// A structured rejection: something the server declined to do, written
+/// to the client as one `error` line and counted in telemetry. Both the
+/// accept-thread busy path and the in-handler query-timeout path go
+/// through here so the wire format and the counters cannot drift.
+enum Reject {
+    /// The connection arrived above the in-flight handler cap.
+    Busy { max_connections: usize },
+    /// A read query exceeded the configured deadline and was cancelled
+    /// at a row boundary.
+    QueryTimeout { limit: Duration, after_ms: u64 },
+}
+
+impl Reject {
+    fn counter(&self) -> &'static str {
+        match self {
+            Reject::Busy { .. } => iyp_telemetry::names::SERVER_BUSY_REJECTED_TOTAL,
+            Reject::QueryTimeout { .. } => iyp_telemetry::names::SERVER_QUERY_TIMEOUT_TOTAL,
+        }
+    }
+
+    fn message(&self) -> String {
+        match self {
+            Reject::Busy { max_connections } => format!(
+                "busy: server is at its connection cap ({max_connections} in flight); retry shortly"
+            ),
+            Reject::QueryTimeout { limit, after_ms } => format!(
+                "timeout: query exceeded the {} ms deadline; cancelled at a row boundary after {after_ms} ms",
+                limit.as_millis()
+            ),
+        }
+    }
+
+    /// Counts the rejection and renders it as the wire response.
+    fn response(&self) -> Response {
+        iyp_telemetry::counter(self.counter()).incr();
+        Response::Error(self.message())
     }
 }
 
@@ -119,6 +167,7 @@ impl Server {
         let accept_shutdown = shutdown.clone();
         let accept_served = served.clone();
         let max_connections = options.max_connections.max(1);
+        let query_timeout = options.query_timeout;
         let active = Arc::new(AtomicUsize::new(0));
 
         // The listener blocks in accept(); stop() wakes it with a
@@ -135,7 +184,7 @@ impl Server {
                     // with a structured `busy` error instead of
                     // spawning without bound.
                     if active.load(Ordering::SeqCst) >= max_connections {
-                        reject_busy(stream, max_connections);
+                        reject_on_accept(stream, Reject::Busy { max_connections });
                         continue;
                     }
                     active.fetch_add(1, Ordering::SeqCst);
@@ -150,7 +199,7 @@ impl Server {
                     // flush here).
                     std::thread::spawn(move || {
                         let _guard = guard;
-                        let _ = handle_connection(stream, &service, &served);
+                        let _ = handle_connection(stream, &service, &served, query_timeout);
                     });
                 }
                 Err(_) => {
@@ -198,15 +247,12 @@ impl Drop for Server {
     }
 }
 
-/// Rejects a connection that arrived above the in-flight handler cap:
-/// writes one structured `busy` error line and drops the stream. Runs
-/// on the accept thread, so it must never block on a slow client.
-fn reject_busy(mut stream: TcpStream, max_connections: usize) {
-    iyp_telemetry::counter(iyp_telemetry::names::SERVER_BUSY_REJECTED_TOTAL).incr();
+/// Writes a [`Reject`] to a connection we never admitted and drops the
+/// stream. Runs on the accept thread, so it must never block on a slow
+/// client — hence the short write timeout and ignored errors.
+fn reject_on_accept(mut stream: TcpStream, reject: Reject) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let resp = Response::Error(format!(
-        "busy: server is at its connection cap ({max_connections} in flight); retry shortly"
-    ));
+    let resp = reject.response();
     let _ = stream.write_all(resp.to_line().as_bytes());
     let _ = stream.write_all(b"\n");
     let _ = stream.flush();
@@ -218,6 +264,7 @@ fn handle_connection(
     stream: TcpStream,
     service: &Service,
     served: &AtomicUsize,
+    query_timeout: Option<Duration>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -256,8 +303,10 @@ fn handle_connection(
                 let _span = iyp_telemetry::span(iyp_telemetry::names::SERVER_REQUEST_SECONDS);
                 let started = Instant::now();
                 let response = match service {
-                    Service::ReadOnly(graph) => run_query(graph, &req),
-                    Service::Durable(durable) => durable.read(|g| run_query(g, &req)),
+                    Service::ReadOnly(graph) => run_query(graph, &req, query_timeout),
+                    Service::Durable(durable) => {
+                        durable.read(|g| run_query(g, &req, query_timeout))
+                    }
                 };
                 log_if_slow(&req.query, started.elapsed());
                 response
@@ -300,9 +349,18 @@ fn handle_connection(
 }
 
 /// Runs a read query and encodes the result (inside whatever lock the
-/// caller holds — entity encoding needs the graph).
-fn run_query(graph: &Graph, req: &crate::proto::Request) -> Response {
-    match iyp_cypher::query(graph, &req.query, &req.params) {
+/// caller holds — entity encoding needs the graph). With a timeout the
+/// query runs under a deadline token; without one it takes the plain
+/// `query` path, so results are byte-identical to an untimed server.
+fn run_query(graph: &Graph, req: &crate::proto::Request, timeout: Option<Duration>) -> Response {
+    let result = match timeout {
+        Some(limit) => {
+            let cancel = iyp_cypher::Cancel::with_timeout(limit);
+            iyp_cypher::query_with_cancel(graph, &req.query, &req.params, &cancel)
+        }
+        None => iyp_cypher::query(graph, &req.query, &req.params),
+    };
+    match result {
         Ok(rs) => Response::Ok {
             columns: rs.columns.clone(),
             rows: rs
@@ -311,6 +369,11 @@ fn run_query(graph: &Graph, req: &crate::proto::Request) -> Response {
                 .map(|row| row.iter().map(|v| encode_value(v, graph)).collect())
                 .collect(),
         },
+        Err(iyp_cypher::CypherError::Timeout { after_ms }) => Reject::QueryTimeout {
+            limit: timeout.unwrap_or_default(),
+            after_ms,
+        }
+        .response(),
         Err(e) => Response::Error(e.to_string()),
     }
 }

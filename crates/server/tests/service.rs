@@ -216,7 +216,10 @@ fn connection_cap_rejects_excess_clients_with_busy() {
     let mut server = Server::start_service_with(
         Service::ReadOnly(sample_graph()),
         "127.0.0.1:0",
-        ServerOptions { max_connections: 2 },
+        ServerOptions {
+            max_connections: 2,
+            ..Default::default()
+        },
     )
     .expect("bind");
     let addr = server.addr();

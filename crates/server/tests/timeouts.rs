@@ -1,0 +1,108 @@
+//! End-to-end query deadlines: a server started with a `query_timeout`
+//! cancels over-deadline queries at a row boundary, sends the client a
+//! structured `timeout` error, and keeps the connection usable.
+
+use iyp_graph::{Graph, Props};
+use iyp_server::{Client, Response, Server, ServerOptions, Service};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A densely meshed AS graph: var-length path queries over it explode
+/// combinatorially, so they reliably outlive a short deadline while
+/// still being cancellable within one row's worth of work.
+fn dense_graph() -> Arc<Graph> {
+    let mut g = Graph::new();
+    let nodes: Vec<_> = (0..48i64)
+        .map(|asn| g.merge_node("AS", "asn", asn, Props::new()))
+        .collect();
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in &nodes[i + 1..] {
+            g.create_rel(a, "PEERS_WITH", b, Props::new()).unwrap();
+        }
+    }
+    Arc::new(g)
+}
+
+/// Combinatorial: every 1..4-hop path through a 48-node clique.
+const SLOW_QUERY: &str = "MATCH (a:AS)-[:PEERS_WITH*1..4]-(b:AS) RETURN count(*)";
+
+fn start_with_timeout(timeout: Duration) -> (Server, std::net::SocketAddr) {
+    let server = Server::start_service_with(
+        Service::ReadOnly(dense_graph()),
+        "127.0.0.1:0",
+        ServerOptions {
+            query_timeout: Some(timeout),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    (server, addr)
+}
+
+#[test]
+fn slow_query_gets_structured_timeout_and_connection_survives() {
+    iyp_telemetry::enable();
+    let before = iyp_telemetry::counter(iyp_telemetry::names::SERVER_QUERY_TIMEOUT_TOTAL).get();
+    let limit = Duration::from_millis(150);
+    let (mut server, addr) = start_with_timeout(limit);
+    let mut client = Client::connect(addr).expect("connect");
+
+    let started = Instant::now();
+    let resp = client.query(SLOW_QUERY).expect("transport ok");
+    let elapsed = started.elapsed();
+    let Response::Error(msg) = resp else {
+        panic!("expected timeout error, got {resp:?}")
+    };
+    assert!(msg.starts_with("timeout: "), "{msg}");
+    assert!(msg.contains("150 ms deadline"), "{msg}");
+    // Cancellation is cooperative but per-row, so the whole roundtrip
+    // lands well under the many seconds the query would otherwise run.
+    assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
+
+    // The connection is still usable after a timeout.
+    assert!(client.ping().expect("ping after timeout"));
+    let resp = client
+        .query("MATCH (a:AS) RETURN count(a)")
+        .expect("fast query after timeout");
+    let Response::Ok { rows, .. } = resp else {
+        panic!("expected ok, got {resp:?}")
+    };
+    assert_eq!(rows[0][0], serde_json::json!(48));
+
+    let after = iyp_telemetry::counter(iyp_telemetry::names::SERVER_QUERY_TIMEOUT_TOTAL).get();
+    assert!(after > before, "timeout counter did not move");
+    server.stop();
+}
+
+#[test]
+fn under_deadline_queries_match_untimed_server() {
+    let graph = dense_graph();
+    let mut untimed = Server::start(graph.clone(), "127.0.0.1:0").expect("bind");
+    let mut timed = Server::start_service_with(
+        Service::ReadOnly(graph),
+        "127.0.0.1:0",
+        ServerOptions {
+            query_timeout: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+
+    let mut a = Client::connect(untimed.addr()).expect("connect");
+    let mut b = Client::connect(timed.addr()).expect("connect");
+    for q in [
+        "MATCH (a:AS) RETURN a.asn ORDER BY a.asn LIMIT 5",
+        "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) WHERE a.asn < b.asn RETURN count(*)",
+    ] {
+        let ra = a.query(q).expect("untimed");
+        let rb = b.query(q).expect("timed");
+        assert_eq!(
+            ra.to_line(),
+            rb.to_line(),
+            "{q}: timed server output diverged"
+        );
+    }
+    untimed.stop();
+    timed.stop();
+}

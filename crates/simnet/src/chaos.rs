@@ -1,0 +1,366 @@
+//! Seeded, deterministic fault injection for the synthetic Internet.
+//!
+//! Production IYP ingests 46 live community feeds where truncated
+//! downloads, garbage lines, and flaky mirrors are routine. A
+//! [`FaultPlan`] reproduces that weather deterministically: given a
+//! seed it decides which datasets are corrupted (and how) and which
+//! simulated fetches fail (and for how many attempts), so the whole
+//! ETL path can be exercised under realistic breakage in tests and CI
+//! without any nondeterminism.
+
+use crate::datasets::{DatasetId, ALL_DATASETS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// One kind of corruption applied to a rendered dataset text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Cut the text off mid-stream, as a dropped connection would.
+    Truncate,
+    /// Splice non-record garbage lines into the body.
+    GarbageLines,
+    /// Repeat a block of records verbatim.
+    DuplicateRecords,
+    /// Shuffle record order (breaks formats with positional structure).
+    ReorderRecords,
+    /// Insert runs of U+FFFD — the decoded residue of invalid UTF-8
+    /// bytes — mid-record. (Rendered texts are `String`s, so the
+    /// undecodable bytes are modelled by their replacement characters.)
+    InvalidUtf8,
+}
+
+impl FaultKind {
+    /// Every corruption kind, in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Truncate,
+        FaultKind::GarbageLines,
+        FaultKind::DuplicateRecords,
+        FaultKind::ReorderRecords,
+        FaultKind::InvalidUtf8,
+    ];
+
+    /// Stable lowercase identifier, used in reports and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Truncate => "truncate",
+            FaultKind::GarbageLines => "garbage-lines",
+            FaultKind::DuplicateRecords => "duplicate-records",
+            FaultKind::ReorderRecords => "reorder-records",
+            FaultKind::InvalidUtf8 => "invalid-utf8",
+        }
+    }
+
+    /// One-line description, used by the generated documentation.
+    pub fn description(self) -> &'static str {
+        match self {
+            FaultKind::Truncate => "the text is cut off mid-stream, as by a dropped connection",
+            FaultKind::GarbageLines => "non-record garbage lines are spliced into the body",
+            FaultKind::DuplicateRecords => "a block of records is repeated verbatim",
+            FaultKind::ReorderRecords => "record order is shuffled deterministically",
+            FaultKind::InvalidUtf8 => {
+                "runs of U+FFFD (decoded invalid UTF-8) are inserted mid-record"
+            }
+        }
+    }
+}
+
+/// Simulated fetch behaviour for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchFault {
+    /// The first `failures` attempts fail; later attempts succeed.
+    Transient { failures: u32 },
+    /// Every attempt fails: the dataset can never be fetched.
+    Hard,
+}
+
+/// All faults injected for a single dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatasetFaults {
+    /// Corruptions applied to the rendered text, in order.
+    pub corruptions: Vec<FaultKind>,
+    /// Simulated fetch failure mode, if any.
+    pub fetch: Option<FetchFault>,
+}
+
+/// A seeded, deterministic plan of which datasets break and how.
+///
+/// The same `(seed, targets)` pair always yields the same plan, and
+/// [`FaultPlan::corrupt`] is a pure function of the plan and input
+/// text — chaos builds are exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: BTreeMap<DatasetId, DatasetFaults>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing is corrupted, every fetch succeeds.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// Generate a plan that injects faults into `targets` distinct
+    /// datasets (capped at the number of datasets). Each target draws
+    /// one fault: one of the five text corruptions, a transient fetch
+    /// failure, or a hard fetch failure.
+    pub fn generate(seed: u64, targets: usize) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new(seed);
+        let targets = targets.min(ALL_DATASETS.len());
+        // Seeded partial Fisher-Yates pick of distinct datasets.
+        let mut pool: Vec<DatasetId> = ALL_DATASETS.to_vec();
+        for _ in 0..targets {
+            let idx = rng.gen_range(0..pool.len());
+            let id = pool.swap_remove(idx);
+            let faults = match rng.gen_range(0..7u32) {
+                k @ 0..=4 => DatasetFaults {
+                    corruptions: vec![FaultKind::ALL[k as usize]],
+                    fetch: None,
+                },
+                5 => DatasetFaults {
+                    corruptions: Vec::new(),
+                    fetch: Some(FetchFault::Transient {
+                        failures: rng.gen_range(1..=2),
+                    }),
+                },
+                _ => DatasetFaults {
+                    corruptions: Vec::new(),
+                    fetch: Some(FetchFault::Hard),
+                },
+            };
+            plan.faults.insert(id, faults);
+        }
+        plan
+    }
+
+    /// Add a text corruption for `id` (builder-style, for tests).
+    pub fn with_corruption(mut self, id: DatasetId, kind: FaultKind) -> FaultPlan {
+        self.faults.entry(id).or_default().corruptions.push(kind);
+        self
+    }
+
+    /// Set the fetch failure mode for `id` (builder-style, for tests).
+    pub fn with_fetch(mut self, id: DatasetId, fault: FetchFault) -> FaultPlan {
+        self.faults.entry(id).or_default().fetch = Some(fault);
+        self
+    }
+
+    /// The seed this plan was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Datasets touched by any fault, in `DatasetId` order.
+    pub fn affected(&self) -> Vec<DatasetId> {
+        self.faults.keys().copied().collect()
+    }
+
+    /// The faults injected for `id`, if any.
+    pub fn faults_for(&self, id: DatasetId) -> Option<&DatasetFaults> {
+        self.faults.get(&id)
+    }
+
+    /// True when the rendered text of `id` will be corrupted.
+    pub fn is_corrupted(&self, id: DatasetId) -> bool {
+        self.faults
+            .get(&id)
+            .is_some_and(|f| !f.corruptions.is_empty())
+    }
+
+    /// Simulated fetch outcome for the 1-based `attempt` of `id`.
+    /// `Err` carries a human-readable cause.
+    pub fn fetch_outcome(&self, id: DatasetId, attempt: u32) -> Result<(), String> {
+        match self.faults.get(&id).and_then(|f| f.fetch) {
+            None => Ok(()),
+            Some(FetchFault::Transient { failures }) if attempt > failures => Ok(()),
+            Some(FetchFault::Transient { failures }) => Err(format!(
+                "transient fetch failure (attempt {attempt} of {} that will fail)",
+                failures
+            )),
+            Some(FetchFault::Hard) => Err(format!(
+                "hard fetch failure (attempt {attempt}): source is down"
+            )),
+        }
+    }
+
+    /// Apply this plan's corruptions to the rendered text of `id`.
+    /// Returns the text unchanged when `id` is not targeted. The
+    /// output is a pure function of the plan seed, the dataset, and
+    /// the input text.
+    pub fn corrupt(&self, id: DatasetId, text: &str) -> String {
+        let Some(faults) = self.faults.get(&id) else {
+            return text.to_string();
+        };
+        let ordinal = ALL_DATASETS.iter().position(|d| *d == id).unwrap_or(0) as u64;
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (ordinal.wrapping_add(1) << 17));
+        let mut out = text.to_string();
+        for kind in &faults.corruptions {
+            out = apply_fault(&mut rng, *kind, &out);
+        }
+        out
+    }
+}
+
+/// Apply one corruption kind to `text` using `rng` for positions.
+fn apply_fault(rng: &mut StdRng, kind: FaultKind, text: &str) -> String {
+    if text.is_empty() {
+        return text.to_string();
+    }
+    match kind {
+        FaultKind::Truncate => {
+            let cut = rng.gen_range(text.len() / 4..=(3 * text.len()) / 4);
+            let cut = snap_to_boundary(text, cut);
+            text[..cut].to_string()
+        }
+        FaultKind::GarbageLines => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            for garbage in [
+                "\u{1F980}garbage,|};%%",
+                "0xDEADBEEF ,,,,;;",
+                "<<<<<<< corrupt",
+            ] {
+                let at = rng.gen_range(0..=lines.len());
+                lines.insert(at, garbage);
+            }
+            join_lines(&lines)
+        }
+        FaultKind::DuplicateRecords => {
+            let lines: Vec<&str> = text.lines().collect();
+            if lines.is_empty() {
+                return text.to_string();
+            }
+            let start = rng.gen_range(0..lines.len());
+            let len = rng.gen_range(1..=(lines.len() - start).min(16));
+            let mut out: Vec<&str> = lines.clone();
+            out.extend_from_slice(&lines[start..start + len]);
+            join_lines(&out)
+        }
+        FaultKind::ReorderRecords => {
+            let mut lines: Vec<&str> = text.lines().collect();
+            // Seeded Fisher-Yates shuffle of the whole line list.
+            for i in (1..lines.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                lines.swap(i, j);
+            }
+            join_lines(&lines)
+        }
+        FaultKind::InvalidUtf8 => {
+            let mut out = text.to_string();
+            for _ in 0..3 {
+                let at = snap_to_boundary(&out, rng.gen_range(0..out.len()));
+                let run = "\u{FFFD}".repeat(rng.gen_range(1..=4));
+                out.insert_str(at, &run);
+            }
+            out
+        }
+    }
+}
+
+/// Largest char boundary at or below `pos`.
+fn snap_to_boundary(s: &str, pos: usize) -> usize {
+    let pos = pos.min(s.len());
+    (0..=pos)
+        .rev()
+        .find(|p| s.is_char_boundary(*p))
+        .unwrap_or(0)
+}
+
+fn join_lines(lines: &[&str]) -> String {
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = FaultPlan::generate(42, 8);
+        let b = FaultPlan::generate(42, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.affected().len(), 8);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, 8);
+        let b = FaultPlan::generate(2, 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn targets_capped_at_dataset_count() {
+        let plan = FaultPlan::generate(7, 1000);
+        assert_eq!(plan.affected().len(), ALL_DATASETS.len());
+    }
+
+    #[test]
+    fn corrupt_is_deterministic_and_scoped() {
+        let plan = FaultPlan::new(5)
+            .with_corruption(DatasetId::TrancoList, FaultKind::Truncate)
+            .with_corruption(DatasetId::TrancoList, FaultKind::GarbageLines);
+        let text = "1,example.com\n2,example.org\n3,example.net\n";
+        let once = plan.corrupt(DatasetId::TrancoList, text);
+        let twice = plan.corrupt(DatasetId::TrancoList, text);
+        assert_eq!(once, twice);
+        assert_ne!(once, text);
+        // Untargeted datasets pass through untouched.
+        assert_eq!(plan.corrupt(DatasetId::CiscoUmbrella, text), text);
+    }
+
+    #[test]
+    fn every_fault_kind_changes_text() {
+        let text: String = (0..200).map(|i| format!("{i},host{i}.example\n")).collect();
+        for (i, kind) in FaultKind::ALL.into_iter().enumerate() {
+            let plan = FaultPlan::new(i as u64).with_corruption(DatasetId::TrancoList, kind);
+            let out = plan.corrupt(DatasetId::TrancoList, &text);
+            assert_ne!(out, text, "{} left the text unchanged", kind.name());
+        }
+    }
+
+    #[test]
+    fn corrupt_survives_tiny_inputs() {
+        for kind in FaultKind::ALL {
+            let plan = FaultPlan::new(3).with_corruption(DatasetId::TrancoList, kind);
+            for text in ["", "x", "\n", "ab\n"] {
+                let _ = plan.corrupt(DatasetId::TrancoList, text);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_fetch_recovers_hard_never_does() {
+        let plan = FaultPlan::new(0)
+            .with_fetch(DatasetId::TrancoList, FetchFault::Transient { failures: 2 })
+            .with_fetch(DatasetId::CiscoUmbrella, FetchFault::Hard);
+        assert!(plan.fetch_outcome(DatasetId::TrancoList, 1).is_err());
+        assert!(plan.fetch_outcome(DatasetId::TrancoList, 2).is_err());
+        assert!(plan.fetch_outcome(DatasetId::TrancoList, 3).is_ok());
+        for attempt in 1..10 {
+            assert!(plan
+                .fetch_outcome(DatasetId::CiscoUmbrella, attempt)
+                .is_err());
+        }
+        // Unlisted datasets always fetch cleanly.
+        assert!(plan.fetch_outcome(DatasetId::BgpkitPfx2as, 1).is_ok());
+    }
+
+    #[test]
+    fn generated_plans_corrupt_real_renders() {
+        use crate::{SimConfig, World};
+        let world = World::generate(&SimConfig::tiny(), 3);
+        let plan = FaultPlan::generate(11, 10);
+        for id in plan.affected() {
+            if plan.is_corrupted(id) {
+                let text = world.render_dataset(id);
+                assert_ne!(plan.corrupt(id, &text), text);
+            }
+        }
+    }
+}

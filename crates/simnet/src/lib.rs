@@ -22,12 +22,14 @@
 //! always produces byte-identical datasets.
 
 pub mod build;
+pub mod chaos;
 pub mod config;
 pub mod datasets;
 pub mod formats;
 pub mod types;
 pub mod world;
 
+pub use chaos::{FaultKind, FaultPlan, FetchFault};
 pub use config::SimConfig;
 pub use datasets::DatasetId;
 pub use types::*;

@@ -73,10 +73,18 @@ pub mod names {
     /// Counter: connections rejected because the in-flight handler cap
     /// was reached.
     pub const SERVER_BUSY_REJECTED_TOTAL: &str = "iyp_server_busy_rejected_total";
+    /// Counter: queries cancelled for exceeding the server deadline.
+    pub const SERVER_QUERY_TIMEOUT_TOTAL: &str = "iyp_server_query_timeout_total";
+    /// Counter: malformed records skipped by importer quarantine.
+    pub const BUILD_QUARANTINED_RECORDS_TOTAL: &str = "iyp_build_quarantined_records_total";
+    /// Counter: dataset fetch retries after transient failures.
+    pub const BUILD_RETRIES_TOTAL: &str = "iyp_build_retries_total";
+    /// Counter: datasets that failed or were skipped during a build.
+    pub const BUILD_FAILED_DATASETS_TOTAL: &str = "iyp_build_failed_datasets_total";
 
     /// Every canonical metric as `(name, kind, labels, description)` —
     /// the source of truth for `documentation/telemetry.md`.
-    pub const ALL: [(&str, &str, &str, &str); 21] = [
+    pub const ALL: [(&str, &str, &str, &str); 25] = [
         (
             CYPHER_QUERIES_TOTAL,
             "counter",
@@ -202,6 +210,30 @@ pub mod names {
             "counter",
             "",
             "connections rejected because the in-flight handler cap was reached",
+        ),
+        (
+            SERVER_QUERY_TIMEOUT_TOTAL,
+            "counter",
+            "",
+            "queries cancelled for exceeding the server deadline",
+        ),
+        (
+            BUILD_QUARANTINED_RECORDS_TOTAL,
+            "counter",
+            "",
+            "malformed records skipped by importer quarantine",
+        ),
+        (
+            BUILD_RETRIES_TOTAL,
+            "counter",
+            "",
+            "dataset fetch retries after transient failures",
+        ),
+        (
+            BUILD_FAILED_DATASETS_TOTAL,
+            "counter",
+            "",
+            "datasets that failed or were skipped during a build",
         ),
     ];
 }

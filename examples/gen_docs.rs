@@ -21,6 +21,7 @@ fn main() {
         ("telemetry.md", docs::telemetry_md()),
         ("durability.md", docs::durability_md()),
         ("query-engine.md", docs::query_engine_md()),
+        ("fault-tolerance.md", docs::fault_tolerance_md()),
     ] {
         let path = dir.join(file);
         std::fs::write(&path, content).expect("write doc");

@@ -4,11 +4,12 @@
 //!
 //! ```text
 //! iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
+//!             [--chaos SEED]
 //! iyp query   [--snapshot FILE] [--threads N] '<cypher>'
 //! iyp profile [--snapshot FILE] [--threads N] '<cypher>'
 //! iyp shell   [--snapshot FILE]
 //! iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--threads N] [--max-conns N]
-//!             [--journal DIR] [--fsync always|never|every=N]
+//!             [--query-timeout SECS] [--journal DIR] [--fsync always|never|every=N]
 //! iyp recover --journal DIR [--out FILE]
 //! iyp studies [--snapshot FILE]
 //! iyp datasets
@@ -20,7 +21,10 @@
 //! `documentation/durability.md`). `--threads` caps the Cypher
 //! engine's worker threads (also settable via `IYP_CYPHER_THREADS`;
 //! see `documentation/query-engine.md`), and `--max-conns` bounds
-//! in-flight server connections.
+//! in-flight server connections. `--query-timeout` cancels read
+//! queries past a wall-clock deadline, and `--chaos` injects seeded
+//! faults into the build to exercise the fault-tolerant ETL path (see
+//! `documentation/fault-tolerance.md`).
 
 use iyp_core::{studies, DatasetId, Iyp, Params, SimConfig};
 use iyp_journal::{DurableGraph, FsyncPolicy};
@@ -42,6 +46,8 @@ struct Args {
     fsync: String,
     threads: Option<usize>,
     max_conns: Option<usize>,
+    query_timeout: Option<std::time::Duration>,
+    chaos: Option<u64>,
     rest: Vec<String>,
 }
 
@@ -60,6 +66,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         fsync: "always".into(),
         threads: None,
         max_conns: None,
+        query_timeout: None,
+        chaos: None,
         rest: Vec::new(),
     };
     while let Some(a) = argv.next() {
@@ -98,6 +106,25 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                         .map_err(|_| "--max-conns must be an integer")?,
                 )
             }
+            "--query-timeout" => {
+                let secs: f64 = argv
+                    .next()
+                    .ok_or("--query-timeout needs a value (seconds)")?
+                    .parse()
+                    .map_err(|_| "--query-timeout must be a number of seconds")?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--query-timeout must be a positive number of seconds".into());
+                }
+                args.query_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--chaos" => {
+                args.chaos = Some(
+                    argv.next()
+                        .ok_or("--chaos needs a seed")?
+                        .parse()
+                        .map_err(|_| "--chaos must be an integer seed")?,
+                )
+            }
             other => args.rest.push(other.to_string()),
         }
     }
@@ -128,11 +155,27 @@ fn load_or_build(args: &Args) -> Result<Iyp, String> {
     }
 }
 
+/// How many datasets `--chaos` targets: enough to exercise every fault
+/// kind while leaving most of the build clean.
+const CHAOS_TARGETS: usize = 8;
+
 fn cmd_build(args: &Args) -> Result<(), String> {
     if args.metrics {
         iyp_telemetry::enable();
     }
-    let iyp = Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())?;
+    let iyp = match args.chaos {
+        None => Iyp::build(&config_of(&args.scale), args.seed).map_err(|e| e.to_string())?,
+        Some(chaos_seed) => {
+            let world = iyp_core::World::generate(&config_of(&args.scale), args.seed);
+            let plan = iyp_core::simnet::FaultPlan::generate(chaos_seed, CHAOS_TARGETS);
+            eprintln!(
+                "chaos plan (seed {chaos_seed}): {} datasets targeted",
+                plan.affected().len()
+            );
+            let options = iyp_core::BuildOptions::default().with_chaos(plan);
+            Iyp::build_from_world(&world, &options).map_err(|e| e.to_string())?
+        }
+    };
     println!("{}", iyp.report());
     if args.metrics {
         println!("{}", iyp.report().render_timings());
@@ -263,6 +306,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         options.max_connections = cap;
     }
+    options.query_timeout = args.query_timeout;
     let server = match &args.journal {
         None => {
             let iyp = load_or_build(args)?;
@@ -436,11 +480,12 @@ fn help() {
         "iyp — Internet Yellow Pages
 usage:
   iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
+              [--chaos SEED]
   iyp query   [--snapshot FILE] [--threads N] '<cypher>'
   iyp profile [--snapshot FILE] [--threads N] '<cypher>'
   iyp shell   [--snapshot FILE]
   iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--threads N] [--max-conns N]
-              [--journal DIR] [--fsync always|never|every=N]
+              [--query-timeout SECS] [--journal DIR] [--fsync always|never|every=N]
   iyp recover --journal DIR [--out FILE]
   iyp studies [--snapshot FILE]
   iyp datasets"
@@ -565,6 +610,26 @@ mod tests {
         assert!(parse_args(argv(&["serve", "--threads"])).is_err());
         assert!(parse_args(argv(&["serve", "--threads", "four"])).is_err());
         assert!(parse_args(argv(&["serve", "--max-conns", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_query_timeout_and_chaos() {
+        let a = parse_args(argv(&["serve", "--query-timeout", "2.5"])).unwrap();
+        assert_eq!(
+            a.query_timeout,
+            Some(std::time::Duration::from_millis(2500))
+        );
+        let b = parse_args(argv(&["build", "--chaos", "99"])).unwrap();
+        assert_eq!(b.chaos, Some(99));
+        let d = parse_args(argv(&["serve"])).unwrap();
+        assert_eq!(d.query_timeout, None);
+        assert_eq!(d.chaos, None);
+        assert!(parse_args(argv(&["serve", "--query-timeout"])).is_err());
+        assert!(parse_args(argv(&["serve", "--query-timeout", "0"])).is_err());
+        assert!(parse_args(argv(&["serve", "--query-timeout", "-3"])).is_err());
+        assert!(parse_args(argv(&["serve", "--query-timeout", "soon"])).is_err());
+        assert!(parse_args(argv(&["build", "--chaos"])).is_err());
+        assert!(parse_args(argv(&["build", "--chaos", "x"])).is_err());
     }
 
     #[test]

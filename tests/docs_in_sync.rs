@@ -46,3 +46,8 @@ fn durability_page_in_sync() {
 fn query_engine_page_in_sync() {
     check("query-engine.md", iyp::docs::query_engine_md());
 }
+
+#[test]
+fn fault_tolerance_page_in_sync() {
+    check("fault-tolerance.md", iyp::docs::fault_tolerance_md());
+}
