@@ -88,6 +88,48 @@ fn hub_graph() -> iyp_core::Graph {
 
 const HUB_QUERY: &str = "MATCH (a:AS {asn: 1})-[:CATEGORIZED]-(t:Tag) RETURN count(t)";
 
+/// The cached-vs-uncached hot query: a 50k-edge expansion, expensive
+/// enough that the epoch-keyed result cache must win by a wide margin.
+const HOT_QUERY: &str = "MATCH (a:AS {asn: 1})-[:ORIGINATE]-(p:Prefix) RETURN count(p)";
+
+/// Measures `HOT_QUERY` uncached vs served from a warm
+/// [`iyp_core::cypher::QueryCache`], asserting byte-identical results,
+/// and returns a report entry with both latencies and the speedup.
+fn cache_bench(hub: &iyp_core::Graph) -> serde_json::Value {
+    use iyp_core::cypher::{QueryCache, Statement};
+    let cache = QueryCache::new(16 << 20);
+    let stmt = Statement::prepare(HOT_QUERY).expect("hot query parses");
+    let uncached_result = stmt.no_cache().run(hub).expect("uncached run");
+    let stmt = Statement::prepare(HOT_QUERY)
+        .expect("hot query parses")
+        .cache(&cache);
+    let cached_result = stmt.run(hub).expect("warming run");
+    assert_eq!(
+        uncached_result, cached_result,
+        "cached result diverged from uncached"
+    );
+    let uncached_ns = time_ns(|| {
+        let stmt = Statement::prepare(HOT_QUERY).expect("hot query parses");
+        black_box(stmt.no_cache().run(hub).expect("uncached run").rows.len());
+    });
+    let cached_ns = time_ns(|| {
+        let stmt = Statement::prepare(HOT_QUERY)
+            .expect("hot query parses")
+            .cache(&cache);
+        black_box(stmt.run(hub).expect("cached run").rows.len());
+    });
+    let speedup = uncached_ns as f64 / cached_ns.max(1) as f64;
+    eprintln!(
+        "query_cache/hot_hub_expand: uncached {uncached_ns} ns/op, \
+         cached {cached_ns} ns/op ({speedup:.2}x)"
+    );
+    json!({
+        "name": "query_cache/hot_hub_expand",
+        "ns_per_op": { "uncached": uncached_ns, "cached": cached_ns },
+        "speedup": (speedup * 100.0).round() / 100.0,
+    })
+}
+
 type Bench<'a> = (&'static str, Box<dyn FnMut() + 'a>);
 
 fn benches(iyp: &Iyp) -> Vec<Bench<'_>> {
@@ -157,6 +199,8 @@ fn main() {
             "speedup": (speedup * 100.0).round() / 100.0,
         }));
     }
+
+    entries.push(cache_bench(&hub));
 
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())

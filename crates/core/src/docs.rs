@@ -297,7 +297,9 @@ pub fn query_engine_md() -> String {
         "# Query engine: anchors, typed adjacency, and parallel execution\n\n\
          How `iyp-cypher` executes the read path, and the knobs that\n\
          control it. For plan inspection (`EXPLAIN`/`PROFILE`) see\n\
-         `documentation/telemetry.md`.\n\n\
+         `documentation/telemetry.md`; for the epoch-keyed result\n\
+         cache that can skip this whole pipeline on a repeat query,\n\
+         see `documentation/query-cache.md`.\n\n\
          ## Anchor classification\n\n\
          Each `MATCH` pattern starts from one *anchor* node, chosen per\n\
          pattern in strict preference order:\n\n\
@@ -401,6 +403,151 @@ pub fn query_engine_md() -> String {
     );
     writeln!(s, "`{}`.", iyp_telemetry::names::SERVER_BUSY_REJECTED_TOTAL)
         .expect("write to string");
+    s
+}
+
+/// Renders `documentation/query-cache.md` — the caching guide.
+///
+/// The `PROFILE` walkthrough is produced by actually running the same
+/// prepared statement twice against a live cache (so the rendered
+/// `cache=miss`/`cache=hit` annotations are the executor's real
+/// output), and the metric list is rendered from
+/// [`iyp_telemetry::names::ALL`], so the page cannot drift from the
+/// implementation.
+pub fn query_cache_md() -> String {
+    let mut s = String::from(
+        "# Query cache: epoch-keyed results behind prepared statements\n\n\
+         `iyp-cypher` caches parsed queries and full result sets so a\n\
+         hot read query is served without parsing, planning, or\n\
+         executing anything. Correctness does not depend on explicit\n\
+         invalidation: cache keys embed the graph's *epoch*, so any\n\
+         write makes every prior entry unreachable. This page covers\n\
+         the keying rules, sizing, and how to migrate to the\n\
+         `Statement` API that fronts the cache. For the read path\n\
+         itself see `documentation/query-engine.md`.\n\n\
+         ## Cache keying\n\n\
+         A result-set entry is keyed by the 4-tuple:\n\n\
+         1. **graph id** — a process-unique identity minted when the\n\
+         \x20\x20\x20`Graph` is created (and minted *fresh* when a graph is\n\
+         \x20\x20\x20rebuilt from a snapshot or a journal reopen), so two\n\
+         \x20\x20\x20graph instances can never collide on each other's\n\
+         \x20\x20\x20entries;\n\
+         2. **epoch** — a monotonic counter the graph bumps on *every*\n\
+         \x20\x20\x20mutation;\n\
+         3. **query text** — verbatim;\n\
+         4. **params fingerprint** — a canonical, type-tagged encoding\n\
+         \x20\x20\x20of the parameter map (sorted by key; `1` the int, `1.0`\n\
+         \x20\x20\x20the float, and `\"1\"` the string all fingerprint\n\
+         \x20\x20\x20differently).\n\n\
+         Parsed ASTs are cached separately, keyed by query text alone —\n\
+         an AST is graph-independent, so `Statement::prepare` of a\n\
+         previously seen query skips the parser on any graph.\n\n\
+         ## Epoch rules\n\n\
+         - Every mutation bumps the epoch: node/relationship creation,\n\
+         \x20\x20merges that change anything, property sets, label adds,\n\
+         \x20\x20and deletes.\n\
+         - Journal replay goes through the same mutation path, so\n\
+         \x20\x20recovery bumps the epoch once per replayed op —\n\
+         \x20\x20`DurableGraph::epoch()` exposes the current value.\n\
+         - A reopened journal (or a snapshot load) additionally gets a\n\
+         \x20\x20fresh graph id, so entries cached against the previous\n\
+         \x20\x20incarnation can never be served, even if the op counts\n\
+         \x20\x20happen to line up.\n\n\
+         Stale entries are therefore never *returned*; they age out of\n\
+         the LRU under byte pressure.\n\n\
+         ## Sizing and modes\n\n\
+         The cache is byte-bounded LRU: each entry is charged its\n\
+         approximate result-set size plus the query text, and inserting\n\
+         past the bound evicts the least-recently-used entries. A\n\
+         single result larger than the whole bound is rejected (the\n\
+         cache keeps what it has rather than flushing itself for one\n\
+         oversized answer).\n\n\
+         - `iyp serve --cache-mb N` sizes a per-server cache. Cache\n\
+         \x20\x20hits skip execution but still honor `--query-timeout`: a\n\
+         \x20\x20request arriving past its deadline reports `timeout:` even\n\
+         \x20\x20when the answer is sitting in the cache.\n\
+         - `iyp query --cache-mb N` / `iyp profile --cache-mb N` size\n\
+         \x20\x20the process-global cache used by ad-hoc runs; the\n\
+         \x20\x20`IYP_QUERY_CACHE_MB` environment variable does the same.\n\
+         - Capacity 0 (the default everywhere) disables caching\n\
+         \x20\x20entirely: lookups return immediately and count neither\n\
+         \x20\x20hits nor misses.\n\n\
+         ## `PROFILE` shows the cache\n\n\
+         When a cache is in play, `PROFILE` annotates the plan root\n\
+         with `cache=miss` (executed, result stored) or `cache=hit`\n\
+         (served from the cache; per-operator rows/timings are absent\n\
+         because nothing ran). Running the same prepared statement\n\
+         twice:\n\n\
+         ```text\n",
+    );
+    let mut g = iyp_graph::Graph::new();
+    for asn in [2497u32, 64496, 64497] {
+        g.merge_node("AS", "asn", asn, iyp_graph::Props::new());
+    }
+    let cache = iyp_cypher::QueryCache::new(1 << 20);
+    let stmt = iyp_cypher::Statement::prepare("MATCH (a:AS) RETURN count(a)")
+        .expect("sample query parses")
+        .cache(&cache);
+    for pass in ["first run", "second run"] {
+        let (_, plan) = stmt.profile(&g).expect("sample query profiles");
+        writeln!(s, "PROFILE MATCH (a:AS) RETURN count(a)   -- {pass}\n").expect("write to string");
+        // Wall times vary run to run; elide them so the page is
+        // reproducible (everything else is the executor's raw output).
+        for line in plan.render().lines() {
+            let elided: Vec<String> = line
+                .split(' ')
+                .map(|tok| match tok.strip_prefix("time=") {
+                    Some(rest) => format!("time=…{}", if rest.ends_with(']') { "]" } else { "" }),
+                    None => tok.to_string(),
+                })
+                .collect();
+            writeln!(s, "{}", elided.join(" ")).expect("write to string");
+        }
+        s.push('\n');
+    }
+    s.push_str(
+        "```\n\n\
+         Without a cache the annotation is absent, so existing `PROFILE`\n\
+         output is unchanged for anyone not opting in.\n\n\
+         ## Telemetry\n\n\
+         Four instruments observe the cache (all in\n\
+         `iyp_telemetry::names`, documented in\n\
+         `documentation/telemetry.md`):\n\n",
+    );
+    for name in [
+        iyp_telemetry::names::CYPHER_CACHE_HITS_TOTAL,
+        iyp_telemetry::names::CYPHER_CACHE_MISSES_TOTAL,
+        iyp_telemetry::names::CYPHER_CACHE_EVICTIONS_TOTAL,
+        iyp_telemetry::names::CYPHER_CACHE_BYTES,
+    ] {
+        let (_, kind, _, help) = iyp_telemetry::names::ALL
+            .iter()
+            .find(|(n, ..)| *n == name)
+            .expect("metric registered");
+        writeln!(s, "- `{name}` ({kind}) — {help}.").expect("write to string");
+    }
+    s.push_str(
+        "\n## Migrating to the `Statement` API\n\n\
+         The cache is fronted by a prepared-statement builder; the old\n\
+         free functions remain as thin shims over it.\n\n\
+         | Before | After |\n|---|---|\n\
+         | `query(&g, text, &params)` | `Statement::prepare(text)?.params(&params).run(&g)` |\n\
+         | `query_with_cancel(&g, text, &params, &cancel)` | `Statement::prepare(text)?.params(&params).cancel(&cancel).run(&g)` |\n\
+         | `explain(&g, text)` | `Statement::prepare(text)?.explain(&g)` |\n\
+         | `profile(&g, text, &params)` | `Statement::prepare(text)?.params(&params).profile(&g)` |\n\n\
+         `.cache(&cache)` attaches a specific `QueryCache`;\n\
+         `.no_cache()` opts a statement out even when the global cache\n\
+         is enabled; `run_shared` returns `Arc<ResultSet>` so a cache\n\
+         hit is returned without cloning the rows. Prepared statements\n\
+         are reusable across graphs and parameter sets — preparation\n\
+         only parses.\n\n\
+         On the client side, `Client::query` now returns a typed\n\
+         `Result<Table, ClientError>`: a `Table` carries columns plus\n\
+         JSON rows, and a `ClientError` carries a stable `code()`\n\
+         (`busy`, `timeout`, `read_only`, `query`, ...) with the\n\
+         human-readable `detail()` separated out. The low-level\n\
+         `Client::request` API is unchanged for protocol-level work.\n",
+    );
     s
 }
 
@@ -564,6 +711,34 @@ mod tests {
         assert!(page.contains("iyp_server_query_timeout_total"));
         assert!(page.contains("timeout:"));
         assert!(page.contains("--chaos"));
+    }
+
+    #[test]
+    fn query_cache_page_embeds_a_real_miss_then_hit() {
+        let page = query_cache_md();
+        // The walkthrough comes from actually profiling the same
+        // statement twice against a live cache.
+        assert!(page.contains("cache=miss"));
+        assert!(page.contains("cache=hit"));
+        // Wall times are elided so the page is reproducible.
+        assert!(!page.contains("time=0."));
+        for name in [
+            iyp_telemetry::names::CYPHER_CACHE_HITS_TOTAL,
+            iyp_telemetry::names::CYPHER_CACHE_MISSES_TOTAL,
+            iyp_telemetry::names::CYPHER_CACHE_EVICTIONS_TOTAL,
+            iyp_telemetry::names::CYPHER_CACHE_BYTES,
+        ] {
+            assert!(page.contains(&format!("`{name}`")), "{name} missing");
+        }
+        // Migration table covers every shimmed free function.
+        for before in ["query(", "query_with_cancel(", "explain(", "profile("] {
+            assert!(
+                page.contains(before),
+                "{before} missing from migration table"
+            );
+        }
+        // And the read-path page points here.
+        assert!(query_engine_md().contains("documentation/query-cache.md"));
     }
 
     #[test]

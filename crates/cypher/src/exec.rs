@@ -5,7 +5,6 @@ use crate::cancel::Cancel;
 use crate::error::CypherError;
 use crate::eval::{rt_eq, truth, EvalCtx, Row};
 use crate::par::{self, ParCapture};
-use crate::parser::parse;
 use crate::plan::{annotate, plan_query, ClauseStat, PlanNode};
 use crate::rtval::{GroupKey, RtVal};
 use iyp_graph::{Direction, Graph, KeyValue, NodeId, Rel, RelId, Value};
@@ -75,8 +74,12 @@ impl ResultSet {
 /// `plan` column, one row per plan line) without running; `PROFILE`
 /// runs the query and returns the plan annotated with per-operator
 /// rows-produced and wall time.
+///
+/// Thin shim over [`crate::Statement`]; the prepared AST and (when
+/// [`crate::cache::global`] is enabled) the result are served from
+/// their caches.
 pub fn query(graph: &Graph, text: &str, params: &Params) -> Result<ResultSet, CypherError> {
-    query_impl(graph, text, params, None)
+    crate::Statement::prepare(text)?.params(params).run(graph)
 }
 
 /// Like [`query`], but polls `cancel` at row boundaries (including
@@ -90,46 +93,34 @@ pub fn query_with_cancel(
     params: &Params,
     cancel: &Cancel,
 ) -> Result<ResultSet, CypherError> {
-    query_impl(graph, text, params, Some(cancel))
-}
-
-fn query_impl(
-    graph: &Graph,
-    text: &str,
-    params: &Params,
-    cancel: Option<&Cancel>,
-) -> Result<ResultSet, CypherError> {
-    let _span = iyp_telemetry::span(iyp_telemetry::names::CYPHER_QUERY_SECONDS);
-    iyp_telemetry::counter(iyp_telemetry::names::CYPHER_QUERIES_TOTAL).incr();
-    let ast = parse(text)?;
-    match ast.mode {
-        QueryMode::Normal => execute_observed(graph, &ast, params, None, cancel),
-        QueryMode::Explain => Ok(plan_result(&plan_query(graph, &ast))),
-        QueryMode::Profile => {
-            let (_, plan) = run_profiled(graph, &ast, params, cancel)?;
-            Ok(plan_result(&plan))
-        }
-    }
+    crate::Statement::prepare(text)?
+        .params(params)
+        .cancel(cancel)
+        .run(graph)
 }
 
 /// Builds the execution plan for `text` without running it.
+///
+/// Thin shim over [`crate::Statement::explain`].
 pub fn explain(graph: &Graph, text: &str) -> Result<PlanNode, CypherError> {
-    let ast = parse(text)?;
-    Ok(plan_query(graph, &ast))
+    Ok(crate::Statement::prepare(text)?.explain(graph))
 }
 
 /// Runs `text` and returns both its result and the execution plan
 /// annotated with per-operator rows-produced and wall time.
+///
+/// Thin shim over [`crate::Statement::profile`].
 pub fn profile(
     graph: &Graph,
     text: &str,
     params: &Params,
 ) -> Result<(ResultSet, PlanNode), CypherError> {
-    let ast = parse(text)?;
-    run_profiled(graph, &ast, params, None)
+    crate::Statement::prepare(text)?
+        .params(params)
+        .profile(graph)
 }
 
-fn run_profiled(
+pub(crate) fn run_profiled(
     graph: &Graph,
     ast: &Query,
     params: &Params,
@@ -143,7 +134,7 @@ fn run_profiled(
 
 /// Shapes a rendered plan as a result set: one `plan` column, one row
 /// per plan line (so plans flow through the text protocol unchanged).
-fn plan_result(plan: &PlanNode) -> ResultSet {
+pub(crate) fn plan_result(plan: &PlanNode) -> ResultSet {
     ResultSet {
         columns: vec!["plan".to_string()],
         rows: plan
@@ -163,7 +154,7 @@ pub fn execute(graph: &Graph, ast: &Query, params: &Params) -> Result<ResultSet,
 /// `(rows_produced, wall_time)` for every clause in pipeline order
 /// (the `PROFILE` observer). When `cancel` is provided, it is polled
 /// at row boundaries throughout the pipeline.
-fn execute_observed(
+pub(crate) fn execute_observed(
     graph: &Graph,
     ast: &Query,
     params: &Params,

@@ -43,6 +43,7 @@
 //! ```
 
 pub mod ast;
+pub mod cache;
 pub mod cancel;
 pub mod error;
 pub mod eval;
@@ -52,12 +53,15 @@ pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod rtval;
+pub mod statement;
 pub mod write;
 
+pub use cache::QueryCache;
 pub use cancel::Cancel;
 pub use error::CypherError;
 pub use exec::{explain, profile, query, query_with_cancel, Params, ResultSet};
 pub use par::{set_min_partition, set_threads, threads};
 pub use plan::{ClauseStat, PlanNode};
 pub use rtval::{GroupKey, RtVal};
+pub use statement::Statement;
 pub use write::{query_write, WriteSummary};

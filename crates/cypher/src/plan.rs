@@ -45,6 +45,11 @@ pub struct PlanNode {
     /// Index of the source clause this operator corresponds to, when
     /// it maps one-to-one (used to attach `PROFILE` measurements).
     pub clause: Option<usize>,
+    /// Whether the query-result cache answered (`"hit"`) or was
+    /// populated (`"miss"`) by this run. Set on the root operator only,
+    /// by `PROFILE` when a cache is enabled; rendered as `cache=hit`
+    /// in the annotation notes.
+    pub cache: Option<&'static str>,
 }
 
 impl PlanNode {
@@ -59,6 +64,7 @@ impl PlanNode {
             parallelism: None,
             chunk_rows: None,
             clause: None,
+            cache: None,
         }
     }
 
@@ -101,6 +107,9 @@ impl PlanNode {
                 let per: Vec<String> = chunks.iter().map(u64::to_string).collect();
                 notes.push(format!("chunks={}", per.join("/")));
             }
+        }
+        if let Some(c) = self.cache {
+            notes.push(format!("cache={c}"));
         }
         if !notes.is_empty() {
             line.push_str(&format!("  [{}]", notes.join(" ")));

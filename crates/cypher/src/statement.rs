@@ -1,0 +1,254 @@
+//! Prepared statements: the first-class query API.
+//!
+//! [`Statement`] replaces the old `query` / `query_with_cancel` /
+//! `explain` / `profile` free-function spread (those remain as thin
+//! shims). Preparing parses once — re-preparing the same text reuses a
+//! process-global AST cache — and running consults an epoch-keyed
+//! [`QueryCache`] so repeated hot queries against an unchanged graph
+//! skip execution entirely:
+//!
+//! ```
+//! use iyp_cypher::{Cancel, Params, Statement};
+//! use iyp_graph::{Graph, Props, Value};
+//!
+//! let mut g = Graph::new();
+//! g.merge_node("AS", "asn", 2497u32, Props::new());
+//! let mut params = Params::new();
+//! params.insert("asn".to_string(), Value::Int(2497));
+//! let cancel = Cancel::new();
+//! let n = Statement::prepare("MATCH (a:AS {asn: $asn}) RETURN count(a)")?
+//!     .params(&params)
+//!     .cancel(&cancel)
+//!     .run(&g)?;
+//! assert_eq!(n.single_int(), Some(1));
+//! # Ok::<(), iyp_cypher::CypherError>(())
+//! ```
+//!
+//! Cache semantics: a statement run consults its attached cache (or
+//! the [`crate::cache::global`] one when none is attached; attach with
+//! [`Statement::cache`], opt out with [`Statement::no_cache`]). A hit
+//! still polls the cancel token once, so `--query-timeout` semantics
+//! hold — an already-expired deadline reports `timeout` rather than
+//! sneaking a result out of the cache. `PROFILE` runs annotate the
+//! plan root with `cache=hit|miss` whenever a cache is enabled; on a
+//! hit the plan carries no per-operator stats because nothing ran.
+
+use crate::ast::{Query, QueryMode};
+use crate::cache::{self, QueryCache};
+use crate::cancel::Cancel;
+use crate::error::CypherError;
+use crate::exec::{execute_observed, plan_result, run_profiled, Params, ResultSet};
+use crate::parser::parse;
+use crate::plan::{plan_query, PlanNode};
+use iyp_graph::Graph;
+use std::sync::{Arc, OnceLock};
+
+/// A parsed, reusable query. See the module docs for an example.
+pub struct Statement<'a> {
+    text: String,
+    ast: Arc<Query>,
+    params: Option<&'a Params>,
+    cancel: Option<&'a Cancel>,
+    cache: Option<&'a QueryCache>,
+    use_cache: bool,
+}
+
+fn empty_params() -> &'static Params {
+    static EMPTY: OnceLock<Params> = OnceLock::new();
+    EMPTY.get_or_init(Params::new)
+}
+
+impl<'a> Statement<'a> {
+    /// Parses `text` into a reusable statement. The parsed AST is
+    /// shared through a process-global cache, so preparing the same
+    /// text twice does not re-run the parser.
+    pub fn prepare(text: &str) -> Result<Statement<'static>, CypherError> {
+        let ast = match cache::cached_ast(text) {
+            Some(ast) => ast,
+            None => {
+                let ast = Arc::new(parse(text)?);
+                cache::store_ast(text, Arc::clone(&ast));
+                ast
+            }
+        };
+        Ok(Statement {
+            text: text.to_string(),
+            ast,
+            params: None,
+            cancel: None,
+            cache: None,
+            use_cache: true,
+        })
+    }
+
+    /// Attaches query parameters (`$name` placeholders).
+    pub fn params<'b>(self, params: &'b Params) -> Statement<'b>
+    where
+        'a: 'b,
+    {
+        Statement {
+            text: self.text,
+            ast: self.ast,
+            params: Some(params),
+            cancel: self.cancel,
+            cache: self.cache,
+            use_cache: self.use_cache,
+        }
+    }
+
+    /// Attaches a cancel token, polled at row boundaries during
+    /// execution — and once on a cache hit, so deadlines behave the
+    /// same whether or not the cache answers.
+    pub fn cancel<'b>(self, cancel: &'b Cancel) -> Statement<'b>
+    where
+        'a: 'b,
+    {
+        Statement {
+            text: self.text,
+            ast: self.ast,
+            params: self.params,
+            cancel: Some(cancel),
+            cache: self.cache,
+            use_cache: self.use_cache,
+        }
+    }
+
+    /// Uses `cache` for this statement's runs instead of the
+    /// process-global one (the server attaches its own per-service
+    /// cache this way).
+    pub fn cache<'b>(self, cache: &'b QueryCache) -> Statement<'b>
+    where
+        'a: 'b,
+    {
+        Statement {
+            text: self.text,
+            ast: self.ast,
+            params: self.params,
+            cancel: self.cancel,
+            cache: Some(cache),
+            use_cache: self.use_cache,
+        }
+    }
+
+    /// Disables result caching for this statement's runs (the AST is
+    /// still reused).
+    pub fn no_cache(mut self) -> Statement<'a> {
+        self.use_cache = false;
+        self
+    }
+
+    /// The statement's query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Runs the statement and returns an owned result (cloning only if
+    /// the result is simultaneously held by the cache — see
+    /// [`Statement::run_shared`] to avoid that).
+    pub fn run(&self, graph: &Graph) -> Result<ResultSet, CypherError> {
+        let shared = self.run_shared(graph)?;
+        Ok(Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone()))
+    }
+
+    /// Runs the statement. On a cache hit this returns the cached
+    /// result without executing anything; the result is byte-identical
+    /// to what execution would produce because the cache key embeds
+    /// the graph's mutation epoch.
+    ///
+    /// `EXPLAIN`/`PROFILE`-prefixed statements return their plan as a
+    /// one-`plan`-column result, exactly like [`crate::query`].
+    pub fn run_shared(&self, graph: &Graph) -> Result<Arc<ResultSet>, CypherError> {
+        let _span = iyp_telemetry::span(iyp_telemetry::names::CYPHER_QUERY_SECONDS);
+        iyp_telemetry::counter(iyp_telemetry::names::CYPHER_QUERIES_TOTAL).incr();
+        let params = match self.params {
+            Some(p) => p,
+            None => empty_params(),
+        };
+        match self.ast.mode {
+            QueryMode::Normal => {
+                let cache = self.effective_cache();
+                if let Some(cache) = cache {
+                    if let Some(hit) = cache.get(graph, &self.text, params) {
+                        if let Some(token) = self.cancel {
+                            token.check()?;
+                        }
+                        return Ok(hit);
+                    }
+                }
+                let result = Arc::new(execute_observed(
+                    graph,
+                    &self.ast,
+                    params,
+                    None,
+                    self.cancel,
+                )?);
+                if let Some(cache) = cache {
+                    cache.insert(graph, &self.text, params, Arc::clone(&result));
+                }
+                Ok(result)
+            }
+            QueryMode::Explain => Ok(Arc::new(plan_result(&plan_query(graph, &self.ast)))),
+            QueryMode::Profile => {
+                let (_, plan) = self.profile_impl(graph)?;
+                Ok(Arc::new(plan_result(&plan)))
+            }
+        }
+    }
+
+    /// Builds the execution plan without running anything.
+    pub fn explain(&self, graph: &Graph) -> PlanNode {
+        plan_query(graph, &self.ast)
+    }
+
+    /// Runs the statement and returns both its result and the
+    /// execution plan. With a cache enabled the plan root is annotated
+    /// `cache=hit` (served without executing; no per-operator stats)
+    /// or `cache=miss` (executed and now cached).
+    pub fn profile(&self, graph: &Graph) -> Result<(ResultSet, PlanNode), CypherError> {
+        let (rows, plan) = self.profile_impl(graph)?;
+        Ok((
+            Arc::try_unwrap(rows).unwrap_or_else(|arc| (*arc).clone()),
+            plan,
+        ))
+    }
+
+    fn profile_impl(&self, graph: &Graph) -> Result<(Arc<ResultSet>, PlanNode), CypherError> {
+        let params = match self.params {
+            Some(p) => p,
+            None => empty_params(),
+        };
+        let cache = self.effective_cache();
+        if let Some(cache) = cache {
+            if let Some(hit) = cache.get(graph, &self.text, params) {
+                if let Some(token) = self.cancel {
+                    token.check()?;
+                }
+                let mut plan = plan_query(graph, &self.ast);
+                plan.cache = Some("hit");
+                return Ok((hit, plan));
+            }
+        }
+        let (rows, mut plan) = run_profiled(graph, &self.ast, params, self.cancel)?;
+        let rows = Arc::new(rows);
+        if let Some(cache) = cache {
+            plan.cache = Some("miss");
+            cache.insert(graph, &self.text, params, Arc::clone(&rows));
+        }
+        Ok((rows, plan))
+    }
+
+    /// The cache this run will consult: the attached one, else the
+    /// global one — and only if it is enabled and `no_cache` was not
+    /// requested.
+    fn effective_cache(&self) -> Option<&QueryCache> {
+        if !self.use_cache {
+            return None;
+        }
+        let cache = self.cache.unwrap_or_else(|| cache::global());
+        if cache.is_enabled() {
+            Some(cache)
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Cached vs uncached equivalence: for any graph and any query shape,
+//! a result served from the epoch-keyed [`iyp_cypher::QueryCache`]
+//! must be identical to uncached execution — same columns, same rows,
+//! same order — and a mutation must invalidate so the next run sees
+//! the new graph, not the cached past.
+
+use iyp_cypher::{Params, QueryCache, Statement};
+use iyp_graph::{props, Graph, Props, Value};
+use proptest::prelude::*;
+
+/// Builds a random AS/Prefix/Organization graph from a compact
+/// description. Property values are chosen to stress grouping: asn
+/// collides across nodes, names embed `\u{1}`, and tiers mix ints.
+fn build_graph(ases: &[u16], links: &[(u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    let mut nodes = Vec::new();
+    for (i, asn) in ases.iter().enumerate() {
+        nodes.push(g.merge_node(
+            "AS",
+            "asn",
+            *asn as i64,
+            props([
+                ("tier", Value::Int((i % 3) as i64)),
+                ("name", Value::Str(format!("as\u{1}{}", asn % 8))),
+            ]),
+        ));
+    }
+    for (k, (a, b)) in links.iter().enumerate() {
+        if nodes.is_empty() {
+            break;
+        }
+        let s = nodes[*a as usize % nodes.len()];
+        let d = nodes[*b as usize % nodes.len()];
+        let p = g.merge_node(
+            "Prefix",
+            "prefix",
+            format!("10.{}.0.0/16", k % 7),
+            props([("af", Value::Int(4))]),
+        );
+        g.create_rel(s, "ORIGINATE", p, Props::new()).unwrap();
+        if s != d {
+            g.create_rel(s, "PEERS_WITH", d, Props::new()).unwrap();
+        }
+        if k % 3 == 0 {
+            let o = g.merge_node(
+                "Organization",
+                "name",
+                format!("org{}", k % 4),
+                Props::new(),
+            );
+            g.create_rel(s, "MANAGED_BY", o, Props::new()).unwrap();
+        }
+    }
+    g
+}
+
+/// Query shapes covering the executor stages whose results flow into
+/// the cache: projection, WHERE, aggregates, grouped aggregates,
+/// DISTINCT, ORDER BY, SKIP/LIMIT, OPTIONAL MATCH, multi-pattern
+/// MATCH, WITH-stage grouping, and parameters (which feed the cache
+/// key's fingerprint).
+const QUERIES: &[&str] = &[
+    "MATCH (a:AS) RETURN a.asn",
+    "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN a.asn, p.prefix",
+    "MATCH (a:AS) WHERE a.tier > 0 RETURN a.asn ORDER BY a.asn",
+    "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN count(*)",
+    "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN a.asn, count(p) ORDER BY a.asn",
+    "MATCH (a:AS) RETURN a.tier, count(*), min(a.asn), max(a.asn) ORDER BY a.tier",
+    "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN DISTINCT p.prefix ORDER BY p.prefix",
+    "MATCH (a:AS) RETURN DISTINCT a.name",
+    "MATCH (a:AS) RETURN a.asn ORDER BY a.asn DESC SKIP 1 LIMIT 3",
+    "MATCH (a:AS) OPTIONAL MATCH (a)-[:MANAGED_BY]->(o:Organization) \
+     RETURN a.asn, o.name ORDER BY a.asn",
+    "MATCH (a:AS)-[:PEERS_WITH]-(b:AS) RETURN a.asn, b.asn ORDER BY a.asn, b.asn",
+    "MATCH (a:AS) WITH a.tier AS t, count(a) AS n WHERE n > 1 RETURN t, n ORDER BY t",
+    "MATCH (a:AS) WHERE a.tier >= $tier RETURN a.asn, a.name ORDER BY a.asn",
+    "MATCH (a:AS {asn: $asn}) RETURN a.asn, a.tier",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cached_results_are_identical_to_uncached(
+        ases in proptest::collection::vec(0u16..48, 0..16),
+        links in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..24),
+        tier in 0i64..3,
+        asn in 0i64..48,
+    ) {
+        let mut g = build_graph(&ases, &links);
+        let cache = QueryCache::new(8 << 20);
+        let mut params = Params::new();
+        params.insert("tier".to_string(), Value::Int(tier));
+        params.insert("asn".to_string(), Value::Int(asn));
+        for q in QUERIES {
+            let stmt = Statement::prepare(q).unwrap().params(&params);
+            // Uncached ground truth, then a cold (miss) run that
+            // populates the cache, then a warm (hit) run.
+            let uncached = stmt.no_cache().run(&g).unwrap();
+            let stmt = Statement::prepare(q).unwrap().params(&params).cache(&cache);
+            let cold = stmt.run(&g).unwrap();
+            let warm = stmt.run(&g).unwrap();
+            prop_assert_eq!(&uncached, &cold, "cold run diverged for {}", q);
+            prop_assert_eq!(&uncached, &warm, "cached run diverged for {}", q);
+        }
+        // A mutation bumps the epoch: every cached entry stops
+        // matching, and the re-run reflects the new graph, not the
+        // cached past.
+        g.merge_node("AS", "asn", 9999i64, props([("tier", Value::Int(0))]));
+        for q in QUERIES {
+            let stmt = Statement::prepare(q).unwrap().params(&params);
+            let fresh = stmt.no_cache().run(&g).unwrap();
+            let stmt = Statement::prepare(q).unwrap().params(&params).cache(&cache);
+            let after_write = stmt.run(&g).unwrap();
+            prop_assert_eq!(&fresh, &after_write, "stale result served for {}", q);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The prepared-Statement API: builder semantics, shim equivalence,
+//! cache-hit timeout behavior, and `PROFILE`'s `cache=hit|miss`
+//! annotation.
+
+use iyp_cypher::{query, Cancel, Params, QueryCache, Statement};
+use iyp_graph::{props, Graph, Props, Value};
+use std::time::Duration;
+
+fn sample_graph() -> Graph {
+    let mut g = Graph::new();
+    for asn in [2497i64, 64496, 64497] {
+        let a = g.merge_node("AS", "asn", asn, props([("tier", Value::Int(asn % 3))]));
+        let p = g.merge_node(
+            "Prefix",
+            "prefix",
+            format!("10.{}.0.0/16", asn % 5),
+            Props::new(),
+        );
+        g.create_rel(a, "ORIGINATE", p, Props::new()).unwrap();
+    }
+    g
+}
+
+#[test]
+fn statement_run_matches_the_free_function() {
+    let g = sample_graph();
+    let mut params = Params::new();
+    params.insert("t".to_string(), Value::Int(1));
+    let q = "MATCH (a:AS) WHERE a.tier >= $t RETURN a.asn ORDER BY a.asn";
+    let via_statement = Statement::prepare(q)
+        .unwrap()
+        .params(&params)
+        .run(&g)
+        .unwrap();
+    let via_free_fn = query(&g, q, &params).unwrap();
+    assert_eq!(via_statement, via_free_fn);
+}
+
+#[test]
+fn prepared_statement_is_reusable_across_graphs_and_params() {
+    let g1 = sample_graph();
+    let g2 = Graph::new();
+    let stmt = Statement::prepare("MATCH (a:AS) RETURN count(a)").unwrap();
+    assert_eq!(stmt.run(&g1).unwrap().single_int(), Some(3));
+    assert_eq!(stmt.run(&g2).unwrap().single_int(), Some(0));
+}
+
+#[test]
+fn prepare_reports_parse_errors() {
+    assert!(Statement::prepare("MATCH (a:AS RETURN a").is_err());
+}
+
+#[test]
+fn explain_and_profile_match_free_functions() {
+    let g = sample_graph();
+    let q = "MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) RETURN count(*)";
+    let stmt = Statement::prepare(q).unwrap();
+    let plan = stmt.explain(&g);
+    assert_eq!(plan.render(), iyp_cypher::explain(&g, q).unwrap().render());
+    let (rows, profiled) = stmt.profile(&g).unwrap();
+    assert_eq!(rows.single_int(), Some(3));
+    assert!(profiled.render().contains("rows="), "{}", profiled.render());
+}
+
+#[test]
+fn cache_hit_skips_execution_but_returns_identical_rows() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let stmt = Statement::prepare("MATCH (a:AS) RETURN a.asn ORDER BY a.asn")
+        .unwrap()
+        .cache(&cache);
+    let cold = stmt.run(&g).unwrap();
+    assert_eq!(cache.len(), 1);
+    let warm = stmt.run(&g).unwrap();
+    assert_eq!(cold, warm);
+}
+
+#[test]
+fn cache_hits_still_honor_an_expired_deadline() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let q = "MATCH (a:AS) RETURN count(a)";
+    // Populate the cache with an unconstrained run...
+    Statement::prepare(q)
+        .unwrap()
+        .cache(&cache)
+        .run(&g)
+        .unwrap();
+    assert_eq!(cache.len(), 1);
+    // ...then query with an already-expired deadline: the hit must not
+    // sneak the result past the timeout.
+    let cancel = Cancel::with_timeout(Duration::ZERO);
+    std::thread::sleep(Duration::from_millis(5));
+    let err = Statement::prepare(q)
+        .unwrap()
+        .cache(&cache)
+        .cancel(&cancel)
+        .run(&g)
+        .unwrap_err();
+    assert!(
+        matches!(err, iyp_cypher::CypherError::Timeout { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn profile_annotates_cache_miss_then_hit() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let stmt = Statement::prepare("MATCH (a:AS) RETURN count(a)")
+        .unwrap()
+        .cache(&cache);
+
+    let (rows1, plan1) = stmt.profile(&g).unwrap();
+    let rendered1 = plan1.render();
+    assert!(rendered1.contains("cache=miss"), "{rendered1}");
+
+    let (rows2, plan2) = stmt.profile(&g).unwrap();
+    let rendered2 = plan2.render();
+    assert!(rendered2.contains("cache=hit"), "{rendered2}");
+    assert_eq!(rows1, rows2, "hit must return the cached rows verbatim");
+
+    // Without a cache the annotation is absent entirely, so existing
+    // PROFILE output is unchanged for anyone not opting in.
+    let (_, plain) = Statement::prepare("MATCH (a:AS) RETURN count(a)")
+        .unwrap()
+        .no_cache()
+        .profile(&g)
+        .unwrap();
+    assert!(!plain.render().contains("cache="), "{}", plain.render());
+}
+
+#[test]
+fn profile_mode_text_annotates_too() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let stmt = Statement::prepare("PROFILE MATCH (a:AS) RETURN count(a)")
+        .unwrap()
+        .cache(&cache);
+    let first = stmt.run(&g).unwrap();
+    let first_text = format!("{first:?}");
+    assert!(first_text.contains("cache=miss"), "{first_text}");
+    let second = stmt.run(&g).unwrap();
+    let second_text = format!("{second:?}");
+    assert!(second_text.contains("cache=hit"), "{second_text}");
+}
+
+#[test]
+fn no_cache_opts_out() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let stmt = Statement::prepare("MATCH (a:AS) RETURN count(a)")
+        .unwrap()
+        .cache(&cache)
+        .no_cache();
+    stmt.run(&g).unwrap();
+    assert!(cache.is_empty(), "no_cache run must not populate the cache");
+}
+
+#[test]
+fn different_params_occupy_different_cache_entries() {
+    let g = sample_graph();
+    let cache = QueryCache::new(1 << 20);
+    let q = "MATCH (a:AS {asn: $asn}) RETURN count(a)";
+    let mut p1 = Params::new();
+    p1.insert("asn".to_string(), Value::Int(2497));
+    let mut p2 = Params::new();
+    p2.insert("asn".to_string(), Value::Int(64496));
+    let r1 = Statement::prepare(q)
+        .unwrap()
+        .params(&p1)
+        .cache(&cache)
+        .run(&g)
+        .unwrap();
+    let r2 = Statement::prepare(q)
+        .unwrap()
+        .params(&p2)
+        .cache(&cache)
+        .run(&g)
+        .unwrap();
+    assert_eq!(cache.len(), 2);
+    assert_eq!(r1.single_int(), Some(1));
+    assert_eq!(r2.single_int(), Some(1));
+    // Re-running p1 hits its own entry, not p2's.
+    let again = Statement::prepare(q)
+        .unwrap()
+        .params(&p1)
+        .cache(&cache)
+        .run(&g)
+        .unwrap();
+    assert_eq!(again, r1);
+}

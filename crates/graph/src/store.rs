@@ -6,6 +6,16 @@ use crate::op::GraphOp;
 use crate::symbols::{LabelId, PropKeyId, RelTypeId, SymbolTable};
 use crate::value::{KeyValue, Props, Value};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-global id source for [`Graph::graph_id`]. Never reused, so
+/// two graphs alive in one process (or a graph and its snapshot-reload)
+/// can never collide in an epoch-keyed cache.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_graph_id() -> u64 {
+    NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A labelled property graph with Neo4j-`MERGE`-style node identity.
 ///
@@ -21,7 +31,7 @@ use std::collections::{BTreeSet, HashMap};
 /// node, which is how datapoints from independent datasets collapse onto
 /// a single entity. Relationships are never deduplicated: each dataset
 /// import creates its own parallel link carrying provenance properties.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Graph {
     symbols: SymbolTable,
     nodes: Vec<Option<Node>>,
@@ -39,6 +49,31 @@ pub struct Graph {
     /// When `Some`, every mutation appends its effect [`GraphOp`] here
     /// (the journaling hook; see [`Graph::begin_recording`]).
     recorder: Option<Vec<GraphOp>>,
+    /// Process-unique identity of this store instance (never serialized;
+    /// a snapshot reload gets a fresh one). See [`Graph::graph_id`].
+    graph_id: u64,
+    /// Monotonic mutation counter. Every write — live, replayed, or
+    /// cascaded — bumps it, so `(graph_id, epoch)` names one immutable
+    /// state of the store. See [`Graph::epoch`].
+    epoch: u64,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph {
+            symbols: SymbolTable::default(),
+            nodes: Vec::new(),
+            rels: Vec::new(),
+            label_index: HashMap::new(),
+            key_index: HashMap::new(),
+            typed_adj: Vec::new(),
+            deleted_nodes: 0,
+            deleted_rels: 0,
+            recorder: None,
+            graph_id: next_graph_id(),
+            epoch: 0,
+        }
+    }
 }
 
 /// Typed adjacency lists for one node: rel ids partitioned by
@@ -77,6 +112,35 @@ impl Graph {
     /// Creates an empty graph.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Versioning
+    // ------------------------------------------------------------------
+
+    /// Process-unique identity of this store instance. Assigned from a
+    /// global counter at construction (including snapshot reload), so
+    /// no two graphs alive in one process share an id — which makes
+    /// `(graph_id, epoch)` a safe cache key even across instances.
+    pub fn graph_id(&self) -> u64 {
+        self.graph_id
+    }
+
+    /// Monotonic mutation counter: starts at 0 and is bumped by every
+    /// mutation, including journal replay (which routes through the
+    /// same mutation tails) and cascaded deletes. A cached result keyed
+    /// by `(graph_id, epoch, …)` is therefore implicitly invalidated by
+    /// any write — the stale key simply never matches again.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Explicitly advances the epoch without mutating data — an
+    /// invalidation hook for callers that change query-visible state
+    /// through some side channel (none exist in-tree; kept public for
+    /// embedders).
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     // ------------------------------------------------------------------
@@ -122,6 +186,7 @@ impl Graph {
     /// Raw node insertion with pre-interned labels (shared by
     /// [`Graph::create_node`] and the merge-create path; never records).
     fn create_node_with_ids(&mut self, label_ids: Vec<LabelId>, props: Props) -> NodeId {
+        self.epoch += 1;
         let id = NodeId(self.nodes.len() as u64);
         for l in &label_ids {
             self.label_index.entry(*l).or_default().insert(id);
@@ -182,6 +247,7 @@ impl Graph {
         existing: Option<NodeId>,
     ) -> NodeId {
         if let Some(existing) = existing {
+            self.epoch += 1; // re-merge mutates props
             let node = self.nodes[existing.0 as usize]
                 .as_mut()
                 .expect("merge target must be live");
@@ -223,6 +289,7 @@ impl Graph {
             n.labels.push(label_id);
             self.label_index.entry(label_id).or_default().insert(node);
         }
+        self.epoch += 1;
         self.record(|| GraphOp::AddLabel {
             node,
             label: label.to_string(),
@@ -248,6 +315,7 @@ impl Graph {
             };
             self.record(|| op);
         }
+        self.epoch += 1;
         self.nodes[node.0 as usize]
             .as_mut()
             .expect("checked above")
@@ -280,6 +348,7 @@ impl Graph {
             };
             self.record(|| op);
         }
+        self.epoch += 1;
         let type_id = self.symbols.rel_type(rel_type);
         let id = RelId(self.rels.len() as u64);
         self.rels.push(Some(Rel {
@@ -314,6 +383,7 @@ impl Graph {
             return Err(GraphError::RelNotFound(rel));
         }
         self.record(|| GraphOp::DeleteRel { rel });
+        self.epoch += 1;
         let r = self
             .rels
             .get_mut(rel.0 as usize)
@@ -359,6 +429,7 @@ impl Graph {
             // A self-loop appears in both lists; the second delete is a no-op.
             let _ = self.delete_rel(r);
         }
+        self.epoch += 1;
         let n = self.nodes[node.0 as usize].take().expect("checked above");
         self.typed_adj[node.0 as usize] = TypedAdj::default();
         for l in &n.labels {
@@ -532,6 +603,7 @@ impl Graph {
             };
             self.record(|| op);
         }
+        self.epoch += 1;
         self.rels[rel.0 as usize]
             .as_mut()
             .expect("checked above")
@@ -653,6 +725,10 @@ impl Graph {
             deleted_nodes: 0,
             deleted_rels: 0,
             recorder: None,
+            // A reload is a different store instance: fresh identity,
+            // epoch restarts (the fresh graph_id keeps old keys dead).
+            graph_id: next_graph_id(),
+            epoch: 0,
         };
         g.deleted_nodes = g.nodes.iter().filter(|n| n.is_none()).count() as u64;
         g.deleted_rels = g.rels.iter().filter(|r| r.is_none()).count() as u64;
@@ -989,6 +1065,71 @@ mod tests {
             .collect();
         assert_eq!(ids, vec![RelId(0), RelId(2)]);
         assert_eq!(g2.rels_of(a, Direction::Outgoing, Some(t)).count(), 1);
+    }
+
+    #[test]
+    fn every_mutation_bumps_the_epoch() {
+        let mut g = Graph::new();
+        assert_eq!(g.epoch(), 0);
+        let mut last = g.epoch();
+        let mut expect_bump = |g: &Graph, what: &str| {
+            assert!(g.epoch() > last, "{what} did not bump the epoch");
+            last = g.epoch();
+        };
+        let a = g.create_node(&["X"], Props::new());
+        expect_bump(&g, "create_node");
+        let b = g.merge_node("AS", "asn", 1u32, Props::new());
+        expect_bump(&g, "merge_node (create)");
+        g.merge_node("AS", "asn", 1u32, props([("name", "IIJ".into())]));
+        expect_bump(&g, "merge_node (re-merge)");
+        g.add_label(a, "Tag").unwrap();
+        expect_bump(&g, "add_label");
+        g.set_node_prop(a, "k", Value::Int(1)).unwrap();
+        expect_bump(&g, "set_node_prop");
+        let r = g.create_rel(a, "R", b, Props::new()).unwrap();
+        expect_bump(&g, "create_rel");
+        g.set_rel_prop(r, "w", Value::Int(2)).unwrap();
+        expect_bump(&g, "set_rel_prop");
+        g.delete_rel(r).unwrap();
+        expect_bump(&g, "delete_rel");
+        g.delete_node(a).unwrap();
+        expect_bump(&g, "delete_node");
+        g.bump_epoch();
+        expect_bump(&g, "bump_epoch");
+        // Reads leave it alone.
+        let before = g.epoch();
+        let _ = g.node_count();
+        let _ = g.lookup("AS", "asn", 1u32);
+        assert_eq!(g.epoch(), before);
+    }
+
+    #[test]
+    fn replay_bumps_the_epoch_too() {
+        let mut g = Graph::new();
+        g.begin_recording();
+        let a = g.merge_node("AS", "asn", 1u32, Props::new());
+        g.set_node_prop(a, "k", Value::Int(1)).unwrap();
+        let ops = g.take_recording();
+
+        let mut replica = Graph::new();
+        assert_eq!(replica.epoch(), 0);
+        for op in &ops {
+            let before = replica.epoch();
+            replica.apply(op).unwrap();
+            assert!(replica.epoch() > before, "replayed {op:?} did not bump");
+        }
+    }
+
+    #[test]
+    fn graph_ids_are_process_unique() {
+        let g1 = Graph::new();
+        let g2 = Graph::new();
+        assert_ne!(g1.graph_id(), g2.graph_id());
+        // A snapshot reload is a new instance with a new identity.
+        let bytes = crate::snapshot::to_binary(&g1);
+        let g3 = crate::snapshot::from_binary(&bytes).unwrap();
+        assert_ne!(g3.graph_id(), g1.graph_id());
+        assert_eq!(g3.epoch(), 0);
     }
 
     #[test]

@@ -211,6 +211,18 @@ impl DurableGraph {
         self.read_inner().generation
     }
 
+    /// The wrapped graph's mutation epoch (see [`Graph::epoch`]). Every
+    /// journaled write bumps it, and so does WAL replay during
+    /// recovery (replay re-applies ops through the same mutation
+    /// paths), so an epoch-keyed query cache can never serve a result
+    /// from before a write — committed live or recovered — through
+    /// this wrapper. A reopened journal additionally gets a fresh
+    /// [`Graph::graph_id`], so cache keys from a previous incarnation
+    /// can never match at all.
+    pub fn epoch(&self) -> u64 {
+        self.read_inner().graph.epoch()
+    }
+
     /// Runs a closure against the graph under the shared (read) lock.
     pub fn read<R>(&self, f: impl FnOnce(&Graph) -> R) -> R {
         f(&self.read_inner().graph)
@@ -442,6 +454,34 @@ mod tests {
         drop(d);
         let (d2, _) = DurableGraph::open(&dir, FsyncPolicy::Always).unwrap();
         assert_eq!(graph_bytes(&d2), before);
+    }
+
+    #[test]
+    fn journaled_writes_and_recovery_replay_bump_the_epoch() {
+        let dir = tmpdir("epoch");
+        let (d, _) = DurableGraph::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(d.epoch(), 0);
+        d.write(|g| {
+            g.merge_node("AS", "asn", 1i64, Props::new());
+        })
+        .unwrap();
+        let after_one = d.epoch();
+        assert!(after_one > 0, "a journaled write must bump the epoch");
+        d.write(|g| {
+            g.merge_node("AS", "asn", 2i64, Props::new());
+        })
+        .unwrap();
+        assert!(d.epoch() > after_one);
+        let old_id = d.read(|g| g.graph_id());
+        drop(d);
+
+        // Recovery replays the WAL through the same mutation paths, so
+        // the epoch is non-zero again and the graph id is fresh —
+        // either is enough to keep pre-crash cache entries unmatchable.
+        let (d2, rep) = DurableGraph::open(&dir, FsyncPolicy::Never).unwrap();
+        assert_eq!(rep.replay.ops, 2);
+        assert!(d2.epoch() > 0, "replay must bump the epoch");
+        assert_ne!(d2.read(|g| g.graph_id()), old_id);
     }
 
     #[test]

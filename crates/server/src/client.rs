@@ -1,9 +1,155 @@
 //! A client for the query service.
+//!
+//! [`Client::query`] is the typed entry point: it returns a [`Table`]
+//! of plain data or a [`ClientError`] whose variants mirror the
+//! server's structured error codes (`busy`, `timeout`, `read_only`,
+//! `bad_json`, …) — no pattern-matching raw [`Response`] enums. The
+//! low-level [`Client::send`]/[`Client::request`] methods remain for
+//! protocol-level tests and tools that need the wire representation.
 
 use crate::proto::{Command, Request, Response};
+use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// A query result as plain data: named columns and rows of
+/// JSON-encoded values (nodes and relationships arrive inlined as
+/// `{"~node": …}` / `{"~rel": …}` objects).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column names (projection aliases).
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<serde_json::Value>>,
+}
+
+impl Table {
+    /// Index of a column by name.
+    pub fn column(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Convenience: the single value of a one-row, one-column result.
+    pub fn single(&self) -> Option<&serde_json::Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Convenience: single integer result (e.g. `RETURN count(...)`).
+    pub fn single_int(&self) -> Option<i64> {
+        self.single()?.as_i64()
+    }
+}
+
+/// A typed query failure: transport errors plus every structured error
+/// the server produces, each with a stable [`ClientError::code`] and a
+/// human-readable [`ClientError::detail`].
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (including a server-closed connection, which
+    /// surfaces as `ConnectionAborted`).
+    Io(std::io::Error),
+    /// The server is at its connection cap; retry shortly.
+    Busy(String),
+    /// The query exceeded the server's `--query-timeout` deadline and
+    /// was cancelled at a row boundary.
+    Timeout(String),
+    /// A write was sent to a server running without a journal.
+    ReadOnly(String),
+    /// The server's journal failed while persisting a write.
+    Journal(String),
+    /// The request violated the wire protocol (`empty_request`,
+    /// `request_too_large`, `bad_json`, `missing_query`,
+    /// `unknown_command`).
+    Protocol {
+        /// Stable machine-readable code (see
+        /// [`crate::proto::ProtoError::code`]).
+        code: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The query itself failed (lex, parse, or runtime error).
+    Query(String),
+    /// The server answered with something unexpected for the request.
+    Unexpected(String),
+}
+
+impl ClientError {
+    /// Stable machine-readable error code.
+    pub fn code(&self) -> &str {
+        match self {
+            ClientError::Io(_) => "io",
+            ClientError::Busy(_) => "busy",
+            ClientError::Timeout(_) => "timeout",
+            ClientError::ReadOnly(_) => "read_only",
+            ClientError::Journal(_) => "journal",
+            ClientError::Protocol { code, .. } => code,
+            ClientError::Query(_) => "query",
+            ClientError::Unexpected(_) => "unexpected",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> String {
+        match self {
+            ClientError::Io(e) => e.to_string(),
+            ClientError::Busy(d)
+            | ClientError::Timeout(d)
+            | ClientError::ReadOnly(d)
+            | ClientError::Journal(d)
+            | ClientError::Query(d)
+            | ClientError::Unexpected(d) => d.clone(),
+            ClientError::Protocol { detail, .. } => detail.clone(),
+        }
+    }
+
+    /// Maps a server `error` message to its typed variant. The server
+    /// prefixes structured errors with a stable `code:`; anything
+    /// without a recognised prefix is a query-evaluation error.
+    fn from_server_message(msg: String) -> ClientError {
+        let (prefix, rest) = match msg.split_once(':') {
+            Some((p, r)) => (p, r.trim_start().to_string()),
+            None => ("", msg.clone()),
+        };
+        match prefix {
+            "busy" => ClientError::Busy(rest),
+            "timeout" => ClientError::Timeout(rest),
+            "read_only" => ClientError::ReadOnly(rest),
+            "journal" => ClientError::Journal(rest),
+            "empty_request" | "request_too_large" | "bad_json" | "missing_query"
+            | "unknown_command" => ClientError::Protocol {
+                code: prefix.to_string(),
+                detail: rest,
+            },
+            _ => ClientError::Query(msg),
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code(), self.detail())
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
 
 /// A connected query client. One request/response at a time per
 /// connection (open several clients for parallel querying).
@@ -37,19 +183,41 @@ impl Client {
         self.stream.write_all(b"\n")?;
         self.stream.flush()?;
         let mut line = String::new();
-        self.reader.read_line(&mut line)?;
+        // read_line reports a closed connection as Ok(0); without the
+        // check the empty line would surface as a baffling "bad
+        // response JSON" parse error instead of a connection error.
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "server closed the connection before responding",
+            ));
+        }
         Response::from_line(line.trim())
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 
-    /// Sends a query request and waits for the response.
+    /// Sends a query request and waits for the raw wire response (for
+    /// protocol-level tests; most callers want [`Client::query`]).
     pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
         self.send(&Command::Query(req.clone()))
     }
 
-    /// Convenience: run a parameter-less query.
-    pub fn query(&mut self, text: &str) -> std::io::Result<Response> {
-        self.request(&Request::new(text))
+    /// Runs a parameter-less read query and returns its result as a
+    /// [`Table`]. Server-side failures arrive as typed
+    /// [`ClientError`] variants (`busy`, `timeout`, query errors, …).
+    pub fn query(&mut self, text: &str) -> Result<Table, ClientError> {
+        self.query_request(&Request::new(text))
+    }
+
+    /// Runs a read query with parameters, typed like [`Client::query`].
+    pub fn query_request(&mut self, req: &Request) -> Result<Table, ClientError> {
+        match self.request(req)? {
+            Response::Ok { columns, rows } => Ok(Table { columns, rows }),
+            Response::Error(msg) => Err(ClientError::from_server_message(msg)),
+            other => Err(ClientError::Unexpected(format!(
+                "unexpected QUERY response: {other:?}"
+            ))),
+        }
     }
 
     /// Sends a write query (`CREATE`/`MERGE`/`SET`/`DELETE`). The

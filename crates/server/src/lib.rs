@@ -51,6 +51,6 @@ pub mod client;
 pub mod proto;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientError, Table};
 pub use proto::{decode_value, encode_value, Command, ProtoError, Request, Response};
 pub use server::{Server, ServerError, ServerOptions, Service};

@@ -53,6 +53,15 @@ pub struct ServerOptions {
     /// not covered: they hold the exclusive journal lock and must run
     /// to completion or not at all.
     pub query_timeout: Option<Duration>,
+    /// Byte budget (in MiB) for the server's epoch-keyed query result
+    /// cache (`serve --cache-mb N`). Repeated identical queries against
+    /// an unchanged graph are answered from the cache without
+    /// executing; any journaled write bumps the graph epoch, so stale
+    /// entries simply stop matching. Cache hits still honor
+    /// `query_timeout`: an expired deadline reports `timeout` even
+    /// when the result is cached. `None` (the default) disables the
+    /// cache.
+    pub cache_mb: Option<usize>,
 }
 
 impl Default for ServerOptions {
@@ -60,6 +69,7 @@ impl Default for ServerOptions {
         ServerOptions {
             max_connections: 64,
             query_timeout: None,
+            cache_mb: None,
         }
     }
 }
@@ -168,6 +178,12 @@ impl Server {
         let accept_served = served.clone();
         let max_connections = options.max_connections.max(1);
         let query_timeout = options.query_timeout;
+        // One result cache per service, shared by every connection
+        // handler (QueryCache is internally synchronised). Capacity 0
+        // (no --cache-mb) leaves it inert.
+        let cache = Arc::new(iyp_cypher::QueryCache::with_capacity_mb(
+            options.cache_mb.unwrap_or(0),
+        ));
         let active = Arc::new(AtomicUsize::new(0));
 
         // The listener blocks in accept(); stop() wakes it with a
@@ -191,6 +207,7 @@ impl Server {
                     let guard = ActiveGuard(active.clone());
                     let service = service.clone();
                     let served = accept_served.clone();
+                    let cache = cache.clone();
                     // Workers are detached: they exit on client EOF
                     // or the 30 s read timeout. stop() only has to
                     // stop *accepting*; draining connections is the
@@ -199,7 +216,7 @@ impl Server {
                     // flush here).
                     std::thread::spawn(move || {
                         let _guard = guard;
-                        let _ = handle_connection(stream, &service, &served, query_timeout);
+                        let _ = handle_connection(stream, &service, &served, query_timeout, &cache);
                     });
                 }
                 Err(_) => {
@@ -265,6 +282,7 @@ fn handle_connection(
     service: &Service,
     served: &AtomicUsize,
     query_timeout: Option<Duration>,
+    cache: &iyp_cypher::QueryCache,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_write_timeout(Some(Duration::from_secs(30)))?;
@@ -303,9 +321,9 @@ fn handle_connection(
                 let _span = iyp_telemetry::span(iyp_telemetry::names::SERVER_REQUEST_SECONDS);
                 let started = Instant::now();
                 let response = match service {
-                    Service::ReadOnly(graph) => run_query(graph, &req, query_timeout),
+                    Service::ReadOnly(graph) => run_query(graph, &req, query_timeout, cache),
                     Service::Durable(durable) => {
-                        durable.read(|g| run_query(g, &req, query_timeout))
+                        durable.read(|g| run_query(g, &req, query_timeout, cache))
                     }
                 };
                 log_if_slow(&req.query, started.elapsed());
@@ -350,15 +368,29 @@ fn handle_connection(
 
 /// Runs a read query and encodes the result (inside whatever lock the
 /// caller holds — entity encoding needs the graph). With a timeout the
-/// query runs under a deadline token; without one it takes the plain
-/// `query` path, so results are byte-identical to an untimed server.
-fn run_query(graph: &Graph, req: &crate::proto::Request, timeout: Option<Duration>) -> Response {
+/// query runs under a deadline token; without one it runs unpolled, so
+/// results are byte-identical to an untimed server. The statement
+/// consults the service's epoch-keyed result cache: a hit skips
+/// execution entirely (the cached result is from this exact graph
+/// epoch, so it is what execution would have produced) but still polls
+/// the deadline token once, preserving `--query-timeout` semantics.
+fn run_query(
+    graph: &Graph,
+    req: &crate::proto::Request,
+    timeout: Option<Duration>,
+    cache: &iyp_cypher::QueryCache,
+) -> Response {
+    let stmt = match iyp_cypher::Statement::prepare(&req.query) {
+        Ok(stmt) => stmt,
+        Err(e) => return Response::Error(e.to_string()),
+    };
+    let stmt = stmt.params(&req.params).cache(cache);
     let result = match timeout {
         Some(limit) => {
             let cancel = iyp_cypher::Cancel::with_timeout(limit);
-            iyp_cypher::query_with_cancel(graph, &req.query, &req.params, &cancel)
+            stmt.cancel(&cancel).run_shared(graph)
         }
-        None => iyp_cypher::query(graph, &req.query, &req.params),
+        None => stmt.run_shared(graph),
     };
     match result {
         Ok(rs) => Response::Ok {

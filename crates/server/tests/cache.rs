@@ -1,0 +1,142 @@
+//! End-to-end query caching on the server: `--cache-mb` turns repeat
+//! queries into cache hits, and a journaled write between two
+//! identical queries invalidates implicitly — the second result
+//! reflects the write and telemetry records a miss, never a stale hit.
+
+use iyp_graph::{Graph, Props};
+use iyp_journal::{DurableGraph, FsyncPolicy};
+use iyp_server::{Client, Server, ServerOptions, Service};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// The cache counters are process-global, so the tests in this binary
+/// must not observe them concurrently.
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iyp-server-cache-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seeded(dir: &Path) -> Arc<DurableGraph> {
+    let mut g = Graph::new();
+    for asn in [2497i64, 64496, 64497] {
+        g.merge_node("AS", "asn", asn, Props::new());
+    }
+    Arc::new(DurableGraph::seed(dir, g, FsyncPolicy::Never).expect("seed"))
+}
+
+fn cache_counters() -> (u64, u64) {
+    (
+        iyp_telemetry::counter(iyp_telemetry::names::CYPHER_CACHE_HITS_TOTAL).get(),
+        iyp_telemetry::counter(iyp_telemetry::names::CYPHER_CACHE_MISSES_TOTAL).get(),
+    )
+}
+
+const COUNT_QUERY: &str = "MATCH (a:AS) RETURN count(a)";
+
+#[test]
+fn journaled_write_invalidates_the_cache() {
+    let _serial = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    iyp_telemetry::enable();
+    let dir = tmpdir("invalidate");
+    let mut server = Server::start_service_with(
+        Service::Durable(seeded(&dir)),
+        "127.0.0.1:0",
+        ServerOptions {
+            cache_mb: Some(16),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Cold query: a miss that populates the cache.
+    let (hits0, misses0) = cache_counters();
+    let first = client.query(COUNT_QUERY).expect("first query");
+    assert_eq!(first.single_int(), Some(3));
+    let (hits1, misses1) = cache_counters();
+    assert_eq!(misses1, misses0 + 1, "cold query must be a miss");
+    assert_eq!(hits1, hits0, "cold query must not hit");
+
+    // Identical repeat: served from the cache, byte-identical.
+    let second = client.query(COUNT_QUERY).expect("second query");
+    assert_eq!(second, first);
+    let (hits2, misses2) = cache_counters();
+    assert_eq!(hits2, hits1 + 1, "repeat query must hit");
+    assert_eq!(misses2, misses1);
+
+    // A journaled write bumps the graph epoch: the cached entry's key
+    // no longer matches, so the third (identical) query re-executes
+    // and sees the write — never the cached past.
+    client
+        .write("MERGE (a:AS {asn: 65000})")
+        .expect("journaled write");
+    let third = client.query(COUNT_QUERY).expect("third query");
+    assert_eq!(
+        third.single_int(),
+        Some(4),
+        "result must reflect the journaled write immediately"
+    );
+    let (hits3, misses3) = cache_counters();
+    assert_eq!(misses3, misses2 + 1, "post-write query must be a miss");
+    assert_eq!(
+        hits3, hits2,
+        "post-write query must not hit the stale entry"
+    );
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_only_server_serves_repeat_queries_from_cache() {
+    let _serial = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    iyp_telemetry::enable();
+    let mut g = Graph::new();
+    for asn in 0..32i64 {
+        g.merge_node("AS", "asn", asn, Props::new());
+    }
+    let mut server = Server::start_service_with(
+        Service::ReadOnly(Arc::new(g)),
+        "127.0.0.1:0",
+        ServerOptions {
+            cache_mb: Some(16),
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let q = "MATCH (a:AS) RETURN a.asn ORDER BY a.asn";
+    let first = client.query(q).expect("first");
+    let (hits0, _) = cache_counters();
+    for _ in 0..5 {
+        let again = client.query(q).expect("repeat");
+        assert_eq!(again, first, "cached result diverged");
+    }
+    let (hits1, _) = cache_counters();
+    assert!(hits1 >= hits0 + 5, "repeats must be cache hits");
+    server.stop();
+}
+
+#[test]
+fn cache_disabled_by_default_never_hits() {
+    let _serial = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    iyp_telemetry::enable();
+    let mut g = Graph::new();
+    g.merge_node("AS", "asn", 1i64, Props::new());
+    // Default options: no cache_mb, so lookups bypass the cache (and
+    // don't even count as misses).
+    let mut server = Server::start(Arc::new(g), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let (hits0, misses0) = cache_counters();
+    for _ in 0..3 {
+        client.query(COUNT_QUERY).expect("query");
+    }
+    let (hits1, misses1) = cache_counters();
+    assert_eq!(hits1, hits0, "disabled cache must never hit");
+    assert_eq!(misses1, misses0, "disabled cache must not count misses");
+    server.stop();
+}

@@ -55,13 +55,10 @@ fn write_over_the_wire_mutates_and_reports_summary() {
     assert_eq!(summary["props_set"], serde_json::json!(1));
 
     // The write is immediately visible to reads on the same server.
-    let Response::Ok { rows, .. } = client
+    let table = client
         .query("MATCH (a:AS {asn: 64500}) RETURN a.name")
-        .unwrap()
-    else {
-        panic!("read failed")
-    };
-    assert_eq!(rows[0][0], serde_json::json!("TESTNET"));
+        .unwrap();
+    assert_eq!(table.single(), Some(&serde_json::json!("TESTNET")));
     server.stop();
 
     // ...and survives a restart from the journal alone (no checkpoint).
@@ -138,12 +135,8 @@ fn concurrent_readers_see_consistent_graph_during_writes() {
             let mut client = Client::connect(addr).expect("connect");
             let mut last = 0i64;
             for _ in 0..20 {
-                let Response::Ok { rows, .. } =
-                    client.query("MATCH (a:AS) RETURN count(a)").unwrap()
-                else {
-                    panic!("read failed")
-                };
-                let n = rows[0][0].as_i64().unwrap();
+                let table = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+                let n = table.single_int().unwrap();
                 assert!(n >= last, "count went backwards: {last} -> {n}");
                 last = n;
             }

@@ -31,14 +31,9 @@ fn start() -> (Server, std::net::SocketAddr) {
 fn query_roundtrip() {
     let (mut server, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
-    let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
-    match resp {
-        Response::Ok { columns, rows } => {
-            assert_eq!(columns.len(), 1);
-            assert_eq!(rows[0][0], serde_json::json!(3));
-        }
-        other => panic!("unexpected response: {other:?}"),
-    }
+    let table = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+    assert_eq!(table.columns.len(), 1);
+    assert_eq!(table.single_int(), Some(3));
     server.stop();
 }
 
@@ -46,12 +41,10 @@ fn query_roundtrip() {
 fn entities_are_transported() {
     let (mut server, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
-    let resp = client
+    let table = client
         .query("MATCH (a:AS {asn: 2497})-[r:ORIGINATE]-(p:Prefix) RETURN a, r, p")
         .unwrap();
-    let Response::Ok { rows, .. } = resp else {
-        panic!("error")
-    };
+    let rows = &table.rows;
     assert_eq!(rows.len(), 1);
     assert_eq!(rows[0][0]["labels"][0], "AS");
     assert_eq!(rows[0][0]["props"]["asn"], 2497);
@@ -77,11 +70,11 @@ fn parameters_travel() {
 fn query_errors_are_reported_not_fatal() {
     let (mut server, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
-    let resp = client.query("MATCH (a:AS RETURN a").unwrap();
-    assert!(matches!(resp, Response::Error(_)));
+    let err = client.query("MATCH (a:AS RETURN a").unwrap_err();
+    assert_eq!(err.code(), "query", "{err}");
     // The connection survives an error.
-    let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
-    assert!(matches!(resp, Response::Ok { .. }));
+    let table = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+    assert_eq!(table.single_int(), Some(3));
     server.stop();
 }
 
@@ -90,8 +83,8 @@ fn multiple_sequential_requests_per_connection() {
     let (mut server, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
     for _ in 0..10 {
-        let resp = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
-        assert!(matches!(resp, Response::Ok { .. }));
+        let table = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+        assert_eq!(table.single_int(), Some(3));
     }
     assert!(server.served() >= 10);
     server.stop();
@@ -105,13 +98,10 @@ fn concurrent_clients() {
         handles.push(std::thread::spawn(move || {
             let mut client = Client::connect(addr).expect("connect");
             for _ in 0..5 {
-                let resp = client
+                let table = client
                     .query("MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)")
                     .unwrap();
-                let Response::Ok { rows, .. } = resp else {
-                    panic!("error")
-                };
-                assert_eq!(rows[0][0], serde_json::json!(1));
+                assert_eq!(table.single_int(), Some(1));
             }
         }));
     }
@@ -176,14 +166,12 @@ fn stats_command_reports_graph_and_telemetry() {
 fn explain_flows_through_the_protocol() {
     let (mut server, addr) = start();
     let mut client = Client::connect(addr).expect("connect");
-    let resp = client
+    let table = client
         .query("EXPLAIN MATCH (a:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(*)")
         .unwrap();
-    let Response::Ok { columns, rows } = resp else {
-        panic!("error")
-    };
-    assert_eq!(columns, vec!["plan"]);
-    let text: Vec<String> = rows
+    assert_eq!(table.columns, vec!["plan"]);
+    let text: Vec<String> = table
+        .rows
         .iter()
         .map(|r| r[0].as_str().unwrap().to_string())
         .collect();

@@ -3,7 +3,7 @@
 //! structured `timeout` error, and keeps the connection usable.
 
 use iyp_graph::{Graph, Props};
-use iyp_server::{Client, Response, Server, ServerOptions, Service};
+use iyp_server::{Client, ClientError, Server, ServerOptions, Service};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -49,26 +49,23 @@ fn slow_query_gets_structured_timeout_and_connection_survives() {
     let mut client = Client::connect(addr).expect("connect");
 
     let started = Instant::now();
-    let resp = client.query(SLOW_QUERY).expect("transport ok");
+    let err = client.query(SLOW_QUERY).expect_err("expected timeout");
     let elapsed = started.elapsed();
-    let Response::Error(msg) = resp else {
-        panic!("expected timeout error, got {resp:?}")
+    let ClientError::Timeout(detail) = &err else {
+        panic!("expected timeout error, got {err:?}")
     };
-    assert!(msg.starts_with("timeout: "), "{msg}");
-    assert!(msg.contains("150 ms deadline"), "{msg}");
+    assert_eq!(err.code(), "timeout");
+    assert!(detail.contains("150 ms deadline"), "{detail}");
     // Cancellation is cooperative but per-row, so the whole roundtrip
     // lands well under the many seconds the query would otherwise run.
     assert!(elapsed < Duration::from_secs(10), "took {elapsed:?}");
 
     // The connection is still usable after a timeout.
     assert!(client.ping().expect("ping after timeout"));
-    let resp = client
+    let table = client
         .query("MATCH (a:AS) RETURN count(a)")
         .expect("fast query after timeout");
-    let Response::Ok { rows, .. } = resp else {
-        panic!("expected ok, got {resp:?}")
-    };
-    assert_eq!(rows[0][0], serde_json::json!(48));
+    assert_eq!(table.single_int(), Some(48));
 
     let after = iyp_telemetry::counter(iyp_telemetry::names::SERVER_QUERY_TIMEOUT_TOTAL).get();
     assert!(after > before, "timeout counter did not move");
@@ -97,11 +94,7 @@ fn under_deadline_queries_match_untimed_server() {
     ] {
         let ra = a.query(q).expect("untimed");
         let rb = b.query(q).expect("timed");
-        assert_eq!(
-            ra.to_line(),
-            rb.to_line(),
-            "{q}: timed server output diverged"
-        );
+        assert_eq!(ra, rb, "{q}: timed server output diverged");
     }
     untimed.stop();
     timed.stop();

@@ -81,10 +81,18 @@ pub mod names {
     pub const BUILD_RETRIES_TOTAL: &str = "iyp_build_retries_total";
     /// Counter: datasets that failed or were skipped during a build.
     pub const BUILD_FAILED_DATASETS_TOTAL: &str = "iyp_build_failed_datasets_total";
+    /// Counter: query-cache lookups answered from a cached result.
+    pub const CYPHER_CACHE_HITS_TOTAL: &str = "iyp_cypher_cache_hits_total";
+    /// Counter: query-cache lookups that fell through to execution.
+    pub const CYPHER_CACHE_MISSES_TOTAL: &str = "iyp_cypher_cache_misses_total";
+    /// Counter: cached results evicted to stay under the byte budget.
+    pub const CYPHER_CACHE_EVICTIONS_TOTAL: &str = "iyp_cypher_cache_evictions_total";
+    /// Gauge: bytes currently held by the query result cache.
+    pub const CYPHER_CACHE_BYTES: &str = "iyp_cypher_cache_bytes";
 
     /// Every canonical metric as `(name, kind, labels, description)` —
     /// the source of truth for `documentation/telemetry.md`.
-    pub const ALL: [(&str, &str, &str, &str); 25] = [
+    pub const ALL: [(&str, &str, &str, &str); 29] = [
         (
             CYPHER_QUERIES_TOTAL,
             "counter",
@@ -234,6 +242,30 @@ pub mod names {
             "counter",
             "",
             "datasets that failed or were skipped during a build",
+        ),
+        (
+            CYPHER_CACHE_HITS_TOTAL,
+            "counter",
+            "",
+            "query-cache lookups answered from a cached result",
+        ),
+        (
+            CYPHER_CACHE_MISSES_TOTAL,
+            "counter",
+            "",
+            "query-cache lookups that fell through to execution",
+        ),
+        (
+            CYPHER_CACHE_EVICTIONS_TOTAL,
+            "counter",
+            "",
+            "cached results evicted to stay under the byte budget",
+        ),
+        (
+            CYPHER_CACHE_BYTES,
+            "gauge",
+            "",
+            "bytes currently held by the query result cache",
         ),
     ];
 }

@@ -21,6 +21,7 @@ fn main() {
         ("telemetry.md", docs::telemetry_md()),
         ("durability.md", docs::durability_md()),
         ("query-engine.md", docs::query_engine_md()),
+        ("query-cache.md", docs::query_cache_md()),
         ("fault-tolerance.md", docs::fault_tolerance_md()),
     ] {
         let path = dir.join(file);

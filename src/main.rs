@@ -47,6 +47,7 @@ struct Args {
     threads: Option<usize>,
     max_conns: Option<usize>,
     query_timeout: Option<std::time::Duration>,
+    cache_mb: Option<usize>,
     chaos: Option<u64>,
     rest: Vec<String>,
 }
@@ -67,6 +68,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         threads: None,
         max_conns: None,
         query_timeout: None,
+        cache_mb: None,
         chaos: None,
         rest: Vec::new(),
     };
@@ -116,6 +118,14 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     return Err("--query-timeout must be a positive number of seconds".into());
                 }
                 args.query_timeout = Some(std::time::Duration::from_secs_f64(secs));
+            }
+            "--cache-mb" => {
+                args.cache_mb = Some(
+                    argv.next()
+                        .ok_or("--cache-mb needs a value (MiB)")?
+                        .parse()
+                        .map_err(|_| "--cache-mb must be an integer number of MiB")?,
+                )
             }
             "--chaos" => {
                 args.chaos = Some(
@@ -307,6 +317,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         options.max_connections = cap;
     }
     options.query_timeout = args.query_timeout;
+    options.cache_mb = args.cache_mb;
     let server = match &args.journal {
         None => {
             let iyp = load_or_build(args)?;
@@ -481,11 +492,12 @@ fn help() {
 usage:
   iyp build   [--scale tiny|small|default] [--seed N] [--out FILE] [--journal DIR] [--metrics]
               [--chaos SEED]
-  iyp query   [--snapshot FILE] [--threads N] '<cypher>'
-  iyp profile [--snapshot FILE] [--threads N] '<cypher>'
+  iyp query   [--snapshot FILE] [--threads N] [--cache-mb MB] '<cypher>'
+  iyp profile [--snapshot FILE] [--threads N] [--cache-mb MB] '<cypher>'
   iyp shell   [--snapshot FILE]
   iyp serve   [--snapshot FILE] [--addr HOST:PORT] [--threads N] [--max-conns N]
-              [--query-timeout SECS] [--journal DIR] [--fsync always|never|every=N]
+              [--query-timeout SECS] [--cache-mb MB] [--journal DIR]
+              [--fsync always|never|every=N]
   iyp recover --journal DIR [--out FILE]
   iyp studies [--snapshot FILE]
   iyp datasets"
@@ -498,6 +510,12 @@ fn run(args: &Args) -> Result<(), String> {
             return Err("--threads must be at least 1".into());
         }
         iyp_cypher::set_threads(n);
+    }
+    if let Some(mb) = args.cache_mb {
+        // Size the process-global result cache (query/profile/shell go
+        // through it); `serve` additionally sizes its own per-service
+        // cache via ServerOptions.
+        iyp_cypher::cache::global().set_capacity(mb << 20);
     }
     match args.command.as_str() {
         "build" => cmd_build(args),
@@ -630,6 +648,19 @@ mod tests {
         assert!(parse_args(argv(&["serve", "--query-timeout", "soon"])).is_err());
         assert!(parse_args(argv(&["build", "--chaos"])).is_err());
         assert!(parse_args(argv(&["build", "--chaos", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_cache_mb() {
+        let a = parse_args(argv(&["serve", "--cache-mb", "64"])).unwrap();
+        assert_eq!(a.cache_mb, Some(64));
+        let b = parse_args(argv(&["query", "--cache-mb", "0", "RETURN 1"])).unwrap();
+        assert_eq!(b.cache_mb, Some(0), "0 explicitly disables the cache");
+        let d = parse_args(argv(&["serve"])).unwrap();
+        assert_eq!(d.cache_mb, None);
+        assert!(parse_args(argv(&["serve", "--cache-mb"])).is_err());
+        assert!(parse_args(argv(&["serve", "--cache-mb", "lots"])).is_err());
+        assert!(parse_args(argv(&["serve", "--cache-mb", "-4"])).is_err());
     }
 
     #[test]

@@ -48,6 +48,11 @@ fn query_engine_page_in_sync() {
 }
 
 #[test]
+fn query_cache_page_in_sync() {
+    check("query-cache.md", iyp::docs::query_cache_md());
+}
+
+#[test]
 fn fault_tolerance_page_in_sync() {
     check("fault-tolerance.md", iyp::docs::fault_tolerance_md());
 }

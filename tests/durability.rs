@@ -74,10 +74,8 @@ fn graph_fingerprint(client: &mut Client) -> Vec<serde_json::Value> {
         "MATCH (n) RETURN n ORDER BY id(n)",
         "MATCH ()-[r]->() RETURN r ORDER BY id(r)",
     ] {
-        match client.query(q).expect("fingerprint query") {
-            Response::Ok { rows, .. } => fp.push(serde_json::json!(rows)),
-            other => panic!("fingerprint query failed: {other:?}"),
-        }
+        let table = client.query(q).expect("fingerprint query");
+        fp.push(serde_json::json!(table.rows));
     }
     fp
 }
@@ -173,10 +171,8 @@ fn truncated_wal_recovers_longest_valid_prefix() {
 
     let (mut child, addr) = spawn_server(&dir);
     let mut client = connect_with_retry(addr);
-    let Response::Ok { rows, .. } = client.query("MATCH (a:AS) RETURN count(a)").unwrap() else {
-        panic!("query failed")
-    };
-    assert!(rows[0][0].as_i64().unwrap() > 0);
+    let table = client.query("MATCH (a:AS) RETURN count(a)").unwrap();
+    assert!(table.single_int().unwrap() > 0);
     drop(client);
     child.kill().expect("kill");
     child.wait().expect("wait");
